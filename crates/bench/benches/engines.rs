@@ -1,0 +1,211 @@
+//! Engine micro-benches: throughput of the substrate algorithms on
+//! realistic workloads (useful when tuning the tools themselves), plus
+//! the ablation benches called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use asicgap::cells::LibrarySpec;
+use asicgap::netlist::generators;
+use asicgap::pipeline::pipeline_netlist;
+use asicgap::place::{annotate, AnnealOptions, Floorplan, FloorplanStrategy};
+use asicgap::sizing::{tilos_size, TilosOptions};
+use asicgap::sta::{analyze, ClockSpec};
+use asicgap::synth::{map_aig, netlist_to_aig, MapOptions, SynthFlow};
+use asicgap::tech::Technology;
+
+fn bench_sta(c: &mut Criterion) {
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let clock = ClockSpec::unconstrained();
+    let mut g = c.benchmark_group("sta");
+    for width in [8usize, 16, 32] {
+        let n = generators::array_multiplier(&lib, width).expect("multiplier");
+        g.bench_with_input(BenchmarkId::new("multiplier", width), &n, |b, n| {
+            b.iter(|| black_box(analyze(n, &lib, &clock, None).min_period))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mapping(c: &mut Criterion) {
+    let tech = Technology::cmos025_asic();
+    let rich = LibrarySpec::rich().build(&tech);
+    let poor = LibrarySpec::poor().build(&tech);
+    let golden = generators::alu(&rich, 16).expect("alu16");
+    let (aig, _) = netlist_to_aig(&golden, &rich);
+    let mut g = c.benchmark_group("mapping");
+    g.sample_size(20);
+    // Ablation: complex patterns on vs off, rich vs poor target.
+    for (name, lib, complex) in [
+        ("rich_complex", &rich, true),
+        ("rich_simple", &rich, false),
+        ("poor", &poor, true),
+    ] {
+        let opts = MapOptions {
+            use_complex: complex,
+            max_fanin: 4,
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(map_aig(&aig, lib, &opts).expect("maps")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let n = generators::alu(&lib, 16).expect("alu16");
+    let mut g = c.benchmark_group("placement");
+    g.sample_size(10);
+    g.bench_function("anneal_localized", |b| {
+        b.iter(|| {
+            black_box(Floorplan::build(
+                &n,
+                &lib,
+                FloorplanStrategy::Localized,
+                &AnnealOptions::quick(1),
+            ))
+        })
+    });
+    let fp = Floorplan::build(&n, &lib, FloorplanStrategy::Localized, &AnnealOptions::quick(1));
+    // Ablation: annotation with and without repeater insertion.
+    g.bench_function("annotate_with_repeaters", |b| {
+        b.iter(|| black_box(annotate(&n, &lib, &fp.placement, true)))
+    });
+    g.bench_function("annotate_no_repeaters", |b| {
+        b.iter(|| black_box(annotate(&n, &lib, &fp.placement, false)))
+    });
+    g.finish();
+}
+
+fn bench_sizing(c: &mut Criterion) {
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let n = generators::array_multiplier(&lib, 6).expect("mult6");
+    let mut g = c.benchmark_group("sizing");
+    g.sample_size(10);
+    g.bench_function("tilos_mult6", |b| {
+        b.iter(|| black_box(tilos_size(&n, &lib, &TilosOptions::default())))
+    });
+    g.finish();
+}
+
+fn bench_pipelining(c: &mut Criterion) {
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let n = generators::array_multiplier(&lib, 8).expect("mult8");
+    let mut g = c.benchmark_group("pipelining");
+    g.sample_size(20);
+    for stages in [2usize, 5, 8] {
+        g.bench_with_input(BenchmarkId::new("mult8", stages), &stages, |b, &s| {
+            b.iter(|| black_box(pipeline_netlist(&n, &lib, s).expect("pipelines")))
+        });
+    }
+    g.finish();
+}
+
+fn bench_remap_flow(c: &mut Criterion) {
+    let tech = Technology::cmos025_asic();
+    let rich = LibrarySpec::rich().build(&tech);
+    let golden = generators::carry_lookahead_adder(&rich, 16).expect("cla16");
+    let mut g = c.benchmark_group("synthesis_flow");
+    g.sample_size(10);
+    g.bench_function("remap_cla16", |b| {
+        b.iter(|| {
+            black_box(
+                SynthFlow::default()
+                    .remap_from(&golden, &rich, &rich)
+                    .expect("remaps"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    use asicgap::process::{ChipPopulation, VariationComponents};
+    use asicgap::sizing::{lagrangian_size, sizes_from_cells, LagrangianOptions, SizedTiming};
+    use asicgap::sta::check_hold;
+    use asicgap::synth::map_dual_rail_domino;
+    use asicgap::tech::Um;
+    use asicgap::wire::{ClockTree, CtsQuality};
+
+    let tech = Technology::cmos025_asic();
+    let rich = LibrarySpec::rich().build(&tech);
+    let custom = LibrarySpec::custom().build(&Technology::cmos025_custom());
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+
+    g.bench_function("htree_asic_10mm", |b| {
+        b.iter(|| {
+            black_box(ClockTree::build(
+                &tech,
+                Um::from_mm(10.0),
+                CtsQuality::asic(),
+            ))
+        })
+    });
+
+    let piped = pipeline_netlist(
+        &generators::array_multiplier(&rich, 6).expect("mult6"),
+        &rich,
+        4,
+    )
+    .expect("pipelines")
+    .netlist;
+    let clock = ClockSpec::unconstrained();
+    g.bench_function("hold_check_mult6x4", |b| {
+        b.iter(|| black_box(check_hold(&piped, &rich, &clock, None)))
+    });
+
+    let crc = generators::crc_checker(&rich, 32, generators::CRC32_IEEE, 32).expect("crc32");
+    g.bench_function("sta_crc32", |b| {
+        b.iter(|| black_box(analyze(&crc, &rich, &clock, None).min_period))
+    });
+
+    let rca = generators::ripple_carry_adder(&rich, 8).expect("rca8");
+    let base = SizedTiming::evaluate(&rca, &rich, &sizes_from_cells(&rca, &rich));
+    g.bench_function("lagrangian_rca8", |b| {
+        b.iter(|| {
+            black_box(lagrangian_size(
+                &rca,
+                &rich,
+                base.critical_delay,
+                &LagrangianOptions::default(),
+            ))
+        })
+    });
+
+    let (aig, _) = netlist_to_aig(
+        &generators::ripple_carry_adder(&custom, 8).expect("rca8 custom"),
+        &custom,
+    );
+    g.bench_function("dual_rail_domino_rca8", |b| {
+        b.iter(|| black_box(map_dual_rail_domino(&aig, &custom, "bench").expect("maps")))
+    });
+
+    g.bench_function("population_50k", |b| {
+        b.iter(|| {
+            black_box(ChipPopulation::sample(
+                &VariationComponents::new_process(),
+                50_000,
+                7,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    engines,
+    bench_sta,
+    bench_mapping,
+    bench_placement,
+    bench_sizing,
+    bench_pipelining,
+    bench_remap_flow,
+    bench_extensions,
+);
+criterion_main!(engines);

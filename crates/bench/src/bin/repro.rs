@@ -1,0 +1,238 @@
+//! `repro`: regenerates every table and figure of the paper and prints
+//! paper-vs-measured rows. The output of this binary is the source of
+//! EXPERIMENTS.md.
+//!
+//! Run with: `cargo run --release -p asicgap-bench --bin repro`
+
+use asicgap::report::Table;
+use asicgap::GapFactor;
+use asicgap_bench as exp;
+
+fn main() {
+    println!("== asicgap repro: Chinnery & Keutzer, DAC 2000 ==\n");
+
+    // E1 -------------------------------------------------------------
+    let gap = exp::e1_chip_gap();
+    let mut t = Table::new(&["E1 (sec. 2)", "paper", "measured"]);
+    t.row_owned(vec![
+        "custom/ASIC frequency gap".into(),
+        "6x - 8x".into(),
+        format!("{:.1}x - {:.1}x", gap.min_ratio, gap.max_ratio),
+    ]);
+    t.row_owned(vec![
+        "equivalent process generations".into(),
+        "~5".into(),
+        format!("{:.1}", gap.process_generations),
+    ]);
+    println!("{t}");
+
+    // E2 -------------------------------------------------------------
+    let (measured_gap, measured) = exp::e2_measured();
+    let mut t = Table::new(&["E2 factor (sec. 3)", "paper max", "measured"]);
+    for f in GapFactor::ALL {
+        t.row_owned(vec![
+            f.label().into(),
+            format!("x{:.2}", f.paper_maximum()),
+            measured
+                .get(f)
+                .map_or("-".into(), |v| format!("x{v:.2}")),
+        ]);
+    }
+    t.row_owned(vec![
+        "combined (ideal)".into(),
+        "x17.8".into(),
+        format!("x{:.1}", measured.combined()),
+    ]);
+    t.row_owned(vec![
+        "end-to-end scenario gap (16b ALU)".into(),
+        "6x - 8x observed".into(),
+        format!("x{measured_gap:.1}"),
+    ]);
+    println!("{t}");
+
+    // E3 -------------------------------------------------------------
+    let mut t = Table::new(&["E3 chip (sec. 2/4)", "paper FO4/cycle", "rule-of-thumb FO4"]);
+    for (name, rule, quoted) in exp::e3_fo4_rows() {
+        t.row_owned(vec![
+            name,
+            quoted.map_or("-".into(), |q| format!("{q:.0}")),
+            format!("{rule:.1}"),
+        ]);
+    }
+    println!("{t}");
+
+    // E4 -------------------------------------------------------------
+    let (xtensa, ppc, netlist) = exp::e4_pipeline();
+    let mut t = Table::new(&["E4 pipelining (sec. 4)", "paper", "measured"]);
+    t.row_owned(vec![
+        "Xtensa 5 stages @30% overhead".into(),
+        "~3.8x".into(),
+        format!("{xtensa:.2}x"),
+    ]);
+    t.row_owned(vec![
+        "PowerPC 4 stages @20% overhead".into(),
+        "~3.4x".into(),
+        format!("{ppc:.2}x"),
+    ]);
+    t.row_owned(vec![
+        "8x8 multiplier netlist, 5 stages (STA)".into(),
+        "same class".into(),
+        format!("{netlist:.2}x"),
+    ]);
+    println!("{t}");
+
+    // E5 -------------------------------------------------------------
+    let (gain, asic_frac, custom_skew_ps) = exp::e5_skew();
+    let mut t = Table::new(&["E5 clock skew (sec. 4.1)", "paper", "measured"]);
+    t.row_owned(vec![
+        "ASIC H-tree skew fraction (10 mm die, 200 MHz)".into(),
+        "typically 10% or more".into(),
+        format!("{:.1}%", asic_frac * 100.0),
+    ]);
+    t.row_owned(vec![
+        "custom H-tree skew (15 mm Alpha-class die)".into(),
+        "75 ps".into(),
+        format!("{custom_skew_ps:.0} ps"),
+    ]);
+    t.row_owned(vec![
+        "custom (5%) over ASIC (10%) skew".into(),
+        "~10% (absolute-skew view)".into(),
+        format!("{:.1}% (fractional view)", (gain - 1.0) * 100.0),
+    ]);
+    println!("{t}");
+
+    // E6 -------------------------------------------------------------
+    let study = exp::e6_floorplan();
+    let mut t = Table::new(&["E6 floorplanning (sec. 5)", "paper", "measured"]);
+    t.row_owned(vec![
+        "localized vs spread-over-100mm^2 speedup".into(),
+        "up to 25%".into(),
+        format!("{:.0}%", (study.speedup() - 1.0) * 100.0),
+    ]);
+    t.row_owned(vec![
+        "repeater insertion gain on spread design".into(),
+        "(part of 'proper driving')".into(),
+        format!("{:.1}x", study.repeater_gain()),
+    ]);
+    println!("{t}");
+
+    // E7 -------------------------------------------------------------
+    let (tilos, snap_rich, snap_two) = exp::e7_sizing();
+    let mut t = Table::new(&["E7 sizing & libraries (sec. 6)", "paper", "measured"]);
+    t.row_owned(vec![
+        "TILOS-style sizing speedup".into(),
+        "20%+".into(),
+        format!("{:.0}%", (tilos - 1.0) * 100.0),
+    ]);
+    t.row_owned(vec![
+        "discrete-size penalty, rich menu".into(),
+        "2-7%".into(),
+        format!("{:.1}%", snap_rich * 100.0),
+    ]);
+    t.row_owned(vec![
+        "discrete-size penalty, two-drive menu".into(),
+        "up to ~25% (with polarity/buffers)".into(),
+        format!("{:.1}%", snap_two * 100.0),
+    ]);
+    println!("{t}");
+
+    // E8 -------------------------------------------------------------
+    let (cell_ratio, netlist_ratio) = exp::e8_domino();
+    let mut t = Table::new(&["E8 dynamic logic (sec. 7)", "paper", "measured"]);
+    t.row_owned(vec![
+        "domino vs static, cell level".into(),
+        "50%-100% faster".into(),
+        format!("{:.0}% faster", (cell_ratio - 1.0) * 100.0),
+    ]);
+    t.row_owned(vec![
+        "dual-rail-domino vs static, mapped 8b adder".into(),
+        "~50% sequential speedup implied".into(),
+        format!("{:.0}% faster", (netlist_ratio - 1.0) * 100.0),
+    ]);
+    println!("{t}");
+
+    // E9 -------------------------------------------------------------
+    let s = exp::e9_variation();
+    let mut t = Table::new(&["E9 process variation (sec. 8)", "paper", "measured"]);
+    t.row_owned(vec![
+        "typical silicon over worst-case quote".into(),
+        "60%-70%".into(),
+        format!("{:.0}%", (s.typical_over_worst_case - 1.0) * 100.0),
+    ]);
+    t.row_owned(vec![
+        "fastest bins over typical".into(),
+        "20%-40%".into(),
+        format!(
+            "{:.0}% (yield {:.1}%)",
+            (s.top_bin_over_typical - 1.0) * 100.0,
+            s.top_bin_yield * 100.0
+        ),
+    ]);
+    t.row_owned(vec![
+        "foundry-to-foundry spread".into(),
+        "20%-25%".into(),
+        format!("{:.0}%", (s.foundry_spread - 1.0) * 100.0),
+    ]);
+    t.row_owned(vec![
+        "speed-grading gain over worst case".into(),
+        "30%-40%".into(),
+        format!("{:.0}%", (s.grading_gain - 1.0) * 100.0),
+    ]);
+    t.row_owned(vec![
+        "custom access over ASIC (headline)".into(),
+        "~90%".into(),
+        format!("{:.0}%", (s.custom_access_over_asic - 1.0) * 100.0),
+    ]);
+    println!("{t}");
+
+    // E10 ------------------------------------------------------------
+    let (two, three) = exp::e10_residuals();
+    let mut t = Table::new(&["E10 residuals (sec. 9)", "paper", "measured"]);
+    t.row_owned(vec![
+        "after pipelining x variation".into(),
+        "~2-3x".into(),
+        format!("{two:.1}x"),
+    ]);
+    t.row_owned(vec![
+        "after adding dynamic logic".into(),
+        "~1.6x".into(),
+        format!("{three:.2}x"),
+    ]);
+    println!("{t}");
+
+    // Ablations --------------------------------------------------------
+    let (ff, borrowed, gain) = exp::e4_borrowing_ablation();
+    let mut t = Table::new(&["ablations", "value"]);
+    t.row_owned(vec![
+        "E4: 3-stage rca24, flip-flop cycle".into(),
+        format!("{ff:.0} ps"),
+    ]);
+    t.row_owned(vec![
+        "E4: same stages, two-phase latch borrowing".into(),
+        format!("{borrowed:.0} ps  ({gain:.2}x)"),
+    ]);
+    for (y, quote) in exp::e9_binning_sweep() {
+        t.row_owned(vec![
+            format!("E9: quote at {:.1}% guaranteed yield", y * 100.0),
+            format!("{quote:.3} of nominal"),
+        ]);
+    }
+    println!("{t}");
+
+    // Extensions ------------------------------------------------------
+    let (mig, process) = exp::ext_migration();
+    let mut t = Table::new(&["extensions", "paper", "measured"]);
+    t.row_owned(vec![
+        "sec. 8.3 migration 0.25um -> 0.18um Cu".into(),
+        "~1.5x per generation".into(),
+        format!("{mig:.2}x (process ratio {process:.2}x)"),
+    ]);
+    for row in asicgap::wire::wire_scaling_study() {
+        t.row_owned(vec![
+            format!("sec. 5 trend: 10 mm wire at {}", row.node),
+            "wires do not scale".into(),
+            format!("{:.1} FO4 ({:.0} ps)", row.wire_10mm_fo4, row.wire_10mm_ps),
+        ]);
+    }
+    println!("{t}");
+}

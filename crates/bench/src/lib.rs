@@ -1,0 +1,232 @@
+//! Shared experiment drivers for the `repro` binary and the Criterion
+//! benches. Each `eN_*` function computes one experiment of the index in
+//! DESIGN.md and returns its headline numbers, so the binary can print
+//! them and the benches can time them against the same code path.
+
+#![warn(missing_docs)]
+
+use asicgap::cells::LibrarySpec;
+use asicgap::chips;
+use asicgap::gap::FactorTable;
+use asicgap::netlist::generators;
+use asicgap::pipeline::{pipeline_netlist, PipelineModel};
+use asicgap::place::FloorplanStudy;
+use asicgap::process::VariationStudy;
+use asicgap::sizing::{snap_to_library, tilos_size, TilosOptions};
+use asicgap::sta::{analyze, ClockSpec};
+use asicgap::tech::{Fo4, Mhz, Technology};
+use asicgap::{domino_speed_ratio, run_scenario, DesignScenario, GapFactor};
+
+/// E1: the observed silicon gap.
+pub fn e1_chip_gap() -> chips::ObservedGap {
+    chips::observed_gap()
+}
+
+/// E2 (paper side): the factor table product.
+pub fn e2_paper_factors() -> f64 {
+    FactorTable::paper_maxima().combined()
+}
+
+/// E2 (measured side): end-to-end scenario gap and a measured factor
+/// table. Returns (gap, measured table).
+pub fn e2_measured() -> (f64, FactorTable) {
+    let asic = run_scenario(&DesignScenario::typical_asic(), |lib| {
+        generators::alu(lib, 16)
+    })
+    .expect("asic scenario");
+    let custom =
+        run_scenario(&DesignScenario::custom(), |lib| generators::alu(lib, 16)).expect("custom");
+    let gap = custom.shipped / asic.shipped;
+
+    let mut measured = FactorTable::new();
+    // Pipelining: measured on the multiplier netlist (5 stages).
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let mult = generators::array_multiplier(&lib, 8).expect("mult8");
+    let clock = ClockSpec::unconstrained();
+    let flat = analyze(&mult, &lib, &clock, None).min_period;
+    let piped = pipeline_netlist(&mult, &lib, 5).expect("pipe");
+    let fast = analyze(&piped.netlist, &lib, &clock, None).min_period;
+    measured.set(GapFactor::Microarchitecture, flat / fast);
+    // Floorplanning.
+    let alu = generators::alu(&lib, 32).expect("alu32");
+    measured.set(
+        GapFactor::Floorplanning,
+        FloorplanStudy::run(&alu, &lib, 4, 42).speedup().max(1.0),
+    );
+    // Sizing.
+    let sized = tilos_size(&mult, &lib, &TilosOptions::default());
+    measured.set(GapFactor::CircuitSizing, sized.speedup().max(1.0));
+    // Dynamic logic.
+    let custom_lib = LibrarySpec::custom().build(&Technology::cmos025_custom());
+    measured.set(GapFactor::DynamicLogic, domino_speed_ratio(&custom_lib));
+    // Process variation & access.
+    measured.set(
+        GapFactor::ProcessVariation,
+        VariationStudy::run(0xDAC2000).custom_access_over_asic,
+    );
+    (gap, measured)
+}
+
+/// E3: FO4-per-cycle rows for the published chips.
+pub fn e3_fo4_rows() -> Vec<(String, f64, Option<f64>)> {
+    chips::all_profiles()
+        .into_iter()
+        .map(|c| {
+            (
+                c.name.clone(),
+                c.fo4_per_cycle().count(),
+                c.quoted_fo4_per_cycle,
+            )
+        })
+        .collect()
+}
+
+/// E4: closed-form pipeline speedups (Xtensa, PowerPC) and the measured
+/// 5-stage multiplier speedup.
+pub fn e4_pipeline() -> (f64, f64, f64) {
+    let xtensa = PipelineModel::from_overhead_fraction(Fo4::new(154.0), 5, 0.30);
+    let ppc = PipelineModel::from_overhead_fraction(Fo4::new(41.6), 4, 0.20);
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let mult = generators::array_multiplier(&lib, 8).expect("mult8");
+    let clock = ClockSpec::unconstrained();
+    let flat = analyze(&mult, &lib, &clock, None).min_period;
+    let piped = pipeline_netlist(&mult, &lib, 5).expect("pipe");
+    let fast = analyze(&piped.netlist, &lib, &clock, None).min_period;
+    (
+        xtensa.speedup_vs_unpipelined(),
+        ppc.speedup_vs_unpipelined(),
+        flat / fast,
+    )
+}
+
+/// E5: clock-skew numbers, now derived from the H-tree model rather than
+/// assumed. Returns (speed gain from custom-quality skew, ASIC tree skew
+/// fraction at 200 MHz, custom tree skew in ps on an Alpha-class die).
+pub fn e5_skew() -> (f64, f64, f64) {
+    use asicgap::tech::Um;
+    use asicgap::wire::{ClockTree, CtsQuality};
+    let asic_tech = Technology::cmos025_asic();
+    let custom_tech = Technology::cmos025_custom();
+    let asic_tree = ClockTree::build(&asic_tech, Um::from_mm(10.0), CtsQuality::asic());
+    let custom_tree = ClockTree::build(&custom_tech, Um::from_mm(15.0), CtsQuality::custom());
+    let asic_fraction = asic_tree.skew_fraction(Mhz::new(200.0).period());
+    let gain = (1.0 / (1.0 - 0.10)) / (1.0 / (1.0 - 0.05));
+    let _ = ClockSpec::custom(Mhz::new(600.0));
+    (gain, asic_fraction, custom_tree.skew.value())
+}
+
+/// E6: the floorplanning study on a 32-bit ALU.
+pub fn e6_floorplan() -> FloorplanStudy {
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let alu = generators::alu(&lib, 32).expect("alu32");
+    FloorplanStudy::run(&alu, &lib, 4, 42)
+}
+
+/// E7: (tilos speedup, rich snap penalty, two-drive snap penalty).
+pub fn e7_sizing() -> (f64, f64, f64) {
+    let tech = Technology::cmos025_asic();
+    let rich = LibrarySpec::rich().build(&tech);
+    let two = LibrarySpec::two_drive().build(&tech);
+    let mult = generators::array_multiplier(&rich, 8).expect("mult8");
+    let sized = tilos_size(&mult, &rich, &TilosOptions::default());
+    let snap_rich = snap_to_library(&mult, &rich, &sized.sizes);
+    let mult2 = generators::array_multiplier(&two, 8).expect("mult8 two");
+    let sized2 = tilos_size(&mult2, &two, &TilosOptions::default());
+    let snap_two = snap_to_library(&mult2, &two, &sized2.sizes);
+    (sized.speedup(), snap_rich.penalty(), snap_two.penalty())
+}
+
+/// E8: domino/static speed ratios — (cell-level, mapped-netlist-level).
+/// The netlist-level figure comes from the dual-rail domino mapping flow
+/// (the §7.2 synthesis that never shipped commercially).
+pub fn e8_domino() -> (f64, f64) {
+    use asicgap::synth::{map_aig, map_dual_rail_domino, netlist_to_aig, MapOptions};
+    let custom = LibrarySpec::custom().build(&Technology::cmos025_custom());
+    let cell_ratio = domino_speed_ratio(&custom);
+
+    let golden = generators::ripple_carry_adder(&custom, 8).expect("rca8");
+    let (aig, _) = netlist_to_aig(&golden, &custom);
+    let statik = map_aig(&aig, &custom, &MapOptions::default()).expect("static map");
+    let domino = map_dual_rail_domino(&aig, &custom, "rca8_domino").expect("domino map");
+    let clock = ClockSpec::unconstrained();
+    let t_static = analyze(&statik, &custom, &clock, None).min_period;
+    let t_domino = analyze(&domino, &custom, &clock, None).min_period;
+    (cell_ratio, t_static / t_domino)
+}
+
+/// E9: the §8 variation study.
+pub fn e9_variation() -> VariationStudy {
+    VariationStudy::run(0xDAC2000)
+}
+
+/// E4 ablation: latch time borrowing on a real (integer-granularity,
+/// hence imbalanced) pipelined adder. Returns (ff cycle ps, borrowed
+/// cycle ps, speedup).
+pub fn e4_borrowing_ablation() -> (f64, f64, f64) {
+    use asicgap::pipeline::borrowing_gain;
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let rca = generators::ripple_carry_adder(&lib, 24).expect("rca24");
+    let piped = pipeline_netlist(&rca, &lib, 3).expect("pipelines");
+    let r = borrowing_gain(&piped.netlist, &lib);
+    (
+        r.flip_flop_cycle.value(),
+        r.borrowed_cycle.value(),
+        r.speedup(),
+    )
+}
+
+/// E9 ablation: what different quoting policies promise from the same
+/// silicon. Returns (guaranteed yield, quoted relative speed) rows.
+pub fn e9_binning_sweep() -> Vec<(f64, f64)> {
+    use asicgap::process::{BinningPolicy, ChipPopulation, VariationComponents};
+    let pop = ChipPopulation::sample(&VariationComponents::new_process(), 30_000, 0xB1);
+    [0.999, 0.99, 0.95, 0.80, 0.50, 0.10, 0.02]
+        .into_iter()
+        .map(|y| {
+            let policy = BinningPolicy {
+                guaranteed_yield: y,
+                guard_band: 1.02,
+            };
+            (y, policy.quote(&pop))
+        })
+        .collect()
+}
+
+/// Extension: §8.3 technology migration (0.25 µm ASIC → 0.18 µm copper).
+/// Returns (migration speedup, raw process FO4 ratio).
+pub fn ext_migration() -> (f64, f64) {
+    let tech025 = Technology::cmos025_asic();
+    let lib025 = LibrarySpec::rich().build(&tech025);
+    let design = generators::alu(&lib025, 16).expect("alu16");
+    let (_, report) = asicgap::migrate::migrate(
+        &design,
+        &lib025,
+        &LibrarySpec::rich(),
+        &Technology::cmos018_copper(),
+    )
+    .expect("migration succeeds");
+    (report.speedup, report.process_speedup)
+}
+
+/// E10: §9 residuals (two-factor, three-factor) at the 18× idealised gap.
+pub fn e10_residuals() -> (f64, f64) {
+    let t = FactorTable::paper_maxima();
+    (
+        t.residual(
+            18.0,
+            &[GapFactor::Microarchitecture, GapFactor::ProcessVariation],
+        ),
+        t.residual(
+            18.0,
+            &[
+                GapFactor::Microarchitecture,
+                GapFactor::ProcessVariation,
+                GapFactor::DynamicLogic,
+            ],
+        ),
+    )
+}

@@ -1,0 +1,375 @@
+//! Logic functions implementable as single library cells.
+
+use std::fmt;
+
+/// The boolean function computed by a library cell.
+///
+/// Fan-in-parameterised functions carry their input count (2–4; wider
+/// static CMOS stacks were not practical at 0.25 µm). Sequential elements
+/// ([`CellFunction::Dff`], [`CellFunction::Latch`]) are included so a
+/// netlist instance can reference them uniformly; their timing lives in
+/// [`crate::SeqTiming`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellFunction {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// N-input NAND (N in 2..=4).
+    Nand(u8),
+    /// N-input NOR (N in 2..=4).
+    Nor(u8),
+    /// N-input AND (N in 2..=4).
+    And(u8),
+    /// N-input OR (N in 2..=4).
+    Or(u8),
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 3-input XOR (full-adder sum macro).
+    Xor3,
+    /// 3-input majority (full-adder carry macro).
+    Maj3,
+    /// AND-OR-invert: !(a·b + c).
+    Aoi21,
+    /// AND-OR-invert: !(a·b + c·d).
+    Aoi22,
+    /// OR-AND-invert: !((a+b)·c).
+    Oai21,
+    /// OR-AND-invert: !((a+b)·(c+d)).
+    Oai22,
+    /// 2:1 multiplexer: s ? b : a (inputs ordered a, b, s).
+    Mux2,
+    /// Rising-edge D flip-flop (inputs: d; clock is implicit).
+    Dff,
+    /// Level-sensitive transparent latch (inputs: d; clock is implicit).
+    Latch,
+}
+
+impl CellFunction {
+    /// Number of data inputs (clock pins are implicit).
+    pub fn num_inputs(self) -> usize {
+        match self {
+            CellFunction::Inv | CellFunction::Buf => 1,
+            CellFunction::Nand(n)
+            | CellFunction::Nor(n)
+            | CellFunction::And(n)
+            | CellFunction::Or(n) => n as usize,
+            CellFunction::Xor2 | CellFunction::Xnor2 => 2,
+            CellFunction::Xor3 | CellFunction::Maj3 => 3,
+            CellFunction::Aoi21 | CellFunction::Oai21 | CellFunction::Mux2 => 3,
+            CellFunction::Aoi22 | CellFunction::Oai22 => 4,
+            CellFunction::Dff | CellFunction::Latch => 1,
+        }
+    }
+
+    /// `true` for flip-flops and latches.
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellFunction::Dff | CellFunction::Latch)
+    }
+
+    /// `true` if the cell's output is an inverting function of its inputs
+    /// (single-stage static CMOS gates are always inverting).
+    pub fn is_inverting(self) -> bool {
+        matches!(
+            self,
+            CellFunction::Inv
+                | CellFunction::Nand(_)
+                | CellFunction::Nor(_)
+                | CellFunction::Xnor2
+                | CellFunction::Aoi21
+                | CellFunction::Aoi22
+                | CellFunction::Oai21
+                | CellFunction::Oai22
+        )
+    }
+
+    /// `true` if the function is monotonically non-decreasing in every
+    /// input — the class implementable in (unfooted) domino logic.
+    pub fn is_monotone(self) -> bool {
+        matches!(
+            self,
+            CellFunction::Buf
+                | CellFunction::And(_)
+                | CellFunction::Or(_)
+                | CellFunction::Maj3
+        )
+    }
+
+    /// Logical effort `g` of the worst input, static CMOS implementation.
+    ///
+    /// Standard Sutherland/Sproull values for single-stage gates. Functions
+    /// that require two internal stages (AND/OR, XOR, MUX, majority) use an
+    /// effective single-number summary of the input-cap-to-inverter ratio;
+    /// their extra internal stage shows up in the parasitic term instead.
+    pub fn logical_effort(self) -> f64 {
+        match self {
+            CellFunction::Inv => 1.0,
+            // A buffer's first stage is a small inverter; its drive comes
+            // from the second. Effective input effort is low.
+            CellFunction::Buf => 1.0 / 3.0,
+            CellFunction::Nand(n) => (n as f64 + 2.0) / 3.0,
+            CellFunction::Nor(n) => (2.0 * n as f64 + 1.0) / 3.0,
+            // AND/OR = NAND/NOR + output inverter; the inverter stage is
+            // sized to the cell drive, the input sees the NAND/NOR stage
+            // scaled down by the internal gain (~2).
+            CellFunction::And(n) => (n as f64 + 2.0) / 6.0,
+            CellFunction::Or(n) => (2.0 * n as f64 + 1.0) / 6.0,
+            CellFunction::Xor2 | CellFunction::Xnor2 => 4.0,
+            CellFunction::Xor3 => 6.0,
+            CellFunction::Maj3 => 2.0,
+            CellFunction::Aoi21 => 2.0,
+            CellFunction::Aoi22 => 7.0 / 3.0,
+            CellFunction::Oai21 => 2.0,
+            CellFunction::Oai22 => 7.0 / 3.0,
+            CellFunction::Mux2 => 2.0,
+            CellFunction::Dff | CellFunction::Latch => 1.0,
+        }
+    }
+
+    /// Parasitic delay `p` in units of τ, static CMOS implementation.
+    pub fn parasitic(self) -> f64 {
+        match self {
+            CellFunction::Inv => 1.0,
+            CellFunction::Buf => 2.0,
+            CellFunction::Nand(n) | CellFunction::Nor(n) => n as f64,
+            // Two-stage cells pay the inner-stage delay as extra parasitic.
+            CellFunction::And(n) | CellFunction::Or(n) => n as f64 + 1.5,
+            CellFunction::Xor2 | CellFunction::Xnor2 => 4.0,
+            CellFunction::Xor3 => 6.0,
+            CellFunction::Maj3 => 3.5,
+            CellFunction::Aoi21 | CellFunction::Oai21 => 2.3,
+            CellFunction::Aoi22 | CellFunction::Oai22 => 3.0,
+            CellFunction::Mux2 => 2.5,
+            CellFunction::Dff | CellFunction::Latch => 2.0,
+        }
+    }
+
+    /// Transistor count of a typical static CMOS implementation (for area).
+    pub fn transistor_count(self) -> usize {
+        match self {
+            CellFunction::Inv => 2,
+            CellFunction::Buf => 4,
+            CellFunction::Nand(n) | CellFunction::Nor(n) => 2 * n as usize,
+            CellFunction::And(n) | CellFunction::Or(n) => 2 * n as usize + 2,
+            CellFunction::Xor2 | CellFunction::Xnor2 => 10,
+            CellFunction::Xor3 => 16,
+            CellFunction::Maj3 => 10,
+            CellFunction::Aoi21 | CellFunction::Oai21 => 6,
+            CellFunction::Aoi22 | CellFunction::Oai22 => 8,
+            CellFunction::Mux2 => 10,
+            CellFunction::Dff => 24,
+            CellFunction::Latch => 12,
+        }
+    }
+
+    /// Evaluates the function on concrete inputs.
+    ///
+    /// For [`CellFunction::Dff`] and [`CellFunction::Latch`] this is the
+    /// transparent behaviour (output = D); clocked behaviour belongs to the
+    /// simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.num_inputs()`.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.num_inputs(),
+            "{self}: expected {} inputs, got {}",
+            self.num_inputs(),
+            inputs.len()
+        );
+        match self {
+            CellFunction::Inv => !inputs[0],
+            CellFunction::Buf => inputs[0],
+            CellFunction::Nand(_) => !inputs.iter().all(|&b| b),
+            CellFunction::Nor(_) => !inputs.iter().any(|&b| b),
+            CellFunction::And(_) => inputs.iter().all(|&b| b),
+            CellFunction::Or(_) => inputs.iter().any(|&b| b),
+            CellFunction::Xor2 => inputs[0] ^ inputs[1],
+            CellFunction::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellFunction::Xor3 => inputs[0] ^ inputs[1] ^ inputs[2],
+            CellFunction::Maj3 => {
+                #[allow(clippy::nonminimal_bool)] // written as the textbook majority form
+                {
+                    (inputs[0] && inputs[1])
+                        || (inputs[1] && inputs[2])
+                        || (inputs[0] && inputs[2])
+                }
+            }
+            CellFunction::Aoi21 => !((inputs[0] && inputs[1]) || inputs[2]),
+            CellFunction::Aoi22 => !((inputs[0] && inputs[1]) || (inputs[2] && inputs[3])),
+            CellFunction::Oai21 => !((inputs[0] || inputs[1]) && inputs[2]),
+            CellFunction::Oai22 => !((inputs[0] || inputs[1]) && (inputs[2] || inputs[3])),
+            CellFunction::Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+            CellFunction::Dff | CellFunction::Latch => inputs[0],
+        }
+    }
+
+    /// Canonical lowercase name used in cell names, e.g. `nand2`.
+    pub fn base_name(self) -> String {
+        match self {
+            CellFunction::Inv => "inv".to_string(),
+            CellFunction::Buf => "buf".to_string(),
+            CellFunction::Nand(n) => format!("nand{n}"),
+            CellFunction::Nor(n) => format!("nor{n}"),
+            CellFunction::And(n) => format!("and{n}"),
+            CellFunction::Or(n) => format!("or{n}"),
+            CellFunction::Xor2 => "xor2".to_string(),
+            CellFunction::Xnor2 => "xnor2".to_string(),
+            CellFunction::Xor3 => "xor3".to_string(),
+            CellFunction::Maj3 => "maj3".to_string(),
+            CellFunction::Aoi21 => "aoi21".to_string(),
+            CellFunction::Aoi22 => "aoi22".to_string(),
+            CellFunction::Oai21 => "oai21".to_string(),
+            CellFunction::Oai22 => "oai22".to_string(),
+            CellFunction::Mux2 => "mux2".to_string(),
+            CellFunction::Dff => "dff".to_string(),
+            CellFunction::Latch => "latch".to_string(),
+        }
+    }
+
+    /// The dual-polarity partner, if this function has one in a standard
+    /// library (e.g. NAND2 ↔ AND2). Used by the §6 dual-polarity experiment.
+    pub fn opposite_polarity(self) -> Option<CellFunction> {
+        match self {
+            CellFunction::Nand(n) => Some(CellFunction::And(n)),
+            CellFunction::And(n) => Some(CellFunction::Nand(n)),
+            CellFunction::Nor(n) => Some(CellFunction::Or(n)),
+            CellFunction::Or(n) => Some(CellFunction::Nor(n)),
+            CellFunction::Xor2 => Some(CellFunction::Xnor2),
+            CellFunction::Xnor2 => Some(CellFunction::Xor2),
+            CellFunction::Inv => Some(CellFunction::Buf),
+            CellFunction::Buf => Some(CellFunction::Inv),
+            _ => None,
+        }
+    }
+
+    /// All combinational functions up to `max_fanin`, complex gates included
+    /// when `complex` is set. Used by library generators.
+    pub fn combinational_set(max_fanin: u8, complex: bool) -> Vec<CellFunction> {
+        let mut set = vec![CellFunction::Inv, CellFunction::Buf];
+        for n in 2..=max_fanin.min(4) {
+            set.push(CellFunction::Nand(n));
+            set.push(CellFunction::Nor(n));
+            set.push(CellFunction::And(n));
+            set.push(CellFunction::Or(n));
+        }
+        set.push(CellFunction::Xor2);
+        set.push(CellFunction::Xnor2);
+        if complex {
+            set.extend([
+                CellFunction::Xor3,
+                CellFunction::Maj3,
+                CellFunction::Aoi21,
+                CellFunction::Aoi22,
+                CellFunction::Oai21,
+                CellFunction::Oai22,
+                CellFunction::Mux2,
+            ]);
+        }
+        set
+    }
+}
+
+impl fmt::Display for CellFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_counts() {
+        assert_eq!(CellFunction::Inv.num_inputs(), 1);
+        assert_eq!(CellFunction::Nand(3).num_inputs(), 3);
+        assert_eq!(CellFunction::Aoi22.num_inputs(), 4);
+        assert_eq!(CellFunction::Mux2.num_inputs(), 3);
+    }
+
+    #[test]
+    fn nand_effort_follows_sutherland() {
+        assert!((CellFunction::Nand(2).logical_effort() - 4.0 / 3.0).abs() < 1e-12);
+        assert!((CellFunction::Nor(2).logical_effort() - 5.0 / 3.0).abs() < 1e-12);
+        // NOR is worse than NAND at equal fan-in (PMOS stack).
+        for n in 2..=4u8 {
+            assert!(
+                CellFunction::Nor(n).logical_effort() > CellFunction::Nand(n).logical_effort()
+            );
+        }
+    }
+
+    #[test]
+    fn eval_truth_tables() {
+        use CellFunction::*;
+        assert!(Nand(2).eval(&[true, false]));
+        assert!(!Nand(2).eval(&[true, true]));
+        assert!(!Nor(2).eval(&[true, false]));
+        assert!(Xor3.eval(&[true, true, true]));
+        assert!(Maj3.eval(&[true, true, false]));
+        assert!(!Maj3.eval(&[true, false, false]));
+        assert!(!Aoi21.eval(&[true, true, false]));
+        assert!(Aoi21.eval(&[true, false, false]));
+        assert!(!Oai22.eval(&[true, false, false, true]));
+        assert!(Mux2.eval(&[false, true, true]));
+        assert!(!Mux2.eval(&[false, true, false]));
+    }
+
+    #[test]
+    fn aoi_eval_is_complement_of_and_or() {
+        for bits in 0..16u32 {
+            let v: Vec<bool> = (0..4).map(|i| bits & (1 << i) != 0).collect();
+            let aoi = CellFunction::Aoi22.eval(&v);
+            let ao = (v[0] && v[1]) || (v[2] && v[3]);
+            assert_eq!(aoi, !ao);
+        }
+    }
+
+    #[test]
+    fn inverting_and_monotone_classes_disjoint_where_expected() {
+        // Monotone functions are exactly the domino-implementable ones and
+        // are never single-stage inverting gates.
+        for f in CellFunction::combinational_set(4, true) {
+            if f.is_monotone() {
+                assert!(!f.is_inverting(), "{f} cannot be both monotone and inverting");
+            }
+        }
+    }
+
+    #[test]
+    fn polarity_pairs_are_involutions() {
+        for f in CellFunction::combinational_set(4, true) {
+            if let Some(op) = f.opposite_polarity() {
+                assert_eq!(op.opposite_polarity(), Some(f));
+                assert_eq!(op.num_inputs(), f.num_inputs());
+            }
+        }
+    }
+
+    #[test]
+    fn combinational_set_sizes() {
+        let minimal = CellFunction::combinational_set(2, false);
+        let full = CellFunction::combinational_set(4, true);
+        assert!(minimal.len() < full.len());
+        assert!(minimal.contains(&CellFunction::Nand(2)));
+        assert!(!minimal.contains(&CellFunction::Aoi21));
+        assert!(full.contains(&CellFunction::Mux2));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 inputs")]
+    fn eval_wrong_arity_panics() {
+        CellFunction::Nand(2).eval(&[true]);
+    }
+}

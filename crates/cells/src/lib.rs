@@ -1,0 +1,59 @@
+//! Standard-cell library models for the `asicgap` workspace.
+//!
+//! Section 6 of Chinnery & Keutzer (DAC 2000) attributes part of the
+//! ASIC-custom gap to the **library**: "Any current ASIC methodology
+//! requires cell selection from a fixed library, where transistor sizes and
+//! drive strengths are determined by the choices in the library". The
+//! quality of that fixed menu — how many drive strengths, whether both
+//! polarities of each function exist, whether complex gates are available,
+//! whether there is a domino family — is exactly what this crate makes
+//! explicit and parameterisable.
+//!
+//! The delay model is the **logical effort** model (Sutherland/Sproull),
+//! the same posynomial model TILOS-style sizers assume:
+//!
+//! ```text
+//! delay = τ · p  +  τ · C_load / (x · C_unit)
+//! ```
+//!
+//! where τ = FO4/5 is the technology time constant, `p` is the parasitic
+//! delay of the cell's function, `x` its drive strength (in multiples of
+//! the unit inverter), and the input capacitance presented by the cell is
+//! `g · x · C_unit` with `g` the logical effort of the function.
+//!
+//! # Example
+//!
+//! ```
+//! use asicgap_tech::Technology;
+//! use asicgap_cells::{CellFunction, Library, LibrarySpec};
+//!
+//! let tech = Technology::cmos025_asic();
+//! let lib: Library = LibrarySpec::rich().build(&tech);
+//!
+//! // An FO4-loaded 1x inverter must take one FO4 delay by construction.
+//! let inv = lib.smallest(CellFunction::Inv).expect("rich library has inverters");
+//! let cell = lib.cell(inv);
+//! let load = cell.input_cap * 4.0;
+//! let d = cell.delay(&tech, load);
+//! assert!((d / tech.fo4() - 1.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod cell;
+mod family;
+mod function;
+pub mod liberty;
+mod library;
+mod seq;
+mod stats;
+mod synthetic;
+
+pub use cell::{CellKind, LibCell};
+pub use family::LogicFamily;
+pub use function::CellFunction;
+pub use library::{CellId, Library, LibraryBuilder, LibraryError};
+pub use seq::SeqTiming;
+pub use stats::LibraryStats;
+pub use synthetic::{LibrarySpec, SeqStyle};

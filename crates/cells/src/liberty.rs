@@ -1,0 +1,144 @@
+//! Liberty-format (`.lib`) export.
+//!
+//! The `.lib` file is how a 2000-era library reached the tools — and §8.2's
+//! point that "the design rules for an ASIC process must be fixed for
+//! standard cell library design" is literally about this file being
+//! frozen. The exporter emits the linear-delay subset (intrinsic +
+//! resistance·load), which is exactly our logical-effort model:
+//!
+//! ```text
+//! delay = τ·p + (τ / (x·C_unit)) · C_load
+//! ```
+
+use std::fmt::Write as _;
+
+use asicgap_tech::Technology;
+
+use crate::cell::CellKind;
+use crate::library::Library;
+
+/// Serialises `lib` as a Liberty (`.lib`) file using the linear delay
+/// model. Time unit ns, capacitance unit pF (Liberty conventions).
+pub fn to_liberty(lib: &Library) -> String {
+    let tech: &Technology = &lib.tech;
+    let tau_ns = tech.tau().as_ns();
+    let mut out = String::new();
+    let _ = writeln!(out, "library ({}) {{", sanitize(&lib.name));
+    let _ = writeln!(out, "  technology (cmos);");
+    let _ = writeln!(out, "  delay_model : generic_cmos;");
+    let _ = writeln!(out, "  time_unit : \"1ns\";");
+    let _ = writeln!(out, "  capacitive_load_unit (1, pf);");
+    let _ = writeln!(out, "  voltage_unit : \"1V\";");
+    let _ = writeln!(out, "  nom_voltage : {:.2};", tech.supply.value());
+    let _ = writeln!(out, "  /* FO4 = {:.1} ps, tau = {:.1} ps */", tech.fo4().as_ps(), tech.tau().as_ps());
+
+    for (_, cell) in lib.iter() {
+        let _ = writeln!(out, "  cell ({}) {{", sanitize(&cell.name));
+        let _ = writeln!(out, "    area : {:.2};", cell.area_um2);
+        if let CellKind::FlipFlop(t) | CellKind::TransparentLatch(t) = &cell.kind {
+            let kind = if matches!(cell.kind, CellKind::FlipFlop(_)) {
+                "ff"
+            } else {
+                "latch"
+            };
+            let _ = writeln!(out, "    {kind} (IQ) {{ clocked_on : \"CK\"; next_state : \"i0\"; }}");
+            let _ = writeln!(
+                out,
+                "    /* setup {:.3} ns, hold {:.3} ns, clk->q {:.3} ns */",
+                t.setup.as_ns(),
+                t.hold.as_ns(),
+                t.clk_to_q.as_ns()
+            );
+        }
+        // Input pins.
+        let cap_pf = cell.input_cap.value() / 1000.0;
+        for k in 0..cell.function.num_inputs() {
+            let _ = writeln!(out, "    pin (i{k}) {{");
+            let _ = writeln!(out, "      direction : input;");
+            let _ = writeln!(out, "      capacitance : {cap_pf:.5};");
+            let _ = writeln!(out, "    }}");
+        }
+        // Output pin with the linear timing arc.
+        let intrinsic_ns = tau_ns * cell.parasitic;
+        // Resistance in ns/pF: tau / (x * Cu)  [ps/fF == ns/pF].
+        let resistance = tech.tau().value() / (tech.unit_inverter_cin.value() * cell.drive);
+        let _ = writeln!(out, "    pin (o) {{");
+        let _ = writeln!(out, "      direction : output;");
+        let _ = writeln!(out, "      timing () {{");
+        for k in 0..cell.function.num_inputs() {
+            let _ = writeln!(out, "        related_pin : \"i{k}\";");
+        }
+        let _ = writeln!(out, "        intrinsic_rise : {intrinsic_ns:.5};");
+        let _ = writeln!(out, "        intrinsic_fall : {intrinsic_ns:.5};");
+        let _ = writeln!(out, "        rise_resistance : {resistance:.5};");
+        let _ = writeln!(out, "        fall_resistance : {resistance:.5};");
+        let _ = writeln!(out, "      }}");
+        let _ = writeln!(out, "    }}");
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Liberty identifiers cannot contain dots; drive suffixes like `x0.5`
+/// become `x0_5`.
+fn sanitize(name: &str) -> String {
+    name.replace('.', "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::LibrarySpec;
+
+    #[test]
+    fn liberty_contains_every_cell_with_consistent_numbers() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let text = to_liberty(&lib);
+        assert!(text.starts_with("library (rich-asic)"));
+        for (_, cell) in lib.iter() {
+            assert!(
+                text.contains(&format!("cell ({})", sanitize(&cell.name))),
+                "{} missing",
+                cell.name
+            );
+        }
+        // Spot-check one arc: the x1 inverter's resistance is tau/Cu.
+        let r = tech.tau().value() / tech.unit_inverter_cin.value();
+        assert!(text.contains(&format!("rise_resistance : {r:.5}")));
+        // Sequential cells carry ff groups.
+        assert!(text.contains("ff (IQ)"));
+        assert!(text.contains("latch (IQ)"));
+    }
+
+    #[test]
+    fn no_dots_in_identifiers() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let text = to_liberty(&lib);
+        for line in text.lines() {
+            if let Some(rest) = line.trim().strip_prefix("cell (") {
+                let name = rest.split(')').next().expect("closing paren");
+                assert!(!name.contains('.'), "identifier {name} has a dot");
+            }
+        }
+    }
+
+    #[test]
+    fn delay_model_round_trips_through_the_arc() {
+        // intrinsic + resistance * load must equal LibCell::delay.
+        use asicgap_tech::Ff;
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let (_, cell) = lib
+            .cell_by_name("nand2_x2")
+            .expect("rich library has nand2_x2");
+        let load = Ff::new(25.0);
+        let intrinsic = tech.tau() * cell.parasitic;
+        let resistance = tech.tau().value() / (tech.unit_inverter_cin.value() * cell.drive);
+        let arc = intrinsic + asicgap_tech::Ps::new(resistance * load.value());
+        let model = cell.delay(&tech, load);
+        assert!((arc - model).abs().value() < 1e-9);
+    }
+}

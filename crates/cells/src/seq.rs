@@ -1,0 +1,136 @@
+//! Sequential-element timing: flip-flops and latches.
+//!
+//! Section 4.1 of the paper: "Registers and latches in ASICs have additional
+//! overheads as they have to be more tolerant to clock skew, and require a
+//! far larger absolute segment of the clock cycle, whereas custom designs
+//! can include some logic within the latch to reduce the overhead. At high
+//! speeds in custom designs, latches still take a significant component of
+//! the cycle time, 15% in the Alpha 21264 processor."
+
+use asicgap_tech::{Ps, Technology};
+
+/// Setup / hold / clock-to-Q triple for a flip-flop, or D-to-Q and
+/// transparency window for a latch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeqTiming {
+    /// Data must be stable this long before the capturing edge.
+    pub setup: Ps,
+    /// Data must be stable this long after the capturing edge.
+    pub hold: Ps,
+    /// Delay from capturing clock edge (or from D, for a transparent
+    /// latch) to Q stable.
+    pub clk_to_q: Ps,
+}
+
+impl SeqTiming {
+    /// Creates explicit sequential timing.
+    pub fn new(setup: Ps, hold: Ps, clk_to_q: Ps) -> SeqTiming {
+        SeqTiming {
+            setup,
+            hold,
+            clk_to_q,
+        }
+    }
+
+    /// ASIC-library flip-flop: guard-banded to tolerate 10%-class skew and
+    /// all corners. Total sequencing overhead ≈ 5.5 FO4 — which, with the
+    /// skew budget, yields the paper's "about 30%" pipelining overhead on a
+    /// ~22 FO4 pipeline stage.
+    pub fn asic_dff(tech: &Technology) -> SeqTiming {
+        SeqTiming {
+            setup: tech.fo4_to_ps(2.0),
+            hold: tech.fo4_to_ps(1.0),
+            clk_to_q: tech.fo4_to_ps(3.5),
+        }
+    }
+
+    /// Custom flip-flop: hand-designed, logic foldable into the element.
+    /// Total sequencing overhead ≈ 2 FO4 (the Alpha's latches take 15% of a
+    /// 15 FO4 cycle ≈ 2.3 FO4).
+    pub fn custom_dff(tech: &Technology) -> SeqTiming {
+        SeqTiming {
+            setup: tech.fo4_to_ps(0.7),
+            hold: tech.fo4_to_ps(0.3),
+            clk_to_q: tech.fo4_to_ps(1.3),
+        }
+    }
+
+    /// ASIC-library transparent latch (available "in some ASIC libraries",
+    /// §4.1, though tools rarely exploit them).
+    pub fn asic_latch(tech: &Technology) -> SeqTiming {
+        SeqTiming {
+            setup: tech.fo4_to_ps(1.5),
+            hold: tech.fo4_to_ps(1.0),
+            clk_to_q: tech.fo4_to_ps(2.5),
+        }
+    }
+
+    /// Custom transparent latch used in multi-phase skew-tolerant designs.
+    pub fn custom_latch(tech: &Technology) -> SeqTiming {
+        SeqTiming {
+            setup: tech.fo4_to_ps(0.5),
+            hold: tech.fo4_to_ps(0.3),
+            clk_to_q: tech.fo4_to_ps(1.0),
+        }
+    }
+
+    /// Total sequencing overhead a flip-flop charges a pipeline stage:
+    /// clk→Q of the launching element plus setup of the capturing one.
+    pub fn cycle_overhead(&self) -> Ps {
+        self.clk_to_q + self.setup
+    }
+
+    /// Scales all components by `factor` (used for guard-band sweeps).
+    pub fn scaled(&self, factor: f64) -> SeqTiming {
+        SeqTiming {
+            setup: self.setup * factor,
+            hold: self.hold * factor,
+            clk_to_q: self.clk_to_q * factor,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asic_ff_overhead_larger_than_custom() {
+        let tech = Technology::cmos025_asic();
+        let asic = SeqTiming::asic_dff(&tech);
+        let custom = SeqTiming::custom_dff(&tech);
+        assert!(asic.cycle_overhead() > custom.cycle_overhead() * 2.0);
+    }
+
+    #[test]
+    fn custom_ff_overhead_matches_alpha_15_percent() {
+        // Alpha: latches take 15% of a 15 FO4 cycle = 2.25 FO4.
+        let tech = Technology::cmos025_custom();
+        let custom = SeqTiming::custom_dff(&tech);
+        let fo4s = custom.cycle_overhead() / tech.fo4();
+        assert!((1.7..=2.5).contains(&fo4s), "custom FF overhead {fo4s} FO4");
+    }
+
+    #[test]
+    fn latch_cheaper_than_ff_in_both_styles() {
+        let tech = Technology::cmos025_asic();
+        assert!(
+            SeqTiming::asic_latch(&tech).cycle_overhead()
+                < SeqTiming::asic_dff(&tech).cycle_overhead()
+        );
+        assert!(
+            SeqTiming::custom_latch(&tech).cycle_overhead()
+                < SeqTiming::custom_dff(&tech).cycle_overhead()
+        );
+    }
+
+    #[test]
+    fn scaling_scales_all_fields() {
+        let tech = Technology::cmos025_asic();
+        let t = SeqTiming::asic_dff(&tech).scaled(2.0);
+        let base = SeqTiming::asic_dff(&tech);
+        assert!((t.setup / base.setup - 2.0).abs() < 1e-12);
+        assert!((t.hold / base.hold - 2.0).abs() < 1e-12);
+        assert!((t.clk_to_q / base.clk_to_q - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,68 @@
+//! Top-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use asicgap_netlist::NetlistError;
+use asicgap_synth::SynthError;
+
+/// Errors from end-to-end scenario runs.
+#[derive(Debug)]
+pub enum GapError {
+    /// Netlist construction/transformation failed.
+    Netlist(NetlistError),
+    /// Synthesis failed.
+    Synth(SynthError),
+    /// A scenario was internally inconsistent.
+    Scenario {
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for GapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GapError::Netlist(e) => write!(f, "netlist error: {e}"),
+            GapError::Synth(e) => write!(f, "synthesis error: {e}"),
+            GapError::Scenario { what } => write!(f, "invalid scenario: {what}"),
+        }
+    }
+}
+
+impl Error for GapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GapError::Netlist(e) => Some(e),
+            GapError::Synth(e) => Some(e),
+            GapError::Scenario { .. } => None,
+        }
+    }
+}
+
+impl From<NetlistError> for GapError {
+    fn from(e: NetlistError) -> GapError {
+        GapError::Netlist(e)
+    }
+}
+
+impl From<SynthError> for GapError {
+    fn from(e: SynthError) -> GapError {
+        GapError::Synth(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: GapError = NetlistError::MissingCell {
+            what: "inv".to_string(),
+        }
+        .into();
+        assert!(e.to_string().contains("netlist error"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,92 @@
+//! The five gap factors of §3.
+
+use std::fmt;
+
+/// One of the paper's five contributors to the ASIC-custom speed gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GapFactor {
+    /// §4: "architecture and logic design: heavy pipelining / few logic
+    /// levels between registers".
+    Microarchitecture,
+    /// §5: "good floorplanning and placement".
+    Floorplanning,
+    /// §6: "clever sizing of transistors and wires for speed and good
+    /// circuit design".
+    CircuitSizing,
+    /// §7: "use of dynamic logic on critical paths, instead of static
+    /// CMOS logic".
+    DynamicLogic,
+    /// §8: "process variation and accessibility".
+    ProcessVariation,
+}
+
+impl GapFactor {
+    /// All five factors, in the paper's §3 order.
+    pub const ALL: [GapFactor; 5] = [
+        GapFactor::Microarchitecture,
+        GapFactor::Floorplanning,
+        GapFactor::CircuitSizing,
+        GapFactor::DynamicLogic,
+        GapFactor::ProcessVariation,
+    ];
+
+    /// The paper's stated maximum contribution of this factor.
+    pub fn paper_maximum(self) -> f64 {
+        match self {
+            GapFactor::Microarchitecture => 4.00,
+            GapFactor::Floorplanning => 1.25,
+            GapFactor::CircuitSizing => 1.25,
+            GapFactor::DynamicLogic => 1.50,
+            GapFactor::ProcessVariation => 1.90,
+        }
+    }
+
+    /// The paper section that analyses this factor.
+    pub fn section(self) -> &'static str {
+        match self {
+            GapFactor::Microarchitecture => "4",
+            GapFactor::Floorplanning => "5",
+            GapFactor::CircuitSizing => "6",
+            GapFactor::DynamicLogic => "7",
+            GapFactor::ProcessVariation => "8",
+        }
+    }
+
+    /// Short human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            GapFactor::Microarchitecture => "pipelining / logic levels",
+            GapFactor::Floorplanning => "floorplanning & placement",
+            GapFactor::CircuitSizing => "transistor & wire sizing",
+            GapFactor::DynamicLogic => "dynamic logic",
+            GapFactor::ProcessVariation => "process variation & access",
+        }
+    }
+}
+
+impl fmt::Display for GapFactor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxima_match_the_paper_table() {
+        let product: f64 = GapFactor::ALL.iter().map(|f| f.paper_maximum()).product();
+        // 4.00 * 1.25 * 1.25 * 1.50 * 1.90 = 17.8125
+        assert!((product - 17.8125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sections_and_labels_are_distinct() {
+        use std::collections::HashSet;
+        let sections: HashSet<_> = GapFactor::ALL.iter().map(|f| f.section()).collect();
+        let labels: HashSet<_> = GapFactor::ALL.iter().map(|f| f.label()).collect();
+        assert_eq!(sections.len(), 5);
+        assert_eq!(labels.len(), 5);
+    }
+}

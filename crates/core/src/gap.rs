@@ -1,0 +1,153 @@
+//! The factor table and the §9 residual arithmetic.
+
+use std::fmt;
+
+use crate::factors::GapFactor;
+
+/// A set of (factor, multiplier) rows — the paper's §3 table, or a
+/// measured counterpart produced by the experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FactorTable {
+    entries: Vec<(GapFactor, f64)>,
+}
+
+impl FactorTable {
+    /// An empty table.
+    pub fn new() -> FactorTable {
+        FactorTable {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The paper's stated maxima (§3).
+    pub fn paper_maxima() -> FactorTable {
+        FactorTable {
+            entries: GapFactor::ALL
+                .iter()
+                .map(|&f| (f, f.paper_maximum()))
+                .collect(),
+        }
+    }
+
+    /// Adds or replaces one factor's multiplier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value < 1.0` — a gap factor is a speed ratio ≥ 1.
+    pub fn set(&mut self, factor: GapFactor, value: f64) {
+        assert!(value >= 1.0, "gap factor {factor} must be >= 1, got {value}");
+        match self.entries.iter_mut().find(|(f, _)| *f == factor) {
+            Some((_, v)) => *v = value,
+            None => self.entries.push((factor, value)),
+        }
+    }
+
+    /// The multiplier recorded for `factor`, if any.
+    pub fn get(&self, factor: GapFactor) -> Option<f64> {
+        self.entries
+            .iter()
+            .find(|(f, _)| *f == factor)
+            .map(|&(_, v)| v)
+    }
+
+    /// Rows in insertion order.
+    pub fn entries(&self) -> &[(GapFactor, f64)] {
+        &self.entries
+    }
+
+    /// Product of all multipliers — the idealised total gap.
+    pub fn combined(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v).product()
+    }
+
+    /// §9 residual analysis: how much of `observed_gap` the listed
+    /// `factors` leave unexplained.
+    ///
+    /// The paper: "the two most significant factors are pipelining and
+    /// process variation. It appears to us that these two factors alone
+    /// account for all except a factor of about 2 to 3×. The use of
+    /// dynamic-logic families … accounts for all but a factor of about
+    /// 1.6×."
+    pub fn residual(&self, observed_gap: f64, factors: &[GapFactor]) -> f64 {
+        let explained: f64 = factors
+            .iter()
+            .filter_map(|&f| self.get(f))
+            .product();
+        observed_gap / explained
+    }
+}
+
+impl Default for FactorTable {
+    fn default() -> FactorTable {
+        FactorTable::new()
+    }
+}
+
+impl fmt::Display for FactorTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (factor, value) in &self.entries {
+            writeln!(f, "  x{value:<5.2} {factor} (sec. {})", factor.section())?;
+        }
+        write!(f, "  = x{:.1} combined", self.combined())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_maxima_combine_to_eighteen() {
+        let t = FactorTable::paper_maxima();
+        assert!((t.combined() - 17.8125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn section9_residuals_reproduced() {
+        // Observed gap ~18 against the two dominant factors: residual 2-3.
+        let t = FactorTable::paper_maxima();
+        let observed = 18.0;
+        let two = t.residual(
+            observed,
+            &[GapFactor::Microarchitecture, GapFactor::ProcessVariation],
+        );
+        assert!((2.0..=3.0).contains(&two), "two-factor residual {two:.2}");
+        let three = t.residual(
+            observed,
+            &[
+                GapFactor::Microarchitecture,
+                GapFactor::ProcessVariation,
+                GapFactor::DynamicLogic,
+            ],
+        );
+        assert!(
+            (1.5..=1.7).contains(&three),
+            "three-factor residual {three:.2} (paper: ~1.6)"
+        );
+    }
+
+    #[test]
+    fn set_and_get_round_trip() {
+        let mut t = FactorTable::new();
+        t.set(GapFactor::Floorplanning, 1.2);
+        assert_eq!(t.get(GapFactor::Floorplanning), Some(1.2));
+        t.set(GapFactor::Floorplanning, 1.3);
+        assert_eq!(t.get(GapFactor::Floorplanning), Some(1.3));
+        assert_eq!(t.entries().len(), 1);
+        assert!(t.get(GapFactor::DynamicLogic).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 1")]
+    fn sub_unity_factor_rejected() {
+        FactorTable::new().set(GapFactor::DynamicLogic, 0.8);
+    }
+
+    #[test]
+    fn display_lists_all_rows() {
+        let t = FactorTable::paper_maxima();
+        let s = t.to_string();
+        assert!(s.contains("pipelining"));
+        assert!(s.contains("x17.8 combined"));
+    }
+}

@@ -1,0 +1,98 @@
+//! # asicgap
+//!
+//! A full reproduction of **Chinnery & Keutzer, *Closing the Gap Between
+//! ASIC and Custom: An ASIC Perspective* (DAC 2000)** — including the EDA
+//! substrate the paper presumes: standard-cell libraries, netlists,
+//! static timing analysis, logic synthesis, placement, wire/repeater
+//! models, transistor sizing, pipelining, and process-variation Monte
+//! Carlo, all built from scratch in Rust.
+//!
+//! The paper decomposes the 6–8× clock-speed gap between custom ICs and
+//! ASICs in the same 0.25 µm process into five multiplicative factors:
+//!
+//! | factor | maximum |
+//! |---|---|
+//! | micro-architecture / pipelining | ×4.00 |
+//! | floorplanning & placement | ×1.25 |
+//! | sizing & circuit design | ×1.25 |
+//! | dynamic logic | ×1.50 |
+//! | process variation & accessibility | ×1.90 |
+//!
+//! This crate ties the substrates together:
+//!
+//! - [`GapFactor`] / [`FactorTable`] — the paper's decomposition and its
+//!   §9 residual arithmetic;
+//! - [`chips`] — the published chip data the paper anchors on (Alpha
+//!   21264A, IBM 1 GHz PowerPC, Tensilica Xtensa, "typical" ASICs);
+//! - [`DesignScenario`] / [`run_scenario`] — end-to-end *measured* flows:
+//!   the same RTL workload pushed through an ASIC methodology and a
+//!   custom methodology, so the gap emerges from the tools rather than
+//!   being assumed;
+//! - re-exports of every substrate crate under short names
+//!   ([`tech`], [`cells`], [`netlist`], [`sta`], [`wire`], [`place`],
+//!   [`synth`], [`sizing`], [`pipeline`], [`process`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use asicgap::chips;
+//! use asicgap::gap::FactorTable;
+//!
+//! // The paper's own factor table multiplies out to ~18x.
+//! let table = FactorTable::paper_maxima();
+//! assert!((table.combined() - 17.8).abs() < 0.2);
+//!
+//! // And the observed silicon gap is 6-8x.
+//! let gap = chips::observed_gap();
+//! assert!(gap.min_ratio > 5.0 && gap.max_ratio < 9.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chips;
+mod error;
+mod factors;
+mod flow;
+pub mod gap;
+pub mod migrate;
+pub mod report;
+
+pub use error::GapError;
+pub use factors::GapFactor;
+pub use flow::{
+    domino_speed_ratio, run_scenario, DesignScenario, FloorplanQuality, LogicStyle,
+    ProcessAccess, ScenarioOutcome, SizingQuality,
+};
+pub use gap::FactorTable;
+
+/// Technology models, units, FO4 rule (re-export of `asicgap-tech`).
+pub use asicgap_tech as tech;
+
+/// Standard-cell libraries (re-export of `asicgap-cells`).
+pub use asicgap_cells as cells;
+
+/// Netlists, builders, generators, simulation (re-export of
+/// `asicgap-netlist`).
+pub use asicgap_netlist as netlist;
+
+/// Static timing analysis (re-export of `asicgap-sta`).
+pub use asicgap_sta as sta;
+
+/// Wire RC / repeater models (re-export of `asicgap-wire`).
+pub use asicgap_wire as wire;
+
+/// Floorplanning and placement (re-export of `asicgap-place`).
+pub use asicgap_place as place;
+
+/// Logic synthesis and technology mapping (re-export of `asicgap-synth`).
+pub use asicgap_synth as synth;
+
+/// Transistor sizing (re-export of `asicgap-sizing`).
+pub use asicgap_sizing as sizing;
+
+/// Pipelining (re-export of `asicgap-pipeline`).
+pub use asicgap_pipeline as pipeline;
+
+/// Process variation and binning (re-export of `asicgap-process`).
+pub use asicgap_process as process;

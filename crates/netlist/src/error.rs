@@ -1,0 +1,77 @@
+//! Error type for netlist construction and transformation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while building or transforming a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A required cell function is missing from the target library.
+    MissingCell {
+        /// What was needed, e.g. `"nand2"`.
+        what: String,
+    },
+    /// An instance was created with the wrong number of inputs.
+    ArityMismatch {
+        /// Cell name.
+        cell: String,
+        /// Expected input count.
+        expected: usize,
+        /// Provided input count.
+        got: usize,
+    },
+    /// A net already has a driver and a second one was attached.
+    MultipleDrivers {
+        /// Net name.
+        net: String,
+    },
+    /// The netlist failed validation.
+    Invalid {
+        /// Human-readable summary of the first few issues.
+        summary: String,
+    },
+    /// A combinational cycle was found where a DAG was required.
+    CombinationalCycle {
+        /// A net on the cycle.
+        net: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::MissingCell { what } => {
+                write!(f, "target library lacks a cell for {what}")
+            }
+            NetlistError::ArityMismatch {
+                cell,
+                expected,
+                got,
+            } => write!(f, "cell {cell} expects {expected} inputs, got {got}"),
+            NetlistError::MultipleDrivers { net } => {
+                write!(f, "net {net} already has a driver")
+            }
+            NetlistError::Invalid { summary } => write!(f, "invalid netlist: {summary}"),
+            NetlistError::CombinationalCycle { net } => {
+                write!(f, "combinational cycle through net {net}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = NetlistError::ArityMismatch {
+            cell: "nand2_x1".to_string(),
+            expected: 2,
+            got: 3,
+        };
+        assert_eq!(e.to_string(), "cell nand2_x1 expects 2 inputs, got 3");
+    }
+}

@@ -1,0 +1,375 @@
+//! Adder architectures: ripple-carry, carry-lookahead, carry-select, and
+//! Kogge-Stone prefix.
+//!
+//! Logic depth (hence speed) differs sharply: ripple is O(w), lookahead and
+//! select are O(w/k + k), Kogge-Stone is O(log w). The §4.2 macro-cell
+//! experiment compares these on the same library.
+
+use asicgap_cells::Library;
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::ids::NetId;
+use crate::netlist::Netlist;
+
+/// Declares the standard adder interface and returns (a, b, cin).
+fn adder_inputs(b: &mut NetlistBuilder<'_>, width: usize) -> (Vec<NetId>, Vec<NetId>, NetId) {
+    let a: Vec<NetId> = (0..width).map(|i| b.input(format!("a{i}"))).collect();
+    let bb: Vec<NetId> = (0..width).map(|i| b.input(format!("b{i}"))).collect();
+    let cin = b.input("cin");
+    (a, bb, cin)
+}
+
+fn adder_outputs(b: &mut NetlistBuilder<'_>, sums: &[NetId], cout: NetId) {
+    for (i, &s) in sums.iter().enumerate() {
+        b.output(format!("s{i}"), s);
+    }
+    b.output("cout", cout);
+}
+
+/// A full adder: returns (sum, carry).
+fn full_adder(
+    b: &mut NetlistBuilder<'_>,
+    x: NetId,
+    y: NetId,
+    c: NetId,
+) -> Result<(NetId, NetId), NetlistError> {
+    let s = b.xor3(x, y, c)?;
+    let co = b.maj3(x, y, c)?;
+    Ok((s, co))
+}
+
+/// The ripple-carry adder RTL synthesis produces from `a + b`: one full
+/// adder per bit, carry chained — O(width) logic levels.
+///
+/// Interface: inputs `a0..a{w-1}`, `b0..b{w-1}`, `cin`; outputs
+/// `s0..s{w-1}`, `cout`.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] if the library lacks required primitives.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn ripple_carry_adder(lib: &Library, width: usize) -> Result<Netlist, NetlistError> {
+    assert!(width > 0, "adder width must be positive");
+    let mut b = NetlistBuilder::new(format!("rca{width}"), lib);
+    let (a, bb, cin) = adder_inputs(&mut b, width);
+    let mut carry = cin;
+    let mut sums = Vec::with_capacity(width);
+    for i in 0..width {
+        let (s, c) = full_adder(&mut b, a[i], bb[i], carry)?;
+        sums.push(s);
+        carry = c;
+    }
+    adder_outputs(&mut b, &sums, carry);
+    b.finish()
+}
+
+/// A 4-bit-group carry-lookahead adder: generate/propagate per bit,
+/// two-level lookahead within each group, group carries rippled — the
+/// classic "fast datapath library element" of §4.2.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] if the library lacks required primitives.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn carry_lookahead_adder(lib: &Library, width: usize) -> Result<Netlist, NetlistError> {
+    assert!(width > 0, "adder width must be positive");
+    let mut b = NetlistBuilder::new(format!("cla{width}"), lib);
+    let (a, bb, cin) = adder_inputs(&mut b, width);
+
+    let mut p = Vec::with_capacity(width);
+    let mut g = Vec::with_capacity(width);
+    for i in 0..width {
+        p.push(b.xor2(a[i], bb[i])?);
+        g.push(b.and2(a[i], bb[i])?);
+    }
+
+    // Carry into each bit, computed with two-level lookahead inside 4-bit
+    // groups; the group carry-in ripples between groups.
+    let mut carries = Vec::with_capacity(width + 1);
+    carries.push(cin);
+    let mut group_cin = cin;
+    for group_start in (0..width).step_by(4) {
+        let group_end = (group_start + 4).min(width);
+        for i in group_start..group_end {
+            // c_{i+1} = g_i + p_i·g_{i-1} + … + p_i…p_{gs}·c_{gs}
+            let mut terms: Vec<NetId> = vec![g[i]];
+            for j in (group_start..i).rev() {
+                // p_i · p_{i-1} · … · p_{j+1} · g_j
+                let mut ands: Vec<NetId> = (j + 1..=i).map(|k| p[k]).collect();
+                ands.push(g[j]);
+                terms.push(b.and_tree(&ands)?);
+            }
+            let mut ands: Vec<NetId> = (group_start..=i).map(|k| p[k]).collect();
+            ands.push(group_cin);
+            terms.push(b.and_tree(&ands)?);
+            let c_next = b.or_tree(&terms)?;
+            carries.push(c_next);
+        }
+        group_cin = carries[group_end];
+    }
+
+    let mut sums = Vec::with_capacity(width);
+    for i in 0..width {
+        sums.push(b.xor2(p[i], carries[i])?);
+    }
+    adder_outputs(&mut b, &sums, carries[width]);
+    b.finish()
+}
+
+/// A carry-select adder with `block` bits per block: each block beyond the
+/// first is computed twice (carry-in 0 and 1) and the true result selected
+/// by a mux once the carry arrives.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] if the library lacks required primitives.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `block == 0`.
+pub fn carry_select_adder(
+    lib: &Library,
+    width: usize,
+    block: usize,
+) -> Result<Netlist, NetlistError> {
+    assert!(width > 0 && block > 0, "width and block must be positive");
+    let mut b = NetlistBuilder::new(format!("csel{width}x{block}"), lib);
+    let (a, bb, cin) = adder_inputs(&mut b, width);
+
+    // Ripple block with a symbolic carry: carry-in is a net.
+    let ripple_block = |b: &mut NetlistBuilder<'_>,
+                        lo: usize,
+                        hi: usize,
+                        carry_in: NetId|
+     -> Result<(Vec<NetId>, NetId), NetlistError> {
+        let mut c = carry_in;
+        let mut sums = Vec::new();
+        for i in lo..hi {
+            let (s, cn) = full_adder(b, a[i], bb[i], c)?;
+            sums.push(s);
+            c = cn;
+        }
+        Ok((sums, c))
+    };
+
+    let mut sums = Vec::with_capacity(width);
+    let mut carry = cin;
+    let mut lo = 0;
+    let mut first = true;
+    while lo < width {
+        let hi = (lo + block).min(width);
+        if first {
+            let (s, c) = ripple_block(&mut b, lo, hi, carry)?;
+            sums.extend(s);
+            carry = c;
+            first = false;
+        } else {
+            // Constant carry-in 0: s0 = xor2, c = and2 at the first bit.
+            // We synthesise the constant versions explicitly rather than
+            // tying a constant net (no tie cells in these libraries).
+            let mut s0 = Vec::new();
+            let mut c0 = {
+                // bit lo with carry 0: sum = a^b, carry = a·b
+                let s = b.xor2(a[lo], bb[lo])?;
+                s0.push(s);
+                b.and2(a[lo], bb[lo])?
+            };
+            for i in lo + 1..hi {
+                let (s, c) = full_adder(&mut b, a[i], bb[i], c0)?;
+                s0.push(s);
+                c0 = c;
+            }
+            // Carry-in 1: sum = !(a^b), carry = a+b at the first bit.
+            let mut s1 = Vec::new();
+            let mut c1 = {
+                let s = b.xnor2(a[lo], bb[lo])?;
+                s1.push(s);
+                b.or2(a[lo], bb[lo])?
+            };
+            for i in lo + 1..hi {
+                let (s, c) = full_adder(&mut b, a[i], bb[i], c1)?;
+                s1.push(s);
+                c1 = c;
+            }
+            for (s_0, s_1) in s0.into_iter().zip(s1) {
+                sums.push(b.mux2(s_0, s_1, carry)?);
+            }
+            carry = b.mux2(c0, c1, carry)?;
+        }
+        lo = hi;
+    }
+    adder_outputs(&mut b, &sums, carry);
+    b.finish()
+}
+
+/// A carry-skip adder with `block` bits per block: ripple blocks whose
+/// carry can bypass the whole block when every bit propagates — the
+/// cheapest of the "fast datapath" structures (§4.2), between ripple and
+/// carry-select in cost.
+///
+/// A historically important caveat that this workspace reproduces
+/// faithfully: carry-skip's speed advantage is a **false-path argument**
+/// (a carry can never both ripple through a block *and* need its skip),
+/// which topological STA cannot see. Without false-path constraints —
+/// which 2000-era ASIC sign-off rarely used — the reported worst path is
+/// no better than ripple. Run it through `asicgap-sta`'s `analyze` and you will see exactly that.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] if the library lacks required primitives.
+///
+/// # Panics
+///
+/// Panics if `width == 0` or `block == 0`.
+pub fn carry_skip_adder(
+    lib: &Library,
+    width: usize,
+    block: usize,
+) -> Result<Netlist, NetlistError> {
+    assert!(width > 0 && block > 0, "width and block must be positive");
+    let mut b = NetlistBuilder::new(format!("cskip{width}x{block}"), lib);
+    let (a, bb, cin) = adder_inputs(&mut b, width);
+
+    let mut sums = Vec::with_capacity(width);
+    let mut carry = cin;
+    let mut lo = 0;
+    while lo < width {
+        let hi = (lo + block).min(width);
+        let block_cin = carry;
+        // Propagate signals for the skip condition.
+        let mut props = Vec::with_capacity(hi - lo);
+        let mut c = block_cin;
+        for i in lo..hi {
+            props.push(b.xor2(a[i], bb[i])?);
+            let (s, cn) = full_adder(&mut b, a[i], bb[i], c)?;
+            sums.push(s);
+            c = cn;
+        }
+        // Skip: if every bit propagates, the block's cout is its cin.
+        let all_p = b.and_tree(&props)?;
+        carry = b.mux2(c, block_cin, all_p)?;
+        lo = hi;
+    }
+    adder_outputs(&mut b, &sums, carry);
+    b.finish()
+}
+
+/// A Kogge-Stone parallel-prefix adder: O(log w) levels, the fastest (and
+/// largest) classic adder — what a custom datapath team would build.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] if the library lacks required primitives.
+///
+/// # Panics
+///
+/// Panics if `width == 0`.
+pub fn kogge_stone_adder(lib: &Library, width: usize) -> Result<Netlist, NetlistError> {
+    assert!(width > 0, "adder width must be positive");
+    let mut b = NetlistBuilder::new(format!("ks{width}"), lib);
+    let (a, bb, cin) = adder_inputs(&mut b, width);
+
+    let mut p: Vec<NetId> = Vec::with_capacity(width);
+    let mut g: Vec<NetId> = Vec::with_capacity(width);
+    for i in 0..width {
+        p.push(b.xor2(a[i], bb[i])?);
+        g.push(b.and2(a[i], bb[i])?);
+    }
+    // Prefix tree over (g, p), combining (g,p)·(g',p') = (g + p·g', p·p').
+    let mut gg = g.clone();
+    let mut pp = p.clone();
+    let mut dist = 1;
+    while dist < width {
+        let mut gg_next = gg.clone();
+        let mut pp_next = pp.clone();
+        for i in dist..width {
+            let t = b.and2(pp[i], gg[i - dist])?;
+            gg_next[i] = b.or2(gg[i], t)?;
+            pp_next[i] = b.and2(pp[i], pp[i - dist])?;
+        }
+        gg = gg_next;
+        pp = pp_next;
+        dist *= 2;
+    }
+    // Carry into bit i: prefix (G,P) over bits [0, i-1] combined with cin:
+    // c_i = G_{i-1} + P_{i-1}·cin;  c_0 = cin.
+    let mut carries = Vec::with_capacity(width + 1);
+    carries.push(cin);
+    for i in 1..=width {
+        let t = b.and2(pp[i - 1], cin)?;
+        carries.push(b.or2(gg[i - 1], t)?);
+    }
+    let mut sums = Vec::with_capacity(width);
+    for i in 0..width {
+        sums.push(b.xor2(p[i], carries[i])?);
+    }
+    adder_outputs(&mut b, &sums, carries[width]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_cells::LibrarySpec;
+    use asicgap_tech::Technology;
+
+    #[test]
+    fn ripple_grows_linearly_kogge_logarithmically() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let rca8 = ripple_carry_adder(&lib, 8).expect("rca8");
+        let rca32 = ripple_carry_adder(&lib, 32).expect("rca32");
+        let ks32 = kogge_stone_adder(&lib, 32).expect("ks32");
+        // Gate counts: ripple linear; Kogge-Stone larger than ripple at 32b.
+        assert!(rca32.instance_count() > 3 * rca8.instance_count());
+        assert!(ks32.instance_count() > rca32.instance_count());
+    }
+
+    #[test]
+    fn poor_library_inflates_gate_count() {
+        let tech = Technology::cmos025_asic();
+        let rich = LibrarySpec::rich().build(&tech);
+        let poor = LibrarySpec::poor().build(&tech);
+        let n_rich = ripple_carry_adder(&rich, 16).expect("rich rca");
+        let n_poor = ripple_carry_adder(&poor, 16).expect("poor rca");
+        assert!(
+            n_poor.instance_count() > 2 * n_rich.instance_count(),
+            "poor {} vs rich {}",
+            n_poor.instance_count(),
+            n_rich.instance_count()
+        );
+    }
+
+    #[test]
+    fn carry_skip_matches_reference_exhaustively() {
+        crate::generators::tests::check_adder(|lib, w| carry_skip_adder(lib, w, 2), 4);
+    }
+
+    #[test]
+    fn carry_skip_sits_between_ripple_and_select_in_cost() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let rca = ripple_carry_adder(&lib, 32).expect("rca");
+        let skip = carry_skip_adder(&lib, 32, 4).expect("skip");
+        let sel = carry_select_adder(&lib, 32, 4).expect("select");
+        assert!(skip.instance_count() > rca.instance_count());
+        assert!(skip.instance_count() < sel.instance_count());
+    }
+
+    #[test]
+    fn carry_select_block_size_one_works() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = carry_select_adder(&lib, 4, 1).expect("block=1 adder");
+        let mut sim = crate::Simulator::new(&n, &lib);
+        let got = crate::generators::adder_io::apply(&mut sim, 4, 7, 9, false);
+        assert_eq!(got, 16);
+    }
+}

@@ -1,0 +1,152 @@
+//! Parallel CRC logic — the quintessential "high speed network ASIC"
+//! datapath of §2 ("high speed network ASICs may run at up to 200 MHz in
+//! 0.25 µm technology").
+//!
+//! A CRC over a data word with a zero initial state is GF(2)-linear, so
+//! each output bit is the XOR of a fixed subset of data bits; the
+//! generator derives those subsets from the serial definition and emits
+//! one balanced XOR tree per output.
+
+use asicgap_cells::Library;
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::ids::NetId;
+use crate::netlist::Netlist;
+
+/// Software reference: serial CRC of `data` (LSB of `data` = bit `d0`,
+/// processed MSB-first) with `poly` over `crc_width` bits, zero initial
+/// state.
+pub fn crc_reference(data: u64, data_width: usize, poly: u64, crc_width: usize) -> u64 {
+    let mask = if crc_width == 64 {
+        u64::MAX
+    } else {
+        (1 << crc_width) - 1
+    };
+    let mut crc = 0u64;
+    for i in (0..data_width).rev() {
+        let din = (data >> i) & 1;
+        let msb = (crc >> (crc_width - 1)) & 1;
+        crc = (crc << 1) & mask;
+        if msb ^ din == 1 {
+            crc ^= poly & mask;
+        }
+    }
+    crc
+}
+
+/// Builds a combinational parallel CRC: inputs `d0..d{dw-1}`, outputs
+/// `c0..c{cw-1}`.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] if the library lacks required primitives,
+/// or reports a constant output (degenerate polynomial) as
+/// [`NetlistError::Invalid`].
+///
+/// # Panics
+///
+/// Panics if widths are zero or `crc_width > 64`.
+pub fn crc_checker(
+    lib: &Library,
+    data_width: usize,
+    poly: u64,
+    crc_width: usize,
+) -> Result<Netlist, NetlistError> {
+    assert!(data_width > 0 && crc_width > 0, "widths must be positive");
+    assert!(crc_width <= 64, "crc width must fit in u64");
+    // Dependence masks by linearity: column i = crc(e_i).
+    let masks: Vec<u64> = (0..crc_width)
+        .map(|bit| {
+            let mut m = 0u64;
+            for i in 0..data_width {
+                let c = crc_reference(1u64 << i, data_width, poly, crc_width);
+                if (c >> bit) & 1 == 1 {
+                    m |= 1 << i;
+                }
+            }
+            m
+        })
+        .collect();
+
+    let mut b = NetlistBuilder::new(
+        format!("crc{crc_width}_{data_width}_{poly:x}"),
+        lib,
+    );
+    let d: Vec<NetId> = (0..data_width).map(|i| b.input(format!("d{i}"))).collect();
+    for (bit, &mask) in masks.iter().enumerate() {
+        if mask == 0 {
+            return Err(NetlistError::Invalid {
+                summary: format!("crc output c{bit} is constant (degenerate polynomial)"),
+            });
+        }
+        let taps: Vec<NetId> = (0..data_width)
+            .filter(|i| (mask >> i) & 1 == 1)
+            .map(|i| d[i])
+            .collect();
+        let out = b.xor_tree(&taps)?;
+        b.output(format!("c{bit}"), out);
+    }
+    b.finish()
+}
+
+/// The CRC-8-CCITT polynomial, 0x07.
+pub const CRC8_CCITT: u64 = 0x07;
+/// The CRC-16-CCITT polynomial, 0x1021.
+pub const CRC16_CCITT: u64 = 0x1021;
+/// The IEEE 802.3 CRC-32 polynomial, 0x04C11DB7.
+pub const CRC32_IEEE: u64 = 0x04C1_1DB7;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{from_bits, to_bits, Simulator};
+    use asicgap_cells::LibrarySpec;
+    use asicgap_tech::Technology;
+
+    #[test]
+    fn crc8_netlist_matches_reference() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = crc_checker(&lib, 16, CRC8_CCITT, 8).expect("crc8 builds");
+        let mut sim = Simulator::new(&n, &lib);
+        for data in [0u64, 1, 0xFFFF, 0xA5C3, 0x1234, 0x8001] {
+            let out = sim.run_comb(&to_bits(data, 16));
+            let want = crc_reference(data, 16, CRC8_CCITT, 8);
+            assert_eq!(from_bits(&out), want, "crc8 of {data:#x}");
+        }
+    }
+
+    #[test]
+    fn crc32_netlist_matches_reference() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = crc_checker(&lib, 32, CRC32_IEEE, 32).expect("crc32 builds");
+        let mut sim = Simulator::new(&n, &lib);
+        for data in [0u64, 0xDEAD_BEEF, 0xFFFF_FFFF, 0x0000_0001] {
+            let out = sim.run_comb(&to_bits(data, 32));
+            let want = crc_reference(data, 32, CRC32_IEEE, 32);
+            assert_eq!(from_bits(&out), want, "crc32 of {data:#x}");
+        }
+    }
+
+    #[test]
+    fn crc_depth_is_logarithmic_in_taps() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = crc_checker(&lib, 32, CRC32_IEEE, 32).expect("crc32");
+        let stats = crate::NetlistStats::of(&n, &lib);
+        // <= 32 taps per output: xor-tree depth <= 5.
+        assert!(stats.logic_depth <= 6, "depth {}", stats.logic_depth);
+    }
+
+    #[test]
+    fn works_in_poor_library_via_nand_decomposition() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::poor().build(&tech);
+        let n = crc_checker(&lib, 8, CRC8_CCITT, 8).expect("crc8 poor");
+        let mut sim = Simulator::new(&n, &lib);
+        let out = sim.run_comb(&to_bits(0x5A, 8));
+        assert_eq!(from_bits(&out), crc_reference(0x5A, 8, CRC8_CCITT, 8));
+    }
+}

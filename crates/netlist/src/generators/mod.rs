@@ -1,0 +1,121 @@
+//! Workload generators: the datapath circuits the paper's world is made of.
+//!
+//! §4.2: "Fast datapath designs, such as carry-lookahead and carry-select
+//! adders and other regular elements, do exist in pre-designed libraries,
+//! but are not automatically invoked in register-transfer level logic
+//! synthesis of ASICs." This module provides both the naive structures RTL
+//! synthesis produces (ripple-carry adders, ripple-of-rows multipliers) and
+//! the fast macro structures (carry-lookahead, carry-select, Kogge-Stone)
+//! so the experiments can quantify the difference.
+//!
+//! Every generator takes the target [`Library`](asicgap_cells::Library) so that library richness
+//! shapes the result (an XOR is one cell or four NAND2s — see
+//! [`crate::NetlistBuilder`]).
+
+mod adders;
+mod alu;
+mod counter;
+mod crc;
+mod datapath;
+mod misc;
+mod mult;
+mod random;
+mod shifter;
+
+pub use adders::{
+    carry_lookahead_adder, carry_select_adder, carry_skip_adder, kogge_stone_adder,
+    ripple_carry_adder,
+};
+pub use alu::{alu, AluOp};
+pub use counter::counter;
+pub use crc::{crc_checker, crc_reference, CRC16_CCITT, CRC32_IEEE, CRC8_CCITT};
+pub use datapath::{datapath, datapath_reference};
+pub use misc::{equality_comparator, mux_tree, parity_tree};
+pub use mult::array_multiplier;
+pub use random::{random_logic, RandomLogicSpec};
+pub use shifter::barrel_shifter;
+
+/// Helpers for driving adder netlists in tests and benches.
+pub mod adder_io {
+    use crate::sim::{from_bits, to_bits, Simulator};
+
+    /// Drives an adder built by one of the adder generators (inputs
+    /// `a0..`, `b0..`, `cin`; outputs `s0..`, `cout`) and returns the
+    /// (width+1)-bit numeric sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist does not expose the adder pin names.
+    pub fn apply(sim: &mut Simulator<'_>, width: usize, a: u64, b: u64, cin: bool) -> u64 {
+        for (i, bit) in to_bits(a, width).into_iter().enumerate() {
+            sim.set_input(&format!("a{i}"), bit);
+        }
+        for (i, bit) in to_bits(b, width).into_iter().enumerate() {
+            sim.set_input(&format!("b{i}"), bit);
+        }
+        sim.set_input("cin", cin);
+        sim.eval_comb();
+        let outs = sim.output_values();
+        // Outputs are declared s0..s{w-1}, cout.
+        from_bits(&outs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Simulator;
+    use asicgap_cells::LibrarySpec;
+    use asicgap_tech::Technology;
+
+    /// Exhaustively verifies an adder netlist at small width against u64
+    /// arithmetic — shared by the per-architecture tests.
+    pub(crate) fn check_adder(
+        build: impl Fn(&asicgap_cells::Library, usize) -> Result<crate::Netlist, crate::NetlistError>,
+        width: usize,
+    ) {
+        let tech = Technology::cmos025_asic();
+        for spec in [LibrarySpec::rich(), LibrarySpec::poor()] {
+            let lib = spec.build(&tech);
+            let n = build(&lib, width).expect("generator succeeds");
+            let mut sim = Simulator::new(&n, &lib);
+            let lim = 1u64 << width;
+            for a in 0..lim.min(16) {
+                for b in 0..lim.min(16) {
+                    for cin in [false, true] {
+                        let got = adder_io::apply(&mut sim, width, a, b, cin);
+                        let want = (a + b + cin as u64) & ((1 << (width + 1)) - 1);
+                        assert_eq!(got, want, "{}: {a}+{b}+{cin} in {}", n.name, lib.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_four_adders_compute_addition() {
+        check_adder(ripple_carry_adder, 4);
+        check_adder(carry_lookahead_adder, 4);
+        check_adder(|lib, w| carry_select_adder(lib, w, 2), 4);
+        check_adder(kogge_stone_adder, 4);
+    }
+
+    #[test]
+    fn wider_adders_spot_checked() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        for build in [
+            ripple_carry_adder as fn(&_, usize) -> _,
+            carry_lookahead_adder,
+            kogge_stone_adder,
+        ] {
+            let n = build(&lib, 16).expect("16-bit adder builds");
+            let mut sim = Simulator::new(&n, &lib);
+            for (a, b, c) in [(0xFFFF, 1, false), (0x1234, 0x4321, true), (0x8000, 0x8000, false)]
+            {
+                let got = adder_io::apply(&mut sim, 16, a, b, c);
+                assert_eq!(got, (a + b + c as u64) & 0x1FFFF);
+            }
+        }
+    }
+}

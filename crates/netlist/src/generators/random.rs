@@ -1,0 +1,156 @@
+//! Pseudo-random "glue logic": the irregular control logic that, per §5.2,
+//! custom design handles no better than tools do.
+
+use asicgap_cells::{CellFunction, Library, LogicFamily};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::ids::NetId;
+use crate::netlist::Netlist;
+
+/// Parameters of a random-logic generator run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomLogicSpec {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of gates to create.
+    pub gates: usize,
+    /// RNG seed (generation is fully deterministic given the seed).
+    pub seed: u64,
+    /// Bias towards recently created nets (0 = uniform over all nets,
+    /// higher = deeper, more serial logic). Typical control logic ≈ 4.
+    pub depth_bias: u32,
+}
+
+impl RandomLogicSpec {
+    /// A medium-size control-logic block.
+    pub fn control_block(seed: u64) -> RandomLogicSpec {
+        RandomLogicSpec {
+            inputs: 32,
+            gates: 400,
+            seed,
+            depth_bias: 4,
+        }
+    }
+}
+
+/// Generates a random combinational netlist per `spec`. Only functions the
+/// target library offers are used, so the same spec yields different
+/// structures against rich and poor libraries.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] if the library lacks even the basic
+/// inverting primitives.
+///
+/// # Panics
+///
+/// Panics if `spec.inputs < 2` or `spec.gates == 0`.
+pub fn random_logic(lib: &Library, spec: &RandomLogicSpec) -> Result<Netlist, NetlistError> {
+    assert!(spec.inputs >= 2, "need at least 2 inputs");
+    assert!(spec.gates > 0, "need at least 1 gate");
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut b = NetlistBuilder::new(format!("rand{}x{}", spec.inputs, spec.gates), lib);
+
+    let mut nets: Vec<NetId> = (0..spec.inputs).map(|i| b.input(format!("i{i}"))).collect();
+
+    // Candidate functions present in this library.
+    let menu: Vec<CellFunction> = [
+        CellFunction::Inv,
+        CellFunction::Nand(2),
+        CellFunction::Nor(2),
+        CellFunction::And(2),
+        CellFunction::Or(2),
+        CellFunction::Xor2,
+        CellFunction::Nand(3),
+        CellFunction::Aoi21,
+        CellFunction::Oai21,
+        CellFunction::Mux2,
+    ]
+    .into_iter()
+    .filter(|&f| lib.has_function(f, LogicFamily::StaticCmos))
+    .collect();
+
+    for _ in 0..spec.gates {
+        let f = menu[rng.gen_range(0..menu.len())];
+        let arity = f.num_inputs();
+        let mut fanin = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            // Depth bias: sample several candidates, keep the most recent.
+            let mut pick = rng.gen_range(0..nets.len());
+            for _ in 0..spec.depth_bias {
+                let other = rng.gen_range(0..nets.len());
+                pick = pick.max(other);
+            }
+            fanin.push(nets[pick]);
+        }
+        let out = b.gate(f, &fanin)?;
+        nets.push(out);
+    }
+
+    // Every net with no sinks becomes a primary output (keeps validation
+    // clean and models the block's fanout to neighbours).
+    let dangling: Vec<NetId> = b
+        .netlist()
+        .iter_nets()
+        .filter(|(_, n)| n.sinks.is_empty())
+        .map(|(id, _)| id)
+        .collect();
+    for (k, id) in dangling.into_iter().enumerate() {
+        b.output(format!("o{k}"), id);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_cells::LibrarySpec;
+    use asicgap_tech::Technology;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let spec = RandomLogicSpec::control_block(42);
+        let a = random_logic(&lib, &spec).expect("gen a");
+        let b = random_logic(&lib, &spec).expect("gen b");
+        assert_eq!(a.instance_count(), b.instance_count());
+        assert_eq!(a.net_count(), b.net_count());
+        for (x, y) in a.instances().iter().zip(b.instances()) {
+            assert_eq!(x.function, y.function);
+            assert_eq!(x.fanin, y.fanin);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let a = random_logic(&lib, &RandomLogicSpec::control_block(1)).expect("gen");
+        let b = random_logic(&lib, &RandomLogicSpec::control_block(2)).expect("gen");
+        let same = a
+            .instances()
+            .iter()
+            .zip(b.instances())
+            .all(|(x, y)| x.function == y.function && x.fanin == y.fanin);
+        assert!(!same, "seeds 1 and 2 produced identical netlists");
+    }
+
+    #[test]
+    fn gate_budget_respected_and_valid() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::poor().build(&tech);
+        let spec = RandomLogicSpec {
+            inputs: 8,
+            gates: 100,
+            seed: 7,
+            depth_bias: 2,
+        };
+        let n = random_logic(&lib, &spec).expect("gen");
+        assert_eq!(n.instance_count(), 100);
+        assert!(crate::validate(&n).is_empty());
+    }
+}

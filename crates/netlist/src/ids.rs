@@ -1,0 +1,64 @@
+//! Typed indices into a [`Netlist`](crate::Netlist).
+
+use std::fmt;
+
+/// Index of a net within its netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds an id from an index previously obtained via
+    /// [`NetId::index`] on the **same** netlist. Using an index from a
+    /// different netlist yields nonsense (or a panic on lookup).
+    pub fn from_index(index: usize) -> NetId {
+        NetId(index as u32)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "net#{}", self.0)
+    }
+}
+
+/// Index of a cell instance within its netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub(crate) u32);
+
+impl InstId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuilds an id from an index previously obtained via
+    /// [`InstId::index`] on the **same** netlist. Using an index from a
+    /// different netlist yields nonsense (or a panic on lookup).
+    pub fn from_index(index: usize) -> InstId {
+        InstId(index as u32)
+    }
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "inst#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_and_index() {
+        assert_eq!(NetId(7).to_string(), "net#7");
+        assert_eq!(InstId(3).to_string(), "inst#3");
+        assert_eq!(NetId(7).index(), 7);
+        assert_eq!(InstId(3).index(), 3);
+    }
+}

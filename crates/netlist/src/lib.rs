@@ -1,0 +1,66 @@
+//! Gate-level netlists: data structures, builders, generators, simulation.
+//!
+//! The paper's analysis operates on mapped gate-level designs — "typical
+//! ASIC designs may have no pipelining and significantly longer critical
+//! paths" (§4). To measure anything we need netlists that look like what a
+//! synthesis tool emits: cells from a [`Library`](asicgap_cells::Library)
+//! wired by nets, with primary inputs/outputs and a single clock domain.
+//!
+//! This crate provides:
+//!
+//! - [`Netlist`], [`Instance`], [`Net`] — the mapped-design representation
+//!   used by the STA, placement, sizing, and pipelining crates;
+//! - [`NetlistBuilder`] — safe construction with **library-aware fallbacks**
+//!   (an XOR becomes one `xor2` cell in a rich library and four NAND2s in a
+//!   poor one, so library richness changes logic depth exactly as §6 argues);
+//! - [`generators`] — the datapath workloads of the paper's world: ripple /
+//!   carry-lookahead / carry-select / Kogge-Stone adders, an array
+//!   multiplier, barrel shifter, ALU, comparators, random logic;
+//! - [`Simulator`] — functional simulation used to verify generators and to
+//!   check that transformations (mapping, sizing, pipelining) preserve
+//!   behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use asicgap_tech::Technology;
+//! use asicgap_cells::LibrarySpec;
+//! use asicgap_netlist::{generators, Simulator};
+//!
+//! let tech = Technology::cmos025_asic();
+//! let lib = LibrarySpec::rich().build(&tech);
+//! let adder = generators::ripple_carry_adder(&lib, 8)?;
+//!
+//! let mut sim = Simulator::new(&adder, &lib);
+//! let sum = generators::adder_io::apply(&mut sim, 8, 100, 27, false);
+//! assert_eq!(sum, 127);
+//! # Ok::<(), asicgap_netlist::NetlistError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod builder;
+mod error;
+pub mod generators;
+mod ids;
+mod netlist;
+mod power;
+mod scan;
+mod sim;
+mod stats;
+mod sweep;
+mod validate;
+pub mod verilog;
+
+pub use builder::NetlistBuilder;
+pub use error::NetlistError;
+pub use ids::{InstId, NetId};
+pub use netlist::{Instance, Net, NetDriver, Netlist, Sink};
+pub use sim::Simulator;
+pub use power::{estimate_power, PowerEstimate};
+pub use scan::{insert_scan_chain, ScanChain};
+pub use sim::{from_bits, to_bits};
+pub use stats::{net_levels, NetlistStats};
+pub use sweep::{sweep_dead_logic, SweepStats};
+pub use validate::{validate, Issue};

@@ -1,0 +1,508 @@
+//! The core [`Netlist`] representation.
+
+use std::collections::HashMap;
+
+use asicgap_cells::{CellFunction, CellId, Library};
+use asicgap_tech::Ff;
+
+use crate::error::NetlistError;
+use crate::ids::{InstId, NetId};
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetDriver {
+    /// Driven by primary input number `n` (index into [`Netlist::inputs`]).
+    PrimaryInput(usize),
+    /// Driven by the output of an instance.
+    Instance(InstId),
+}
+
+/// A (instance, input-pin) pair fed by a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sink {
+    /// The consuming instance.
+    pub inst: InstId,
+    /// Which input pin of that instance (0-based).
+    pub pin: usize,
+}
+
+/// A wire connecting one driver to zero or more sinks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Net {
+    /// Net name (unique within the netlist).
+    pub name: String,
+    /// The driver, if connected yet.
+    pub driver: Option<NetDriver>,
+    /// Consuming (instance, pin) pairs.
+    pub sinks: Vec<Sink>,
+    /// `true` if the net is listed as a primary output.
+    pub is_output: bool,
+}
+
+/// One placed-and-routed-able cell instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Instance name (unique within the netlist).
+    pub name: String,
+    /// The library cell implementing this instance.
+    pub cell: CellId,
+    /// The cell's function (cached from the library for library-free graph
+    /// algorithms; kept in sync by [`Netlist::set_instance_cell`]).
+    pub function: CellFunction,
+    /// Input nets, in pin order.
+    pub fanin: Vec<NetId>,
+    /// Output net.
+    pub out: NetId,
+}
+
+impl Instance {
+    /// `true` for flip-flops and latches.
+    pub fn is_sequential(&self) -> bool {
+        self.function.is_sequential()
+    }
+}
+
+/// A mapped gate-level design: instances of library cells wired by nets.
+///
+/// Invariants maintained by the mutation API:
+/// - every net has at most one driver;
+/// - every instance's fan-in arity matches its function;
+/// - `sinks` lists are consistent with `fanin` lists.
+///
+/// Use [`crate::NetlistBuilder`] for construction and
+/// [`crate::validate`] for a full consistency check.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    /// Design name.
+    pub name: String,
+    nets: Vec<Net>,
+    instances: Vec<Instance>,
+    inputs: Vec<(String, NetId)>,
+    outputs: Vec<(String, NetId)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            nets: Vec::new(),
+            instances: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// All nets, indexable by [`NetId::index`].
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All instances, indexable by [`InstId::index`].
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Primary inputs as (name, net) pairs, in declaration order.
+    pub fn inputs(&self) -> &[(String, NetId)] {
+        &self.inputs
+    }
+
+    /// Primary outputs as (name, net) pairs, in declaration order.
+    pub fn outputs(&self) -> &[(String, NetId)] {
+        &self.outputs
+    }
+
+    /// Looks up a net.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Looks up an instance.
+    pub fn instance(&self, id: InstId) -> &Instance {
+        &self.instances[id.index()]
+    }
+
+    /// Iterates (id, net).
+    pub fn iter_nets(&self) -> impl Iterator<Item = (NetId, &Net)> {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Iterates (id, instance).
+    pub fn iter_instances(&self) -> impl Iterator<Item = (InstId, &Instance)> {
+        self.instances
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (InstId(i as u32), n))
+    }
+
+    /// Number of cell instances.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Adds a fresh, undriven net.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net {
+            name: name.into(),
+            driver: None,
+            sinks: Vec::new(),
+            is_output: false,
+        });
+        id
+    }
+
+    /// Declares `net` to be primary input number `inputs().len()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::MultipleDrivers`] if the net is already
+    /// driven.
+    pub fn add_input(&mut self, name: impl Into<String>, net: NetId) -> Result<(), NetlistError> {
+        if self.nets[net.index()].driver.is_some() {
+            return Err(NetlistError::MultipleDrivers {
+                net: self.nets[net.index()].name.clone(),
+            });
+        }
+        let idx = self.inputs.len();
+        self.nets[net.index()].driver = Some(NetDriver::PrimaryInput(idx));
+        self.inputs.push((name.into(), net));
+        Ok(())
+    }
+
+    /// Declares `net` to be a primary output.
+    pub fn add_output(&mut self, name: impl Into<String>, net: NetId) {
+        self.nets[net.index()].is_output = true;
+        self.outputs.push((name.into(), net));
+    }
+
+    /// Adds an instance of `cell` (looked up in `lib`) driving `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] if `fanin` does not match the
+    /// cell's input count, or [`NetlistError::MultipleDrivers`] if `out`
+    /// already has a driver.
+    pub fn add_instance(
+        &mut self,
+        name: impl Into<String>,
+        lib: &Library,
+        cell: CellId,
+        fanin: &[NetId],
+        out: NetId,
+    ) -> Result<InstId, NetlistError> {
+        let libcell = lib.cell(cell);
+        if fanin.len() != libcell.function.num_inputs() {
+            return Err(NetlistError::ArityMismatch {
+                cell: libcell.name.clone(),
+                expected: libcell.function.num_inputs(),
+                got: fanin.len(),
+            });
+        }
+        if self.nets[out.index()].driver.is_some() {
+            return Err(NetlistError::MultipleDrivers {
+                net: self.nets[out.index()].name.clone(),
+            });
+        }
+        let id = InstId(self.instances.len() as u32);
+        self.instances.push(Instance {
+            name: name.into(),
+            cell,
+            function: libcell.function,
+            fanin: fanin.to_vec(),
+            out,
+        });
+        self.nets[out.index()].driver = Some(NetDriver::Instance(id));
+        for (pin, &net) in fanin.iter().enumerate() {
+            self.nets[net.index()].sinks.push(Sink { inst: id, pin });
+        }
+        Ok(id)
+    }
+
+    /// Re-implements `inst` with a different library cell of the **same
+    /// function** (drive-strength change). Used by sizing and drive
+    /// selection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new cell's function differs from the instance's
+    /// current function — that would silently change logic behaviour.
+    pub fn set_instance_cell(&mut self, lib: &Library, inst: InstId, cell: CellId) {
+        let new_fn = lib.cell(cell).function;
+        let old_fn = self.instances[inst.index()].function;
+        assert_eq!(
+            new_fn, old_fn,
+            "set_instance_cell may only change drive, not function ({old_fn} -> {new_fn})"
+        );
+        self.instances[inst.index()].cell = cell;
+    }
+
+    /// Moves one sink (`inst`, `pin`) from its current net onto `new_net`.
+    /// Used by buffering and pipelining transformations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if (`inst`, `pin`) is not currently a sink of the net it
+    /// claims to be on (internal inconsistency).
+    pub fn redirect_sink(&mut self, inst: InstId, pin: usize, new_net: NetId) {
+        let old_net = self.instances[inst.index()].fanin[pin];
+        let sinks = &mut self.nets[old_net.index()].sinks;
+        let pos = sinks
+            .iter()
+            .position(|s| s.inst == inst && s.pin == pin)
+            .expect("sink list consistent with fanin list");
+        sinks.swap_remove(pos);
+        self.instances[inst.index()].fanin[pin] = new_net;
+        self.nets[new_net.index()].sinks.push(Sink { inst, pin });
+    }
+
+    /// Total capacitive load on `net`: the input capacitance of every sink
+    /// pin plus `wire_cap` (from placement back-annotation; pass
+    /// [`Ff::ZERO`] pre-layout).
+    pub fn net_load(&self, lib: &Library, net: NetId, wire_cap: Ff) -> Ff {
+        let mut load = wire_cap;
+        for s in &self.nets[net.index()].sinks {
+            load += lib.cell(self.instances[s.inst.index()].cell).input_cap;
+        }
+        load
+    }
+
+    /// Topological order of **combinational** instances (sequential
+    /// elements are cut: their outputs are treated as sources and their D
+    /// pins as endpoints). Sequential instances are not included.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if combinational logic
+    /// forms a cycle.
+    pub fn topo_order(&self) -> Result<Vec<InstId>, NetlistError> {
+        // In-degree counts only combinational predecessors.
+        let mut indeg = vec![0usize; self.instances.len()];
+        for (i, inst) in self.instances.iter().enumerate() {
+            if inst.is_sequential() {
+                continue;
+            }
+            for &f in &inst.fanin {
+                if let Some(NetDriver::Instance(src)) = self.nets[f.index()].driver {
+                    if !self.instances[src.index()].is_sequential() {
+                        indeg[i] += 1;
+                    }
+                }
+            }
+        }
+        let mut queue: Vec<InstId> = self
+            .instances
+            .iter()
+            .enumerate()
+            .filter(|(i, inst)| !inst.is_sequential() && indeg[*i] == 0)
+            .map(|(i, _)| InstId(i as u32))
+            .collect();
+        let mut order = Vec::with_capacity(self.instances.len());
+        while let Some(id) = queue.pop() {
+            order.push(id);
+            let out = self.instances[id.index()].out;
+            for s in &self.nets[out.index()].sinks {
+                let tgt = &self.instances[s.inst.index()];
+                if tgt.is_sequential() {
+                    continue;
+                }
+                indeg[s.inst.index()] -= 1;
+                if indeg[s.inst.index()] == 0 {
+                    queue.push(s.inst);
+                }
+            }
+        }
+        let comb_total = self
+            .instances
+            .iter()
+            .filter(|i| !i.is_sequential())
+            .count();
+        if order.len() != comb_total {
+            // Find a net on the cycle for the error message.
+            let on_cycle = self
+                .instances
+                .iter()
+                .enumerate()
+                .find(|(i, inst)| !inst.is_sequential() && indeg[*i] > 0)
+                .map(|(_, inst)| self.nets[inst.out.index()].name.clone())
+                .unwrap_or_default();
+            return Err(NetlistError::CombinationalCycle { net: on_cycle });
+        }
+        Ok(order)
+    }
+
+    /// Builds a name → [`NetId`] map (for tests and I/O helpers).
+    pub fn net_names(&self) -> HashMap<String, NetId> {
+        self.iter_nets()
+            .map(|(id, n)| (n.name.clone(), id))
+            .collect()
+    }
+
+    /// Total cell area in µm².
+    pub fn total_area_um2(&self, lib: &Library) -> f64 {
+        self.instances
+            .iter()
+            .map(|i| lib.cell(i.cell).area_um2)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_cells::{CellFunction, LibrarySpec};
+    use asicgap_tech::Technology;
+
+    fn lib() -> Library {
+        LibrarySpec::rich().build(&Technology::cmos025_asic())
+    }
+
+    fn nand2(lib: &Library) -> CellId {
+        lib.smallest(CellFunction::Nand(2)).expect("nand2 exists")
+    }
+
+    #[test]
+    fn add_instance_wires_sinks() {
+        let lib = lib();
+        let mut n = Netlist::new("t");
+        let a = n.add_net("a");
+        let b = n.add_net("b");
+        let y = n.add_net("y");
+        n.add_input("a", a).expect("fresh net");
+        n.add_input("b", b).expect("fresh net");
+        let g = n
+            .add_instance("g1", &lib, nand2(&lib), &[a, b], y)
+            .expect("valid instance");
+        assert_eq!(n.net(y).driver, Some(NetDriver::Instance(g)));
+        assert_eq!(n.net(a).sinks, vec![Sink { inst: g, pin: 0 }]);
+    }
+
+    #[test]
+    fn double_drive_rejected() {
+        let lib = lib();
+        let mut n = Netlist::new("t");
+        let a = n.add_net("a");
+        let b = n.add_net("b");
+        let y = n.add_net("y");
+        n.add_input("a", a).expect("fresh net");
+        n.add_input("b", b).expect("fresh net");
+        n.add_instance("g1", &lib, nand2(&lib), &[a, b], y)
+            .expect("first driver ok");
+        let err = n
+            .add_instance("g2", &lib, nand2(&lib), &[a, b], y)
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleDrivers { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let lib = lib();
+        let mut n = Netlist::new("t");
+        let a = n.add_net("a");
+        let y = n.add_net("y");
+        let err = n.add_instance("g1", &lib, nand2(&lib), &[a], y).unwrap_err();
+        assert!(matches!(err, NetlistError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let lib = lib();
+        let mut n = Netlist::new("chain");
+        let a = n.add_net("a");
+        n.add_input("a", a).expect("fresh net");
+        let inv = lib.smallest(CellFunction::Inv).expect("inv exists");
+        let mut prev = a;
+        let mut ids = Vec::new();
+        for i in 0..5 {
+            let out = n.add_net(format!("n{i}"));
+            let g = n
+                .add_instance(format!("g{i}"), &lib, inv, &[prev], out)
+                .expect("chain instance");
+            ids.push(g);
+            prev = out;
+        }
+        let order = n.topo_order().expect("acyclic");
+        let pos: HashMap<InstId, usize> =
+            order.iter().enumerate().map(|(p, &i)| (i, p)).collect();
+        for w in ids.windows(2) {
+            assert!(pos[&w[0]] < pos[&w[1]]);
+        }
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let lib = lib();
+        let mut n = Netlist::new("cycle");
+        let x = n.add_net("x");
+        let y = n.add_net("y");
+        n.add_instance("g1", &lib, lib.smallest(CellFunction::Inv).expect("inv"), &[x], y)
+            .expect("g1 ok");
+        n.add_instance("g2", &lib, lib.smallest(CellFunction::Inv).expect("inv"), &[y], x)
+            .expect("g2 ok");
+        assert!(matches!(
+            n.topo_order(),
+            Err(NetlistError::CombinationalCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn sequential_cuts_cycles() {
+        let lib = lib();
+        let mut n = Netlist::new("seq-loop");
+        let q = n.add_net("q");
+        let d = n.add_net("d");
+        let inv = lib.smallest(CellFunction::Inv).expect("inv");
+        let dff = lib.smallest(CellFunction::Dff).expect("dff");
+        // q = DFF(d); d = !q — a toggle flop. Legal because the FF cuts it.
+        n.add_instance("ff", &lib, dff, &[d], q).expect("ff ok");
+        n.add_instance("g", &lib, inv, &[q], d).expect("inv ok");
+        let order = n.topo_order().expect("flop cuts the loop");
+        assert_eq!(order.len(), 1);
+    }
+
+    #[test]
+    fn redirect_sink_moves_load() {
+        let lib = lib();
+        let mut n = Netlist::new("t");
+        let a = n.add_net("a");
+        let b = n.add_net("b");
+        let y = n.add_net("y");
+        let z = n.add_net("z");
+        n.add_input("a", a).expect("fresh net");
+        n.add_input("b", b).expect("fresh net");
+        let g = n
+            .add_instance("g1", &lib, nand2(&lib), &[a, b], y)
+            .expect("instance ok");
+        n.redirect_sink(g, 1, z);
+        assert!(n.net(b).sinks.is_empty());
+        assert_eq!(n.net(z).sinks, vec![Sink { inst: g, pin: 1 }]);
+        assert_eq!(n.instance(g).fanin[1], z);
+        let _ = y;
+    }
+
+    #[test]
+    #[should_panic(expected = "may only change drive")]
+    fn set_instance_cell_rejects_function_change() {
+        let lib = lib();
+        let mut n = Netlist::new("t");
+        let a = n.add_net("a");
+        let b = n.add_net("b");
+        let y = n.add_net("y");
+        n.add_input("a", a).expect("fresh net");
+        n.add_input("b", b).expect("fresh net");
+        let g = n
+            .add_instance("g1", &lib, nand2(&lib), &[a, b], y)
+            .expect("instance ok");
+        let nor = lib.smallest(CellFunction::Nor(2)).expect("nor2");
+        n.set_instance_cell(&lib, g, nor);
+    }
+}

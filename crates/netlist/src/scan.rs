@@ -1,0 +1,186 @@
+//! Scan-chain insertion: the design-for-test transform behind §8.3.
+//!
+//! "If the designers can afford to test produced chips and verify correct
+//! operation at higher speeds, then they can use them at greater speeds."
+//! Testing produced chips at speed requires controllability and
+//! observability of every register — i.e. a scan chain: each flip-flop's
+//! D input gets a mux selecting functional data or the previous
+//! flip-flop's Q, so the whole state shifts in and out serially.
+
+use asicgap_cells::{CellFunction, Library};
+use crate::error::NetlistError;
+use crate::ids::{InstId, NetId};
+use crate::netlist::Netlist;
+
+/// The inserted chain, in shift order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanChain {
+    /// Registers in chain order (scan-in side first).
+    pub order: Vec<InstId>,
+    /// The scan-enable input net.
+    pub scan_enable: NetId,
+    /// The scan-in input net.
+    pub scan_in: NetId,
+    /// The scan-out output net (last register's Q).
+    pub scan_out: NetId,
+}
+
+/// Stitches every flip-flop and latch of `netlist` into one scan chain,
+/// adding `scan_en` and `scan_in` primary inputs and a `scan_out` output.
+/// Registers are chained in instance order.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::MissingCell`] if the library lacks a 2:1 mux
+/// (or the NAND fallback primitives), or [`NetlistError::Invalid`] if the
+/// netlist has no registers.
+pub fn insert_scan_chain(
+    netlist: &mut Netlist,
+    lib: &Library,
+) -> Result<ScanChain, NetlistError> {
+    let regs: Vec<InstId> = netlist
+        .iter_instances()
+        .filter(|(_, i)| i.is_sequential())
+        .map(|(id, _)| id)
+        .collect();
+    if regs.is_empty() {
+        return Err(NetlistError::Invalid {
+            summary: "scan insertion needs at least one register".to_string(),
+        });
+    }
+    let mux = lib
+        .smallest(CellFunction::Mux2)
+        .ok_or_else(|| NetlistError::MissingCell {
+            what: "mux2 for scan".to_string(),
+        })?;
+
+    let scan_enable = netlist.add_net("scan_en");
+    netlist.add_input("scan_en", scan_enable)?;
+    let scan_in = netlist.add_net("scan_in");
+    netlist.add_input("scan_in", scan_in)?;
+
+    let mut prev_q = scan_in;
+    for (k, &reg) in regs.iter().enumerate() {
+        let d = netlist.instance(reg).fanin[0];
+        let muxed = netlist.add_net(format!("scan_d{k}"));
+        netlist.add_instance(
+            format!("scanmux{k}"),
+            lib,
+            mux,
+            &[d, prev_q, scan_enable],
+            muxed,
+        )?;
+        netlist.redirect_sink(reg, 0, muxed);
+        prev_q = netlist.instance(reg).out;
+    }
+    netlist.add_output("scan_out", prev_q);
+    netlist.topo_order()?;
+    Ok(ScanChain {
+        order: regs,
+        scan_enable,
+        scan_in,
+        scan_out: prev_q,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_cells::LibrarySpec;
+    use crate::{NetlistBuilder, Simulator};
+    use asicgap_tech::Technology;
+
+    fn three_regs(lib: &Library) -> Netlist {
+        let mut b = NetlistBuilder::new("regs3", lib);
+        let a = b.input("a");
+        let x = b.inv(a).expect("inv");
+        let q1 = b.dff(x).expect("dff");
+        let q2 = b.dff(q1).expect("dff");
+        let y = b.inv(q2).expect("inv");
+        let q3 = b.dff(y).expect("dff");
+        b.output("q", q3);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn scan_shifts_a_pattern_through_the_chain() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let mut n = three_regs(&lib);
+        let chain = insert_scan_chain(&mut n, &lib).expect("inserts");
+        assert_eq!(chain.order.len(), 3);
+
+        let mut sim = Simulator::new(&n, &lib);
+        // Shift the pattern 1,0,1 in with scan_en = 1.
+        // Inputs in declaration order: a, scan_en, scan_in.
+        for &bit in &[true, false, true] {
+            sim.set_input("a", false);
+            sim.set_input("scan_en", true);
+            sim.set_input("scan_in", bit);
+            sim.eval_comb();
+            sim.step_clock();
+        }
+        // The first bit shifted has reached the last register: scan_out
+        // reads it.
+        let outs = n.outputs();
+        let (_, scan_out_net) = outs
+            .iter()
+            .find(|(name, _)| name == "scan_out")
+            .expect("scan_out exists");
+        assert!(sim.value(*scan_out_net), "first shifted bit arrives last");
+        // Shift two more: the remaining pattern drains 0 then 1.
+        let mut drained = Vec::new();
+        for _ in 0..2 {
+            sim.set_input("scan_en", true);
+            sim.set_input("scan_in", false);
+            sim.eval_comb();
+            sim.step_clock();
+            drained.push(sim.value(*scan_out_net));
+        }
+        assert_eq!(drained, vec![false, true]);
+    }
+
+    #[test]
+    fn functional_mode_still_works() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let golden = three_regs(&lib);
+        let mut scanned = golden.clone();
+        insert_scan_chain(&mut scanned, &lib).expect("inserts");
+
+        let mut sim_a = Simulator::new(&golden, &lib);
+        let mut sim_b = Simulator::new(&scanned, &lib);
+        for step in 0..8 {
+            let a = step % 3 == 0;
+            sim_a.set_inputs(&[a]);
+            sim_b.set_input("a", a);
+            sim_b.set_input("scan_en", false);
+            sim_b.set_input("scan_in", false);
+            sim_a.eval_comb();
+            sim_b.eval_comb();
+            sim_a.step_clock();
+            sim_b.step_clock();
+            // Compare the functional output only.
+            assert_eq!(
+                sim_a.output_values()[0],
+                sim_b.output_values()[0],
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_registers_is_an_error() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let mut b = NetlistBuilder::new("comb", &lib);
+        let a = b.input("a");
+        let y = b.inv(a).expect("inv");
+        b.output("y", y);
+        let mut n = b.finish().expect("valid");
+        assert!(matches!(
+            insert_scan_chain(&mut n, &lib),
+            Err(NetlistError::Invalid { .. })
+        ));
+    }
+}

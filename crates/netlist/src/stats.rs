@@ -1,0 +1,172 @@
+//! Netlist summary statistics.
+
+use std::fmt;
+
+use asicgap_cells::Library;
+
+use crate::netlist::{NetDriver, Netlist};
+
+/// Structural statistics of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Total instances.
+    pub instances: usize,
+    /// Sequential instances (flip-flops and latches).
+    pub sequential: usize,
+    /// Nets.
+    pub nets: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Maximum logic depth in gate levels (unit-delay).
+    pub logic_depth: usize,
+    /// Largest net fanout.
+    pub max_fanout: usize,
+    /// Total cell area, µm².
+    pub area_um2: f64,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist` against its library.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle.
+    pub fn of(netlist: &Netlist, lib: &Library) -> NetlistStats {
+        let order = netlist
+            .topo_order()
+            .expect("statistics require an acyclic netlist");
+        // Unit-delay level per net.
+        let mut level = vec![0usize; netlist.net_count()];
+        for &id in &order {
+            let inst = netlist.instance(id);
+            let in_level = inst
+                .fanin
+                .iter()
+                .map(|n| level[n.index()])
+                .max()
+                .unwrap_or(0);
+            level[inst.out.index()] = in_level + 1;
+        }
+        let logic_depth = level.iter().copied().max().unwrap_or(0);
+        let max_fanout = netlist
+            .nets()
+            .iter()
+            .map(|n| n.sinks.len())
+            .max()
+            .unwrap_or(0);
+        NetlistStats {
+            instances: netlist.instance_count(),
+            sequential: netlist
+                .instances()
+                .iter()
+                .filter(|i| i.is_sequential())
+                .count(),
+            nets: netlist.net_count(),
+            inputs: netlist.inputs().len(),
+            outputs: netlist.outputs().len(),
+            logic_depth,
+            max_fanout,
+            area_um2: netlist.total_area_um2(lib),
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instances ({} seq), {} nets, {} in / {} out, depth {}, max fanout {}, {:.0} um^2",
+            self.instances,
+            self.sequential,
+            self.nets,
+            self.inputs,
+            self.outputs,
+            self.logic_depth,
+            self.max_fanout,
+            self.area_um2
+        )
+    }
+}
+
+/// Unit-delay arrival level of every net (0 for primary inputs and
+/// register outputs' sources). Exposed for the pipeliner's stage cutting.
+pub fn net_levels(netlist: &Netlist) -> Vec<usize> {
+    let order = netlist
+        .topo_order()
+        .expect("levels require an acyclic netlist");
+    let mut level = vec![0usize; netlist.net_count()];
+    for &id in &order {
+        let inst = netlist.instance(id);
+        let in_level = inst
+            .fanin
+            .iter()
+            .map(|n| level[n.index()])
+            .max()
+            .unwrap_or(0);
+        level[inst.out.index()] = in_level + 1;
+    }
+    // Register outputs restart at level 0 by construction (they are not in
+    // the combinational order, so their level stays 0); verify the
+    // invariant for driven nets only.
+    debug_assert!(netlist.iter_nets().all(|(id, n)| match n.driver {
+        Some(NetDriver::Instance(inst)) if netlist.instance(inst).is_sequential() =>
+            level[id.index()] == 0,
+        _ => true,
+    }));
+    level
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use asicgap_cells::LibrarySpec;
+    use asicgap_tech::Technology;
+
+    #[test]
+    fn ripple_adder_depth_linear_in_width() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let s8 = NetlistStats::of(&generators::ripple_carry_adder(&lib, 8).expect("rca8"), &lib);
+        let s32 = NetlistStats::of(
+            &generators::ripple_carry_adder(&lib, 32).expect("rca32"),
+            &lib,
+        );
+        assert!(s32.logic_depth >= s8.logic_depth + 20);
+    }
+
+    #[test]
+    fn kogge_stone_depth_logarithmic() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let ks = NetlistStats::of(
+            &generators::kogge_stone_adder(&lib, 32).expect("ks32"),
+            &lib,
+        );
+        let rca = NetlistStats::of(
+            &generators::ripple_carry_adder(&lib, 32).expect("rca32"),
+            &lib,
+        );
+        assert!(
+            ks.logic_depth * 2 < rca.logic_depth,
+            "KS depth {} vs RCA depth {}",
+            ks.logic_depth,
+            rca.logic_depth
+        );
+    }
+
+    #[test]
+    fn stats_fields_sane() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::alu(&lib, 8).expect("alu8");
+        let s = NetlistStats::of(&n, &lib);
+        assert_eq!(s.inputs, 8 + 8 + 3);
+        assert_eq!(s.outputs, 9);
+        assert_eq!(s.sequential, 0);
+        assert!(s.area_um2 > 0.0);
+        assert!(s.max_fanout >= 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Netlist consistency checks (a lint pass, DRC-style).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::netlist::{NetDriver, Netlist};
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Issue {
+    /// A net has no driver.
+    UndrivenNet {
+        /// Net name.
+        net: String,
+    },
+    /// A net drives nothing and is not a primary output.
+    DanglingNet {
+        /// Net name.
+        net: String,
+    },
+    /// Two nets or two instances share a name.
+    DuplicateName {
+        /// The colliding name.
+        name: String,
+    },
+    /// Sink bookkeeping disagrees with fan-in lists.
+    InconsistentSink {
+        /// Instance name.
+        inst: String,
+        /// Pin index.
+        pin: usize,
+    },
+}
+
+impl fmt::Display for Issue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Issue::UndrivenNet { net } => write!(f, "net {net} has no driver"),
+            Issue::DanglingNet { net } => write!(f, "net {net} has no sinks and is not an output"),
+            Issue::DuplicateName { name } => write!(f, "duplicate name {name}"),
+            Issue::InconsistentSink { inst, pin } => {
+                write!(f, "sink bookkeeping wrong at {inst} pin {pin}")
+            }
+        }
+    }
+}
+
+/// Checks structural consistency; returns all findings (empty = clean).
+pub fn validate(netlist: &Netlist) -> Vec<Issue> {
+    let mut issues = Vec::new();
+
+    let mut names = HashSet::new();
+    for (_, net) in netlist.iter_nets() {
+        if !names.insert(net.name.clone()) {
+            issues.push(Issue::DuplicateName {
+                name: net.name.clone(),
+            });
+        }
+    }
+    let mut inst_names = HashSet::new();
+    for (_, inst) in netlist.iter_instances() {
+        if !inst_names.insert(inst.name.clone()) {
+            issues.push(Issue::DuplicateName {
+                name: inst.name.clone(),
+            });
+        }
+    }
+
+    for (id, net) in netlist.iter_nets() {
+        if net.driver.is_none() {
+            issues.push(Issue::UndrivenNet {
+                net: net.name.clone(),
+            });
+        }
+        if net.sinks.is_empty() && !net.is_output {
+            issues.push(Issue::DanglingNet {
+                net: net.name.clone(),
+            });
+        }
+        // Sinks must agree with the instance fan-in lists.
+        for s in &net.sinks {
+            let inst = netlist.instance(s.inst);
+            if inst.fanin.get(s.pin) != Some(&id) {
+                issues.push(Issue::InconsistentSink {
+                    inst: inst.name.clone(),
+                    pin: s.pin,
+                });
+            }
+        }
+    }
+
+    // Every fan-in connection must be present in the net's sink list.
+    for (iid, inst) in netlist.iter_instances() {
+        for (pin, &net) in inst.fanin.iter().enumerate() {
+            let listed = netlist
+                .net(net)
+                .sinks
+                .iter()
+                .any(|s| s.inst == iid && s.pin == pin);
+            if !listed {
+                issues.push(Issue::InconsistentSink {
+                    inst: inst.name.clone(),
+                    pin,
+                });
+            }
+        }
+    }
+
+    // Drivers must point back at the right instance/output.
+    for (id, net) in netlist.iter_nets() {
+        if let Some(NetDriver::Instance(inst)) = net.driver {
+            if netlist.instance(inst).out != id {
+                issues.push(Issue::InconsistentSink {
+                    inst: netlist.instance(inst).name.clone(),
+                    pin: usize::MAX,
+                });
+            }
+        }
+    }
+
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_cells::{CellFunction, LibrarySpec};
+    use asicgap_tech::Technology;
+
+    #[test]
+    fn clean_netlist_validates() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let mut n = Netlist::new("ok");
+        let a = n.add_net("a");
+        let y = n.add_net("y");
+        n.add_input("a", a).expect("fresh");
+        n.add_output("y", y);
+        n.add_instance(
+            "g",
+            &lib,
+            lib.smallest(CellFunction::Inv).expect("inv"),
+            &[a],
+            y,
+        )
+        .expect("instance ok");
+        assert!(validate(&n).is_empty());
+    }
+
+    #[test]
+    fn undriven_and_dangling_detected() {
+        let mut n = Netlist::new("bad");
+        let _orphan = n.add_net("orphan");
+        let issues = validate(&n);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, Issue::UndrivenNet { net } if net == "orphan")));
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, Issue::DanglingNet { net } if net == "orphan")));
+    }
+
+    #[test]
+    fn duplicate_net_names_detected() {
+        let mut n = Netlist::new("dup");
+        let a = n.add_net("x");
+        let b = n.add_net("x");
+        n.add_input("x", a).expect("fresh");
+        n.add_output("x", b);
+        // b is still undriven, but the duplicate must also be flagged.
+        let issues = validate(&n);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, Issue::DuplicateName { name } if name == "x")));
+    }
+}

@@ -1,0 +1,419 @@
+//! Structural Verilog export and import.
+//!
+//! The interchange format every tool of the paper's era spoke. The subset
+//! here is exactly what mapped netlists need: one module, scalar ports,
+//! `wire` declarations, and cell instantiations with named connections
+//! (`.o(...)`, `.i0(...)`, …). Clock pins are implicit, as everywhere in
+//! this workspace (single global clock domain).
+//!
+//! ```text
+//! module rca4 (a0, b0, ..., cin, s0, ..., cout);
+//!   input a0;
+//!   output s0;
+//!   wire _n0;
+//!   xor3_x0.5 u0 (.o(_n0), .i0(a0), .i1(b0), .i2(cin));
+//! endmodule
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use asicgap_cells::Library;
+
+use crate::error::NetlistError;
+use crate::ids::NetId;
+use crate::netlist::Netlist;
+
+/// Escapes a name for Verilog if it contains characters outside
+/// `[A-Za-z0-9_]` (we emit the `\name ` escaped-identifier form).
+fn ident(name: &str) -> String {
+    let plain = name
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    if plain {
+        name.to_string()
+    } else {
+        format!("\\{name} ")
+    }
+}
+
+/// Serialises `netlist` as structural Verilog.
+///
+/// # Example
+///
+/// ```
+/// use asicgap_tech::Technology;
+/// use asicgap_cells::LibrarySpec;
+/// use asicgap_netlist::generators;
+/// use asicgap_netlist::verilog::{from_verilog, to_verilog};
+///
+/// let tech = Technology::cmos025_asic();
+/// let lib = LibrarySpec::rich().build(&tech);
+/// let design = generators::parity_tree(&lib, 4)?;
+/// let text = to_verilog(&design, &lib);
+/// let parsed = from_verilog(&text, &lib)?;
+/// assert_eq!(parsed.instance_count(), design.instance_count());
+/// # Ok::<(), asicgap_netlist::NetlistError>(())
+/// ```
+pub fn to_verilog(netlist: &Netlist, lib: &Library) -> String {
+    let mut out = String::new();
+    let ports: Vec<String> = netlist
+        .inputs()
+        .iter()
+        .map(|(n, _)| ident(n))
+        .chain(netlist.outputs().iter().map(|(n, _)| ident(n)))
+        .collect();
+    let _ = writeln!(out, "module {} ({});", ident(&netlist.name), ports.join(", "));
+    for (n, _) in netlist.inputs() {
+        let _ = writeln!(out, "  input {};", ident(n));
+    }
+    for (n, _) in netlist.outputs() {
+        let _ = writeln!(out, "  output {};", ident(n));
+    }
+    // Internal wires: every net that is not a port net.
+    let port_nets: std::collections::HashSet<NetId> = netlist
+        .inputs()
+        .iter()
+        .chain(netlist.outputs().iter())
+        .map(|&(_, id)| id)
+        .collect();
+    for (id, net) in netlist.iter_nets() {
+        if !port_nets.contains(&id) {
+            let _ = writeln!(out, "  wire {};", ident(&net.name));
+        }
+    }
+    // Output ports are aliases of their driving nets when the names
+    // differ (generators attach output names to internal nets).
+    for (name, id) in netlist.outputs() {
+        let net_name = &netlist.net(*id).name;
+        if name != net_name {
+            let _ = writeln!(out, "  assign {} = {};", ident(name), ident(net_name));
+        }
+    }
+    for (_, inst) in netlist.iter_instances() {
+        let cell = lib.cell(inst.cell);
+        let mut conns = vec![format!(".o({})", ident(&netlist.net(inst.out).name))];
+        for (k, &f) in inst.fanin.iter().enumerate() {
+            conns.push(format!(".i{k}({})", ident(&netlist.net(f).name)));
+        }
+        let _ = writeln!(
+            out,
+            "  {} {} ({});",
+            ident(&cell.name),
+            ident(&inst.name),
+            conns.join(", ")
+        );
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+/// Parses the structural subset emitted by [`to_verilog`] back into a
+/// [`Netlist`] over `lib`.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Invalid`] on syntax it does not understand and
+/// [`NetlistError::MissingCell`] for unknown cell names.
+pub fn from_verilog(source: &str, lib: &Library) -> Result<Netlist, NetlistError> {
+    let tokens = tokenize(source);
+    let mut pos = 0usize;
+    let expect = |tok: &mut usize, want: &str, toks: &[String]| -> Result<(), NetlistError> {
+        if toks.get(*tok).map(String::as_str) == Some(want) {
+            *tok += 1;
+            Ok(())
+        } else {
+            Err(NetlistError::Invalid {
+                summary: format!(
+                    "expected '{want}' near token {:?}",
+                    toks.get(*tok).cloned().unwrap_or_default()
+                ),
+            })
+        }
+    };
+
+    expect(&mut pos, "module", &tokens)?;
+    let name = next_ident(&tokens, &mut pos)?;
+    let mut netlist = Netlist::new(name);
+    expect(&mut pos, "(", &tokens)?;
+    // Port list: names only; direction comes later.
+    let mut port_order = Vec::new();
+    while tokens.get(pos).map(String::as_str) != Some(")") {
+        let p = next_ident(&tokens, &mut pos)?;
+        port_order.push(p);
+        if tokens.get(pos).map(String::as_str) == Some(",") {
+            pos += 1;
+        }
+    }
+    expect(&mut pos, ")", &tokens)?;
+    expect(&mut pos, ";", &tokens)?;
+
+    let mut nets: HashMap<String, NetId> = HashMap::new();
+    let mut net_of = |netlist: &mut Netlist, name: &str| -> NetId {
+        if let Some(&id) = nets.get(name) {
+            return id;
+        }
+        let id = netlist.add_net(name.to_string());
+        nets.insert(name.to_string(), id);
+        id
+    };
+    let mut outputs: Vec<String> = Vec::new();
+    let mut aliases: HashMap<String, String> = HashMap::new();
+
+    while let Some(tok) = tokens.get(pos) {
+        match tok.as_str() {
+            "endmodule" => break,
+            "assign" => {
+                pos += 1;
+                let lhs = next_ident(&tokens, &mut pos)?;
+                expect(&mut pos, "=", &tokens)?;
+                let rhs = next_ident(&tokens, &mut pos)?;
+                expect(&mut pos, ";", &tokens)?;
+                aliases.insert(lhs, rhs);
+            }
+            "input" => {
+                pos += 1;
+                let n = next_ident(&tokens, &mut pos)?;
+                let id = net_of(&mut netlist, &n);
+                netlist.add_input(n, id)?;
+                expect(&mut pos, ";", &tokens)?;
+            }
+            "output" => {
+                pos += 1;
+                let n = next_ident(&tokens, &mut pos)?;
+                outputs.push(n);
+                expect(&mut pos, ";", &tokens)?;
+            }
+            "wire" => {
+                pos += 1;
+                let n = next_ident(&tokens, &mut pos)?;
+                net_of(&mut netlist, &n);
+                expect(&mut pos, ";", &tokens)?;
+            }
+            _ => {
+                // Cell instantiation: CELL INST ( .o(x), .i0(y), ... ) ;
+                let cell_name = next_ident(&tokens, &mut pos)?;
+                let (cell_id, cell) = lib.cell_by_name(&cell_name).ok_or_else(|| {
+                    NetlistError::MissingCell {
+                        what: cell_name.clone(),
+                    }
+                })?;
+                let inst_name = next_ident(&tokens, &mut pos)?;
+                expect(&mut pos, "(", &tokens)?;
+                let mut out_net = None;
+                let mut fanin: Vec<Option<NetId>> = vec![None; cell.function.num_inputs()];
+                while tokens.get(pos).map(String::as_str) != Some(")") {
+                    expect(&mut pos, ".", &tokens)?;
+                    let pin = next_ident(&tokens, &mut pos)?;
+                    expect(&mut pos, "(", &tokens)?;
+                    let net_name = next_ident(&tokens, &mut pos)?;
+                    expect(&mut pos, ")", &tokens)?;
+                    let id = net_of(&mut netlist, &net_name);
+                    if pin == "o" {
+                        out_net = Some(id);
+                    } else if let Some(k) = pin.strip_prefix('i').and_then(|s| s.parse::<usize>().ok())
+                    {
+                        if k >= fanin.len() {
+                            return Err(NetlistError::Invalid {
+                                summary: format!("pin {pin} out of range for {cell_name}"),
+                            });
+                        }
+                        fanin[k] = Some(id);
+                    } else {
+                        return Err(NetlistError::Invalid {
+                            summary: format!("unknown pin {pin}"),
+                        });
+                    }
+                    if tokens.get(pos).map(String::as_str) == Some(",") {
+                        pos += 1;
+                    }
+                }
+                expect(&mut pos, ")", &tokens)?;
+                expect(&mut pos, ";", &tokens)?;
+                let out = out_net.ok_or_else(|| NetlistError::Invalid {
+                    summary: format!("instance {inst_name} has no .o pin"),
+                })?;
+                let fanin: Vec<NetId> = fanin
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, f)| {
+                        f.ok_or_else(|| NetlistError::Invalid {
+                            summary: format!("instance {inst_name} missing pin i{k}"),
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                netlist.add_instance(inst_name, lib, cell_id, &fanin, out)?;
+            }
+        }
+    }
+
+    for name in outputs {
+        let target = aliases.get(&name).unwrap_or(&name);
+        let id = *nets.get(target).ok_or_else(|| NetlistError::Invalid {
+            summary: format!("output {name} aliases unknown net {target}"),
+        })?;
+        netlist.add_output(name, id);
+    }
+    netlist.topo_order()?;
+    Ok(netlist)
+}
+
+fn next_ident(tokens: &[String], pos: &mut usize) -> Result<String, NetlistError> {
+    let t = tokens.get(*pos).ok_or_else(|| NetlistError::Invalid {
+        summary: "unexpected end of file".to_string(),
+    })?;
+    if matches!(t.as_str(), "(" | ")" | ";" | "," | "." | "=") {
+        return Err(NetlistError::Invalid {
+            summary: format!("expected identifier, found '{t}'"),
+        });
+    }
+    *pos += 1;
+    Ok(t.clone())
+}
+
+fn tokenize(source: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut chars = source.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '/' => {
+                // Line comment.
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+            }
+            '\\' => {
+                // Escaped identifier: up to whitespace.
+                chars.next();
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() {
+                        chars.next();
+                        break;
+                    }
+                    s.push(c);
+                    chars.next();
+                }
+                tokens.push(s);
+            }
+            '(' | ')' | ';' | ',' | '.' | '=' => {
+                tokens.push(c.to_string());
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            _ => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if s.is_empty() {
+                    chars.next(); // skip unknown char
+                } else {
+                    tokens.push(s);
+                }
+            }
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::sim::Simulator;
+    use asicgap_cells::LibrarySpec;
+    use asicgap_tech::Technology;
+
+    #[test]
+    fn round_trip_preserves_structure_and_function() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let original = generators::alu(&lib, 4).expect("alu4");
+        let text = to_verilog(&original, &lib);
+        assert!(text.contains("module alu4"));
+        assert!(text.contains("endmodule"));
+        let parsed = from_verilog(&text, &lib).expect("parses back");
+        assert_eq!(parsed.instance_count(), original.instance_count());
+        assert_eq!(parsed.inputs().len(), original.inputs().len());
+        assert_eq!(parsed.outputs().len(), original.outputs().len());
+
+        let mut sim_a = Simulator::new(&original, &lib);
+        let mut sim_b = Simulator::new(&parsed, &lib);
+        for seed in 0..64u64 {
+            let bits: Vec<bool> = (0..original.inputs().len())
+                .map(|i| (seed.wrapping_mul(0x9E3779B97F4A7C15) >> (i % 61)) & 1 == 1)
+                .collect();
+            assert_eq!(sim_a.run_comb(&bits), sim_b.run_comb(&bits), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn sequential_designs_round_trip() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let mut b = crate::NetlistBuilder::new("seqrt", &lib);
+        let a = b.input("a");
+        let x = b.inv(a).expect("inv");
+        let q = b.dff(x).expect("dff");
+        b.output("q", q);
+        let n = b.finish().expect("valid");
+        let text = to_verilog(&n, &lib);
+        let parsed = from_verilog(&text, &lib).expect("parses");
+        assert_eq!(
+            parsed.instances().iter().filter(|i| i.is_sequential()).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn escaped_identifiers_survive() {
+        // Cell names contain dots (drive suffixes like x0.5): they must be
+        // emitted escaped and parsed back.
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let original = generators::parity_tree(&lib, 4).expect("parity");
+        let text = to_verilog(&original, &lib);
+        assert!(text.contains('\\'), "x0.5 cell names need escaping");
+        let parsed = from_verilog(&text, &lib).expect("parses");
+        assert_eq!(parsed.instance_count(), original.instance_count());
+    }
+
+    #[test]
+    fn unknown_cell_is_an_error() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let src = "module m (a, y); input a; output y; bogus_cell u0 (.o(y), .i0(a)); endmodule";
+        assert!(matches!(
+            from_verilog(src, &lib),
+            Err(NetlistError::MissingCell { .. })
+        ));
+    }
+
+    #[test]
+    fn syntax_error_is_reported() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let src = "module broken a, y);";
+        assert!(matches!(
+            from_verilog(src, &lib),
+            Err(NetlistError::Invalid { .. })
+        ));
+    }
+}

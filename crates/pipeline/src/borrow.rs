@@ -1,0 +1,124 @@
+//! Latch-based multi-phase clocking with time borrowing.
+//!
+//! §4.1: "ASIC tools have problems with complicated multi-phase clocking
+//! schemes that would allow time borrowing between pipeline stages to
+//! increase speed. While there are level-sensitive latches in some ASIC
+//! libraries, typically only one or two clock phases are used."
+//!
+//! With edge-triggered flip-flops the clock must cover the **worst**
+//! stage; with transparent latches on a two-phase clock, a long stage can
+//! borrow from a short neighbour, so the clock only has to cover
+//! pair-averages (and ultimately the global average). This module gives
+//! the closed-form bound used by the E4 experiments.
+
+use asicgap_tech::Ps;
+
+/// Cycle-time bounds for a latch-based pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BorrowReport {
+    /// Cycle required with edge-triggered flip-flops (max stage + FF
+    /// overhead).
+    pub flip_flop_cycle: Ps,
+    /// Cycle with two-phase transparent latches and time borrowing.
+    pub borrowed_cycle: Ps,
+    /// The binding constraint index: which adjacent pair (or the global
+    /// average, flagged as `None`) limits the borrowed cycle.
+    pub binding_pair: Option<usize>,
+}
+
+impl BorrowReport {
+    /// Speedup from latch-based design.
+    pub fn speedup(&self) -> f64 {
+        self.flip_flop_cycle / self.borrowed_cycle
+    }
+}
+
+/// Computes the minimum cycle for `stage_delays` under both sequencing
+/// disciplines.
+///
+/// Flip-flops: `T_ff = max_i(d_i) + ff_overhead`.
+///
+/// Two-phase latches: data may borrow up to half a cycle across each latch,
+/// so the binding constraints are the global average and every
+/// adjacent-pair average:
+/// `T_latch = max( mean(d) + l_ov , max_i (d_i + d_{i+1})/2 + l_ov )`.
+///
+/// # Panics
+///
+/// Panics if `stage_delays` is empty.
+pub fn borrowed_cycle(
+    stage_delays: &[Ps],
+    ff_overhead: Ps,
+    latch_overhead: Ps,
+) -> BorrowReport {
+    assert!(!stage_delays.is_empty(), "no stages given");
+    let worst = stage_delays
+        .iter()
+        .copied()
+        .fold(Ps::ZERO, Ps::max);
+    let flip_flop_cycle = worst + ff_overhead;
+
+    let mean = stage_delays.iter().copied().sum::<Ps>() / stage_delays.len() as f64;
+    let mut borrowed = mean + latch_overhead;
+    let mut binding_pair = None;
+    for (i, w) in stage_delays.windows(2).enumerate() {
+        let pair = (w[0] + w[1]) / 2.0 + latch_overhead;
+        if pair > borrowed {
+            borrowed = pair;
+            binding_pair = Some(i);
+        }
+    }
+    BorrowReport {
+        flip_flop_cycle,
+        borrowed_cycle: borrowed,
+        binding_pair,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ps(v: f64) -> Ps {
+        Ps::new(v)
+    }
+
+    #[test]
+    fn balanced_stages_gain_only_the_overhead_difference() {
+        let stages = [ps(100.0), ps(100.0), ps(100.0), ps(100.0)];
+        let r = borrowed_cycle(&stages, ps(40.0), ps(20.0));
+        assert_eq!(r.flip_flop_cycle, ps(140.0));
+        assert_eq!(r.borrowed_cycle, ps(120.0));
+        assert!(r.binding_pair.is_none());
+    }
+
+    #[test]
+    fn imbalanced_stages_borrow_across_the_boundary() {
+        // One 160 ps stage next to 80 ps neighbours: FF pays for 160,
+        // latches only for the pair average 120.
+        let stages = [ps(80.0), ps(160.0), ps(80.0), ps(80.0)];
+        let r = borrowed_cycle(&stages, ps(40.0), ps(20.0));
+        assert_eq!(r.flip_flop_cycle, ps(200.0));
+        assert_eq!(r.borrowed_cycle, ps(140.0));
+        assert_eq!(r.binding_pair, Some(0));
+        assert!(r.speedup() > 1.4);
+    }
+
+    #[test]
+    fn borrowing_never_loses_at_equal_overhead() {
+        let cases: [&[Ps]; 3] = [
+            &[ps(50.0)],
+            &[ps(10.0), ps(200.0)],
+            &[ps(90.0), ps(110.0), ps(100.0)],
+        ];
+        for stages in cases {
+            let r = borrowed_cycle(stages, ps(30.0), ps(30.0));
+            assert!(
+                r.borrowed_cycle <= r.flip_flop_cycle,
+                "{stages:?}: {} vs {}",
+                r.borrowed_cycle,
+                r.flip_flop_cycle
+            );
+        }
+    }
+}

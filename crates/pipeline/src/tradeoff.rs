@@ -1,0 +1,178 @@
+//! Pipeline depth vs. hazards: why frequency is not performance.
+//!
+//! §4.1: "For pipelining to be of value, multiple tasks must be able to be
+//! initiated in parallel, and branches in execution will diminish
+//! performance … There is a trade-off between issuing more instructions
+//! simultaneously and the penalties for branch misprediction and data
+//! hazards [16]."
+
+use asicgap_tech::Fo4;
+
+use crate::model::PipelineModel;
+
+/// Workload/machine parameters for the depth sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineTradeoff {
+    /// Total logic depth of the unpipelined datapath, FO4.
+    pub logic: Fo4,
+    /// Per-stage sequencing + skew overhead, FO4.
+    pub overhead: Fo4,
+    /// Fraction of operations that are branches.
+    pub branch_fraction: f64,
+    /// Misprediction rate among branches.
+    pub mispredict_rate: f64,
+    /// Fraction of ops stalled by data hazards per extra stage.
+    pub hazard_per_stage: f64,
+}
+
+impl PipelineTradeoff {
+    /// A general-purpose-CPU-flavoured default: 20% branches, 10%
+    /// mispredicts, moderate data-hazard pressure — lands the optimal
+    /// depth in the teens, where the deep custom machines of the era sat.
+    pub fn cpu_like(logic: Fo4, overhead: Fo4) -> PipelineTradeoff {
+        PipelineTradeoff {
+            logic,
+            overhead,
+            branch_fraction: 0.20,
+            mispredict_rate: 0.10,
+            hazard_per_stage: 0.04,
+        }
+    }
+
+    /// A streaming-DSP-flavoured workload: data parallel, almost no
+    /// branches (the §4.2 "if data can be processed in parallel" case).
+    pub fn streaming(logic: Fo4, overhead: Fo4) -> PipelineTradeoff {
+        PipelineTradeoff {
+            logic,
+            overhead,
+            branch_fraction: 0.01,
+            mispredict_rate: 0.05,
+            hazard_per_stage: 0.001,
+        }
+    }
+
+    /// Evaluates one depth.
+    pub fn at_depth(&self, stages: usize) -> TradeoffPoint {
+        let model = PipelineModel::new(self.logic, stages, self.overhead, 0.0);
+        let cycle = model.cycle();
+        // CPI model: 1 + flush penalty + hazard stalls, both growing with
+        // depth (a misprediction flushes the front of the pipe).
+        let flush = (stages.saturating_sub(1)) as f64;
+        let cpi = 1.0
+            + self.branch_fraction * self.mispredict_rate * flush
+            + self.hazard_per_stage * flush;
+        // Relative performance: work per FO4 of wall-clock.
+        let perf = 1.0 / (cycle.count() * cpi);
+        TradeoffPoint {
+            stages,
+            cycle,
+            cpi,
+            relative_performance: perf,
+        }
+    }
+
+    /// Sweeps depths `1..=max_stages` and returns all points.
+    pub fn sweep(&self, max_stages: usize) -> Vec<TradeoffPoint> {
+        (1..=max_stages.max(1)).map(|n| self.at_depth(n)).collect()
+    }
+
+    /// The performance-optimal depth within `1..=max_stages`.
+    pub fn optimal_depth(&self, max_stages: usize) -> usize {
+        self.sweep(max_stages)
+            .into_iter()
+            .max_by(|a, b| {
+                a.relative_performance
+                    .partial_cmp(&b.relative_performance)
+                    .expect("finite performance")
+            })
+            .map(|p| p.stages)
+            .unwrap_or(1)
+    }
+}
+
+/// One depth of the sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TradeoffPoint {
+    /// Pipeline depth.
+    pub stages: usize,
+    /// Cycle time, FO4.
+    pub cycle: Fo4,
+    /// Cycles per instruction including flush/stall penalties.
+    pub cpi: f64,
+    /// Throughput proxy: 1 / (cycle · CPI), arbitrary units.
+    pub relative_performance: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streaming_workload_wants_deeper_pipes_than_cpu() {
+        // Optimal depth follows the sqrt law n* ~ sqrt(L/(o*k)) where k is
+        // the per-stage hazard cost; streaming logic (tiny k) pipelines
+        // much deeper than branchy CPU logic.
+        let logic = Fo4::new(150.0);
+        let overhead = Fo4::new(6.0);
+        let cpu = PipelineTradeoff::cpu_like(logic, overhead).optimal_depth(60);
+        let dsp = PipelineTradeoff::streaming(logic, overhead).optimal_depth(60);
+        assert!(
+            dsp > cpu,
+            "streaming optimum {dsp} should exceed CPU optimum {cpu}"
+        );
+        assert!(
+            (5..=40).contains(&cpu),
+            "CPU optimum should be interior, got {cpu}"
+        );
+    }
+
+    #[test]
+    fn branch_free_performance_monotone_until_overhead_wall() {
+        let t = PipelineTradeoff {
+            logic: Fo4::new(100.0),
+            overhead: Fo4::new(4.0),
+            branch_fraction: 0.0,
+            mispredict_rate: 0.0,
+            hazard_per_stage: 0.0,
+        };
+        let pts = t.sweep(10);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].relative_performance > w[0].relative_performance,
+                "without hazards deeper is always faster (until the floor)"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_feedback_logic_barely_pipelines() {
+        // §4.1's bus-interface case: "each execution cycle depends on new
+        // primary inputs and branches are common" — a large per-stage
+        // serial-dependency cost collapses the useful depth.
+        let t = PipelineTradeoff {
+            logic: Fo4::new(100.0),
+            overhead: Fo4::new(4.0),
+            branch_fraction: 0.3,
+            mispredict_rate: 0.3,
+            hazard_per_stage: 0.5,
+        };
+        let best = t.optimal_depth(30);
+        assert!(best <= 8, "serial feedback logic barely pipelines: {best}");
+        // And it is far shallower than a hazard-free datapath of the same
+        // logic depth.
+        let free = PipelineTradeoff {
+            branch_fraction: 0.0,
+            mispredict_rate: 0.0,
+            hazard_per_stage: 0.0,
+            ..t
+        };
+        assert!(free.optimal_depth(30) > 2 * best);
+    }
+
+    #[test]
+    fn cpi_grows_with_depth() {
+        let t = PipelineTradeoff::cpu_like(Fo4::new(120.0), Fo4::new(5.0));
+        assert!(t.at_depth(10).cpi > t.at_depth(2).cpi);
+        assert!((t.at_depth(1).cpi - 1.0).abs() < 1e-12);
+    }
+}

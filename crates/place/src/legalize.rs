@@ -1,0 +1,200 @@
+//! Legalisation: snap an analytical placement onto rows and sites.
+//!
+//! The annealer treats cells as points; real standard cells occupy sites
+//! in rows. Legalisation assigns each cell to its nearest row, snaps x to
+//! the site grid, and resolves overlaps by plowing cells along the row —
+//! the Tetris-style pass every placer of the era ended with.
+
+use asicgap_cells::Library;
+use asicgap_netlist::Netlist;
+
+use crate::placement::Placement;
+
+/// Site width in µm (one placement grid unit along the row).
+fn site_width_um(lib: &Library) -> f64 {
+    0.66 * lib.tech.drawn_um / 0.25
+}
+
+/// Result of legalisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegalizeStats {
+    /// Number of rows used.
+    pub rows: usize,
+    /// Mean displacement from the analytical location, µm.
+    pub mean_displacement_um: f64,
+    /// Worst single-cell displacement, µm.
+    pub max_displacement_um: f64,
+}
+
+/// Legalises `placement` in place: every cell lands on a row y-coordinate
+/// and a site-aligned, non-overlapping x span. Returns displacement
+/// statistics.
+///
+/// # Panics
+///
+/// Panics if the die cannot hold all cells of a row's worth of overflow
+/// (utilisation > 1, which [`Placement::initial`] never produces).
+pub fn legalize(netlist: &Netlist, lib: &Library, placement: &mut Placement) -> LegalizeStats {
+    let row_h = lib.tech.row_height_um;
+    let site = site_width_um(lib);
+    let rows = (placement.height_um / row_h).floor().max(1.0) as usize;
+
+    // Cell widths in sites.
+    let widths: Vec<usize> = netlist
+        .instances()
+        .iter()
+        .map(|inst| {
+            let w = lib.cell(inst.cell).area_um2 / row_h;
+            (w / site).ceil().max(1.0) as usize
+        })
+        .collect();
+
+    let sites_per_row = (placement.width_um / site).floor().max(1.0) as usize;
+    let total_width: usize = widths.iter().sum();
+    assert!(
+        total_width <= rows * sites_per_row,
+        "die cannot hold the design: {total_width} sites needed, {} available",
+        rows * sites_per_row
+    );
+
+    // Assign each cell to the nearest row with remaining capacity
+    // (searching outward), so dense regions spill instead of overflowing.
+    let mut per_row: Vec<Vec<usize>> = vec![Vec::new(); rows];
+    let mut row_load = vec![0usize; rows];
+    let mut order: Vec<usize> = (0..netlist.instance_count()).collect();
+    order.sort_by(|&a, &b| {
+        (placement.cells[a].1, placement.cells[a].0)
+            .partial_cmp(&(placement.cells[b].1, placement.cells[b].0))
+            .expect("coordinates are finite")
+    });
+    for i in order {
+        let y = placement.cells[i].1;
+        let pref = ((y / row_h).floor() as usize).min(rows - 1);
+        let mut chosen = None;
+        for d in 0..rows {
+            for r in [pref.saturating_sub(d), (pref + d).min(rows - 1)] {
+                if row_load[r] + widths[i] <= sites_per_row {
+                    chosen = Some(r);
+                    break;
+                }
+            }
+            if chosen.is_some() {
+                break;
+            }
+        }
+        let r = chosen.expect("total capacity was checked above");
+        row_load[r] += widths[i];
+        per_row[r].push(i);
+    }
+    let mut total_disp = 0.0;
+    let mut max_disp = 0.0f64;
+    let mut used_rows = 0;
+    for (r, cells) in per_row.iter_mut().enumerate() {
+        if cells.is_empty() {
+            continue;
+        }
+        used_rows += 1;
+        // Sort by analytical x, then plow left-to-right.
+        cells.sort_by(|&a, &b| {
+            placement.cells[a]
+                .0
+                .partial_cmp(&placement.cells[b].0)
+                .expect("coordinates are finite")
+        });
+        let mut cursor = 0usize;
+        for &i in cells.iter() {
+            let (x_old, y_old) = placement.cells[i];
+            let ideal_site = (x_old / site).round().max(0.0) as usize;
+            let start = ideal_site
+                .max(cursor)
+                .min(sites_per_row - widths[i]);
+            let start = start.max(cursor); // never move left of the plow
+            let x_new = start as f64 * site;
+            let y_new = (r as f64 + 0.5) * row_h;
+            placement.cells[i] = (x_new, y_new);
+            cursor = start + widths[i];
+            let d = ((x_new - x_old).powi(2) + (y_new - y_old).powi(2)).sqrt();
+            total_disp += d;
+            max_disp = max_disp.max(d);
+        }
+    }
+
+    LegalizeStats {
+        rows: used_rows,
+        mean_displacement_um: total_disp / netlist.instance_count().max(1) as f64,
+        max_displacement_um: max_disp,
+    }
+}
+
+/// Checks that no two cells overlap and every cell sits on a row centre;
+/// returns the number of violations (0 = legal).
+pub fn check_legal(netlist: &Netlist, lib: &Library, placement: &Placement) -> usize {
+    let row_h = lib.tech.row_height_um;
+    let site = site_width_um(lib);
+    let mut violations = 0;
+    // Row alignment.
+    let mut spans: Vec<(usize, f64, f64)> = Vec::new(); // (row, x0, x1)
+    for (i, &(x, y)) in placement.cells.iter().enumerate() {
+        let row = (y / row_h - 0.5).round();
+        if (y - (row + 0.5) * row_h).abs() > 1e-6 {
+            violations += 1;
+        }
+        let w = (lib.cell(netlist.instances()[i].cell).area_um2 / row_h / site)
+            .ceil()
+            .max(1.0)
+            * site;
+        spans.push((row as usize, x, x + w));
+    }
+    spans.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).expect("finite"));
+    for w in spans.windows(2) {
+        if w[0].0 == w[1].0 && w[1].1 < w[0].2 - 1e-6 {
+            violations += 1;
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anneal::AnnealOptions;
+    use crate::floorplan::{Floorplan, FloorplanStrategy};
+    use asicgap_cells::LibrarySpec;
+    use asicgap_netlist::generators;
+    use asicgap_tech::Technology;
+
+    #[test]
+    fn legalized_placement_is_legal_and_close() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::alu(&lib, 16).expect("alu16");
+        let fp = Floorplan::build(&n, &lib, FloorplanStrategy::Localized, &AnnealOptions::quick(1));
+        let mut p = fp.placement;
+        assert!(check_legal(&n, &lib, &p) > 0, "analytical placement overlaps");
+        let stats = legalize(&n, &lib, &mut p);
+        assert_eq!(check_legal(&n, &lib, &p), 0, "legalised placement is legal");
+        assert!(stats.rows > 1);
+        // Displacement stays within a few rows.
+        assert!(
+            stats.mean_displacement_um < 4.0 * lib.tech.row_height_um,
+            "mean displacement {:.1} um",
+            stats.mean_displacement_um
+        );
+    }
+
+    #[test]
+    fn hpwl_survives_legalisation() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::ripple_carry_adder(&lib, 16).expect("rca16");
+        let fp = Floorplan::build(&n, &lib, FloorplanStrategy::Localized, &AnnealOptions::quick(1));
+        let mut p = fp.placement;
+        let before = p.total_hpwl(&n).value();
+        legalize(&n, &lib, &mut p);
+        let after = p.total_hpwl(&n).value();
+        assert!(
+            after < before * 1.6,
+            "legalisation must not destroy the placement: {before:.0} -> {after:.0}"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! Cell coordinates on a die, plus net wirelength queries.
+
+use asicgap_cells::Library;
+use asicgap_netlist::{NetDriver, NetId, Netlist};
+use asicgap_tech::Um;
+
+/// A placement: one (x, y) per instance, ports on the die boundary.
+///
+/// Coordinates are in µm with the die spanning `[0, width] × [0, height]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Die width, µm.
+    pub width_um: f64,
+    /// Die height, µm.
+    pub height_um: f64,
+    /// Instance coordinates, indexed like `netlist.instances()`.
+    pub cells: Vec<(f64, f64)>,
+    /// Primary-input coordinates (on the boundary), indexed like
+    /// `netlist.inputs()`.
+    pub inputs: Vec<(f64, f64)>,
+    /// Primary-output coordinates, indexed like `netlist.outputs()`.
+    pub outputs: Vec<(f64, f64)>,
+}
+
+impl Placement {
+    /// The die side needed to hold `netlist` at `utilization` (0 < u ≤ 1),
+    /// assuming a square die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not in `(0, 1]`.
+    pub fn required_side_um(netlist: &Netlist, lib: &Library, utilization: f64) -> f64 {
+        assert!(
+            utilization > 0.0 && utilization <= 1.0,
+            "utilization {utilization} out of (0, 1]"
+        );
+        (netlist.total_area_um2(lib) / utilization).sqrt()
+    }
+
+    /// Places every instance on a √n × √n grid over a square die sized for
+    /// `utilization`, ports spread along the west (inputs) and east
+    /// (outputs) edges. This is the deterministic initial placement the
+    /// annealer starts from.
+    pub fn initial(netlist: &Netlist, lib: &Library, utilization: f64) -> Placement {
+        let side = Self::required_side_um(netlist, lib, utilization).max(1.0);
+        let n = netlist.instance_count().max(1);
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let pitch = side / cols as f64;
+        let cells = (0..n)
+            .map(|i| {
+                let col = i % cols;
+                let row = i / cols;
+                (
+                    (col as f64 + 0.5) * pitch,
+                    (row as f64 + 0.5) * pitch,
+                )
+            })
+            .collect();
+        let inputs = edge_positions(netlist.inputs().len(), 0.0, side);
+        let outputs = edge_positions(netlist.outputs().len(), side, side);
+        Placement {
+            width_um: side,
+            height_um: side,
+            cells,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Coordinates of whatever drives `net` (instance or input port).
+    pub fn driver_pos(&self, netlist: &Netlist, net: NetId) -> (f64, f64) {
+        match netlist.net(net).driver {
+            Some(NetDriver::Instance(inst)) => self.cells[inst.index()],
+            Some(NetDriver::PrimaryInput(k)) => self.inputs[k],
+            None => (0.0, 0.0),
+        }
+    }
+
+    /// Half-perimeter wirelength of `net` in µm: the bounding box of the
+    /// driver, all sink instances, and (if the net is an output) its port.
+    pub fn net_hpwl(&self, netlist: &Netlist, net: NetId) -> Um {
+        let n = netlist.net(net);
+        let (mut min_x, mut min_y) = self.driver_pos(netlist, net);
+        let (mut max_x, mut max_y) = (min_x, min_y);
+        let mut grow = |x: f64, y: f64| {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        };
+        for s in &n.sinks {
+            let (x, y) = self.cells[s.inst.index()];
+            grow(x, y);
+        }
+        if n.is_output {
+            if let Some(k) = netlist.outputs().iter().position(|(_, id)| *id == net) {
+                let (x, y) = self.outputs[k];
+                grow(x, y);
+            }
+        }
+        Um::new((max_x - min_x) + (max_y - min_y))
+    }
+
+    /// Total HPWL over all nets.
+    pub fn total_hpwl(&self, netlist: &Netlist) -> Um {
+        netlist
+            .iter_nets()
+            .map(|(id, _)| self.net_hpwl(netlist, id))
+            .sum()
+    }
+}
+
+fn edge_positions(count: usize, x: f64, side: f64) -> Vec<(f64, f64)> {
+    (0..count)
+        .map(|i| (x, (i as f64 + 0.5) * side / count.max(1) as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_cells::LibrarySpec;
+    use asicgap_netlist::generators;
+    use asicgap_tech::Technology;
+
+    fn setup() -> (asicgap_cells::Library, Netlist) {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::ripple_carry_adder(&lib, 8).expect("rca8");
+        (lib, n)
+    }
+
+    #[test]
+    fn initial_placement_within_die() {
+        let (lib, n) = setup();
+        let p = Placement::initial(&n, &lib, 0.7);
+        for &(x, y) in &p.cells {
+            assert!(x >= 0.0 && x <= p.width_um);
+            assert!(y >= 0.0 && y <= p.height_um);
+        }
+        assert_eq!(p.cells.len(), n.instance_count());
+    }
+
+    #[test]
+    fn die_size_scales_with_area() {
+        let (lib, n) = setup();
+        let tight = Placement::required_side_um(&n, &lib, 1.0);
+        let loose = Placement::required_side_um(&n, &lib, 0.25);
+        assert!((loose / tight - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hpwl_positive_and_total_consistent() {
+        let (lib, n) = setup();
+        let p = Placement::initial(&n, &lib, 0.7);
+        let total = p.total_hpwl(&n);
+        assert!(total.value() > 0.0);
+        let sum: Um = n.iter_nets().map(|(id, _)| p.net_hpwl(&n, id)).sum();
+        assert!((sum - total).abs().value() < 1e-6);
+    }
+
+    #[test]
+    fn moving_a_cell_changes_hpwl() {
+        let (lib, n) = setup();
+        let mut p = Placement::initial(&n, &lib, 0.7);
+        let before = p.total_hpwl(&n);
+        p.cells[0] = (p.width_um * 10.0, p.height_um * 10.0);
+        let after = p.total_hpwl(&n);
+        assert!(after > before);
+    }
+}

@@ -1,0 +1,89 @@
+//! Post-layout drive re-selection against annotated wire loads.
+//!
+//! §6.2: "After layout, transistors can be resized accounting for the
+//! drive strengths required to send signals across the circuit." This is
+//! placement's half of that loop: annotate → resize → re-annotate. The
+//! drive-selection algorithm itself lives in `asicgap-synth`; to avoid a
+//! dependency cycle this module re-implements the small backward sweep
+//! locally (same target-gain policy).
+
+use asicgap_cells::Library;
+use asicgap_netlist::Netlist;
+use asicgap_sta::NetParasitics;
+use asicgap_tech::Ff;
+
+use crate::annotate::annotate;
+use crate::placement::Placement;
+
+/// External load assumed on primary outputs, in unit inverter caps
+/// (matches the STA and `asicgap-synth`).
+const OUTPUT_LOAD_UNITS: f64 = 4.0;
+const TARGET_GAIN: f64 = 4.0;
+
+/// Clones `netlist`, re-selects every drive against wire loads from
+/// `placement`, and returns the resized netlist with fresh parasitics.
+pub fn post_layout_resize(
+    netlist: &Netlist,
+    lib: &Library,
+    placement: &Placement,
+) -> (Netlist, NetParasitics) {
+    let tech = &lib.tech;
+    let mut out = netlist.clone();
+    for _pass in 0..2 {
+        let par = annotate(&out, lib, placement, true);
+        let order = out
+            .topo_order()
+            .expect("post-layout resize requires an acyclic netlist");
+        let seq: Vec<_> = out
+            .iter_instances()
+            .filter(|(_, i)| i.is_sequential())
+            .map(|(id, _)| id)
+            .collect();
+        for &id in order.iter().rev().chain(seq.iter()) {
+            let inst = out.instance(id);
+            let mut load = out.net_load(lib, inst.out, par.cap(inst.out));
+            if out.net(inst.out).is_output {
+                load += tech.unit_inverter_cin * OUTPUT_LOAD_UNITS;
+            }
+            if load <= Ff::ZERO {
+                continue;
+            }
+            let cell = lib.cell(inst.cell);
+            if let Ok(best) = lib.drive_for_gain(cell.function, cell.family, load, TARGET_GAIN) {
+                if best != inst.cell {
+                    out.set_instance_cell(lib, id, best);
+                }
+            }
+        }
+    }
+    let par = annotate(&out, lib, placement, true);
+    (out, par)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anneal::AnnealOptions;
+    use crate::floorplan::{Floorplan, FloorplanStrategy};
+    use asicgap_cells::LibrarySpec;
+    use asicgap_netlist::generators;
+    use asicgap_sta::{analyze, ClockSpec};
+    use asicgap_tech::Technology;
+
+    #[test]
+    fn resize_recovers_most_of_the_wire_penalty() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::alu(&lib, 16).expect("alu16");
+        let fp = Floorplan::build(&n, &lib, FloorplanStrategy::Localized, &AnnealOptions::quick(1));
+        let clock = ClockSpec::unconstrained();
+        let before = analyze(&n, &lib, &clock, Some(&annotate(&n, &lib, &fp.placement, true)))
+            .min_period;
+        let (resized, par) = post_layout_resize(&n, &lib, &fp.placement);
+        let after = analyze(&resized, &lib, &clock, Some(&par)).min_period;
+        assert!(
+            after < before * 0.8,
+            "post-layout resize should recover wire losses: {before} -> {after}"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Speed binning and quoting policy.
+//!
+//! §8.2: "Fabrication plants won't offer ASIC customers the top chip speed
+//! off the production line, as they cannot guarantee a sufficiently high
+//! yield … The fabrication plant guarantees that they can produce an ASIC
+//! chip with a certain speed." §8.3: if designers "can afford to test
+//! produced chips and verify correct operation at higher speeds … This may
+//! allow a 30% to 40% improvement in speed over worst-case speeds."
+
+use asicgap_tech::ProcessCorner;
+
+use crate::montecarlo::ChipPopulation;
+
+/// How speeds are promised to a customer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinningPolicy {
+    /// Yield the quote must guarantee (e.g. 0.98: 98% of parts meet it).
+    pub guaranteed_yield: f64,
+    /// Extra margin the quote keeps below even that quantile.
+    pub guard_band: f64,
+}
+
+impl BinningPolicy {
+    /// The ASIC worst-case quoting policy: sign-off at the slow corner.
+    /// The quote is the nominal speed divided by the slow-corner derate —
+    /// this is what the library's `.lib` numbers promise.
+    pub fn asic_worst_case() -> BinningPolicy {
+        BinningPolicy {
+            guaranteed_yield: 0.995,
+            guard_band: 1.10,
+        }
+    }
+
+    /// A speed-grading policy: every chip is tested and sold at (slightly
+    /// under) its measured speed, so only a thin test margin separates the
+    /// promise from the silicon.
+    pub fn speed_graded() -> BinningPolicy {
+        BinningPolicy {
+            guaranteed_yield: 0.95,
+            guard_band: 1.02,
+        }
+    }
+
+    /// The speed this policy would quote for `population` (relative to
+    /// nominal = 1.0).
+    pub fn quote(&self, population: &ChipPopulation) -> f64 {
+        population.quantile(1.0 - self.guaranteed_yield) / self.guard_band
+    }
+
+    /// The corner-model ASIC quote: nominal / slow-corner derate. The
+    /// library's promise is corner-based, not statistical — usually even
+    /// more pessimistic than [`BinningPolicy::quote`] on real silicon.
+    pub fn corner_quote() -> f64 {
+        1.0 / ProcessCorner::SlowSlow.delay_derate()
+    }
+}
+
+/// A set of speed bins over a population (custom-vendor style).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedBins {
+    /// Bin floors (relative speed), ascending, with their yields.
+    pub bins: Vec<(f64, f64)>,
+}
+
+impl SpeedBins {
+    /// Cuts `population` into bins at the given quantile floors (e.g.
+    /// `[0.05, 0.5, 0.9]` makes three sellable grades).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floors` is empty or not ascending.
+    pub fn from_quantiles(population: &ChipPopulation, floors: &[f64]) -> SpeedBins {
+        assert!(!floors.is_empty(), "need at least one bin floor");
+        assert!(
+            floors.windows(2).all(|w| w[0] < w[1]),
+            "bin floors must ascend"
+        );
+        let bins = floors
+            .iter()
+            .map(|&q| {
+                let floor = population.quantile(q);
+                (floor, population.yield_at(floor))
+            })
+            .collect();
+        SpeedBins { bins }
+    }
+
+    /// The fastest sellable bin's floor speed.
+    pub fn top_bin_speed(&self) -> f64 {
+        self.bins.last().expect("bins are non-empty").0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::VariationComponents;
+
+    fn pop() -> ChipPopulation {
+        ChipPopulation::sample(&VariationComponents::new_process(), 20_000, 11)
+    }
+
+    #[test]
+    fn worst_case_quote_well_below_typical() {
+        let p = pop();
+        let quote = BinningPolicy::asic_worst_case().quote(&p);
+        assert!(p.median() / quote > 1.2, "quote {quote} vs median {}", p.median());
+    }
+
+    #[test]
+    fn corner_quote_matches_paper_band() {
+        // Typical silicon 60-70% above the worst-case quote.
+        let gain = 1.0 / BinningPolicy::corner_quote();
+        assert!((1.6..=1.7).contains(&gain));
+    }
+
+    #[test]
+    fn speed_grading_beats_worst_case_by_paper_margin() {
+        // §8.3: testing chips "may allow a 30% to 40% improvement in speed
+        // over worst-case speeds" — compare the graded quote against the
+        // corner quote.
+        let p = pop();
+        let graded = BinningPolicy::speed_graded().quote(&p);
+        let corner = BinningPolicy::corner_quote();
+        let gain = graded / corner;
+        assert!(
+            (1.25..=1.50).contains(&gain),
+            "speed grading gain {gain:.2} outside the paper's 1.3-1.4 band"
+        );
+    }
+
+    #[test]
+    fn bins_ascend_and_yields_descend() {
+        let p = pop();
+        let bins = SpeedBins::from_quantiles(&p, &[0.05, 0.50, 0.90]);
+        assert_eq!(bins.bins.len(), 3);
+        for w in bins.bins.windows(2) {
+            assert!(w[1].0 > w[0].0, "floors ascend");
+            assert!(w[1].1 < w[0].1, "yields descend");
+        }
+        assert!(bins.top_bin_speed() > p.median());
+    }
+}

@@ -1,0 +1,134 @@
+//! Wafer economics: why worst-case quoting is the only viable ASIC deal.
+//!
+//! §8.2: "Fabrication plants won't offer ASIC customers the top chip speed
+//! off the production line, as they cannot guarantee a sufficiently high
+//! yield for this to be profitable." This module prices that statement:
+//! dies per wafer, functional yield (Poisson defect model), and the cost
+//! multiplier of selling only a fast speed bin.
+
+use crate::montecarlo::ChipPopulation;
+
+/// A wafer cost/yield model of the 200 mm, 0.25 µm era.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaferEconomics {
+    /// Cost of one processed wafer, $.
+    pub wafer_cost: f64,
+    /// Wafer diameter, mm.
+    pub wafer_diameter_mm: f64,
+    /// Defect density, defects per cm².
+    pub defect_density_per_cm2: f64,
+}
+
+impl Default for WaferEconomics {
+    /// 200 mm wafer, $2000 processed, 0.5 defects/cm² (mature 0.25 µm).
+    fn default() -> WaferEconomics {
+        WaferEconomics {
+            wafer_cost: 2000.0,
+            wafer_diameter_mm: 200.0,
+            defect_density_per_cm2: 0.5,
+        }
+    }
+}
+
+impl WaferEconomics {
+    /// Gross dies per wafer, with the classic edge-loss correction:
+    /// `N = π·(d/2)² / A − π·d / sqrt(2·A)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die_area_mm2` is not strictly positive.
+    pub fn dies_per_wafer(&self, die_area_mm2: f64) -> usize {
+        assert!(die_area_mm2 > 0.0, "die area must be positive");
+        let d = self.wafer_diameter_mm;
+        let n = std::f64::consts::PI * (d / 2.0).powi(2) / die_area_mm2
+            - std::f64::consts::PI * d / (2.0 * die_area_mm2).sqrt();
+        n.max(0.0) as usize
+    }
+
+    /// Functional (defect-limited) yield: `exp(−D·A)` (Poisson).
+    pub fn functional_yield(&self, die_area_mm2: f64) -> f64 {
+        (-self.defect_density_per_cm2 * die_area_mm2 / 100.0).exp()
+    }
+
+    /// Cost per functional die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the die does not fit on the wafer at all.
+    pub fn cost_per_good_die(&self, die_area_mm2: f64) -> f64 {
+        let gross = self.dies_per_wafer(die_area_mm2);
+        assert!(gross > 0, "die larger than the wafer");
+        self.wafer_cost / (gross as f64 * self.functional_yield(die_area_mm2))
+    }
+
+    /// Cost per die *sold at a speed floor*: functional cost divided by
+    /// the fraction of functional dies meeting `speed_floor` in
+    /// `population`. Selling only the fast tail multiplies cost by the
+    /// inverse bin yield — the §8.2 profitability argument.
+    pub fn cost_per_binned_die(
+        &self,
+        die_area_mm2: f64,
+        population: &ChipPopulation,
+        speed_floor: f64,
+    ) -> f64 {
+        let bin_yield = population.yield_at(speed_floor).max(1.0e-6);
+        self.cost_per_good_die(die_area_mm2) / bin_yield
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::VariationComponents;
+
+    fn pop() -> ChipPopulation {
+        ChipPopulation::sample(&VariationComponents::new_process(), 30_000, 21)
+    }
+
+    #[test]
+    fn bigger_dies_cost_disproportionately_more() {
+        let e = WaferEconomics::default();
+        // Xtensa-class 4 mm^2 vs Alpha-class 225 mm^2 (2.25 cm^2).
+        let small = e.cost_per_good_die(4.0);
+        let large = e.cost_per_good_die(225.0);
+        let area_ratio: f64 = 225.0 / 4.0;
+        assert!(
+            large / small > 1.5 * area_ratio,
+            "yield makes big dies superlinear: {:.0}x cost for {:.0}x area",
+            large / small,
+            area_ratio
+        );
+    }
+
+    #[test]
+    fn top_bin_pricing_is_prohibitive_for_fixed_price_asics() {
+        let e = WaferEconomics::default();
+        let p = pop();
+        let worst_case_floor = p.quantile(0.01);
+        let top_bin_floor = p.quantile(0.98);
+        let commodity = e.cost_per_binned_die(25.0, &p, worst_case_floor);
+        let halo = e.cost_per_binned_die(25.0, &p, top_bin_floor);
+        assert!(
+            halo / commodity > 20.0,
+            "guaranteeing the top bin costs {:.0}x the worst-case quote",
+            halo / commodity
+        );
+    }
+
+    #[test]
+    fn dies_per_wafer_sane_for_known_sizes() {
+        let e = WaferEconomics::default();
+        // 200 mm wafer, 100 mm^2 die: low hundreds gross.
+        let n = e.dies_per_wafer(100.0);
+        assert!((200..=320).contains(&n), "{n} dies/wafer");
+        // 4 mm^2: thousands.
+        assert!(e.dies_per_wafer(4.0) > 5000);
+    }
+
+    #[test]
+    fn yields_decay_with_area() {
+        let e = WaferEconomics::default();
+        assert!(e.functional_yield(4.0) > 0.97);
+        assert!(e.functional_yield(225.0) < 0.40);
+    }
+}

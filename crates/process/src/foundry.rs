@@ -1,0 +1,86 @@
+//! Foundry-to-foundry differences and accessibility.
+//!
+//! §8.1.2: "in the same technology, the speed of identical ASIC designs …
+//! may vary by 20% to 25% between fabrication plants of different
+//! companies." And §8.2: "ASIC designers may not have access to the best
+//! fabrication plants in a particular technology generation."
+
+use crate::components::VariationComponents;
+use crate::montecarlo::ChipPopulation;
+
+/// One fabrication plant: a nominal speed offset plus its variation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Foundry {
+    /// Plant name.
+    pub name: String,
+    /// Nominal speed multiplier relative to the best plant (≤ 1.0).
+    pub speed_offset: f64,
+    /// Its variation components.
+    pub components: VariationComponents,
+}
+
+impl Foundry {
+    /// Samples this plant's population.
+    pub fn population(&self, n: usize, seed: u64) -> ChipPopulation {
+        ChipPopulation::sample(&self.components, n, seed).scaled(self.speed_offset)
+    }
+}
+
+/// The merchant landscape of a 0.25 µm-era technology node: a leading
+/// captive fab (available to the custom vendor), a top merchant foundry,
+/// and two slower merchant lines. Offsets span the paper's 20–25%.
+pub fn foundry_lineup() -> Vec<Foundry> {
+    vec![
+        Foundry {
+            name: "captive-leading".to_string(),
+            speed_offset: 1.0,
+            components: VariationComponents::new_process(),
+        },
+        Foundry {
+            name: "merchant-a".to_string(),
+            speed_offset: 0.95,
+            components: VariationComponents::new_process(),
+        },
+        Foundry {
+            name: "merchant-b".to_string(),
+            speed_offset: 0.88,
+            components: VariationComponents::new_process().scaled(1.1),
+        },
+        Foundry {
+            name: "merchant-c".to_string(),
+            speed_offset: 0.81,
+            components: VariationComponents::new_process().scaled(1.2),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineup_spread_matches_paper() {
+        let lineup = foundry_lineup();
+        let best = lineup
+            .iter()
+            .map(|f| f.speed_offset)
+            .fold(0.0f64, f64::max);
+        let worst = lineup
+            .iter()
+            .map(|f| f.speed_offset)
+            .fold(f64::INFINITY, f64::min);
+        let spread = best / worst;
+        assert!(
+            (1.20..=1.25).contains(&spread),
+            "foundry spread {spread:.3} outside the paper's 20-25%"
+        );
+    }
+
+    #[test]
+    fn populations_reflect_offsets() {
+        let lineup = foundry_lineup();
+        let fast = lineup[0].population(5000, 3);
+        let slow = lineup[3].population(5000, 3);
+        assert!(fast.median() > slow.median() * 1.15);
+    }
+}

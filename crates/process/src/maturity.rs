@@ -1,0 +1,98 @@
+//! Process maturity across a technology generation.
+//!
+//! §8.1.1: variation "decreases as the process matures, but additional
+//! improvements to the process or the design of the custom ICs are
+//! possible. In Intel's 0.25 µm 856 process, a shrink of 5% was achieved,
+//! giving a speed improvement of 18%." And §8.2: "If there are process
+//! improvements, then the library must be redesigned to take advantage of
+//! these, and if it is not then potentially as much as a 20% possible
+//! improvement in speed is lost."
+
+use crate::components::VariationComponents;
+
+/// A technology generation's evolution over time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaturityModel {
+    /// Nominal speed gain fully matured (e.g. 0.20 = +20% over ramp).
+    pub mature_speed_gain: f64,
+    /// Time constant of maturation, in quarters.
+    pub tau_quarters: f64,
+    /// Variation shrink factor at full maturity (σ multiplier).
+    pub mature_sigma_factor: f64,
+}
+
+impl Default for MaturityModel {
+    fn default() -> MaturityModel {
+        MaturityModel {
+            mature_speed_gain: 0.20,
+            tau_quarters: 4.0,
+            mature_sigma_factor: 0.55,
+        }
+    }
+}
+
+impl MaturityModel {
+    /// Nominal speed multiplier `t` quarters after ramp.
+    pub fn speed_at(&self, quarters: f64) -> f64 {
+        1.0 + self.mature_speed_gain * (1.0 - (-quarters / self.tau_quarters).exp())
+    }
+
+    /// Variation components `t` quarters after ramp, interpolating from
+    /// `start` towards the matured sigmas.
+    pub fn components_at(&self, start: &VariationComponents, quarters: f64) -> VariationComponents {
+        let f = self.mature_sigma_factor
+            + (1.0 - self.mature_sigma_factor) * (-quarters / self.tau_quarters).exp();
+        start.scaled(f)
+    }
+
+    /// Speed gain from an optical shrink of `fraction` (0.05 = 5% linear
+    /// shrink). Calibrated to Intel's datum: 5% shrink ⇒ 18% speed, i.e.
+    /// an elasticity of ln(1.18)/ln(1/0.95) ≈ 3.23.
+    pub fn shrink_gain(fraction: f64) -> f64 {
+        const ELASTICITY: f64 = 3.23;
+        (1.0 / (1.0 - fraction)).powf(ELASTICITY)
+    }
+
+    /// The §8.2 stale-library penalty: the fraction of the matured speed a
+    /// design forfeits when its library was characterised at ramp and
+    /// never updated.
+    pub fn stale_library_loss(&self) -> f64 {
+        1.0 - 1.0 / self.speed_at(f64::INFINITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intel_shrink_datum_reproduced() {
+        let gain = MaturityModel::shrink_gain(0.05);
+        assert!((gain - 1.18).abs() < 0.005, "5% shrink -> {gain:.3}");
+    }
+
+    #[test]
+    fn maturation_saturates() {
+        let m = MaturityModel::default();
+        assert!(m.speed_at(0.0) < 1.01);
+        assert!(m.speed_at(2.0) < m.speed_at(8.0));
+        assert!((m.speed_at(100.0) - 1.20).abs() < 1e-6);
+    }
+
+    #[test]
+    fn variation_tightens_with_age() {
+        let m = MaturityModel::default();
+        let start = VariationComponents::new_process();
+        let aged = m.components_at(&start, 8.0);
+        assert!(aged.total_sigma() < start.total_sigma() * 0.75);
+    }
+
+    #[test]
+    fn stale_library_loses_about_twenty_percent() {
+        // §8.2: "potentially as much as a 20% possible improvement in
+        // speed is lost" with an un-redesigned library.
+        let m = MaturityModel::default();
+        let loss = m.stale_library_loss();
+        assert!((0.14..=0.20).contains(&loss), "stale-library loss {loss:.3}");
+    }
+}

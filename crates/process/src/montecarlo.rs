@@ -1,0 +1,221 @@
+//! Monte-Carlo chip-speed populations.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::components::VariationComponents;
+use crate::within_die::WithinDieModel;
+
+/// A sampled population of chip speeds (relative to nominal = 1.0),
+/// stored sorted ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipPopulation {
+    speeds: Vec<f64>,
+}
+
+impl ChipPopulation {
+    /// Samples `n` chips. Lots of 25 wafers, 200 die per wafer, share
+    /// their lot/wafer draws — so the hierarchy is real, not just a wider
+    /// normal. Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sample(
+        components: &VariationComponents,
+        n: usize,
+        seed: u64,
+    ) -> ChipPopulation {
+        assert!(n > 0, "population must be non-empty");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut speeds = Vec::with_capacity(n);
+        let mut produced = 0;
+        'lots: loop {
+            let lot = gauss(&mut rng) * components.lot_sigma;
+            for _wafer in 0..25 {
+                let wafer = gauss(&mut rng) * components.wafer_sigma;
+                for _die in 0..200 {
+                    let die = gauss(&mut rng) * components.die_sigma;
+                    // Within-die: the worst of several path draws only
+                    // slows the chip.
+                    let wid = gauss(&mut rng).abs() * components.within_die_sigma;
+                    let speed = (lot + wafer + die - wid).exp();
+                    speeds.push(speed);
+                    produced += 1;
+                    if produced == n {
+                        break 'lots;
+                    }
+                }
+            }
+        }
+        speeds.sort_by(|a, b| a.partial_cmp(b).expect("speeds are finite"));
+        ChipPopulation { speeds }
+    }
+
+    /// Samples `n` chips with an explicit many-critical-paths within-die
+    /// model (big dies pay the extreme-value penalty of their path count;
+    /// see [`WithinDieModel`]). The hierarchy's own `within_die_sigma` is
+    /// ignored in favour of the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sample_with_paths(
+        components: &VariationComponents,
+        within_die: &WithinDieModel,
+        n: usize,
+        seed: u64,
+    ) -> ChipPopulation {
+        assert!(n > 0, "population must be non-empty");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut speeds = Vec::with_capacity(n);
+        let mut produced = 0;
+        'lots: loop {
+            let lot = gauss(&mut rng) * components.lot_sigma;
+            for _wafer in 0..25 {
+                let wafer = gauss(&mut rng) * components.wafer_sigma;
+                for _die in 0..200 {
+                    let die = gauss(&mut rng) * components.die_sigma;
+                    let wid = within_die.sample(&mut rng);
+                    speeds.push((lot + wafer + die).exp() * wid);
+                    produced += 1;
+                    if produced == n {
+                        break 'lots;
+                    }
+                }
+            }
+        }
+        speeds.sort_by(|a, b| a.partial_cmp(b).expect("speeds are finite"));
+        ChipPopulation { speeds }
+    }
+
+    /// Number of chips.
+    pub fn len(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// `true` if empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.speeds.is_empty()
+    }
+
+    /// The `q`-quantile speed (0 = slowest chip, 1 = fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of [0, 1]");
+        let idx = ((self.speeds.len() - 1) as f64 * q).round() as usize;
+        self.speeds[idx]
+    }
+
+    /// Median speed.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of chips at least as fast as `speed` (the yield of a bin
+    /// with that floor).
+    pub fn yield_at(&self, speed: f64) -> f64 {
+        let below = self.speeds.partition_point(|&s| s < speed);
+        (self.speeds.len() - below) as f64 / self.speeds.len() as f64
+    }
+
+    /// All speeds, ascending.
+    pub fn speeds(&self) -> &[f64] {
+        &self.speeds
+    }
+
+    /// Multiplies every speed by `factor` (foundry offset, maturity gain).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> ChipPopulation {
+        ChipPopulation {
+            speeds: self.speeds.iter().map(|s| s * factor).collect(),
+        }
+    }
+}
+
+/// Box-Muller standard normal.
+fn gauss(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop() -> ChipPopulation {
+        ChipPopulation::sample(&VariationComponents::new_process(), 20_000, 7)
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = ChipPopulation::sample(&VariationComponents::new_process(), 1000, 42);
+        let b = ChipPopulation::sample(&VariationComponents::new_process(), 1000, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn median_near_nominal() {
+        let p = pop();
+        let m = p.median();
+        // Within-die skews slightly slow; median lands just below 1.0.
+        assert!((0.93..=1.01).contains(&m), "median {m}");
+    }
+
+    #[test]
+    fn quantiles_are_monotone() {
+        let p = pop();
+        let qs: Vec<f64> = [0.0, 0.1, 0.5, 0.9, 1.0]
+            .iter()
+            .map(|&q| p.quantile(q))
+            .collect();
+        for w in qs.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn yield_matches_quantiles() {
+        let p = pop();
+        let q80 = p.quantile(0.80);
+        let y = p.yield_at(q80);
+        assert!((y - 0.20).abs() < 0.01, "yield at q80 is ~20%, got {y}");
+    }
+
+    #[test]
+    fn big_dies_are_slower_on_average_than_small_dies() {
+        // An Alpha-class die has orders of magnitude more near-critical
+        // paths than a 4 mm^2 ASIC block: its median chip is slower
+        // relative to nominal.
+        use crate::within_die::WithinDieModel;
+        let comps = VariationComponents::new_process();
+        let small = ChipPopulation::sample_with_paths(
+            &comps,
+            &WithinDieModel::new(50, 0.03),
+            10_000,
+            3,
+        );
+        let big = ChipPopulation::sample_with_paths(
+            &comps,
+            &WithinDieModel::new(50_000, 0.03),
+            10_000,
+            3,
+        );
+        assert!(big.median() < small.median());
+        // And the big die's distribution is tighter in relative terms.
+        let spread = |p: &ChipPopulation| p.quantile(0.95) / p.quantile(0.05);
+        assert!(spread(&big) <= spread(&small) * 1.02);
+    }
+
+    #[test]
+    fn mature_population_is_tighter() {
+        let new = pop();
+        let mature = ChipPopulation::sample(&VariationComponents::mature_process(), 20_000, 7);
+        let spread = |p: &ChipPopulation| p.quantile(0.95) / p.quantile(0.05);
+        assert!(spread(&mature) < spread(&new));
+    }
+}

@@ -1,0 +1,253 @@
+//! A timing evaluator over continuous per-instance sizes.
+//!
+//! The sizer cannot use `asicgap-sta` directly because sizes live between
+//! library drive points; this evaluator reads the same logical-effort
+//! parameters from each instance's *function* and applies an arbitrary
+//! size vector. With sizes equal to the mapped cells' drives it agrees
+//! with the STA's combinational arrival model by construction.
+
+use asicgap_cells::{CellFunction, Library};
+use asicgap_netlist::{InstId, NetId, Netlist};
+use asicgap_tech::Ps;
+
+/// External load assumed on primary outputs, in unit inverter caps
+/// (matches the STA).
+const OUTPUT_LOAD_UNITS: f64 = 4.0;
+
+/// Timing of a netlist under a continuous size assignment.
+#[derive(Debug, Clone)]
+pub struct SizedTiming {
+    /// Arrival per net, τ units are already folded into ps.
+    pub arrival: Vec<Ps>,
+    /// Worst driver per net (for path walking).
+    pub worst_driver: Vec<Option<InstId>>,
+    /// Worst predecessor net per net.
+    pub worst_pred: Vec<Option<NetId>>,
+    /// Worst endpoint arrival (min clock period proxy, excluding
+    /// sequencing overheads — consistent before/after comparisons only).
+    pub critical_delay: Ps,
+    /// The endpoint net of the critical path.
+    pub critical_net: Option<NetId>,
+}
+
+impl SizedTiming {
+    /// Evaluates `netlist` with per-instance `sizes` (unit-inverter
+    /// multiples, indexed like `netlist.instances()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sizes.len() != netlist.instance_count()`, if any size is
+    /// not strictly positive, or if the netlist is cyclic.
+    pub fn evaluate(netlist: &Netlist, lib: &Library, sizes: &[f64]) -> SizedTiming {
+        assert_eq!(sizes.len(), netlist.instance_count(), "size vector length");
+        assert!(
+            sizes.iter().all(|&s| s > 0.0),
+            "sizes must be strictly positive"
+        );
+        let tech = &lib.tech;
+        let tau = tech.tau();
+        let cu = tech.unit_inverter_cin;
+
+        let mut arrival = vec![Ps::ZERO; netlist.net_count()];
+        let mut worst_driver: Vec<Option<InstId>> = vec![None; netlist.net_count()];
+        let mut worst_pred: Vec<Option<NetId>> = vec![None; netlist.net_count()];
+
+        for (id, inst) in netlist.iter_instances() {
+            if inst.is_sequential() {
+                let t = lib
+                    .cell(inst.cell)
+                    .kind
+                    .seq_timing()
+                    .expect("sequential timing");
+                arrival[inst.out.index()] = t.clk_to_q;
+                worst_driver[inst.out.index()] = Some(id);
+            }
+        }
+
+        let order = netlist.topo_order().expect("acyclic netlist");
+        for &id in &order {
+            let inst = netlist.instance(id);
+            let load = Self::net_load_units(netlist, lib, inst.out, sizes);
+            let s = sizes[id.index()];
+            let p = inst.function.parasitic();
+            let delay = tau * (p + load / s);
+            let (worst_in, in_arr) = inst
+                .fanin
+                .iter()
+                .map(|&n| (n, arrival[n.index()]))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("combinational gates have inputs");
+            arrival[inst.out.index()] = in_arr + delay;
+            worst_driver[inst.out.index()] = Some(id);
+            worst_pred[inst.out.index()] = Some(worst_in);
+        }
+
+        // Endpoints: register D pins and primary outputs.
+        let mut critical_delay = Ps::ZERO;
+        let mut critical_net = None;
+        let mut consider = |net: NetId, a: Ps| {
+            if a > critical_delay {
+                critical_delay = a;
+                critical_net = Some(net);
+            }
+        };
+        for (_, inst) in netlist.iter_instances() {
+            if inst.is_sequential() {
+                consider(inst.fanin[0], arrival[inst.fanin[0].index()]);
+            }
+        }
+        for (_, net) in netlist.outputs() {
+            consider(*net, arrival[net.index()]);
+        }
+        let _ = cu;
+        SizedTiming {
+            arrival,
+            worst_driver,
+            worst_pred,
+            critical_delay,
+            critical_net,
+        }
+    }
+
+    /// Load on `net` in unit-inverter input-cap units: Σ g·s over sinks,
+    /// plus the PO allowance.
+    pub(crate) fn net_load_units(
+        netlist: &Netlist,
+        _lib: &Library,
+        net: NetId,
+        sizes: &[f64],
+    ) -> f64 {
+        let mut load = 0.0;
+        for s in &netlist.net(net).sinks {
+            let sink = netlist.instance(s.inst);
+            let g = effective_effort(sink.function);
+            load += g * sizes[s.inst.index()];
+        }
+        if netlist.net(net).is_output {
+            load += OUTPUT_LOAD_UNITS;
+        }
+        load
+    }
+
+    /// Instances on the critical path, source → endpoint.
+    pub fn critical_path(&self) -> Vec<InstId> {
+        let Some(mut net) = self.critical_net else {
+            return Vec::new();
+        };
+        let mut path = Vec::new();
+        while let Some(drv) = self.worst_driver[net.index()] {
+            path.push(drv);
+            match self.worst_pred[net.index()] {
+                Some(p) => net = p,
+                None => break,
+            }
+        }
+        path.reverse();
+        path
+    }
+}
+
+/// Logical effort per input used for sizing (sequential D pins present one
+/// unit of load at their drive).
+pub(crate) fn effective_effort(f: CellFunction) -> f64 {
+    f.logical_effort()
+}
+
+/// Sizes implied by the mapped cells of `netlist` (its current drives).
+pub fn sizes_from_cells(netlist: &Netlist, lib: &Library) -> Vec<f64> {
+    netlist
+        .instances()
+        .iter()
+        .map(|i| lib.cell(i.cell).drive)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_cells::LibrarySpec;
+    use asicgap_netlist::generators;
+    use asicgap_sta::{analyze, ClockSpec};
+    use asicgap_tech::Technology;
+
+    #[test]
+    fn matches_sta_at_library_drives() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::ripple_carry_adder(&lib, 8).expect("rca8");
+        let sizes = sizes_from_cells(&n, &lib);
+        let t = SizedTiming::evaluate(&n, &lib, &sizes);
+        let sta = analyze(&n, &lib, &ClockSpec::unconstrained(), None);
+        // The evaluator's critical delay equals the STA's worst raw
+        // arrival (both use the same model and the same PO allowance).
+        let sta_worst = asicgap_sta::PathGroup::ALL
+            .iter()
+            .filter_map(|&g| sta.group(g))
+            .fold(Ps::ZERO, Ps::max);
+        assert!(
+            (t.critical_delay / sta_worst - 1.0).abs() < 1e-9,
+            "evaluator {} vs STA {}",
+            t.critical_delay,
+            sta_worst
+        );
+    }
+
+    #[test]
+    fn upsizing_final_driver_speeds_up_a_chain() {
+        // An inverter chain (g = 1): quadrupling the last inverter saves
+        // more on its PO-load delay than it costs its driver.
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let mut b = asicgap_netlist::NetlistBuilder::new("chain", &lib);
+        let mut net = b.input("a");
+        for _ in 0..6 {
+            net = b.inv(net).expect("inv");
+        }
+        b.output("y", net);
+        let n = b.finish().expect("valid");
+
+        let mut sizes = sizes_from_cells(&n, &lib);
+        let before = SizedTiming::evaluate(&n, &lib, &sizes);
+        let path = before.critical_path();
+        assert_eq!(path.len(), 6);
+        let last = *path.last().expect("non-empty path");
+        sizes[last.index()] *= 4.0;
+        let after = SizedTiming::evaluate(&n, &lib, &sizes);
+        assert!(after.critical_delay < before.critical_delay);
+    }
+
+    #[test]
+    fn upsizing_high_effort_gate_can_backfire() {
+        // XOR cells have g = 4: quadrupling the last XOR of a parity tree
+        // loads its driver with 4x the capacitance and hurts overall — the
+        // reason sizing must be sensitivity-driven, not greedy-local.
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::parity_tree(&lib, 16).expect("parity");
+        let mut sizes = sizes_from_cells(&n, &lib);
+        let before = SizedTiming::evaluate(&n, &lib, &sizes);
+        let path = before.critical_path();
+        let last = *path.last().expect("non-empty path");
+        sizes[last.index()] *= 4.0;
+        let after = SizedTiming::evaluate(&n, &lib, &sizes);
+        assert!(after.critical_delay > before.critical_delay);
+    }
+
+    #[test]
+    fn path_walk_is_connected() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::ripple_carry_adder(&lib, 8).expect("rca8");
+        let sizes = sizes_from_cells(&n, &lib);
+        let t = SizedTiming::evaluate(&n, &lib, &sizes);
+        let path = t.critical_path();
+        for w in path.windows(2) {
+            let a = n.instance(w[0]);
+            let b = n.instance(w[1]);
+            assert!(
+                b.fanin.contains(&a.out),
+                "consecutive path gates must be connected"
+            );
+        }
+    }
+}

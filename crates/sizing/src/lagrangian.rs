@@ -1,0 +1,242 @@
+//! Lagrangian-relaxation sizing (the paper's reference [6]: Chen, Chu,
+//! Wong, *Fast and Exact Simultaneous Gate and Wire Sizing by Lagrangian
+//! Relaxation*, TCAD 1999).
+//!
+//! Where TILOS greedily buys speed with area, LR solves the dual problem:
+//! **minimise area subject to a delay target**. The Lagrangian
+//!
+//! ```text
+//! L = Σᵢ sᵢ  +  Σᵢ λᵢ · dᵢ(s)
+//! ```
+//!
+//! decomposes per gate: with the logical-effort delay model,
+//! `∂L/∂sᵢ = 0` gives the closed form
+//!
+//! ```text
+//! sᵢ = sqrt( λᵢ·τ·loadᵢ / (1 + τ·gᵢ·Σ_{u∈fanin drivers} λᵤ/sᵤ) )
+//! ```
+//!
+//! and the multipliers are updated multiplicatively from per-gate
+//! criticality (a projected-subgradient heuristic in the spirit of the
+//! paper's exact flow-conservation update).
+
+use asicgap_cells::Library;
+use asicgap_netlist::{NetDriver, Netlist};
+use asicgap_tech::Ps;
+
+use crate::continuous::{sizes_from_cells, SizedTiming};
+
+/// LR solver options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LagrangianOptions {
+    /// Outer (multiplier-update) iterations.
+    pub outer_iterations: usize,
+    /// Inner (size-resolve) sweeps per outer iteration.
+    pub inner_sweeps: usize,
+    /// Size bounds.
+    pub min_size: f64,
+    /// Maximum size.
+    pub max_size: f64,
+}
+
+impl Default for LagrangianOptions {
+    fn default() -> LagrangianOptions {
+        LagrangianOptions {
+            outer_iterations: 40,
+            inner_sweeps: 3,
+            min_size: 0.5,
+            max_size: 64.0,
+        }
+    }
+}
+
+/// Result of an LR sizing run.
+#[derive(Debug, Clone)]
+pub struct LagrangianResult {
+    /// Continuous sizes.
+    pub sizes: Vec<f64>,
+    /// Achieved critical delay.
+    pub achieved: Ps,
+    /// The delay target.
+    pub target: Ps,
+    /// Σ size (area/power proxy).
+    pub area: f64,
+    /// `true` if the achieved delay meets the target.
+    pub feasible: bool,
+}
+
+/// Minimises total size subject to `target` critical delay.
+///
+/// # Panics
+///
+/// Panics if `target` is not strictly positive.
+pub fn lagrangian_size(
+    netlist: &Netlist,
+    lib: &Library,
+    target: Ps,
+    options: &LagrangianOptions,
+) -> LagrangianResult {
+    assert!(target.value() > 0.0, "delay target must be positive");
+    let tech = &lib.tech;
+    let tau = tech.tau().value();
+    let n = netlist.instance_count();
+    let mut sizes = sizes_from_cells(netlist, lib);
+    let mut lambda = vec![1.0f64; n];
+
+    let order = netlist.topo_order().expect("acyclic netlist");
+
+    for _outer in 0..options.outer_iterations {
+        // Inner: closed-form size resolution, a few sweeps to propagate.
+        for _sweep in 0..options.inner_sweeps {
+            for &id in &order {
+                let i = id.index();
+                let inst = netlist.instance(id);
+                let load = SizedTiming::net_load_units(netlist, lib, inst.out, &sizes);
+                if load <= 0.0 {
+                    continue;
+                }
+                // Upstream pressure: λᵤ/sᵤ over this gate's fanin drivers.
+                let g_i = inst.function.logical_effort();
+                let mut upstream = 0.0;
+                for &f in &inst.fanin {
+                    if let Some(NetDriver::Instance(drv)) = netlist.net(f).driver {
+                        if !netlist.instance(drv).is_sequential() {
+                            upstream += lambda[drv.index()] / sizes[drv.index()];
+                        }
+                    }
+                }
+                let numerator = lambda[i] * tau * load;
+                let denominator = 1.0 + tau * g_i * upstream;
+                sizes[i] = (numerator / denominator)
+                    .sqrt()
+                    .clamp(options.min_size, options.max_size);
+            }
+        }
+
+        // Outer: criticality-driven multiplier update.
+        let timing = SizedTiming::evaluate(netlist, lib, &sizes);
+        let total = timing.critical_delay.value().max(1e-9);
+        // Backward pass: downstream remaining delay per net.
+        let mut downstream = vec![0.0f64; netlist.net_count()];
+        for &id in order.iter().rev() {
+            let inst = netlist.instance(id);
+            let load = SizedTiming::net_load_units(netlist, lib, inst.out, &sizes);
+            let own = tau * (inst.function.parasitic() + load / sizes[id.index()]);
+            let q = own + downstream[inst.out.index()];
+            for &f in &inst.fanin {
+                if q > downstream[f.index()] {
+                    downstream[f.index()] = q;
+                }
+            }
+        }
+        let scale = total / target.value();
+        for &id in &order {
+            let i = id.index();
+            let inst = netlist.instance(id);
+            let through = timing.arrival[inst.out.index()].value()
+                + downstream[inst.out.index()];
+            // Criticality of the worst path through this gate, measured
+            // against the target.
+            let crit = (through / total) * scale;
+            lambda[i] = (lambda[i] * crit.powf(1.5)).clamp(1e-4, 1e6);
+        }
+    }
+
+    // Polish: project back to the constraint boundary by shrinking gates
+    // with positive slack (the LR multipliers leave non-critical gates
+    // conservatively sized).
+    let timing = SizedTiming::evaluate(netlist, lib, &sizes);
+    if timing.critical_delay <= target {
+        let polished =
+            crate::power::downsize_for_power(netlist, lib, &sizes, target, options.min_size);
+        sizes = polished.sizes;
+    }
+
+    let timing = SizedTiming::evaluate(netlist, lib, &sizes);
+    LagrangianResult {
+        achieved: timing.critical_delay,
+        target,
+        area: sizes.iter().sum(),
+        feasible: timing.critical_delay <= target * 1.001,
+        sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tilos::{tilos_size, TilosOptions};
+    use asicgap_cells::LibrarySpec;
+    use asicgap_netlist::generators;
+    use asicgap_tech::Technology;
+
+    #[test]
+    fn meets_a_reachable_target_with_bounded_area() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::array_multiplier(&lib, 6).expect("mult6");
+        let base = SizedTiming::evaluate(&n, &lib, &sizes_from_cells(&n, &lib));
+        // Ask for 15% faster than as-mapped.
+        let target = base.critical_delay * 0.85;
+        let r = lagrangian_size(&n, &lib, target, &LagrangianOptions::default());
+        assert!(
+            r.feasible,
+            "LR should meet a mild target: achieved {} vs target {}",
+            r.achieved, r.target
+        );
+    }
+
+    #[test]
+    fn lr_beats_tilos_on_area_at_equal_delay() {
+        // The selling point of [6]: same speed, less area than greedy.
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::array_multiplier(&lib, 6).expect("mult6");
+        let tilos = tilos_size(&n, &lib, &TilosOptions::default());
+        let r = lagrangian_size(&n, &lib, tilos.final_delay * 1.02, &LagrangianOptions::default());
+        if r.feasible {
+            assert!(
+                r.area < tilos.area_after,
+                "LR area {:.1} should undercut TILOS {:.1}",
+                r.area,
+                tilos.area_after
+            );
+        } else {
+            // At minimum LR must land close to the greedy point.
+            assert!(r.achieved <= tilos.final_delay * 1.15);
+        }
+    }
+
+    #[test]
+    fn loose_target_shrinks_area_below_starting_point() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::parity_tree(&lib, 32).expect("parity");
+        let base = SizedTiming::evaluate(&n, &lib, &sizes_from_cells(&n, &lib));
+        let start_area: f64 = sizes_from_cells(&n, &lib).iter().sum();
+        let r = lagrangian_size(
+            &n,
+            &lib,
+            base.critical_delay * 2.0,
+            &LagrangianOptions::default(),
+        );
+        assert!(r.feasible);
+        // With double the time budget, gates can sit at/near minimum size.
+        assert!(r.area <= start_area * 1.2, "area {} vs start {start_area}", r.area);
+    }
+
+    #[test]
+    fn sizes_respect_bounds() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::ripple_carry_adder(&lib, 8).expect("rca8");
+        let base = SizedTiming::evaluate(&n, &lib, &sizes_from_cells(&n, &lib));
+        let opts = LagrangianOptions {
+            min_size: 1.0,
+            max_size: 8.0,
+            ..LagrangianOptions::default()
+        };
+        let r = lagrangian_size(&n, &lib, base.critical_delay, &opts);
+        assert!(r.sizes.iter().all(|&s| (1.0..=8.0).contains(&s)));
+    }
+}

@@ -1,0 +1,192 @@
+//! TILOS-style greedy sensitivity sizing (the paper's reference [7]).
+
+use asicgap_cells::Library;
+use asicgap_netlist::Netlist;
+use asicgap_tech::Ps;
+
+use crate::continuous::{sizes_from_cells, SizedTiming};
+
+/// Sizing loop parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TilosOptions {
+    /// Multiplicative bump applied to the chosen gate each iteration.
+    pub step: f64,
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Upper bound on any single size (unit-inverter multiples).
+    pub max_size: f64,
+    /// Stop when an iteration improves delay by less than this fraction.
+    pub min_gain: f64,
+}
+
+impl Default for TilosOptions {
+    fn default() -> TilosOptions {
+        TilosOptions {
+            step: 1.15,
+            max_iterations: 3000,
+            max_size: 64.0,
+            min_gain: 1.0e-5,
+        }
+    }
+}
+
+/// Outcome of a sizing run.
+#[derive(Debug, Clone)]
+pub struct SizingResult {
+    /// Continuous sizes, indexed like the netlist's instances.
+    pub sizes: Vec<f64>,
+    /// Critical delay before sizing.
+    pub initial_delay: Ps,
+    /// Critical delay after sizing.
+    pub final_delay: Ps,
+    /// Σ size before (area/power proxy).
+    pub area_before: f64,
+    /// Σ size after.
+    pub area_after: f64,
+    /// Iterations actually run.
+    pub iterations: usize,
+}
+
+impl SizingResult {
+    /// Delay improvement ratio (≥ 1).
+    pub fn speedup(&self) -> f64 {
+        self.initial_delay / self.final_delay
+    }
+
+    /// Area growth ratio (≥ 1).
+    pub fn area_growth(&self) -> f64 {
+        self.area_after / self.area_before
+    }
+}
+
+/// Runs greedy sensitivity-driven sizing: each iteration evaluates, walks
+/// the critical path, trials a `step` bump on every path gate, and commits
+/// the bump with the best delay improvement per added area. Stops at the
+/// iteration budget or when no bump helps.
+///
+/// The paper's calibration targets: "Sizing transistors minimally … except
+/// on critical paths where they are optimally sized … can make a speed
+/// difference of 20% or more \[7\]"; "Iterative transistor resizing and
+/// resynthesis can improve speeds by 20% \[8\]".
+pub fn tilos_size(netlist: &Netlist, lib: &Library, options: &TilosOptions) -> SizingResult {
+    let mut sizes = sizes_from_cells(netlist, lib);
+    let area_before: f64 = sizes.iter().sum();
+    let mut timing = SizedTiming::evaluate(netlist, lib, &sizes);
+    let initial_delay = timing.critical_delay;
+
+    let mut iterations = 0;
+    while iterations < options.max_iterations {
+        let path = timing.critical_path();
+        if path.is_empty() {
+            break;
+        }
+        // Trial a bump on each path gate; keep the best benefit/cost.
+        let mut best: Option<(usize, f64)> = None; // (instance index, score)
+        let mut best_delay = timing.critical_delay;
+        for &inst in &path {
+            let i = inst.index();
+            if netlist.instance(inst).is_sequential() {
+                continue;
+            }
+            let new_size = sizes[i] * options.step;
+            if new_size > options.max_size {
+                continue;
+            }
+            let old = sizes[i];
+            sizes[i] = new_size;
+            let t = SizedTiming::evaluate(netlist, lib, &sizes);
+            sizes[i] = old;
+            let gain = (timing.critical_delay - t.critical_delay).value();
+            if gain <= 0.0 {
+                continue;
+            }
+            let cost = new_size - old;
+            let score = gain / cost;
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((i, score));
+                best_delay = t.critical_delay;
+            }
+        }
+        let Some((i, _)) = best else { break };
+        let improvement = (timing.critical_delay - best_delay) / timing.critical_delay;
+        sizes[i] *= options.step;
+        timing = SizedTiming::evaluate(netlist, lib, &sizes);
+        iterations += 1;
+        if improvement < options.min_gain {
+            break;
+        }
+    }
+
+    SizingResult {
+        area_after: sizes.iter().sum(),
+        final_delay: timing.critical_delay,
+        sizes,
+        initial_delay,
+        area_before,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_cells::LibrarySpec;
+    use asicgap_netlist::generators;
+    use asicgap_tech::Technology;
+
+    #[test]
+    fn sizing_speeds_up_multiplier_by_paper_magnitude() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::array_multiplier(&lib, 8).expect("mult8");
+        let r = tilos_size(&n, &lib, &TilosOptions::default());
+        // Paper §6.2: sizing buys "20% or more" on designs sized minimally
+        // to start with. Accept anything clearly material.
+        assert!(
+            r.speedup() > 1.10,
+            "TILOS speedup {:.3} too small",
+            r.speedup()
+        );
+        assert!(r.area_growth() > 1.0);
+        assert!(r.iterations > 10);
+    }
+
+    #[test]
+    fn sizing_never_hurts() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        for n in [
+            generators::parity_tree(&lib, 16).expect("parity"),
+            generators::ripple_carry_adder(&lib, 8).expect("rca8"),
+        ] {
+            let r = tilos_size(&n, &lib, &TilosOptions::default());
+            assert!(r.final_delay <= r.initial_delay, "{}", n.name);
+        }
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::array_multiplier(&lib, 6).expect("mult6");
+        let opts = TilosOptions {
+            max_iterations: 5,
+            ..TilosOptions::default()
+        };
+        let r = tilos_size(&n, &lib, &opts);
+        assert!(r.iterations <= 5);
+    }
+
+    #[test]
+    fn max_size_cap_respected() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::ripple_carry_adder(&lib, 8).expect("rca8");
+        let opts = TilosOptions {
+            max_size: 4.0,
+            ..TilosOptions::default()
+        };
+        let r = tilos_size(&n, &lib, &opts);
+        assert!(r.sizes.iter().all(|&s| s <= 4.0 + 1e-9));
+    }
+}

@@ -1,0 +1,528 @@
+//! The timing engine: arrival propagation, endpoint checks, min-period.
+
+use asicgap_cells::Library;
+use asicgap_netlist::{InstId, NetId, Netlist};
+use asicgap_tech::{Ps, Technology};
+
+use crate::clock::ClockSpec;
+use crate::parasitics::NetParasitics;
+use crate::report::{PathStep, TimingPath};
+
+/// Where a timing path terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndpointKind {
+    /// The D pin of a flip-flop or latch.
+    RegisterD(InstId),
+    /// Primary output number `n`.
+    PrimaryOutput(usize),
+}
+
+/// Standard STA path groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathGroup {
+    /// Register to register — sets the clock frequency of a pipeline.
+    RegToReg,
+    /// Primary input to register.
+    InToReg,
+    /// Register to primary output.
+    RegToOut,
+    /// Primary input to primary output (pure combinational).
+    InToOut,
+}
+
+impl PathGroup {
+    /// All groups in reporting order.
+    pub const ALL: [PathGroup; 4] = [
+        PathGroup::RegToReg,
+        PathGroup::InToReg,
+        PathGroup::RegToOut,
+        PathGroup::InToOut,
+    ];
+}
+
+/// Extra load assumed on every primary output, in unit-inverter input caps
+/// (the pad / next-block input a real PO would drive).
+const OUTPUT_LOAD_UNITS: f64 = 4.0;
+
+/// Boundary timing constraints (`set_input_delay` / `set_output_delay`
+/// in commercial-tool terms): how much of the cycle the surrounding chip
+/// consumes before data arrives at this block's inputs and after it
+/// leaves its outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IoConstraints {
+    /// Arrival time of all primary inputs relative to the launching edge.
+    pub input_delay: Ps,
+    /// Margin reserved after every primary output before the capturing
+    /// edge.
+    pub output_delay: Ps,
+}
+
+/// The result of [`analyze`].
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// The clock constraint analysed against.
+    pub clock: ClockSpec,
+    /// Arrival time per net (index = [`NetId::index`]).
+    arrival: Vec<Ps>,
+    /// Worst predecessor instance per net, for path tracing.
+    worst_driver: Vec<Option<InstId>>,
+    /// Worst predecessor net (through the worst driver) per net.
+    worst_pred: Vec<Option<NetId>>,
+    /// `true` if the worst path into this net originates at a register.
+    from_register: Vec<bool>,
+    /// Worst endpoint delay per path group (raw arrival at the endpoint).
+    pub group_worst: Vec<(PathGroup, Ps)>,
+    /// Minimum feasible clock period: worst endpoint arrival plus its
+    /// capture overhead (setup + skew + jitter for registers).
+    pub min_period: Ps,
+    /// Worst negative slack at [`ClockSpec::period`] (negative = violation).
+    pub wns: Ps,
+    /// The traced critical path.
+    pub critical: TimingPath,
+    /// The endpoint of the critical path.
+    pub critical_endpoint: EndpointKind,
+}
+
+impl TimingReport {
+    /// Arrival time of a net.
+    pub fn arrival(&self, net: NetId) -> Ps {
+        self.arrival[net.index()]
+    }
+
+    /// The critical path's raw delay, in FO4s of `tech` — the paper's
+    /// logic-depth currency.
+    pub fn critical_path_fo4(&self, tech: &Technology) -> f64 {
+        self.critical.delay / tech.fo4()
+    }
+
+    /// The maximum clock frequency implied by [`TimingReport::min_period`].
+    pub fn fmax(&self) -> asicgap_tech::Mhz {
+        self.min_period.frequency()
+    }
+
+    /// Worst arrival for one path group, if any path exists in it.
+    pub fn group(&self, g: PathGroup) -> Option<Ps> {
+        self.group_worst
+            .iter()
+            .find(|(pg, _)| *pg == g)
+            .map(|&(_, d)| d)
+    }
+
+    /// The instance driving the worst path into `net` (none for primary
+    /// inputs). Sizing walks the critical path with this.
+    pub fn worst_driver(&self, net: NetId) -> Option<InstId> {
+        self.worst_driver[net.index()]
+    }
+
+    /// The predecessor net on the worst path into `net`.
+    pub fn worst_pred(&self, net: NetId) -> Option<NetId> {
+        self.worst_pred[net.index()]
+    }
+
+    /// `true` if the worst path into `net` launches from a register.
+    pub fn is_from_register(&self, net: NetId) -> bool {
+        self.from_register[net.index()]
+    }
+
+    /// The instances on the worst path into `net`, source first.
+    pub fn instances_on_worst_path(&self, net: NetId) -> Vec<InstId> {
+        let mut out = Vec::new();
+        let mut cur = net;
+        while let Some(drv) = self.worst_driver[cur.index()] {
+            out.push(drv);
+            match self.worst_pred[cur.index()] {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        out.reverse();
+        out
+    }
+}
+
+/// Runs static timing analysis.
+///
+/// # Example
+///
+/// ```
+/// use asicgap_tech::Technology;
+/// use asicgap_cells::LibrarySpec;
+/// use asicgap_netlist::generators;
+/// use asicgap_sta::{analyze, ClockSpec};
+///
+/// let tech = Technology::cmos025_asic();
+/// let lib = LibrarySpec::rich().build(&tech);
+/// let adder = generators::kogge_stone_adder(&lib, 16)?;
+/// let report = analyze(&adder, &lib, &ClockSpec::unconstrained(), None);
+/// // A prefix adder is log-depth: comfortably under 25 FO4 at 16 bits.
+/// assert!(report.critical_path_fo4(&tech) < 25.0);
+/// # Ok::<(), asicgap_netlist::NetlistError>(())
+/// ```
+///
+/// Arrival semantics:
+/// - primary inputs arrive at t = 0;
+/// - register outputs arrive at their clk→Q;
+/// - each combinational cell adds its load-dependent delay
+///   (`asicgap_cells::LibCell::delay`) plus the net's annotated wire delay;
+/// - register D pins must meet `period − setup − skew − jitter`;
+/// - primary outputs must meet `period − skew` and carry a fixed
+///   4-unit-inverter external load.
+///
+/// Latches are analysed conservatively as edge-triggered here; time
+/// borrowing is modelled in `asicgap-pipeline`.
+///
+/// # Panics
+///
+/// Panics if the netlist has a combinational cycle (validated netlists do
+/// not) or if `parasitics` was built for a different netlist.
+pub fn analyze(
+    netlist: &Netlist,
+    lib: &Library,
+    clock: &ClockSpec,
+    parasitics: Option<&NetParasitics>,
+) -> TimingReport {
+    analyze_with_io(netlist, lib, clock, parasitics, &IoConstraints::default())
+}
+
+/// Like [`analyze`], with explicit boundary constraints: primary inputs
+/// arrive at `io.input_delay` and primary outputs must leave
+/// `io.output_delay` of the cycle for the consumer.
+///
+/// # Panics
+///
+/// As for [`analyze`].
+pub fn analyze_with_io(
+    netlist: &Netlist,
+    lib: &Library,
+    clock: &ClockSpec,
+    parasitics: Option<&NetParasitics>,
+    io: &IoConstraints,
+) -> TimingReport {
+    let tech = &lib.tech;
+    let ideal;
+    let par = match parasitics {
+        Some(p) => p,
+        None => {
+            ideal = NetParasitics::ideal(netlist);
+            &ideal
+        }
+    };
+
+    let n_nets = netlist.net_count();
+    let mut arrival = vec![Ps::ZERO; n_nets];
+    let mut worst_driver: Vec<Option<InstId>> = vec![None; n_nets];
+    let mut worst_pred: Vec<Option<NetId>> = vec![None; n_nets];
+    let mut from_register = vec![false; n_nets];
+
+    // Sources: primary inputs arrive at the declared input delay…
+    for (_, net) in netlist.inputs() {
+        arrival[net.index()] = io.input_delay;
+    }
+    // …and register outputs launch at clk->Q.
+    for (id, inst) in netlist.iter_instances() {
+        if inst.is_sequential() {
+            let timing = lib
+                .cell(inst.cell)
+                .kind
+                .seq_timing()
+                .expect("sequential cell has timing");
+            arrival[inst.out.index()] = timing.clk_to_q;
+            worst_driver[inst.out.index()] = Some(id);
+            from_register[inst.out.index()] = true;
+        }
+    }
+
+    let order = netlist
+        .topo_order()
+        .expect("timing requires an acyclic netlist");
+    for &id in &order {
+        let inst = netlist.instance(id);
+        let cell = lib.cell(inst.cell);
+        let mut load = netlist.net_load(lib, inst.out, par.cap(inst.out));
+        if netlist.net(inst.out).is_output {
+            load += tech.unit_inverter_cin * OUTPUT_LOAD_UNITS;
+        }
+        let gate_delay = cell.delay(tech, load) + par.delay(inst.out);
+        let (worst_in, in_arrival) = inst
+            .fanin
+            .iter()
+            .map(|&n| (n, arrival[n.index()]))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("arrivals are finite"))
+            .expect("combinational cells have inputs");
+        let out = inst.out.index();
+        arrival[out] = in_arrival + gate_delay;
+        worst_driver[out] = Some(id);
+        worst_pred[out] = Some(worst_in);
+        from_register[out] = from_register[worst_in.index()];
+    }
+
+    // Endpoint sweep.
+    let capture_overhead = clock.skew + clock.jitter;
+    let mut group_worst: Vec<(PathGroup, Ps)> = Vec::new();
+    let mut bump = |g: PathGroup, d: Ps| {
+        match group_worst.iter_mut().find(|(pg, _)| *pg == g) {
+            Some((_, w)) => *w = w.max(d),
+            None => group_worst.push((g, d)),
+        }
+    };
+    let mut worst: Option<(EndpointKind, Ps, Ps, NetId)> = None; // (kind, arrival, required_extra, net)
+    for (id, inst) in netlist.iter_instances() {
+        if !inst.is_sequential() {
+            continue;
+        }
+        let d_net = inst.fanin[0];
+        let a = arrival[d_net.index()];
+        let setup = lib
+            .cell(inst.cell)
+            .kind
+            .seq_timing()
+            .expect("sequential cell has timing")
+            .setup;
+        let group = if from_register[d_net.index()] {
+            PathGroup::RegToReg
+        } else {
+            PathGroup::InToReg
+        };
+        bump(group, a);
+        let need = a + setup + capture_overhead;
+        if worst.is_none_or(|(_, _, _, _)| need > period_need(&worst)) {
+            worst = Some((EndpointKind::RegisterD(id), a, setup + capture_overhead, d_net));
+        }
+    }
+    for (k, (_, net)) in netlist.outputs().iter().enumerate() {
+        let a = arrival[net.index()];
+        let group = if from_register[net.index()] {
+            PathGroup::RegToOut
+        } else {
+            PathGroup::InToOut
+        };
+        bump(group, a);
+        let extra = clock.skew + io.output_delay;
+        let need = a + extra;
+        if worst.is_none_or(|(_, _, _, _)| need > period_need(&worst)) {
+            worst = Some((EndpointKind::PrimaryOutput(k), a, extra, *net));
+        }
+    }
+
+    let (endpoint, end_arrival, extra, end_net) =
+        worst.expect("netlist has at least one endpoint (primary output or register)");
+    let min_period = end_arrival + extra;
+    let wns = clock.period - min_period;
+
+    let critical = trace_path(
+        netlist,
+        lib,
+        &arrival,
+        &worst_driver,
+        &worst_pred,
+        end_net,
+        end_arrival,
+    );
+
+    TimingReport {
+        clock: *clock,
+        arrival,
+        worst_driver,
+        worst_pred,
+        from_register,
+        group_worst,
+        min_period,
+        wns,
+        critical,
+        critical_endpoint: endpoint,
+    }
+}
+
+fn period_need(worst: &Option<(EndpointKind, Ps, Ps, NetId)>) -> Ps {
+    match worst {
+        Some((_, a, e, _)) => *a + *e,
+        None => Ps::new(f64::NEG_INFINITY),
+    }
+}
+
+fn trace_path(
+    netlist: &Netlist,
+    lib: &Library,
+    arrival: &[Ps],
+    worst_driver: &[Option<InstId>],
+    worst_pred: &[Option<NetId>],
+    end_net: NetId,
+    end_arrival: Ps,
+) -> TimingPath {
+    let mut steps = Vec::new();
+    let mut net = end_net;
+    // Walk back until a primary input (no driver) or a register launch.
+    while let Some(driver) = worst_driver[net.index()] {
+        let inst = netlist.instance(driver);
+        let pred = worst_pred[net.index()];
+        let prev_arrival = pred.map_or(Ps::ZERO, |p| arrival[p.index()]);
+        steps.push(PathStep {
+            instance: inst.name.clone(),
+            cell: lib.cell(inst.cell).name.clone(),
+            through_net: netlist.net(net).name.clone(),
+            incr: arrival[net.index()] - prev_arrival,
+            total: arrival[net.index()],
+        });
+        if inst.is_sequential() {
+            break; // launched from a register
+        }
+        match pred {
+            Some(p) => net = p,
+            None => break,
+        }
+    }
+    steps.reverse();
+    TimingPath {
+        steps,
+        delay: end_arrival,
+        endpoint_net: netlist.net(end_net).name.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_cells::LibrarySpec;
+    use asicgap_netlist::{generators, NetlistBuilder};
+    use asicgap_tech::Technology;
+
+    fn setup() -> (Technology, asicgap_cells::Library) {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        (tech, lib)
+    }
+
+    #[test]
+    fn inverter_chain_delay_adds_up() {
+        let (tech, lib) = setup();
+        let mut b = NetlistBuilder::new("chain", &lib);
+        let mut n = b.input("a");
+        for _ in 0..10 {
+            n = b.inv(n).expect("inv");
+        }
+        b.output("y", n);
+        let nl = b.finish().expect("valid");
+        let r = analyze(&nl, &lib, &ClockSpec::unconstrained(), None);
+        // 9 inverters drive an identical inverter (h=1, d = 2 tau each);
+        // the last drives the 4-unit PO load: d = tau*(1 + 4/x).
+        let x = {
+            use asicgap_cells::CellFunction;
+            lib.cell(lib.smallest(CellFunction::Inv).expect("inv")).drive
+        };
+        let expect = tech.tau() * (9.0 * 2.0) + tech.tau() * (1.0 + 4.0 / x);
+        assert!(
+            (r.critical.delay / expect - 1.0).abs() < 1e-9,
+            "got {} want {}",
+            r.critical.delay,
+            expect
+        );
+        assert_eq!(r.critical.steps.len(), 10);
+    }
+
+    #[test]
+    fn deeper_adder_is_slower() {
+        let (_, lib) = setup();
+        let rca = generators::ripple_carry_adder(&lib, 16).expect("rca");
+        let ks = generators::kogge_stone_adder(&lib, 16).expect("ks");
+        let c = ClockSpec::unconstrained();
+        let r_rca = analyze(&rca, &lib, &c, None);
+        let r_ks = analyze(&ks, &lib, &c, None);
+        assert!(r_rca.critical.delay > r_ks.critical.delay * 1.5);
+    }
+
+    #[test]
+    fn path_groups_classified() {
+        let (_, lib) = setup();
+        let mut b = NetlistBuilder::new("mix", &lib);
+        let a = b.input("a");
+        let q = b.dff(a).expect("dff");
+        let x = b.inv(q).expect("inv");
+        let q2 = b.dff(x).expect("dff2");
+        let po = b.inv(q2).expect("inv2");
+        b.output("y", po);
+        let nl = b.finish().expect("valid");
+        let r = analyze(&nl, &lib, &ClockSpec::unconstrained(), None);
+        assert!(r.group(PathGroup::RegToReg).is_some());
+        assert!(r.group(PathGroup::InToReg).is_some());
+        assert!(r.group(PathGroup::RegToOut).is_some());
+        assert!(r.group(PathGroup::InToOut).is_none());
+    }
+
+    #[test]
+    fn min_period_includes_sequencing_and_skew() {
+        let (tech, lib) = setup();
+        let mut b = NetlistBuilder::new("pipe", &lib);
+        let a = b.input("a");
+        let q = b.dff(a).expect("dff");
+        let mut n = q;
+        for _ in 0..5 {
+            n = b.inv(n).expect("inv");
+        }
+        let q2 = b.dff(n).expect("dff2");
+        b.output("y", q2);
+        let nl = b.finish().expect("valid");
+
+        let no_skew = ClockSpec::unconstrained();
+        let skewed = ClockSpec {
+            skew: Ps::new(100.0),
+            ..no_skew
+        };
+        let r0 = analyze(&nl, &lib, &no_skew, None);
+        let r1 = analyze(&nl, &lib, &skewed, None);
+        assert!(
+            (r1.min_period - r0.min_period - Ps::new(100.0))
+                .abs()
+                .value()
+                < 1e-9,
+            "skew adds linearly to min period"
+        );
+        // Min period exceeds pure logic delay by clk->Q + setup.
+        let logic_only = r0.group(PathGroup::RegToReg).expect("reg-reg path");
+        assert!(r0.min_period > logic_only);
+        let _ = tech;
+    }
+
+    #[test]
+    fn io_constraints_shift_arrivals_and_requirements() {
+        let (_, lib) = setup();
+        let adder = generators::ripple_carry_adder(&lib, 8).expect("rca");
+        let clock = ClockSpec::unconstrained();
+        let base = analyze(&adder, &lib, &clock, None);
+        let io = IoConstraints {
+            input_delay: Ps::new(200.0),
+            output_delay: Ps::new(150.0),
+        };
+        let constrained = analyze_with_io(&adder, &lib, &clock, None, &io);
+        // The pure-combinational path picks up both terms.
+        let delta = constrained.min_period - base.min_period;
+        assert!(
+            (delta - Ps::new(350.0)).abs().value() < 1e-9,
+            "io delays add linearly, got {delta}"
+        );
+    }
+
+    #[test]
+    fn wire_parasitics_slow_the_path() {
+        let (_, lib) = setup();
+        let adder = generators::ripple_carry_adder(&lib, 8).expect("rca");
+        let mut par = NetParasitics::ideal(&adder);
+        for (id, _) in adder.iter_nets() {
+            par.set(id, asicgap_tech::Ff::new(10.0), Ps::new(5.0));
+        }
+        let c = ClockSpec::unconstrained();
+        let fast = analyze(&adder, &lib, &c, None);
+        let slow = analyze(&adder, &lib, &c, Some(&par));
+        assert!(slow.critical.delay > fast.critical.delay * 1.3);
+    }
+
+    #[test]
+    fn wns_sign_tracks_constraint() {
+        let (_, lib) = setup();
+        let adder = generators::ripple_carry_adder(&lib, 32).expect("rca");
+        let r = analyze(&adder, &lib, &ClockSpec::unconstrained(), None);
+        let tight = ClockSpec::with_skew_fraction(r.min_period * 0.5, 0.0);
+        let loose = ClockSpec::with_skew_fraction(r.min_period * 2.0, 0.0);
+        assert!(analyze(&adder, &lib, &tight, None).wns < Ps::ZERO);
+        assert!(analyze(&adder, &lib, &loose, None).wns > Ps::ZERO);
+    }
+}

@@ -1,0 +1,114 @@
+//! Domino-logic discipline checks.
+//!
+//! §7.1: domino logic "requires careful design to ensure no glitching of
+//! input signals" — a domino gate's inputs must rise monotonically during
+//! the evaluate phase. Structurally this means a domino gate may only be
+//! fed by other domino gates, registers, or primary inputs; any static
+//! inverting gate in its fan-in can glitch and falsely discharge the
+//! dynamic node. This check is the reason "dynamic logic synthesis for
+//! ASIC designs" (§7.2) never became a drop-in flow: most synthesised
+//! netlists violate it everywhere.
+
+use asicgap_cells::{Library, LogicFamily};
+use asicgap_netlist::{InstId, NetDriver, Netlist};
+
+/// One monotonicity violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DominoViolation {
+    /// The domino instance whose input can glitch.
+    pub domino_inst: InstId,
+    /// The offending static driver.
+    pub static_driver: InstId,
+    /// Explanation for reports.
+    pub reason: String,
+}
+
+/// Checks every domino cell's fan-in for the monotonicity discipline.
+/// Returns all violations (empty = the netlist is domino-legal).
+pub fn check_domino_phases(netlist: &Netlist, lib: &Library) -> Vec<DominoViolation> {
+    let mut violations = Vec::new();
+    for (id, inst) in netlist.iter_instances() {
+        if lib.cell(inst.cell).family != LogicFamily::Domino {
+            continue;
+        }
+        for &fanin in &inst.fanin {
+            let Some(NetDriver::Instance(drv)) = netlist.net(fanin).driver else {
+                continue; // primary inputs are assumed phase-aligned
+            };
+            let drv_inst = netlist.instance(drv);
+            if drv_inst.is_sequential() {
+                continue; // register outputs are stable in evaluate phase
+            }
+            let drv_cell = lib.cell(drv_inst.cell);
+            if drv_cell.family == LogicFamily::Domino {
+                continue;
+            }
+            if drv_cell.function.is_inverting() || !drv_cell.function.is_monotone() {
+                violations.push(DominoViolation {
+                    domino_inst: id,
+                    static_driver: drv,
+                    reason: format!(
+                        "domino {} fed by glitch-capable static {} ({})",
+                        inst.name, drv_inst.name, drv_cell.name
+                    ),
+                });
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_cells::{CellFunction, LibrarySpec};
+    use asicgap_netlist::NetlistBuilder;
+    use asicgap_tech::Technology;
+
+    fn domino_lib() -> Library {
+        LibrarySpec::custom().build(&Technology::cmos025_custom())
+    }
+
+    #[test]
+    fn pure_domino_chain_is_legal() {
+        let lib = domino_lib();
+        let mut b = NetlistBuilder::new("dom", &lib);
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.domino_gate(CellFunction::And(2), &[a, c]).expect("dom and");
+        let y = b.domino_gate(CellFunction::Or(2), &[x, a]).expect("dom or");
+        b.output("y", y);
+        let n = b.finish().expect("valid");
+        assert!(check_domino_phases(&n, &lib).is_empty());
+    }
+
+    #[test]
+    fn static_inverting_driver_flagged() {
+        let lib = domino_lib();
+        let mut b = NetlistBuilder::new("bad", &lib);
+        let a = b.input("a");
+        let c = b.input("b");
+        let inv = b.inv(a).expect("inv");
+        let y = b
+            .domino_gate(CellFunction::And(2), &[inv, c])
+            .expect("dom and");
+        b.output("y", y);
+        let n = b.finish().expect("valid");
+        let v = check_domino_phases(&n, &lib);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].reason.contains("glitch-capable"));
+    }
+
+    #[test]
+    fn register_fed_domino_is_legal() {
+        let lib = domino_lib();
+        let mut b = NetlistBuilder::new("reg", &lib);
+        let a = b.input("a");
+        let q = b.dff(a).expect("dff");
+        let c = b.input("b");
+        let y = b.domino_gate(CellFunction::And(2), &[q, c]).expect("dom");
+        b.output("y", y);
+        let n = b.finish().expect("valid");
+        assert!(check_domino_phases(&n, &lib).is_empty());
+    }
+}

@@ -1,0 +1,93 @@
+//! Human-readable timing paths.
+
+use std::fmt;
+
+use asicgap_tech::Ps;
+
+/// One hop of a traced timing path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// Instance name.
+    pub instance: String,
+    /// Library cell name.
+    pub cell: String,
+    /// Output net name.
+    pub through_net: String,
+    /// Delay added by this hop.
+    pub incr: Ps,
+    /// Cumulative arrival after this hop.
+    pub total: Ps,
+}
+
+/// A traced worst path, source to endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingPath {
+    /// Hops in path order (source first).
+    pub steps: Vec<PathStep>,
+    /// Raw arrival at the endpoint net.
+    pub delay: Ps,
+    /// Name of the endpoint net.
+    pub endpoint_net: String,
+}
+
+impl TimingPath {
+    /// Number of cells on the path (the paper's "levels of logic", counting
+    /// any launching register).
+    pub fn levels(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+impl fmt::Display for TimingPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "critical path to {} ({}, {} levels):",
+            self.endpoint_net,
+            self.delay,
+            self.levels()
+        )?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "  {:<24} {:<14} -> {:<18} +{:>10}  ={:>10}",
+                s.instance, s.cell, s.through_net, s.incr, s.total
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_lists_every_step() {
+        let p = TimingPath {
+            steps: vec![
+                PathStep {
+                    instance: "u1".into(),
+                    cell: "nand2_x1".into(),
+                    through_net: "n1".into(),
+                    incr: Ps::new(40.0),
+                    total: Ps::new(40.0),
+                },
+                PathStep {
+                    instance: "u2".into(),
+                    cell: "inv_x2".into(),
+                    through_net: "y".into(),
+                    incr: Ps::new(25.0),
+                    total: Ps::new(65.0),
+                },
+            ],
+            delay: Ps::new(65.0),
+            endpoint_net: "y".into(),
+        };
+        let s = p.to_string();
+        assert!(s.contains("2 levels"));
+        assert!(s.contains("nand2_x1"));
+        assert!(s.contains("inv_x2"));
+        assert_eq!(p.levels(), 2);
+    }
+}

@@ -1,0 +1,199 @@
+//! Top-k path reporting (`report_timing`-style).
+
+use asicgap_cells::Library;
+use asicgap_netlist::Netlist;
+use asicgap_tech::Ps;
+
+use crate::analyze::{EndpointKind, TimingReport};
+use crate::report::{PathStep, TimingPath};
+
+/// One reported endpoint: its path and the period it demands.
+#[derive(Debug, Clone)]
+pub struct EndpointReport {
+    /// The endpoint.
+    pub endpoint: EndpointKind,
+    /// Period required by this endpoint (arrival + capture overhead).
+    pub required_period: Ps,
+    /// The traced worst path into it.
+    pub path: TimingPath,
+}
+
+/// Returns the `k` most critical endpoints of `report`, worst first —
+/// what `report_timing -max_paths k` prints in a commercial tool.
+///
+/// Re-traces paths against `netlist`/`lib`, which must be the pair the
+/// report was computed from.
+pub fn report_timing(
+    netlist: &Netlist,
+    lib: &Library,
+    report: &TimingReport,
+    k: usize,
+) -> Vec<EndpointReport> {
+    let capture = report.clock.skew + report.clock.jitter;
+    let mut endpoints: Vec<(EndpointKind, Ps, asicgap_netlist::NetId)> = Vec::new();
+    for (id, inst) in netlist.iter_instances() {
+        if !inst.is_sequential() {
+            continue;
+        }
+        let d = inst.fanin[0];
+        let setup = lib
+            .cell(inst.cell)
+            .kind
+            .seq_timing()
+            .expect("sequential timing")
+            .setup;
+        endpoints.push((
+            EndpointKind::RegisterD(id),
+            report.arrival(d) + setup + capture,
+            d,
+        ));
+    }
+    for (n, (_, net)) in netlist.outputs().iter().enumerate() {
+        endpoints.push((
+            EndpointKind::PrimaryOutput(n),
+            report.arrival(*net) + report.clock.skew,
+            *net,
+        ));
+    }
+    endpoints.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    endpoints
+        .into_iter()
+        .take(k)
+        .map(|(endpoint, required_period, net)| {
+            let insts = report.instances_on_worst_path(net);
+            let mut steps = Vec::with_capacity(insts.len());
+            let mut prev = Ps::ZERO;
+            for id in insts {
+                let inst = netlist.instance(id);
+                let total = report.arrival(inst.out);
+                steps.push(PathStep {
+                    instance: inst.name.clone(),
+                    cell: lib.cell(inst.cell).name.clone(),
+                    through_net: netlist.net(inst.out).name.clone(),
+                    incr: total - prev,
+                    total,
+                });
+                prev = total;
+            }
+            EndpointReport {
+                endpoint,
+                required_period,
+                path: TimingPath {
+                    delay: report.arrival(net),
+                    endpoint_net: netlist.net(net).name.clone(),
+                    steps,
+                },
+            }
+        })
+        .collect()
+}
+
+/// A slack histogram over all endpoints at the report's clock: bin edges
+/// in picoseconds plus counts. Negative-slack bins reveal how much of the
+/// design misses timing (the classic sign-off picture).
+///
+/// # Panics
+///
+/// Panics if `bins == 0`.
+pub fn slack_histogram(
+    netlist: &Netlist,
+    lib: &Library,
+    report: &TimingReport,
+    bins: usize,
+) -> Vec<(Ps, Ps, usize)> {
+    assert!(bins > 0, "need at least one bin");
+    let eps = report_timing(netlist, lib, report, usize::MAX);
+    let slacks: Vec<Ps> = eps
+        .iter()
+        .map(|e| report.clock.period - e.required_period)
+        .collect();
+    let lo = slacks
+        .iter()
+        .copied()
+        .fold(Ps::new(f64::INFINITY), Ps::min);
+    let hi = slacks.iter().copied().fold(lo, Ps::max);
+    let span = (hi - lo).value().max(1e-9);
+    let mut out: Vec<(Ps, Ps, usize)> = (0..bins)
+        .map(|k| {
+            (
+                lo + Ps::new(span * k as f64 / bins as f64),
+                lo + Ps::new(span * (k + 1) as f64 / bins as f64),
+                0usize,
+            )
+        })
+        .collect();
+    for s in slacks {
+        let k = (((s - lo).value() / span) * bins as f64) as usize;
+        out[k.min(bins - 1)].2 += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use crate::clock::ClockSpec;
+    use asicgap_cells::LibrarySpec;
+    use asicgap_netlist::generators;
+    use asicgap_tech::Technology;
+
+    #[test]
+    fn paths_sorted_worst_first_and_consistent_with_min_period() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::ripple_carry_adder(&lib, 16).expect("rca16");
+        let report = analyze(&n, &lib, &ClockSpec::unconstrained(), None);
+        let top = report_timing(&n, &lib, &report, 5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].required_period >= w[1].required_period);
+        }
+        assert!(
+            (top[0].required_period - report.min_period).abs().value() < 1e-9,
+            "worst endpoint defines min period"
+        );
+        assert!(!top[0].path.steps.is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_endpoints_is_clamped() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::parity_tree(&lib, 8).expect("parity");
+        let report = analyze(&n, &lib, &ClockSpec::unconstrained(), None);
+        let top = report_timing(&n, &lib, &report, 100);
+        assert_eq!(top.len(), 1, "one primary output = one endpoint");
+    }
+
+    #[test]
+    fn histogram_counts_every_endpoint() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::ripple_carry_adder(&lib, 8).expect("rca8");
+        let clock = ClockSpec::with_skew_fraction(asicgap_tech::Ps::new(2000.0), 0.0);
+        let report = analyze(&n, &lib, &clock, None);
+        let hist = slack_histogram(&n, &lib, &report, 6);
+        let total: usize = hist.iter().map(|&(_, _, c)| c).sum();
+        assert_eq!(total, n.outputs().len(), "all endpoints binned");
+        for w in hist.windows(2) {
+            assert!(w[1].0 >= w[0].0, "bins ordered");
+        }
+    }
+
+    #[test]
+    fn paths_are_connected_chains() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::alu(&lib, 8).expect("alu8");
+        let report = analyze(&n, &lib, &ClockSpec::unconstrained(), None);
+        for ep in report_timing(&n, &lib, &report, 8) {
+            let names: Vec<&str> = ep.path.steps.iter().map(|s| s.instance.as_str()).collect();
+            // Trace must be non-empty and cumulative arrivals monotone.
+            assert!(!names.is_empty());
+            for w in ep.path.steps.windows(2) {
+                assert!(w[1].total >= w[0].total);
+            }
+        }
+    }
+}

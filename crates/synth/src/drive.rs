@@ -1,0 +1,142 @@
+//! Load-driven drive-strength selection.
+//!
+//! §6.2: "Initial logic synthesis may choose drive strengths using
+//! estimations for wire lengths and the net load a gate has to drive".
+//! This pass walks the netlist against actual sink loads and snaps every
+//! instance to the library drive whose stage gain is closest to the
+//! logical-effort target (≈ 4).
+
+use asicgap_cells::Library;
+use asicgap_netlist::Netlist;
+use asicgap_sta::NetParasitics;
+use asicgap_tech::Ff;
+
+/// External load assumed on primary outputs, in unit inverter caps
+/// (matches the STA's assumption).
+const OUTPUT_LOAD_UNITS: f64 = 4.0;
+
+/// Re-selects every instance's drive strength for `target_gain`, running
+/// `passes` sweeps (loads depend on sink input caps, which change as sinks
+/// are resized; 2–3 passes converge in practice). Functions with a single
+/// drive in the library are left untouched.
+///
+/// # Panics
+///
+/// Panics if `target_gain` is not strictly positive.
+pub fn select_drives(netlist: &mut Netlist, lib: &Library, target_gain: f64, passes: usize) {
+    let ideal = NetParasitics::ideal(netlist);
+    select_drives_with_parasitics(netlist, lib, &ideal, target_gain, passes);
+}
+
+/// Like [`select_drives`], but loads include per-net wire capacitance from
+/// placement back-annotation — the post-layout resize of §6.2 ("After
+/// layout, transistors can be resized accounting for the drive strengths
+/// required to send signals across the circuit").
+///
+/// # Panics
+///
+/// Panics if `target_gain` is not strictly positive or if `parasitics`
+/// was built for a different netlist.
+pub fn select_drives_with_parasitics(
+    netlist: &mut Netlist,
+    lib: &Library,
+    parasitics: &NetParasitics,
+    target_gain: f64,
+    passes: usize,
+) {
+    assert!(target_gain > 0.0, "target gain must be positive");
+    let tech = &lib.tech;
+    for _ in 0..passes {
+        // Reverse topological: outputs first, so downstream caps settle.
+        let order = netlist
+            .topo_order()
+            .expect("drive selection requires an acyclic netlist");
+        let seq: Vec<_> = netlist
+            .iter_instances()
+            .filter(|(_, i)| i.is_sequential())
+            .map(|(id, _)| id)
+            .collect();
+        for &id in order.iter().rev().chain(seq.iter()) {
+            let inst = netlist.instance(id);
+            let mut load = netlist.net_load(lib, inst.out, parasitics.cap(inst.out));
+            if netlist.net(inst.out).is_output {
+                load += tech.unit_inverter_cin * OUTPUT_LOAD_UNITS;
+            }
+            if load <= Ff::ZERO {
+                continue;
+            }
+            let cell = lib.cell(inst.cell);
+            if let Ok(best) = lib.drive_for_gain(cell.function, cell.family, load, target_gain) {
+                if best != inst.cell {
+                    netlist.set_instance_cell(lib, id, best);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_cells::LibrarySpec;
+    use asicgap_netlist::generators;
+    use asicgap_sta::{analyze, ClockSpec};
+    use asicgap_tech::Technology;
+
+    #[test]
+    fn drive_selection_speeds_up_fanout_heavy_designs() {
+        // On a uniform chain every stage already sits at the same gain and
+        // selection is a no-op (logical effort: scale invariance); on a
+        // fanout-diverse multiplier it buys real speed.
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let mut n = generators::array_multiplier(&lib, 8).expect("mult8");
+        let clock = ClockSpec::unconstrained();
+        let before = analyze(&n, &lib, &clock, None).min_period;
+        select_drives(&mut n, &lib, 4.0, 3);
+        let after = analyze(&n, &lib, &clock, None).min_period;
+        assert!(
+            after < before * 0.99,
+            "drive selection should help: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn two_drive_library_costs_area_at_equal_speed() {
+        // §6 / [19]: "A richer library also reduces circuit area." With
+        // only two drives, cells overshoot the needed strength.
+        let tech = Technology::cmos025_asic();
+        let rich = LibrarySpec::rich().build(&tech);
+        let two = LibrarySpec::two_drive().build(&tech);
+        let clock = ClockSpec::unconstrained();
+
+        let mut on_rich = generators::array_multiplier(&rich, 8).expect("rich mult");
+        select_drives(&mut on_rich, &rich, 4.0, 3);
+        let t_rich = analyze(&on_rich, &rich, &clock, None).min_period;
+        let a_rich = on_rich.total_area_um2(&rich);
+
+        let mut on_two = generators::array_multiplier(&two, 8).expect("two-drive mult");
+        select_drives(&mut on_two, &two, 4.0, 3);
+        let t_two = analyze(&on_two, &two, &clock, None).min_period;
+        let a_two = on_two.total_area_um2(&two);
+
+        assert!(
+            a_two > a_rich * 1.1,
+            "coarse menu wastes area: {a_two:.0} vs {a_rich:.0} um^2"
+        );
+        let dt = (t_two / t_rich - 1.0).abs();
+        assert!(dt < 0.10, "delays comparable, diff {dt:.2}");
+    }
+
+    #[test]
+    fn selection_is_idempotent_once_converged() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let mut n = generators::parity_tree(&lib, 32).expect("parity");
+        select_drives(&mut n, &lib, 4.0, 4);
+        let snapshot: Vec<_> = n.instances().iter().map(|i| i.cell).collect();
+        select_drives(&mut n, &lib, 4.0, 1);
+        let again: Vec<_> = n.instances().iter().map(|i| i.cell).collect();
+        assert_eq!(snapshot, again);
+    }
+}

@@ -1,0 +1,70 @@
+//! Synthesis errors.
+
+use std::error::Error;
+use std::fmt;
+
+use asicgap_netlist::NetlistError;
+
+/// Errors raised by synthesis steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SynthError {
+    /// An output folded to a constant and the target library has no tie
+    /// cells.
+    ConstantOutput {
+        /// Output name.
+        name: String,
+    },
+    /// The target library lacks even the minimal primitives (inverter +
+    /// NAND2).
+    LibraryTooPoor {
+        /// What was missing.
+        what: String,
+    },
+    /// An underlying netlist operation failed.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::ConstantOutput { name } => {
+                write!(f, "output {name} is constant and no tie cell exists")
+            }
+            SynthError::LibraryTooPoor { what } => {
+                write!(f, "library lacks mapping primitive {what}")
+            }
+            SynthError::Netlist(e) => write!(f, "netlist error during synthesis: {e}"),
+        }
+    }
+}
+
+impl Error for SynthError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SynthError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for SynthError {
+    fn from(e: NetlistError) -> SynthError {
+        SynthError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SynthError::ConstantOutput { name: "y".into() };
+        assert!(e.to_string().contains("constant"));
+        let wrapped: SynthError = NetlistError::MissingCell {
+            what: "inv".into(),
+        }
+        .into();
+        assert!(Error::source(&wrapped).is_some());
+    }
+}

@@ -1,0 +1,256 @@
+//! The end-to-end synthesis recipe.
+
+use asicgap_cells::Library;
+use asicgap_netlist::Netlist;
+
+use crate::aig::Aig;
+use crate::buffer::buffer_high_fanout;
+use crate::drive::select_drives;
+use crate::error::SynthError;
+use crate::map::{map_with_seq, MapOptions};
+use crate::reentry::netlist_to_aig;
+
+/// A synthesis flow: balance → map → drive-select → buffer.
+///
+/// Each knob is an ablation axis for the experiments: `balance` is the
+/// technology-independent restructuring step, `map.use_complex` the §4.2
+/// complex-gate question, `target_gain`/`buffer_max_fanout` the §6
+/// electrical discipline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthFlow {
+    /// Run AIG tree balancing before mapping.
+    pub balance: bool,
+    /// Mapper options.
+    pub map: MapOptions,
+    /// Logical-effort stage gain targeted by drive selection.
+    pub target_gain: f64,
+    /// Drive-selection sweeps.
+    pub drive_passes: usize,
+    /// Maximum net fanout before buffers split it.
+    pub buffer_max_fanout: usize,
+}
+
+impl Default for SynthFlow {
+    fn default() -> SynthFlow {
+        SynthFlow {
+            balance: true,
+            map: MapOptions::default(),
+            target_gain: 4.0,
+            drive_passes: 3,
+            buffer_max_fanout: 8,
+        }
+    }
+}
+
+impl SynthFlow {
+    /// A deliberately naive flow: no balancing, no complex gates, no
+    /// buffering — the "poor methodology" comparison point.
+    pub fn naive() -> SynthFlow {
+        SynthFlow {
+            balance: false,
+            map: MapOptions {
+                use_complex: false,
+                max_fanin: 2,
+            },
+            target_gain: 4.0,
+            drive_passes: 0,
+            buffer_max_fanout: usize::MAX / 2,
+        }
+    }
+
+    /// Synthesises an AIG onto `lib`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapper errors ([`SynthError::LibraryTooPoor`],
+    /// [`SynthError::ConstantOutput`]).
+    pub fn synth(&self, aig: &Aig, lib: &Library) -> Result<Netlist, SynthError> {
+        let balanced;
+        let aig = if self.balance {
+            balanced = aig.balanced();
+            &balanced
+        } else {
+            aig
+        };
+        let mut netlist = map_with_seq(aig, lib, &self.map, &[], "synth")?;
+        self.finish(&mut netlist, lib)?;
+        Ok(netlist)
+    }
+
+    /// Re-synthesises `netlist` (mapped against `source_lib`) onto
+    /// `target_lib`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use asicgap_tech::Technology;
+    /// use asicgap_cells::LibrarySpec;
+    /// use asicgap_netlist::generators;
+    /// use asicgap_synth::SynthFlow;
+    ///
+    /// let tech = Technology::cmos025_asic();
+    /// let rich = LibrarySpec::rich().build(&tech);
+    /// let poor = LibrarySpec::poor().build(&tech);
+    /// let design = generators::parity_tree(&rich, 8)?;
+    /// // Same logic, NAND/NOR-only target: several times the cells.
+    /// let remapped = SynthFlow::default().remap_from(&design, &rich, &poor)?;
+    /// assert!(remapped.instance_count() > 2 * design.instance_count());
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapper errors.
+    pub fn remap_from(
+        &self,
+        netlist: &Netlist,
+        source_lib: &Library,
+        target_lib: &Library,
+    ) -> Result<Netlist, SynthError> {
+        let (aig, seq) = netlist_to_aig(netlist, source_lib);
+        let balanced;
+        let aig_ref = if self.balance {
+            balanced = aig.balanced();
+            &balanced
+        } else {
+            &aig
+        };
+        let mut out = map_with_seq(aig_ref, target_lib, &self.map, &seq, &netlist.name)?;
+        self.finish(&mut out, target_lib)?;
+        Ok(out)
+    }
+
+    fn finish(&self, netlist: &mut Netlist, lib: &Library) -> Result<(), SynthError> {
+        if self.buffer_max_fanout < usize::MAX / 2 {
+            buffer_high_fanout(netlist, lib, self.buffer_max_fanout)?;
+        }
+        if self.drive_passes > 0 {
+            select_drives(netlist, lib, self.target_gain, self.drive_passes);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_cells::LibrarySpec;
+    use asicgap_netlist::{generators, Simulator};
+    use asicgap_sta::{analyze, ClockSpec};
+    use asicgap_tech::Technology;
+
+    fn equivalent(a: &Netlist, la: &Library, b: &Netlist, lb: &Library, vectors: u64) -> bool {
+        let mut sa = Simulator::new(a, la);
+        let mut sb = Simulator::new(b, lb);
+        let n = a.inputs().len();
+        assert_eq!(n, b.inputs().len());
+        // Match inputs by name.
+        let order: Vec<usize> = b
+            .inputs()
+            .iter()
+            .map(|(name, _)| {
+                a.inputs()
+                    .iter()
+                    .position(|(x, _)| x == name)
+                    .expect("same input names")
+            })
+            .collect();
+        for seed in 0..vectors {
+            let bits_a: Vec<bool> = (0..n)
+                .map(|i| (seed.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(i as u32)) & 1 == 1)
+                .collect();
+            let bits_b: Vec<bool> = order.iter().map(|&i| bits_a[i]).collect();
+            if sa.run_comb(&bits_a) != sb.run_comb(&bits_b) {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn remap_preserves_adder_function_across_libraries() {
+        let tech = Technology::cmos025_asic();
+        let rich = LibrarySpec::rich().build(&tech);
+        let poor = LibrarySpec::poor().build(&tech);
+        let golden = generators::carry_lookahead_adder(&rich, 8).expect("cla8");
+        let flow = SynthFlow::default();
+        let on_poor = flow.remap_from(&golden, &rich, &poor).expect("remaps");
+        assert!(equivalent(&golden, &rich, &on_poor, &poor, 200));
+    }
+
+    #[test]
+    fn default_flow_beats_naive_flow() {
+        let tech = Technology::cmos025_asic();
+        let rich = LibrarySpec::rich().build(&tech);
+        let golden = generators::alu(&rich, 8).expect("alu8");
+        let clock = ClockSpec::unconstrained();
+        let good = SynthFlow::default()
+            .remap_from(&golden, &rich, &rich)
+            .expect("good flow");
+        let bad = SynthFlow::naive()
+            .remap_from(&golden, &rich, &rich)
+            .expect("naive flow");
+        let t_good = analyze(&good, &rich, &clock, None).min_period;
+        let t_bad = analyze(&bad, &rich, &clock, None).min_period;
+        assert!(
+            t_good < t_bad,
+            "default flow should be faster: {t_good} vs {t_bad}"
+        );
+        assert!(equivalent(&good, &rich, &bad, &rich, 100));
+    }
+
+    #[test]
+    fn synth_builds_fresh_logic_from_an_aig() {
+        use crate::aig::Aig;
+        let tech = Technology::cmos025_asic();
+        let rich = LibrarySpec::rich().build(&tech);
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let s = g.xor(a, b);
+        let s2 = g.xor(s, c);
+        let carry = g.maj(a, b, c);
+        g.set_output("sum", s2);
+        g.set_output("carry", carry);
+        let n = SynthFlow::default().synth(&g, &rich).expect("synthesises");
+        let mut sim = Simulator::new(&n, &rich);
+        for bits in 0..8u32 {
+            let ins: Vec<bool> = (0..3).map(|i| bits & (1 << i) != 0).collect();
+            let got = sim.run_comb(&ins);
+            assert_eq!(got, g.eval(&ins), "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn remap_keeps_sequential_elements() {
+        let tech = Technology::cmos025_asic();
+        let rich = LibrarySpec::rich().build(&tech);
+        let mut b = asicgap_netlist::NetlistBuilder::new("pipe", &rich);
+        let a = b.input("a");
+        let c = b.input("b");
+        let x = b.xor2(a, c).expect("xor");
+        let q = b.dff(x).expect("dff");
+        let y = b.inv(q).expect("inv");
+        b.output("y", y);
+        let n = b.finish().expect("valid");
+        let out = SynthFlow::default()
+            .remap_from(&n, &rich, &rich)
+            .expect("remap");
+        let seq = out.instances().iter().filter(|i| i.is_sequential()).count();
+        assert_eq!(seq, 1, "flip-flop survives remap");
+        // Behaviour check across a clock cycle.
+        let mut sim_a = Simulator::new(&n, &rich);
+        let mut sim_b = Simulator::new(&out, &rich);
+        for (va, vb) in [(true, false), (true, true), (false, true)] {
+            sim_a.set_inputs(&[va, vb]);
+            sim_b.set_input("a", va);
+            sim_b.set_input("b", vb);
+            sim_a.eval_comb();
+            sim_b.eval_comb();
+            sim_a.step_clock();
+            sim_b.step_clock();
+            assert_eq!(sim_a.output_values(), sim_b.output_values());
+        }
+    }
+}

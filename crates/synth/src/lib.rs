@@ -1,0 +1,60 @@
+//! Logic synthesis: AIG optimisation and technology mapping.
+//!
+//! §4.2 of the paper: fast datapath structures "are not automatically
+//! invoked in register-transfer level logic synthesis of ASICs", and §6:
+//! the mapper can only pick from what the library offers. This crate
+//! implements that toolchain step:
+//!
+//! - [`Aig`] — an And-Inverter Graph with structural hashing, constant
+//!   folding, and tree balancing (the technology-independent optimisation
+//!   step);
+//! - [`netlist_to_aig`] — re-entry: decompose an existing mapped netlist
+//!   back into an AIG so it can be *remapped* against a different library
+//!   (how the E7 library-richness comparisons keep the logic identical);
+//! - [`map_aig`] — dynamic-programming technology mapping with phase
+//!   assignment and pattern matching (NAND/NOR/AND/OR/AOI/OAI/XOR/MUX);
+//! - [`select_drives`] — load-driven drive-strength selection at a target
+//!   logical-effort gain;
+//! - [`buffer_high_fanout`] — buffer-tree insertion on heavily loaded nets;
+//! - [`SynthFlow`] — the end-to-end recipe with ablation switches.
+//!
+//! # Example
+//!
+//! ```
+//! use asicgap_tech::Technology;
+//! use asicgap_cells::LibrarySpec;
+//! use asicgap_netlist::generators;
+//! use asicgap_synth::SynthFlow;
+//!
+//! let tech = Technology::cmos025_asic();
+//! let rich = LibrarySpec::rich().build(&tech);
+//! let poor = LibrarySpec::poor().build(&tech);
+//! // The same adder, remapped against each library.
+//! let golden = generators::ripple_carry_adder(&rich, 8)?;
+//! let flow = SynthFlow::default();
+//! let on_rich = flow.remap_from(&golden, &rich, &rich)?;
+//! let on_poor = flow.remap_from(&golden, &rich, &poor)?;
+//! assert!(on_poor.instance_count() > on_rich.instance_count());
+//! # Ok::<(), asicgap_synth::SynthError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod aig;
+mod buffer;
+mod domino_map;
+mod drive;
+mod error;
+mod flow;
+mod map;
+mod reentry;
+
+pub use aig::{Aig, Lit};
+pub use buffer::buffer_high_fanout;
+pub use domino_map::map_dual_rail_domino;
+pub use drive::{select_drives, select_drives_with_parasitics};
+pub use error::SynthError;
+pub use flow::SynthFlow;
+pub use map::{map_aig, MapOptions};
+pub use reentry::{netlist_to_aig, SeqBinding};

@@ -1,0 +1,41 @@
+//! Error types for technology construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building technology descriptions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TechError {
+    /// A physical parameter was out of its valid range.
+    InvalidParameter {
+        /// Description of the offending parameter.
+        what: String,
+    },
+}
+
+impl fmt::Display for TechError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TechError::InvalidParameter { what } => {
+                write!(f, "invalid technology parameter: {what}")
+            }
+        }
+    }
+}
+
+impl Error for TechError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = TechError::InvalidParameter {
+            what: "negative Leff".to_string(),
+        };
+        let msg = e.to_string();
+        assert!(msg.starts_with("invalid technology parameter"));
+        assert!(msg.contains("negative Leff"));
+    }
+}

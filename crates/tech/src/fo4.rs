@@ -1,0 +1,171 @@
+//! FO4-denominated delays.
+//!
+//! The paper reports all micro-architectural depths in FO4 inverter delays
+//! per cycle: 15 for the Alpha 21264, 13 for the 1.0 GHz IBM PowerPC, about
+//! 44 for the Tensilica Xtensa. [`Fo4`] is a dimensionless delay count that
+//! becomes an absolute time only when paired with a [`Technology`].
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, Div, Mul, Sub};
+
+use crate::technology::Technology;
+use crate::units::{Mhz, Ps};
+
+/// A delay expressed in fanout-of-four inverter delays.
+///
+/// # Example
+///
+/// ```
+/// use asicgap_tech::{Fo4, Technology};
+///
+/// let custom = Technology::cmos025_custom();
+/// // Alpha 21264A: 750 MHz in a 75 ps FO4 process -> about 17.8 FO4/cycle
+/// // (the paper quotes 15 FO4 for the earlier 600 MHz 21264 at its faster
+/// // characterised FO4; the rule-of-thumb count lands nearby).
+/// let per_cycle = Fo4::of_cycle(asicgap_tech::Mhz::new(750.0), &custom);
+/// assert!(per_cycle.count() > 15.0 && per_cycle.count() < 19.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Fo4(f64);
+
+impl Fo4 {
+    /// A zero-length delay.
+    pub const ZERO: Fo4 = Fo4(0.0);
+
+    /// Creates a delay of `count` FO4s.
+    pub fn new(count: f64) -> Fo4 {
+        Fo4(count)
+    }
+
+    /// The number of FO4 delays.
+    pub fn count(self) -> f64 {
+        self.0
+    }
+
+    /// Converts an absolute delay to FO4s of `tech`.
+    pub fn from_delay(delay: Ps, tech: &Technology) -> Fo4 {
+        Fo4(tech.delay_in_fo4(delay))
+    }
+
+    /// FO4 delays in one clock cycle at `freq` in `tech`.
+    pub fn of_cycle(freq: Mhz, tech: &Technology) -> Fo4 {
+        Fo4::from_delay(freq.period(), tech)
+    }
+
+    /// Converts back to an absolute delay in `tech`.
+    pub fn to_ps(self, tech: &Technology) -> Ps {
+        tech.fo4_to_ps(self.0)
+    }
+
+    /// The clock frequency whose cycle is this many FO4s in `tech`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the count is not strictly positive.
+    pub fn to_frequency(self, tech: &Technology) -> Mhz {
+        self.to_ps(tech).frequency()
+    }
+
+    /// Larger of two counts.
+    pub fn max(self, other: Fo4) -> Fo4 {
+        Fo4(self.0.max(other.0))
+    }
+}
+
+impl Add for Fo4 {
+    type Output = Fo4;
+    fn add(self, rhs: Fo4) -> Fo4 {
+        Fo4(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Fo4 {
+    type Output = Fo4;
+    fn sub(self, rhs: Fo4) -> Fo4 {
+        Fo4(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Fo4 {
+    type Output = Fo4;
+    fn mul(self, rhs: f64) -> Fo4 {
+        Fo4(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Fo4 {
+    type Output = Fo4;
+    fn div(self, rhs: f64) -> Fo4 {
+        Fo4(self.0 / rhs)
+    }
+}
+
+impl Div<Fo4> for Fo4 {
+    type Output = f64;
+    fn div(self, rhs: Fo4) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Fo4 {
+    fn sum<I: Iterator<Item = Fo4>>(iter: I) -> Fo4 {
+        Fo4(iter.map(|v| v.0).sum())
+    }
+}
+
+impl fmt::Display for Fo4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} FO4", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Mhz;
+
+    #[test]
+    fn powerpc_cycle_is_13_fo4() {
+        // Paper footnote 1: 1.0 GHz with a 75 ps FO4 gives 13 FO4 per cycle.
+        let tech = Technology::cmos025_custom();
+        let per_cycle = Fo4::of_cycle(Mhz::new(1000.0), &tech);
+        assert!((per_cycle.count() - 13.33).abs() < 0.05);
+    }
+
+    #[test]
+    fn xtensa_cycle_is_about_44_fo4() {
+        // Paper footnote 2: 250 MHz Xtensa at Leff 0.18 um -> ~44 FO4.
+        let tech = Technology::cmos025_asic();
+        let per_cycle = Fo4::of_cycle(Mhz::new(250.0), &tech);
+        assert!((per_cycle.count() - 44.4).abs() < 0.5);
+    }
+
+    #[test]
+    fn round_trip_through_ps() {
+        let tech = Technology::cmos025_asic();
+        let d = Fo4::new(20.0);
+        let back = Fo4::from_delay(d.to_ps(&tech), &tech);
+        assert!((back.count() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Fo4::new(10.0);
+        let b = Fo4::new(4.0);
+        assert_eq!((a + b).count(), 14.0);
+        assert_eq!((a - b).count(), 6.0);
+        assert_eq!((a * 2.0).count(), 20.0);
+        assert_eq!((a / 2.0).count(), 5.0);
+        assert_eq!(a / b, 2.5);
+        assert_eq!(a.max(b), a);
+    }
+
+    #[test]
+    fn frequency_conversion() {
+        let tech = Technology::cmos025_custom();
+        let f = Fo4::new(15.0).to_frequency(&tech);
+        // 15 FO4 x 75 ps = 1125 ps -> ~889 MHz.
+        assert!((f.value() - 888.9).abs() < 0.5);
+    }
+}

@@ -1,0 +1,369 @@
+//! The [`Technology`] description: one fabrication process.
+//!
+//! The paper compares designs "in the same processing geometry": fabrication
+//! processes with similar design rules and transistor channel lengths, and
+//! the same interconnect (aluminium for the 0.25 µm processes considered).
+//! Crucially, the *effective* channel length Leff differs between the custom
+//! processes (Alpha: Leff ≈ 0.15 µm) and typical ASIC processes
+//! (Leff ≈ 0.18 µm in a nominal 0.25 µm ASIC flow), which alone shifts the
+//! FO4 delay from 75 ps to 90 ps.
+
+use crate::error::TechError;
+use crate::units::{Ff, Ps, Volt};
+
+/// Metal layer classes for wire parasitics.
+///
+/// Real 0.25 µm processes had 5–6 aluminium layers; for delay modelling the
+/// three classes below capture the relevant R/C trade-off (BACPAC makes the
+/// same simplification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WireLayer {
+    /// Thin lower-level metal used for intra-cell and short local routes.
+    Local,
+    /// Mid-stack metal used for block-level routing.
+    Intermediate,
+    /// Thick, wide top-level metal used for chip-global routes and clocks.
+    Global,
+}
+
+impl WireLayer {
+    /// All layers, from lowest to highest.
+    pub const ALL: [WireLayer; 3] = [
+        WireLayer::Local,
+        WireLayer::Intermediate,
+        WireLayer::Global,
+    ];
+}
+
+/// Per-layer interconnect parasitics for a technology.
+///
+/// Values are per micrometre of minimum-pitch wire. Widening a wire by a
+/// factor `w` divides resistance by `w` and (to first order, for the
+/// area-dominated component) multiplies capacitance by a sub-linear factor —
+/// see `asicgap-wire` for the sizing model built on top of these numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireParams {
+    /// Resistance of minimum-width local wire, Ω/µm.
+    pub local_r_per_um: f64,
+    /// Capacitance of minimum-width local wire, fF/µm.
+    pub local_c_per_um: f64,
+    /// Resistance of intermediate wire, Ω/µm.
+    pub intermediate_r_per_um: f64,
+    /// Capacitance of intermediate wire, fF/µm.
+    pub intermediate_c_per_um: f64,
+    /// Resistance of global (top metal) wire, Ω/µm.
+    pub global_r_per_um: f64,
+    /// Capacitance of global wire, fF/µm.
+    pub global_c_per_um: f64,
+}
+
+impl WireParams {
+    /// Aluminium interconnect typical of 0.25 µm processes.
+    ///
+    /// Derived from ρ(Al) ≈ 3.3 µΩ·cm with 0.6 µm × 0.6 µm local wires and
+    /// progressively wider/thicker upper layers; total (area + fringe +
+    /// coupling) capacitance ≈ 0.2 fF/µm, a figure BACPAC also used.
+    pub fn aluminum_025() -> WireParams {
+        WireParams {
+            local_r_per_um: 0.17,
+            local_c_per_um: 0.20,
+            intermediate_r_per_um: 0.09,
+            intermediate_c_per_um: 0.22,
+            global_r_per_um: 0.04,
+            global_c_per_um: 0.26,
+        }
+    }
+
+    /// Copper interconnect of the 0.18 µm generation (e.g. IBM SA-27E),
+    /// about 40% less resistive at equal geometry.
+    pub fn copper_018() -> WireParams {
+        WireParams {
+            local_r_per_um: 0.12,
+            local_c_per_um: 0.19,
+            intermediate_r_per_um: 0.06,
+            intermediate_c_per_um: 0.21,
+            global_r_per_um: 0.026,
+            global_c_per_um: 0.25,
+        }
+    }
+
+    /// Resistance per µm for a layer, Ω/µm.
+    pub fn r_per_um(&self, layer: WireLayer) -> f64 {
+        match layer {
+            WireLayer::Local => self.local_r_per_um,
+            WireLayer::Intermediate => self.intermediate_r_per_um,
+            WireLayer::Global => self.global_r_per_um,
+        }
+    }
+
+    /// Capacitance per µm for a layer, fF/µm.
+    pub fn c_per_um(&self, layer: WireLayer) -> f64 {
+        match layer {
+            WireLayer::Local => self.local_c_per_um,
+            WireLayer::Intermediate => self.intermediate_c_per_um,
+            WireLayer::Global => self.global_c_per_um,
+        }
+    }
+}
+
+/// A fabrication process: design rules, Leff, supply, and interconnect.
+///
+/// # Example
+///
+/// ```
+/// use asicgap_tech::Technology;
+///
+/// let t = Technology::cmos025_custom();
+/// // The paper's rule of thumb: FO4 = 0.5 * Leff ns = 75 ps at Leff 0.15 um.
+/// assert!((t.fo4().as_ps() - 75.0).abs() < 1e-9);
+/// // Logical-effort time constant: tau = FO4 / 5.
+/// assert!((t.tau().as_ps() - 15.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Human-readable process name, e.g. `"cmos025-custom"`.
+    pub name: String,
+    /// Drawn (nominal) gate length, µm — the "0.25" in "0.25 µm process".
+    pub drawn_um: f64,
+    /// Effective transistor channel length, µm. Sets the FO4 delay.
+    pub leff_um: f64,
+    /// Nominal supply voltage.
+    pub supply: Volt,
+    /// Input capacitance of the unit-drive (1×) inverter, fF.
+    pub unit_inverter_cin: Ff,
+    /// Interconnect parasitics.
+    pub wire: WireParams,
+    /// Standard-cell row height, µm (used by placement for area estimates).
+    pub row_height_um: f64,
+}
+
+impl Technology {
+    /// Builds a technology from first principles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] if `leff_um` or `drawn_um`
+    /// is not strictly positive, or if `leff_um > drawn_um` (effective
+    /// length can only be shorter than drawn).
+    pub fn new(
+        name: impl Into<String>,
+        drawn_um: f64,
+        leff_um: f64,
+        supply: Volt,
+        wire: WireParams,
+    ) -> Result<Technology, TechError> {
+        if drawn_um <= 0.0 || leff_um <= 0.0 {
+            return Err(TechError::InvalidParameter {
+                what: "channel length must be positive".to_string(),
+            });
+        }
+        if leff_um > drawn_um {
+            return Err(TechError::InvalidParameter {
+                what: format!(
+                    "Leff ({leff_um} um) cannot exceed drawn length ({drawn_um} um)"
+                ),
+            });
+        }
+        Ok(Technology {
+            name: name.into(),
+            drawn_um,
+            leff_um,
+            supply,
+            // Unit inverter input cap scales with the process: ~2 fF for a
+            // 1x inverter at 0.25 um, linear in drawn length.
+            unit_inverter_cin: Ff::new(2.0 * drawn_um / 0.25),
+            wire,
+            row_height_um: 10.0 * drawn_um / 0.25,
+        })
+    }
+
+    /// The 0.25 µm custom process of the Alpha 21264A and IBM 1 GHz PowerPC:
+    /// Leff = 0.15 µm, hence FO4 = 75 ps (paper, footnote 1).
+    pub fn cmos025_custom() -> Technology {
+        Technology::new(
+            "cmos025-custom",
+            0.25,
+            0.15,
+            Volt::new(2.1),
+            WireParams::aluminum_025(),
+        )
+        .expect("preset parameters are valid")
+    }
+
+    /// A typical 0.25 µm ASIC process: Leff = 0.18 µm, FO4 = 90 ps
+    /// (paper, footnote 2 — the Xtensa FO4 estimate assumes this Leff).
+    pub fn cmos025_asic() -> Technology {
+        Technology::new(
+            "cmos025-asic",
+            0.25,
+            0.18,
+            Volt::new(2.5),
+            WireParams::aluminum_025(),
+        )
+        .expect("preset parameters are valid")
+    }
+
+    /// The previous generation, a 0.35 µm ASIC process. Used to calibrate the
+    /// paper's "1.5× per process generation" scaling claim.
+    pub fn cmos035_asic() -> Technology {
+        Technology::new(
+            "cmos035-asic",
+            0.35,
+            0.25,
+            Volt::new(3.3),
+            WireParams::aluminum_025(),
+        )
+        .expect("preset parameters are valid")
+    }
+
+    /// IBM CMOS7S-class 0.18 µm process with copper interconnect and
+    /// Leff = 0.12 µm, FO4 ≈ 60 ps (the paper's §8.3 cites 55 ps at
+    /// Leff 0.12 and copper; our rule of thumb gives 60 ps, within 10%).
+    pub fn cmos018_copper() -> Technology {
+        Technology::new(
+            "cmos018-copper",
+            0.18,
+            0.12,
+            Volt::new(1.8),
+            WireParams::copper_018(),
+        )
+        .expect("preset parameters are valid")
+    }
+
+    /// The 0.13 µm generation (copper, Leff ≈ 0.08 µm) — one node past
+    /// the paper, for roadmap extrapolation.
+    pub fn cmos013_copper() -> Technology {
+        Technology::new(
+            "cmos013-copper",
+            0.13,
+            0.08,
+            Volt::new(1.2),
+            WireParams {
+                // Smaller pitches: resistance climbs faster than caps fall.
+                local_r_per_um: 0.35,
+                local_c_per_um: 0.19,
+                intermediate_r_per_um: 0.12,
+                intermediate_c_per_um: 0.20,
+                global_r_per_um: 0.045,
+                global_c_per_um: 0.24,
+            },
+        )
+        .expect("preset parameters are valid")
+    }
+
+    /// The ASIC technology roadmap around the paper: 0.35 → 0.25 → 0.18 →
+    /// 0.13 µm, oldest first. Used by the wire-scaling study.
+    pub fn roadmap() -> Vec<Technology> {
+        vec![
+            Technology::cmos035_asic(),
+            Technology::cmos025_asic(),
+            Technology::cmos018_copper(),
+            Technology::cmos013_copper(),
+        ]
+    }
+
+    /// The FO4 inverter delay by the paper's rule: FO4 ≈ 0.5 · Leff ns.
+    pub fn fo4(&self) -> Ps {
+        Ps::from_ns(0.5 * self.leff_um)
+    }
+
+    /// The logical-effort time constant τ = FO4 / 5.
+    ///
+    /// An FO4 inverter delay in the logical-effort model is
+    /// τ·(p_inv + g_inv·h) = τ·(1 + 1·4) = 5τ.
+    pub fn tau(&self) -> Ps {
+        self.fo4() / 5.0
+    }
+
+    /// Converts an absolute delay into FO4 units of this technology.
+    pub fn delay_in_fo4(&self, delay: Ps) -> f64 {
+        delay / self.fo4()
+    }
+
+    /// Converts a delay expressed in FO4 units into picoseconds.
+    pub fn fo4_to_ps(&self, fo4s: f64) -> Ps {
+        self.fo4() * fo4s
+    }
+
+    /// Speed ratio of this technology over `older` at equal design
+    /// (inverse FO4 ratio). The paper puts one 1990s process generation at
+    /// about 1.5×.
+    pub fn generation_speedup(&self, older: &Technology) -> f64 {
+        older.fo4() / self.fo4()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fo4_rule_matches_paper_footnotes() {
+        // Footnote 1: Leff 0.15 um -> 75 ps.
+        assert!((Technology::cmos025_custom().fo4().as_ps() - 75.0).abs() < 1e-9);
+        // Footnote 2: Leff 0.18 um in a typical 0.25 um ASIC process -> 90 ps.
+        assert!((Technology::cmos025_asic().fo4().as_ps() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tau_is_one_fifth_of_fo4() {
+        let t = Technology::cmos025_asic();
+        assert!((t.tau() * 5.0 - t.fo4()).abs().value() < 1e-12);
+    }
+
+    #[test]
+    fn generation_speedup_near_paper_estimate() {
+        // 0.35 um ASIC (Leff .25) -> 0.25 um ASIC (Leff .18): paper says ~1.5x.
+        let s = Technology::cmos025_asic().generation_speedup(&Technology::cmos035_asic());
+        assert!(s > 1.3 && s < 1.6, "generation speedup {s} outside 1.3-1.6");
+    }
+
+    #[test]
+    fn fo4_round_trip() {
+        let t = Technology::cmos025_custom();
+        let d = Ps::new(600.0);
+        let f = t.delay_in_fo4(d);
+        assert!((t.fo4_to_ps(f) - d).abs().value() < 1e-9);
+        assert!((f - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let wire = WireParams::aluminum_025();
+        assert!(Technology::new("bad", 0.25, -0.1, Volt::new(2.5), wire.clone()).is_err());
+        assert!(Technology::new("bad", 0.25, 0.30, Volt::new(2.5), wire).is_err());
+    }
+
+    #[test]
+    fn copper_is_less_resistive_than_aluminum() {
+        let al = WireParams::aluminum_025();
+        let cu = WireParams::copper_018();
+        for layer in WireLayer::ALL {
+            assert!(cu.r_per_um(layer) < al.r_per_um(layer));
+        }
+    }
+
+    #[test]
+    fn roadmap_is_monotonically_faster() {
+        let road = Technology::roadmap();
+        assert_eq!(road.len(), 4);
+        for w in road.windows(2) {
+            let s = w[1].generation_speedup(&w[0]);
+            assert!(
+                (1.2..=1.8).contains(&s),
+                "{} -> {}: {s:.2}x (paper: ~1.5x/generation)",
+                w[0].name,
+                w[1].name
+            );
+        }
+    }
+
+    #[test]
+    fn cmos018_fo4_close_to_measured_55ps() {
+        // Paper cites a 55 ps FO4 for IBM CMOS7S (Leff 0.12 um); the rule of
+        // thumb gives 60 ps. The rule should land within ~10%.
+        let t = Technology::cmos018_copper();
+        let err = (t.fo4().as_ps() - 55.0) / 55.0;
+        assert!(err.abs() < 0.12, "rule-of-thumb error {err}");
+    }
+}

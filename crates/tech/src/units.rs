@@ -1,0 +1,300 @@
+//! Strongly typed physical units.
+//!
+//! Newtypes keep picoseconds from being added to femtofarads
+//! (C-NEWTYPE). Each unit is a thin wrapper over `f64` with the arithmetic
+//! that is physically meaningful for it; anything else requires an explicit
+//! `.value()` escape hatch.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this unit.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Creates a value of this unit from a raw `f64`.
+            pub fn new(value: f64) -> Self {
+                $name(value)
+            }
+
+            /// Returns the raw numeric value.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the larger of `self` and `other`.
+            pub fn max(self, other: Self) -> Self {
+                if self.0 >= other.0 { self } else { other }
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            pub fn min(self, other: Self) -> Self {
+                if self.0 <= other.0 { self } else { other }
+            }
+
+            /// Returns the absolute value.
+            pub fn abs(self) -> Self {
+                $name(self.0.abs())
+            }
+
+            /// Returns `true` if the value is finite (not NaN or infinite).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        /// Dividing two quantities of the same unit yields a dimensionless ratio.
+        impl Div<$name> for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{:.3} {}", self.0, $suffix)
+                }
+            }
+        }
+    };
+}
+
+unit!(
+    /// A time duration in picoseconds.
+    ///
+    /// The natural unit for gate delays in 0.25 µm CMOS (an FO4 inverter
+    /// delay is 75–90 ps).
+    Ps,
+    "ps"
+);
+
+unit!(
+    /// A capacitance in femtofarads.
+    Ff,
+    "fF"
+);
+
+unit!(
+    /// A length in micrometres.
+    Um,
+    "um"
+);
+
+unit!(
+    /// A frequency in megahertz.
+    Mhz,
+    "MHz"
+);
+
+unit!(
+    /// A voltage in volts.
+    Volt,
+    "V"
+);
+
+unit!(
+    /// A power in watts.
+    Watt,
+    "W"
+);
+
+unit!(
+    /// An area in square millimetres.
+    Mm2,
+    "mm^2"
+);
+
+impl Ps {
+    /// Creates a duration from nanoseconds.
+    pub fn from_ns(ns: f64) -> Ps {
+        Ps::new(ns * 1000.0)
+    }
+
+    /// Returns the duration in picoseconds (alias for [`Ps::value`]).
+    pub fn as_ps(self) -> f64 {
+        self.value()
+    }
+
+    /// Returns the duration in nanoseconds.
+    pub fn as_ns(self) -> f64 {
+        self.value() / 1000.0
+    }
+
+    /// Interprets this duration as a clock period and returns the frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is not strictly positive.
+    pub fn frequency(self) -> Mhz {
+        assert!(
+            self.value() > 0.0,
+            "clock period must be positive, got {self}"
+        );
+        Mhz::new(1.0e6 / self.value())
+    }
+}
+
+impl Mhz {
+    /// Returns the clock period corresponding to this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not strictly positive.
+    pub fn period(self) -> Ps {
+        assert!(
+            self.value() > 0.0,
+            "frequency must be positive, got {self}"
+        );
+        Ps::new(1.0e6 / self.value())
+    }
+}
+
+impl Um {
+    /// Returns the length in millimetres.
+    pub fn as_mm(self) -> f64 {
+        self.value() / 1000.0
+    }
+
+    /// Creates a length from millimetres.
+    pub fn from_mm(mm: f64) -> Um {
+        Um::new(mm * 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ps_arithmetic() {
+        let a = Ps::new(100.0);
+        let b = Ps::new(50.0);
+        assert_eq!((a + b).value(), 150.0);
+        assert_eq!((a - b).value(), 50.0);
+        assert_eq!((a * 2.0).value(), 200.0);
+        assert_eq!((a / 2.0).value(), 50.0);
+        assert_eq!(a / b, 2.0);
+        assert_eq!((-b).value(), -50.0);
+    }
+
+    #[test]
+    fn ps_ns_round_trip() {
+        let t = Ps::from_ns(1.5);
+        assert_eq!(t.value(), 1500.0);
+        assert_eq!(t.as_ns(), 1.5);
+    }
+
+    #[test]
+    fn frequency_period_inverse() {
+        let f = Mhz::new(750.0); // Alpha 21264A
+        let period = f.period();
+        assert!((period.value() - 1333.333).abs() < 0.001);
+        let back = period.frequency();
+        assert!((back.value() - 750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_abs() {
+        let a = Ps::new(-3.0);
+        let b = Ps::new(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.abs().value(), 3.0);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Ps = (1..=4).map(|i| Ps::new(i as f64)).sum();
+        assert_eq!(total.value(), 10.0);
+    }
+
+    #[test]
+    fn display_formats_with_suffix() {
+        assert_eq!(format!("{}", Ps::new(75.0)), "75.000 ps");
+        assert_eq!(format!("{:.1}", Mhz::new(250.0)), "250.0 MHz");
+    }
+
+    #[test]
+    fn um_mm_conversions() {
+        let len = Um::from_mm(10.0);
+        assert_eq!(len.value(), 10_000.0);
+        assert_eq!(len.as_mm(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_period_panics() {
+        let _ = Ps::ZERO.frequency();
+    }
+}

@@ -1,0 +1,181 @@
+//! H-tree clock distribution: where the 10%-vs-5% skew numbers come from.
+//!
+//! §4.1: "Pipelining ASICs is also limited by … greater clock skew than
+//! carefully designed custom ICs. There is typically 10% clock skew or
+//! more for ASICs, compared with about 5% clock skew for a high quality
+//! custom design of clocking trees. The 600 MHz Alpha 21264 has 75 ps
+//! global clock skew."
+//!
+//! The model: a symmetric H-tree spans the die; its root-to-leaf insertion
+//! delay is the sum of its (optionally repeatered) segment delays. Skew is
+//! insertion delay times a *quality* factor with two parts — systematic
+//! load imbalance between branches (dominant for auto-CTS), and per-stage
+//! device mismatch (RSS across stages).
+
+use asicgap_tech::{Ps, Technology, Um, WireLayer};
+
+use crate::elmore::drive_wire;
+use crate::repeater::RepeaterPlan;
+use crate::segment::Wire;
+
+/// Clock-tree design quality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CtsQuality {
+    /// Fractional load imbalance between sibling branches (systematic).
+    pub load_imbalance: f64,
+    /// Per-buffer-stage random mismatch (fraction of stage delay).
+    pub stage_mismatch: f64,
+    /// Whether segments get optimal repeaters (custom) or just sized
+    /// drivers (typical ASIC CTS of the era).
+    pub repeatered: bool,
+}
+
+impl CtsQuality {
+    /// Automatic clock-tree synthesis, ASIC-typical.
+    pub fn asic() -> CtsQuality {
+        CtsQuality {
+            load_imbalance: 0.15,
+            stage_mismatch: 0.05,
+            repeatered: false,
+        }
+    }
+
+    /// Hand-tuned custom tree (Alpha-class).
+    pub fn custom() -> CtsQuality {
+        CtsQuality {
+            load_imbalance: 0.05,
+            stage_mismatch: 0.015,
+            repeatered: true,
+        }
+    }
+}
+
+/// A computed clock tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockTree {
+    /// Die side covered.
+    pub die_side: Um,
+    /// Quality parameters used.
+    pub quality: CtsQuality,
+    /// Segment lengths, root to leaf.
+    pub segments: Vec<Um>,
+    /// Root-to-leaf insertion delay.
+    pub insertion_delay: Ps,
+    /// Worst leaf-to-leaf skew.
+    pub skew: Ps,
+}
+
+impl ClockTree {
+    /// Builds an H-tree over a `die_side` square die, halving the spanned
+    /// region each level until segments fall under 300 µm.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use asicgap_tech::{Technology, Um};
+    /// use asicgap_wire::{ClockTree, CtsQuality};
+    ///
+    /// let tech = Technology::cmos025_asic();
+    /// let die = Um::from_mm(10.0);
+    /// let asic = ClockTree::build(&tech, die, CtsQuality::asic());
+    /// let custom = ClockTree::build(&tech, die, CtsQuality::custom());
+    /// // Section 4.1: custom trees hold roughly half the skew (or less).
+    /// assert!(custom.skew < asic.skew * 0.5);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `die_side` is not strictly positive.
+    pub fn build(tech: &Technology, die_side: Um, quality: CtsQuality) -> ClockTree {
+        assert!(die_side.value() > 0.0, "die side must be positive");
+        // H-tree segment lengths: side/2, side/4, side/4, side/8, side/8…
+        // (alternating horizontal/vertical halvings).
+        let mut segments = Vec::new();
+        let mut len = die_side.value() / 2.0;
+        segments.push(Um::new(len));
+        while len > 300.0 {
+            len /= 2.0;
+            segments.push(Um::new(len));
+            segments.push(Um::new(len));
+        }
+
+        let mut insertion = Ps::ZERO;
+        let mut mismatch_var = 0.0; // accumulated (per-stage sigma)^2
+        for &seg_len in &segments {
+            let wire = Wire::new(seg_len, WireLayer::Global);
+            let delay = if quality.repeatered {
+                RepeaterPlan::optimal(tech, &wire).total_delay
+            } else {
+                drive_wire(tech, &wire, tech.unit_inverter_cin * 8.0).delay
+            };
+            insertion += delay;
+            mismatch_var += (delay.value() * quality.stage_mismatch).powi(2);
+        }
+        let skew =
+            insertion * quality.load_imbalance + Ps::new(3.0 * mismatch_var.sqrt());
+        ClockTree {
+            die_side,
+            quality,
+            segments,
+            insertion_delay: insertion,
+            skew,
+        }
+    }
+
+    /// The skew as a fraction of a clock period.
+    pub fn skew_fraction(&self, period: Ps) -> f64 {
+        self.skew / period
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_tech::Mhz;
+
+    #[test]
+    fn asic_tree_skew_near_ten_percent_of_a_typical_cycle() {
+        // A 10 mm ASIC die clocked in the 135-250 MHz range: skew should
+        // land near the paper's "typically 10% or more".
+        let tech = Technology::cmos025_asic();
+        let tree = ClockTree::build(&tech, Um::from_mm(10.0), CtsQuality::asic());
+        let frac = tree.skew_fraction(Mhz::new(200.0).period());
+        assert!(
+            (0.07..=0.22).contains(&frac),
+            "ASIC skew fraction {frac:.3} at 200 MHz (paper: 10% or more)"
+        );
+    }
+
+    #[test]
+    fn custom_tree_matches_alpha_datum() {
+        // Alpha 21264: 75 ps global skew on a ~15 mm-class custom die.
+        let tech = Technology::cmos025_custom();
+        let tree = ClockTree::build(&tech, Um::from_mm(15.0), CtsQuality::custom());
+        assert!(
+            (40.0..=120.0).contains(&tree.skew.value()),
+            "custom skew {} should be 75 ps-class",
+            tree.skew
+        );
+        let frac = tree.skew_fraction(Mhz::new(600.0).period());
+        assert!((0.02..=0.08).contains(&frac), "custom fraction {frac:.3}");
+    }
+
+    #[test]
+    fn custom_tree_beats_asic_tree_on_the_same_die() {
+        let tech = Technology::cmos025_asic();
+        let die = Um::from_mm(10.0);
+        let asic = ClockTree::build(&tech, die, CtsQuality::asic());
+        let custom = ClockTree::build(&tech, die, CtsQuality::custom());
+        assert!(custom.skew < asic.skew * 0.5);
+        assert!(custom.insertion_delay < asic.insertion_delay);
+    }
+
+    #[test]
+    fn bigger_dies_have_more_skew() {
+        let tech = Technology::cmos025_asic();
+        let small = ClockTree::build(&tech, Um::from_mm(4.0), CtsQuality::asic());
+        let big = ClockTree::build(&tech, Um::from_mm(16.0), CtsQuality::asic());
+        assert!(big.skew > small.skew);
+        assert!(big.segments.len() > small.segments.len());
+    }
+}

@@ -1,0 +1,134 @@
+//! The BACPAC-style global-wire study: delay vs. length under different
+//! driving disciplines. Feeds experiment E6 and the §5 discussion.
+
+use asicgap_tech::{Technology, Um, WireLayer};
+
+use crate::elmore::drive_wire;
+use crate::repeater::RepeaterPlan;
+use crate::segment::Wire;
+
+/// One row of the wire study: a length and its delay (in FO4) under each
+/// discipline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireStudyRow {
+    /// Wire length.
+    pub length: Um,
+    /// Minimum-width wire, naive unit driver.
+    pub naive_fo4: f64,
+    /// Minimum-width wire, optimally sized driver.
+    pub sized_driver_fo4: f64,
+    /// Minimum-width wire, optimal repeaters.
+    pub repeatered_fo4: f64,
+    /// Widened (3×) wire with optimal repeaters — how real global nets are
+    /// engineered.
+    pub widened_repeatered_fo4: f64,
+}
+
+/// Sweeps global-wire length from 0.5 mm to `max_mm` and reports delay per
+/// discipline — the curve BACPAC would have drawn for §5.
+///
+/// # Panics
+///
+/// Panics if `max_mm < 1.0`.
+pub fn wire_delay_curve(tech: &Technology, max_mm: f64, points: usize) -> Vec<WireStudyRow> {
+    assert!(max_mm >= 1.0, "study needs at least 1 mm of range");
+    let fo4 = tech.fo4();
+    let load = tech.unit_inverter_cin * 4.0;
+    (0..points)
+        .map(|i| {
+            let mm = 0.5 + (max_mm - 0.5) * i as f64 / (points.max(2) - 1) as f64;
+            let wire = Wire::new(Um::from_mm(mm), WireLayer::Global);
+            let naive = crate::elmore::elmore_delay(tech, &wire, 1.0, load);
+            let sized = drive_wire(tech, &wire, load).delay;
+            let repeatered = RepeaterPlan::optimal(tech, &wire).total_delay;
+            let widened = RepeaterPlan::optimal(tech, &wire.widened(3.0)).total_delay;
+            WireStudyRow {
+                length: wire.length,
+                naive_fo4: naive / fo4,
+                sized_driver_fo4: sized / fo4,
+                repeatered_fo4: repeatered / fo4,
+                widened_repeatered_fo4: widened / fo4,
+            }
+        })
+        .collect()
+}
+
+/// One generation of the wire-scaling study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// Process name.
+    pub node: String,
+    /// FO4 delay, ps.
+    pub fo4_ps: f64,
+    /// Repeatered 10 mm global-wire delay, ps.
+    pub wire_10mm_ps: f64,
+    /// The same wire delay in FO4s — the "wires don't scale" metric.
+    pub wire_10mm_fo4: f64,
+}
+
+/// Sweeps [`Technology::roadmap`] and reports how a fixed 10 mm global
+/// wire compares to the shrinking gate: the relative cost of crossing a
+/// chip *grows* every generation — the §5 problem gets worse, not better.
+pub fn wire_scaling_study() -> Vec<ScalingRow> {
+    Technology::roadmap()
+        .into_iter()
+        .map(|tech| {
+            let wire = Wire::new(Um::from_mm(10.0), WireLayer::Global);
+            let plan = RepeaterPlan::optimal(&tech, &wire);
+            ScalingRow {
+                fo4_ps: tech.fo4().as_ps(),
+                wire_10mm_ps: plan.total_delay.value(),
+                wire_10mm_fo4: plan.total_delay / tech.fo4(),
+                node: tech.name,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wires_do_not_scale_with_gates() {
+        let rows = wire_scaling_study();
+        assert_eq!(rows.len(), 4);
+        // Gates speed up every node.
+        for w in rows.windows(2) {
+            assert!(w[1].fo4_ps < w[0].fo4_ps);
+        }
+        // The chip-crossing cost in FO4 climbs within each materials
+        // system (Al 0.35 -> 0.25; Cu 0.18 -> 0.13); the one-time switch
+        // to copper at 0.18 um buys back roughly a node, as it did
+        // historically.
+        assert!(rows[1].wire_10mm_fo4 > rows[0].wire_10mm_fo4, "Al era");
+        assert!(rows[3].wire_10mm_fo4 > rows[2].wire_10mm_fo4, "Cu era");
+        assert!(
+            rows[3].wire_10mm_fo4 > rows[1].wire_10mm_fo4,
+            "two nodes on, the wire problem is strictly worse than at 0.25 um"
+        );
+        // And the copper dip is bounded: no free lunch.
+        assert!(rows[2].wire_10mm_fo4 > rows[1].wire_10mm_fo4 * 0.8);
+    }
+
+    #[test]
+    fn disciplines_are_ordered_at_long_lengths() {
+        let tech = Technology::cmos025_asic();
+        let curve = wire_delay_curve(&tech, 12.0, 8);
+        let last = curve.last().expect("non-empty curve");
+        assert!(last.naive_fo4 > last.sized_driver_fo4);
+        assert!(last.sized_driver_fo4 > last.repeatered_fo4);
+        // Widening the repeatered wire lowers its RC product further.
+        assert!(last.widened_repeatered_fo4 < last.repeatered_fo4);
+    }
+
+    #[test]
+    fn curve_is_monotone_in_length() {
+        let tech = Technology::cmos025_asic();
+        let curve = wire_delay_curve(&tech, 10.0, 6);
+        for w in curve.windows(2) {
+            assert!(w[1].repeatered_fo4 >= w[0].repeatered_fo4 * 0.99);
+            assert!(w[1].naive_fo4 > w[0].naive_fo4);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Pipeline-depth exploration: the Section 4 trade-offs.
+//!
+//! Sweeps pipeline depth on a real multiplier netlist (register insertion
+//! + STA) and on the closed-form model, then shows why branchy logic
+//!   cannot exploit depth the way streaming datapaths can.
+//!
+//! Run with: `cargo run --release --example pipeline_explorer`
+
+use asicgap::cells::LibrarySpec;
+use asicgap::netlist::generators;
+use asicgap::pipeline::{pipeline_netlist, PipelineModel, PipelineTradeoff};
+use asicgap::report::Table;
+use asicgap::sta::{analyze, ClockSpec};
+use asicgap::tech::{Fo4, Technology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let clock = ClockSpec::unconstrained();
+
+    // Real netlist: an 8x8 multiplier, pipelined 1..8 deep.
+    let mult = generators::array_multiplier(&lib, 8)?;
+    let flat = analyze(&mult, &lib, &clock, None).min_period;
+    let mut t = Table::new(&["stages", "min period", "FO4/cycle", "speedup", "registers"]);
+    t.row_owned(vec![
+        "1".to_string(),
+        format!("{flat}"),
+        format!("{:.1}", tech.delay_in_fo4(flat)),
+        "1.00".to_string(),
+        "0".to_string(),
+    ]);
+    for stages in [2, 3, 4, 5, 6, 8] {
+        let piped = pipeline_netlist(&mult, &lib, stages)?;
+        let period = analyze(&piped.netlist, &lib, &clock, None).min_period;
+        t.row_owned(vec![
+            stages.to_string(),
+            format!("{period}"),
+            format!("{:.1}", tech.delay_in_fo4(period)),
+            format!("{:.2}", flat / period),
+            piped.registers_inserted.to_string(),
+        ]);
+    }
+    println!("8x8 multiplier, measured by register insertion + STA:\n{t}");
+
+    // Closed-form: the paper's own arithmetic.
+    let xtensa = PipelineModel::from_overhead_fraction(Fo4::new(154.0), 5, 0.30);
+    let ppc = PipelineModel::from_overhead_fraction(Fo4::new(41.6), 4, 0.20);
+    println!(
+        "paper arithmetic: Xtensa 5 stages @30% overhead -> {:.1}x; PowerPC 4 stages @20% -> {:.1}x\n",
+        xtensa.speedup_vs_unpipelined(),
+        ppc.speedup_vs_unpipelined()
+    );
+
+    // Why ASICs often cannot pipeline: hazards.
+    let logic = Fo4::new(150.0);
+    let overhead = Fo4::new(6.0);
+    let mut h = Table::new(&["depth", "CPU perf", "streaming perf"]);
+    let cpu = PipelineTradeoff::cpu_like(logic, overhead);
+    let dsp = PipelineTradeoff::streaming(logic, overhead);
+    let norm_cpu = cpu.at_depth(1).relative_performance;
+    let norm_dsp = dsp.at_depth(1).relative_performance;
+    for depth in [1, 2, 4, 8, 12, 16, 24, 32] {
+        h.row_owned(vec![
+            depth.to_string(),
+            format!("{:.2}", cpu.at_depth(depth).relative_performance / norm_cpu),
+            format!("{:.2}", dsp.at_depth(depth).relative_performance / norm_dsp),
+        ]);
+    }
+    println!("depth vs performance under hazards (normalised to depth 1):\n{h}");
+    println!(
+        "optimal depths: CPU-like {} stages, streaming {} stages",
+        cpu.optimal_depth(60),
+        dsp.optimal_depth(60)
+    );
+    Ok(())
+}

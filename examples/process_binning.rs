@@ -1,0 +1,77 @@
+//! Process variation, binning, and accessibility: Section 8 live.
+//!
+//! Run with: `cargo run --release --example process_binning`
+
+use asicgap::process::{
+    foundry_lineup, BinningPolicy, ChipPopulation, MaturityModel, SpeedBins, VariationComponents,
+    VariationStudy,
+};
+use asicgap::report::Table;
+
+fn main() {
+    // A new-process population from the leading fab.
+    let pop = ChipPopulation::sample(&VariationComponents::new_process(), 50_000, 0xDAC);
+    let mut q = Table::new(&["quantile", "relative speed"]);
+    for quantile in [0.01, 0.05, 0.25, 0.50, 0.75, 0.95, 0.99] {
+        q.row_owned(vec![
+            format!("p{:02.0}", quantile * 100.0),
+            format!("{:.3}", pop.quantile(quantile)),
+        ]);
+    }
+    println!("die-speed distribution, new 0.25 um process (50k chips):\n{q}");
+
+    // What different policies promise the customer.
+    let corner = BinningPolicy::corner_quote();
+    let graded = BinningPolicy::speed_graded().quote(&pop);
+    println!("ASIC worst-case (corner) quote : {corner:.3}");
+    println!("speed-graded quote             : {graded:.3}  (+{:.0}%)", (graded / corner - 1.0) * 100.0);
+
+    // Custom-style bins.
+    let bins = SpeedBins::from_quantiles(&pop, &[0.05, 0.50, 0.98]);
+    let mut b = Table::new(&["bin floor", "yield"]);
+    for (floor, yield_frac) in &bins.bins {
+        b.row_owned(vec![
+            format!("{floor:.3}"),
+            format!("{:.1}%", yield_frac * 100.0),
+        ]);
+    }
+    println!("\nspeed bins (custom vendor style):\n{b}");
+
+    // Foundry landscape.
+    let mut f = Table::new(&["foundry", "offset", "median speed"]);
+    for foundry in foundry_lineup() {
+        let p = foundry.population(20_000, 7);
+        f.row_owned(vec![
+            foundry.name.clone(),
+            format!("{:.2}", foundry.speed_offset),
+            format!("{:.3}", p.median()),
+        ]);
+    }
+    println!("foundry lineup (Section 8.1.2: 20-25% spread):\n{f}");
+
+    // Maturity over the generation.
+    let m = MaturityModel::default();
+    let mut mt = Table::new(&["quarters after ramp", "nominal speed", "sigma factor"]);
+    for quarters in [0.0, 2.0, 4.0, 8.0, 12.0] {
+        let c = m.components_at(&VariationComponents::new_process(), quarters);
+        mt.row_owned(vec![
+            format!("{quarters:.0}"),
+            format!("{:.3}", m.speed_at(quarters)),
+            format!(
+                "{:.2}",
+                c.total_sigma() / VariationComponents::new_process().total_sigma()
+            ),
+        ]);
+    }
+    println!("process maturity (5% shrink => {:.0}% speed):\n{mt}",
+        (MaturityModel::shrink_gain(0.05) - 1.0) * 100.0);
+
+    // The full Section 8 study.
+    let s = VariationStudy::run(0xDAC2000);
+    println!("Section 8 study:");
+    println!("  typical / worst-case quote : {:.2}x  (paper: 1.6-1.7)", s.typical_over_worst_case);
+    println!("  top bin / typical          : {:.2}x at {:.1}% yield  (paper: 1.2-1.4)", s.top_bin_over_typical, s.top_bin_yield * 100.0);
+    println!("  foundry spread             : {:.2}x  (paper: 1.20-1.25)", s.foundry_spread);
+    println!("  speed-grading gain         : {:.2}x  (paper: 1.3-1.4)", s.grading_gain);
+    println!("  custom access over ASIC    : {:.2}x  (paper: ~1.9)", s.custom_access_over_asic);
+}

@@ -1,0 +1,44 @@
+//! Quickstart: build a datapath, time it, pipeline it, time it again.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use asicgap::cells::LibrarySpec;
+use asicgap::netlist::{generators, NetlistStats};
+use asicgap::pipeline::pipeline_netlist;
+use asicgap::sta::{analyze, ClockSpec};
+use asicgap::tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A typical 0.25 um ASIC process (Leff = 0.18 um, FO4 = 90 ps) and a
+    // rich commercial standard-cell library.
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    println!("process: {} (FO4 = {})", tech.name, tech.fo4());
+
+    // A 32-bit ALU, as RTL synthesis would produce it.
+    let alu = generators::alu(&lib, 32)?;
+    println!("workload: {} — {}", alu.name, NetlistStats::of(&alu, &lib));
+
+    // Static timing, unpipelined.
+    let clock = ClockSpec::unconstrained();
+    let flat = analyze(&alu, &lib, &clock, None);
+    println!(
+        "\nunpipelined: min period {} = {:.1} FO4  ({:.0} MHz)",
+        flat.min_period,
+        flat.critical_path_fo4(&tech),
+        flat.fmax().value()
+    );
+    println!("{}", flat.critical);
+
+    // Pipeline it five deep (the Xtensa's depth) and re-time.
+    let piped = pipeline_netlist(&alu, &lib, 5)?;
+    let fast = analyze(&piped.netlist, &lib, &clock, None);
+    println!(
+        "5-stage pipeline: min period {} ({:.0} MHz), {} registers inserted, speedup {:.2}x",
+        fast.min_period,
+        fast.fmax().value(),
+        piped.registers_inserted,
+        flat.min_period / fast.min_period
+    );
+    Ok(())
+}

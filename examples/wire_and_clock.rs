@@ -1,0 +1,68 @@
+//! Interconnect deep-dive: the BACPAC-style wire study, the wire-scaling
+//! roadmap, and the clock trees behind the 10%-vs-5% skew numbers.
+//!
+//! Run with: `cargo run --release --example wire_and_clock`
+
+use asicgap::report::Table;
+use asicgap::tech::{Mhz, Technology, Um};
+use asicgap::wire::{wire_delay_curve, wire_scaling_study, ClockTree, CtsQuality};
+
+fn main() {
+    let tech = Technology::cmos025_asic();
+
+    // Wire delay vs length under four driving disciplines (Section 5).
+    let mut t = Table::new(&[
+        "length",
+        "naive (FO4)",
+        "sized driver",
+        "repeatered",
+        "widened+rep",
+    ]);
+    for row in wire_delay_curve(&tech, 12.0, 7) {
+        t.row_owned(vec![
+            format!("{:.1} mm", row.length.as_mm()),
+            format!("{:.1}", row.naive_fo4),
+            format!("{:.1}", row.sized_driver_fo4),
+            format!("{:.1}", row.repeatered_fo4),
+            format!("{:.1}", row.widened_repeatered_fo4),
+        ]);
+    }
+    println!("global-wire delay vs length, 0.25 um ASIC (Section 5 / BACPAC):\n{t}");
+
+    // Wires vs gates across the roadmap.
+    let mut t = Table::new(&["node", "FO4 (ps)", "10 mm wire (ps)", "10 mm wire (FO4)"]);
+    for row in wire_scaling_study() {
+        t.row_owned(vec![
+            row.node.clone(),
+            format!("{:.0}", row.fo4_ps),
+            format!("{:.0}", row.wire_10mm_ps),
+            format!("{:.1}", row.wire_10mm_fo4),
+        ]);
+    }
+    println!("wires do not scale with gates (copper buys back one node):\n{t}");
+
+    // Clock trees (Section 4.1).
+    let asic_tree = ClockTree::build(&tech, Um::from_mm(10.0), CtsQuality::asic());
+    let custom_tech = Technology::cmos025_custom();
+    let custom_tree = ClockTree::build(&custom_tech, Um::from_mm(15.0), CtsQuality::custom());
+    let mut t = Table::new(&["tree", "insertion delay", "skew", "fraction @ f"]);
+    t.row_owned(vec![
+        "ASIC CTS, 10 mm die".into(),
+        format!("{}", asic_tree.insertion_delay),
+        format!("{}", asic_tree.skew),
+        format!(
+            "{:.1}% @ 200 MHz",
+            asic_tree.skew_fraction(Mhz::new(200.0).period()) * 100.0
+        ),
+    ]);
+    t.row_owned(vec![
+        "custom H-tree, 15 mm die".into(),
+        format!("{}", custom_tree.insertion_delay),
+        format!("{}", custom_tree.skew),
+        format!(
+            "{:.1}% @ 600 MHz",
+            custom_tree.skew_fraction(Mhz::new(600.0).period()) * 100.0
+        ),
+    ]);
+    println!("clock distribution (paper: ASIC ~10%, custom ~5% / 75 ps):\n{t}");
+}

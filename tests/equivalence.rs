@@ -1,0 +1,142 @@
+//! Cross-crate functional-equivalence checks: every transformation must
+//! preserve behaviour (our stand-in for formal equivalence checking).
+
+use asicgap::cells::{Library, LibrarySpec};
+use asicgap::netlist::{generators, to_bits, Netlist, Simulator};
+use asicgap::pipeline::pipeline_netlist;
+use asicgap::sizing::{snap_to_library, tilos_size, TilosOptions};
+use asicgap::synth::{buffer_high_fanout, select_drives, SynthFlow};
+use asicgap::tech::Technology;
+
+fn libs() -> (Library, Library) {
+    let tech = Technology::cmos025_asic();
+    (
+        LibrarySpec::rich().build(&tech),
+        LibrarySpec::poor().build(&tech),
+    )
+}
+
+/// Random-vector equivalence over combinational designs with matching
+/// input names.
+fn equivalent(a: &Netlist, la: &Library, b: &Netlist, lb: &Library, vectors: u64) {
+    let mut sa = Simulator::new(a, la);
+    let mut sb = Simulator::new(b, lb);
+    let n = a.inputs().len();
+    assert_eq!(n, b.inputs().len(), "same interface");
+    let order: Vec<usize> = b
+        .inputs()
+        .iter()
+        .map(|(name, _)| {
+            a.inputs()
+                .iter()
+                .position(|(x, _)| x == name)
+                .expect("input names preserved")
+        })
+        .collect();
+    for seed in 0..vectors {
+        let bits: Vec<bool> = (0..n)
+            .map(|i| (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(i as u32)) & 1 == 1)
+            .collect();
+        let remapped: Vec<bool> = order.iter().map(|&i| bits[i]).collect();
+        assert_eq!(
+            sa.run_comb(&bits),
+            sb.run_comb(&remapped),
+            "diverged on vector {seed}"
+        );
+    }
+}
+
+#[test]
+fn remap_preserves_every_generator() {
+    let (rich, poor) = libs();
+    let flow = SynthFlow::default();
+    let workloads: Vec<Netlist> = vec![
+        generators::ripple_carry_adder(&rich, 8).expect("rca"),
+        generators::carry_lookahead_adder(&rich, 8).expect("cla"),
+        generators::carry_select_adder(&rich, 8, 3).expect("csel"),
+        generators::kogge_stone_adder(&rich, 8).expect("ks"),
+        generators::barrel_shifter(&rich, 8).expect("shift"),
+        generators::equality_comparator(&rich, 8).expect("eq"),
+        generators::alu(&rich, 6).expect("alu"),
+    ];
+    for w in &workloads {
+        let on_rich = flow.remap_from(w, &rich, &rich).expect("rich remap");
+        equivalent(w, &rich, &on_rich, &rich, 150);
+        let on_poor = flow.remap_from(w, &rich, &poor).expect("poor remap");
+        equivalent(w, &rich, &on_poor, &poor, 150);
+    }
+}
+
+#[test]
+fn drive_selection_and_buffering_preserve_function() {
+    let (rich, _) = libs();
+    let golden = generators::alu(&rich, 8).expect("alu");
+    let mut work = golden.clone();
+    select_drives(&mut work, &rich, 4.0, 3);
+    buffer_high_fanout(&mut work, &rich, 6).expect("buffering");
+    equivalent(&golden, &rich, &work, &rich, 200);
+}
+
+#[test]
+fn pipelined_designs_compute_the_same_values() {
+    let (rich, _) = libs();
+    let mult = generators::array_multiplier(&rich, 6).expect("mult6");
+    let piped = pipeline_netlist(&mult, &rich, 4).expect("pipeline");
+    let mut flat_sim = Simulator::new(&mult, &rich);
+    let mut pipe_sim = Simulator::new(&piped.netlist, &rich);
+    for (a, b) in [(63u64, 63u64), (17, 42), (0, 55), (32, 2)] {
+        let mut inputs = to_bits(a, 6);
+        inputs.extend(to_bits(b, 6));
+        let want = flat_sim.run_comb(&inputs);
+        let got = pipe_sim.run_pipelined(&inputs, piped.stages + 1);
+        assert_eq!(got, want, "{a} * {b}");
+    }
+}
+
+#[test]
+fn counter_feedback_survives_remap_and_times_as_reg_to_reg() {
+    use asicgap::netlist::{from_bits, Simulator};
+    use asicgap::sta::{analyze, ClockSpec, PathGroup};
+    let (rich, _) = libs();
+    let n = generators::counter(&rich, 16).expect("counter16");
+
+    // Critical path is register-to-register, and grows with width.
+    let r = analyze(&n, &rich, &ClockSpec::unconstrained(), None);
+    assert!(r.group(PathGroup::RegToReg).is_some());
+    let wide = analyze(
+        &generators::counter(&rich, 32).expect("counter32"),
+        &rich,
+        &ClockSpec::unconstrained(),
+        None,
+    );
+    assert!(wide.min_period > r.min_period);
+
+    // The feedback loop survives AIG re-entry and re-mapping.
+    let small = generators::counter(&rich, 4).expect("counter4");
+    let remapped = SynthFlow::default()
+        .remap_from(&small, &rich, &rich)
+        .expect("remap keeps the loop");
+    let mut sim = Simulator::new(&remapped, &rich);
+    sim.set_inputs(&[true]);
+    sim.eval_comb();
+    for expect in 1..=9u64 {
+        sim.step_clock();
+        assert_eq!(from_bits(&sim.output_values()), expect);
+    }
+}
+
+#[test]
+fn sizing_changes_delay_not_function() {
+    let (rich, _) = libs();
+    let golden = generators::ripple_carry_adder(&rich, 8).expect("rca");
+    let sized = tilos_size(&golden, &rich, &TilosOptions::default());
+    let snap = snap_to_library(&golden, &rich, &sized.sizes);
+    // Apply snapped drives to a copy of the netlist.
+    let mut work = golden.clone();
+    let ids: Vec<_> = work.iter_instances().map(|(id, _)| id).collect();
+    for (id, &s) in ids.iter().zip(&snap.sizes) {
+        let cell = rich.closest_drive(work.instance(*id).cell, s);
+        work.set_instance_cell(&rich, *id, cell);
+    }
+    equivalent(&golden, &rich, &work, &rich, 200);
+}

@@ -1,0 +1,177 @@
+//! End-to-end integration: full scenarios across all substrate crates.
+
+use asicgap::netlist::generators;
+use asicgap::{run_scenario, DesignScenario, FloorplanQuality, ProcessAccess, SizingQuality};
+
+#[test]
+fn pipelined_design_passes_setup_and_hold_after_fixing() {
+    use asicgap::cells::LibrarySpec;
+    use asicgap::pipeline::pipeline_netlist;
+    use asicgap::sta::{analyze, check_hold, fix_hold_violations, ClockSpec};
+    use asicgap::tech::Technology;
+
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let mult = generators::array_multiplier(&lib, 6).expect("mult6");
+    let mut piped = pipeline_netlist(&mult, &lib, 4).expect("pipelines").netlist;
+
+    // A 10%-of-cycle skew with 25% setup margin at the achieved speed
+    // (hold buffers add delay, so sign-off needs headroom).
+    let setup = analyze(&piped, &lib, &ClockSpec::unconstrained(), None);
+    let clock = ClockSpec::with_skew_fraction(setup.min_period * 1.25, 0.10);
+
+    let fixed = fix_hold_violations(&mut piped, &lib, &clock).expect("fixing succeeds");
+    assert!(check_hold(&piped, &lib, &clock, None).clean());
+
+    // Setup timing still meets the (skew-inclusive) clock.
+    let after = analyze(&piped, &lib, &clock, None);
+    assert!(
+        after.wns.value() >= 0.0,
+        "setup must survive hold fixing: wns {}",
+        after.wns
+    );
+    // And the design still multiplies.
+    use asicgap::netlist::{from_bits, to_bits, Simulator};
+    let mut sim = Simulator::new(&piped, &lib);
+    let mut inputs = to_bits(21, 6);
+    inputs.extend(to_bits(3, 6));
+    let out = sim.run_pipelined(&inputs, 8);
+    assert_eq!(from_bits(&out), 63);
+    let _ = fixed;
+}
+
+#[test]
+fn end_to_end_gap_on_alu_matches_paper_band() {
+    let asic = run_scenario(&DesignScenario::typical_asic(), |lib| {
+        generators::alu(lib, 16)
+    })
+    .expect("asic scenario");
+    let custom =
+        run_scenario(&DesignScenario::custom(), |lib| generators::alu(lib, 16)).expect("custom");
+    let gap = custom.shipped / asic.shipped;
+    assert!(
+        gap > 4.0 && gap < 12.0,
+        "end-to-end ALU gap {gap:.1}x (paper: 6-8x)"
+    );
+}
+
+#[test]
+fn end_to_end_gap_on_processor_datapath() {
+    // The composite execute-stage datapath: bypass muxes + ALU + barrel
+    // shifter + writeback — the closest workload to the paper's
+    // processors.
+    let asic = run_scenario(&DesignScenario::typical_asic(), |lib| {
+        generators::datapath(lib, 16)
+    })
+    .expect("asic scenario");
+    let custom = run_scenario(&DesignScenario::custom(), |lib| generators::datapath(lib, 16))
+        .expect("custom scenario");
+    let gap = custom.shipped / asic.shipped;
+    assert!(
+        gap > 4.0 && gap < 12.0,
+        "datapath end-to-end gap {gap:.1}x (paper: 6-8x)"
+    );
+}
+
+#[test]
+fn end_to_end_gap_on_multiplier() {
+    // A second workload: the deep multiplier pipelines even better.
+    let asic = run_scenario(&DesignScenario::typical_asic(), |lib| {
+        generators::array_multiplier(lib, 8)
+    })
+    .expect("asic scenario");
+    let custom = run_scenario(&DesignScenario::custom(), |lib| {
+        generators::array_multiplier(lib, 8)
+    })
+    .expect("custom scenario");
+    let gap = custom.shipped / asic.shipped;
+    assert!(gap > 4.0, "multiplier gap {gap:.1}x");
+}
+
+#[test]
+fn scenario_runs_are_deterministic() {
+    let a = run_scenario(&DesignScenario::custom(), |lib| generators::alu(lib, 8))
+        .expect("first run");
+    let b = run_scenario(&DesignScenario::custom(), |lib| generators::alu(lib, 8))
+        .expect("second run");
+    assert_eq!(a, b);
+}
+
+#[test]
+fn each_knob_moves_speed_in_the_right_direction() {
+    let base = DesignScenario::typical_asic();
+    let run = |s: &DesignScenario| {
+        run_scenario(s, |lib| generators::alu(lib, 16))
+            .expect("scenario runs")
+            .shipped
+    };
+    let baseline = run(&base);
+
+    // Pipelining helps.
+    let piped = DesignScenario {
+        pipeline_stages: 4,
+        ..base.clone()
+    };
+    assert!(run(&piped) > baseline, "pipelining must help");
+
+    // Worse skew hurts.
+    let skewed = DesignScenario {
+        skew_fraction: 0.20,
+        ..base.clone()
+    };
+    assert!(run(&skewed) < baseline, "extra skew must hurt");
+
+    // Spreading the floorplan hurts.
+    let spread = DesignScenario {
+        floorplan: FloorplanQuality::Spread { modules: 4 },
+        ..base.clone()
+    };
+    assert!(run(&spread) < baseline, "bad floorplan must hurt");
+
+    // Careless sizing hurts (or at best ties).
+    let lazy = DesignScenario {
+        sizing: SizingQuality::AsMapped,
+        ..base.clone()
+    };
+    assert!(run(&lazy) <= baseline, "no sizing cannot beat drive selection");
+
+    // Binned access beats worst-case quoting.
+    let binned = DesignScenario {
+        access: ProcessAccess::CustomBinned,
+        ..base.clone()
+    };
+    assert!(run(&binned) > baseline, "binned access must help");
+}
+
+#[test]
+fn network_asic_workload_ships_in_the_200mhz_class() {
+    // §2: "high speed network ASICs may run at up to 200 MHz in 0.25 um".
+    // A parallel CRC-32 is the canonical such datapath.
+    let out = run_scenario(&DesignScenario::typical_asic(), |lib| {
+        generators::crc_checker(lib, 32, generators::CRC32_IEEE, 32)
+    })
+    .expect("crc scenario");
+    let f = out.shipped.value();
+    assert!(
+        (140.0..=350.0).contains(&f),
+        "network-class workload shipped {f:.0} MHz"
+    );
+    // Shallower than the ALU: CRC trees are log-depth.
+    assert!(out.fo4_per_cycle < 40.0);
+}
+
+#[test]
+fn pipelined_scenario_outcome_reports_registers_and_depth() {
+    let out = run_scenario(&DesignScenario::best_practice_asic(), |lib| {
+        generators::alu(lib, 16)
+    })
+    .expect("scenario runs");
+    assert!(out.registers > 0);
+    // A 5-stage ASIC pipeline should land in the tens of FO4 per cycle,
+    // like the Xtensa (44 FO4) rather than the Alpha (15 FO4).
+    assert!(
+        out.fo4_per_cycle > 15.0 && out.fo4_per_cycle < 60.0,
+        "best-practice ASIC at {:.1} FO4/cycle",
+        out.fo4_per_cycle
+    );
+}

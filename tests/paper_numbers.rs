@@ -1,0 +1,212 @@
+//! The experiment index E1–E10: every quantitative claim of the paper,
+//! regenerated and asserted against its stated band. This file is the
+//! executable form of EXPERIMENTS.md.
+
+use asicgap::cells::LibrarySpec;
+use asicgap::chips;
+use asicgap::gap::FactorTable;
+use asicgap::netlist::generators;
+use asicgap::pipeline::{borrowed_cycle, pipeline_netlist, PipelineModel};
+use asicgap::place::FloorplanStudy;
+use asicgap::process::VariationStudy;
+use asicgap::sizing::{snap_to_library, tilos_size, TilosOptions};
+use asicgap::sta::{analyze, check_domino_phases, ClockSpec};
+use asicgap::synth::SynthFlow;
+use asicgap::tech::{Fo4, Mhz, Ps, Technology};
+use asicgap::GapFactor;
+
+#[test]
+fn e1_chip_gap_six_to_eight() {
+    let gap = chips::observed_gap();
+    assert!(gap.min_ratio >= 5.0 && gap.max_ratio <= 8.0);
+    assert!((4.0..=5.5).contains(&gap.process_generations));
+}
+
+#[test]
+fn e2_factor_table_combines_to_about_eighteen() {
+    let t = FactorTable::paper_maxima();
+    assert!((t.combined() - 17.8).abs() < 0.2);
+}
+
+#[test]
+fn e3_fo4_accounting() {
+    let custom = Technology::cmos025_custom();
+    let asic = Technology::cmos025_asic();
+    // 75 ps / 90 ps FO4 delays.
+    assert!((custom.fo4().as_ps() - 75.0).abs() < 1e-9);
+    assert!((asic.fo4().as_ps() - 90.0).abs() < 1e-9);
+    // 13 FO4 at 1 GHz custom; ~44 at 250 MHz ASIC.
+    assert!((Fo4::of_cycle(Mhz::new(1000.0), &custom).count() - 13.33).abs() < 0.05);
+    assert!((Fo4::of_cycle(Mhz::new(250.0), &asic).count() - 44.4).abs() < 0.5);
+}
+
+#[test]
+fn e4_pipeline_speedups() {
+    // Closed form reproduces the paper's 3.8x / 3.4x.
+    let xtensa = PipelineModel::from_overhead_fraction(Fo4::new(154.0), 5, 0.30);
+    assert!((xtensa.speedup_vs_unpipelined() - 3.8).abs() < 0.05);
+    let ppc = PipelineModel::from_overhead_fraction(Fo4::new(41.6), 4, 0.20);
+    assert!((ppc.speedup_vs_unpipelined() - 3.4).abs() < 0.05);
+
+    // And the netlist engine lands in the same band on a real multiplier.
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let mult = generators::array_multiplier(&lib, 8).expect("mult8");
+    let clock = ClockSpec::unconstrained();
+    let flat = analyze(&mult, &lib, &clock, None).min_period;
+    let piped = pipeline_netlist(&mult, &lib, 5).expect("pipeline");
+    let fast = analyze(&piped.netlist, &lib, &clock, None).min_period;
+    let speedup = flat / fast;
+    assert!((2.5..=5.0).contains(&speedup), "measured 5-stage {speedup:.2}x");
+
+    // Latch-based time borrowing recovers imbalance (Section 4.1).
+    let stages = [Ps::new(700.0), Ps::new(1100.0), Ps::new(700.0), Ps::new(800.0)];
+    let r = borrowed_cycle(&stages, Ps::new(495.0), Ps::new(225.0));
+    assert!(r.speedup() > 1.2, "borrowing speedup {:.2}", r.speedup());
+}
+
+#[test]
+fn e5_clock_skew() {
+    // ASIC 10% vs custom 5%; Alpha's 75 ps at 600 MHz ~ 5%.
+    let asic = ClockSpec::asic(Mhz::new(250.0));
+    let custom = ClockSpec::custom(Mhz::new(600.0));
+    assert!((asic.skew / asic.period - 0.10).abs() < 1e-9);
+    assert!((custom.skew.value() - 83.3).abs() < 0.1); // ~75 ps class
+    // "about a 10% increase in speed due to custom quality clock skew
+    // alone": halving skew from 10% to 5% of the cycle gives
+    // 0.95/0.90 - 1 ~ 5.6% at equal logic; on the Alpha's shallow cycle
+    // the absolute-skew comparison approaches 10%.
+    let t_asic = 1.0 / (1.0 - 0.10);
+    let t_custom = 1.0 / (1.0 - 0.05);
+    let gain = t_asic / t_custom;
+    assert!((1.04..=1.12).contains(&gain));
+}
+
+#[test]
+fn e6_floorplanning_gain() {
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let alu = generators::alu(&lib, 32).expect("alu32");
+    let study = FloorplanStudy::run(&alu, &lib, 4, 42);
+    let s = study.speedup();
+    // Paper: "up to 25%". Our spread case (four modules at the corners of
+    // a 100 mm^2 die) is somewhat harsher than BACPAC's single-path
+    // study; accept 1.05-1.8 and record the value in EXPERIMENTS.md.
+    assert!((1.05..=1.8).contains(&s), "floorplanning speedup {s:.2}");
+    assert!(study.repeater_gain() >= 1.0);
+}
+
+#[test]
+fn e7_sizing_and_library_richness() {
+    let tech = Technology::cmos025_asic();
+    let rich = LibrarySpec::rich().build(&tech);
+    let two = LibrarySpec::two_drive().build(&tech);
+
+    // TILOS-style sizing: "20% or more" class gains on minimally sized
+    // fanout-heavy logic.
+    let mult = generators::array_multiplier(&rich, 8).expect("mult8");
+    let sized = tilos_size(&mult, &rich, &TilosOptions::default());
+    assert!(sized.speedup() > 1.10, "TILOS speedup {:.2}", sized.speedup());
+
+    // Discrete snapping: small on a rich menu (paper: 2-7%), larger on a
+    // two-drive menu.
+    let snap_rich = snap_to_library(&mult, &rich, &sized.sizes);
+    assert!(snap_rich.penalty() < 0.10, "rich penalty {:.3}", snap_rich.penalty());
+    let mult2 = generators::array_multiplier(&two, 8).expect("mult8-two");
+    let sized2 = tilos_size(&mult2, &two, &TilosOptions::default());
+    let snap_two = snap_to_library(&mult2, &two, &sized2.sizes);
+    assert!(
+        snap_two.penalty() > snap_rich.penalty(),
+        "two-drive {:.3} vs rich {:.3}",
+        snap_two.penalty(),
+        snap_rich.penalty()
+    );
+
+    // Structural + electrical cost of a poor library, measured the way it
+    // bites in practice: the same ALU built and placed against each
+    // library, with post-layout drive re-selection.
+    use asicgap::place::{post_layout_resize, AnnealOptions, Floorplan, FloorplanStrategy};
+    let clock = ClockSpec::unconstrained();
+    let placed_period = |lib: &asicgap::cells::Library| {
+        let n = generators::alu(lib, 16).expect("alu16");
+        let fp = Floorplan::build(&n, lib, FloorplanStrategy::Localized, &AnnealOptions::quick(1));
+        let (resized, par) = post_layout_resize(&n, lib, &fp.placement);
+        analyze(&resized, lib, &clock, Some(&par)).min_period
+    };
+    let poor = LibrarySpec::poor().build(&tech);
+    let t_rich = placed_period(&rich);
+    let t_two = placed_period(&two);
+    let t_poor = placed_period(&poor);
+    let poor_penalty = t_poor / t_rich;
+    assert!(
+        poor_penalty > 1.3,
+        "poor library should cost >30% placed (paper: ~25% for the drive/polarity axes alone), got {poor_penalty:.2}"
+    );
+    assert!(t_two >= t_rich, "coarse drive menu never helps");
+
+    // Area cost of losing complex gates / polarities (paper [19]): the
+    // same ALU needs several times the cells in a NAND/NOR-only library,
+    // and remapping through the AIG still pays a visible overhead.
+    let alu_rich = generators::alu(&rich, 16).expect("alu16 rich");
+    let alu_poor = generators::alu(&poor, 16).expect("alu16 poor");
+    assert!(alu_poor.instance_count() > 3 * alu_rich.instance_count());
+    let flow = SynthFlow::default();
+    let golden = generators::alu(&rich, 8).expect("alu8");
+    let on_rich = flow.remap_from(&golden, &rich, &rich).expect("rich map");
+    let on_poor = flow.remap_from(&golden, &rich, &poor).expect("poor map");
+    assert!(on_poor.instance_count() > on_rich.instance_count());
+}
+
+#[test]
+fn e8_dynamic_logic() {
+    let tech = Technology::cmos025_custom();
+    let custom = LibrarySpec::custom().build(&tech);
+    // Gate-level: 1.5-2.0x (50% to 100% faster).
+    let ratio = asicgap::domino_speed_ratio(&custom);
+    assert!((1.4..=2.1).contains(&ratio), "domino ratio {ratio:.2}");
+
+    // The discipline that blocks ASIC synthesis from using it: feeding a
+    // domino gate from an inverting static gate is flagged.
+    use asicgap::cells::CellFunction;
+    let mut b = asicgap::netlist::NetlistBuilder::new("bad", &custom);
+    let a = b.input("a");
+    let c = b.input("b");
+    let inv = b.inv(a).expect("inv");
+    let y = b
+        .domino_gate(CellFunction::And(2), &[inv, c])
+        .expect("domino");
+    b.output("y", y);
+    let n = b.finish().expect("valid");
+    assert_eq!(check_domino_phases(&n, &custom).len(), 1);
+}
+
+#[test]
+fn e9_process_variation() {
+    let s = VariationStudy::run(0xDAC2000);
+    assert!((1.5..=1.8).contains(&s.typical_over_worst_case));
+    assert!((1.10..=1.45).contains(&s.top_bin_over_typical));
+    assert!((1.20..=1.25).contains(&s.foundry_spread));
+    assert!((1.2..=1.5).contains(&s.grading_gain));
+    assert!((1.7..=2.1).contains(&s.custom_access_over_asic));
+}
+
+#[test]
+fn e10_residual_analysis() {
+    // Use the paper's own ~18x idealised gap for the Section 9 arithmetic.
+    let t = FactorTable::paper_maxima();
+    let observed = 18.0;
+    let two = t.residual(
+        observed,
+        &[GapFactor::Microarchitecture, GapFactor::ProcessVariation],
+    );
+    assert!((2.0..=3.0).contains(&two), "two-factor residual {two:.2}");
+    let three = t.residual(
+        observed,
+        &[
+            GapFactor::Microarchitecture,
+            GapFactor::ProcessVariation,
+            GapFactor::DynamicLogic,
+        ],
+    );
+    assert!((1.5..=1.7).contains(&three), "residual {three:.2} (paper ~1.6)");
+}

@@ -1,0 +1,224 @@
+//! Property-based tests over the core data structures and invariants.
+
+use asicgap::cells::{CellFunction, LibrarySpec, LogicFamily};
+use asicgap::netlist::{from_bits, generators, to_bits, Simulator};
+use asicgap::pipeline::{borrowed_cycle, PipelineModel};
+use asicgap::process::{ChipPopulation, VariationComponents};
+use asicgap::synth::{Aig, Lit};
+use asicgap::tech::{Ff, Fo4, Mhz, Ps, Technology};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn adder_fixture() -> &'static (asicgap::cells::Library, asicgap::netlist::Netlist) {
+    static FIXTURE: OnceLock<(asicgap::cells::Library, asicgap::netlist::Netlist)> =
+        OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::kogge_stone_adder(&lib, 8).expect("ks8");
+        (lib, n)
+    })
+}
+
+type AdderSet = (asicgap::cells::Library, Vec<asicgap::netlist::Netlist>);
+
+fn all_adders_fixture() -> &'static AdderSet {
+    static FIXTURE: OnceLock<AdderSet> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let adders = vec![
+            generators::ripple_carry_adder(&lib, 8).expect("rca"),
+            generators::carry_lookahead_adder(&lib, 8).expect("cla"),
+            generators::carry_select_adder(&lib, 8, 3).expect("csel"),
+            generators::carry_skip_adder(&lib, 8, 3).expect("cskip"),
+            generators::kogge_stone_adder(&lib, 8).expect("ks"),
+        ];
+        (lib, adders)
+    })
+}
+
+proptest! {
+    #[test]
+    fn ps_mhz_round_trip(freq in 1.0f64..10_000.0) {
+        let f = Mhz::new(freq);
+        let back = f.period().frequency();
+        prop_assert!((back.value() - freq).abs() / freq < 1e-12);
+    }
+
+    #[test]
+    fn fo4_round_trip(count in 0.1f64..1000.0) {
+        let tech = Technology::cmos025_asic();
+        let fo4 = Fo4::new(count);
+        let back = Fo4::from_delay(fo4.to_ps(&tech), &tech);
+        prop_assert!((back.count() - count).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bits_round_trip(value in 0u64..u64::MAX, width in 1usize..64) {
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let v = value & mask;
+        prop_assert_eq!(from_bits(&to_bits(v, width)), v);
+    }
+
+    #[test]
+    fn lit_complement_involution(node in 0usize..1_000_000, comp in any::<bool>()) {
+        let l = Lit::new(node, comp);
+        prop_assert_eq!(l.not().not(), l);
+        prop_assert_eq!(l.node(), node);
+        prop_assert_eq!(l.is_complement(), comp);
+    }
+
+    #[test]
+    fn cell_delay_monotone_in_load(
+        drive in prop::sample::select(vec![0.5f64, 1.0, 2.0, 4.0, 8.0]),
+        load_a in 1.0f64..100.0,
+        extra in 0.1f64..100.0,
+    ) {
+        use asicgap::cells::LibCell;
+        let tech = Technology::cmos025_asic();
+        let cell = LibCell::combinational(
+            CellFunction::Nand(2), LogicFamily::StaticCmos, drive, &tech);
+        let d1 = cell.delay(&tech, Ff::new(load_a));
+        let d2 = cell.delay(&tech, Ff::new(load_a + extra));
+        prop_assert!(d2 > d1);
+    }
+
+    #[test]
+    fn adder_matches_u64_on_random_operands(
+        a in 0u64..256, b in 0u64..256, cin in any::<bool>()
+    ) {
+        let (lib, n) = adder_fixture();
+        let mut sim = Simulator::new(n, lib);
+        let got = generators::adder_io::apply(&mut sim, 8, a, b, cin);
+        prop_assert_eq!(got, (a + b + cin as u64) & 0x1FF);
+    }
+
+    #[test]
+    fn aig_balance_preserves_behaviour(ops in prop::collection::vec(0u8..6, 1..40)) {
+        // Build a random AIG from a small op stream, then check balanced()
+        // is observationally equivalent on sampled inputs.
+        let mut g = Aig::new();
+        let inputs: Vec<Lit> = (0..6).map(|i| g.input(format!("i{i}"))).collect();
+        let mut pool = inputs.clone();
+        for (k, &op) in ops.iter().enumerate() {
+            let a = pool[k % pool.len()];
+            let b = pool[(k * 7 + 3) % pool.len()];
+            let lit = match op {
+                0 => g.and(a, b),
+                1 => g.or(a, b),
+                2 => g.xor(a, b),
+                3 => g.and(a.not(), b),
+                4 => g.mux(a, b, pool[(k * 13 + 1) % pool.len()]),
+                _ => a.not(),
+            };
+            pool.push(lit);
+        }
+        let out = *pool.last().expect("non-empty pool");
+        g.set_output("y", out);
+        let bal = g.balanced();
+        for bits in 0..64u32 {
+            let ins: Vec<bool> = (0..6).map(|i| bits & (1 << i) != 0).collect();
+            prop_assert_eq!(g.eval(&ins), bal.eval(&ins));
+        }
+    }
+
+    #[test]
+    fn pipeline_cycle_decreases_with_stages(
+        logic in 20.0f64..500.0,
+        overhead in 1.0f64..10.0,
+        n in 1usize..20,
+    ) {
+        let m = PipelineModel::new(Fo4::new(logic), n, Fo4::new(overhead), 0.0);
+        let deeper = m.with_stages(n + 1);
+        let cycle = m.cycle();
+        prop_assert!(deeper.cycle() < cycle);
+        // And never below the overhead floor.
+        prop_assert!(cycle.count() > overhead);
+    }
+
+    #[test]
+    fn borrowing_never_worse_than_flip_flops_at_equal_overhead(
+        stages in prop::collection::vec(10.0f64..500.0, 1..12),
+        overhead in 1.0f64..100.0,
+    ) {
+        let delays: Vec<Ps> = stages.iter().map(|&d| Ps::new(d)).collect();
+        let r = borrowed_cycle(&delays, Ps::new(overhead), Ps::new(overhead));
+        prop_assert!(r.borrowed_cycle <= r.flip_flop_cycle + Ps::new(1e-9));
+    }
+
+    #[test]
+    fn verilog_round_trip_on_random_logic(seed in 0u64..200) {
+        use asicgap::netlist::generators::{random_logic, RandomLogicSpec};
+        use asicgap::netlist::verilog::{from_verilog, to_verilog};
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let spec = RandomLogicSpec { inputs: 8, gates: 40, seed, depth_bias: 3 };
+        let original = random_logic(&lib, &spec).expect("generates");
+        let text = to_verilog(&original, &lib);
+        let parsed = from_verilog(&text, &lib).expect("parses");
+        prop_assert_eq!(parsed.instance_count(), original.instance_count());
+        let mut sim_a = Simulator::new(&original, &lib);
+        let mut sim_b = Simulator::new(&parsed, &lib);
+        for bits in [0u64, 0xFF, 0xA5, 0x3C] {
+            let v = to_bits(bits, 8);
+            prop_assert_eq!(sim_a.run_comb(&v), sim_b.run_comb(&v));
+        }
+    }
+
+    #[test]
+    fn within_die_penalty_monotone_in_paths(
+        sigma in 0.0f64..0.1,
+        small in 1usize..100,
+        factor in 2usize..100,
+    ) {
+        use asicgap::process::WithinDieModel;
+        let a = WithinDieModel::new(small, sigma);
+        let b = WithinDieModel::new(small * factor, sigma);
+        prop_assert!(b.expected_penalty() <= a.expected_penalty() + 1e-12);
+        prop_assert!(b.expected_penalty() > 0.0);
+    }
+
+    #[test]
+    fn all_five_adder_architectures_agree(
+        a in 0u64..256, b in 0u64..256, cin in any::<bool>()
+    ) {
+        let (lib, adders) = all_adders_fixture();
+        let want = (a + b + cin as u64) & 0x1FF;
+        for adder in adders {
+            let mut sim = Simulator::new(adder, lib);
+            let got = generators::adder_io::apply(&mut sim, 8, a, b, cin);
+            prop_assert_eq!(got, want, "{} disagrees on {}+{}+{}", adder.name, a, b, cin);
+        }
+    }
+
+    #[test]
+    fn crc_netlist_matches_reference_for_random_data(
+        data in 0u64..0xFFFF, poly in 1u64..256,
+    ) {
+        use asicgap::netlist::generators::{crc_checker, crc_reference};
+        // Odd polynomials keep every output bit live.
+        let poly = poly | 1;
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        if let Ok(n) = crc_checker(&lib, 16, poly, 8) {
+            let mut sim = Simulator::new(&n, &lib);
+            let out = sim.run_comb(&to_bits(data, 16));
+            prop_assert_eq!(from_bits(&out), crc_reference(data, 16, poly, 8));
+        }
+    }
+
+    #[test]
+    fn population_quantiles_monotone(seed in 0u64..1000) {
+        let p = ChipPopulation::sample(&VariationComponents::new_process(), 2000, seed);
+        let mut prev = 0.0;
+        for q in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let v = p.quantile(q);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+        // Yield at the median is ~50%.
+        let y = p.yield_at(p.median());
+        prop_assert!((y - 0.5).abs() < 0.05);
+    }
+}
