@@ -1,9 +1,9 @@
 //! Engine micro-benches: throughput of the substrate algorithms on
 //! realistic workloads (useful when tuning the tools themselves), plus
-//! the ablation benches called out in DESIGN.md.
+//! the ablation benches called out in DESIGN.md. Plain `main` harness —
+//! see `asicgap_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use asicgap_bench::harness::{bench, group};
 
 use asicgap::cells::LibrarySpec;
 use asicgap::netlist::generators;
@@ -14,28 +14,26 @@ use asicgap::sta::{analyze, ClockSpec};
 use asicgap::synth::{map_aig, netlist_to_aig, MapOptions, SynthFlow};
 use asicgap::tech::Technology;
 
-fn bench_sta(c: &mut Criterion) {
+fn bench_sta() {
     let tech = Technology::cmos025_asic();
     let lib = LibrarySpec::rich().build(&tech);
     let clock = ClockSpec::unconstrained();
-    let mut g = c.benchmark_group("sta");
+    group("sta");
     for width in [8usize, 16, 32] {
         let n = generators::array_multiplier(&lib, width).expect("multiplier");
-        g.bench_with_input(BenchmarkId::new("multiplier", width), &n, |b, n| {
-            b.iter(|| black_box(analyze(n, &lib, &clock, None).min_period))
+        bench(&format!("multiplier/{width}"), 20, || {
+            analyze(&n, &lib, &clock, None).min_period
         });
     }
-    g.finish();
 }
 
-fn bench_mapping(c: &mut Criterion) {
+fn bench_mapping() {
     let tech = Technology::cmos025_asic();
     let rich = LibrarySpec::rich().build(&tech);
     let poor = LibrarySpec::poor().build(&tech);
     let golden = generators::alu(&rich, 16).expect("alu16");
     let (aig, _) = netlist_to_aig(&golden, &rich);
-    let mut g = c.benchmark_group("mapping");
-    g.sample_size(20);
+    group("mapping");
     // Ablation: complex patterns on vs off, rich vs poor target.
     for (name, lib, complex) in [
         ("rich_complex", &rich, true),
@@ -46,85 +44,165 @@ fn bench_mapping(c: &mut Criterion) {
             use_complex: complex,
             max_fanin: 4,
         };
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(map_aig(&aig, lib, &opts).expect("maps")))
-        });
+        bench(name, 10, || map_aig(&aig, lib, &opts).expect("maps"));
     }
-    g.finish();
 }
 
-fn bench_placement(c: &mut Criterion) {
+fn bench_placement() {
     let tech = Technology::cmos025_asic();
     let lib = LibrarySpec::rich().build(&tech);
     let n = generators::alu(&lib, 16).expect("alu16");
-    let mut g = c.benchmark_group("placement");
-    g.sample_size(10);
-    g.bench_function("anneal_localized", |b| {
-        b.iter(|| {
-            black_box(Floorplan::build(
-                &n,
-                &lib,
-                FloorplanStrategy::Localized,
-                &AnnealOptions::quick(1),
-            ))
-        })
+    group("placement");
+    bench("anneal_localized", 5, || {
+        Floorplan::build(
+            &n,
+            &lib,
+            FloorplanStrategy::Localized,
+            &AnnealOptions::quick(1),
+        )
     });
-    let fp = Floorplan::build(&n, &lib, FloorplanStrategy::Localized, &AnnealOptions::quick(1));
+    let fp = Floorplan::build(
+        &n,
+        &lib,
+        FloorplanStrategy::Localized,
+        &AnnealOptions::quick(1),
+    );
     // Ablation: annotation with and without repeater insertion.
-    g.bench_function("annotate_with_repeaters", |b| {
-        b.iter(|| black_box(annotate(&n, &lib, &fp.placement, true)))
+    bench("annotate_with_repeaters", 10, || {
+        annotate(&n, &lib, &fp.placement, true)
     });
-    g.bench_function("annotate_no_repeaters", |b| {
-        b.iter(|| black_box(annotate(&n, &lib, &fp.placement, false)))
+    bench("annotate_no_repeaters", 10, || {
+        annotate(&n, &lib, &fp.placement, false)
     });
-    g.finish();
 }
 
-fn bench_sizing(c: &mut Criterion) {
+fn bench_sizing() {
     let tech = Technology::cmos025_asic();
     let lib = LibrarySpec::rich().build(&tech);
     let n = generators::array_multiplier(&lib, 6).expect("mult6");
-    let mut g = c.benchmark_group("sizing");
-    g.sample_size(10);
-    g.bench_function("tilos_mult6", |b| {
-        b.iter(|| black_box(tilos_size(&n, &lib, &TilosOptions::default())))
+    group("sizing");
+    bench("tilos_mult6", 5, || {
+        tilos_size(&n, &lib, &TilosOptions::default())
     });
-    g.finish();
 }
 
-fn bench_pipelining(c: &mut Criterion) {
+/// The pre-refactor TILOS inner loop, kept verbatim as the baseline the
+/// incremental engine is measured against: one whole-netlist
+/// `SizedTiming::evaluate` per trial bump and per commit.
+fn tilos_full_reanalysis(
+    netlist: &asicgap::netlist::Netlist,
+    lib: &asicgap::cells::Library,
+    options: &TilosOptions,
+) -> (Vec<f64>, usize) {
+    use asicgap::sizing::{sizes_from_cells, SizedTiming};
+    let mut sizes = sizes_from_cells(netlist, lib);
+    let mut timing = SizedTiming::evaluate(netlist, lib, &sizes);
+    let mut evals = 1usize;
+    let mut iterations = 0;
+    while iterations < options.max_iterations {
+        let path = timing.critical_path();
+        if path.is_empty() {
+            break;
+        }
+        let mut best: Option<(usize, f64)> = None;
+        let mut best_delay = timing.critical_delay;
+        for &inst in &path {
+            let i = inst.index();
+            if netlist.instance(inst).is_sequential() {
+                continue;
+            }
+            let new_size = sizes[i] * options.step;
+            if new_size > options.max_size {
+                continue;
+            }
+            let old = sizes[i];
+            sizes[i] = new_size;
+            let t = SizedTiming::evaluate(netlist, lib, &sizes);
+            sizes[i] = old;
+            evals += 1;
+            let gain = (timing.critical_delay - t.critical_delay).value();
+            if gain <= 0.0 {
+                continue;
+            }
+            let score = gain / (new_size - old);
+            if best.is_none_or(|(_, s)| score > s) {
+                best = Some((i, score));
+                best_delay = t.critical_delay;
+            }
+        }
+        let Some((i, _)) = best else { break };
+        let improvement = (timing.critical_delay - best_delay) / timing.critical_delay;
+        sizes[i] *= options.step;
+        timing = SizedTiming::evaluate(netlist, lib, &sizes);
+        evals += 1;
+        iterations += 1;
+        if improvement < options.min_gain {
+            break;
+        }
+    }
+    (sizes, evals)
+}
+
+/// Full-vs-incremental TILOS on multiplier workloads: same decisions,
+/// bit for bit, with the propagation-effort and wall-clock ratios the
+/// incremental engine buys (see DESIGN.md §incremental timing).
+fn bench_incremental_sizing() {
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    group("incremental_sizing");
+    for (bits, iters, reps) in [(16usize, 30usize, 5usize), (32, 30, 2)] {
+        let n = generators::array_multiplier(&lib, bits).expect("multiplier");
+        let comb = n.instances().iter().filter(|i| !i.is_sequential()).count();
+        let opts = TilosOptions {
+            max_iterations: iters,
+            ..TilosOptions::default()
+        };
+        let full = bench(&format!("tilos_full_mult{bits}/{iters}"), reps, || {
+            tilos_full_reanalysis(&n, &lib, &opts)
+        });
+        let inc = bench(
+            &format!("tilos_incremental_mult{bits}/{iters}"),
+            reps,
+            || tilos_size(&n, &lib, &opts),
+        );
+        let (full_sizes, full_evals) = tilos_full_reanalysis(&n, &lib, &opts);
+        let r = tilos_size(&n, &lib, &opts);
+        assert_eq!(full_sizes, r.sizes, "decisions must be bitwise identical");
+        println!(
+            "  mult{bits}: wall ratio {:.2}x, pin ratio {:.2}x ({} full-pass pins vs {} touched)",
+            full / inc,
+            (full_evals * comb) as f64 / r.stats.pins_touched as f64,
+            full_evals * comb,
+            r.stats.pins_touched,
+        );
+    }
+}
+
+fn bench_pipelining() {
     let tech = Technology::cmos025_asic();
     let lib = LibrarySpec::rich().build(&tech);
     let n = generators::array_multiplier(&lib, 8).expect("mult8");
-    let mut g = c.benchmark_group("pipelining");
-    g.sample_size(20);
+    group("pipelining");
     for stages in [2usize, 5, 8] {
-        g.bench_with_input(BenchmarkId::new("mult8", stages), &stages, |b, &s| {
-            b.iter(|| black_box(pipeline_netlist(&n, &lib, s).expect("pipelines")))
+        bench(&format!("mult8/{stages}"), 10, || {
+            pipeline_netlist(&n, &lib, stages).expect("pipelines")
         });
     }
-    g.finish();
 }
 
-fn bench_remap_flow(c: &mut Criterion) {
+fn bench_remap_flow() {
     let tech = Technology::cmos025_asic();
     let rich = LibrarySpec::rich().build(&tech);
     let golden = generators::carry_lookahead_adder(&rich, 16).expect("cla16");
-    let mut g = c.benchmark_group("synthesis_flow");
-    g.sample_size(10);
-    g.bench_function("remap_cla16", |b| {
-        b.iter(|| {
-            black_box(
-                SynthFlow::default()
-                    .remap_from(&golden, &rich, &rich)
-                    .expect("remaps"),
-            )
-        })
+    group("synthesis_flow");
+    bench("remap_cla16", 5, || {
+        SynthFlow::default()
+            .remap_from(&golden, &rich, &rich)
+            .expect("remaps")
     });
-    g.finish();
 }
 
-fn bench_extensions(c: &mut Criterion) {
+fn bench_extensions() {
     use asicgap::process::{ChipPopulation, VariationComponents};
     use asicgap::sizing::{lagrangian_size, sizes_from_cells, LagrangianOptions, SizedTiming};
     use asicgap::sta::check_hold;
@@ -135,17 +213,10 @@ fn bench_extensions(c: &mut Criterion) {
     let tech = Technology::cmos025_asic();
     let rich = LibrarySpec::rich().build(&tech);
     let custom = LibrarySpec::custom().build(&Technology::cmos025_custom());
-    let mut g = c.benchmark_group("extensions");
-    g.sample_size(10);
+    group("extensions");
 
-    g.bench_function("htree_asic_10mm", |b| {
-        b.iter(|| {
-            black_box(ClockTree::build(
-                &tech,
-                Um::from_mm(10.0),
-                CtsQuality::asic(),
-            ))
-        })
+    bench("htree_asic_10mm", 10, || {
+        ClockTree::build(&tech, Um::from_mm(10.0), CtsQuality::asic())
     });
 
     let piped = pipeline_netlist(
@@ -156,56 +227,46 @@ fn bench_extensions(c: &mut Criterion) {
     .expect("pipelines")
     .netlist;
     let clock = ClockSpec::unconstrained();
-    g.bench_function("hold_check_mult6x4", |b| {
-        b.iter(|| black_box(check_hold(&piped, &rich, &clock, None)))
+    bench("hold_check_mult6x4", 10, || {
+        check_hold(&piped, &rich, &clock, None)
     });
 
     let crc = generators::crc_checker(&rich, 32, generators::CRC32_IEEE, 32).expect("crc32");
-    g.bench_function("sta_crc32", |b| {
-        b.iter(|| black_box(analyze(&crc, &rich, &clock, None).min_period))
+    bench("sta_crc32", 10, || {
+        analyze(&crc, &rich, &clock, None).min_period
     });
 
     let rca = generators::ripple_carry_adder(&rich, 8).expect("rca8");
     let base = SizedTiming::evaluate(&rca, &rich, &sizes_from_cells(&rca, &rich));
-    g.bench_function("lagrangian_rca8", |b| {
-        b.iter(|| {
-            black_box(lagrangian_size(
-                &rca,
-                &rich,
-                base.critical_delay,
-                &LagrangianOptions::default(),
-            ))
-        })
+    bench("lagrangian_rca8", 5, || {
+        lagrangian_size(
+            &rca,
+            &rich,
+            base.critical_delay,
+            &LagrangianOptions::default(),
+        )
     });
 
     let (aig, _) = netlist_to_aig(
         &generators::ripple_carry_adder(&custom, 8).expect("rca8 custom"),
         &custom,
     );
-    g.bench_function("dual_rail_domino_rca8", |b| {
-        b.iter(|| black_box(map_dual_rail_domino(&aig, &custom, "bench").expect("maps")))
+    bench("dual_rail_domino_rca8", 5, || {
+        map_dual_rail_domino(&aig, &custom, "bench").expect("maps")
     });
 
-    g.bench_function("population_50k", |b| {
-        b.iter(|| {
-            black_box(ChipPopulation::sample(
-                &VariationComponents::new_process(),
-                50_000,
-                7,
-            ))
-        })
+    bench("population_50k", 5, || {
+        ChipPopulation::sample(&VariationComponents::new_process(), 50_000, 7)
     });
-    g.finish();
 }
 
-criterion_group!(
-    engines,
-    bench_sta,
-    bench_mapping,
-    bench_placement,
-    bench_sizing,
-    bench_pipelining,
-    bench_remap_flow,
-    bench_extensions,
-);
-criterion_main!(engines);
+fn main() {
+    bench_sta();
+    bench_mapping();
+    bench_placement();
+    bench_sizing();
+    bench_incremental_sizing();
+    bench_pipelining();
+    bench_remap_flow();
+    bench_extensions();
+}

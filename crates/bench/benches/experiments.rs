@@ -1,83 +1,21 @@
-//! Criterion benches: one target per experiment of the index (E1–E10).
-//! Each bench times the experiment's core computation; the regenerated
-//! values themselves are printed by the `repro` binary.
-
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+//! Benches: one timer per experiment of the index (E1–E10). Each bench
+//! times the experiment's core computation; the regenerated values
+//! themselves are printed by the `repro` binary. Plain `main` harness —
+//! see `asicgap_bench::harness`.
 
 use asicgap_bench as exp;
+use asicgap_bench::harness::bench;
 
-fn bench_e1_chip_gap(c: &mut Criterion) {
-    c.bench_function("e1_chip_gap", |b| b.iter(|| black_box(exp::e1_chip_gap())));
+fn main() {
+    bench("e1_chip_gap", 20, exp::e1_chip_gap);
+    bench("e2_paper_factors", 20, exp::e2_paper_factors);
+    bench("e2_measured_full_flow", 3, exp::e2_measured);
+    bench("e3_fo4", 20, exp::e3_fo4_rows);
+    bench("e4_pipeline", 5, exp::e4_pipeline);
+    bench("e5_skew", 20, exp::e5_skew);
+    bench("e6_floorplan", 3, exp::e6_floorplan);
+    bench("e7_sizing", 3, exp::e7_sizing);
+    bench("e8_domino", 10, exp::e8_domino);
+    bench("e9_variation", 3, exp::e9_variation);
+    bench("e10_residual", 20, exp::e10_residuals);
 }
-
-fn bench_e2_factors(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e2");
-    g.sample_size(10);
-    g.bench_function("e2_paper_factors", |b| {
-        b.iter(|| black_box(exp::e2_paper_factors()))
-    });
-    g.bench_function("e2_measured_full_flow", |b| {
-        b.iter(|| black_box(exp::e2_measured()))
-    });
-    g.finish();
-}
-
-fn bench_e3_fo4(c: &mut Criterion) {
-    c.bench_function("e3_fo4", |b| b.iter(|| black_box(exp::e3_fo4_rows())));
-}
-
-fn bench_e4_pipeline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e4");
-    g.sample_size(10);
-    g.bench_function("e4_pipeline", |b| b.iter(|| black_box(exp::e4_pipeline())));
-    g.finish();
-}
-
-fn bench_e5_skew(c: &mut Criterion) {
-    c.bench_function("e5_skew", |b| b.iter(|| black_box(exp::e5_skew())));
-}
-
-fn bench_e6_floorplan(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e6");
-    g.sample_size(10);
-    g.bench_function("e6_floorplan", |b| b.iter(|| black_box(exp::e6_floorplan())));
-    g.finish();
-}
-
-fn bench_e7_sizing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e7");
-    g.sample_size(10);
-    g.bench_function("e7_sizing", |b| b.iter(|| black_box(exp::e7_sizing())));
-    g.finish();
-}
-
-fn bench_e8_domino(c: &mut Criterion) {
-    c.bench_function("e8_domino", |b| b.iter(|| black_box(exp::e8_domino())));
-}
-
-fn bench_e9_variation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e9");
-    g.sample_size(10);
-    g.bench_function("e9_variation", |b| b.iter(|| black_box(exp::e9_variation())));
-    g.finish();
-}
-
-fn bench_e10_residual(c: &mut Criterion) {
-    c.bench_function("e10_residual", |b| b.iter(|| black_box(exp::e10_residuals())));
-}
-
-criterion_group!(
-    experiments,
-    bench_e1_chip_gap,
-    bench_e2_factors,
-    bench_e3_fo4,
-    bench_e4_pipeline,
-    bench_e5_skew,
-    bench_e6_floorplan,
-    bench_e7_sizing,
-    bench_e8_domino,
-    bench_e9_variation,
-    bench_e10_residual,
-);
-criterion_main!(experiments);

@@ -33,9 +33,7 @@ fn main() {
         t.row_owned(vec![
             f.label().into(),
             format!("x{:.2}", f.paper_maximum()),
-            measured
-                .get(f)
-                .map_or("-".into(), |v| format!("x{v:.2}")),
+            measured.get(f).map_or("-".into(), |v| format!("x{v:.2}")),
         ]);
     }
     t.row_owned(vec![

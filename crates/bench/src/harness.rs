@@ -1,0 +1,52 @@
+//! A minimal wall-clock bench harness.
+//!
+//! The workspace builds with no registry access, so the bench targets
+//! use this module instead of Criterion: plain `fn main()` binaries
+//! (`harness = false`) that time closures with `std::time::Instant` and
+//! report the median over a fixed iteration count. Numbers are for
+//! relative comparison on one machine, not statistical rigour.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Times `f` over `iters` runs (after one warm-up) and prints the
+/// median, minimum, and total. Returns the median in nanoseconds so
+/// callers can compute ratios between benches.
+pub fn bench<T>(name: &str, iters: usize, mut f: impl FnMut() -> T) -> f64 {
+    assert!(iters > 0, "need at least one iteration");
+    black_box(f());
+    let mut samples: Vec<f64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        black_box(f());
+        samples.push(start.elapsed().as_secs_f64() * 1e9);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    println!(
+        "{name:<44} median {:>12}  min {:>12}  ({iters} iters)",
+        fmt_ns(median),
+        fmt_ns(min),
+    );
+    median
+}
+
+/// Formats a nanosecond count with a human-readable unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Prints a section header so bench output groups like the old
+/// Criterion groups did.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}

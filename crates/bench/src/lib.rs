@@ -1,9 +1,11 @@
-//! Shared experiment drivers for the `repro` binary and the Criterion
-//! benches. Each `eN_*` function computes one experiment of the index in
+//! Shared experiment drivers for the `repro` binary and the benches.
+//! Each `eN_*` function computes one experiment of the index in
 //! DESIGN.md and returns its headline numbers, so the binary can print
 //! them and the benches can time them against the same code path.
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use asicgap::cells::LibrarySpec;
 use asicgap::chips;

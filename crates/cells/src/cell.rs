@@ -251,7 +251,8 @@ mod tests {
         let tech = tech();
         let small =
             LibCell::combinational(CellFunction::Nand(2), LogicFamily::StaticCmos, 1.0, &tech);
-        let big = LibCell::combinational(CellFunction::Nand(2), LogicFamily::StaticCmos, 8.0, &tech);
+        let big =
+            LibCell::combinational(CellFunction::Nand(2), LogicFamily::StaticCmos, 8.0, &tech);
         let wide =
             LibCell::combinational(CellFunction::Nand(4), LogicFamily::StaticCmos, 1.0, &tech);
         assert!(big.area_um2 > small.area_um2);

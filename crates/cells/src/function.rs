@@ -90,10 +90,7 @@ impl CellFunction {
     pub fn is_monotone(self) -> bool {
         matches!(
             self,
-            CellFunction::Buf
-                | CellFunction::And(_)
-                | CellFunction::Or(_)
-                | CellFunction::Maj3
+            CellFunction::Buf | CellFunction::And(_) | CellFunction::Or(_) | CellFunction::Maj3
         )
     }
 
@@ -194,9 +191,7 @@ impl CellFunction {
             CellFunction::Maj3 => {
                 #[allow(clippy::nonminimal_bool)] // written as the textbook majority form
                 {
-                    (inputs[0] && inputs[1])
-                        || (inputs[1] && inputs[2])
-                        || (inputs[0] && inputs[2])
+                    (inputs[0] && inputs[1]) || (inputs[1] && inputs[2]) || (inputs[0] && inputs[2])
                 }
             }
             CellFunction::Aoi21 => !((inputs[0] && inputs[1]) || inputs[2]),
@@ -304,9 +299,7 @@ mod tests {
         assert!((CellFunction::Nor(2).logical_effort() - 5.0 / 3.0).abs() < 1e-12);
         // NOR is worse than NAND at equal fan-in (PMOS stack).
         for n in 2..=4u8 {
-            assert!(
-                CellFunction::Nor(n).logical_effort() > CellFunction::Nand(n).logical_effort()
-            );
+            assert!(CellFunction::Nor(n).logical_effort() > CellFunction::Nand(n).logical_effort());
         }
     }
 
@@ -342,7 +335,10 @@ mod tests {
         // are never single-stage inverting gates.
         for f in CellFunction::combinational_set(4, true) {
             if f.is_monotone() {
-                assert!(!f.is_inverting(), "{f} cannot be both monotone and inverting");
+                assert!(
+                    !f.is_inverting(),
+                    "{f} cannot be both monotone and inverting"
+                );
             }
         }
     }

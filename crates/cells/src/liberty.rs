@@ -30,7 +30,12 @@ pub fn to_liberty(lib: &Library) -> String {
     let _ = writeln!(out, "  capacitive_load_unit (1, pf);");
     let _ = writeln!(out, "  voltage_unit : \"1V\";");
     let _ = writeln!(out, "  nom_voltage : {:.2};", tech.supply.value());
-    let _ = writeln!(out, "  /* FO4 = {:.1} ps, tau = {:.1} ps */", tech.fo4().as_ps(), tech.tau().as_ps());
+    let _ = writeln!(
+        out,
+        "  /* FO4 = {:.1} ps, tau = {:.1} ps */",
+        tech.fo4().as_ps(),
+        tech.tau().as_ps()
+    );
 
     for (_, cell) in lib.iter() {
         let _ = writeln!(out, "  cell ({}) {{", sanitize(&cell.name));
@@ -41,7 +46,10 @@ pub fn to_liberty(lib: &Library) -> String {
             } else {
                 "latch"
             };
-            let _ = writeln!(out, "    {kind} (IQ) {{ clocked_on : \"CK\"; next_state : \"i0\"; }}");
+            let _ = writeln!(
+                out,
+                "    {kind} (IQ) {{ clocked_on : \"CK\"; next_state : \"i0\"; }}"
+            );
             let _ = writeln!(
                 out,
                 "    /* setup {:.3} ns, hold {:.3} ns, clk->q {:.3} ns */",

@@ -6,12 +6,12 @@
 
 use asicgap_cells::{CellFunction, Library, LibrarySpec, LogicFamily};
 use asicgap_netlist::Netlist;
-use asicgap_pipeline::pipeline_netlist;
+use asicgap_pipeline::pipeline_netlist_with;
 use asicgap_place::{annotate, AnnealOptions, Floorplan, FloorplanStrategy};
 use asicgap_process::{BinningPolicy, ChipPopulation, VariationComponents};
 use asicgap_sizing::{snap_to_library, tilos_size, TilosOptions};
-use asicgap_sta::{analyze, ClockSpec};
-use asicgap_synth::{select_drives, select_drives_with_parasitics};
+use asicgap_sta::{ClockSpec, TimingGraph};
+use asicgap_synth::{select_drives_on, DriveOptions};
 use asicgap_tech::{Ff, Mhz, Ps, Technology};
 
 use crate::error::GapError;
@@ -194,25 +194,32 @@ pub fn run_scenario(
     let lib = scenario.library.build(&scenario.technology);
     let mut netlist = workload(&lib)?;
 
-    // §4: pipelining.
+    // §4: pipelining. The flat netlist's timing drives the cut placement;
+    // the pipelined result then seeds the flow's one shared timer.
     let mut registers = 0;
     if scenario.pipeline_stages >= 2 {
-        let piped = pipeline_netlist(&netlist, &lib, scenario.pipeline_stages)?;
+        let report =
+            TimingGraph::new(netlist.clone(), &lib, ClockSpec::unconstrained(), None).report();
+        let piped = pipeline_netlist_with(&netlist, &lib, scenario.pipeline_stages, &report)?;
         registers = piped.registers_inserted;
         netlist = piped.netlist;
     }
 
+    // One timer for the rest of the flow: every optimization below
+    // mutates this graph and pays only for the cones it touches.
+    let mut graph = TimingGraph::new(netlist, &lib, ClockSpec::unconstrained(), None);
+
     // §6: sizing.
     match scenario.sizing {
         SizingQuality::AsMapped => {}
-        SizingQuality::DriveSelected => select_drives(&mut netlist, &lib, 4.0, 3),
+        SizingQuality::DriveSelected => select_drives_on(&mut graph, &DriveOptions::default()),
         SizingQuality::Continuous => {
-            let sized = tilos_size(&netlist, &lib, &TilosOptions::default());
-            let snap = snap_to_library(&netlist, &lib, &sized.sizes);
-            let ids: Vec<_> = netlist.iter_instances().map(|(id, _)| id).collect();
+            let sized = tilos_size(graph.netlist(), &lib, &TilosOptions::default());
+            let snap = snap_to_library(graph.netlist(), &lib, &sized.sizes);
+            let ids: Vec<_> = graph.netlist().iter_instances().map(|(id, _)| id).collect();
             for (id, &s) in ids.iter().zip(&snap.sizes) {
-                let cell = lib.closest_drive(netlist.instance(*id).cell, s);
-                netlist.set_instance_cell(&lib, *id, cell);
+                let cell = lib.closest_drive(graph.netlist().instance(*id).cell, s);
+                graph.resize_cell(*id, cell);
             }
         }
     }
@@ -225,18 +232,33 @@ pub fn run_scenario(
             die_side_um: 10_000.0,
         },
     };
-    let fp = Floorplan::build(&netlist, &lib, strategy, &AnnealOptions::quick(scenario.seed));
-    let par = annotate(&netlist, &lib, &fp.placement, true);
+    let fp = Floorplan::build(
+        graph.netlist(),
+        &lib,
+        strategy,
+        &AnnealOptions::quick(scenario.seed),
+    );
+    let par = annotate(graph.netlist(), &lib, &fp.placement, true);
+    graph.set_parasitics(par);
 
     // Post-layout resize (§6.2): re-select drives against the annotated
     // wire loads, then re-extract (sink caps changed).
     if scenario.sizing != SizingQuality::AsMapped {
-        select_drives_with_parasitics(&mut netlist, &lib, &par, 4.0, 2);
+        select_drives_on(
+            &mut graph,
+            &DriveOptions {
+                parasitics: None,
+                target_gain: 4.0,
+                passes: 2,
+            },
+        );
     }
-    let par = annotate(&netlist, &lib, &fp.placement, true);
+    let par = annotate(graph.netlist(), &lib, &fp.placement, true);
+    graph.set_parasitics(par);
 
     // Timing without skew, then fold the fractional skew in.
-    let report = analyze(&netlist, &lib, &ClockSpec::unconstrained(), Some(&par));
+    let report = graph.report();
+    let (netlist, _) = graph.into_parts();
     let mut period_no_skew = report.min_period;
 
     // §7: domino on the critical path — speed the combinational portion

@@ -35,7 +35,10 @@ impl FactorTable {
     ///
     /// Panics if `value < 1.0` — a gap factor is a speed ratio ≥ 1.
     pub fn set(&mut self, factor: GapFactor, value: f64) {
-        assert!(value >= 1.0, "gap factor {factor} must be >= 1, got {value}");
+        assert!(
+            value >= 1.0,
+            "gap factor {factor} must be >= 1, got {value}"
+        );
         match self.entries.iter_mut().find(|(f, _)| *f == factor) {
             Some((_, v)) => *v = value,
             None => self.entries.push((factor, value)),
@@ -69,10 +72,7 @@ impl FactorTable {
     /// dynamic-logic families … accounts for all but a factor of about
     /// 1.6×."
     pub fn residual(&self, observed_gap: f64, factors: &[GapFactor]) -> f64 {
-        let explained: f64 = factors
-            .iter()
-            .filter_map(|&f| self.get(f))
-            .product();
+        let explained: f64 = factors.iter().filter_map(|&f| self.get(f)).product();
         observed_gap / explained
     }
 }

@@ -61,8 +61,8 @@ pub mod report;
 pub use error::GapError;
 pub use factors::GapFactor;
 pub use flow::{
-    domino_speed_ratio, run_scenario, DesignScenario, FloorplanQuality, LogicStyle,
-    ProcessAccess, ScenarioOutcome, SizingQuality,
+    domino_speed_ratio, run_scenario, DesignScenario, FloorplanQuality, LogicStyle, ProcessAccess,
+    ScenarioOutcome, SizingQuality,
 };
 pub use gap::FactorTable;
 

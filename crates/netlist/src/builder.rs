@@ -136,9 +136,12 @@ impl<'a> NetlistBuilder<'a> {
         fanin: &[NetId],
     ) -> Result<NetId, NetlistError> {
         let ids = self.lib.drives_for(function, LogicFamily::Domino);
-        let cell = ids.first().copied().ok_or_else(|| NetlistError::MissingCell {
-            what: format!("domino {function}"),
-        })?;
+        let cell = ids
+            .first()
+            .copied()
+            .ok_or_else(|| NetlistError::MissingCell {
+                what: format!("domino {function}"),
+            })?;
         self.cell(cell, fanin)
     }
 

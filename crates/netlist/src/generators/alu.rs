@@ -139,7 +139,11 @@ mod tests {
         let n = alu(&lib, width).expect("alu builds");
         let mut sim = Simulator::new(&n, &lib);
         for op in [AluOp::Add, AluOp::And, AluOp::Or, AluOp::Xor] {
-            for (a, b, cin) in [(200u64, 100u64, false), (255, 255, true), (0x5A, 0xA5, false)] {
+            for (a, b, cin) in [
+                (200u64, 100u64, false),
+                (255, 255, true),
+                (0x5A, 0xA5, false),
+            ] {
                 let (r, cout) = run(&mut sim, width, a, b, cin, op);
                 assert_eq!(r, op.apply(a, b, cin, width), "{op:?} {a},{b},{cin}");
                 if op == AluOp::Add {

@@ -69,10 +69,7 @@ pub fn crc_checker(
         })
         .collect();
 
-    let mut b = NetlistBuilder::new(
-        format!("crc{crc_width}_{data_width}_{poly:x}"),
-        lib,
-    );
+    let mut b = NetlistBuilder::new(format!("crc{crc_width}_{data_width}_{poly:x}"), lib);
     let d: Vec<NetId> = (0..data_width).map(|i| b.input(format!("d{i}"))).collect();
     for (bit, &mask) in masks.iter().enumerate() {
         if mask == 0 {

@@ -138,7 +138,17 @@ mod tests {
         let n = datapath(&lib, width).expect("datapath builds");
         let mut sim = Simulator::new(&n, &lib);
         let cases = [
-            (200u64, 100u64, 7u64, false, false, false, AluOp::Add, 0u64, false),
+            (
+                200u64,
+                100u64,
+                7u64,
+                false,
+                false,
+                false,
+                AluOp::Add,
+                0u64,
+                false,
+            ),
             (200, 100, 7, true, false, true, AluOp::Add, 0, false),
             (0x5A, 0xA5, 0xFF, false, true, false, AluOp::Xor, 0, false),
             (0x0F, 0, 0, false, false, false, AluOp::And, 3, true),
@@ -159,7 +169,10 @@ mod tests {
             let out = sim.run_comb(&inputs);
             let r = from_bits(&out[..width]);
             let want = datapath_reference(width, a, b, f, bypa, bypb, cin, op, shift, wsel);
-            assert_eq!(r, want, "{a},{b},{f} byp({bypa},{bypb}) {op:?} <<{shift} w{wsel}");
+            assert_eq!(
+                r, want,
+                "{a},{b},{f} byp({bypa},{bypb}) {op:?} <<{shift} w{wsel}"
+            );
         }
     }
 

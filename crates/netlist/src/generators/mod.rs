@@ -111,8 +111,11 @@ mod tests {
         ] {
             let n = build(&lib, 16).expect("16-bit adder builds");
             let mut sim = Simulator::new(&n, &lib);
-            for (a, b, c) in [(0xFFFF, 1, false), (0x1234, 0x4321, true), (0x8000, 0x8000, false)]
-            {
+            for (a, b, c) in [
+                (0xFFFF, 1, false),
+                (0x1234, 0x4321, true),
+                (0x8000, 0x8000, false),
+            ] {
                 let got = adder_io::apply(&mut sim, 16, a, b, c);
                 assert_eq!(got, (a + b + c as u64) & 0x1FFFF);
             }

@@ -2,8 +2,7 @@
 //! custom design handles no better than tools do.
 
 use asicgap_cells::{CellFunction, Library, LogicFamily};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use asicgap_tech::Rng64;
 
 use crate::builder::NetlistBuilder;
 use crate::error::NetlistError;
@@ -51,7 +50,7 @@ impl RandomLogicSpec {
 pub fn random_logic(lib: &Library, spec: &RandomLogicSpec) -> Result<Netlist, NetlistError> {
     assert!(spec.inputs >= 2, "need at least 2 inputs");
     assert!(spec.gates > 0, "need at least 1 gate");
-    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut rng = Rng64::new(spec.seed);
     let mut b = NetlistBuilder::new(format!("rand{}x{}", spec.inputs, spec.gates), lib);
 
     let mut nets: Vec<NetId> = (0..spec.inputs).map(|i| b.input(format!("i{i}"))).collect();
@@ -74,14 +73,14 @@ pub fn random_logic(lib: &Library, spec: &RandomLogicSpec) -> Result<Netlist, Ne
     .collect();
 
     for _ in 0..spec.gates {
-        let f = menu[rng.gen_range(0..menu.len())];
+        let f = menu[rng.index(menu.len())];
         let arity = f.num_inputs();
         let mut fanin = Vec::with_capacity(arity);
         for _ in 0..arity {
             // Depth bias: sample several candidates, keep the most recent.
-            let mut pick = rng.gen_range(0..nets.len());
+            let mut pick = rng.index(nets.len());
             for _ in 0..spec.depth_bias {
-                let other = rng.gen_range(0..nets.len());
+                let other = rng.index(nets.len());
                 pick = pick.max(other);
             }
             fanin.push(nets[pick]);

@@ -57,9 +57,9 @@ pub use builder::NetlistBuilder;
 pub use error::NetlistError;
 pub use ids::{InstId, NetId};
 pub use netlist::{Instance, Net, NetDriver, Netlist, Sink};
-pub use sim::Simulator;
 pub use power::{estimate_power, PowerEstimate};
 pub use scan::{insert_scan_chain, ScanChain};
+pub use sim::Simulator;
 pub use sim::{from_bits, to_bits};
 pub use stats::{net_levels, NetlistStats};
 pub use sweep::{sweep_dead_logic, SweepStats};

@@ -321,11 +321,7 @@ impl Netlist {
                 }
             }
         }
-        let comb_total = self
-            .instances
-            .iter()
-            .filter(|i| !i.is_sequential())
-            .count();
+        let comb_total = self.instances.iter().filter(|i| !i.is_sequential()).count();
         if order.len() != comb_total {
             // Find a net on the cycle for the error message.
             let on_cycle = self
@@ -409,7 +405,9 @@ mod tests {
         let mut n = Netlist::new("t");
         let a = n.add_net("a");
         let y = n.add_net("y");
-        let err = n.add_instance("g1", &lib, nand2(&lib), &[a], y).unwrap_err();
+        let err = n
+            .add_instance("g1", &lib, nand2(&lib), &[a], y)
+            .unwrap_err();
         assert!(matches!(err, NetlistError::ArityMismatch { .. }));
     }
 
@@ -431,8 +429,7 @@ mod tests {
             prev = out;
         }
         let order = n.topo_order().expect("acyclic");
-        let pos: HashMap<InstId, usize> =
-            order.iter().enumerate().map(|(p, &i)| (i, p)).collect();
+        let pos: HashMap<InstId, usize> = order.iter().enumerate().map(|(p, &i)| (i, p)).collect();
         for w in ids.windows(2) {
             assert!(pos[&w[0]] < pos[&w[1]]);
         }
@@ -444,10 +441,22 @@ mod tests {
         let mut n = Netlist::new("cycle");
         let x = n.add_net("x");
         let y = n.add_net("y");
-        n.add_instance("g1", &lib, lib.smallest(CellFunction::Inv).expect("inv"), &[x], y)
-            .expect("g1 ok");
-        n.add_instance("g2", &lib, lib.smallest(CellFunction::Inv).expect("inv"), &[y], x)
-            .expect("g2 ok");
+        n.add_instance(
+            "g1",
+            &lib,
+            lib.smallest(CellFunction::Inv).expect("inv"),
+            &[x],
+            y,
+        )
+        .expect("g1 ok");
+        n.add_instance(
+            "g2",
+            &lib,
+            lib.smallest(CellFunction::Inv).expect("inv"),
+            &[y],
+            x,
+        )
+        .expect("g2 ok");
         assert!(matches!(
             n.topo_order(),
             Err(NetlistError::CombinationalCycle { .. })

@@ -12,9 +12,8 @@
 //! ```
 
 use asicgap_cells::{Library, LogicFamily};
+use asicgap_tech::Rng64;
 use asicgap_tech::{Ff, Mhz};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 use crate::netlist::{NetDriver, Netlist};
 use crate::sim::Simulator;
@@ -66,21 +65,18 @@ pub fn estimate_power(
     seed: u64,
 ) -> PowerEstimate {
     assert!(vectors > 0, "need at least one vector");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng64::new(seed);
     let mut sim = Simulator::new(netlist, lib);
     let n_inputs = netlist.inputs().len();
 
     let mut toggles = vec![0usize; netlist.net_count()];
     let mut prev: Option<Vec<bool>> = None;
     for _ in 0..=vectors {
-        let bits: Vec<bool> = (0..n_inputs).map(|_| rng.gen()).collect();
+        let bits: Vec<bool> = (0..n_inputs).map(|_| rng.flip()).collect();
         sim.set_inputs(&bits);
         sim.eval_comb();
         sim.step_clock();
-        let state: Vec<bool> = netlist
-            .iter_nets()
-            .map(|(id, _)| sim.value(id))
-            .collect();
+        let state: Vec<bool> = netlist.iter_nets().map(|(id, _)| sim.value(id)).collect();
         if let Some(p) = prev {
             for (t, (a, b)) in toggles.iter_mut().zip(p.iter().zip(&state)) {
                 if a != b {

@@ -7,10 +7,10 @@
 //! D input gets a mux selecting functional data or the previous
 //! flip-flop's Q, so the whole state shifts in and out serially.
 
-use asicgap_cells::{CellFunction, Library};
 use crate::error::NetlistError;
 use crate::ids::{InstId, NetId};
 use crate::netlist::Netlist;
+use asicgap_cells::{CellFunction, Library};
 
 /// The inserted chain, in shift order.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,10 +34,7 @@ pub struct ScanChain {
 /// Returns [`NetlistError::MissingCell`] if the library lacks a 2:1 mux
 /// (or the NAND fallback primitives), or [`NetlistError::Invalid`] if the
 /// netlist has no registers.
-pub fn insert_scan_chain(
-    netlist: &mut Netlist,
-    lib: &Library,
-) -> Result<ScanChain, NetlistError> {
+pub fn insert_scan_chain(netlist: &mut Netlist, lib: &Library) -> Result<ScanChain, NetlistError> {
     let regs: Vec<InstId> = netlist
         .iter_instances()
         .filter(|(_, i)| i.is_sequential())
@@ -86,8 +83,8 @@ pub fn insert_scan_chain(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use asicgap_cells::LibrarySpec;
     use crate::{NetlistBuilder, Simulator};
+    use asicgap_cells::LibrarySpec;
     use asicgap_tech::Technology;
 
     fn three_regs(lib: &Library) -> Netlist {

@@ -111,11 +111,7 @@ impl<'a> Simulator<'a> {
         }
         for &id in &self.order {
             let inst = self.netlist.instance(id);
-            let ins: Vec<bool> = inst
-                .fanin
-                .iter()
-                .map(|n| self.values[n.index()])
-                .collect();
+            let ins: Vec<bool> = inst.fanin.iter().map(|n| self.values[n.index()]).collect();
             let f = self.lib.cell(inst.cell).function;
             self.values[inst.out.index()] = f.eval(&ins);
         }

@@ -129,7 +129,10 @@ mod tests {
     fn ripple_adder_depth_linear_in_width() {
         let tech = Technology::cmos025_asic();
         let lib = LibrarySpec::rich().build(&tech);
-        let s8 = NetlistStats::of(&generators::ripple_carry_adder(&lib, 8).expect("rca8"), &lib);
+        let s8 = NetlistStats::of(
+            &generators::ripple_carry_adder(&lib, 8).expect("rca8"),
+            &lib,
+        );
         let s32 = NetlistStats::of(
             &generators::ripple_carry_adder(&lib, 32).expect("rca32"),
             &lib,

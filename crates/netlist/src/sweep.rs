@@ -64,8 +64,8 @@ pub fn sweep_dead_logic(
     let mut out = Netlist::new(netlist.name.clone());
     let mut net_map: Vec<Option<NetId>> = vec![None; netlist.net_count()];
     for (id, net) in netlist.iter_nets() {
-        let keep = live_nets.contains(&id)
-            || matches!(net.driver, Some(NetDriver::PrimaryInput(_)));
+        let keep =
+            live_nets.contains(&id) || matches!(net.driver, Some(NetDriver::PrimaryInput(_)));
         if keep {
             net_map[id.index()] = Some(out.add_net(net.name.clone()));
         }
@@ -159,7 +159,11 @@ mod tests {
         let n = b.netlist().clone();
         let (swept, _) = sweep_dead_logic(&n, &lib).expect("sweeps");
         assert_eq!(
-            swept.instances().iter().filter(|i| i.is_sequential()).count(),
+            swept
+                .instances()
+                .iter()
+                .filter(|i| i.is_sequential())
+                .count(),
             1
         );
     }

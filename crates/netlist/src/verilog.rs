@@ -27,9 +27,7 @@ use crate::netlist::Netlist;
 /// Escapes a name for Verilog if it contains characters outside
 /// `[A-Za-z0-9_]` (we emit the `\name ` escaped-identifier form).
 fn ident(name: &str) -> String {
-    let plain = name
-        .chars()
-        .all(|c| c.is_ascii_alphanumeric() || c == '_')
+    let plain = name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && name
             .chars()
             .next()
@@ -67,7 +65,12 @@ pub fn to_verilog(netlist: &Netlist, lib: &Library) -> String {
         .map(|(n, _)| ident(n))
         .chain(netlist.outputs().iter().map(|(n, _)| ident(n)))
         .collect();
-    let _ = writeln!(out, "module {} ({});", ident(&netlist.name), ports.join(", "));
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        ident(&netlist.name),
+        ports.join(", ")
+    );
     for (n, _) in netlist.inputs() {
         let _ = writeln!(out, "  input {};", ident(n));
     }
@@ -197,11 +200,11 @@ pub fn from_verilog(source: &str, lib: &Library) -> Result<Netlist, NetlistError
             _ => {
                 // Cell instantiation: CELL INST ( .o(x), .i0(y), ... ) ;
                 let cell_name = next_ident(&tokens, &mut pos)?;
-                let (cell_id, cell) = lib.cell_by_name(&cell_name).ok_or_else(|| {
-                    NetlistError::MissingCell {
-                        what: cell_name.clone(),
-                    }
-                })?;
+                let (cell_id, cell) =
+                    lib.cell_by_name(&cell_name)
+                        .ok_or_else(|| NetlistError::MissingCell {
+                            what: cell_name.clone(),
+                        })?;
                 let inst_name = next_ident(&tokens, &mut pos)?;
                 expect(&mut pos, "(", &tokens)?;
                 let mut out_net = None;
@@ -215,7 +218,8 @@ pub fn from_verilog(source: &str, lib: &Library) -> Result<Netlist, NetlistError
                     let id = net_of(&mut netlist, &net_name);
                     if pin == "o" {
                         out_net = Some(id);
-                    } else if let Some(k) = pin.strip_prefix('i').and_then(|s| s.parse::<usize>().ok())
+                    } else if let Some(k) =
+                        pin.strip_prefix('i').and_then(|s| s.parse::<usize>().ok())
                     {
                         if k >= fanin.len() {
                             return Err(NetlistError::Invalid {
@@ -377,7 +381,11 @@ mod tests {
         let text = to_verilog(&n, &lib);
         let parsed = from_verilog(&text, &lib).expect("parses");
         assert_eq!(
-            parsed.instances().iter().filter(|i| i.is_sequential()).count(),
+            parsed
+                .instances()
+                .iter()
+                .filter(|i| i.is_sequential())
+                .count(),
             1
         );
     }

@@ -172,8 +172,10 @@ mod tests {
             let profile = stage_profile(&piped.netlist, &lib);
             // Stages plus possibly a register->output tail.
             assert!(
-                profile.len() == stages || profile.len() == stages + 1 ||
-                profile.len() == piped.latency || profile.len() == piped.latency + 1,
+                profile.len() == stages
+                    || profile.len() == stages + 1
+                    || profile.len() == piped.latency
+                    || profile.len() == piped.latency + 1,
                 "profile len {} for {stages} stages (latency {})",
                 profile.len(),
                 piped.latency

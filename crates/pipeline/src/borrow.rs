@@ -46,16 +46,9 @@ impl BorrowReport {
 /// # Panics
 ///
 /// Panics if `stage_delays` is empty.
-pub fn borrowed_cycle(
-    stage_delays: &[Ps],
-    ff_overhead: Ps,
-    latch_overhead: Ps,
-) -> BorrowReport {
+pub fn borrowed_cycle(stage_delays: &[Ps], ff_overhead: Ps, latch_overhead: Ps) -> BorrowReport {
     assert!(!stage_delays.is_empty(), "no stages given");
-    let worst = stage_delays
-        .iter()
-        .copied()
-        .fold(Ps::ZERO, Ps::max);
+    let worst = stage_delays.iter().copied().fold(Ps::ZERO, Ps::max);
     let flip_flop_cycle = worst + ff_overhead;
 
     let mean = stage_delays.iter().copied().sum::<Ps>() / stage_delays.len() as f64;

@@ -102,8 +102,9 @@ impl PipelineModel {
         if self.overhead.count() <= 0.0 {
             return usize::MAX;
         }
-        ((self.logic.count() * (1.0 + self.imbalance) / self.overhead.count()).sqrt().round()
-            as usize)
+        ((self.logic.count() * (1.0 + self.imbalance) / self.overhead.count())
+            .sqrt()
+            .round() as usize)
             .max(1)
     }
 }

@@ -8,7 +8,7 @@
 
 use asicgap_cells::{CellFunction, Library};
 use asicgap_netlist::{NetDriver, NetId, Netlist, Sink};
-use asicgap_sta::{analyze, ClockSpec};
+use asicgap_sta::{analyze, ClockSpec, TimingReport};
 use asicgap_tech::Ps;
 
 /// The result of pipelining.
@@ -56,6 +56,32 @@ pub fn pipeline_netlist(
     lib: &Library,
     stages: usize,
 ) -> Result<PipelinedNetlist, asicgap_netlist::NetlistError> {
+    let report = analyze(netlist, lib, &ClockSpec::unconstrained(), None);
+    pipeline_netlist_with(netlist, lib, stages, &report)
+}
+
+/// Like [`pipeline_netlist`], reusing a caller-supplied timing report for
+/// the arrival-based stage assignment instead of running a fresh
+/// analysis. Flows that already hold a warm
+/// [`TimingGraph`](asicgap_sta::TimingGraph) pass its
+/// [`report()`](asicgap_sta::TimingGraph::report) here, so pipelining
+/// costs no extra propagation.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors.
+///
+/// # Panics
+///
+/// Panics if the input netlist already contains sequential elements, if
+/// `stages < 2`, if the library has no flip-flop, or if `report` was
+/// produced for a different netlist.
+pub fn pipeline_netlist_with(
+    netlist: &Netlist,
+    lib: &Library,
+    stages: usize,
+    report: &TimingReport,
+) -> Result<PipelinedNetlist, asicgap_netlist::NetlistError> {
     assert!(stages >= 2, "pipelining needs at least 2 stages");
     assert!(
         netlist.instances().iter().all(|i| !i.is_sequential()),
@@ -66,7 +92,6 @@ pub fn pipeline_netlist(
         .expect("library provides a flip-flop");
 
     // Arrival-based stage assignment.
-    let report = analyze(netlist, lib, &ClockSpec::unconstrained(), None);
     let total = report.critical.delay;
     let stage_of_arrival = |a: Ps| -> usize {
         if total.value() <= 0.0 {

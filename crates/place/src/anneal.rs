@@ -5,8 +5,7 @@
 //! This is that tool: a classic swap-based annealer minimising total HPWL.
 
 use asicgap_netlist::Netlist;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use asicgap_tech::Rng64;
 
 use crate::placement::Placement;
 
@@ -77,7 +76,7 @@ pub fn anneal_placement(
         return placement.total_hpwl(netlist).value();
     }
 
-    let mut rng = SmallRng::seed_from_u64(options.seed);
+    let mut rng = Rng64::new(options.seed);
 
     // Incremental cost: swapping two cells only changes nets touching them.
     let nets_of = |i: usize| -> Vec<asicgap_netlist::NetId> {
@@ -95,8 +94,8 @@ pub fn anneal_placement(
     // Calibrate the initial temperature from random swap deltas.
     let mut deltas = 0.0;
     for _ in 0..50 {
-        let a = movable[rng.gen_range(0..movable.len())];
-        let b = movable[rng.gen_range(0..movable.len())];
+        let a = movable[rng.index(movable.len())];
+        let b = movable[rng.index(movable.len())];
         if a == b {
             continue;
         }
@@ -114,8 +113,8 @@ pub fn anneal_placement(
 
     for _ in 0..options.temp_steps {
         for _ in 0..options.moves_per_temp {
-            let a = movable[rng.gen_range(0..movable.len())];
-            let b = movable[rng.gen_range(0..movable.len())];
+            let a = movable[rng.index(movable.len())];
+            let b = movable[rng.index(movable.len())];
             if a == b {
                 continue;
             }
@@ -127,7 +126,7 @@ pub fn anneal_placement(
             placement.cells.swap(a, b);
             let after = cost_of(placement, &nets);
             let delta = after - before;
-            let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temp).exp();
+            let accept = delta <= 0.0 || rng.uniform() < (-delta / temp).exp();
             if !accept {
                 placement.cells.swap(a, b);
             }
@@ -151,9 +150,9 @@ mod tests {
         let n = generators::ripple_carry_adder(&lib, 16).expect("rca16");
         let mut p = Placement::initial(&n, &lib, 0.7);
         // Scramble first so the grid order is not already good.
-        let mut rng = SmallRng::seed_from_u64(99);
+        let mut rng = Rng64::new(99);
         for i in 0..p.cells.len() {
-            let j = rng.gen_range(0..p.cells.len());
+            let j = rng.index(p.cells.len());
             p.cells.swap(i, j);
         }
         let before = p.total_hpwl(&n).value();

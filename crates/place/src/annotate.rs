@@ -90,8 +90,12 @@ mod tests {
         let n = generators::ripple_carry_adder(&lib, 16).expect("rca16");
         let clock = ClockSpec::unconstrained();
 
-        let local =
-            Floorplan::build(&n, &lib, FloorplanStrategy::Localized, &AnnealOptions::quick(1));
+        let local = Floorplan::build(
+            &n,
+            &lib,
+            FloorplanStrategy::Localized,
+            &AnnealOptions::quick(1),
+        );
         let spread = Floorplan::build(
             &n,
             &lib,

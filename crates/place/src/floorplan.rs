@@ -1,9 +1,9 @@
 //! Floorplans: rectangular regions and placement strategies.
 
-use asicgap_cells::Library;
-use asicgap_netlist::Netlist;
 use crate::anneal::{anneal_placement, AnnealOptions};
 use crate::placement::Placement;
+use asicgap_cells::Library;
+use asicgap_netlist::Netlist;
 
 /// A rectangular region of the die.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -203,7 +203,12 @@ mod tests {
     #[test]
     fn localized_keeps_cells_in_one_region() {
         let (lib, n) = setup();
-        let fp = Floorplan::build(&n, &lib, FloorplanStrategy::Localized, &AnnealOptions::quick(1));
+        let fp = Floorplan::build(
+            &n,
+            &lib,
+            FloorplanStrategy::Localized,
+            &AnnealOptions::quick(1),
+        );
         assert_eq!(fp.regions.len(), 1);
         let r = fp.regions[0];
         for &(x, y) in &fp.placement.cells {
@@ -240,8 +245,12 @@ mod tests {
     #[test]
     fn spread_hpwl_dwarfs_localized() {
         let (lib, n) = setup();
-        let local =
-            Floorplan::build(&n, &lib, FloorplanStrategy::Localized, &AnnealOptions::quick(1));
+        let local = Floorplan::build(
+            &n,
+            &lib,
+            FloorplanStrategy::Localized,
+            &AnnealOptions::quick(1),
+        );
         let spread = Floorplan::build(
             &n,
             &lib,

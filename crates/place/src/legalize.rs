@@ -105,9 +105,7 @@ pub fn legalize(netlist: &Netlist, lib: &Library, placement: &mut Placement) -> 
         for &i in cells.iter() {
             let (x_old, y_old) = placement.cells[i];
             let ideal_site = (x_old / site).round().max(0.0) as usize;
-            let start = ideal_site
-                .max(cursor)
-                .min(sites_per_row - widths[i]);
+            let start = ideal_site.max(cursor).min(sites_per_row - widths[i]);
             let start = start.max(cursor); // never move left of the plow
             let x_new = start as f64 * site;
             let y_new = (r as f64 + 0.5) * row_h;
@@ -168,9 +166,17 @@ mod tests {
         let tech = Technology::cmos025_asic();
         let lib = LibrarySpec::rich().build(&tech);
         let n = generators::alu(&lib, 16).expect("alu16");
-        let fp = Floorplan::build(&n, &lib, FloorplanStrategy::Localized, &AnnealOptions::quick(1));
+        let fp = Floorplan::build(
+            &n,
+            &lib,
+            FloorplanStrategy::Localized,
+            &AnnealOptions::quick(1),
+        );
         let mut p = fp.placement;
-        assert!(check_legal(&n, &lib, &p) > 0, "analytical placement overlaps");
+        assert!(
+            check_legal(&n, &lib, &p) > 0,
+            "analytical placement overlaps"
+        );
         let stats = legalize(&n, &lib, &mut p);
         assert_eq!(check_legal(&n, &lib, &p), 0, "legalised placement is legal");
         assert!(stats.rows > 1);
@@ -187,7 +193,12 @@ mod tests {
         let tech = Technology::cmos025_asic();
         let lib = LibrarySpec::rich().build(&tech);
         let n = generators::ripple_carry_adder(&lib, 16).expect("rca16");
-        let fp = Floorplan::build(&n, &lib, FloorplanStrategy::Localized, &AnnealOptions::quick(1));
+        let fp = Floorplan::build(
+            &n,
+            &lib,
+            FloorplanStrategy::Localized,
+            &AnnealOptions::quick(1),
+        );
         let mut p = fp.placement;
         let before = p.total_hpwl(&n).value();
         legalize(&n, &lib, &mut p);

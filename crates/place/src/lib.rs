@@ -54,4 +54,4 @@ pub use experiment::FloorplanStudy;
 pub use floorplan::{Floorplan, FloorplanStrategy, Region};
 pub use legalize::{check_legal, legalize, LegalizeStats};
 pub use placement::Placement;
-pub use resize::post_layout_resize;
+pub use resize::{post_layout_resize, post_layout_resize_on};

@@ -50,10 +50,7 @@ impl Placement {
             .map(|i| {
                 let col = i % cols;
                 let row = i / cols;
-                (
-                    (col as f64 + 0.5) * pitch,
-                    (row as f64 + 0.5) * pitch,
-                )
+                ((col as f64 + 0.5) * pitch, (row as f64 + 0.5) * pitch)
             })
             .collect();
         let inputs = edge_positions(netlist.inputs().len(), 0.0, side);

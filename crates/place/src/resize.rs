@@ -7,18 +7,73 @@
 //! dependency cycle this module re-implements the small backward sweep
 //! locally (same target-gain policy).
 
-use asicgap_cells::Library;
-use asicgap_netlist::Netlist;
-use asicgap_sta::NetParasitics;
+use asicgap_cells::{CellId, Library};
+use asicgap_netlist::{InstId, Netlist};
+use asicgap_sta::{ClockSpec, NetParasitics, TimingGraph, OUTPUT_LOAD_UNITS};
 use asicgap_tech::Ff;
 
 use crate::annotate::annotate;
 use crate::placement::Placement;
 
-/// External load assumed on primary outputs, in unit inverter caps
-/// (matches the STA and `asicgap-synth`).
-const OUTPUT_LOAD_UNITS: f64 = 4.0;
 const TARGET_GAIN: f64 = 4.0;
+
+/// Instance visit order for one resize sweep: reverse topological
+/// (outputs first, so downstream caps settle), then sequential cells.
+fn sweep_order(netlist: &Netlist) -> Vec<InstId> {
+    let mut order = netlist
+        .topo_order()
+        .expect("post-layout resize requires an acyclic netlist");
+    order.reverse();
+    order.extend(
+        netlist
+            .iter_instances()
+            .filter(|(_, i)| i.is_sequential())
+            .map(|(id, _)| id),
+    );
+    order
+}
+
+/// The drive of the same function/family closest to the target gain under
+/// `id`'s current annotated load, or `None` to leave it alone.
+fn best_drive(netlist: &Netlist, lib: &Library, par: &NetParasitics, id: InstId) -> Option<CellId> {
+    let tech = &lib.tech;
+    let inst = netlist.instance(id);
+    let mut load = netlist.net_load(lib, inst.out, par.cap(inst.out));
+    if netlist.net(inst.out).is_output {
+        load += tech.unit_inverter_cin * OUTPUT_LOAD_UNITS;
+    }
+    if load <= Ff::ZERO {
+        return None;
+    }
+    let cell = lib.cell(inst.cell);
+    match lib.drive_for_gain(cell.function, cell.family, load, TARGET_GAIN) {
+        Ok(best) if best != inst.cell => Some(best),
+        _ => None,
+    }
+}
+
+/// The annotate → resize loop against a live [`TimingGraph`]: each pass
+/// back-annotates the current placement-derived parasitics into the graph
+/// (a full repropagation — every wire delay changed), then re-selects
+/// drives through [`TimingGraph::resize_cell`], which dirties only each
+/// swap's cone. Swaps are committed one at a time, so later (upstream)
+/// decisions see earlier swaps' input-cap changes, exactly as the plain
+/// [`post_layout_resize`] sweep always has. The graph leaves with fresh
+/// parasitics for the final netlist.
+pub fn post_layout_resize_on(graph: &mut TimingGraph, placement: &Placement) {
+    let lib = graph.library();
+    for _pass in 0..2 {
+        let par = annotate(graph.netlist(), lib, placement, true);
+        graph.set_parasitics(par);
+        for id in sweep_order(graph.netlist()) {
+            if let Some(best) = best_drive(graph.netlist(), lib, graph.parasitics(), id) {
+                graph.resize_cell(id, best);
+            }
+        }
+    }
+    let par = annotate(graph.netlist(), lib, placement, true);
+    graph.set_parasitics(par);
+}
 
 /// Clones `netlist`, re-selects every drive against wire loads from
 /// `placement`, and returns the resized netlist with fresh parasitics.
@@ -27,37 +82,9 @@ pub fn post_layout_resize(
     lib: &Library,
     placement: &Placement,
 ) -> (Netlist, NetParasitics) {
-    let tech = &lib.tech;
-    let mut out = netlist.clone();
-    for _pass in 0..2 {
-        let par = annotate(&out, lib, placement, true);
-        let order = out
-            .topo_order()
-            .expect("post-layout resize requires an acyclic netlist");
-        let seq: Vec<_> = out
-            .iter_instances()
-            .filter(|(_, i)| i.is_sequential())
-            .map(|(id, _)| id)
-            .collect();
-        for &id in order.iter().rev().chain(seq.iter()) {
-            let inst = out.instance(id);
-            let mut load = out.net_load(lib, inst.out, par.cap(inst.out));
-            if out.net(inst.out).is_output {
-                load += tech.unit_inverter_cin * OUTPUT_LOAD_UNITS;
-            }
-            if load <= Ff::ZERO {
-                continue;
-            }
-            let cell = lib.cell(inst.cell);
-            if let Ok(best) = lib.drive_for_gain(cell.function, cell.family, load, TARGET_GAIN) {
-                if best != inst.cell {
-                    out.set_instance_cell(lib, id, best);
-                }
-            }
-        }
-    }
-    let par = annotate(&out, lib, placement, true);
-    (out, par)
+    let mut graph = TimingGraph::new(netlist.clone(), lib, ClockSpec::unconstrained(), None);
+    post_layout_resize_on(&mut graph, placement);
+    graph.into_parts()
 }
 
 #[cfg(test)]
@@ -75,15 +102,48 @@ mod tests {
         let tech = Technology::cmos025_asic();
         let lib = LibrarySpec::rich().build(&tech);
         let n = generators::alu(&lib, 16).expect("alu16");
-        let fp = Floorplan::build(&n, &lib, FloorplanStrategy::Localized, &AnnealOptions::quick(1));
+        let fp = Floorplan::build(
+            &n,
+            &lib,
+            FloorplanStrategy::Localized,
+            &AnnealOptions::quick(1),
+        );
         let clock = ClockSpec::unconstrained();
-        let before = analyze(&n, &lib, &clock, Some(&annotate(&n, &lib, &fp.placement, true)))
-            .min_period;
+        let before = analyze(
+            &n,
+            &lib,
+            &clock,
+            Some(&annotate(&n, &lib, &fp.placement, true)),
+        )
+        .min_period;
         let (resized, par) = post_layout_resize(&n, &lib, &fp.placement);
         let after = analyze(&resized, &lib, &clock, Some(&par)).min_period;
         assert!(
             after < before * 0.8,
             "post-layout resize should recover wire losses: {before} -> {after}"
         );
+    }
+
+    #[test]
+    fn graph_resize_stays_consistent_with_fresh_analyze() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::alu(&lib, 8).expect("alu8");
+        let fp = Floorplan::build(
+            &n,
+            &lib,
+            FloorplanStrategy::Localized,
+            &AnnealOptions::quick(1),
+        );
+        let clock = ClockSpec::unconstrained();
+        let mut g = TimingGraph::new(n.clone(), &lib, clock, None);
+        post_layout_resize_on(&mut g, &fp.placement);
+        let fresh = analyze(g.netlist(), &lib, &clock, Some(g.parasitics()));
+        assert_eq!(g.min_period(), fresh.min_period);
+        // The wrapper must agree cell-for-cell with the graph loop.
+        let (via_wrapper, _) = post_layout_resize(&n, &lib, &fp.placement);
+        let a: Vec<_> = g.netlist().instances().iter().map(|i| i.cell).collect();
+        let b: Vec<_> = via_wrapper.instances().iter().map(|i| i.cell).collect();
+        assert_eq!(a, b);
     }
 }

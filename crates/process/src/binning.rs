@@ -104,7 +104,11 @@ mod tests {
     fn worst_case_quote_well_below_typical() {
         let p = pop();
         let quote = BinningPolicy::asic_worst_case().quote(&p);
-        assert!(p.median() / quote > 1.2, "quote {quote} vs median {}", p.median());
+        assert!(
+            p.median() / quote > 1.2,
+            "quote {quote} vs median {}",
+            p.median()
+        );
     }
 
     #[test]

@@ -61,10 +61,7 @@ mod tests {
     #[test]
     fn lineup_spread_matches_paper() {
         let lineup = foundry_lineup();
-        let best = lineup
-            .iter()
-            .map(|f| f.speed_offset)
-            .fold(0.0f64, f64::max);
+        let best = lineup.iter().map(|f| f.speed_offset).fold(0.0f64, f64::max);
         let worst = lineup
             .iter()
             .map(|f| f.speed_offset)

@@ -93,6 +93,9 @@ mod tests {
         // speed is lost" with an un-redesigned library.
         let m = MaturityModel::default();
         let loss = m.stale_library_loss();
-        assert!((0.14..=0.20).contains(&loss), "stale-library loss {loss:.3}");
+        assert!(
+            (0.14..=0.20).contains(&loss),
+            "stale-library loss {loss:.3}"
+        );
     }
 }

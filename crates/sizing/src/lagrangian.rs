@@ -133,8 +133,7 @@ pub fn lagrangian_size(
         for &id in &order {
             let i = id.index();
             let inst = netlist.instance(id);
-            let through = timing.arrival[inst.out.index()].value()
-                + downstream[inst.out.index()];
+            let through = timing.arrival[inst.out.index()].value() + downstream[inst.out.index()];
             // Criticality of the worst path through this gate, measured
             // against the target.
             let crit = (through / total) * scale;
@@ -193,7 +192,12 @@ mod tests {
         let lib = LibrarySpec::rich().build(&tech);
         let n = generators::array_multiplier(&lib, 6).expect("mult6");
         let tilos = tilos_size(&n, &lib, &TilosOptions::default());
-        let r = lagrangian_size(&n, &lib, tilos.final_delay * 1.02, &LagrangianOptions::default());
+        let r = lagrangian_size(
+            &n,
+            &lib,
+            tilos.final_delay * 1.02,
+            &LagrangianOptions::default(),
+        );
         if r.feasible {
             assert!(
                 r.area < tilos.area_after,
@@ -222,7 +226,11 @@ mod tests {
         );
         assert!(r.feasible);
         // With double the time budget, gates can sit at/near minimum size.
-        assert!(r.area <= start_area * 1.2, "area {} vs start {start_area}", r.area);
+        assert!(
+            r.area <= start_area * 1.2,
+            "area {} vs start {start_area}",
+            r.area
+        );
     }
 
     #[test]

@@ -42,12 +42,14 @@
 
 mod continuous;
 mod discrete;
+mod incremental;
 mod lagrangian;
 mod power;
 mod tilos;
 
 pub use continuous::{sizes_from_cells, SizedTiming};
 pub use discrete::{snap_to_library, SnapResult};
+pub use incremental::IncrementalSizedTiming;
 pub use lagrangian::{lagrangian_size, LagrangianOptions, LagrangianResult};
 pub use power::{downsize_for_power, PowerResult};
 pub use tilos::{tilos_size, SizingResult, TilosOptions};

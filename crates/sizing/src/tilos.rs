@@ -1,10 +1,12 @@
 //! TILOS-style greedy sensitivity sizing (the paper's reference [7]).
 
 use asicgap_cells::Library;
-use asicgap_netlist::Netlist;
+use asicgap_netlist::{InstId, Netlist};
+use asicgap_sta::IncrementalStats;
 use asicgap_tech::Ps;
 
-use crate::continuous::{sizes_from_cells, SizedTiming};
+use crate::continuous::sizes_from_cells;
+use crate::incremental::IncrementalSizedTiming;
 
 /// Sizing loop parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +47,12 @@ pub struct SizingResult {
     pub area_after: f64,
     /// Iterations actually run.
     pub iterations: usize,
+    /// Timing evaluations performed (initial + one per trial + one per
+    /// commit) — what a full-re-analysis loop would pay a whole-netlist
+    /// pass for.
+    pub evaluations: usize,
+    /// Propagation effort the incremental engine actually spent.
+    pub stats: IncrementalStats,
 }
 
 impl SizingResult {
@@ -64,66 +72,77 @@ impl SizingResult {
 /// the bump with the best delay improvement per added area. Stops at the
 /// iteration budget or when no bump helps.
 ///
+/// Timing runs on [`IncrementalSizedTiming`], so each trial repropagates
+/// only the bumped gate's fanout cone rather than the whole netlist; the
+/// arrivals (and therefore every decision) are bitwise identical to the
+/// original full-re-evaluation loop. The full-vs-incremental effort ratio
+/// is `evaluations × comb-gate-count / stats.pins_touched` on the result.
+///
 /// The paper's calibration targets: "Sizing transistors minimally … except
 /// on critical paths where they are optimally sized … can make a speed
 /// difference of 20% or more \[7\]"; "Iterative transistor resizing and
 /// resynthesis can improve speeds by 20% \[8\]".
 pub fn tilos_size(netlist: &Netlist, lib: &Library, options: &TilosOptions) -> SizingResult {
-    let mut sizes = sizes_from_cells(netlist, lib);
+    let sizes = sizes_from_cells(netlist, lib);
     let area_before: f64 = sizes.iter().sum();
-    let mut timing = SizedTiming::evaluate(netlist, lib, &sizes);
-    let initial_delay = timing.critical_delay;
+    let mut timing = IncrementalSizedTiming::new(netlist, lib, sizes);
+    let initial_delay = timing.critical_delay();
+    let mut evaluations = 1;
 
     let mut iterations = 0;
     while iterations < options.max_iterations {
+        let current = timing.critical_delay();
         let path = timing.critical_path();
         if path.is_empty() {
             break;
         }
         // Trial a bump on each path gate; keep the best benefit/cost.
-        let mut best: Option<(usize, f64)> = None; // (instance index, score)
-        let mut best_delay = timing.critical_delay;
+        let mut best: Option<(InstId, f64)> = None;
+        let mut best_delay = current;
         for &inst in &path {
-            let i = inst.index();
             if netlist.instance(inst).is_sequential() {
                 continue;
             }
-            let new_size = sizes[i] * options.step;
+            let old = timing.size(inst);
+            let new_size = old * options.step;
             if new_size > options.max_size {
                 continue;
             }
-            let old = sizes[i];
-            sizes[i] = new_size;
-            let t = SizedTiming::evaluate(netlist, lib, &sizes);
-            sizes[i] = old;
-            let gain = (timing.critical_delay - t.critical_delay).value();
+            let trial = timing.trial_critical_delay(inst, new_size);
+            evaluations += 1;
+            let gain = (current - trial).value();
             if gain <= 0.0 {
                 continue;
             }
             let cost = new_size - old;
             let score = gain / cost;
             if best.is_none_or(|(_, s)| score > s) {
-                best = Some((i, score));
-                best_delay = t.critical_delay;
+                best = Some((inst, score));
+                best_delay = trial;
             }
         }
-        let Some((i, _)) = best else { break };
-        let improvement = (timing.critical_delay - best_delay) / timing.critical_delay;
-        sizes[i] *= options.step;
-        timing = SizedTiming::evaluate(netlist, lib, &sizes);
+        let Some((inst, _)) = best else { break };
+        let improvement = (current - best_delay) / current;
+        timing.set_size(inst, timing.size(inst) * options.step);
+        evaluations += 1;
         iterations += 1;
         if improvement < options.min_gain {
             break;
         }
     }
 
+    let final_delay = timing.critical_delay();
+    let stats = timing.stats();
+    let sizes = timing.into_sizes();
     SizingResult {
         area_after: sizes.iter().sum(),
-        final_delay: timing.critical_delay,
+        final_delay,
         sizes,
         initial_delay,
         area_before,
         iterations,
+        evaluations,
+        stats,
     }
 }
 
@@ -175,6 +194,31 @@ mod tests {
         };
         let r = tilos_size(&n, &lib, &opts);
         assert!(r.iterations <= 5);
+    }
+
+    #[test]
+    fn incremental_engine_beats_full_reevaluation_effort() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::array_multiplier(&lib, 8).expect("mult8");
+        let r = tilos_size(&n, &lib, &TilosOptions::default());
+        let comb = n.instances().iter().filter(|i| !i.is_sequential()).count();
+        // What the old loop paid: a whole-netlist pass per evaluation.
+        let full_pins = r.evaluations * comb;
+        // On an array multiplier a trial cone (the fanout closure of the
+        // bumped gate's fanin nets) covers about a third of the netlist,
+        // so the exact-arithmetic pin ratio sits at ~3× independent of
+        // width; assert a safety margin below that structural figure.
+        // (Wall-clock does better — ~4-5× in benches/engines.rs — because
+        // an incremental pin is also cheaper than a full-pass pin, which
+        // re-derives loads and delays from scratch.)
+        assert!(
+            2 * full_pins >= 5 * r.stats.pins_touched,
+            "incremental should be ≥2.5× cheaper: full {} vs incremental {}",
+            full_pins,
+            r.stats.pins_touched
+        );
+        assert_eq!(r.stats.full_propagations, 1, "only the initial build");
     }
 
     #[test]

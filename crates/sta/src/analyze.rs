@@ -5,6 +5,8 @@ use asicgap_netlist::{InstId, NetId, Netlist};
 use asicgap_tech::{Ps, Technology};
 
 use crate::clock::ClockSpec;
+use crate::graph::StaModel;
+use crate::incremental::{ArrivalEngine, IncrementalStats};
 use crate::parasitics::NetParasitics;
 use crate::report::{PathStep, TimingPath};
 
@@ -41,8 +43,10 @@ impl PathGroup {
 }
 
 /// Extra load assumed on every primary output, in unit-inverter input caps
-/// (the pad / next-block input a real PO would drive).
-const OUTPUT_LOAD_UNITS: f64 = 4.0;
+/// (the pad / next-block input a real PO would drive). Shared by every
+/// pass that re-derives loads (drive selection, post-layout resize,
+/// continuous sizing) so they agree with the timer.
+pub const OUTPUT_LOAD_UNITS: f64 = 4.0;
 
 /// Boundary timing constraints (`set_input_delay` / `set_output_delay`
 /// in commercial-tool terms): how much of the cycle the surrounding chip
@@ -81,6 +85,11 @@ pub struct TimingReport {
     pub critical: TimingPath,
     /// The endpoint of the critical path.
     pub critical_endpoint: EndpointKind,
+    /// Propagation-effort counters from the engine that produced this
+    /// report (one full propagation for a plain [`analyze`]; the
+    /// accumulated full/incremental mix for a
+    /// [`TimingGraph`](crate::TimingGraph) report).
+    pub stats: IncrementalStats,
 }
 
 impl TimingReport {
@@ -198,7 +207,6 @@ pub fn analyze_with_io(
     parasitics: Option<&NetParasitics>,
     io: &IoConstraints,
 ) -> TimingReport {
-    let tech = &lib.tech;
     let ideal;
     let par = match parasitics {
         Some(p) => p,
@@ -207,63 +215,42 @@ pub fn analyze_with_io(
             &ideal
         }
     };
+    let mut engine = ArrivalEngine::new(netlist);
+    let model = StaModel { lib, par, io: *io };
+    engine.full_propagate(netlist, &model);
+    extract_report(netlist, lib, clock, io, engine)
+}
 
-    let n_nets = netlist.net_count();
-    let mut arrival = vec![Ps::ZERO; n_nets];
-    let mut worst_driver: Vec<Option<InstId>> = vec![None; n_nets];
-    let mut worst_pred: Vec<Option<NetId>> = vec![None; n_nets];
-    let mut from_register = vec![false; n_nets];
+/// The result of one endpoint sweep: per-group worsts plus the single
+/// worst endpoint and its capture overhead.
+pub(crate) struct EndpointSweep {
+    pub(crate) group_worst: Vec<(PathGroup, Ps)>,
+    pub(crate) endpoint: EndpointKind,
+    pub(crate) end_arrival: Ps,
+    pub(crate) extra: Ps,
+    pub(crate) end_net: NetId,
+}
 
-    // Sources: primary inputs arrive at the declared input delay…
-    for (_, net) in netlist.inputs() {
-        arrival[net.index()] = io.input_delay;
-    }
-    // …and register outputs launch at clk->Q.
-    for (id, inst) in netlist.iter_instances() {
-        if inst.is_sequential() {
-            let timing = lib
-                .cell(inst.cell)
-                .kind
-                .seq_timing()
-                .expect("sequential cell has timing");
-            arrival[inst.out.index()] = timing.clk_to_q;
-            worst_driver[inst.out.index()] = Some(id);
-            from_register[inst.out.index()] = true;
-        }
-    }
-
-    let order = netlist
-        .topo_order()
-        .expect("timing requires an acyclic netlist");
-    for &id in &order {
-        let inst = netlist.instance(id);
-        let cell = lib.cell(inst.cell);
-        let mut load = netlist.net_load(lib, inst.out, par.cap(inst.out));
-        if netlist.net(inst.out).is_output {
-            load += tech.unit_inverter_cin * OUTPUT_LOAD_UNITS;
-        }
-        let gate_delay = cell.delay(tech, load) + par.delay(inst.out);
-        let (worst_in, in_arrival) = inst
-            .fanin
-            .iter()
-            .map(|&n| (n, arrival[n.index()]))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("arrivals are finite"))
-            .expect("combinational cells have inputs");
-        let out = inst.out.index();
-        arrival[out] = in_arrival + gate_delay;
-        worst_driver[out] = Some(id);
-        worst_pred[out] = Some(worst_in);
-        from_register[out] = from_register[worst_in.index()];
-    }
-
-    // Endpoint sweep.
+/// Sweeps every endpoint (register D pins, then primary outputs) against
+/// the cached arrivals. Pure read: shared by [`analyze_with_io`] and the
+/// [`TimingGraph`](crate::TimingGraph) period/slack queries.
+///
+/// # Panics
+///
+/// Panics if the netlist has no endpoint at all.
+pub(crate) fn sweep_endpoints(
+    netlist: &Netlist,
+    lib: &Library,
+    clock: &ClockSpec,
+    io: &IoConstraints,
+    arrival: &[Ps],
+    from_register: &[bool],
+) -> EndpointSweep {
     let capture_overhead = clock.skew + clock.jitter;
     let mut group_worst: Vec<(PathGroup, Ps)> = Vec::new();
-    let mut bump = |g: PathGroup, d: Ps| {
-        match group_worst.iter_mut().find(|(pg, _)| *pg == g) {
-            Some((_, w)) => *w = w.max(d),
-            None => group_worst.push((g, d)),
-        }
+    let mut bump = |g: PathGroup, d: Ps| match group_worst.iter_mut().find(|(pg, _)| *pg == g) {
+        Some((_, w)) => *w = w.max(d),
+        None => group_worst.push((g, d)),
     };
     let mut worst: Option<(EndpointKind, Ps, Ps, NetId)> = None; // (kind, arrival, required_extra, net)
     for (id, inst) in netlist.iter_instances() {
@@ -286,7 +273,12 @@ pub fn analyze_with_io(
         bump(group, a);
         let need = a + setup + capture_overhead;
         if worst.is_none_or(|(_, _, _, _)| need > period_need(&worst)) {
-            worst = Some((EndpointKind::RegisterD(id), a, setup + capture_overhead, d_net));
+            worst = Some((
+                EndpointKind::RegisterD(id),
+                a,
+                setup + capture_overhead,
+                d_net,
+            ));
         }
     }
     for (k, (_, net)) in netlist.outputs().iter().enumerate() {
@@ -306,30 +298,58 @@ pub fn analyze_with_io(
 
     let (endpoint, end_arrival, extra, end_net) =
         worst.expect("netlist has at least one endpoint (primary output or register)");
-    let min_period = end_arrival + extra;
-    let wns = clock.period - min_period;
+    EndpointSweep {
+        group_worst,
+        endpoint,
+        end_arrival,
+        extra,
+        end_net,
+    }
+}
 
+/// Turns a fully-propagated engine into a [`TimingReport`]: endpoint
+/// sweep, min-period/WNS, critical-path trace. Consumes the engine's
+/// tables so a plain [`analyze`] copies nothing.
+pub(crate) fn extract_report(
+    netlist: &Netlist,
+    lib: &Library,
+    clock: &ClockSpec,
+    io: &IoConstraints,
+    engine: ArrivalEngine,
+) -> TimingReport {
+    let sweep = sweep_endpoints(
+        netlist,
+        lib,
+        clock,
+        io,
+        engine.arrivals(),
+        engine.launch_flags(),
+    );
+    let min_period = sweep.end_arrival + sweep.extra;
+    let wns = clock.period - min_period;
     let critical = trace_path(
         netlist,
         lib,
-        &arrival,
-        &worst_driver,
-        &worst_pred,
-        end_net,
-        end_arrival,
+        engine.arrivals(),
+        engine.worst_drivers(),
+        engine.worst_preds(),
+        sweep.end_net,
+        sweep.end_arrival,
     );
-
+    let stats = engine.stats();
+    let (arrival, worst_driver, worst_pred, from_register) = engine.into_tables();
     TimingReport {
         clock: *clock,
         arrival,
         worst_driver,
         worst_pred,
         from_register,
-        group_worst,
+        group_worst: sweep.group_worst,
         min_period,
         wns,
         critical,
-        critical_endpoint: endpoint,
+        critical_endpoint: sweep.endpoint,
+        stats,
     }
 }
 
@@ -407,7 +427,8 @@ mod tests {
         // the last drives the 4-unit PO load: d = tau*(1 + 4/x).
         let x = {
             use asicgap_cells::CellFunction;
-            lib.cell(lib.smallest(CellFunction::Inv).expect("inv")).drive
+            lib.cell(lib.smallest(CellFunction::Inv).expect("inv"))
+                .drive
         };
         let expect = tech.tau() * (9.0 * 2.0) + tech.tau() * (1.0 + 4.0 / x);
         assert!(

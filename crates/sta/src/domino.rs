@@ -75,7 +75,9 @@ mod tests {
         let mut b = NetlistBuilder::new("dom", &lib);
         let a = b.input("a");
         let c = b.input("b");
-        let x = b.domino_gate(CellFunction::And(2), &[a, c]).expect("dom and");
+        let x = b
+            .domino_gate(CellFunction::And(2), &[a, c])
+            .expect("dom and");
         let y = b.domino_gate(CellFunction::Or(2), &[x, a]).expect("dom or");
         b.output("y", y);
         let n = b.finish().expect("valid");

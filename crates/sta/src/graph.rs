@@ -1,0 +1,496 @@
+//! An owned, incrementally-maintained timing graph.
+//!
+//! [`TimingGraph`] is the flow-facing face of the incremental engine: it
+//! owns a netlist plus its parasitics, caches per-net arrivals, and
+//! exposes the mutation vocabulary every optimization loop needs —
+//! [`resize_cell`](TimingGraph::resize_cell),
+//! [`insert_buffer`](TimingGraph::insert_buffer),
+//! [`retarget_net`](TimingGraph::retarget_net) — each of which marks only
+//! the affected cone dirty. Queries ([`min_period`](TimingGraph::min_period),
+//! [`wns`](TimingGraph::wns), [`report`](TimingGraph::report)) flush the
+//! cone lazily, so a burst of mutations costs one repropagation.
+//!
+//! [`analyze`](crate::analyze) is a thin wrapper over the same engine
+//! (build, full-propagate once, extract the report), so a `TimingGraph`
+//! query and a fresh `analyze` of the mutated netlist agree bit for bit.
+
+use asicgap_cells::{CellId, Library};
+use asicgap_netlist::{InstId, NetId, Netlist, NetlistError, Sink};
+use asicgap_tech::Ps;
+
+use crate::analyze::{
+    extract_report, sweep_endpoints, IoConstraints, TimingReport, OUTPUT_LOAD_UNITS,
+};
+use crate::clock::ClockSpec;
+use crate::incremental::{ArrivalEngine, DelayModel, IncrementalStats};
+use crate::parasitics::NetParasitics;
+
+/// The library-cell delay model: the same arithmetic `analyze` has always
+/// used — `LibCell::delay` against sink-cap + wire-cap + PO allowance,
+/// plus the net's annotated wire delay.
+pub(crate) struct StaModel<'m> {
+    pub(crate) lib: &'m Library,
+    pub(crate) par: &'m NetParasitics,
+    pub(crate) io: IoConstraints,
+}
+
+impl DelayModel for StaModel<'_> {
+    fn gate_delay(&self, netlist: &Netlist, id: InstId) -> Ps {
+        let tech = &self.lib.tech;
+        let inst = netlist.instance(id);
+        let cell = self.lib.cell(inst.cell);
+        let mut load = netlist.net_load(self.lib, inst.out, self.par.cap(inst.out));
+        if netlist.net(inst.out).is_output {
+            load += tech.unit_inverter_cin * OUTPUT_LOAD_UNITS;
+        }
+        cell.delay(tech, load) + self.par.delay(inst.out)
+    }
+
+    fn launch(&self, netlist: &Netlist, id: InstId) -> Ps {
+        self.lib
+            .cell(netlist.instance(id).cell)
+            .kind
+            .seq_timing()
+            .expect("sequential cell has timing")
+            .clk_to_q
+    }
+
+    fn input_arrival(&self) -> Ps {
+        self.io.input_delay
+    }
+}
+
+/// An owned netlist with an always-warm timer.
+///
+/// # Example
+///
+/// ```
+/// use asicgap_tech::Technology;
+/// use asicgap_cells::LibrarySpec;
+/// use asicgap_netlist::generators;
+/// use asicgap_sta::{analyze, ClockSpec, TimingGraph};
+///
+/// let tech = Technology::cmos025_asic();
+/// let lib = LibrarySpec::rich().build(&tech);
+/// let adder = generators::ripple_carry_adder(&lib, 8)?;
+/// let mut graph = TimingGraph::new(adder.clone(), &lib, ClockSpec::unconstrained(), None);
+///
+/// // Resize one gate: only its fanout cone is repropagated, yet the
+/// // answer matches a from-scratch analyze of the mutated netlist.
+/// let (id, inst) = graph.netlist().iter_instances().next().expect("gates");
+/// let bigger = lib.closest_drive(inst.cell, 8.0);
+/// graph.resize_cell(id, bigger);
+/// let fresh = analyze(graph.netlist(), &lib, &ClockSpec::unconstrained(), None);
+/// assert_eq!(graph.min_period(), fresh.min_period);
+/// # Ok::<(), asicgap_netlist::NetlistError>(())
+/// ```
+#[derive(Debug)]
+pub struct TimingGraph<'a> {
+    lib: &'a Library,
+    netlist: Netlist,
+    par: NetParasitics,
+    clock: ClockSpec,
+    io: IoConstraints,
+    engine: ArrivalEngine,
+    buffers: usize,
+}
+
+impl<'a> TimingGraph<'a> {
+    /// Builds the graph and runs one full propagation. `parasitics`
+    /// defaults to ideal (zero) wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle.
+    pub fn new(
+        netlist: Netlist,
+        lib: &'a Library,
+        clock: ClockSpec,
+        parasitics: Option<NetParasitics>,
+    ) -> TimingGraph<'a> {
+        TimingGraph::with_io(netlist, lib, clock, parasitics, IoConstraints::default())
+    }
+
+    /// Like [`TimingGraph::new`], with explicit boundary constraints.
+    ///
+    /// # Panics
+    ///
+    /// As for [`TimingGraph::new`].
+    pub fn with_io(
+        netlist: Netlist,
+        lib: &'a Library,
+        clock: ClockSpec,
+        parasitics: Option<NetParasitics>,
+        io: IoConstraints,
+    ) -> TimingGraph<'a> {
+        let par = parasitics.unwrap_or_else(|| NetParasitics::ideal(&netlist));
+        let engine = ArrivalEngine::new(&netlist);
+        let mut graph = TimingGraph {
+            lib,
+            netlist,
+            par,
+            clock,
+            io,
+            engine,
+            buffers: 0,
+        };
+        graph.full_propagate();
+        graph
+    }
+
+    /// The current netlist (reflects every committed mutation).
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// The current parasitics.
+    pub fn parasitics(&self) -> &NetParasitics {
+        &self.par
+    }
+
+    /// The library this graph times against.
+    pub fn library(&self) -> &'a Library {
+        self.lib
+    }
+
+    /// The clock constraint queries are answered against.
+    pub fn clock(&self) -> ClockSpec {
+        self.clock
+    }
+
+    /// Propagation-effort counters accumulated over this graph's life.
+    pub fn stats(&self) -> IncrementalStats {
+        self.engine.stats()
+    }
+
+    /// Dismantles the graph into its netlist and parasitics.
+    pub fn into_parts(self) -> (Netlist, NetParasitics) {
+        (self.netlist, self.par)
+    }
+
+    /// Swaps `inst` to a different drive of the same function and marks
+    /// the affected cone dirty: the instance itself (its drive changed)
+    /// and the drivers of its fanin nets (their loads changed through the
+    /// new cell's input capacitance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` implements a different function (see
+    /// [`Netlist::set_instance_cell`]).
+    pub fn resize_cell(&mut self, inst: InstId, cell: CellId) {
+        if self.netlist.instance(inst).cell == cell {
+            return;
+        }
+        self.netlist.set_instance_cell(self.lib, inst, cell);
+        for pin in 0..self.netlist.instance(inst).fanin.len() {
+            let net = self.netlist.instance(inst).fanin[pin];
+            self.engine.invalidate_driver(&self.netlist, net);
+        }
+        self.engine.invalidate(inst);
+    }
+
+    /// Alias of [`TimingGraph::resize_cell`] under the classic ECO name.
+    ///
+    /// # Panics
+    ///
+    /// As for [`TimingGraph::resize_cell`].
+    pub fn swap_cell(&mut self, inst: InstId, cell: CellId) {
+        self.resize_cell(inst, cell);
+    }
+
+    /// Inserts a single-input `cell` (buffer or inverter) driven by `net`
+    /// and moves `sinks` onto the new output net. Returns the new
+    /// instance and its output net. The new net starts with ideal (zero)
+    /// parasitics.
+    ///
+    /// Dirty seeds: the driver of `net` (it lost load) and the new cell
+    /// (its arrival goes from zero to real, which re-propagates through
+    /// the moved sinks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::ArityMismatch`] if `cell` is not
+    /// single-input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry of `sinks` is not currently a sink of `net`.
+    pub fn insert_buffer(
+        &mut self,
+        net: NetId,
+        cell: CellId,
+        sinks: &[Sink],
+    ) -> Result<(InstId, NetId), NetlistError> {
+        self.buffers += 1;
+        let name = format!("{}__tg{}", self.netlist.net(net).name, self.buffers);
+        let new_net = self.netlist.add_net(name.clone());
+        let result =
+            self.netlist
+                .add_instance(format!("tgbuf_{name}"), self.lib, cell, &[net], new_net);
+        self.par.grow(self.netlist.net_count());
+        let buf = match result {
+            Ok(id) => id,
+            Err(e) => {
+                // Orphan net stays; harmless to timing, but the engine's
+                // tables must still cover it.
+                self.engine.grow(&self.netlist);
+                return Err(e);
+            }
+        };
+        for s in sinks {
+            assert_eq!(
+                self.netlist.instance(s.inst).fanin[s.pin],
+                net,
+                "insert_buffer sinks must currently be on the split net"
+            );
+            self.netlist.redirect_sink(s.inst, s.pin, new_net);
+        }
+        // Grow after the redirects so the engine's topology mirror sees
+        // the final sink lists.
+        self.engine.grow(&self.netlist);
+        let mut seeds: Vec<InstId> = vec![buf];
+        seeds.extend(sinks.iter().map(|s| s.inst));
+        self.engine.refresh_levels(&self.netlist, &seeds);
+        self.engine.invalidate_driver(&self.netlist, net);
+        self.engine.invalidate(buf);
+        Ok((buf, new_net))
+    }
+
+    /// Moves input pin `pin` of `inst` from its current net onto
+    /// `new_net`. Dirty seeds: both nets' drivers (their loads changed)
+    /// and the instance (its input arrival changed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on netlist inconsistency (see [`Netlist::redirect_sink`]).
+    pub fn retarget_net(&mut self, inst: InstId, pin: usize, new_net: NetId) {
+        let old_net = self.netlist.instance(inst).fanin[pin];
+        if old_net == new_net {
+            return;
+        }
+        self.netlist.redirect_sink(inst, pin, new_net);
+        self.engine.grow(&self.netlist); // re-mirror the moved sink
+        self.engine.refresh_levels(&self.netlist, &[inst]);
+        self.engine.invalidate_driver(&self.netlist, old_net);
+        self.engine.invalidate_driver(&self.netlist, new_net);
+        self.engine.invalidate(inst);
+    }
+
+    /// Replaces the parasitics (a fresh back-annotation). Every gate
+    /// delay may have changed, so this triggers one full propagation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `par` was built for a netlist with more nets than this
+    /// graph's.
+    pub fn set_parasitics(&mut self, mut par: NetParasitics) {
+        par.grow(self.netlist.net_count());
+        self.par = par;
+        self.full_propagate();
+    }
+
+    /// Changes the clock constraint. Arrivals are unaffected — only the
+    /// endpoint sweep (recomputed per query) sees the clock — so this
+    /// costs nothing.
+    pub fn set_clock(&mut self, clock: ClockSpec) {
+        self.clock = clock;
+    }
+
+    /// Arrival time of a net (flushes pending updates first).
+    pub fn arrival(&mut self, net: NetId) -> Ps {
+        self.flush();
+        self.engine.arrival(net)
+    }
+
+    /// Minimum feasible clock period over all endpoints, identical to
+    /// [`TimingReport::min_period`] from a fresh analyze.
+    pub fn min_period(&mut self) -> Ps {
+        self.flush();
+        let sweep = sweep_endpoints(
+            &self.netlist,
+            self.lib,
+            &self.clock,
+            &self.io,
+            self.engine.arrivals(),
+            self.engine.launch_flags(),
+        );
+        sweep.end_arrival + sweep.extra
+    }
+
+    /// Worst slack at the graph's clock period (negative = violation).
+    pub fn wns(&mut self) -> Ps {
+        self.clock.period - self.min_period()
+    }
+
+    /// A full [`TimingReport`] of the current state — bit-for-bit what
+    /// [`analyze`](crate::analyze) returns on the mutated netlist.
+    pub fn report(&mut self) -> TimingReport {
+        self.flush();
+        extract_report(
+            &self.netlist,
+            self.lib,
+            &self.clock,
+            &self.io,
+            self.engine.clone(),
+        )
+    }
+
+    fn flush(&mut self) {
+        if self.engine.is_clean() {
+            return;
+        }
+        let model = StaModel {
+            lib: self.lib,
+            par: &self.par,
+            io: self.io,
+        };
+        self.engine.flush(&self.netlist, &model);
+    }
+
+    fn full_propagate(&mut self) {
+        let model = StaModel {
+            lib: self.lib,
+            par: &self.par,
+            io: self.io,
+        };
+        self.engine.full_propagate(&self.netlist, &model);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::analyze;
+    use asicgap_cells::{CellFunction, LibrarySpec};
+    use asicgap_netlist::generators;
+    use asicgap_tech::Technology;
+
+    fn setup() -> (Technology, Library) {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        (tech, lib)
+    }
+
+    #[test]
+    fn fresh_graph_matches_analyze() {
+        let (_, lib) = setup();
+        let n = generators::array_multiplier(&lib, 8).expect("mult8");
+        let fresh = analyze(&n, &lib, &ClockSpec::unconstrained(), None);
+        let mut g = TimingGraph::new(n, &lib, ClockSpec::unconstrained(), None);
+        assert_eq!(g.min_period(), fresh.min_period);
+        assert_eq!(g.wns(), fresh.wns);
+        let r = g.report();
+        assert_eq!(r.min_period, fresh.min_period);
+        assert_eq!(r.group_worst, fresh.group_worst);
+    }
+
+    #[test]
+    fn resize_updates_exactly_like_full_reanalysis() {
+        let (_, lib) = setup();
+        let n = generators::ripple_carry_adder(&lib, 16).expect("rca16");
+        let mut g = TimingGraph::new(n, &lib, ClockSpec::unconstrained(), None);
+        // Upsize every 5th combinational gate, checking after each.
+        let ids: Vec<InstId> = g.netlist().iter_instances().map(|(id, _)| id).collect();
+        for id in ids.iter().step_by(5) {
+            let cell = g.netlist().instance(*id).cell;
+            let bigger = lib.closest_drive(cell, lib.cell(cell).drive * 4.0);
+            g.resize_cell(*id, bigger);
+            let fresh = analyze(g.netlist(), &lib, &ClockSpec::unconstrained(), None);
+            assert_eq!(g.min_period(), fresh.min_period);
+        }
+        let s = g.stats();
+        assert_eq!(s.full_propagations, 1);
+        assert!(s.incremental_updates > 0);
+    }
+
+    #[test]
+    fn insert_buffer_splits_fanout_and_stays_consistent() {
+        let (_, lib) = setup();
+        let n = generators::parity_tree(&lib, 16).expect("parity");
+        let mut g = TimingGraph::new(n, &lib, ClockSpec::unconstrained(), None);
+        // Find the heaviest net and put half its sinks behind a buffer.
+        let (net, sinks) = g
+            .netlist()
+            .iter_nets()
+            .max_by_key(|(_, n)| n.sinks.len())
+            .map(|(id, n)| (id, n.sinks.clone()))
+            .expect("has nets");
+        let buf = lib.smallest(CellFunction::Buf).expect("buf cell");
+        let moved = &sinks[..sinks.len() / 2];
+        let (inst, new_net) = g.insert_buffer(net, buf, moved).expect("inserts");
+        assert_eq!(g.netlist().net(new_net).sinks.len(), moved.len());
+        assert_eq!(g.netlist().instance(inst).fanin[0], net);
+        let fresh = analyze(g.netlist(), &lib, &ClockSpec::unconstrained(), None);
+        assert_eq!(g.min_period(), fresh.min_period);
+        assert_eq!(g.report().min_period, fresh.min_period);
+    }
+
+    #[test]
+    fn retarget_net_tracks_load_changes() {
+        let (_, lib) = setup();
+        let n = generators::alu(&lib, 8).expect("alu8");
+        let mut g = TimingGraph::new(n, &lib, ClockSpec::unconstrained(), None);
+        // Move one sink of the heaviest net onto a buffered copy.
+        let (net, sink) = g
+            .netlist()
+            .iter_nets()
+            .filter(|(_, n)| n.sinks.len() > 2)
+            .map(|(id, n)| (id, n.sinks[0]))
+            .next()
+            .expect("fanout net");
+        let buf = lib.smallest(CellFunction::Buf).expect("buf cell");
+        let (_, new_net) = g.insert_buffer(net, buf, &[]).expect("inserts");
+        g.retarget_net(sink.inst, sink.pin, new_net);
+        let fresh = analyze(g.netlist(), &lib, &ClockSpec::unconstrained(), None);
+        assert_eq!(g.min_period(), fresh.min_period);
+    }
+
+    #[test]
+    fn set_parasitics_triggers_full_repropagation() {
+        let (_, lib) = setup();
+        let n = generators::ripple_carry_adder(&lib, 8).expect("rca8");
+        let mut par = NetParasitics::ideal(&n);
+        for (id, _) in n.iter_nets() {
+            par.set(id, asicgap_tech::Ff::new(10.0), Ps::new(5.0));
+        }
+        let fresh = analyze(&n, &lib, &ClockSpec::unconstrained(), Some(&par));
+        let mut g = TimingGraph::new(n, &lib, ClockSpec::unconstrained(), None);
+        let ideal_period = g.min_period();
+        g.set_parasitics(par);
+        assert_eq!(g.min_period(), fresh.min_period);
+        assert!(g.min_period() > ideal_period);
+        assert_eq!(g.stats().full_propagations, 2);
+    }
+
+    #[test]
+    fn set_clock_is_free_and_correct() {
+        let (_, lib) = setup();
+        let n = generators::ripple_carry_adder(&lib, 8).expect("rca8");
+        let mut g = TimingGraph::new(n.clone(), &lib, ClockSpec::unconstrained(), None);
+        let base = g.min_period();
+        let skewed = ClockSpec {
+            skew: Ps::new(100.0),
+            ..ClockSpec::unconstrained()
+        };
+        g.set_clock(skewed);
+        let fresh = analyze(&n, &lib, &skewed, None);
+        assert_eq!(g.min_period(), fresh.min_period);
+        assert!((g.min_period() - base - Ps::new(100.0)).abs().value() < 1e-9);
+        assert_eq!(g.stats().full_propagations, 1, "no repropagation needed");
+    }
+
+    #[test]
+    fn mutation_burst_costs_one_flush() {
+        let (_, lib) = setup();
+        let n = generators::array_multiplier(&lib, 6).expect("mult6");
+        let mut g = TimingGraph::new(n, &lib, ClockSpec::unconstrained(), None);
+        let ids: Vec<InstId> = g.netlist().iter_instances().map(|(id, _)| id).collect();
+        for id in ids.iter().take(20) {
+            let cell = g.netlist().instance(*id).cell;
+            g.resize_cell(*id, lib.closest_drive(cell, 8.0));
+        }
+        let before = g.stats().incremental_updates;
+        let _ = g.min_period();
+        assert_eq!(g.stats().incremental_updates, before + 1);
+    }
+}

@@ -36,11 +36,7 @@ impl HoldReport {
 }
 
 /// Computes the earliest (min) arrival of every net at the fast corner.
-fn min_arrivals(
-    netlist: &Netlist,
-    lib: &Library,
-    par: &NetParasitics,
-) -> Vec<Ps> {
+fn min_arrivals(netlist: &Netlist, lib: &Library, par: &NetParasitics) -> Vec<Ps> {
     let tech = &lib.tech;
     let mut arrival = vec![Ps::ZERO; netlist.net_count()];
     for (_, inst) in netlist.iter_instances() {
@@ -277,8 +273,7 @@ mod tests {
         let mut clock = ClockSpec::unconstrained();
         clock.skew = tech.fo4_to_ps(0.5);
         let slack_asic = check_hold(&shift_register(&asic), &asic, &clock, None).worst_slack;
-        let slack_custom =
-            check_hold(&shift_register(&custom), &custom, &clock, None).worst_slack;
+        let slack_custom = check_hold(&shift_register(&custom), &custom, &clock, None).worst_slack;
         // Both clean at this skew, but the margin structure differs; the
         // check itself must be order-consistent with the hold numbers.
         let h_asic = {

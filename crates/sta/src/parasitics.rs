@@ -43,6 +43,15 @@ impl NetParasitics {
     pub fn total_cap(&self) -> Ff {
         self.cap.iter().copied().sum()
     }
+
+    /// Extends the tables with ideal (zero) entries up to `n_nets` nets,
+    /// so parasitics stay usable after buffer insertion appends nets.
+    pub(crate) fn grow(&mut self, n_nets: usize) {
+        if n_nets > self.cap.len() {
+            self.cap.resize(n_nets, Ff::ZERO);
+            self.delay.resize(n_nets, Ps::ZERO);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -55,7 +55,18 @@ pub fn report_timing(
             *net,
         ));
     }
-    endpoints.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    // Worst first; equal-slack paths tie-break on endpoint identity so
+    // the order is deterministic (endpoints are pushed register-sweep
+    // first, and Vec::sort_by is stable only within one run's push order).
+    let key = |e: &EndpointKind| match *e {
+        EndpointKind::RegisterD(id) => (0u8, id.index()),
+        EndpointKind::PrimaryOutput(n) => (1u8, n),
+    };
+    endpoints.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite")
+            .then_with(|| key(&a.0).cmp(&key(&b.0)))
+    });
     endpoints
         .into_iter()
         .take(k)
@@ -107,10 +118,7 @@ pub fn slack_histogram(
         .iter()
         .map(|e| report.clock.period - e.required_period)
         .collect();
-    let lo = slacks
-        .iter()
-        .copied()
-        .fold(Ps::new(f64::INFINITY), Ps::min);
+    let lo = slacks.iter().copied().fold(Ps::new(f64::INFINITY), Ps::min);
     let hi = slacks.iter().copied().fold(lo, Ps::max);
     let span = (hi - lo).value().max(1e-9);
     let mut out: Vec<(Ps, Ps, usize)> = (0..bins)

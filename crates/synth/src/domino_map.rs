@@ -34,11 +34,7 @@ use crate::error::SynthError;
 ///
 /// - [`SynthError::LibraryTooPoor`] if `lib` has no domino AND2/OR2;
 /// - [`SynthError::ConstantOutput`] if an output folded to a constant.
-pub fn map_dual_rail_domino(
-    aig: &Aig,
-    lib: &Library,
-    name: &str,
-) -> Result<Netlist, SynthError> {
+pub fn map_dual_rail_domino(aig: &Aig, lib: &Library, name: &str) -> Result<Netlist, SynthError> {
     let and2 = lib
         .drives_for(CellFunction::And(2), LogicFamily::Domino)
         .first()
@@ -73,9 +69,7 @@ pub fn map_dual_rail_domino(
         if aig.is_input(node) {
             continue;
         }
-        let (a, b) = aig
-            .and_children(node)
-            .expect("non-input nodes are ANDs");
+        let (a, b) = aig.and_children(node).expect("non-input nodes are ANDs");
         let rail = |l: Lit, rails: &HashMap<usize, (NetId, NetId)>| -> (NetId, NetId) {
             let (p, n) = rails[&l.node()];
             if l.is_complement() {

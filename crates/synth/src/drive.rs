@@ -6,37 +6,155 @@
 //! instance to the library drive whose stage gain is closest to the
 //! logical-effort target (≈ 4).
 
-use asicgap_cells::Library;
-use asicgap_netlist::Netlist;
-use asicgap_sta::NetParasitics;
+use asicgap_cells::{CellId, Library};
+use asicgap_netlist::{InstId, Netlist};
+use asicgap_sta::{NetParasitics, TimingGraph, OUTPUT_LOAD_UNITS};
 use asicgap_tech::Ff;
 
-/// External load assumed on primary outputs, in unit inverter caps
-/// (matches the STA's assumption).
-const OUTPUT_LOAD_UNITS: f64 = 4.0;
-
-/// Re-selects every instance's drive strength for `target_gain`, running
-/// `passes` sweeps (loads depend on sink input caps, which change as sinks
-/// are resized; 2–3 passes converge in practice). Functions with a single
-/// drive in the library are left untouched.
-///
-/// # Panics
-///
-/// Panics if `target_gain` is not strictly positive.
-pub fn select_drives(netlist: &mut Netlist, lib: &Library, target_gain: f64, passes: usize) {
-    let ideal = NetParasitics::ideal(netlist);
-    select_drives_with_parasitics(netlist, lib, &ideal, target_gain, passes);
+/// Parameters for drive selection.
+#[derive(Debug, Clone, Copy)]
+pub struct DriveOptions<'p> {
+    /// Per-net wire parasitics to include in loads; `None` means ideal
+    /// (zero) wires — the pre-layout estimate. Ignored by
+    /// [`select_drives_on`], where the graph's own annotation is
+    /// authoritative.
+    pub parasitics: Option<&'p NetParasitics>,
+    /// Logical-effort stage gain to aim each instance at.
+    pub target_gain: f64,
+    /// Sweeps to run (loads depend on sink input caps, which change as
+    /// sinks are resized; 2–3 passes converge in practice).
+    pub passes: usize,
 }
 
-/// Like [`select_drives`], but loads include per-net wire capacitance from
-/// placement back-annotation — the post-layout resize of §6.2 ("After
-/// layout, transistors can be resized accounting for the drive strengths
-/// required to send signals across the circuit").
+impl Default for DriveOptions<'_> {
+    fn default() -> Self {
+        DriveOptions {
+            parasitics: None,
+            target_gain: 4.0,
+            passes: 3,
+        }
+    }
+}
+
+/// The per-instance decision both entry points share: the library drive
+/// of the same function/family closest to `target_gain` under the
+/// instance's current output load, or `None` if the instance should stay.
+fn best_drive(
+    netlist: &Netlist,
+    lib: &Library,
+    parasitics: &NetParasitics,
+    id: InstId,
+    target_gain: f64,
+) -> Option<CellId> {
+    let tech = &lib.tech;
+    let inst = netlist.instance(id);
+    let mut load = netlist.net_load(lib, inst.out, parasitics.cap(inst.out));
+    if netlist.net(inst.out).is_output {
+        load += tech.unit_inverter_cin * OUTPUT_LOAD_UNITS;
+    }
+    if load <= Ff::ZERO {
+        return None;
+    }
+    let cell = lib.cell(inst.cell);
+    match lib.drive_for_gain(cell.function, cell.family, load, target_gain) {
+        Ok(best) if best != inst.cell => Some(best),
+        _ => None,
+    }
+}
+
+/// Instance visit order for one sweep: reverse topological (outputs
+/// first, so downstream caps settle), then the sequential cells.
+fn sweep_order(netlist: &Netlist) -> Vec<InstId> {
+    let mut order = netlist
+        .topo_order()
+        .expect("drive selection requires an acyclic netlist");
+    order.reverse();
+    order.extend(
+        netlist
+            .iter_instances()
+            .filter(|(_, i)| i.is_sequential())
+            .map(|(id, _)| id),
+    );
+    order
+}
+
+/// Re-selects every instance's drive strength per `options`. Functions
+/// with a single drive in the library are left untouched.
 ///
 /// # Panics
 ///
-/// Panics if `target_gain` is not strictly positive or if `parasitics`
-/// was built for a different netlist.
+/// Panics if `options.target_gain` is not strictly positive, or if
+/// `options.parasitics` was built for a different netlist.
+pub fn select_drives_with(netlist: &mut Netlist, lib: &Library, options: &DriveOptions) {
+    assert!(options.target_gain > 0.0, "target gain must be positive");
+    let ideal;
+    let par = match options.parasitics {
+        Some(p) => p,
+        None => {
+            ideal = NetParasitics::ideal(netlist);
+            &ideal
+        }
+    };
+    for _ in 0..options.passes {
+        for id in sweep_order(netlist) {
+            if let Some(best) = best_drive(netlist, lib, par, id, options.target_gain) {
+                netlist.set_instance_cell(lib, id, best);
+            }
+        }
+    }
+}
+
+/// [`select_drives_with`] against a live [`TimingGraph`]: the same
+/// decisions, committed through [`TimingGraph::resize_cell`] so only each
+/// swap's fanout cone is marked dirty and one flush at the next query
+/// re-times the lot. Wire loads come from the graph's own parasitics;
+/// `options.parasitics` is ignored.
+///
+/// # Panics
+///
+/// Panics if `options.target_gain` is not strictly positive.
+pub fn select_drives_on(graph: &mut TimingGraph, options: &DriveOptions) {
+    assert!(options.target_gain > 0.0, "target gain must be positive");
+    for _ in 0..options.passes {
+        for id in sweep_order(graph.netlist()) {
+            if let Some(best) = best_drive(
+                graph.netlist(),
+                graph.library(),
+                graph.parasitics(),
+                id,
+                options.target_gain,
+            ) {
+                graph.resize_cell(id, best);
+            }
+        }
+    }
+}
+
+/// Re-selects drive strengths assuming ideal wires.
+///
+/// # Panics
+///
+/// Panics if `target_gain` is negative.
+#[deprecated(note = "use select_drives_with(netlist, lib, &DriveOptions { .. })")]
+pub fn select_drives(netlist: &mut Netlist, lib: &Library, target_gain: f64, passes: usize) {
+    select_drives_with(
+        netlist,
+        lib,
+        &DriveOptions {
+            parasitics: None,
+            target_gain,
+            passes,
+        },
+    );
+}
+
+/// Re-selects drive strengths with back-annotated wire loads.
+///
+/// # Panics
+///
+/// Panics if `target_gain` is negative or if `parasitics` was built for
+/// a different netlist.
+#[deprecated(note = "use select_drives_with(netlist, lib, &DriveOptions { .. })")]
 pub fn select_drives_with_parasitics(
     netlist: &mut Netlist,
     lib: &Library,
@@ -44,35 +162,15 @@ pub fn select_drives_with_parasitics(
     target_gain: f64,
     passes: usize,
 ) {
-    assert!(target_gain > 0.0, "target gain must be positive");
-    let tech = &lib.tech;
-    for _ in 0..passes {
-        // Reverse topological: outputs first, so downstream caps settle.
-        let order = netlist
-            .topo_order()
-            .expect("drive selection requires an acyclic netlist");
-        let seq: Vec<_> = netlist
-            .iter_instances()
-            .filter(|(_, i)| i.is_sequential())
-            .map(|(id, _)| id)
-            .collect();
-        for &id in order.iter().rev().chain(seq.iter()) {
-            let inst = netlist.instance(id);
-            let mut load = netlist.net_load(lib, inst.out, parasitics.cap(inst.out));
-            if netlist.net(inst.out).is_output {
-                load += tech.unit_inverter_cin * OUTPUT_LOAD_UNITS;
-            }
-            if load <= Ff::ZERO {
-                continue;
-            }
-            let cell = lib.cell(inst.cell);
-            if let Ok(best) = lib.drive_for_gain(cell.function, cell.family, load, target_gain) {
-                if best != inst.cell {
-                    netlist.set_instance_cell(lib, id, best);
-                }
-            }
-        }
-    }
+    select_drives_with(
+        netlist,
+        lib,
+        &DriveOptions {
+            parasitics: Some(parasitics),
+            target_gain,
+            passes,
+        },
+    );
 }
 
 #[cfg(test)]
@@ -82,6 +180,14 @@ mod tests {
     use asicgap_netlist::generators;
     use asicgap_sta::{analyze, ClockSpec};
     use asicgap_tech::Technology;
+
+    fn gain(target_gain: f64, passes: usize) -> DriveOptions<'static> {
+        DriveOptions {
+            parasitics: None,
+            target_gain,
+            passes,
+        }
+    }
 
     #[test]
     fn drive_selection_speeds_up_fanout_heavy_designs() {
@@ -93,12 +199,55 @@ mod tests {
         let mut n = generators::array_multiplier(&lib, 8).expect("mult8");
         let clock = ClockSpec::unconstrained();
         let before = analyze(&n, &lib, &clock, None).min_period;
-        select_drives(&mut n, &lib, 4.0, 3);
+        select_drives_with(&mut n, &lib, &gain(4.0, 3));
         let after = analyze(&n, &lib, &clock, None).min_period;
         assert!(
             after < before * 0.99,
             "drive selection should help: {before} -> {after}"
         );
+    }
+
+    #[test]
+    fn graph_selection_matches_netlist_selection() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let mut n = generators::array_multiplier(&lib, 8).expect("mult8");
+        let mut graph = TimingGraph::new(n.clone(), &lib, ClockSpec::unconstrained(), None);
+        select_drives_with(&mut n, &lib, &gain(4.0, 3));
+        select_drives_on(&mut graph, &gain(4.0, 3));
+        let cells: Vec<_> = graph.netlist().instances().iter().map(|i| i.cell).collect();
+        let expect: Vec<_> = n.instances().iter().map(|i| i.cell).collect();
+        assert_eq!(cells, expect, "same swaps, cell for cell");
+        let fresh = analyze(&n, &lib, &ClockSpec::unconstrained(), None);
+        assert_eq!(graph.min_period(), fresh.min_period);
+        assert_eq!(graph.stats().full_propagations, 1, "no re-analysis");
+    }
+
+    #[test]
+    fn deprecated_wrappers_agree_with_options_entry() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let mut a = generators::parity_tree(&lib, 16).expect("parity");
+        let mut b = a.clone();
+        select_drives_with(&mut a, &lib, &gain(4.0, 2));
+        #[allow(deprecated)]
+        select_drives(&mut b, &lib, 4.0, 2);
+        let cells_a: Vec<_> = a.instances().iter().map(|i| i.cell).collect();
+        let cells_b: Vec<_> = b.instances().iter().map(|i| i.cell).collect();
+        assert_eq!(cells_a, cells_b);
+    }
+
+    #[test]
+    fn defaults_fill_in_classic_gain_and_passes() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let mut a = generators::parity_tree(&lib, 16).expect("parity");
+        let mut b = a.clone();
+        select_drives_with(&mut a, &lib, &DriveOptions::default());
+        select_drives_with(&mut b, &lib, &gain(4.0, 3));
+        let cells_a: Vec<_> = a.instances().iter().map(|i| i.cell).collect();
+        let cells_b: Vec<_> = b.instances().iter().map(|i| i.cell).collect();
+        assert_eq!(cells_a, cells_b);
     }
 
     #[test]
@@ -111,12 +260,12 @@ mod tests {
         let clock = ClockSpec::unconstrained();
 
         let mut on_rich = generators::array_multiplier(&rich, 8).expect("rich mult");
-        select_drives(&mut on_rich, &rich, 4.0, 3);
+        select_drives_with(&mut on_rich, &rich, &gain(4.0, 3));
         let t_rich = analyze(&on_rich, &rich, &clock, None).min_period;
         let a_rich = on_rich.total_area_um2(&rich);
 
         let mut on_two = generators::array_multiplier(&two, 8).expect("two-drive mult");
-        select_drives(&mut on_two, &two, 4.0, 3);
+        select_drives_with(&mut on_two, &two, &gain(4.0, 3));
         let t_two = analyze(&on_two, &two, &clock, None).min_period;
         let a_two = on_two.total_area_um2(&two);
 
@@ -133,9 +282,9 @@ mod tests {
         let tech = Technology::cmos025_asic();
         let lib = LibrarySpec::rich().build(&tech);
         let mut n = generators::parity_tree(&lib, 32).expect("parity");
-        select_drives(&mut n, &lib, 4.0, 4);
+        select_drives_with(&mut n, &lib, &gain(4.0, 4));
         let snapshot: Vec<_> = n.instances().iter().map(|i| i.cell).collect();
-        select_drives(&mut n, &lib, 4.0, 1);
+        select_drives_with(&mut n, &lib, &gain(4.0, 1));
         let again: Vec<_> = n.instances().iter().map(|i| i.cell).collect();
         assert_eq!(snapshot, again);
     }

@@ -61,10 +61,7 @@ mod tests {
     fn display_and_source() {
         let e = SynthError::ConstantOutput { name: "y".into() };
         assert!(e.to_string().contains("constant"));
-        let wrapped: SynthError = NetlistError::MissingCell {
-            what: "inv".into(),
-        }
-        .into();
+        let wrapped: SynthError = NetlistError::MissingCell { what: "inv".into() }.into();
         assert!(Error::source(&wrapped).is_some());
     }
 }

@@ -5,7 +5,7 @@ use asicgap_netlist::Netlist;
 
 use crate::aig::Aig;
 use crate::buffer::buffer_high_fanout;
-use crate::drive::select_drives;
+use crate::drive::{select_drives_with, DriveOptions};
 use crate::error::SynthError;
 use crate::map::{map_with_seq, MapOptions};
 use crate::reentry::netlist_to_aig;
@@ -125,7 +125,15 @@ impl SynthFlow {
             buffer_high_fanout(netlist, lib, self.buffer_max_fanout)?;
         }
         if self.drive_passes > 0 {
-            select_drives(netlist, lib, self.target_gain, self.drive_passes);
+            select_drives_with(
+                netlist,
+                lib,
+                &DriveOptions {
+                    parasitics: None,
+                    target_gain: self.target_gain,
+                    passes: self.drive_passes,
+                },
+            );
         }
         Ok(())
     }

@@ -13,9 +13,11 @@
 //!   (how the E7 library-richness comparisons keep the logic identical);
 //! - [`map_aig`] — dynamic-programming technology mapping with phase
 //!   assignment and pattern matching (NAND/NOR/AND/OR/AOI/OAI/XOR/MUX);
-//! - [`select_drives`] — load-driven drive-strength selection at a target
-//!   logical-effort gain;
-//! - [`buffer_high_fanout`] — buffer-tree insertion on heavily loaded nets;
+//! - [`select_drives_with`] — load-driven drive-strength selection at a
+//!   target logical-effort gain (and [`select_drives_on`], the same pass
+//!   over a live incremental [`TimingGraph`](asicgap_sta::TimingGraph));
+//! - [`buffer_high_fanout`] / [`buffer_high_fanout_on`] — buffer-tree
+//!   insertion on heavily loaded nets;
 //! - [`SynthFlow`] — the end-to-end recipe with ablation switches.
 //!
 //! # Example
@@ -51,9 +53,11 @@ mod map;
 mod reentry;
 
 pub use aig::{Aig, Lit};
-pub use buffer::buffer_high_fanout;
+pub use buffer::{buffer_high_fanout, buffer_high_fanout_on};
 pub use domino_map::map_dual_rail_domino;
+#[allow(deprecated)]
 pub use drive::{select_drives, select_drives_with_parasitics};
+pub use drive::{select_drives_on, select_drives_with, DriveOptions};
 pub use error::SynthError;
 pub use flow::SynthFlow;
 pub use map::{map_aig, MapOptions};

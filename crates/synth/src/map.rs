@@ -81,10 +81,7 @@ impl<'a> Mapper<'a> {
     }
 
     fn candidate_cost(&self, f: CellFunction, ins: &[Lit]) -> f64 {
-        let worst_in = ins
-            .iter()
-            .map(|&l| self.lit_cost(l))
-            .fold(0.0f64, f64::max);
+        let worst_in = ins.iter().map(|&l| self.lit_cost(l)).fold(0.0f64, f64::max);
         worst_in + Self::cell_cost(f)
     }
 
@@ -94,9 +91,9 @@ impl<'a> Mapper<'a> {
         let (a, b) = self.aig.and_children(node).expect("cone root is AND");
         let mut leaves = vec![a, b];
         loop {
-            let expandable = leaves.iter().position(|l| {
-                !l.is_complement() && self.aig.and_children(l.node()).is_some()
-            });
+            let expandable = leaves
+                .iter()
+                .position(|l| !l.is_complement() && self.aig.and_children(l.node()).is_some());
             let Some(pos) = expandable else { break };
             if leaves.len() + 1 > limit {
                 break;

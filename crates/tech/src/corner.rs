@@ -87,8 +87,7 @@ impl OperatingConditions {
     /// near nominal) and temperature sensitivity (≈ +0.1%/°C above 25 °C).
     pub fn delay_derate(&self) -> f64 {
         let corner = self.corner.delay_derate();
-        let dv = (self.supply.value() - self.nominal_supply.value())
-            / self.nominal_supply.value();
+        let dv = (self.supply.value() - self.nominal_supply.value()) / self.nominal_supply.value();
         let voltage = (1.0 - 1.5 * dv).max(0.3);
         let temperature = 1.0 + 0.001 * (self.temperature_c - 25.0);
         corner * voltage * temperature
@@ -101,12 +100,8 @@ mod tests {
 
     #[test]
     fn corner_derates_ordered() {
-        assert!(
-            ProcessCorner::FastFast.delay_derate() < ProcessCorner::Typical.delay_derate()
-        );
-        assert!(
-            ProcessCorner::Typical.delay_derate() < ProcessCorner::SlowSlow.delay_derate()
-        );
+        assert!(ProcessCorner::FastFast.delay_derate() < ProcessCorner::Typical.delay_derate());
+        assert!(ProcessCorner::Typical.delay_derate() < ProcessCorner::SlowSlow.delay_derate());
     }
 
     #[test]

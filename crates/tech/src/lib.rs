@@ -41,11 +41,13 @@
 mod corner;
 mod error;
 mod fo4;
+pub mod rng;
 mod technology;
 mod units;
 
 pub use corner::{OperatingConditions, ProcessCorner};
 pub use error::TechError;
 pub use fo4::Fo4;
+pub use rng::{Rng64, SplitMix64};
 pub use technology::{Technology, WireLayer, WireParams};
 pub use units::{Ff, Mhz, Mm2, Ps, Um, Volt, Watt};

@@ -1,0 +1,179 @@
+//! A small, dependency-free deterministic PRNG for the workspace.
+//!
+//! Every stochastic step in the flows (placement annealing, Monte Carlo
+//! process sampling, random-logic generation, power-vector simulation)
+//! needs a seedable, reproducible stream. The workspace must also build
+//! with no registry access, so instead of the `rand` crate this module
+//! provides xoshiro256++ (Blackman & Vigna) seeded through SplitMix64 —
+//! the same construction `rand`'s `SmallRng` family uses. Streams are
+//! stable across platforms and releases: results derived from a seed are
+//! part of the repo's reproducibility contract.
+
+/// SplitMix64: expands a 64-bit seed into a well-mixed stream. Used to
+/// initialise [`Rng64`] and useful on its own for hashing counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ — the workspace's general-purpose PRNG.
+///
+/// Not cryptographic. Period 2²⁵⁶ − 1; passes BigCrush; a few ns per
+/// draw. Seeding goes through [`SplitMix64`] so that small or correlated
+/// seeds (0, 1, 2, …) still yield independent-looking streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn new(seed: u64) -> Rng64 {
+        let mut sm = SplitMix64::new(seed);
+        Rng64 {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform f64 in `[0, 1)` with 53 random mantissa bits.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.uniform() * (hi - lo)
+    }
+
+    /// Uniform usize in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "empty index range");
+        // Multiply-shift (Lemire) without the rejection step: the bias is
+        // < n / 2^64, irrelevant for simulation workloads.
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Uniform u64 in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty range");
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as u64
+    }
+
+    /// A fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        // Use the high bit: xoshiro's low bits are its weakest.
+        self.next_u64() >> 63 == 1
+    }
+
+    /// Standard normal draw (Box–Muller).
+    pub fn gauss(&mut self) -> f64 {
+        let u1 = self.uniform_in(f64::EPSILON, 1.0);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = Rng64::new(42);
+        let mut b = Rng64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::new(1);
+        let mut b = Rng64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_stays_in_unit_interval_and_covers_it() {
+        let mut r = Rng64::new(7);
+        let draws: Vec<f64> = (0..10_000).map(|_| r.uniform()).collect();
+        assert!(draws.iter().all(|&x| (0.0..1.0).contains(&x)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn index_is_unbiased_enough_and_in_range() {
+        let mut r = Rng64::new(3);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.index(10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gauss_moments() {
+        let mut r = Rng64::new(11);
+        let draws: Vec<f64> = (0..50_000).map(|_| r.gauss()).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let var = draws.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / draws.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn flip_is_balanced() {
+        let mut r = Rng64::new(5);
+        let heads = (0..10_000).filter(|_| r.flip()).count();
+        assert!((4_500..5_500).contains(&heads), "{heads} heads");
+    }
+}

@@ -28,11 +28,7 @@ pub enum WireLayer {
 
 impl WireLayer {
     /// All layers, from lowest to highest.
-    pub const ALL: [WireLayer; 3] = [
-        WireLayer::Local,
-        WireLayer::Intermediate,
-        WireLayer::Global,
-    ];
+    pub const ALL: [WireLayer; 3] = [WireLayer::Local, WireLayer::Intermediate, WireLayer::Global];
 }
 
 /// Per-layer interconnect parasitics for a technology.
@@ -159,9 +155,7 @@ impl Technology {
         }
         if leff_um > drawn_um {
             return Err(TechError::InvalidParameter {
-                what: format!(
-                    "Leff ({leff_um} um) cannot exceed drawn length ({drawn_um} um)"
-                ),
+                what: format!("Leff ({leff_um} um) cannot exceed drawn length ({drawn_um} um)"),
             });
         }
         Ok(Technology {

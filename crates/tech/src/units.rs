@@ -212,10 +212,7 @@ impl Mhz {
     ///
     /// Panics if the frequency is not strictly positive.
     pub fn period(self) -> Ps {
-        assert!(
-            self.value() > 0.0,
-            "frequency must be positive, got {self}"
-        );
+        assert!(self.value() > 0.0, "frequency must be positive, got {self}");
         Ps::new(1.0e6 / self.value())
     }
 }

@@ -53,9 +53,10 @@ pub fn drive_wire(tech: &Technology, wire: &Wire, load: Ff) -> DrivenWire {
     let mut drive = 1.0;
     while drive <= 64.0 {
         // Cost of presenting `drive` units of input cap to a unit driver.
-        let input_penalty =
-            Ps::new(tech.tau().value() * drive * tech.unit_inverter_cin.value()
-                / tech.unit_inverter_cin.value());
+        let input_penalty = Ps::new(
+            tech.tau().value() * drive * tech.unit_inverter_cin.value()
+                / tech.unit_inverter_cin.value(),
+        );
         let delay = elmore_delay(tech, wire, drive, load) + input_penalty;
         let cand = DrivenWire {
             wire: *wire,
@@ -141,7 +142,10 @@ mod tests {
         let wide = base.widened(3.0);
         let d_base_small = elmore_delay(&tech, &base, 8.0, Ff::new(4.0));
         let d_wide_small = elmore_delay(&tech, &wide, 8.0, Ff::new(4.0));
-        assert!(d_wide_small > d_base_small, "driver-dominated: widening loses");
+        assert!(
+            d_wide_small > d_base_small,
+            "driver-dominated: widening loses"
+        );
         let d_base_big = elmore_delay(&tech, &base, 200.0, Ff::new(4.0));
         let d_wide_big = elmore_delay(&tech, &wide, 200.0, Ff::new(4.0));
         assert!(d_wide_big < d_base_big, "wire-dominated: widening wins");

@@ -111,8 +111,7 @@ impl ClockTree {
             insertion += delay;
             mismatch_var += (delay.value() * quality.stage_mismatch).powi(2);
         }
-        let skew =
-            insertion * quality.load_imbalance + Ps::new(3.0 * mismatch_var.sqrt());
+        let skew = insertion * quality.load_imbalance + Ps::new(3.0 * mismatch_var.sqrt());
         ClockTree {
             die_side,
             quality,

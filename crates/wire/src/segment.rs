@@ -76,7 +76,10 @@ mod tests {
         let wide = base.widened(4.0);
         assert!((base.resistance(&tech) / wide.resistance(&tech) - 4.0).abs() < 1e-9);
         let c_ratio = wide.capacitance(&tech) / base.capacitance(&tech);
-        assert!(c_ratio > 1.0 && c_ratio < 4.0, "cap grows sub-linearly: {c_ratio}");
+        assert!(
+            c_ratio > 1.0 && c_ratio < 4.0,
+            "cap grows sub-linearly: {c_ratio}"
+        );
     }
 
     #[test]

@@ -68,7 +68,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let fastest = builds
         .iter()
         .map(|(_, n)| analyze(n, &lib, &clock, None).min_period)
-        .fold(asicgap::tech::Ps::new(f64::INFINITY), asicgap::tech::Ps::min);
+        .fold(
+            asicgap::tech::Ps::new(f64::INFINITY),
+            asicgap::tech::Ps::min,
+        );
     println!(
         "macro cells buy {:.1}x over naive synthesis — free speed the 2000-era flow left on the table",
         ripple_delay.expect("at least one build") / fastest

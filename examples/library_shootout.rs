@@ -36,7 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let stats = LibraryStats::of(&lib);
         let n = generators::alu(&lib, 16)?;
         let nstats = NetlistStats::of(&n, &lib);
-        let fp = Floorplan::build(&n, &lib, FloorplanStrategy::Localized, &AnnealOptions::quick(1));
+        let fp = Floorplan::build(
+            &n,
+            &lib,
+            FloorplanStrategy::Localized,
+            &AnnealOptions::quick(1),
+        );
         let (resized, par) = post_layout_resize(&n, &lib, &fp.placement);
         let period = analyze(&resized, &lib, &clock, Some(&par)).min_period;
         t.row_owned(vec![

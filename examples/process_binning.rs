@@ -24,7 +24,10 @@ fn main() {
     let corner = BinningPolicy::corner_quote();
     let graded = BinningPolicy::speed_graded().quote(&pop);
     println!("ASIC worst-case (corner) quote : {corner:.3}");
-    println!("speed-graded quote             : {graded:.3}  (+{:.0}%)", (graded / corner - 1.0) * 100.0);
+    println!(
+        "speed-graded quote             : {graded:.3}  (+{:.0}%)",
+        (graded / corner - 1.0) * 100.0
+    );
 
     // Custom-style bins.
     let bins = SpeedBins::from_quantiles(&pop, &[0.05, 0.50, 0.98]);
@@ -63,15 +66,33 @@ fn main() {
             ),
         ]);
     }
-    println!("process maturity (5% shrink => {:.0}% speed):\n{mt}",
-        (MaturityModel::shrink_gain(0.05) - 1.0) * 100.0);
+    println!(
+        "process maturity (5% shrink => {:.0}% speed):\n{mt}",
+        (MaturityModel::shrink_gain(0.05) - 1.0) * 100.0
+    );
 
     // The full Section 8 study.
     let s = VariationStudy::run(0xDAC2000);
     println!("Section 8 study:");
-    println!("  typical / worst-case quote : {:.2}x  (paper: 1.6-1.7)", s.typical_over_worst_case);
-    println!("  top bin / typical          : {:.2}x at {:.1}% yield  (paper: 1.2-1.4)", s.top_bin_over_typical, s.top_bin_yield * 100.0);
-    println!("  foundry spread             : {:.2}x  (paper: 1.20-1.25)", s.foundry_spread);
-    println!("  speed-grading gain         : {:.2}x  (paper: 1.3-1.4)", s.grading_gain);
-    println!("  custom access over ASIC    : {:.2}x  (paper: ~1.9)", s.custom_access_over_asic);
+    println!(
+        "  typical / worst-case quote : {:.2}x  (paper: 1.6-1.7)",
+        s.typical_over_worst_case
+    );
+    println!(
+        "  top bin / typical          : {:.2}x at {:.1}% yield  (paper: 1.2-1.4)",
+        s.top_bin_over_typical,
+        s.top_bin_yield * 100.0
+    );
+    println!(
+        "  foundry spread             : {:.2}x  (paper: 1.20-1.25)",
+        s.foundry_spread
+    );
+    println!(
+        "  speed-grading gain         : {:.2}x  (paper: 1.3-1.4)",
+        s.grading_gain
+    );
+    println!(
+        "  custom access over ASIC    : {:.2}x  (paper: ~1.9)",
+        s.custom_access_over_asic
+    );
 }

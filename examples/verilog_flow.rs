@@ -51,7 +51,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sim_b = Simulator::new(&parsed, &lib);
     for seed in 0..100u64 {
         let bits: Vec<bool> = (0..design.inputs().len())
-            .map(|i| (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(i as u32)) & 1 == 1)
+            .map(|i| {
+                (seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(i as u32))
+                    & 1
+                    == 1
+            })
             .collect();
         assert_eq!(sim_a.run_comb(&bits), sim_b.run_comb(&bits));
     }

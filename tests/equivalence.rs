@@ -5,7 +5,7 @@ use asicgap::cells::{Library, LibrarySpec};
 use asicgap::netlist::{generators, to_bits, Netlist, Simulator};
 use asicgap::pipeline::pipeline_netlist;
 use asicgap::sizing::{snap_to_library, tilos_size, TilosOptions};
-use asicgap::synth::{buffer_high_fanout, select_drives, SynthFlow};
+use asicgap::synth::{buffer_high_fanout, select_drives_with, DriveOptions, SynthFlow};
 use asicgap::tech::Technology;
 
 fn libs() -> (Library, Library) {
@@ -35,7 +35,13 @@ fn equivalent(a: &Netlist, la: &Library, b: &Netlist, lb: &Library, vectors: u64
         .collect();
     for seed in 0..vectors {
         let bits: Vec<bool> = (0..n)
-            .map(|i| (seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(i as u32)) & 1 == 1)
+            .map(|i| {
+                (seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(i as u32))
+                    & 1
+                    == 1
+            })
             .collect();
         let remapped: Vec<bool> = order.iter().map(|&i| bits[i]).collect();
         assert_eq!(
@@ -72,7 +78,7 @@ fn drive_selection_and_buffering_preserve_function() {
     let (rich, _) = libs();
     let golden = generators::alu(&rich, 8).expect("alu");
     let mut work = golden.clone();
-    select_drives(&mut work, &rich, 4.0, 3);
+    select_drives_with(&mut work, &rich, &DriveOptions::default());
     buffer_high_fanout(&mut work, &rich, 6).expect("buffering");
     equivalent(&golden, &rich, &work, &rich, 200);
 }

@@ -64,8 +64,10 @@ fn end_to_end_gap_on_processor_datapath() {
         generators::datapath(lib, 16)
     })
     .expect("asic scenario");
-    let custom = run_scenario(&DesignScenario::custom(), |lib| generators::datapath(lib, 16))
-        .expect("custom scenario");
+    let custom = run_scenario(&DesignScenario::custom(), |lib| {
+        generators::datapath(lib, 16)
+    })
+    .expect("custom scenario");
     let gap = custom.shipped / asic.shipped;
     assert!(
         gap > 4.0 && gap < 12.0,
@@ -90,10 +92,10 @@ fn end_to_end_gap_on_multiplier() {
 
 #[test]
 fn scenario_runs_are_deterministic() {
-    let a = run_scenario(&DesignScenario::custom(), |lib| generators::alu(lib, 8))
-        .expect("first run");
-    let b = run_scenario(&DesignScenario::custom(), |lib| generators::alu(lib, 8))
-        .expect("second run");
+    let a =
+        run_scenario(&DesignScenario::custom(), |lib| generators::alu(lib, 8)).expect("first run");
+    let b =
+        run_scenario(&DesignScenario::custom(), |lib| generators::alu(lib, 8)).expect("second run");
     assert_eq!(a, b);
 }
 
@@ -133,7 +135,10 @@ fn each_knob_moves_speed_in_the_right_direction() {
         sizing: SizingQuality::AsMapped,
         ..base.clone()
     };
-    assert!(run(&lazy) <= baseline, "no sizing cannot beat drive selection");
+    assert!(
+        run(&lazy) <= baseline,
+        "no sizing cannot beat drive selection"
+    );
 
     // Binned access beats worst-case quoting.
     let binned = DesignScenario {

@@ -57,10 +57,18 @@ fn e4_pipeline_speedups() {
     let piped = pipeline_netlist(&mult, &lib, 5).expect("pipeline");
     let fast = analyze(&piped.netlist, &lib, &clock, None).min_period;
     let speedup = flat / fast;
-    assert!((2.5..=5.0).contains(&speedup), "measured 5-stage {speedup:.2}x");
+    assert!(
+        (2.5..=5.0).contains(&speedup),
+        "measured 5-stage {speedup:.2}x"
+    );
 
     // Latch-based time borrowing recovers imbalance (Section 4.1).
-    let stages = [Ps::new(700.0), Ps::new(1100.0), Ps::new(700.0), Ps::new(800.0)];
+    let stages = [
+        Ps::new(700.0),
+        Ps::new(1100.0),
+        Ps::new(700.0),
+        Ps::new(800.0),
+    ];
     let r = borrowed_cycle(&stages, Ps::new(495.0), Ps::new(225.0));
     assert!(r.speedup() > 1.2, "borrowing speedup {:.2}", r.speedup());
 }
@@ -72,10 +80,10 @@ fn e5_clock_skew() {
     let custom = ClockSpec::custom(Mhz::new(600.0));
     assert!((asic.skew / asic.period - 0.10).abs() < 1e-9);
     assert!((custom.skew.value() - 83.3).abs() < 0.1); // ~75 ps class
-    // "about a 10% increase in speed due to custom quality clock skew
-    // alone": halving skew from 10% to 5% of the cycle gives
-    // 0.95/0.90 - 1 ~ 5.6% at equal logic; on the Alpha's shallow cycle
-    // the absolute-skew comparison approaches 10%.
+                                                       // "about a 10% increase in speed due to custom quality clock skew
+                                                       // alone": halving skew from 10% to 5% of the cycle gives
+                                                       // 0.95/0.90 - 1 ~ 5.6% at equal logic; on the Alpha's shallow cycle
+                                                       // the absolute-skew comparison approaches 10%.
     let t_asic = 1.0 / (1.0 - 0.10);
     let t_custom = 1.0 / (1.0 - 0.05);
     let gain = t_asic / t_custom;
@@ -106,12 +114,20 @@ fn e7_sizing_and_library_richness() {
     // fanout-heavy logic.
     let mult = generators::array_multiplier(&rich, 8).expect("mult8");
     let sized = tilos_size(&mult, &rich, &TilosOptions::default());
-    assert!(sized.speedup() > 1.10, "TILOS speedup {:.2}", sized.speedup());
+    assert!(
+        sized.speedup() > 1.10,
+        "TILOS speedup {:.2}",
+        sized.speedup()
+    );
 
     // Discrete snapping: small on a rich menu (paper: 2-7%), larger on a
     // two-drive menu.
     let snap_rich = snap_to_library(&mult, &rich, &sized.sizes);
-    assert!(snap_rich.penalty() < 0.10, "rich penalty {:.3}", snap_rich.penalty());
+    assert!(
+        snap_rich.penalty() < 0.10,
+        "rich penalty {:.3}",
+        snap_rich.penalty()
+    );
     let mult2 = generators::array_multiplier(&two, 8).expect("mult8-two");
     let sized2 = tilos_size(&mult2, &two, &TilosOptions::default());
     let snap_two = snap_to_library(&mult2, &two, &sized2.sizes);
@@ -129,7 +145,12 @@ fn e7_sizing_and_library_richness() {
     let clock = ClockSpec::unconstrained();
     let placed_period = |lib: &asicgap::cells::Library| {
         let n = generators::alu(lib, 16).expect("alu16");
-        let fp = Floorplan::build(&n, lib, FloorplanStrategy::Localized, &AnnealOptions::quick(1));
+        let fp = Floorplan::build(
+            &n,
+            lib,
+            FloorplanStrategy::Localized,
+            &AnnealOptions::quick(1),
+        );
         let (resized, par) = post_layout_resize(&n, lib, &fp.placement);
         analyze(&resized, lib, &clock, Some(&par)).min_period
     };
@@ -208,5 +229,8 @@ fn e10_residual_analysis() {
             GapFactor::DynamicLogic,
         ],
     );
-    assert!((1.5..=1.7).contains(&three), "residual {three:.2} (paper ~1.6)");
+    assert!(
+        (1.5..=1.7).contains(&three),
+        "residual {three:.2} (paper ~1.6)"
+    );
 }

@@ -1,13 +1,20 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized property tests over the core data structures and invariants.
+//!
+//! These were originally `proptest` properties; to keep the workspace
+//! buildable with no registry access they now run on the internal
+//! [`Rng64`] stream (same properties, fixed seeds, explicit case counts).
+//! Each test draws `CASES` random samples and asserts the invariant on
+//! every one; failures print the offending sample.
 
 use asicgap::cells::{CellFunction, LibrarySpec, LogicFamily};
 use asicgap::netlist::{from_bits, generators, to_bits, Simulator};
 use asicgap::pipeline::{borrowed_cycle, PipelineModel};
 use asicgap::process::{ChipPopulation, VariationComponents};
 use asicgap::synth::{Aig, Lit};
-use asicgap::tech::{Ff, Fo4, Mhz, Ps, Technology};
-use proptest::prelude::*;
+use asicgap::tech::{Ff, Fo4, Mhz, Ps, Rng64, Technology};
 use std::sync::OnceLock;
+
+const CASES: usize = 64;
 
 fn adder_fixture() -> &'static (asicgap::cells::Library, asicgap::netlist::Netlist) {
     static FIXTURE: OnceLock<(asicgap::cells::Library, asicgap::netlist::Netlist)> =
@@ -38,66 +45,101 @@ fn all_adders_fixture() -> &'static AdderSet {
     })
 }
 
-proptest! {
-    #[test]
-    fn ps_mhz_round_trip(freq in 1.0f64..10_000.0) {
+#[test]
+fn ps_mhz_round_trip() {
+    let mut rng = Rng64::new(0x01);
+    for _ in 0..CASES {
+        let freq = rng.uniform_in(1.0, 10_000.0);
         let f = Mhz::new(freq);
         let back = f.period().frequency();
-        prop_assert!((back.value() - freq).abs() / freq < 1e-12);
+        assert!(
+            (back.value() - freq).abs() / freq < 1e-12,
+            "round trip failed at {freq}"
+        );
     }
+}
 
-    #[test]
-    fn fo4_round_trip(count in 0.1f64..1000.0) {
-        let tech = Technology::cmos025_asic();
+#[test]
+fn fo4_round_trip() {
+    let tech = Technology::cmos025_asic();
+    let mut rng = Rng64::new(0x02);
+    for _ in 0..CASES {
+        let count = rng.uniform_in(0.1, 1000.0);
         let fo4 = Fo4::new(count);
         let back = Fo4::from_delay(fo4.to_ps(&tech), &tech);
-        prop_assert!((back.count() - count).abs() < 1e-9);
+        assert!((back.count() - count).abs() < 1e-9, "failed at {count}");
     }
+}
 
-    #[test]
-    fn bits_round_trip(value in 0u64..u64::MAX, width in 1usize..64) {
-        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+#[test]
+fn bits_round_trip() {
+    let mut rng = Rng64::new(0x03);
+    for _ in 0..CASES {
+        let value = rng.next_u64();
+        let width = 1 + rng.index(63);
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
         let v = value & mask;
-        prop_assert_eq!(from_bits(&to_bits(v, width)), v);
+        assert_eq!(from_bits(&to_bits(v, width)), v, "width {width} value {v}");
     }
+}
 
-    #[test]
-    fn lit_complement_involution(node in 0usize..1_000_000, comp in any::<bool>()) {
+#[test]
+fn lit_complement_involution() {
+    let mut rng = Rng64::new(0x04);
+    for _ in 0..CASES {
+        let node = rng.index(1_000_000);
+        let comp = rng.flip();
         let l = Lit::new(node, comp);
-        prop_assert_eq!(l.not().not(), l);
-        prop_assert_eq!(l.node(), node);
-        prop_assert_eq!(l.is_complement(), comp);
+        assert_eq!(l.not().not(), l);
+        assert_eq!(l.node(), node);
+        assert_eq!(l.is_complement(), comp);
     }
+}
 
-    #[test]
-    fn cell_delay_monotone_in_load(
-        drive in prop::sample::select(vec![0.5f64, 1.0, 2.0, 4.0, 8.0]),
-        load_a in 1.0f64..100.0,
-        extra in 0.1f64..100.0,
-    ) {
-        use asicgap::cells::LibCell;
-        let tech = Technology::cmos025_asic();
-        let cell = LibCell::combinational(
-            CellFunction::Nand(2), LogicFamily::StaticCmos, drive, &tech);
+#[test]
+fn cell_delay_monotone_in_load() {
+    use asicgap::cells::LibCell;
+    let tech = Technology::cmos025_asic();
+    let drives = [0.5f64, 1.0, 2.0, 4.0, 8.0];
+    let mut rng = Rng64::new(0x05);
+    for _ in 0..CASES {
+        let drive = drives[rng.index(drives.len())];
+        let load_a = rng.uniform_in(1.0, 100.0);
+        let extra = rng.uniform_in(0.1, 100.0);
+        let cell =
+            LibCell::combinational(CellFunction::Nand(2), LogicFamily::StaticCmos, drive, &tech);
         let d1 = cell.delay(&tech, Ff::new(load_a));
         let d2 = cell.delay(&tech, Ff::new(load_a + extra));
-        prop_assert!(d2 > d1);
+        assert!(d2 > d1, "drive {drive} load {load_a} extra {extra}");
     }
+}
 
-    #[test]
-    fn adder_matches_u64_on_random_operands(
-        a in 0u64..256, b in 0u64..256, cin in any::<bool>()
-    ) {
-        let (lib, n) = adder_fixture();
-        let mut sim = Simulator::new(n, lib);
+#[test]
+fn adder_matches_u64_on_random_operands() {
+    let (lib, n) = adder_fixture();
+    let mut sim = Simulator::new(n, lib);
+    let mut rng = Rng64::new(0x06);
+    for _ in 0..CASES {
+        let a = rng.below(256);
+        let b = rng.below(256);
+        let cin = rng.flip();
         let got = generators::adder_io::apply(&mut sim, 8, a, b, cin);
-        prop_assert_eq!(got, (a + b + cin as u64) & 0x1FF);
+        assert_eq!(got, (a + b + cin as u64) & 0x1FF, "{a}+{b}+{cin}");
     }
+}
 
-    #[test]
-    fn aig_balance_preserves_behaviour(ops in prop::collection::vec(0u8..6, 1..40)) {
-        // Build a random AIG from a small op stream, then check balanced()
-        // is observationally equivalent on sampled inputs.
+#[test]
+fn aig_balance_preserves_behaviour() {
+    // Build a random AIG from a small op stream, then check balanced()
+    // is observationally equivalent on sampled inputs.
+    let mut rng = Rng64::new(0x07);
+    for _ in 0..24 {
+        let len = 1 + rng.index(39);
+        let ops: Vec<u8> = (0..len).map(|_| rng.index(6) as u8).collect();
         let mut g = Aig::new();
         let inputs: Vec<Lit> = (0..6).map(|i| g.input(format!("i{i}"))).collect();
         let mut pool = inputs.clone();
@@ -119,106 +161,143 @@ proptest! {
         let bal = g.balanced();
         for bits in 0..64u32 {
             let ins: Vec<bool> = (0..6).map(|i| bits & (1 << i) != 0).collect();
-            prop_assert_eq!(g.eval(&ins), bal.eval(&ins));
+            assert_eq!(g.eval(&ins), bal.eval(&ins), "ops {ops:?} bits {bits}");
         }
     }
+}
 
-    #[test]
-    fn pipeline_cycle_decreases_with_stages(
-        logic in 20.0f64..500.0,
-        overhead in 1.0f64..10.0,
-        n in 1usize..20,
-    ) {
+#[test]
+fn pipeline_cycle_decreases_with_stages() {
+    let mut rng = Rng64::new(0x08);
+    for _ in 0..CASES {
+        let logic = rng.uniform_in(20.0, 500.0);
+        let overhead = rng.uniform_in(1.0, 10.0);
+        let n = 1 + rng.index(19);
         let m = PipelineModel::new(Fo4::new(logic), n, Fo4::new(overhead), 0.0);
         let deeper = m.with_stages(n + 1);
         let cycle = m.cycle();
-        prop_assert!(deeper.cycle() < cycle);
+        assert!(deeper.cycle() < cycle, "logic {logic} n {n}");
         // And never below the overhead floor.
-        prop_assert!(cycle.count() > overhead);
+        assert!(cycle.count() > overhead);
     }
+}
 
-    #[test]
-    fn borrowing_never_worse_than_flip_flops_at_equal_overhead(
-        stages in prop::collection::vec(10.0f64..500.0, 1..12),
-        overhead in 1.0f64..100.0,
-    ) {
-        let delays: Vec<Ps> = stages.iter().map(|&d| Ps::new(d)).collect();
+#[test]
+fn borrowing_never_worse_than_flip_flops_at_equal_overhead() {
+    let mut rng = Rng64::new(0x09);
+    for _ in 0..CASES {
+        let n_stages = 1 + rng.index(11);
+        let delays: Vec<Ps> = (0..n_stages)
+            .map(|_| Ps::new(rng.uniform_in(10.0, 500.0)))
+            .collect();
+        let overhead = rng.uniform_in(1.0, 100.0);
         let r = borrowed_cycle(&delays, Ps::new(overhead), Ps::new(overhead));
-        prop_assert!(r.borrowed_cycle <= r.flip_flop_cycle + Ps::new(1e-9));
+        assert!(
+            r.borrowed_cycle <= r.flip_flop_cycle + Ps::new(1e-9),
+            "delays {delays:?} overhead {overhead}"
+        );
     }
+}
 
-    #[test]
-    fn verilog_round_trip_on_random_logic(seed in 0u64..200) {
-        use asicgap::netlist::generators::{random_logic, RandomLogicSpec};
-        use asicgap::netlist::verilog::{from_verilog, to_verilog};
-        let tech = Technology::cmos025_asic();
-        let lib = LibrarySpec::rich().build(&tech);
-        let spec = RandomLogicSpec { inputs: 8, gates: 40, seed, depth_bias: 3 };
+#[test]
+fn verilog_round_trip_on_random_logic() {
+    use asicgap::netlist::generators::{random_logic, RandomLogicSpec};
+    use asicgap::netlist::verilog::{from_verilog, to_verilog};
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let mut rng = Rng64::new(0x0A);
+    for _ in 0..24 {
+        let seed = rng.below(200);
+        let spec = RandomLogicSpec {
+            inputs: 8,
+            gates: 40,
+            seed,
+            depth_bias: 3,
+        };
         let original = random_logic(&lib, &spec).expect("generates");
         let text = to_verilog(&original, &lib);
         let parsed = from_verilog(&text, &lib).expect("parses");
-        prop_assert_eq!(parsed.instance_count(), original.instance_count());
+        assert_eq!(parsed.instance_count(), original.instance_count());
         let mut sim_a = Simulator::new(&original, &lib);
         let mut sim_b = Simulator::new(&parsed, &lib);
         for bits in [0u64, 0xFF, 0xA5, 0x3C] {
             let v = to_bits(bits, 8);
-            prop_assert_eq!(sim_a.run_comb(&v), sim_b.run_comb(&v));
+            assert_eq!(sim_a.run_comb(&v), sim_b.run_comb(&v), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn within_die_penalty_monotone_in_paths(
-        sigma in 0.0f64..0.1,
-        small in 1usize..100,
-        factor in 2usize..100,
-    ) {
-        use asicgap::process::WithinDieModel;
+#[test]
+fn within_die_penalty_monotone_in_paths() {
+    use asicgap::process::WithinDieModel;
+    let mut rng = Rng64::new(0x0B);
+    for _ in 0..CASES {
+        let sigma = rng.uniform_in(0.0, 0.1);
+        let small = 1 + rng.index(99);
+        let factor = 2 + rng.index(98);
         let a = WithinDieModel::new(small, sigma);
         let b = WithinDieModel::new(small * factor, sigma);
-        prop_assert!(b.expected_penalty() <= a.expected_penalty() + 1e-12);
-        prop_assert!(b.expected_penalty() > 0.0);
+        assert!(
+            b.expected_penalty() <= a.expected_penalty() + 1e-12,
+            "sigma {sigma} paths {small}x{factor}"
+        );
+        assert!(b.expected_penalty() > 0.0);
     }
+}
 
-    #[test]
-    fn all_five_adder_architectures_agree(
-        a in 0u64..256, b in 0u64..256, cin in any::<bool>()
-    ) {
-        let (lib, adders) = all_adders_fixture();
+#[test]
+fn all_five_adder_architectures_agree() {
+    let (lib, adders) = all_adders_fixture();
+    let mut rng = Rng64::new(0x0C);
+    for _ in 0..CASES {
+        let a = rng.below(256);
+        let b = rng.below(256);
+        let cin = rng.flip();
         let want = (a + b + cin as u64) & 0x1FF;
         for adder in adders {
             let mut sim = Simulator::new(adder, lib);
             let got = generators::adder_io::apply(&mut sim, 8, a, b, cin);
-            prop_assert_eq!(got, want, "{} disagrees on {}+{}+{}", adder.name, a, b, cin);
+            assert_eq!(got, want, "{} disagrees on {}+{}+{}", adder.name, a, b, cin);
         }
     }
+}
 
-    #[test]
-    fn crc_netlist_matches_reference_for_random_data(
-        data in 0u64..0xFFFF, poly in 1u64..256,
-    ) {
-        use asicgap::netlist::generators::{crc_checker, crc_reference};
+#[test]
+fn crc_netlist_matches_reference_for_random_data() {
+    use asicgap::netlist::generators::{crc_checker, crc_reference};
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let mut rng = Rng64::new(0x0D);
+    for _ in 0..24 {
+        let data = rng.below(0xFFFF);
         // Odd polynomials keep every output bit live.
-        let poly = poly | 1;
-        let tech = Technology::cmos025_asic();
-        let lib = LibrarySpec::rich().build(&tech);
+        let poly = rng.below(255) | 1;
         if let Ok(n) = crc_checker(&lib, 16, poly, 8) {
             let mut sim = Simulator::new(&n, &lib);
             let out = sim.run_comb(&to_bits(data, 16));
-            prop_assert_eq!(from_bits(&out), crc_reference(data, 16, poly, 8));
+            assert_eq!(
+                from_bits(&out),
+                crc_reference(data, 16, poly, 8),
+                "data {data:#x} poly {poly:#x}"
+            );
         }
     }
+}
 
-    #[test]
-    fn population_quantiles_monotone(seed in 0u64..1000) {
+#[test]
+fn population_quantiles_monotone() {
+    let mut rng = Rng64::new(0x0E);
+    for _ in 0..12 {
+        let seed = rng.below(1000);
         let p = ChipPopulation::sample(&VariationComponents::new_process(), 2000, seed);
         let mut prev = 0.0;
         for q in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
             let v = p.quantile(q);
-            prop_assert!(v >= prev);
+            assert!(v >= prev, "seed {seed} quantile {q}");
             prev = v;
         }
         // Yield at the median is ~50%.
         let y = p.yield_at(p.median());
-        prop_assert!((y - 0.5).abs() < 0.05);
+        assert!((y - 0.5).abs() < 0.05, "seed {seed} yield {y}");
     }
 }
