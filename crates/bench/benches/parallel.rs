@@ -1,0 +1,97 @@
+//! Wall-clock scaling of the deterministic parallel execution engine.
+//!
+//! Sweeps `ASICGAP_THREADS` over the workspace's three embarrassingly
+//! parallel workloads — the 32-scenario factor grid, multi-chain
+//! annealing, and Monte-Carlo population sampling — verifying at every
+//! thread count that the results are bit-for-bit identical to the
+//! single-thread run, and printing the measured speedups.
+//!
+//! Run with:
+//! `cargo bench -p asicgap-bench --bench parallel`
+
+use std::time::Instant;
+
+use asicgap::cells::LibrarySpec;
+use asicgap::netlist::generators;
+use asicgap::place::{anneal_placement_multi, AnnealOptions, Placement};
+use asicgap::process::{ChipPopulation, VariationComponents};
+use asicgap::tech::Technology;
+use asicgap::{run_scenarios, DesignScenario};
+use asicgap_bench::harness::fmt_ns;
+
+/// Times one closure per thread count and prints a speedup table.
+/// `check` receives the result and the threads=1 result; it must panic
+/// if they differ (the determinism contract, enforced even in benches).
+fn sweep<T: PartialEq + std::fmt::Debug>(
+    name: &str,
+    counts: &[usize],
+    run: impl Fn() -> T,
+) -> Vec<(usize, f64)> {
+    println!("\n== {name} ==");
+    let mut rows = Vec::new();
+    let mut reference: Option<T> = None;
+    let mut base_ns = 0.0;
+    for &threads in counts {
+        std::env::set_var("ASICGAP_THREADS", threads.to_string());
+        let warm = run(); // warm-up + determinism check
+        let start = Instant::now();
+        let out = run();
+        let ns = start.elapsed().as_secs_f64() * 1e9;
+        assert_eq!(warm, out, "run-to-run nondeterminism at {threads} threads");
+        match &reference {
+            None => {
+                reference = Some(out);
+                base_ns = ns;
+            }
+            Some(r) => assert_eq!(
+                r, &out,
+                "threads={threads} diverged from the sequential result"
+            ),
+        }
+        println!(
+            "  {threads:>2} threads  {:>12}   speedup x{:.2}",
+            fmt_ns(ns),
+            base_ns / ns
+        );
+        rows.push((threads, base_ns / ns));
+    }
+    std::env::remove_var("ASICGAP_THREADS");
+    rows
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("host parallelism: {cores} cores");
+    let counts = [1usize, 2, 4, 8];
+
+    // The headline workload: the full ASIC-vs-custom scenario grid.
+    let grid = DesignScenario::factor_grid();
+    let grid_rows = sweep("scenario grid (32 scenarios, alu16)", &counts, || {
+        run_scenarios(&grid, |lib| generators::alu(lib, 16)).expect("grid runs")
+    });
+
+    // Multi-chain annealing: 8 independent chains, best-of reduction.
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let netlist = generators::alu(&lib, 32).expect("alu32");
+    let start = Placement::initial(&netlist, &lib, 0.7);
+    sweep("annealing (8 chains, alu32)", &counts, || {
+        let mut p = start.clone();
+        let hpwl = anneal_placement_multi(&netlist, &mut p, &AnnealOptions::multi(7, 8), &[]);
+        (hpwl.to_bits(), p.cells)
+    });
+
+    // Monte-Carlo sampling: 200k chips = 40 lots.
+    sweep("monte carlo (200k chips)", &counts, || {
+        ChipPopulation::sample(&VariationComponents::new_process(), 200_000, 42)
+    });
+
+    let at4 = grid_rows
+        .iter()
+        .find(|&&(t, _)| t == 4)
+        .map_or(0.0, |&(_, s)| s);
+    println!(
+        "\nscenario-grid speedup at 4 threads: x{at4:.2} \
+         (needs >= 4 cores to show; this host has {cores})"
+    );
+}

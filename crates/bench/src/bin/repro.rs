@@ -183,6 +183,37 @@ fn main() {
     ]);
     println!("{t}");
 
+    // E11 ------------------------------------------------------------
+    let g = exp::e11_factor_grid();
+    let mut t = Table::new(&[
+        "E11 factor grid (32 scenarios)",
+        "paper max",
+        "grid marginal",
+    ]);
+    for (i, f) in GapFactor::ALL.into_iter().enumerate() {
+        t.row_owned(vec![
+            f.label().into(),
+            format!("x{:.2}", f.paper_maximum()),
+            format!("x{:.2}", g.marginal[i]),
+        ]);
+    }
+    t.row_owned(vec![
+        "corner gap (full custom / careless ASIC)".into(),
+        "6x - 8x observed".into(),
+        format!("x{:.1}", g.corner_gap),
+    ]);
+    t.row_owned(vec![
+        "careless ASIC corner".into(),
+        "-".into(),
+        format!("{:.0} MHz", g.outcomes[0].shipped.value()),
+    ]);
+    t.row_owned(vec![
+        "full custom corner".into(),
+        "-".into(),
+        format!("{:.0} MHz", g.outcomes[31].shipped.value()),
+    ]);
+    println!("{t}");
+
     // E10 ------------------------------------------------------------
     let (two, three) = exp::e10_residuals();
     let mut t = Table::new(&["E10 residuals (sec. 9)", "paper", "measured"]);

@@ -17,7 +17,9 @@ use asicgap::process::VariationStudy;
 use asicgap::sizing::{snap_to_library, tilos_size, TilosOptions};
 use asicgap::sta::{analyze, ClockSpec};
 use asicgap::tech::{Fo4, Mhz, Technology};
-use asicgap::{domino_speed_ratio, run_scenario, DesignScenario, GapFactor};
+use asicgap::{
+    domino_speed_ratio, run_scenario, run_scenarios, DesignScenario, GapFactor, ScenarioOutcome,
+};
 
 /// E1: the observed silicon gap.
 pub fn e1_chip_gap() -> chips::ObservedGap {
@@ -212,6 +214,51 @@ pub fn ext_migration() -> (f64, f64) {
     )
     .expect("migration succeeds");
     (report.speedup, report.process_speedup)
+}
+
+/// E11: the 32-scenario factor grid — every subset of the five §3
+/// upgrades run end-to-end on one workload, concurrently on the
+/// workspace pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridStudy {
+    /// One outcome per [`DesignScenario::factor_grid`] scenario, in grid
+    /// (bitmask) order.
+    pub outcomes: Vec<ScenarioOutcome>,
+    /// Marginal contribution of each §3 factor, grid-measured: the
+    /// geometric mean, over all 16 scenario pairs differing only in that
+    /// factor, of the shipped-frequency ratio. The paper's table is the
+    /// *maximum* of each factor; this is its average effect in context
+    /// (§9: "when such elements are integrated into an entire path …
+    /// their individual significance is naturally reduced").
+    pub marginal: [f64; 5],
+    /// Shipped-frequency ratio of grid corner 31 (full custom) over
+    /// corner 0 (careless ASIC).
+    pub corner_gap: f64,
+}
+
+/// Runs E11 on a 16-bit ALU. Deterministic at any `ASICGAP_THREADS`.
+pub fn e11_factor_grid() -> GridStudy {
+    let grid = DesignScenario::factor_grid();
+    let outcomes = run_scenarios(&grid, |lib| generators::alu(lib, 16)).expect("grid runs");
+    let mut marginal = [0.0f64; 5];
+    for (bit, m) in marginal.iter_mut().enumerate() {
+        let mask = 1usize << bit;
+        let mut log_sum = 0.0;
+        let mut pairs = 0usize;
+        for base in 0..outcomes.len() {
+            if base & mask == 0 {
+                log_sum += (outcomes[base | mask].shipped / outcomes[base].shipped).ln();
+                pairs += 1;
+            }
+        }
+        *m = (log_sum / pairs as f64).exp();
+    }
+    let corner_gap = outcomes[31].shipped / outcomes[0].shipped;
+    GridStudy {
+        outcomes,
+        marginal,
+        corner_gap,
+    }
 }
 
 /// E10: §9 residuals (two-factor, three-factor) at the 18× idealised gap.

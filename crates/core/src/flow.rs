@@ -5,12 +5,13 @@
 //! assumed, it falls out of running the tools with different settings.
 
 use asicgap_cells::{CellFunction, Library, LibrarySpec, LogicFamily};
+use asicgap_exec::Pool;
 use asicgap_netlist::Netlist;
 use asicgap_pipeline::pipeline_netlist_with;
 use asicgap_place::{annotate, AnnealOptions, Floorplan, FloorplanStrategy};
 use asicgap_process::{BinningPolicy, ChipPopulation, VariationComponents};
 use asicgap_sizing::{snap_to_library, tilos_size, TilosOptions};
-use asicgap_sta::{ClockSpec, TimingGraph};
+use asicgap_sta::{ClockSpec, IncrementalStats, TimingGraph};
 use asicgap_synth::{select_drives_on, DriveOptions};
 use asicgap_tech::{Ff, Mhz, Ps, Technology};
 
@@ -125,6 +126,63 @@ impl DesignScenario {
         }
     }
 
+    /// The full ASIC-vs-custom grid: every subset of the five §3 factor
+    /// upgrades applied to a common baseline, 2⁵ = 32 scenarios. The
+    /// baseline (index 0) is a careless ASIC — unpipelined, ASIC skew,
+    /// drive-selected sizing, *unfloorplanned* (spread over a large
+    /// die), static CMOS, worst-case quoted. Bit `k` of the index turns
+    /// on upgrade `k`:
+    ///
+    /// | bit | §  | upgrade |
+    /// |-----|----|---------|
+    /// | 0   | §4 | 5-stage pipeline + custom (5%) skew |
+    /// | 1   | §5 | careful floorplanning |
+    /// | 2   | §6 | continuous (TILOS) sizing |
+    /// | 3   | §7 | domino critical path (custom library) |
+    /// | 4   | §8 | binned silicon on the custom process |
+    ///
+    /// Index 31 is therefore the full custom methodology. The grid is
+    /// the workspace's canonical embarrassingly parallel workload: run
+    /// it with [`run_scenarios`].
+    pub fn factor_grid() -> Vec<DesignScenario> {
+        (0u32..32)
+            .map(|bits| {
+                let mut s = DesignScenario::typical_asic();
+                s.floorplan = FloorplanQuality::Spread { modules: 4 };
+                let mut tags: Vec<&str> = Vec::new();
+                if bits & 1 != 0 {
+                    s.pipeline_stages = 5;
+                    s.skew_fraction = 0.05;
+                    tags.push("pipe");
+                }
+                if bits & 2 != 0 {
+                    s.floorplan = FloorplanQuality::Careful;
+                    tags.push("floorplan");
+                }
+                if bits & 4 != 0 {
+                    s.sizing = SizingQuality::Continuous;
+                    tags.push("sizing");
+                }
+                if bits & 8 != 0 {
+                    s.logic_style = LogicStyle::DominoCriticalPath;
+                    s.library = LibrarySpec::custom();
+                    tags.push("domino");
+                }
+                if bits & 16 != 0 {
+                    s.access = ProcessAccess::CustomBinned;
+                    s.technology = Technology::cmos025_custom();
+                    tags.push("process");
+                }
+                s.name = if tags.is_empty() {
+                    "base ASIC".to_string()
+                } else {
+                    format!("base+{}", tags.join("+"))
+                };
+                s
+            })
+            .collect()
+    }
+
     /// The custom methodology: custom process (shorter Leff), custom
     /// library (near-continuous drives, fast latches, domino family),
     /// deep pipeline, 5% skew, hand sizing, domino critical paths, binned
@@ -167,6 +225,11 @@ pub struct ScenarioOutcome {
     /// shipped frequency, arbitrary units. Domino and deep pipelines pay
     /// here (the Alpha's 90 W vs. the PowerPC's 6.3 W).
     pub power_proxy: f64,
+    /// Propagation-effort counters of the flow's shared incremental
+    /// timer. Part of the determinism contract: a parallel grid run must
+    /// reproduce these exactly, not just the timing numbers, or the
+    /// engines did different work.
+    pub timing_effort: IncrementalStats,
 }
 
 impl ScenarioOutcome {
@@ -258,6 +321,7 @@ pub fn run_scenario(
 
     // Timing without skew, then fold the fractional skew in.
     let report = graph.report();
+    let timing_effort = report.stats;
     let (netlist, _) = graph.into_parts();
     let mut period_no_skew = report.min_period;
 
@@ -312,7 +376,36 @@ pub fn run_scenario(
         registers,
         area_um2,
         power_proxy,
+        timing_effort,
     })
+}
+
+/// Runs every scenario in `scenarios` on the same `workload`,
+/// concurrently on the workspace pool ([`ASICGAP_THREADS`](asicgap_exec)
+/// workers), returning outcomes in scenario order.
+///
+/// Determinism: each scenario run is an independent task — it builds its
+/// own library, netlist, and timer, and its stochastic steps are seeded
+/// from the scenario itself — and the result vector is reduced in input
+/// order. The output (including every [`ScenarioOutcome::timing_effort`]
+/// counter) is therefore bit-for-bit identical to running the scenarios
+/// in a sequential loop, at any thread count.
+///
+/// # Errors
+///
+/// Returns the first failing scenario's [`GapError`] (scenarios are
+/// still all run).
+pub fn run_scenarios<W>(
+    scenarios: &[DesignScenario],
+    workload: W,
+) -> Result<Vec<ScenarioOutcome>, GapError>
+where
+    W: Fn(&Library) -> Result<Netlist, asicgap_netlist::NetlistError> + Sync,
+{
+    Pool::from_env()
+        .map(scenarios, |_, s| run_scenario(s, &workload))
+        .into_iter()
+        .collect()
 }
 
 /// Measures the domino-over-static speed ratio from the library itself:
@@ -431,6 +524,49 @@ mod tests {
         assert!(custom.area_um2 > asic.area_um2);
         // Even per MHz, the custom machine burns more.
         assert!(custom.power_per_mhz() > asic.power_per_mhz() * 0.5);
+    }
+
+    #[test]
+    fn factor_grid_spans_careless_asic_to_custom() {
+        let grid = DesignScenario::factor_grid();
+        assert_eq!(grid.len(), 32);
+        assert_eq!(grid[0].name, "base ASIC");
+        assert_eq!(grid[0].pipeline_stages, 1);
+        assert!(matches!(
+            grid[0].floorplan,
+            FloorplanQuality::Spread { modules: 4 }
+        ));
+        let full = &grid[31];
+        assert_eq!(full.pipeline_stages, 5);
+        assert_eq!(full.sizing, SizingQuality::Continuous);
+        assert_eq!(full.logic_style, LogicStyle::DominoCriticalPath);
+        assert_eq!(full.access, ProcessAccess::CustomBinned);
+        assert_eq!(full.floorplan, FloorplanQuality::Careful);
+    }
+
+    #[test]
+    fn grid_corners_order_like_the_paper() {
+        // The all-upgrades corner must ship several times faster than
+        // the no-upgrades corner; run both through the parallel driver.
+        let grid = DesignScenario::factor_grid();
+        let corners = [grid[0].clone(), grid[31].clone()];
+        let out = run_scenarios(&corners, |lib| generators::alu(lib, 8)).expect("corners run");
+        assert_eq!(out.len(), 2);
+        let gap = out[1].shipped / out[0].shipped;
+        assert!(gap > 4.0, "grid corner gap {gap:.1}");
+    }
+
+    #[test]
+    fn run_scenarios_propagates_errors() {
+        let bad = DesignScenario {
+            pipeline_stages: 0,
+            ..DesignScenario::typical_asic()
+        };
+        let scenarios = [DesignScenario::typical_asic(), bad];
+        assert!(matches!(
+            run_scenarios(&scenarios, |lib| generators::alu(lib, 4)),
+            Err(GapError::Scenario { .. })
+        ));
     }
 
     #[test]

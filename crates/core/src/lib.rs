@@ -61,13 +61,16 @@ pub mod report;
 pub use error::GapError;
 pub use factors::GapFactor;
 pub use flow::{
-    domino_speed_ratio, run_scenario, DesignScenario, FloorplanQuality, LogicStyle, ProcessAccess,
-    ScenarioOutcome, SizingQuality,
+    domino_speed_ratio, run_scenario, run_scenarios, DesignScenario, FloorplanQuality, LogicStyle,
+    ProcessAccess, ScenarioOutcome, SizingQuality,
 };
 pub use gap::FactorTable;
 
 /// Technology models, units, FO4 rule (re-export of `asicgap-tech`).
 pub use asicgap_tech as tech;
+
+/// Deterministic parallel execution engine (re-export of `asicgap-exec`).
+pub use asicgap_exec as exec;
 
 /// Standard-cell libraries (re-export of `asicgap-cells`).
 pub use asicgap_cells as cells;

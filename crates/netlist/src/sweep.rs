@@ -5,8 +5,6 @@
 //! netlist keeping only logic reachable (backwards) from primary outputs
 //! and register data pins — every synthesis tool's cleanup pass.
 
-use std::collections::HashSet;
-
 use asicgap_cells::Library;
 
 use crate::error::NetlistError;
@@ -33,8 +31,10 @@ pub fn sweep_dead_logic(
     netlist: &Netlist,
     lib: &Library,
 ) -> Result<(Netlist, SweepStats), NetlistError> {
-    // Mark live nets backwards from outputs and register D pins.
-    let mut live_nets: HashSet<NetId> = HashSet::new();
+    // Mark live nets backwards from outputs and register D pins. The
+    // liveness set is an indexed bitset — NetIds are dense, so marking
+    // is one bounds-checked store, no hashing, no allocation per mark.
+    let mut live_nets: Vec<bool> = vec![false; netlist.net_count()];
     let mut stack: Vec<NetId> = netlist.outputs().iter().map(|&(_, id)| id).collect();
     // Registers are state: keep them all (an FSM register may feed only
     // itself transitively; trimming state changes behaviour).
@@ -45,7 +45,7 @@ pub fn sweep_dead_logic(
         }
     }
     while let Some(net) = stack.pop() {
-        if !live_nets.insert(net) {
+        if std::mem::replace(&mut live_nets[net.index()], true) {
             continue;
         }
         if let Some(NetDriver::Instance(drv)) = netlist.net(net).driver {
@@ -57,15 +57,14 @@ pub fn sweep_dead_logic(
 
     let live_inst = |id: InstId| -> bool {
         let inst = netlist.instance(id);
-        inst.is_sequential() || live_nets.contains(&inst.out)
+        inst.is_sequential() || live_nets[inst.out.index()]
     };
 
     // Rebuild.
     let mut out = Netlist::new(netlist.name.clone());
     let mut net_map: Vec<Option<NetId>> = vec![None; netlist.net_count()];
     for (id, net) in netlist.iter_nets() {
-        let keep =
-            live_nets.contains(&id) || matches!(net.driver, Some(NetDriver::PrimaryInput(_)));
+        let keep = live_nets[id.index()] || matches!(net.driver, Some(NetDriver::PrimaryInput(_)));
         if keep {
             net_map[id.index()] = Some(out.add_net(net.name.clone()));
         }

@@ -2,8 +2,11 @@
 //!
 //! §5.2: "Custom ICs are typically manually floorplanned. A number of tools
 //! are now reaching the ASIC market to facilitate chip-level floorplanning."
-//! This is that tool: a classic swap-based annealer minimising total HPWL.
+//! This is that tool: a classic swap-based annealer minimising total HPWL,
+//! with an optional multi-chain mode — independent restarts annealed
+//! concurrently on the workspace pool, reduced to a deterministic best.
 
+use asicgap_exec::{split_seed, Pool};
 use asicgap_netlist::Netlist;
 use asicgap_tech::Rng64;
 
@@ -23,6 +26,10 @@ pub struct AnnealOptions {
     pub cooling: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Independent chains run by [`anneal_placement_multi`]; chain `c`
+    /// anneals with seed `split_seed(seed, c)` and the best final HPWL
+    /// wins (ties: lowest chain index). `1` = classic single-chain.
+    pub chains: usize,
 }
 
 impl Default for AnnealOptions {
@@ -33,6 +40,7 @@ impl Default for AnnealOptions {
             initial_temp_factor: 2.0,
             cooling: 0.88,
             seed: 1,
+            chains: 1,
         }
     }
 }
@@ -45,6 +53,14 @@ impl AnnealOptions {
             temp_steps: 25,
             seed,
             ..AnnealOptions::default()
+        }
+    }
+
+    /// A multi-restart schedule: `chains` independent quick chains.
+    pub fn multi(seed: u64, chains: usize) -> AnnealOptions {
+        AnnealOptions {
+            chains,
+            ..AnnealOptions::quick(seed)
         }
     }
 }
@@ -136,6 +152,49 @@ pub fn anneal_placement(
     placement.total_hpwl(netlist).value()
 }
 
+/// Multi-chain annealing: runs `options.chains` independent chains from
+/// the same starting placement, concurrently on the workspace pool, and
+/// commits the chain with the lowest final HPWL into `placement`.
+///
+/// Deterministic at any `ASICGAP_THREADS`: chain `c` anneals with seed
+/// `split_seed(options.seed, c)` (a function of the chain index only),
+/// and the reduction scans chains in index order, keeping a strictly
+/// better HPWL — so ties resolve to the lowest index no matter which
+/// worker finished first. With `chains == 1` this *is*
+/// [`anneal_placement`], on the exact same code path and seed.
+pub fn anneal_placement_multi(
+    netlist: &Netlist,
+    placement: &mut Placement,
+    options: &AnnealOptions,
+    frozen: &[bool],
+) -> f64 {
+    let chains = options.chains.max(1);
+    if chains == 1 {
+        return anneal_placement(netlist, placement, options, frozen);
+    }
+    let start = placement.clone();
+    let results: Vec<(f64, Placement)> = Pool::from_env().run(chains, |c| {
+        let mut chain_placement = start.clone();
+        let chain_options = AnnealOptions {
+            seed: split_seed(options.seed, c as u64),
+            chains: 1,
+            ..options.clone()
+        };
+        let hpwl = anneal_placement(netlist, &mut chain_placement, &chain_options, frozen);
+        (hpwl, chain_placement)
+    });
+    // Ordered best-of reduction (strict `<`: first minimum wins).
+    let mut best = 0;
+    for (c, r) in results.iter().enumerate().skip(1) {
+        if r.0 < results[best].0 {
+            best = c;
+        }
+    }
+    let (hpwl, winner) = results.into_iter().nth(best).expect("chains >= 1");
+    *placement = winner;
+    hpwl
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +233,44 @@ mod tests {
         let h2 = anneal_placement(&n, &mut p2, &AnnealOptions::quick(7), &[]);
         assert_eq!(h1, h2);
         assert_eq!(p1.cells, p2.cells);
+    }
+
+    #[test]
+    fn multi_chain_never_loses_to_its_own_first_chain() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::parity_tree(&lib, 32).expect("parity");
+        let start = Placement::initial(&n, &lib, 0.7);
+
+        // Chain 0 of the multi run uses split_seed(seed, 0), so compare
+        // against that exact single-chain run.
+        let mut single = start.clone();
+        let single_hpwl = anneal_placement(
+            &n,
+            &mut single,
+            &AnnealOptions {
+                seed: asicgap_exec::split_seed(13, 0),
+                ..AnnealOptions::quick(13)
+            },
+            &[],
+        );
+        let mut multi = start.clone();
+        let multi_hpwl = anneal_placement_multi(&n, &mut multi, &AnnealOptions::multi(13, 4), &[]);
+        assert!(multi_hpwl <= single_hpwl, "{multi_hpwl} vs {single_hpwl}");
+    }
+
+    #[test]
+    fn one_chain_multi_is_the_single_chain_path() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::parity_tree(&lib, 16).expect("parity");
+        let mut a = Placement::initial(&n, &lib, 0.7);
+        let mut b = Placement::initial(&n, &lib, 0.7);
+        let opts = AnnealOptions::quick(5);
+        let ha = anneal_placement(&n, &mut a, &opts, &[]);
+        let hb = anneal_placement_multi(&n, &mut b, &opts, &[]);
+        assert_eq!(ha, hb);
+        assert_eq!(a.cells, b.cells);
     }
 
     #[test]

@@ -48,7 +48,7 @@ mod legalize;
 mod placement;
 mod resize;
 
-pub use anneal::{anneal_placement, AnnealOptions};
+pub use anneal::{anneal_placement, anneal_placement_multi, AnnealOptions};
 pub use annotate::annotate;
 pub use experiment::FloorplanStudy;
 pub use floorplan::{Floorplan, FloorplanStrategy, Region};

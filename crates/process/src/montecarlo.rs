@@ -1,9 +1,25 @@
 //! Monte-Carlo chip-speed populations.
+//!
+//! Sampling is lot-parallel: manufacturing lots are statistically
+//! independent, so each lot draws its stream from a seed split off the
+//! population seed by lot index ([`asicgap_exec::split_seed`]) and the
+//! lots are generated concurrently on the workspace pool. Because every
+//! lot's draws depend only on `(seed, lot index)` and lots are
+//! concatenated in index order before the final sort, the population is
+//! bit-for-bit identical at any `ASICGAP_THREADS` setting.
 
+use asicgap_exec::{split_seed, Pool};
 use asicgap_tech::Rng64;
 
 use crate::components::VariationComponents;
 use crate::within_die::WithinDieModel;
+
+/// Wafers per manufacturing lot.
+const WAFERS_PER_LOT: usize = 25;
+/// Dies per wafer.
+const DIES_PER_WAFER: usize = 200;
+/// Dies per lot — the parallel work unit of [`ChipPopulation::sample`].
+const DIES_PER_LOT: usize = WAFERS_PER_LOT * DIES_PER_WAFER;
 
 /// A sampled population of chip speeds (relative to nominal = 1.0),
 /// stored sorted ascending.
@@ -21,30 +37,13 @@ impl ChipPopulation {
     ///
     /// Panics if `n == 0`.
     pub fn sample(components: &VariationComponents, n: usize, seed: u64) -> ChipPopulation {
-        assert!(n > 0, "population must be non-empty");
-        let mut rng = Rng64::new(seed);
-        let mut speeds = Vec::with_capacity(n);
-        let mut produced = 0;
-        'lots: loop {
-            let lot = gauss(&mut rng) * components.lot_sigma;
-            for _wafer in 0..25 {
-                let wafer = gauss(&mut rng) * components.wafer_sigma;
-                for _die in 0..200 {
-                    let die = gauss(&mut rng) * components.die_sigma;
-                    // Within-die: the worst of several path draws only
-                    // slows the chip.
-                    let wid = gauss(&mut rng).abs() * components.within_die_sigma;
-                    let speed = (lot + wafer + die - wid).exp();
-                    speeds.push(speed);
-                    produced += 1;
-                    if produced == n {
-                        break 'lots;
-                    }
-                }
-            }
-        }
-        speeds.sort_by(|a, b| a.partial_cmp(b).expect("speeds are finite"));
-        ChipPopulation { speeds }
+        Self::sample_lots(n, seed, components, |rng, lot_wafer| {
+            let die = gauss(rng) * components.die_sigma;
+            // Within-die: the worst of several path draws only slows
+            // the chip.
+            let wid = gauss(rng).abs() * components.within_die_sigma;
+            (lot_wafer + die - wid).exp()
+        })
     }
 
     /// Samples `n` chips with an explicit many-critical-paths within-die
@@ -61,25 +60,41 @@ impl ChipPopulation {
         n: usize,
         seed: u64,
     ) -> ChipPopulation {
+        Self::sample_lots(n, seed, components, |rng, lot_wafer| {
+            let die = gauss(rng) * components.die_sigma;
+            let wid = within_die.sample(rng);
+            (lot_wafer + die).exp() * wid
+        })
+    }
+
+    /// The shared lot-parallel sampling skeleton. `die_speed` draws one
+    /// die given the summed lot+wafer offset; it must use only the
+    /// passed RNG, so each lot's stream is a pure function of its split
+    /// seed and the population is schedule-independent.
+    fn sample_lots(
+        n: usize,
+        seed: u64,
+        components: &VariationComponents,
+        die_speed: impl Fn(&mut Rng64, f64) -> f64 + Sync,
+    ) -> ChipPopulation {
         assert!(n > 0, "population must be non-empty");
-        let mut rng = Rng64::new(seed);
-        let mut speeds = Vec::with_capacity(n);
-        let mut produced = 0;
-        'lots: loop {
+        let lots = n.div_ceil(DIES_PER_LOT);
+        let per_lot = Pool::from_env().run(lots, |lot_index| {
+            let mut rng = Rng64::new(split_seed(seed, lot_index as u64));
+            let mut lot_speeds = Vec::with_capacity(DIES_PER_LOT);
             let lot = gauss(&mut rng) * components.lot_sigma;
-            for _wafer in 0..25 {
+            for _wafer in 0..WAFERS_PER_LOT {
                 let wafer = gauss(&mut rng) * components.wafer_sigma;
-                for _die in 0..200 {
-                    let die = gauss(&mut rng) * components.die_sigma;
-                    let wid = within_die.sample(&mut rng);
-                    speeds.push((lot + wafer + die).exp() * wid);
-                    produced += 1;
-                    if produced == n {
-                        break 'lots;
-                    }
+                for _die in 0..DIES_PER_WAFER {
+                    lot_speeds.push(die_speed(&mut rng, lot + wafer));
                 }
             }
-        }
+            lot_speeds
+        });
+        // Ordered reduction: lots concatenate in index order before the
+        // truncate-and-sort, so the population never depends on which
+        // worker finished first.
+        let mut speeds: Vec<f64> = per_lot.into_iter().flatten().take(n).collect();
         speeds.sort_by(|a, b| a.partial_cmp(b).expect("speeds are finite"));
         ChipPopulation { speeds }
     }

@@ -1,0 +1,45 @@
+//! Golden paper-numbers regression: the headline gap table, pinned
+//! **exactly** as printed in `repro_output.txt`.
+//!
+//! The band-style assertions in `tests/paper_numbers.rs` check that the
+//! physics lands near the paper; this file checks something stricter —
+//! that nothing (parallel execution above all) silently *perturbs* the
+//! numbers between releases. Every value here is asserted through the
+//! same `format!` the `repro` binary uses, so a drift of one ULP that
+//! survives rounding is tolerated, but any visible change fails and
+//! forces a deliberate regeneration of `repro_output.txt`.
+
+use asicgap::gap::FactorTable;
+use asicgap::GapFactor;
+use asicgap_bench as exp;
+
+/// The paper's five factor maxima, exact — these are constants of the
+/// source paper, not measurements, and must never move.
+#[test]
+fn golden_paper_factor_table() {
+    let t = FactorTable::paper_maxima();
+    assert_eq!(t.get(GapFactor::Microarchitecture), Some(4.00));
+    assert_eq!(t.get(GapFactor::Floorplanning), Some(1.25));
+    assert_eq!(t.get(GapFactor::CircuitSizing), Some(1.25));
+    assert_eq!(t.get(GapFactor::DynamicLogic), Some(1.50));
+    assert_eq!(t.get(GapFactor::ProcessVariation), Some(1.90));
+    // The product is exact in f64: 4.00 * 1.25 * 1.25 * 1.50 * 1.90.
+    assert_eq!(t.combined(), 17.8125);
+    assert_eq!(format!("x{:.1}", t.combined()), "x17.8");
+}
+
+/// The measured factor table and end-to-end gap, pinned to the exact
+/// strings of `repro_output.txt`'s E2 table. Any engine change that
+/// moves these must regenerate the golden file on purpose.
+#[test]
+fn golden_measured_factor_table() {
+    let (gap, measured) = exp::e2_measured();
+    let fmt = |f: GapFactor| format!("x{:.2}", measured.get(f).expect("factor measured"));
+    assert_eq!(fmt(GapFactor::Microarchitecture), "x4.20");
+    assert_eq!(fmt(GapFactor::Floorplanning), "x1.33");
+    assert_eq!(fmt(GapFactor::CircuitSizing), "x1.18");
+    assert_eq!(fmt(GapFactor::DynamicLogic), "x1.70");
+    assert_eq!(fmt(GapFactor::ProcessVariation), "x1.77");
+    assert_eq!(format!("x{:.1}", measured.combined()), "x19.8");
+    assert_eq!(format!("x{gap:.1}"), "x8.0");
+}

@@ -285,6 +285,66 @@ fn crc_netlist_matches_reference_for_random_data() {
 }
 
 #[test]
+fn sweep_is_idempotent_and_simulation_equivalent_on_every_generator() {
+    use asicgap::netlist::generators::RandomLogicSpec;
+    use asicgap::netlist::sweep_dead_logic;
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let spec = RandomLogicSpec {
+        inputs: 8,
+        gates: 60,
+        seed: 5,
+        depth_bias: 3,
+    };
+    // One instance of every generator in `crates/netlist/src/generators`.
+    let circuits = vec![
+        generators::ripple_carry_adder(&lib, 8).expect("rca"),
+        generators::carry_lookahead_adder(&lib, 8).expect("cla"),
+        generators::carry_select_adder(&lib, 8, 3).expect("csel"),
+        generators::carry_skip_adder(&lib, 8, 3).expect("cskip"),
+        generators::kogge_stone_adder(&lib, 8).expect("ks"),
+        generators::alu(&lib, 8).expect("alu"),
+        generators::array_multiplier(&lib, 6).expect("mult"),
+        generators::barrel_shifter(&lib, 8).expect("bshift"),
+        generators::counter(&lib, 6).expect("counter"),
+        generators::crc_checker(&lib, 16, 0x07, 8).expect("crc"),
+        generators::datapath(&lib, 8).expect("datapath"),
+        generators::equality_comparator(&lib, 8).expect("eq"),
+        generators::mux_tree(&lib, 8).expect("mux"),
+        generators::parity_tree(&lib, 9).expect("parity"),
+        generators::random_logic(&lib, &spec).expect("rand"),
+    ];
+    let mut rng = Rng64::new(0x0F);
+    for n in &circuits {
+        // Idempotence: sweeping a swept netlist removes nothing.
+        let (swept, _) = sweep_dead_logic(n, &lib).expect("sweeps");
+        let (again, stats) = sweep_dead_logic(&swept, &lib).expect("sweeps twice");
+        assert_eq!(stats.removed, 0, "{} sweep is not idempotent", n.name);
+        assert_eq!(again.instance_count(), swept.instance_count(), "{}", n.name);
+        // Simulation equivalence: same outputs on random vectors, with
+        // clock steps so sequential state is exercised too.
+        let width = n.inputs().len();
+        let mut sim_a = Simulator::new(n, &lib);
+        let mut sim_b = Simulator::new(&swept, &lib);
+        for _ in 0..16 {
+            let bits: Vec<bool> = (0..width).map(|_| rng.flip()).collect();
+            sim_a.set_inputs(&bits);
+            sim_b.set_inputs(&bits);
+            sim_a.eval_comb();
+            sim_b.eval_comb();
+            assert_eq!(
+                sim_a.output_values(),
+                sim_b.output_values(),
+                "{} diverges after sweep",
+                n.name
+            );
+            sim_a.step_clock();
+            sim_b.step_clock();
+        }
+    }
+}
+
+#[test]
 fn population_quantiles_monotone() {
     let mut rng = Rng64::new(0x0E);
     for _ in 0..12 {
