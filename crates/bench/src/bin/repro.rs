@@ -3,12 +3,19 @@
 //! EXPERIMENTS.md.
 //!
 //! Run with: `cargo run --release -p asicgap-bench --bin repro`
+//!
+//! With `--verify`, the end-to-end scenario flows additionally run with
+//! [`asicgap::VerifyLevel::Full`]: every pipeline and sizing stage is
+//! formally proven function-preserving, and the process exits nonzero if
+//! any stage (or any E12 row) is inequivalent.
 
+use asicgap::netlist::generators;
 use asicgap::report::Table;
-use asicgap::GapFactor;
+use asicgap::{run_scenarios_verified, DesignScenario, GapFactor, VerifyLevel};
 use asicgap_bench as exp;
 
 fn main() {
+    let verify = std::env::args().any(|a| a == "--verify");
     println!("== asicgap repro: Chinnery & Keutzer, DAC 2000 ==\n");
 
     // E1 -------------------------------------------------------------
@@ -229,6 +236,24 @@ fn main() {
     ]);
     println!("{t}");
 
+    // E12 ------------------------------------------------------------
+    let rows = exp::e12_verification();
+    let mut all_equivalent = true;
+    let mut t = Table::new(&["E12 equivalence checking", "verdict", "checker effort"]);
+    for r in &rows {
+        all_equivalent &= r.equivalent;
+        t.row_owned(vec![
+            r.name.clone(),
+            if r.equivalent {
+                "equivalent".into()
+            } else {
+                "INEQUIVALENT".into()
+            },
+            format!("{}", r.effort),
+        ]);
+    }
+    println!("{t}");
+
     // Ablations --------------------------------------------------------
     let (ff, borrowed, gain) = exp::e4_borrowing_ablation();
     let mut t = Table::new(&["ablations", "value"]);
@@ -264,4 +289,40 @@ fn main() {
         ]);
     }
     println!("{t}");
+
+    // --verify: the fully checked end-to-end flows ---------------------
+    if verify {
+        let scenarios = [
+            DesignScenario::typical_asic(),
+            DesignScenario::best_practice_asic(),
+            DesignScenario::custom(),
+        ];
+        let mut t = Table::new(&["verified scenario (16b ALU)", "verdict", "checker effort"]);
+        match run_scenarios_verified(
+            &scenarios,
+            |lib| generators::alu(lib, 16),
+            VerifyLevel::Full,
+        ) {
+            Ok(outs) => {
+                for out in &outs {
+                    let effort = out.verify_effort.expect("full verify records effort");
+                    t.row_owned(vec![
+                        out.scenario.clone(),
+                        "equivalent".into(),
+                        format!("{effort}"),
+                    ]);
+                }
+                println!("{t}");
+            }
+            Err(e) => {
+                eprintln!("verified scenario flow FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if !all_equivalent {
+        eprintln!("E12 found an inequivalent transform");
+        std::process::exit(1);
+    }
 }

@@ -9,16 +9,19 @@ pub mod harness;
 
 use asicgap::cells::LibrarySpec;
 use asicgap::chips;
+use asicgap::equiv::checked_sweep;
 use asicgap::gap::FactorTable;
-use asicgap::netlist::generators;
-use asicgap::pipeline::{pipeline_netlist, PipelineModel};
+use asicgap::netlist::{generators, Netlist};
+use asicgap::pipeline::{pipeline_netlist, verify_pipeline, PipelineModel};
 use asicgap::place::FloorplanStudy;
 use asicgap::process::VariationStudy;
 use asicgap::sizing::{snap_to_library, tilos_size, TilosOptions};
 use asicgap::sta::{analyze, ClockSpec};
+use asicgap::synth::SynthFlow;
 use asicgap::tech::{Fo4, Mhz, Technology};
 use asicgap::{
-    domino_speed_ratio, run_scenario, run_scenarios, DesignScenario, GapFactor, ScenarioOutcome,
+    domino_speed_ratio, run_scenario, run_scenarios, DesignScenario, EquivEffort, GapFactor,
+    ScenarioOutcome, VerifyLevel,
 };
 
 /// E1: the observed silicon gap.
@@ -259,6 +262,129 @@ pub fn e11_factor_grid() -> GridStudy {
         marginal,
         corner_gap,
     }
+}
+
+/// E12: one row per formally verified transform — the benchmark netlist,
+/// the verdict, and how hard the checker had to work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyRow {
+    /// What was checked, e.g. `remap cla8` or `pipeline rca8 x4`.
+    pub name: String,
+    /// `true` when the transform was proven function-preserving (always,
+    /// for the shipped transforms — a `false` here is a tool bug).
+    pub equivalent: bool,
+    /// Checker effort counters for the proof.
+    pub effort: EquivEffort,
+}
+
+/// E12: equivalence checking across the transform boundaries — every
+/// synthesis remap (map + buffer + drive stages, efforts merged),
+/// pipelining runs, and dead-logic sweeps, each on a benchmark netlist.
+/// Deterministic: the SAT solver has no randomness, so the effort
+/// counters are part of the golden contract.
+pub fn e12_verification() -> Vec<VerifyRow> {
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let flow = SynthFlow::default().with_verify(VerifyLevel::Full);
+    let mut rows = Vec::new();
+
+    let benches: Vec<(&str, Netlist)> = vec![
+        (
+            "rca8",
+            generators::ripple_carry_adder(&lib, 8).expect("rca8"),
+        ),
+        (
+            "cla8",
+            generators::carry_lookahead_adder(&lib, 8).expect("cla8"),
+        ),
+        ("ks8", generators::kogge_stone_adder(&lib, 8).expect("ks8")),
+        (
+            "csel8",
+            generators::carry_select_adder(&lib, 8, 2).expect("csel8"),
+        ),
+        ("alu8", generators::alu(&lib, 8).expect("alu8")),
+        ("mux_tree8", generators::mux_tree(&lib, 8).expect("mux8")),
+        (
+            "barrel8",
+            generators::barrel_shifter(&lib, 8).expect("barrel8"),
+        ),
+        (
+            "crc16",
+            generators::crc_checker(&lib, 16, 0x07, 8).expect("crc16"),
+        ),
+        (
+            "parity9",
+            generators::parity_tree(&lib, 9).expect("parity9"),
+        ),
+        ("counter6", generators::counter(&lib, 6).expect("counter6")),
+    ];
+    for (name, n) in &benches {
+        let (_, proofs) = flow.remap_verified(n, &lib, &lib).expect("remap verifies");
+        let mut effort = EquivEffort::default();
+        for p in &proofs {
+            effort.merge(&p.effort);
+        }
+        rows.push(VerifyRow {
+            name: format!("remap {name}"),
+            equivalent: true,
+            effort,
+        });
+    }
+
+    for (name, flat, stages) in [
+        (
+            "rca8",
+            generators::ripple_carry_adder(&lib, 8).expect("rca8"),
+            4usize,
+        ),
+        (
+            "mult6",
+            generators::array_multiplier(&lib, 6).expect("mult6"),
+            3,
+        ),
+    ] {
+        let piped = pipeline_netlist(&flat, &lib, stages).expect("pipelines");
+        let report = verify_pipeline(&flat, &piped.netlist, &lib).expect("verifies");
+        rows.push(VerifyRow {
+            name: format!("pipeline {name} x{stages}"),
+            equivalent: report.is_equivalent(),
+            effort: report.effort,
+        });
+    }
+
+    // A netlist with genuinely dead logic: datapath8 plus a three-gate
+    // cone driving nothing (the kind of residue rewiring passes leave).
+    let datapath_dead = {
+        use asicgap::cells::CellFunction;
+        let mut n = generators::datapath(&lib, 8).expect("dp8");
+        let and2 = lib.smallest(CellFunction::And(2)).expect("and2");
+        let or2 = lib.smallest(CellFunction::Or(2)).expect("or2");
+        let inv = lib.smallest(CellFunction::Inv).expect("inv");
+        let a = n.inputs()[0].1;
+        let b = n.inputs()[1].1;
+        let d1 = n.add_net("dead1");
+        n.add_instance("dead_g1", &lib, and2, &[a, b], d1)
+            .expect("dead and");
+        let d2 = n.add_net("dead2");
+        n.add_instance("dead_g2", &lib, or2, &[d1, a], d2)
+            .expect("dead or");
+        let d3 = n.add_net("dead3");
+        n.add_instance("dead_g3", &lib, inv, &[d2], d3)
+            .expect("dead inv");
+        n
+    };
+    for (name, n) in [
+        ("datapath8+dead", datapath_dead),
+        ("alu8", generators::alu(&lib, 8).expect("alu8")),
+    ] {
+        let (_, stats, report) = checked_sweep(&n, &lib).expect("sweeps");
+        rows.push(VerifyRow {
+            name: format!("sweep {name} (-{} cells)", stats.removed),
+            equivalent: report.is_equivalent(),
+            effort: report.effort,
+        });
+    }
+    rows
 }
 
 /// E10: §9 residuals (two-factor, three-factor) at the 18× idealised gap.

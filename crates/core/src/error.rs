@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use asicgap_equiv::EquivError;
 use asicgap_netlist::NetlistError;
 use asicgap_synth::SynthError;
 
@@ -18,6 +19,16 @@ pub enum GapError {
         /// What was wrong.
         what: String,
     },
+    /// A verified flow stage changed the logic function — the
+    /// equivalence checker caught a transform bug.
+    Inequivalent {
+        /// Which flow stage diverged (`pipeline`, `sizing`).
+        stage: String,
+        /// The differing output cone.
+        output: String,
+    },
+    /// The equivalence checker itself failed.
+    Equiv(EquivError),
 }
 
 impl fmt::Display for GapError {
@@ -26,6 +37,10 @@ impl fmt::Display for GapError {
             GapError::Netlist(e) => write!(f, "netlist error: {e}"),
             GapError::Synth(e) => write!(f, "synthesis error: {e}"),
             GapError::Scenario { what } => write!(f, "invalid scenario: {what}"),
+            GapError::Inequivalent { stage, output } => {
+                write!(f, "stage {stage} changed the function of output {output}")
+            }
+            GapError::Equiv(e) => write!(f, "equivalence check error: {e}"),
         }
     }
 }
@@ -35,8 +50,15 @@ impl Error for GapError {
         match self {
             GapError::Netlist(e) => Some(e),
             GapError::Synth(e) => Some(e),
-            GapError::Scenario { .. } => None,
+            GapError::Equiv(e) => Some(e),
+            GapError::Scenario { .. } | GapError::Inequivalent { .. } => None,
         }
+    }
+}
+
+impl From<EquivError> for GapError {
+    fn from(e: EquivError) -> GapError {
+        GapError::Equiv(e)
     }
 }
 

@@ -5,9 +5,10 @@
 //! assumed, it falls out of running the tools with different settings.
 
 use asicgap_cells::{CellFunction, Library, LibrarySpec, LogicFamily};
+use asicgap_equiv::{check_equiv, random_sim_equiv, EquivEffort, EquivResult, VerifyLevel};
 use asicgap_exec::Pool;
-use asicgap_netlist::Netlist;
-use asicgap_pipeline::pipeline_netlist_with;
+use asicgap_netlist::{Netlist, Simulator};
+use asicgap_pipeline::{pipeline_netlist_with, verify_pipeline};
 use asicgap_place::{annotate, AnnealOptions, Floorplan, FloorplanStrategy};
 use asicgap_process::{BinningPolicy, ChipPopulation, VariationComponents};
 use asicgap_sizing::{snap_to_library, tilos_size, TilosOptions};
@@ -230,6 +231,11 @@ pub struct ScenarioOutcome {
     /// reproduce these exactly, not just the timing numbers, or the
     /// engines did different work.
     pub timing_effort: IncrementalStats,
+    /// Equivalence-checker effort when the flow ran with
+    /// [`VerifyLevel::Full`] (merged across the pipeline and sizing
+    /// proofs); `None` otherwise. Like `timing_effort`, these counters
+    /// are deterministic across thread counts.
+    pub verify_effort: Option<EquivEffort>,
 }
 
 impl ScenarioOutcome {
@@ -249,6 +255,34 @@ pub fn run_scenario(
     scenario: &DesignScenario,
     workload: impl FnOnce(&Library) -> Result<Netlist, asicgap_netlist::NetlistError>,
 ) -> Result<ScenarioOutcome, GapError> {
+    run_scenario_verified(scenario, workload, VerifyLevel::Off)
+}
+
+/// [`run_scenario`] with equivalence checking armed at `verify`.
+///
+/// Two transform boundaries are checked:
+///
+/// - **pipeline** — the registered netlist against the flat workload
+///   (registers transparent; structural discharge expected);
+/// - **sizing** — the final drive-selected/TILOS-snapped netlist against
+///   the netlist as it entered the shared timer (registers cut; sizing
+///   only swaps drive strengths, so this too discharges structurally —
+///   a SAT cone or counterexample here means a sizing pass rewired
+///   logic).
+///
+/// With [`VerifyLevel::Full`] the merged checker effort lands in
+/// [`ScenarioOutcome::verify_effort`]; [`VerifyLevel::Sim`] smoke-tests
+/// the same boundaries by simulation.
+///
+/// # Errors
+///
+/// As [`run_scenario`], plus [`GapError::Inequivalent`] when a stage
+/// fails its check and [`GapError::Equiv`] when the checker errors.
+pub fn run_scenario_verified(
+    scenario: &DesignScenario,
+    workload: impl FnOnce(&Library) -> Result<Netlist, asicgap_netlist::NetlistError>,
+    verify: VerifyLevel,
+) -> Result<ScenarioOutcome, GapError> {
     if scenario.pipeline_stages == 0 {
         return Err(GapError::Scenario {
             what: "pipeline_stages must be >= 1".to_string(),
@@ -256,6 +290,7 @@ pub fn run_scenario(
     }
     let lib = scenario.library.build(&scenario.technology);
     let mut netlist = workload(&lib)?;
+    let mut verify_effort = (verify == VerifyLevel::Full).then(EquivEffort::default);
 
     // §4: pipelining. The flat netlist's timing drives the cut placement;
     // the pipelined result then seeds the flow's one shared timer.
@@ -264,9 +299,34 @@ pub fn run_scenario(
         let report =
             TimingGraph::new(netlist.clone(), &lib, ClockSpec::unconstrained(), None).report();
         let piped = pipeline_netlist_with(&netlist, &lib, scenario.pipeline_stages, &report)?;
+        match verify {
+            VerifyLevel::Off => {}
+            VerifyLevel::Sim => {
+                verify_pipeline_by_sim(&netlist, &piped.netlist, piped.stages, &lib)?;
+            }
+            VerifyLevel::Full => {
+                let report = verify_pipeline(&netlist, &piped.netlist, &lib)?;
+                match report.result {
+                    EquivResult::Equivalent => {
+                        if let Some(e) = verify_effort.as_mut() {
+                            e.merge(&report.effort);
+                        }
+                    }
+                    EquivResult::Inequivalent(cex) => {
+                        return Err(GapError::Inequivalent {
+                            stage: "pipeline".to_string(),
+                            output: cex.output,
+                        });
+                    }
+                }
+            }
+        }
         registers = piped.registers_inserted;
         netlist = piped.netlist;
     }
+    // The netlist as it enters the sizing/placement loop: golden side of
+    // the final check.
+    let pre_sizing = (verify != VerifyLevel::Off).then(|| netlist.clone());
 
     // One timer for the rest of the flow: every optimization below
     // mutates this graph and pays only for the cones it touches.
@@ -323,6 +383,37 @@ pub fn run_scenario(
     let report = graph.report();
     let timing_effort = report.stats;
     let (netlist, _) = graph.into_parts();
+
+    // The sizing/buffering loop must not have changed any logic function.
+    if let Some(golden) = pre_sizing {
+        match verify {
+            VerifyLevel::Off => unreachable!("golden kept only when verifying"),
+            VerifyLevel::Sim => {
+                if !random_sim_equiv(&golden, &lib, &netlist, &lib, 64, scenario.seed) {
+                    return Err(GapError::Inequivalent {
+                        stage: "sizing".to_string(),
+                        output: "<random simulation>".to_string(),
+                    });
+                }
+            }
+            VerifyLevel::Full => {
+                let report = check_equiv(&golden, &lib, &netlist, &lib)?;
+                match report.result {
+                    EquivResult::Equivalent => {
+                        if let Some(e) = verify_effort.as_mut() {
+                            e.merge(&report.effort);
+                        }
+                    }
+                    EquivResult::Inequivalent(cex) => {
+                        return Err(GapError::Inequivalent {
+                            stage: "sizing".to_string(),
+                            output: cex.output,
+                        });
+                    }
+                }
+            }
+        }
+    }
     let mut period_no_skew = report.min_period;
 
     // §7: domino on the critical path — speed the combinational portion
@@ -377,7 +468,43 @@ pub fn run_scenario(
         area_um2,
         power_proxy,
         timing_effort,
+        verify_effort,
     })
+}
+
+/// The [`VerifyLevel::Sim`] tier for the pipeline stage: the piped
+/// netlist's outputs lag by the fill latency, so plain lock-step
+/// simulation cannot compare them — instead each vector runs flat
+/// combinationally and through a full pipeline flush.
+fn verify_pipeline_by_sim(
+    flat: &Netlist,
+    piped: &Netlist,
+    stages: usize,
+    lib: &Library,
+) -> Result<(), GapError> {
+    let mut sim_flat = Simulator::new(flat, lib);
+    let mut sim_piped = Simulator::new(piped, lib);
+    let n = flat.inputs().len();
+    for seed in 0..32u64 {
+        let mut x = (seed + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let bits: Vec<bool> = (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x & 1 == 1
+            })
+            .collect();
+        let want = sim_flat.run_comb(&bits);
+        let got = sim_piped.run_pipelined(&bits, stages + 1);
+        if want != got {
+            return Err(GapError::Inequivalent {
+                stage: "pipeline".to_string(),
+                output: "<random simulation>".to_string(),
+            });
+        }
+    }
+    Ok(())
 }
 
 /// Runs every scenario in `scenarios` on the same `workload`,
@@ -402,8 +529,27 @@ pub fn run_scenarios<W>(
 where
     W: Fn(&Library) -> Result<Netlist, asicgap_netlist::NetlistError> + Sync,
 {
+    run_scenarios_verified(scenarios, workload, VerifyLevel::Off)
+}
+
+/// [`run_scenarios`] with equivalence checking armed at `verify` in every
+/// scenario run (see [`run_scenario_verified`]).
+///
+/// # Errors
+///
+/// As [`run_scenarios`], plus per-stage inequivalence findings.
+pub fn run_scenarios_verified<W>(
+    scenarios: &[DesignScenario],
+    workload: W,
+    verify: VerifyLevel,
+) -> Result<Vec<ScenarioOutcome>, GapError>
+where
+    W: Fn(&Library) -> Result<Netlist, asicgap_netlist::NetlistError> + Sync,
+{
     Pool::from_env()
-        .map(scenarios, |_, s| run_scenario(s, &workload))
+        .map(scenarios, |_, s| {
+            run_scenario_verified(s, &workload, verify)
+        })
         .into_iter()
         .collect()
 }
@@ -567,6 +713,34 @@ mod tests {
             run_scenarios(&scenarios, |lib| generators::alu(lib, 4)),
             Err(GapError::Scenario { .. })
         ));
+    }
+
+    #[test]
+    fn verified_scenario_matches_unverified_numbers() {
+        // Arming the checker must observe, not perturb: every measured
+        // number is identical, and the proof effort lands alongside.
+        let scenario = DesignScenario::best_practice_asic();
+        let plain = run_scenario(&scenario, |lib| generators::alu(lib, 8)).expect("plain");
+        let checked =
+            run_scenario_verified(&scenario, |lib| generators::alu(lib, 8), VerifyLevel::Full)
+                .expect("verified");
+        assert_eq!(plain.min_period, checked.min_period);
+        assert_eq!(plain.timing_effort, checked.timing_effort);
+        assert_eq!(plain.verify_effort, None);
+        let effort = checked.verify_effort.expect("full check records effort");
+        // Pipelining and sizing never restructure logic: the entire flow
+        // discharges structurally, no SAT.
+        assert!(effort.cones > 0);
+        assert_eq!(effort.structural, effort.cones);
+        assert_eq!(effort.sat_cones, 0);
+    }
+
+    #[test]
+    fn sim_tier_scenario_passes() {
+        let scenario = DesignScenario::typical_asic();
+        let out = run_scenario_verified(&scenario, |lib| generators::alu(lib, 8), VerifyLevel::Sim)
+            .expect("sim-verified");
+        assert_eq!(out.verify_effort, None);
     }
 
     #[test]

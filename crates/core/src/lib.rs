@@ -58,11 +58,12 @@ pub mod gap;
 pub mod migrate;
 pub mod report;
 
+pub use asicgap_equiv::{EquivEffort, EquivReport, EquivResult, VerifyLevel};
 pub use error::GapError;
 pub use factors::GapFactor;
 pub use flow::{
-    domino_speed_ratio, run_scenario, run_scenarios, DesignScenario, FloorplanQuality, LogicStyle,
-    ProcessAccess, ScenarioOutcome, SizingQuality,
+    domino_speed_ratio, run_scenario, run_scenario_verified, run_scenarios, run_scenarios_verified,
+    DesignScenario, FloorplanQuality, LogicStyle, ProcessAccess, ScenarioOutcome, SizingQuality,
 };
 pub use gap::FactorTable;
 
@@ -81,6 +82,9 @@ pub use asicgap_netlist as netlist;
 
 /// Static timing analysis (re-export of `asicgap-sta`).
 pub use asicgap_sta as sta;
+
+/// Combinational equivalence checking (re-export of `asicgap-equiv`).
+pub use asicgap_equiv as equiv;
 
 /// Wire RC / repeater models (re-export of `asicgap-wire`).
 pub use asicgap_wire as wire;

@@ -1,0 +1,90 @@
+//! Equivalence-checking errors.
+
+use std::error::Error;
+use std::fmt;
+
+use asicgap_netlist::NetlistError;
+
+/// Errors raised while building or checking a miter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EquivError {
+    /// The two designs do not expose the same interface (differing
+    /// primary inputs/outputs or unmatched register cut points).
+    InterfaceMismatch {
+        /// What differed.
+        what: String,
+    },
+    /// Two registers in one design resolved to the same cut-point key.
+    DuplicateRegisterKey {
+        /// The colliding key.
+        key: String,
+    },
+    /// Transparent-register import found a register feedback loop — a
+    /// sequential netlist with state cycles has no combinational
+    /// unrolling.
+    SequentialLoop {
+        /// A net on the loop.
+        net: String,
+    },
+    /// A SAT counterexample failed to reproduce under simulation — a
+    /// checker bug, surfaced loudly rather than reported as a finding.
+    Unconfirmed {
+        /// The output whose counterexample did not replay.
+        output: String,
+    },
+    /// An underlying netlist operation failed.
+    Netlist(NetlistError),
+}
+
+impl fmt::Display for EquivError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EquivError::InterfaceMismatch { what } => {
+                write!(f, "miter interface mismatch: {what}")
+            }
+            EquivError::DuplicateRegisterKey { key } => {
+                write!(f, "duplicate register cut-point key {key}")
+            }
+            EquivError::SequentialLoop { net } => {
+                write!(f, "register feedback loop through net {net}")
+            }
+            EquivError::Unconfirmed { output } => {
+                write!(
+                    f,
+                    "counterexample for output {output} did not replay under simulation"
+                )
+            }
+            EquivError::Netlist(e) => write!(f, "netlist error during equivalence check: {e}"),
+        }
+    }
+}
+
+impl Error for EquivError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EquivError::Netlist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NetlistError> for EquivError {
+    fn from(e: NetlistError) -> EquivError {
+        EquivError::Netlist(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EquivError::InterfaceMismatch {
+            what: "output y only on one side".into(),
+        };
+        assert!(e.to_string().contains("mismatch"));
+        let wrapped: EquivError = NetlistError::MissingCell { what: "inv".into() }.into();
+        assert!(Error::source(&wrapped).is_some());
+    }
+}

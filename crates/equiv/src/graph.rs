@@ -1,0 +1,303 @@
+//! The miter graph: an And-Inverter Graph with *shared, name-keyed
+//! inputs*, built for equivalence checking.
+//!
+//! Both sides of a miter are imported into **one** [`Graph`], so a
+//! primary input named `a` on the golden design and `a` on the candidate
+//! resolve to the same literal. Structural hashing then merges every cone
+//! the two sides build identically — such output pairs fold to the same
+//! literal and are discharged without touching the SAT solver. Only
+//! genuinely restructured logic reaches CNF.
+//!
+//! The graph is deliberately simpler than the synthesis AIG in
+//! `asicgap-synth`: no depth bookkeeping, no balancing — just constant
+//! propagation, idempotence/complement rules, commutative
+//! canonicalisation, and strashing. It lives in its own crate so that
+//! `asicgap-synth` (and everything above it) can *depend on* the checker
+//! without a cycle.
+
+use std::collections::HashMap;
+
+/// A literal: a [`Graph`] node with an optional complement, encoded as
+/// `node << 1 | complement`. Node 0 is the constant false, so
+/// [`Lit::FALSE`] is `0` and [`Lit::TRUE`] is `1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Constant false.
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true.
+    pub const TRUE: Lit = Lit(1);
+
+    /// The literal for `node`, optionally complemented.
+    pub fn new(node: usize, complement: bool) -> Lit {
+        Lit((node as u32) << 1 | complement as u32)
+    }
+
+    /// The referenced node index.
+    pub fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// `true` if the literal is complemented.
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The complemented literal.
+    #[allow(clippy::should_implement_trait)] // AIG literature calls this `not`
+    #[must_use]
+    pub fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+
+    /// `true` for [`Lit::FALSE`] and [`Lit::TRUE`].
+    pub fn is_const(self) -> bool {
+        self.node() == 0
+    }
+}
+
+/// One graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Node {
+    /// The constant-false node (index 0 only).
+    Const,
+    /// Primary input number `n` (index into [`Graph::input_names`]).
+    Input(usize),
+    /// Two-input AND of the operand literals.
+    And(Lit, Lit),
+}
+
+/// A structurally hashed AIG with get-or-create named inputs.
+///
+/// # Example
+///
+/// ```
+/// use asicgap_equiv::Graph;
+///
+/// let mut g = Graph::new();
+/// let a = g.input("a");
+/// let b = g.input("b");
+/// let x = g.and(a, b);
+/// // Same operands, same node — strashing at work.
+/// assert_eq!(g.and(b, a), x);
+/// // Constant propagation.
+/// assert_eq!(g.and(a, a.not()), asicgap_equiv::Lit::FALSE);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    input_names: Vec<String>,
+    by_name: HashMap<String, Lit>,
+    strash: HashMap<(Lit, Lit), usize>,
+}
+
+impl Graph {
+    /// An empty graph (just the constant node).
+    pub fn new() -> Graph {
+        Graph {
+            nodes: vec![Node::Const],
+            input_names: Vec::new(),
+            by_name: HashMap::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Returns the literal for the input named `name`, creating the input
+    /// if it does not exist yet. Both sides of a miter call this with
+    /// their port names; identical names share one node.
+    pub fn input(&mut self, name: &str) -> Lit {
+        if let Some(&lit) = self.by_name.get(name) {
+            return lit;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node::Input(self.input_names.len()));
+        self.input_names.push(name.to_string());
+        let lit = Lit::new(idx, false);
+        self.by_name.insert(name.to_string(), lit);
+        lit
+    }
+
+    /// Input names in creation order.
+    pub fn input_names(&self) -> &[String] {
+        &self.input_names
+    }
+
+    /// The literal of an already-created input, without creating one.
+    pub fn input_literal(&self, name: &str) -> Option<Lit> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Total node count (constant + inputs + ANDs).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the graph holds nothing beyond the constant node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The AND operands of `node`, or `None` for inputs/constants.
+    pub fn and_children(&self, node: usize) -> Option<(Lit, Lit)> {
+        match self.nodes[node] {
+            Node::And(a, b) => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// The input position of `node`, or `None` if it is not an input.
+    pub fn input_position(&self, node: usize) -> Option<usize> {
+        match self.nodes[node] {
+            Node::Input(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// AND with constant propagation, idempotence, complement rules, and
+    /// structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        // Constant and trivial cases.
+        if a == Lit::FALSE || b == Lit::FALSE || a == b.not() {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        // Commutative canonical order.
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&n) = self.strash.get(&(a, b)) {
+            return Lit::new(n, false);
+        }
+        let n = self.nodes.len();
+        self.nodes.push(Node::And(a, b));
+        self.strash.insert((a, b), n);
+        Lit::new(n, false)
+    }
+
+    /// OR via De Morgan.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        self.and(a.not(), b.not()).not()
+    }
+
+    /// XOR as two ANDs and an OR.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let t0 = self.and(a, b.not());
+        let t1 = self.and(a.not(), b);
+        self.or(t0, t1)
+    }
+
+    /// 2:1 mux: `s ? b : a`.
+    pub fn mux(&mut self, a: Lit, b: Lit, s: Lit) -> Lit {
+        let t0 = self.and(s.not(), a);
+        let t1 = self.and(s, b);
+        self.or(t0, t1)
+    }
+
+    /// Majority of three.
+    pub fn maj(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let ab = self.and(a, b);
+        let ac = self.and(a, c);
+        let bc = self.and(b, c);
+        let t = self.or(ab, ac);
+        self.or(t, bc)
+    }
+
+    /// Left-fold AND over a slice ([`Lit::TRUE`] for an empty slice).
+    pub fn and_all(&mut self, lits: &[Lit]) -> Lit {
+        let mut acc = Lit::TRUE;
+        for &l in lits {
+            acc = self.and(acc, l);
+        }
+        acc
+    }
+
+    /// Evaluates `lit` under an assignment of every input (indexed by
+    /// input position; missing inputs read as false). Used to sanity-check
+    /// SAT models before they are promoted to counterexamples.
+    pub fn eval(&self, lit: Lit, inputs: &[bool]) -> bool {
+        let mut values = vec![false; self.nodes.len()];
+        for (n, node) in self.nodes.iter().enumerate() {
+            values[n] = match *node {
+                Node::Const => false,
+                Node::Input(i) => inputs.get(i).copied().unwrap_or(false),
+                Node::And(a, b) => {
+                    (values[a.node()] ^ a.is_complement()) & (values[b.node()] ^ b.is_complement())
+                }
+            };
+        }
+        values[lit.node()] ^ lit.is_complement()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folding_rules() {
+        let mut g = Graph::new();
+        let a = g.input("a");
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(g.and(Lit::TRUE, a), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, a.not()), Lit::FALSE);
+    }
+
+    #[test]
+    fn inputs_are_shared_by_name() {
+        let mut g = Graph::new();
+        let a1 = g.input("a");
+        let a2 = g.input("a");
+        assert_eq!(a1, a2);
+        assert_eq!(g.input_names(), ["a"]);
+    }
+
+    #[test]
+    fn identical_cones_strash_to_one_literal() {
+        let mut g = Graph::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let x1 = g.and(a, b);
+        let y1 = g.or(x1, c);
+        // "Other side" of the miter builds the same function the same way.
+        let x2 = g.and(b, a);
+        let y2 = g.or(c, x2);
+        assert_eq!(y1, y2);
+        // xor of equal literals folds to the constant.
+        assert_eq!(g.xor(y1, y2), Lit::FALSE);
+    }
+
+    #[test]
+    fn eval_matches_truth_tables() {
+        let mut g = Graph::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let x = g.xor(a, b);
+        let m = g.mux(a, b, x);
+        for bits in 0..4u32 {
+            let ins = [bits & 1 != 0, bits & 2 != 0];
+            assert_eq!(g.eval(x, &ins), ins[0] ^ ins[1]);
+            let want = if ins[0] ^ ins[1] { ins[1] } else { ins[0] };
+            assert_eq!(g.eval(m, &ins), want);
+        }
+    }
+
+    #[test]
+    fn maj_is_majority() {
+        let mut g = Graph::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let m = g.maj(a, b, c);
+        for bits in 0..8u32 {
+            let ins = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let want = ins.iter().filter(|&&x| x).count() >= 2;
+            assert_eq!(g.eval(m, &ins), want, "bits {bits:03b}");
+        }
+    }
+}

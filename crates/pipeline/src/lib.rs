@@ -42,5 +42,5 @@ mod tradeoff;
 pub use analysis::{borrowing_gain, direct_transfer_registers, stage_profile};
 pub use borrow::{borrowed_cycle, BorrowReport};
 pub use model::PipelineModel;
-pub use retime::{pipeline_netlist, pipeline_netlist_with, PipelinedNetlist};
+pub use retime::{pipeline_netlist, pipeline_netlist_with, verify_pipeline, PipelinedNetlist};
 pub use tradeoff::{PipelineTradeoff, TradeoffPoint};

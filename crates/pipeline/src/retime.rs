@@ -7,6 +7,7 @@
 //! correct by construction, and the tests verify it by simulation.
 
 use asicgap_cells::{CellFunction, Library};
+use asicgap_equiv::{check_equiv_with, EquivError, EquivOptions, EquivReport, SeqMode};
 use asicgap_netlist::{NetDriver, NetId, Netlist, Sink};
 use asicgap_sta::{analyze, ClockSpec, TimingReport};
 use asicgap_tech::Ps;
@@ -22,6 +23,55 @@ pub struct PipelinedNetlist {
     pub registers_inserted: usize,
     /// Latency in cycles from inputs to the slowest output.
     pub latency: usize,
+}
+
+impl PipelinedNetlist {
+    /// Formally verifies this pipelined netlist against the flat
+    /// combinational original it was built from: see [`verify_pipeline`].
+    ///
+    /// # Errors
+    ///
+    /// As [`verify_pipeline`].
+    pub fn verify_against(&self, flat: &Netlist, lib: &Library) -> Result<EquivReport, EquivError> {
+        verify_pipeline(flat, &self.netlist, lib)
+    }
+}
+
+/// Proves that a pipelined netlist computes the same function as the flat
+/// combinational original.
+///
+/// The pipeline registers carry no retimed logic of their own — each one
+/// is a pure delay — so treating every register as *transparent* (a wire)
+/// must recover the original combinational function exactly. The flat
+/// side imports normally, the pipelined side imports with
+/// [`SeqMode::Transparent`], and the miter compares primary outputs
+/// cone-by-cone. Because register insertion never restructures gates,
+/// strashing discharges every cone structurally; a SAT cone here means an
+/// upstream transform rewired something.
+///
+/// Counterexamples replay through the simulator with a full pipeline
+/// flush (inputs held, one clock per register) before being reported.
+///
+/// # Errors
+///
+/// [`EquivError::SequentialLoop`] if the "pipelined" side has register
+/// feedback (it is not a pipeline), interface mismatches, and the
+/// checker-bug case of an unconfirmed counterexample.
+pub fn verify_pipeline(
+    flat: &Netlist,
+    piped: &Netlist,
+    lib: &Library,
+) -> Result<EquivReport, EquivError> {
+    check_equiv_with(
+        flat,
+        lib,
+        piped,
+        lib,
+        &EquivOptions {
+            seq_a: SeqMode::Cut,
+            seq_b: SeqMode::Transparent,
+        },
+    )
 }
 
 /// Pipelines a **combinational** netlist into `stages` stages.
@@ -259,6 +309,45 @@ mod tests {
         let piped = pipeline_netlist(&adder, &lib, 4).expect("pipelines");
         assert!(piped.latency <= 4);
         assert!(piped.latency >= 2);
+    }
+
+    #[test]
+    fn verify_pipeline_proves_structurally() {
+        let lib = setup();
+        let adder = generators::ripple_carry_adder(&lib, 8).expect("rca8");
+        let piped = pipeline_netlist(&adder, &lib, 4).expect("pipelines");
+        let report = piped.verify_against(&adder, &lib).expect("verifies");
+        assert!(report.is_equivalent());
+        // Registers are pure delays: every cone folds structurally.
+        assert_eq!(report.effort.structural, report.effort.cones);
+        assert_eq!(report.effort.sat_cones, 0);
+    }
+
+    #[test]
+    fn verify_pipeline_catches_a_dropped_register_rewire() {
+        let lib = setup();
+        let adder = generators::ripple_carry_adder(&lib, 6).expect("rca6");
+        let piped = pipeline_netlist(&adder, &lib, 3).expect("pipelines");
+        // Sabotage: reroute one register's data input to a primary input,
+        // changing the transparent function.
+        let mut broken = piped.netlist.clone();
+        let victim = broken
+            .instances()
+            .iter()
+            .position(|i| i.is_sequential())
+            .expect("has registers");
+        let wrong_net = broken.inputs()[0].1;
+        let victim = asicgap_netlist::InstId::from_index(victim);
+        if broken.instance(victim).fanin[0] != wrong_net {
+            broken.redirect_sink(victim, 0, wrong_net);
+            let report = verify_pipeline(&adder, &broken, &lib).expect("checks");
+            match report.result {
+                asicgap_equiv::EquivResult::Inequivalent(cex) => assert!(cex.confirmed),
+                asicgap_equiv::EquivResult::Equivalent => {
+                    panic!("rewired register must break equivalence")
+                }
+            }
+        }
     }
 
     #[test]

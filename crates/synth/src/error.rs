@@ -22,6 +22,23 @@ pub enum SynthError {
     },
     /// An underlying netlist operation failed.
     Netlist(NetlistError),
+    /// Stage verification found the transformed netlist inequivalent to
+    /// its input — a synthesis bug, caught by the
+    /// [`crate::SynthFlow::verify`] knob.
+    Inequivalent {
+        /// Which flow stage diverged (`map`, `buffer`, `drive`).
+        stage: String,
+        /// The differing output cone.
+        output: String,
+    },
+    /// The equivalence checker itself failed (interface mismatch or an
+    /// unconfirmed counterexample).
+    Verify {
+        /// Which flow stage was being checked.
+        stage: String,
+        /// The checker's error message.
+        what: String,
+    },
 }
 
 impl fmt::Display for SynthError {
@@ -34,6 +51,12 @@ impl fmt::Display for SynthError {
                 write!(f, "library lacks mapping primitive {what}")
             }
             SynthError::Netlist(e) => write!(f, "netlist error during synthesis: {e}"),
+            SynthError::Inequivalent { stage, output } => {
+                write!(f, "stage {stage} changed the function of output {output}")
+            }
+            SynthError::Verify { stage, what } => {
+                write!(f, "verification of stage {stage} failed: {what}")
+            }
         }
     }
 }

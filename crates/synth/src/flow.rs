@@ -1,21 +1,40 @@
 //! The end-to-end synthesis recipe.
 
 use asicgap_cells::Library;
-use asicgap_netlist::Netlist;
+use asicgap_equiv::{
+    check_equiv, import_netlist, prove_outputs, random_sim_equiv, EquivEffort, EquivResult, Graph,
+    SeqMode, VerifyLevel,
+};
+use asicgap_netlist::{Netlist, Simulator};
 
-use crate::aig::Aig;
+use crate::aig::{Aig, Lit};
 use crate::buffer::buffer_high_fanout;
 use crate::drive::{select_drives_with, DriveOptions};
 use crate::error::SynthError;
 use crate::map::{map_with_seq, MapOptions};
 use crate::reentry::netlist_to_aig;
 
+/// One verified transform boundary: which stage, and what the proof
+/// cost. Returned by [`SynthFlow::synth_verified`] and
+/// [`SynthFlow::remap_verified`] when [`SynthFlow::verify`] is
+/// [`VerifyLevel::Full`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageProof {
+    /// Stage name: `map` (AIG restructuring + technology mapping),
+    /// `buffer`, or `drive`.
+    pub stage: &'static str,
+    /// Checker effort for this stage.
+    pub effort: EquivEffort,
+}
+
 /// A synthesis flow: balance → map → drive-select → buffer.
 ///
 /// Each knob is an ablation axis for the experiments: `balance` is the
 /// technology-independent restructuring step, `map.use_complex` the §4.2
 /// complex-gate question, `target_gain`/`buffer_max_fanout` the §6
-/// electrical discipline.
+/// electrical discipline. `verify` arms per-stage equivalence checking:
+/// every transform boundary is proven (or smoke-tested) function-
+/// preserving before the flow returns.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SynthFlow {
     /// Run AIG tree balancing before mapping.
@@ -28,6 +47,8 @@ pub struct SynthFlow {
     pub drive_passes: usize,
     /// Maximum net fanout before buffers split it.
     pub buffer_max_fanout: usize,
+    /// Per-stage verification level.
+    pub verify: VerifyLevel,
 }
 
 impl Default for SynthFlow {
@@ -38,6 +59,7 @@ impl Default for SynthFlow {
             target_gain: 4.0,
             drive_passes: 3,
             buffer_max_fanout: 8,
+            verify: VerifyLevel::Off,
         }
     }
 }
@@ -55,7 +77,15 @@ impl SynthFlow {
             target_gain: 4.0,
             drive_passes: 0,
             buffer_max_fanout: usize::MAX / 2,
+            verify: VerifyLevel::Off,
         }
+    }
+
+    /// This flow with verification armed at `level`.
+    #[must_use]
+    pub fn with_verify(mut self, level: VerifyLevel) -> SynthFlow {
+        self.verify = level;
+        self
     }
 
     /// Synthesises an AIG onto `lib`.
@@ -63,18 +93,41 @@ impl SynthFlow {
     /// # Errors
     ///
     /// Propagates mapper errors ([`SynthError::LibraryTooPoor`],
-    /// [`SynthError::ConstantOutput`]).
+    /// [`SynthError::ConstantOutput`]) and, when [`SynthFlow::verify`]
+    /// is armed, stage-inequivalence findings.
     pub fn synth(&self, aig: &Aig, lib: &Library) -> Result<Netlist, SynthError> {
+        Ok(self.synth_verified(aig, lib)?.0)
+    }
+
+    /// [`SynthFlow::synth`] returning the per-stage equivalence proofs.
+    ///
+    /// The mapped netlist is checked against the *original* (unbalanced)
+    /// AIG, so the proof covers balancing and mapping together; the
+    /// buffer and drive stages are then checked netlist-against-netlist.
+    /// With [`VerifyLevel::Off`] the proof list is empty; with
+    /// [`VerifyLevel::Sim`] stages are smoke-tested but no proof records
+    /// are produced.
+    ///
+    /// # Errors
+    ///
+    /// As [`SynthFlow::synth`].
+    pub fn synth_verified(
+        &self,
+        aig: &Aig,
+        lib: &Library,
+    ) -> Result<(Netlist, Vec<StageProof>), SynthError> {
         let balanced;
-        let aig = if self.balance {
+        let aig_ref = if self.balance {
             balanced = aig.balanced();
             &balanced
         } else {
             aig
         };
-        let mut netlist = map_with_seq(aig, lib, &self.map, &[], "synth")?;
-        self.finish(&mut netlist, lib)?;
-        Ok(netlist)
+        let mut netlist = map_with_seq(aig_ref, lib, &self.map, &[], "synth")?;
+        let mut proofs = Vec::new();
+        self.verify_aig_stage(aig, &netlist, lib, &mut proofs)?;
+        self.finish_verified(&mut netlist, lib, &mut proofs)?;
+        Ok((netlist, proofs))
     }
 
     /// Re-synthesises `netlist` (mapped against `source_lib`) onto
@@ -107,6 +160,23 @@ impl SynthFlow {
         source_lib: &Library,
         target_lib: &Library,
     ) -> Result<Netlist, SynthError> {
+        Ok(self.remap_verified(netlist, source_lib, target_lib)?.0)
+    }
+
+    /// [`SynthFlow::remap_from`] returning the per-stage equivalence
+    /// proofs: `map` (re-entry + balancing + mapping, checked source
+    /// netlist against mapped netlist with registers cut by name),
+    /// `buffer`, and `drive`.
+    ///
+    /// # Errors
+    ///
+    /// As [`SynthFlow::remap_from`].
+    pub fn remap_verified(
+        &self,
+        netlist: &Netlist,
+        source_lib: &Library,
+        target_lib: &Library,
+    ) -> Result<(Netlist, Vec<StageProof>), SynthError> {
         let (aig, seq) = netlist_to_aig(netlist, source_lib);
         let balanced;
         let aig_ref = if self.balance {
@@ -116,15 +186,28 @@ impl SynthFlow {
             &aig
         };
         let mut out = map_with_seq(aig_ref, target_lib, &self.map, &seq, &netlist.name)?;
-        self.finish(&mut out, target_lib)?;
-        Ok(out)
+        let mut proofs = Vec::new();
+        self.verify_netlist_stage("map", netlist, source_lib, &out, target_lib, &mut proofs)?;
+        self.finish_verified(&mut out, target_lib, &mut proofs)?;
+        Ok((out, proofs))
     }
 
-    fn finish(&self, netlist: &mut Netlist, lib: &Library) -> Result<(), SynthError> {
+    fn finish_verified(
+        &self,
+        netlist: &mut Netlist,
+        lib: &Library,
+        proofs: &mut Vec<StageProof>,
+    ) -> Result<(), SynthError> {
+        let keep_golden = self.verify != VerifyLevel::Off;
         if self.buffer_max_fanout < usize::MAX / 2 {
+            let before = keep_golden.then(|| netlist.clone());
             buffer_high_fanout(netlist, lib, self.buffer_max_fanout)?;
+            if let Some(before) = before {
+                self.verify_netlist_stage("buffer", &before, lib, netlist, lib, proofs)?;
+            }
         }
         if self.drive_passes > 0 {
+            let before = keep_golden.then(|| netlist.clone());
             select_drives_with(
                 netlist,
                 lib,
@@ -134,9 +217,206 @@ impl SynthFlow {
                     passes: self.drive_passes,
                 },
             );
+            if let Some(before) = before {
+                self.verify_netlist_stage("drive", &before, lib, netlist, lib, proofs)?;
+            }
         }
         Ok(())
     }
+
+    /// Checks one netlist-to-netlist transform boundary at the armed
+    /// verify level. `Full` appends a [`StageProof`] on success.
+    fn verify_netlist_stage(
+        &self,
+        stage: &'static str,
+        golden: &Netlist,
+        lib_golden: &Library,
+        candidate: &Netlist,
+        lib_candidate: &Library,
+        proofs: &mut Vec<StageProof>,
+    ) -> Result<(), SynthError> {
+        match self.verify {
+            VerifyLevel::Off => Ok(()),
+            VerifyLevel::Sim => {
+                if random_sim_equiv(
+                    golden,
+                    lib_golden,
+                    candidate,
+                    lib_candidate,
+                    64,
+                    0xA51C_6A70,
+                ) {
+                    Ok(())
+                } else {
+                    Err(SynthError::Inequivalent {
+                        stage: stage.to_string(),
+                        output: "<random simulation>".to_string(),
+                    })
+                }
+            }
+            VerifyLevel::Full => {
+                let report =
+                    check_equiv(golden, lib_golden, candidate, lib_candidate).map_err(|e| {
+                        SynthError::Verify {
+                            stage: stage.to_string(),
+                            what: e.to_string(),
+                        }
+                    })?;
+                match report.result {
+                    EquivResult::Equivalent => {
+                        proofs.push(StageProof {
+                            stage,
+                            effort: report.effort,
+                        });
+                        Ok(())
+                    }
+                    EquivResult::Inequivalent(cex) => Err(SynthError::Inequivalent {
+                        stage: stage.to_string(),
+                        output: cex.output,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Checks the mapped netlist against its source AIG (the `map` stage
+    /// of [`SynthFlow::synth_verified`], where the golden side is not a
+    /// netlist). The AIG is mirrored into the shared miter graph so
+    /// strashing can discharge cones the mapper left intact.
+    fn verify_aig_stage(
+        &self,
+        aig: &Aig,
+        candidate: &Netlist,
+        lib: &Library,
+        proofs: &mut Vec<StageProof>,
+    ) -> Result<(), SynthError> {
+        const STAGE: &str = "map";
+        match self.verify {
+            VerifyLevel::Off => Ok(()),
+            VerifyLevel::Sim => {
+                let mut sim = Simulator::new(candidate, lib);
+                for seed in 0..64u64 {
+                    let mut x = (seed + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let bits: Vec<bool> = (0..aig.input_count())
+                        .map(|_| {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            x & 1 == 1
+                        })
+                        .collect();
+                    for (name, value) in aig.input_names().iter().zip(&bits) {
+                        sim.set_input(name, *value);
+                    }
+                    sim.eval_comb();
+                    let want = aig.eval(&bits);
+                    for ((name, _), value) in aig.outputs().iter().zip(&want) {
+                        let got = candidate
+                            .outputs()
+                            .iter()
+                            .find(|(n, _)| n == name)
+                            .map(|(_, net)| sim.value(*net));
+                        if got != Some(*value) {
+                            return Err(SynthError::Inequivalent {
+                                stage: STAGE.to_string(),
+                                output: name.clone(),
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            }
+            VerifyLevel::Full => {
+                let mut g = Graph::new();
+                let golden_outs = mirror_aig(&mut g, aig);
+                let imported =
+                    import_netlist(&mut g, candidate, lib, SeqMode::Cut).map_err(|e| {
+                        SynthError::Verify {
+                            stage: STAGE.to_string(),
+                            what: e.to_string(),
+                        }
+                    })?;
+                let (effort, raw) = prove_outputs(&mut g, &golden_outs, &imported.outputs)
+                    .map_err(|e| SynthError::Verify {
+                        stage: STAGE.to_string(),
+                        what: e.to_string(),
+                    })?;
+                let Some(raw) = raw else {
+                    proofs.push(StageProof {
+                        stage: STAGE,
+                        effort,
+                    });
+                    return Ok(());
+                };
+                // Replay on both sides before reporting the divergence.
+                let by_name: std::collections::HashMap<&str, bool> = raw
+                    .assignment
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), *v))
+                    .collect();
+                let bits: Vec<bool> = aig
+                    .input_names()
+                    .iter()
+                    .map(|n| by_name.get(n.as_str()).copied().unwrap_or(false))
+                    .collect();
+                let golden_value = aig
+                    .outputs()
+                    .iter()
+                    .position(|(n, _)| *n == raw.output)
+                    .map(|i| aig.eval(&bits)[i]);
+                let mut sim = Simulator::new(candidate, lib);
+                for (name, _) in candidate.inputs() {
+                    sim.set_input(name, by_name.get(name.as_str()).copied().unwrap_or(false));
+                }
+                sim.eval_comb();
+                let mapped_value = candidate
+                    .outputs()
+                    .iter()
+                    .find(|(n, _)| *n == raw.output)
+                    .map(|(_, net)| sim.value(*net));
+                match (golden_value, mapped_value) {
+                    (Some(x), Some(y)) if x != y => Err(SynthError::Inequivalent {
+                        stage: STAGE.to_string(),
+                        output: raw.output,
+                    }),
+                    _ => Err(SynthError::Verify {
+                        stage: STAGE.to_string(),
+                        what: format!("unconfirmed counterexample on output {}", raw.output),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+/// Mirrors a synthesis [`Aig`] into the equivalence checker's miter
+/// graph, returning its outputs as name/literal pairs for
+/// [`prove_outputs`]. Inputs are shared by name with anything already in
+/// the graph.
+fn mirror_aig(g: &mut Graph, aig: &Aig) -> Vec<(String, asicgap_equiv::Lit)> {
+    let mut lits: Vec<asicgap_equiv::Lit> = vec![asicgap_equiv::Lit::FALSE; aig.len()];
+    let adjust = |lits: &[asicgap_equiv::Lit], l: Lit| {
+        let base = lits[l.node()];
+        if l.is_complement() {
+            base.not()
+        } else {
+            base
+        }
+    };
+    for node in 1..aig.len() {
+        if let Some(pos) = aig.input_position(node) {
+            let name = aig.input_names()[pos].clone();
+            lits[node] = g.input(&name);
+        } else if let Some((a, b)) = aig.and_children(node) {
+            let la = adjust(&lits, a);
+            let lb = adjust(&lits, b);
+            lits[node] = g.and(la, lb);
+        }
+    }
+    aig.outputs()
+        .iter()
+        .map(|(name, lit)| (name.clone(), adjust(&lits, *lit)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -228,6 +508,72 @@ mod tests {
             let got = sim.run_comb(&ins);
             assert_eq!(got, g.eval(&ins), "bits {bits:03b}");
         }
+    }
+
+    #[test]
+    fn verified_remap_proves_every_stage() {
+        let tech = Technology::cmos025_asic();
+        let rich = LibrarySpec::rich().build(&tech);
+        let poor = LibrarySpec::poor().build(&tech);
+        let golden = generators::carry_lookahead_adder(&rich, 8).expect("cla8");
+        let flow = SynthFlow::default().with_verify(VerifyLevel::Full);
+        let (_, proofs) = flow.remap_verified(&golden, &rich, &poor).expect("remaps");
+        let stages: Vec<&str> = proofs.iter().map(|p| p.stage).collect();
+        assert_eq!(stages, ["map", "buffer", "drive"]);
+        // Mapping restructures logic, so the map proof needs SAT; buffer
+        // and drive only touch drive strengths and buffer trees, which
+        // import as identities — pure structural discharge.
+        assert!(proofs[0].effort.sat_cones > 0, "map proof uses SAT");
+        for p in &proofs[1..] {
+            assert_eq!(
+                p.effort.structural, p.effort.cones,
+                "{} is structural",
+                p.stage
+            );
+        }
+    }
+
+    #[test]
+    fn verified_synth_checks_against_the_source_aig() {
+        let tech = Technology::cmos025_asic();
+        let rich = LibrarySpec::rich().build(&tech);
+        let mut g = Aig::new();
+        let a = g.input("a");
+        let b = g.input("b");
+        let c = g.input("c");
+        let s = g.xor(a, b);
+        let s2 = g.xor(s, c);
+        g.set_output("sum", s2);
+        let co = g.maj(a, b, c);
+        g.set_output("carry", co);
+        let flow = SynthFlow::default().with_verify(VerifyLevel::Full);
+        let (n, proofs) = flow.synth_verified(&g, &rich).expect("synthesises");
+        assert_eq!(proofs[0].stage, "map");
+        assert_eq!(proofs[0].effort.cones, 2);
+        assert!(n.instance_count() > 0);
+    }
+
+    #[test]
+    fn sim_tier_verification_passes_quietly() {
+        let tech = Technology::cmos025_asic();
+        let rich = LibrarySpec::rich().build(&tech);
+        let golden = generators::parity_tree(&rich, 8).expect("p8");
+        let flow = SynthFlow::default().with_verify(VerifyLevel::Sim);
+        let (_, proofs) = flow.remap_verified(&golden, &rich, &rich).expect("remaps");
+        assert!(proofs.is_empty(), "Sim tier records no proofs");
+    }
+
+    #[test]
+    fn verified_remap_covers_sequential_designs() {
+        let tech = Technology::cmos025_asic();
+        let rich = LibrarySpec::rich().build(&tech);
+        let golden = generators::counter(&rich, 6).expect("counter6");
+        let flow = SynthFlow::default().with_verify(VerifyLevel::Full);
+        let (out, proofs) = flow.remap_verified(&golden, &rich, &rich).expect("remaps");
+        let seq = out.instances().iter().filter(|i| i.is_sequential()).count();
+        assert_eq!(seq, 6, "registers survive verified remap");
+        // Register D cones participate in the proof.
+        assert!(proofs[0].effort.cones > golden.outputs().len());
     }
 
     #[test]

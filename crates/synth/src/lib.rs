@@ -59,6 +59,6 @@ pub use domino_map::map_dual_rail_domino;
 pub use drive::{select_drives, select_drives_with_parasitics};
 pub use drive::{select_drives_on, select_drives_with, DriveOptions};
 pub use error::SynthError;
-pub use flow::SynthFlow;
+pub use flow::{StageProof, SynthFlow};
 pub use map::{map_aig, MapOptions};
 pub use reentry::{netlist_to_aig, SeqBinding};

@@ -1,0 +1,40 @@
+//! Fuzz tier: seeded random ECO sequences against live incremental
+//! timing graphs, every mutated netlist formally proven equivalent to
+//! its golden, with outcomes asserted bit-identical across worker pool
+//! sizes (the `ASICGAP_THREADS` determinism contract, exercised here by
+//! parameterizing the pool directly).
+//!
+//! The fast tier runs by default. The deep tier multiplies seeds and
+//! edit counts and is `#[ignore]`d; CI's `verify` job runs it with
+//! `cargo test --release -- --ignored`.
+
+use asicgap_bench::harness::eco_equivalence_fuzz;
+
+#[test]
+fn eco_fuzz_proves_equivalence_and_thread_determinism() {
+    let one = eco_equivalence_fuzz(6, 10, 1);
+    let four = eco_equivalence_fuzz(6, 10, 4);
+    assert_eq!(
+        one, four,
+        "fuzz outcomes (timing, verdicts, checker effort) must not depend on thread count"
+    );
+    for o in &one {
+        assert!(o.equivalent, "seed {} ({}) diverged", o.seed, o.workload);
+        assert!(o.ecos_applied > 0, "seed {} applied no ECOs", o.seed);
+    }
+    // The four workloads all appear across six seeds.
+    assert!(one.iter().any(|o| o.workload == "counter6"));
+}
+
+#[test]
+#[ignore = "slow SAT tier: run with --ignored (CI verify job)"]
+fn eco_fuzz_deep() {
+    let outcomes = eco_equivalence_fuzz(24, 48, 4);
+    assert_eq!(outcomes, eco_equivalence_fuzz(24, 48, 1));
+    for o in &outcomes {
+        assert!(o.equivalent, "seed {} ({}) diverged", o.seed, o.workload);
+    }
+    // Buffer insertions and resizes never restructure logic, so the
+    // whole tier discharges structurally.
+    assert!(outcomes.iter().all(|o| o.effort.sat_cones == 0));
+}

@@ -28,6 +28,57 @@ fn golden_paper_factor_table() {
     assert_eq!(format!("x{:.1}", t.combined()), "x17.8");
 }
 
+/// The E12 equivalence-checking table, pinned to the exact effort
+/// strings of `repro_output.txt`. The checker is deterministic by
+/// construction (no randomness anywhere in strash ordering, CNF
+/// numbering, or CDCL decisions), so clause and conflict counts are
+/// part of the golden contract: a drift here means the prover's search
+/// changed, which must be a deliberate release note and a regeneration
+/// of the golden file — never an accident.
+#[test]
+fn golden_e12_checker_effort() {
+    let rows = exp::e12_verification();
+    assert!(rows.iter().all(|r| r.equivalent), "E12 must all prove");
+    let effort = |name: &str| {
+        let row = rows
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("E12 row {name} missing"));
+        format!("{}", row.effort)
+    };
+    assert_eq!(
+        effort("remap rca8"),
+        "27 cones (19 structural, 8 SAT), 941 clauses, 92 conflicts"
+    );
+    assert_eq!(
+        effort("remap cla8"),
+        "27 cones (18 structural, 9 SAT), 1689 clauses, 247 conflicts"
+    );
+    assert_eq!(
+        effort("remap crc16"),
+        "24 cones (16 structural, 8 SAT), 1028 clauses, 313 conflicts"
+    );
+    // Tree restructuring is already canonical: no SAT needed at all.
+    assert_eq!(
+        effort("remap mux_tree8"),
+        "3 cones (3 structural, 0 SAT), 0 clauses, 0 conflicts"
+    );
+    // Sequential design: 30 register D cones join the 6 outputs.
+    assert_eq!(
+        effort("remap counter6"),
+        "36 cones (32 structural, 4 SAT), 205 clauses, 23 conflicts"
+    );
+    // Retiming and sweep discharge structurally, SAT never invoked.
+    assert_eq!(
+        effort("pipeline mult6 x3"),
+        "12 cones (12 structural, 0 SAT), 0 clauses, 0 conflicts"
+    );
+    assert_eq!(
+        effort("sweep datapath8+dead (-3 cells)"),
+        "9 cones (9 structural, 0 SAT), 0 clauses, 0 conflicts"
+    );
+}
+
 /// The measured factor table and end-to-end gap, pinned to the exact
 /// strings of `repro_output.txt`'s E2 table. Any engine change that
 /// moves these must regenerate the golden file on purpose.
