@@ -11,11 +11,14 @@
 
 use asicgap::netlist::generators;
 use asicgap::report::Table;
-use asicgap::{run_scenarios_verified, DesignScenario, GapFactor, VerifyLevel};
+use asicgap::{
+    run_scenarios, run_scenarios_verified, DesignScenario, GapFactor, VerifyLevel, WireModel,
+};
 use asicgap_bench as exp;
 
 fn main() {
     let verify = std::env::args().any(|a| a == "--verify");
+    let routed_headline = std::env::args().any(|a| a == "--wire-model=routed");
     println!("== asicgap repro: Chinnery & Keutzer, DAC 2000 ==\n");
 
     // E1 -------------------------------------------------------------
@@ -254,6 +257,28 @@ fn main() {
     }
     println!("{t}");
 
+    // E13 ------------------------------------------------------------
+    let r13 = exp::e13_routed_wires();
+    let mut t = Table::new(&["E13 routed wires (16b ALU)", "hpwl", "routed", "delta"]);
+    for row in &r13.rows {
+        t.row_owned(vec![
+            row.scenario.clone(),
+            format!("{:.0} ps", row.hpwl_period.value()),
+            format!("{:.0} ps", row.routed_period.value()),
+            format!(
+                "{:+.1}% (wire x{:.2}, ovfl {}, {} iter)",
+                row.delta_pct, row.wire_ratio, row.overflow, row.iterations
+            ),
+        ]);
+    }
+    t.row_owned(vec![
+        "floorplanning factor (sec. 5)".into(),
+        format!("x{:.2}", r13.floorplan_factor_hpwl),
+        format!("x{:.2}", r13.floorplan_factor_routed),
+        "paper max x1.25".into(),
+    ]);
+    println!("{t}");
+
     // Ablations --------------------------------------------------------
     let (ff, borrowed, gain) = exp::e4_borrowing_ablation();
     let mut t = Table::new(&["ablations", "value"]);
@@ -289,6 +314,38 @@ fn main() {
         ]);
     }
     println!("{t}");
+
+    // --wire-model=routed: headline scenarios on routed parasitics -----
+    if routed_headline {
+        let scenarios: Vec<DesignScenario> = [
+            DesignScenario::typical_asic(),
+            DesignScenario::best_practice_asic(),
+            DesignScenario::custom(),
+        ]
+        .into_iter()
+        .map(|s| s.with_wire_model(WireModel::Routed))
+        .collect();
+        let outs = run_scenarios(&scenarios, |lib| generators::alu(lib, 16))
+            .expect("routed headline scenarios run");
+        let mut t = Table::new(&["routed scenario (16b ALU)", "shipped", "router"]);
+        for o in &outs {
+            let r = o
+                .route
+                .as_ref()
+                .expect("routed scenarios carry router numbers");
+            t.row_owned(vec![
+                o.scenario.clone(),
+                format!("{:.0} MHz", o.shipped.value()),
+                format!(
+                    "wire x{:.2}, overflow {}, {} iter",
+                    r.routed_um / r.hpwl_um,
+                    r.overflow,
+                    r.iterations
+                ),
+            ]);
+        }
+        println!("{t}");
+    }
 
     // --verify: the fully checked end-to-end flows ---------------------
     if verify {

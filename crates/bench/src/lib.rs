@@ -18,10 +18,10 @@ use asicgap::process::VariationStudy;
 use asicgap::sizing::{snap_to_library, tilos_size, TilosOptions};
 use asicgap::sta::{analyze, ClockSpec};
 use asicgap::synth::SynthFlow;
-use asicgap::tech::{Fo4, Mhz, Technology};
+use asicgap::tech::{Fo4, Mhz, Ps, Technology};
 use asicgap::{
     domino_speed_ratio, run_scenario, run_scenarios, DesignScenario, EquivEffort, GapFactor,
-    ScenarioOutcome, VerifyLevel,
+    ScenarioOutcome, VerifyLevel, WireModel,
 };
 
 /// E1: the observed silicon gap.
@@ -385,6 +385,96 @@ pub fn e12_verification() -> Vec<VerifyRow> {
         });
     }
     rows
+}
+
+/// One scenario of E13: the same grid point priced by HPWL and by the
+/// global router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedRow {
+    /// Scenario name (grid-point tags).
+    pub scenario: String,
+    /// Minimum period under the HPWL wire model.
+    pub hpwl_period: Ps,
+    /// Minimum period under routed parasitics.
+    pub routed_period: Ps,
+    /// `(routed − hpwl) / hpwl`, percent — what the HPWL estimate hid.
+    pub delta_pct: f64,
+    /// Total routed wirelength over total HPWL (≥ 1 by construction).
+    pub wire_ratio: f64,
+    /// Residual track overflow after negotiation (0 = converged).
+    pub overflow: u64,
+    /// Negotiation rounds the router ran.
+    pub iterations: usize,
+}
+
+/// E13: the routed-wire study — headline rows plus the §5 floorplanning
+/// factor recomputed under each wire model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutedStudy {
+    /// One row per grid point, in grid (bitmask) order.
+    pub rows: Vec<RoutedRow>,
+    /// Floorplanning marginal factor measured with HPWL wires.
+    pub floorplan_factor_hpwl: f64,
+    /// Floorplanning marginal factor measured with routed wires.
+    pub floorplan_factor_routed: f64,
+}
+
+/// E13: closing the place→route→timing loop. The wire-relevant corner of
+/// the factor grid (bits {pipeline, floorplan, sizing} → 8 scenarios)
+/// runs end-to-end twice on a 16-bit ALU — once with HPWL wire
+/// estimates, once with `asicgap-route`'s negotiated-congestion global
+/// router feeding extracted parasitics — and the §5 floorplanning factor
+/// is re-measured from the routed runs. All 16 flows run concurrently on
+/// the workspace pool; like E11 the outcome is bitwise deterministic at
+/// any `ASICGAP_THREADS`.
+pub fn e13_routed_wires() -> RoutedStudy {
+    let base: Vec<DesignScenario> = DesignScenario::factor_grid().into_iter().take(8).collect();
+    let mut all = base.clone();
+    all.extend(
+        base.iter()
+            .map(|s| s.clone().with_wire_model(WireModel::Routed)),
+    );
+    let outcomes = run_scenarios(&all, |lib| generators::alu(lib, 16)).expect("routed grid runs");
+    let (hpwl, routed) = outcomes.split_at(base.len());
+
+    let rows = (0..base.len())
+        .map(|i| {
+            let r = routed[i]
+                .route
+                .as_ref()
+                .expect("routed scenarios carry router numbers");
+            RoutedRow {
+                scenario: base[i].name.clone(),
+                hpwl_period: hpwl[i].min_period,
+                routed_period: routed[i].min_period,
+                delta_pct: (routed[i].min_period / hpwl[i].min_period - 1.0) * 100.0,
+                wire_ratio: r.routed_um / r.hpwl_um,
+                overflow: r.overflow,
+                iterations: r.iterations,
+            }
+        })
+        .collect();
+
+    // The §5 marginal, E11-style: geometric mean of the shipped-frequency
+    // ratio over the pairs differing only in the floorplan bit (bit 1).
+    let floorplan_factor = |outs: &[ScenarioOutcome]| {
+        let mask = 2usize;
+        let mut log_sum = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..outs.len() {
+            if i & mask == 0 {
+                log_sum += (outs[i | mask].shipped / outs[i].shipped).ln();
+                pairs += 1;
+            }
+        }
+        (log_sum / pairs as f64).exp()
+    };
+
+    RoutedStudy {
+        rows,
+        floorplan_factor_hpwl: floorplan_factor(hpwl),
+        floorplan_factor_routed: floorplan_factor(routed),
+    }
 }
 
 /// E10: §9 residuals (two-factor, three-factor) at the 18× idealised gap.

@@ -11,6 +11,7 @@ use asicgap_netlist::{Netlist, Simulator};
 use asicgap_pipeline::{pipeline_netlist_with, verify_pipeline};
 use asicgap_place::{annotate, AnnealOptions, Floorplan, FloorplanStrategy};
 use asicgap_process::{BinningPolicy, ChipPopulation, VariationComponents};
+use asicgap_route::{annotate_routed, route, RouteSummary, RouterOptions};
 use asicgap_sizing::{snap_to_library, tilos_size, TilosOptions};
 use asicgap_sta::{ClockSpec, IncrementalStats, TimingGraph};
 use asicgap_synth::{select_drives_on, DriveOptions};
@@ -54,6 +55,19 @@ pub enum FloorplanQuality {
     },
 }
 
+/// How the flow prices wires (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireModel {
+    /// Half-perimeter bounding-box estimate per net — the pre-route
+    /// model every flow starts from.
+    Hpwl,
+    /// Congestion-aware global routing (`asicgap-route`): actual routed
+    /// tree lengths plus via stacks, extracted onto the same Elmore
+    /// arithmetic. Never optimistic — routed length bounds HPWL from
+    /// above.
+    Routed,
+}
+
 /// Process access (§8).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProcessAccess {
@@ -83,6 +97,8 @@ pub struct DesignScenario {
     pub logic_style: LogicStyle,
     /// Floorplanning discipline.
     pub floorplan: FloorplanQuality,
+    /// Wire pricing: HPWL estimate or full global routing.
+    pub wire_model: WireModel,
     /// Process access.
     pub access: ProcessAccess,
     /// RNG seed for the stochastic steps (placement, Monte Carlo).
@@ -102,9 +118,17 @@ impl DesignScenario {
             sizing: SizingQuality::DriveSelected,
             logic_style: LogicStyle::StaticCmos,
             floorplan: FloorplanQuality::Careful,
+            wire_model: WireModel::Hpwl,
             access: ProcessAccess::AsicWorstCase,
             seed: 1,
         }
+    }
+
+    /// This scenario with its wires priced by `model` — the E13 study
+    /// runs each grid point under both models and reports the delta.
+    pub fn with_wire_model(mut self, model: WireModel) -> DesignScenario {
+        self.wire_model = model;
+        self
     }
 
     /// A best-practice ASIC (Xtensa-class): pipelined five deep, but
@@ -198,6 +222,7 @@ impl DesignScenario {
             sizing: SizingQuality::Continuous,
             logic_style: LogicStyle::DominoCriticalPath,
             floorplan: FloorplanQuality::Careful,
+            wire_model: WireModel::Hpwl,
             access: ProcessAccess::CustomBinned,
             seed: 1,
         }
@@ -236,6 +261,10 @@ pub struct ScenarioOutcome {
     /// proofs); `None` otherwise. Like `timing_effort`, these counters
     /// are deterministic across thread counts.
     pub verify_effort: Option<EquivEffort>,
+    /// Router numbers when the scenario ran with [`WireModel::Routed`]
+    /// (iterations, residual overflow, routed vs. HPWL wirelength);
+    /// `None` under the HPWL model.
+    pub route: Option<RouteSummary>,
 }
 
 impl ScenarioOutcome {
@@ -361,7 +390,21 @@ pub fn run_scenario_verified(
         strategy,
         &AnnealOptions::quick(scenario.seed),
     );
-    let par = annotate(graph.netlist(), &lib, &fp.placement, true);
+    // The routed model routes once, after placement; resizing below only
+    // swaps drive strengths (positions and connectivity are untouched),
+    // so the routes stay valid and both extractions read the same trees.
+    let routing = match scenario.wire_model {
+        WireModel::Hpwl => None,
+        WireModel::Routed => Some(route(
+            graph.netlist(),
+            &fp.placement,
+            &RouterOptions::seeded(scenario.seed),
+        )),
+    };
+    let par = match &routing {
+        None => annotate(graph.netlist(), &lib, &fp.placement, true),
+        Some(r) => annotate_routed(graph.netlist(), &lib, r, true),
+    };
     graph.set_parasitics(par);
 
     // Post-layout resize (§6.2): re-select drives against the annotated
@@ -376,8 +419,14 @@ pub fn run_scenario_verified(
             },
         );
     }
-    let par = annotate(graph.netlist(), &lib, &fp.placement, true);
+    let par = match &routing {
+        None => annotate(graph.netlist(), &lib, &fp.placement, true),
+        Some(r) => annotate_routed(graph.netlist(), &lib, r, true),
+    };
     graph.set_parasitics(par);
+    let route_summary = routing
+        .as_ref()
+        .map(|r| r.summary(graph.netlist(), &fp.placement));
 
     // Timing without skew, then fold the fractional skew in.
     let report = graph.report();
@@ -469,6 +518,7 @@ pub fn run_scenario_verified(
         power_proxy,
         timing_effort,
         verify_effort,
+        route: route_summary,
     })
 }
 

@@ -30,7 +30,7 @@
 //!   being assumed;
 //! - re-exports of every substrate crate under short names
 //!   ([`tech`], [`cells`], [`netlist`], [`sta`], [`wire`], [`place`],
-//!   [`synth`], [`sizing`], [`pipeline`], [`process`]).
+//!   [`route`], [`synth`], [`sizing`], [`pipeline`], [`process`]).
 //!
 //! # Quickstart
 //!
@@ -64,6 +64,7 @@ pub use factors::GapFactor;
 pub use flow::{
     domino_speed_ratio, run_scenario, run_scenario_verified, run_scenarios, run_scenarios_verified,
     DesignScenario, FloorplanQuality, LogicStyle, ProcessAccess, ScenarioOutcome, SizingQuality,
+    WireModel,
 };
 pub use gap::FactorTable;
 
@@ -91,6 +92,10 @@ pub use asicgap_wire as wire;
 
 /// Floorplanning and placement (re-export of `asicgap-place`).
 pub use asicgap_place as place;
+
+/// Congestion-aware global routing and RC extraction (re-export of
+/// `asicgap-route`).
+pub use asicgap_route as route;
 
 /// Logic synthesis and technology mapping (re-export of `asicgap-synth`).
 pub use asicgap_synth as synth;

@@ -49,7 +49,7 @@ mod placement;
 mod resize;
 
 pub use anneal::{anneal_placement, anneal_placement_multi, AnnealOptions};
-pub use annotate::annotate;
+pub use annotate::{annotate, wire_parasitics};
 pub use experiment::FloorplanStudy;
 pub use floorplan::{Floorplan, FloorplanStrategy, Region};
 pub use legalize::{check_legal, legalize, LegalizeStats};

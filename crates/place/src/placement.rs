@@ -98,6 +98,26 @@ impl Placement {
         Um::new((max_x - min_x) + (max_y - min_y))
     }
 
+    /// Every pin location of `net` in µm, driver first, then the sink
+    /// instances, then (if the net is a primary output) its port — the
+    /// terminal set a global router must connect. Order is deterministic
+    /// (netlist sink order), which the routing determinism contract
+    /// relies on.
+    pub fn net_pins(&self, netlist: &Netlist, net: NetId) -> Vec<(f64, f64)> {
+        let n = netlist.net(net);
+        let mut pins = Vec::with_capacity(n.sinks.len() + 2);
+        pins.push(self.driver_pos(netlist, net));
+        for s in &n.sinks {
+            pins.push(self.cells[s.inst.index()]);
+        }
+        if n.is_output {
+            if let Some(k) = netlist.outputs().iter().position(|(_, id)| *id == net) {
+                pins.push(self.outputs[k]);
+            }
+        }
+        pins
+    }
+
     /// Total HPWL over all nets.
     pub fn total_hpwl(&self, netlist: &Netlist) -> Um {
         netlist

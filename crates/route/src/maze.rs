@@ -1,0 +1,171 @@
+//! Deterministic A* maze search over the routing grid.
+//!
+//! One search connects a grown route tree (multi-source) to the next
+//! terminal (single target). Costs come from the negotiation loop; the
+//! only contract the search imposes is `cost(e) ≥ edge_length(e)`, which
+//! keeps the Manhattan-distance heuristic admissible so A* returns a true
+//! minimum-cost path. Everything here is sequential and pure, so results
+//! are a function of the inputs alone — the parallel router calls it from
+//! worker threads on per-net snapshots.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::grid::RoutingGrid;
+
+/// One step of a path: `(cell reached, edge used to reach it)`.
+pub(crate) type Step = (usize, usize);
+
+struct Entry {
+    f: f64,
+    g: f64,
+    cell: usize,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Entry) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Entry) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Entry) -> Ordering {
+        // BinaryHeap is a max-heap: order so the smallest f pops first,
+        // ties broken toward larger g (deeper node — standard A* tie
+        // break), then smaller cell index so ordering is total and
+        // input-independent.
+        other
+            .f
+            .partial_cmp(&self.f)
+            .unwrap_or(Ordering::Equal)
+            .then(self.g.partial_cmp(&other.g).unwrap_or(Ordering::Equal))
+            .then(other.cell.cmp(&self.cell))
+    }
+}
+
+/// Minimum-cost path from any cell of `sources` to `target`.
+///
+/// Returns the steps in source→target order; the source cell itself is
+/// not included. `cost(e)` must be finite and at least
+/// [`RoutingGrid::edge_length_um`] for the heuristic to stay admissible.
+///
+/// # Panics
+///
+/// Panics if `target` is unreachable, which cannot happen on a grid with
+/// finite edge costs and a non-empty source set.
+pub(crate) fn shortest_path<C: Fn(usize) -> f64>(
+    grid: &RoutingGrid,
+    cost: &C,
+    sources: &[usize],
+    target: usize,
+) -> Vec<Step> {
+    let n = grid.cell_count();
+    let (tx, ty) = grid.cell_xy(target);
+    let h = |c: usize| {
+        let (x, y) = grid.cell_xy(c);
+        (x as f64 - tx as f64).abs() * grid.pitch_x_um
+            + (y as f64 - ty as f64).abs() * grid.pitch_y_um
+    };
+
+    let mut dist = vec![f64::INFINITY; n];
+    let mut from: Vec<Step> = vec![(usize::MAX, usize::MAX); n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::with_capacity(sources.len() * 4);
+    for &s in sources {
+        dist[s] = 0.0;
+        heap.push(Entry {
+            f: h(s),
+            g: 0.0,
+            cell: s,
+        });
+    }
+
+    while let Some(e) = heap.pop() {
+        if done[e.cell] {
+            continue;
+        }
+        done[e.cell] = true;
+        if e.cell == target {
+            break;
+        }
+        let base = dist[e.cell];
+        grid.for_each_neighbor(e.cell, |nc, edge| {
+            if done[nc] {
+                return;
+            }
+            let g = base + cost(edge);
+            if g < dist[nc] {
+                dist[nc] = g;
+                from[nc] = (e.cell, edge);
+                heap.push(Entry {
+                    f: g + h(nc),
+                    g,
+                    cell: nc,
+                });
+            }
+        });
+    }
+    assert!(done[target], "grid is connected; target must be reachable");
+
+    let mut path = Vec::new();
+    let mut c = target;
+    while from[c].0 != usize::MAX {
+        path.push((c, from[c].1));
+        c = from[c].0;
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_on_uniform_costs() {
+        let g = RoutingGrid::uniform(8, 8, 10.0, 4);
+        let cost = |e: usize| g.edge_length_um(e);
+        // (0,3) -> (7,3): seven horizontal steps, length 70.
+        let src = 3 * 8;
+        let dst = 3 * 8 + 7;
+        let path = shortest_path(&g, &cost, &[src], dst);
+        assert_eq!(path.len(), 7);
+        let len: f64 = path.iter().map(|&(_, e)| g.edge_length_um(e)).sum();
+        assert!((len - 70.0).abs() < 1e-9);
+        assert_eq!(path.last().expect("non-empty").0, dst);
+    }
+
+    #[test]
+    fn detours_around_expensive_edges() {
+        let g = RoutingGrid::uniform(3, 3, 1.0, 4);
+        // Make the direct middle-row edges prohibitively expensive; the
+        // path from (0,1) to (2,1) must detour through another row.
+        let blocked: Vec<usize> = (0..g.edge_count())
+            .filter(|&e| e < g.h_edge_count() && e / (g.nx - 1) == 1)
+            .collect();
+        let cost = |e: usize| {
+            if blocked.contains(&e) {
+                1000.0
+            } else {
+                g.edge_length_um(e)
+            }
+        };
+        let path = shortest_path(&g, &cost, &[3], 5);
+        let len: f64 = path.iter().map(|&(_, e)| cost(e)).sum();
+        assert!((len - 4.0).abs() < 1e-9, "detour length {len}");
+    }
+
+    #[test]
+    fn multi_source_starts_from_nearest() {
+        let g = RoutingGrid::uniform(6, 1, 1.0, 4);
+        let cost = |e: usize| g.edge_length_um(e);
+        // Sources at 0 and 4; target 5 should attach to 4, one step.
+        let path = shortest_path(&g, &cost, &[0, 4], 5);
+        assert_eq!(path.len(), 1);
+    }
+}

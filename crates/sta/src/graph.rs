@@ -16,7 +16,7 @@
 
 use asicgap_cells::{CellId, Library};
 use asicgap_netlist::{InstId, NetId, Netlist, NetlistError, Sink};
-use asicgap_tech::Ps;
+use asicgap_tech::{Ff, Ps};
 
 use crate::analyze::{
     extract_report, sweep_endpoints, IoConstraints, TimingReport, OUTPUT_LOAD_UNITS,
@@ -289,6 +289,19 @@ impl<'a> TimingGraph<'a> {
         self.full_propagate();
     }
 
+    /// Updates the parasitics of **one** net — the ECO path a router uses
+    /// after ripping up and rerouting a single net. Only the net's driver
+    /// sees the wire cap and wire delay, so only that driver's cone is
+    /// marked dirty; the next query flushes it incrementally instead of
+    /// paying a full propagation like [`TimingGraph::set_parasitics`].
+    pub fn set_net_parasitics(&mut self, net: NetId, cap: Ff, delay: Ps) {
+        if self.par.cap(net) == cap && self.par.delay(net) == delay {
+            return;
+        }
+        self.par.set(net, cap, delay);
+        self.engine.invalidate_driver(&self.netlist, net);
+    }
+
     /// Changes the clock constraint. Arrivals are unaffected — only the
     /// endpoint sweep (recomputed per query) sees the clock — so this
     /// costs nothing.
@@ -460,6 +473,32 @@ mod tests {
         assert_eq!(g.min_period(), fresh.min_period);
         assert!(g.min_period() > ideal_period);
         assert_eq!(g.stats().full_propagations, 2);
+    }
+
+    #[test]
+    fn set_net_parasitics_is_incremental_and_exact() {
+        let (_, lib) = setup();
+        let n = generators::ripple_carry_adder(&lib, 8).expect("rca8");
+        let mut g = TimingGraph::new(n.clone(), &lib, ClockSpec::unconstrained(), None);
+        // Annotate a handful of nets one at a time, as a router ECO
+        // loop would, and check each step against a fresh analyze.
+        let nets: Vec<NetId> = g.netlist().iter_nets().map(|(id, _)| id).collect();
+        for (k, net) in nets.iter().step_by(7).enumerate() {
+            g.set_net_parasitics(*net, Ff::new(5.0 + k as f64), Ps::new(3.0 * k as f64));
+            let fresh = analyze(
+                g.netlist(),
+                &lib,
+                &ClockSpec::unconstrained(),
+                Some(g.parasitics()),
+            );
+            assert_eq!(g.min_period(), fresh.min_period);
+        }
+        assert_eq!(
+            g.stats().full_propagations,
+            1,
+            "per-net annotation must never trigger a full propagation"
+        );
+        assert!(g.stats().incremental_updates > 0);
     }
 
     #[test]

@@ -130,49 +130,6 @@ pub fn select_drives_on(graph: &mut TimingGraph, options: &DriveOptions) {
     }
 }
 
-/// Re-selects drive strengths assuming ideal wires.
-///
-/// # Panics
-///
-/// Panics if `target_gain` is negative.
-#[deprecated(note = "use select_drives_with(netlist, lib, &DriveOptions { .. })")]
-pub fn select_drives(netlist: &mut Netlist, lib: &Library, target_gain: f64, passes: usize) {
-    select_drives_with(
-        netlist,
-        lib,
-        &DriveOptions {
-            parasitics: None,
-            target_gain,
-            passes,
-        },
-    );
-}
-
-/// Re-selects drive strengths with back-annotated wire loads.
-///
-/// # Panics
-///
-/// Panics if `target_gain` is negative or if `parasitics` was built for
-/// a different netlist.
-#[deprecated(note = "use select_drives_with(netlist, lib, &DriveOptions { .. })")]
-pub fn select_drives_with_parasitics(
-    netlist: &mut Netlist,
-    lib: &Library,
-    parasitics: &NetParasitics,
-    target_gain: f64,
-    passes: usize,
-) {
-    select_drives_with(
-        netlist,
-        lib,
-        &DriveOptions {
-            parasitics: Some(parasitics),
-            target_gain,
-            passes,
-        },
-    );
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,17 +181,18 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_wrappers_agree_with_options_entry() {
+    fn repeated_selection_is_idempotent() {
+        // Two passes of the options entry point settle; a third changes
+        // nothing — the property the removed compatibility wrappers used
+        // to smoke-test indirectly.
         let tech = Technology::cmos025_asic();
         let lib = LibrarySpec::rich().build(&tech);
         let mut a = generators::parity_tree(&lib, 16).expect("parity");
-        let mut b = a.clone();
         select_drives_with(&mut a, &lib, &gain(4.0, 2));
-        #[allow(deprecated)]
-        select_drives(&mut b, &lib, 4.0, 2);
-        let cells_a: Vec<_> = a.instances().iter().map(|i| i.cell).collect();
-        let cells_b: Vec<_> = b.instances().iter().map(|i| i.cell).collect();
-        assert_eq!(cells_a, cells_b);
+        let settled: Vec<_> = a.instances().iter().map(|i| i.cell).collect();
+        select_drives_with(&mut a, &lib, &gain(4.0, 2));
+        let again: Vec<_> = a.instances().iter().map(|i| i.cell).collect();
+        assert_eq!(settled, again);
     }
 
     #[test]

@@ -55,8 +55,6 @@ mod reentry;
 pub use aig::{Aig, Lit};
 pub use buffer::{buffer_high_fanout, buffer_high_fanout_on};
 pub use domino_map::map_dual_rail_domino;
-#[allow(deprecated)]
-pub use drive::{select_drives, select_drives_with_parasitics};
 pub use drive::{select_drives_on, select_drives_with, DriveOptions};
 pub use error::SynthError;
 pub use flow::{StageProof, SynthFlow};

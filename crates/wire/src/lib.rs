@@ -49,7 +49,7 @@ mod study;
 pub use elmore::{drive_wire, elmore_delay, DrivenWire};
 pub use htree::{ClockTree, CtsQuality};
 pub use repeater::RepeaterPlan;
-pub use segment::Wire;
+pub use segment::{layer_for_length, Wire, GLOBAL_THRESHOLD_UM, INTERMEDIATE_THRESHOLD_UM};
 pub use study::{wire_delay_curve, wire_scaling_study, ScalingRow, WireStudyRow};
 
 /// Ω · fF → ps conversion (1 Ω·fF = 10⁻³ ps).

@@ -2,6 +2,30 @@
 
 use asicgap_tech::{Ff, Technology, Um, WireLayer};
 
+/// Net length above which routing escalates to the intermediate metal
+/// class (see [`layer_for_length`]).
+pub const INTERMEDIATE_THRESHOLD_UM: f64 = 200.0;
+/// Net length above which routing escalates to the global metal class.
+pub const GLOBAL_THRESHOLD_UM: f64 = 1000.0;
+
+/// The metal-layer class a net of `length` is routed on: short nets stay
+/// on the thin local layers, medium nets escalate to the intermediate
+/// class, and chip-crossing nets ride the thick global layers.
+///
+/// This is the **one** layer-assignment rule in the workspace: both the
+/// HPWL back-annotator (`asicgap-place`) and the global router's RC
+/// extraction (`asicgap-route`) call it, so the two wire models can never
+/// silently diverge on layer choice.
+pub fn layer_for_length(length: Um) -> WireLayer {
+    if length.value() > GLOBAL_THRESHOLD_UM {
+        WireLayer::Global
+    } else if length.value() > INTERMEDIATE_THRESHOLD_UM {
+        WireLayer::Intermediate
+    } else {
+        WireLayer::Local
+    }
+}
+
 /// A routed wire segment on one metal layer.
 ///
 /// `width` is a multiplier on the minimum width. Widening divides
@@ -95,5 +119,21 @@ mod tests {
     #[should_panic(expected = "must be >= 1")]
     fn sub_minimum_width_rejected() {
         let _ = Wire::new(Um::new(100.0), WireLayer::Local).widened(0.5);
+    }
+
+    #[test]
+    fn layer_choice_escalates_with_length() {
+        assert_eq!(layer_for_length(Um::new(50.0)), WireLayer::Local);
+        assert_eq!(layer_for_length(Um::new(500.0)), WireLayer::Intermediate);
+        assert_eq!(layer_for_length(Um::from_mm(5.0)), WireLayer::Global);
+        // Thresholds themselves stay on the lower class (strict >).
+        assert_eq!(
+            layer_for_length(Um::new(INTERMEDIATE_THRESHOLD_UM)),
+            WireLayer::Local
+        );
+        assert_eq!(
+            layer_for_length(Um::new(GLOBAL_THRESHOLD_UM)),
+            WireLayer::Intermediate
+        );
     }
 }

@@ -79,6 +79,57 @@ fn golden_e12_checker_effort() {
     );
 }
 
+/// The E13 routed-wires table, pinned to the exact strings of
+/// `repro_output.txt`. The global router is deterministic by
+/// construction (Jacobi rounds + seeded jitter), so iteration counts
+/// and the HPWL-vs-routed deltas are part of the golden contract, same
+/// as the SAT effort strings above.
+#[test]
+fn golden_e13_routed_wires() {
+    let study = exp::e13_routed_wires();
+    assert_eq!(study.rows.len(), 8, "one row per factor-grid scenario");
+    for row in &study.rows {
+        assert_eq!(row.overflow, 0, "{}: routing must converge", row.scenario);
+        assert!(row.wire_ratio >= 1.0, "{}: routed >= hpwl", row.scenario);
+    }
+    let delta = |name: &str| {
+        let row = study
+            .rows
+            .iter()
+            .find(|r| r.scenario == name)
+            .unwrap_or_else(|| panic!("E13 row {name} missing"));
+        (
+            format!("{:.0} ps", row.hpwl_period.value()),
+            format!("{:.0} ps", row.routed_period.value()),
+            format!(
+                "{:+.1}% (wire x{:.2}, ovfl {}, {} iter)",
+                row.delta_pct, row.wire_ratio, row.overflow, row.iterations
+            ),
+        )
+    };
+    // The unoptimized corner pays the most: no floorplanning, so nets
+    // sprawl and the router's detours land on the critical path.
+    assert_eq!(
+        delta("base ASIC"),
+        (
+            "6634 ps".to_string(),
+            "13038 ps".to_string(),
+            "+96.5% (wire x1.50, ovfl 0, 1 iter)".to_string()
+        )
+    );
+    // The fully optimized corner is route-tolerant: localized modules
+    // keep detours short and sizing absorbs what remains.
+    assert_eq!(
+        delta("base+pipe+floorplan+sizing").2,
+        "+0.0% (wire x1.09, ovfl 0, 1 iter)"
+    );
+    // The floorplanning factor regenerated from routed lengths: routing
+    // *amplifies* the cost of a bad floorplan versus the HPWL estimate.
+    assert_eq!(format!("x{:.2}", study.floorplan_factor_hpwl), "x1.80");
+    assert_eq!(format!("x{:.2}", study.floorplan_factor_routed), "x2.38");
+    assert!(study.floorplan_factor_routed > study.floorplan_factor_hpwl);
+}
+
 /// The measured factor table and end-to-end gap, pinned to the exact
 /// strings of `repro_output.txt`'s E2 table. Any engine change that
 /// moves these must regenerate the golden file on purpose.

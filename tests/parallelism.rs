@@ -94,6 +94,40 @@ fn variation_study_is_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
+fn global_routing_is_bitwise_identical_across_thread_counts() {
+    use asicgap::route::{route, route_on, RouterOptions, RoutingGrid};
+
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let netlist = generators::alu(&lib, 16).expect("alu16");
+    let placement = Placement::initial(&netlist, &lib, 0.7);
+
+    // The common case: a realistic placement that converges without
+    // congestion. The single Jacobi round must still schedule
+    // identically.
+    let r = identical_across_threads(|| route(&netlist, &placement, &RouterOptions::seeded(42)));
+    assert_eq!(r.overflow, 0);
+
+    // The adversarial case: a deliberately scarce grid that forces
+    // multiple rip-up-and-reroute iterations, so parallel victim
+    // rounds, history accumulation and the per-(net, iteration) jitter
+    // streams are all exercised across thread counts.
+    let scarce = identical_across_threads(|| {
+        route_on(
+            &netlist,
+            &placement,
+            RoutingGrid::uniform(8, 8, 12.0, 2),
+            &RouterOptions::seeded(7),
+        )
+    });
+    assert!(
+        scarce.iterations > 1,
+        "the scarce grid must trigger negotiation (got {} iterations)",
+        scarce.iterations
+    );
+}
+
+#[test]
 fn pool_matches_sequential_map_on_a_pure_function() {
     let _guard = ENV_LOCK
         .lock()
