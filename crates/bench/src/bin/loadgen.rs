@@ -1,0 +1,252 @@
+//! `loadgen` — closed-loop load generator for the `served` daemon.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--distinct N]
+//!         [--verify off|sim|full] [--wire hpwl|routed]
+//!         [--min-hit-rate F] [--shutdown]
+//! ```
+//!
+//! Starts `--clients` threads, each running a closed loop of
+//! `--requests` `RUN` calls against the daemon (`BUSY` answers are
+//! slept out and retried, so admission-control rejections cost latency
+//! but never correctness). Request seeds cycle through `--distinct`
+//! values, so the ratio of distinct to total requests sets the best
+//! achievable cache hit-rate.
+//!
+//! Every response is checked against the others for its seed: whatever
+//! mix of cache/dedup/fresh served them, the bytes must be identical —
+//! the loadgen exits nonzero on any mismatch, server error, or (with
+//! `--min-hit-rate`) a server-side cache hit-rate at or below the
+//! floor. The summary reports client-side throughput, p50/p99 latency,
+//! and the server's own `STATS` accounting.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use asicgap::VerifyLevel;
+use asicgap::WireModel;
+use asicgap_serve::client::Client;
+use asicgap_serve::metrics::Histogram;
+use asicgap_serve::proto::{RunRequest, Source};
+
+struct Options {
+    addr: SocketAddr,
+    clients: usize,
+    requests: usize,
+    distinct: u64,
+    verify: VerifyLevel,
+    wire: WireModel,
+    min_hit_rate: Option<f64>,
+    shutdown: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--distinct N]\n\
+         \x20              [--verify off|sim|full] [--wire hpwl|routed]\n\
+         \x20              [--min-hit-rate F] [--shutdown]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opt = Options {
+        addr: "127.0.0.1:7171".parse().expect("literal addr"),
+        clients: 8,
+        requests: 8,
+        distinct: 4,
+        verify: VerifyLevel::Off,
+        wire: WireModel::Hpwl,
+        min_hit_rate: None,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => opt.addr = value().parse().unwrap_or_else(|_| usage()),
+            "--clients" => opt.clients = value().parse().unwrap_or_else(|_| usage()),
+            "--requests" => opt.requests = value().parse().unwrap_or_else(|_| usage()),
+            "--distinct" => opt.distinct = value().parse().unwrap_or_else(|_| usage()),
+            "--verify" => {
+                opt.verify = match value().as_str() {
+                    "off" => VerifyLevel::Off,
+                    "sim" => VerifyLevel::Sim,
+                    "full" => VerifyLevel::Full,
+                    _ => usage(),
+                }
+            }
+            "--wire" => {
+                opt.wire = match value().as_str() {
+                    "hpwl" => WireModel::Hpwl,
+                    "routed" => WireModel::Routed,
+                    _ => usage(),
+                }
+            }
+            "--min-hit-rate" => {
+                opt.min_hit_rate = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--shutdown" => opt.shutdown = true,
+            _ => usage(),
+        }
+    }
+    if opt.clients == 0 || opt.requests == 0 || opt.distinct == 0 {
+        usage();
+    }
+    opt
+}
+
+fn request_for(opt: &Options, seed: u64) -> RunRequest {
+    RunRequest {
+        wire_model: opt.wire,
+        verify: opt.verify,
+        seed: seed % opt.distinct,
+        ..RunRequest::small()
+    }
+}
+
+struct ClientReport {
+    latencies_us: Vec<u64>,
+    cache: u64,
+    computed: u64,
+    deduped: u64,
+    texts: Vec<(u64, String)>,
+}
+
+fn drive_client(opt: &Options, id: usize) -> Result<ClientReport, String> {
+    let mut client = Client::connect_retry(opt.addr, Duration::from_secs(10))
+        .map_err(|e| format!("client {id}: connect: {e}"))?;
+    let mut report = ClientReport {
+        latencies_us: Vec::with_capacity(opt.requests),
+        cache: 0,
+        computed: 0,
+        deduped: 0,
+        texts: Vec::new(),
+    };
+    for j in 0..opt.requests {
+        let seed = (id * opt.requests + j) as u64;
+        let req = request_for(opt, seed);
+        let start = Instant::now();
+        let (source, text) = client
+            .run_retry(req, 1000)
+            .map_err(|e| format!("client {id} request {j}: {e}"))?;
+        report.latencies_us.push(start.elapsed().as_micros() as u64);
+        match source {
+            Source::Cache => report.cache += 1,
+            Source::Computed => report.computed += 1,
+            Source::Deduped => report.deduped += 1,
+        }
+        report.texts.push((req.seed, text));
+    }
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let opt = Arc::new(parse_args());
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..opt.clients)
+        .map(|id| {
+            let opt = Arc::clone(&opt);
+            std::thread::spawn(move || drive_client(&opt, id))
+        })
+        .collect();
+
+    let latency = Histogram::default();
+    let (mut cache, mut computed, mut deduped) = (0u64, 0u64, 0u64);
+    let mut by_seed: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
+    let mut failed = false;
+    for h in handles {
+        match h.join().expect("client thread") {
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                failed = true;
+            }
+            Ok(report) => {
+                cache += report.cache;
+                computed += report.computed;
+                deduped += report.deduped;
+                for us in report.latencies_us {
+                    latency.record(us);
+                }
+                for (seed, text) in report.texts {
+                    match by_seed.get(&seed) {
+                        None => {
+                            by_seed.insert(seed, text);
+                        }
+                        Some(prev) if *prev == text => {}
+                        Some(_) => {
+                            eprintln!(
+                                "loadgen: DIVERGENT response bytes for seed {seed} — \
+                                 cache/dedup/fresh disagree"
+                            );
+                            failed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let elapsed = wall.elapsed().as_secs_f64();
+    let total = cache + computed + deduped;
+    let lat = latency.snapshot();
+    println!(
+        "loadgen: {} clients x {} requests: {total} ok, {} distinct outcomes",
+        opt.clients,
+        opt.requests,
+        by_seed.len()
+    );
+    println!("loadgen: sources cache={cache} computed={computed} deduped={deduped}");
+    println!(
+        "loadgen: throughput {:.1} req/s, client latency p50 {} us p99 {} us",
+        total as f64 / elapsed,
+        lat.p50(),
+        lat.p99()
+    );
+
+    // Server-side accounting.
+    match Client::connect(opt.addr).and_then(|mut c| {
+        let stats = c.stats()?;
+        if opt.shutdown {
+            c.shutdown()?;
+        }
+        Ok(stats)
+    }) {
+        Err(e) => {
+            eprintln!("loadgen: stats: {e}");
+            failed = true;
+        }
+        Ok(stats) => {
+            println!(
+                "loadgen: server hit-rate {:.3} (hits {} misses {}), \
+                 completed {} errors {} cancelled {} busy {}",
+                stats.hit_rate(),
+                stats.cache_hits,
+                stats.cache_misses,
+                stats.completed,
+                stats.errors,
+                stats.cancelled,
+                stats.busy_rejections
+            );
+            if stats.errors > 0 {
+                eprintln!("loadgen: server reported {} flow errors", stats.errors);
+                failed = true;
+            }
+            if let Some(floor) = opt.min_hit_rate {
+                if stats.hit_rate() <= floor {
+                    eprintln!(
+                        "loadgen: hit-rate {:.3} not above required {floor:.3}",
+                        stats.hit_rate()
+                    );
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!("loadgen: ok");
+    ExitCode::SUCCESS
+}

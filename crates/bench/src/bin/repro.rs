@@ -8,17 +8,66 @@
 //! [`asicgap::VerifyLevel::Full`]: every pipeline and sizing stage is
 //! formally proven function-preserving, and the process exits nonzero if
 //! any stage (or any E12 row) is inequivalent.
+//!
+//! `--threads N` overrides `ASICGAP_THREADS` for this run (results are
+//! bitwise identical at any thread count; only wall time changes).
+//! `--stages` appends a per-stage wall-time breakdown and the canonical
+//! outcome text of the headline scenarios — the same serialization the
+//! `served` wire protocol ships, via the shared flow-stage timing hooks.
+//! Both are flag-gated: the default output (`repro_output.txt`) is a
+//! committed deterministic artifact and timings are not deterministic.
+
+use std::time::Duration;
 
 use asicgap::netlist::generators;
 use asicgap::report::Table;
 use asicgap::{
-    run_scenarios, run_scenarios_verified, DesignScenario, GapFactor, VerifyLevel, WireModel,
+    run_scenario_observed, run_scenarios, run_scenarios_verified, DesignScenario, FlowObserver,
+    FlowStage, GapFactor, VerifyLevel, WireModel,
 };
 use asicgap_bench as exp;
+use asicgap_serve::metrics::Metrics;
+
+/// Feeds per-stage wall times into a serve metrics registry, so `repro`
+/// prints the same breakdown `served`'s `STATS` verb exposes.
+struct StageTally(Metrics);
+
+impl FlowObserver for StageTally {
+    fn stage_done(&self, stage: FlowStage, elapsed: Duration) {
+        self.0.record_stage(stage, elapsed);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--verify] [--wire-model=routed] [--stages] [--threads N]");
+    std::process::exit(2);
+}
 
 fn main() {
-    let verify = std::env::args().any(|a| a == "--verify");
-    let routed_headline = std::env::args().any(|a| a == "--wire-model=routed");
+    let mut verify = false;
+    let mut routed_headline = false;
+    let mut stages = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--verify" => verify = true,
+            "--wire-model=routed" => routed_headline = true,
+            "--stages" => stages = true,
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+                std::env::set_var("ASICGAP_THREADS", n.to_string());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("repro: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
     println!("== asicgap repro: Chinnery & Keutzer, DAC 2000 ==\n");
 
     // E1 -------------------------------------------------------------
@@ -265,10 +314,7 @@ fn main() {
             row.scenario.clone(),
             format!("{:.0} ps", row.hpwl_period.value()),
             format!("{:.0} ps", row.routed_period.value()),
-            format!(
-                "{:+.1}% (wire x{:.2}, ovfl {}, {} iter)",
-                row.delta_pct, row.wire_ratio, row.overflow, row.iterations
-            ),
+            row.delta_cell(),
         ]);
     }
     t.row_owned(vec![
@@ -336,12 +382,7 @@ fn main() {
             t.row_owned(vec![
                 o.scenario.clone(),
                 format!("{:.0} MHz", o.shipped.value()),
-                format!(
-                    "wire x{:.2}, overflow {}, {} iter",
-                    r.routed_um / r.hpwl_um,
-                    r.overflow,
-                    r.iterations
-                ),
+                format!("{r}"),
             ]);
         }
         println!("{t}");
@@ -376,6 +417,39 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    // --stages: per-stage wall-time breakdown + canonical outcome text.
+    // Timings are nondeterministic, so this never lands in the committed
+    // repro_output.txt.
+    if stages {
+        let tally = StageTally(Metrics::default());
+        let scenarios = [
+            DesignScenario::typical_asic(),
+            DesignScenario::best_practice_asic(),
+            DesignScenario::custom(),
+        ];
+        let mut canonical = String::new();
+        for s in &scenarios {
+            let out =
+                run_scenario_observed(s, |lib| generators::alu(lib, 16), VerifyLevel::Off, &tally)
+                    .expect("headline scenario runs");
+            canonical.push_str(&out.to_string());
+        }
+        let snap = tally.0.snapshot(0, 0);
+        let mut t = Table::new(&["flow stage", "runs", "total ms", "p50 us", "p99 us"]);
+        for (stage, h) in FlowStage::ALL.iter().zip(&snap.stage_us) {
+            t.row_owned(vec![
+                stage.label().into(),
+                format!("{}", h.count),
+                format!("{:.2}", h.sum as f64 / 1e3),
+                format!("{}", h.p50()),
+                format!("{}", h.p99()),
+            ]);
+        }
+        println!("{t}");
+        println!("canonical outcome text (as served over the wire):\n");
+        print!("{canonical}");
     }
 
     if !all_equivalent {

@@ -407,6 +407,17 @@ pub struct RoutedRow {
     pub iterations: usize,
 }
 
+impl RoutedRow {
+    /// The E13 delta cell exactly as `repro` prints it and the golden
+    /// test pins it — one definition, so the two cannot drift.
+    pub fn delta_cell(&self) -> String {
+        format!(
+            "{:+.1}% (wire x{:.2}, ovfl {}, {} iter)",
+            self.delta_pct, self.wire_ratio, self.overflow, self.iterations
+        )
+    }
+}
+
 /// E13: the routed-wire study — headline rows plus the §5 floorplanning
 /// factor recomputed under each wire model.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,273 @@
+//! The canonical text serialization of flow results.
+//!
+//! One format, used everywhere a [`ScenarioOutcome`] leaves the
+//! process: the `asicgap-serve` wire protocol ships it, the result
+//! cache stores it, and `repro --dump-outcomes` prints it. Round-trip
+//! exactness is part of the contract — every `f64` is written with
+//! Rust's shortest-round-trip formatting (`{:?}`), so
+//! `parse_canonical(canonical_text(x)) == x` bit-for-bit. Combined with
+//! the PR 2 determinism contract this is what lets a cached response be
+//! byte-compared against a fresh compute in tests.
+//!
+//! The format is line-based: a `outcome/v1` header, one `field value`
+//! line per field, `end`. Optional sub-records (`verify`, `route`)
+//! collapse to `-` when absent.
+
+use std::fmt;
+
+use asicgap_equiv::EquivEffort;
+use asicgap_route::RouteSummary;
+use asicgap_sta::IncrementalStats;
+use asicgap_tech::{Mhz, Ps};
+
+use crate::error::GapError;
+use crate::flow::ScenarioOutcome;
+
+/// Shorthand for the parse-error constructor.
+fn bad(what: impl Into<String>) -> GapError {
+    GapError::Parse { what: what.into() }
+}
+
+fn parse_num<T: std::str::FromStr>(field: &str, s: &str) -> Result<T, GapError> {
+    s.parse()
+        .map_err(|_| bad(format!("outcome field {field}: {s:?}")))
+}
+
+impl ScenarioOutcome {
+    /// Serializes this outcome to the canonical text form. Identical
+    /// outcomes produce identical bytes; [`ScenarioOutcome::parse_canonical`]
+    /// inverts it exactly.
+    pub fn canonical_text(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::with_capacity(512);
+        let w = &mut s;
+        writeln!(w, "outcome/v1").expect("write to String");
+        writeln!(w, "scenario {}", self.scenario).expect("write to String");
+        writeln!(w, "min_period_ps {:?}", self.min_period.value()).expect("write to String");
+        writeln!(w, "fo4_per_cycle {:?}", self.fo4_per_cycle).expect("write to String");
+        writeln!(w, "shipped_mhz {:?}", self.shipped.value()).expect("write to String");
+        writeln!(w, "gates {}", self.gates).expect("write to String");
+        writeln!(w, "registers {}", self.registers).expect("write to String");
+        writeln!(w, "area_um2 {:?}", self.area_um2).expect("write to String");
+        writeln!(w, "power_proxy {:?}", self.power_proxy).expect("write to String");
+        writeln!(
+            w,
+            "timing {} {} {}",
+            self.timing_effort.full_propagations,
+            self.timing_effort.incremental_updates,
+            self.timing_effort.pins_touched
+        )
+        .expect("write to String");
+        match &self.verify_effort {
+            None => writeln!(w, "verify -").expect("write to String"),
+            Some(e) => writeln!(
+                w,
+                "verify {} {} {} {} {} {} {} {}",
+                e.cones,
+                e.structural,
+                e.sat_cones,
+                e.vars,
+                e.clauses,
+                e.conflicts,
+                e.decisions,
+                e.propagations
+            )
+            .expect("write to String"),
+        }
+        match &self.route {
+            None => writeln!(w, "route -").expect("write to String"),
+            Some(r) => writeln!(
+                w,
+                "route {} {} {:?} {:?} {}",
+                r.iterations, r.overflow, r.routed_um, r.hpwl_um, r.vias
+            )
+            .expect("write to String"),
+        }
+        writeln!(w, "end").expect("write to String");
+        s
+    }
+
+    /// Parses the canonical text form back into an outcome.
+    ///
+    /// # Errors
+    ///
+    /// [`GapError::Parse`] on any missing, reordered, or malformed line.
+    pub fn parse_canonical(text: &str) -> Result<ScenarioOutcome, GapError> {
+        let mut lines = text.lines();
+        let mut next = |field: &'static str| -> Result<String, GapError> {
+            let line = lines
+                .next()
+                .ok_or_else(|| bad(format!("outcome: missing line {field}")))?;
+            if field == "outcome/v1" || field == "end" {
+                if line != field {
+                    return Err(bad(format!("outcome: expected {field:?}, got {line:?}")));
+                }
+                return Ok(String::new());
+            }
+            line.strip_prefix(field)
+                .and_then(|rest| rest.strip_prefix(' '))
+                .map(str::to_string)
+                .ok_or_else(|| bad(format!("outcome: expected field {field:?}, got {line:?}")))
+        };
+        next("outcome/v1")?;
+        let scenario = next("scenario")?;
+        let min_period = Ps::new(parse_num("min_period_ps", &next("min_period_ps")?)?);
+        let fo4_per_cycle = parse_num("fo4_per_cycle", &next("fo4_per_cycle")?)?;
+        let shipped = Mhz::new(parse_num("shipped_mhz", &next("shipped_mhz")?)?);
+        let gates = parse_num("gates", &next("gates")?)?;
+        let registers = parse_num("registers", &next("registers")?)?;
+        let area_um2 = parse_num("area_um2", &next("area_um2")?)?;
+        let power_proxy = parse_num("power_proxy", &next("power_proxy")?)?;
+
+        let timing = next("timing")?;
+        let t: Vec<&str> = timing.split(' ').collect();
+        if t.len() != 3 {
+            return Err(bad(format!("outcome timing record {timing:?}")));
+        }
+        let timing_effort = IncrementalStats {
+            full_propagations: parse_num("timing.full", t[0])?,
+            incremental_updates: parse_num("timing.incremental", t[1])?,
+            pins_touched: parse_num("timing.pins", t[2])?,
+        };
+
+        let verify = next("verify")?;
+        let verify_effort = if verify == "-" {
+            None
+        } else {
+            let v: Vec<&str> = verify.split(' ').collect();
+            if v.len() != 8 {
+                return Err(bad(format!("outcome verify record {verify:?}")));
+            }
+            Some(EquivEffort {
+                cones: parse_num("verify.cones", v[0])?,
+                structural: parse_num("verify.structural", v[1])?,
+                sat_cones: parse_num("verify.sat_cones", v[2])?,
+                vars: parse_num("verify.vars", v[3])?,
+                clauses: parse_num("verify.clauses", v[4])?,
+                conflicts: parse_num("verify.conflicts", v[5])?,
+                decisions: parse_num("verify.decisions", v[6])?,
+                propagations: parse_num("verify.propagations", v[7])?,
+            })
+        };
+
+        let route = next("route")?;
+        let route = if route == "-" {
+            None
+        } else {
+            let r: Vec<&str> = route.split(' ').collect();
+            if r.len() != 5 {
+                return Err(bad(format!("outcome route record {route:?}")));
+            }
+            Some(RouteSummary {
+                iterations: parse_num("route.iterations", r[0])?,
+                overflow: parse_num("route.overflow", r[1])?,
+                routed_um: parse_num("route.routed_um", r[2])?,
+                hpwl_um: parse_num("route.hpwl_um", r[3])?,
+                vias: parse_num("route.vias", r[4])?,
+            })
+        };
+        next("end")?;
+        if lines.next().is_some() {
+            return Err(bad("outcome: trailing data after end".to_string()));
+        }
+        Ok(ScenarioOutcome {
+            scenario,
+            min_period,
+            fo4_per_cycle,
+            shipped,
+            gates,
+            registers,
+            area_um2,
+            power_proxy,
+            timing_effort,
+            verify_effort,
+            route,
+        })
+    }
+}
+
+/// `Display` is the canonical text — there is exactly one way an
+/// outcome prints, shared by the report tooling and the wire protocol.
+impl fmt::Display for ScenarioOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(with_options: bool) -> ScenarioOutcome {
+        ScenarioOutcome {
+            scenario: "typical ASIC".to_string(),
+            min_period: Ps::new(7370.123456789),
+            fo4_per_cycle: 55.25,
+            shipped: Mhz::new(135.5),
+            gates: 1493,
+            registers: 64,
+            area_um2: 1.0 / 3.0,
+            power_proxy: 2.5e-3,
+            timing_effort: IncrementalStats {
+                full_propagations: 1,
+                incremental_updates: 17,
+                pins_touched: 33000,
+            },
+            verify_effort: with_options.then_some(EquivEffort {
+                cones: 27,
+                structural: 19,
+                sat_cones: 8,
+                vars: 100,
+                clauses: 941,
+                conflicts: 92,
+                decisions: 12,
+                propagations: 3456,
+            }),
+            route: with_options.then_some(RouteSummary {
+                iterations: 2,
+                overflow: 0,
+                routed_um: 123456.789,
+                hpwl_um: 100000.5,
+                vias: 456,
+            }),
+        }
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        for with_options in [false, true] {
+            let out = sample(with_options);
+            let text = out.canonical_text();
+            let back = ScenarioOutcome::parse_canonical(&text).expect("parses");
+            assert_eq!(out, back);
+            // Byte-for-byte: re-serialization is the identity.
+            assert_eq!(back.canonical_text(), text);
+            assert_eq!(format!("{out}"), text);
+        }
+    }
+
+    #[test]
+    fn nonfinite_free_f64_round_trip_is_shortest_exact() {
+        // {:?} is Rust's shortest round-trip float form; confirm the
+        // awkward cases survive.
+        let mut out = sample(false);
+        out.area_um2 = f64::MIN_POSITIVE;
+        out.power_proxy = 1e300;
+        let back = ScenarioOutcome::parse_canonical(&out.canonical_text()).expect("parses");
+        assert_eq!(out, back);
+    }
+
+    #[test]
+    fn rejects_malformed_text() {
+        let good = sample(true).canonical_text();
+        // Truncation, header damage, field damage, trailing garbage.
+        let cut = &good[..good.len() - 5];
+        assert!(ScenarioOutcome::parse_canonical(cut).is_err());
+        assert!(ScenarioOutcome::parse_canonical(&good.replacen("outcome/v1", "x", 1)).is_err());
+        assert!(ScenarioOutcome::parse_canonical(&good.replacen("gates", "gaets", 1)).is_err());
+        let mut trailing = good.clone();
+        trailing.push_str("junk\n");
+        assert!(ScenarioOutcome::parse_canonical(&trailing).is_err());
+        assert!(ScenarioOutcome::parse_canonical("").is_err());
+    }
+}

@@ -7,6 +7,8 @@ use asicgap_equiv::EquivError;
 use asicgap_netlist::NetlistError;
 use asicgap_synth::SynthError;
 
+use crate::flow::FlowStage;
+
 /// Errors from end-to-end scenario runs.
 #[derive(Debug)]
 pub enum GapError {
@@ -29,6 +31,19 @@ pub enum GapError {
     },
     /// The equivalence checker itself failed.
     Equiv(EquivError),
+    /// A flow run was abandoned at a stage boundary — its observer's
+    /// `poll_cancel` reported true (deadline exceeded, or the caller
+    /// cancelled the request).
+    Cancelled {
+        /// The last stage that completed before the flow stopped.
+        after: FlowStage,
+    },
+    /// A canonical text form (scenario key, outcome, protocol field)
+    /// failed to parse.
+    Parse {
+        /// What was malformed.
+        what: String,
+    },
 }
 
 impl fmt::Display for GapError {
@@ -41,6 +56,10 @@ impl fmt::Display for GapError {
                 write!(f, "stage {stage} changed the function of output {output}")
             }
             GapError::Equiv(e) => write!(f, "equivalence check error: {e}"),
+            GapError::Cancelled { after } => {
+                write!(f, "flow cancelled after stage {}", after.label())
+            }
+            GapError::Parse { what } => write!(f, "malformed {what}"),
         }
     }
 }
@@ -51,7 +70,10 @@ impl Error for GapError {
             GapError::Netlist(e) => Some(e),
             GapError::Synth(e) => Some(e),
             GapError::Equiv(e) => Some(e),
-            GapError::Scenario { .. } | GapError::Inequivalent { .. } => None,
+            GapError::Scenario { .. }
+            | GapError::Inequivalent { .. }
+            | GapError::Cancelled { .. }
+            | GapError::Parse { .. } => None,
         }
     }
 }

@@ -17,7 +17,267 @@ use asicgap_sta::{ClockSpec, IncrementalStats, TimingGraph};
 use asicgap_synth::{select_drives_on, DriveOptions};
 use asicgap_tech::{Ff, Mhz, Ps, Technology};
 
+use std::time::{Duration, Instant};
+
 use crate::error::GapError;
+
+/// The coarse stages of an end-to-end scenario flow, in execution
+/// order. [`FlowObserver::stage_done`] reports wall time per stage and
+/// [`GapError::Cancelled`] names the last stage that completed before a
+/// flow was abandoned; `asicgap-serve` keys its per-stage latency
+/// histograms on the same enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowStage {
+    /// Library construction and workload generation.
+    Synth,
+    /// Register insertion (§4 pipelining).
+    Pipeline,
+    /// Drive selection / TILOS sizing, including the post-layout resize.
+    Sizing,
+    /// Floorplanning, placement, and HPWL parasitic extraction (§5).
+    Place,
+    /// Global routing and routed parasitic extraction.
+    Route,
+    /// Timing-graph construction and the final timing report.
+    Sta,
+    /// Equivalence checking of the pipeline/sizing boundaries.
+    Equiv,
+}
+
+impl FlowStage {
+    /// Every stage, in execution order.
+    pub const ALL: [FlowStage; 7] = [
+        FlowStage::Synth,
+        FlowStage::Pipeline,
+        FlowStage::Sizing,
+        FlowStage::Place,
+        FlowStage::Route,
+        FlowStage::Sta,
+        FlowStage::Equiv,
+    ];
+
+    /// Stable lowercase label (used by metrics dumps and `STATS`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FlowStage::Synth => "synth",
+            FlowStage::Pipeline => "pipeline",
+            FlowStage::Sizing => "sizing",
+            FlowStage::Place => "place",
+            FlowStage::Route => "route",
+            FlowStage::Sta => "sta",
+            FlowStage::Equiv => "equiv",
+        }
+    }
+
+    /// Index into [`FlowStage::ALL`] (dense, for histogram arrays).
+    pub fn index(self) -> usize {
+        match self {
+            FlowStage::Synth => 0,
+            FlowStage::Pipeline => 1,
+            FlowStage::Sizing => 2,
+            FlowStage::Place => 3,
+            FlowStage::Route => 4,
+            FlowStage::Sta => 5,
+            FlowStage::Equiv => 6,
+        }
+    }
+}
+
+/// Observation and control hooks threaded through
+/// [`run_scenario_observed`]. The observer is strictly passive with
+/// respect to the results: it sees wall-clock stage timings (which are
+/// *not* part of the determinism contract) and may abort the flow
+/// between stages, but cannot perturb any computed number.
+pub trait FlowObserver: Sync {
+    /// Called each time a flow stage completes, with its wall time. A
+    /// stage can report more than once per run (e.g. `Sizing` covers
+    /// both the pre- and post-layout resize passes).
+    fn stage_done(&self, stage: FlowStage, elapsed: Duration) {
+        let _ = (stage, elapsed);
+    }
+
+    /// Polled at stage boundaries; returning `true` abandons the flow
+    /// with [`GapError::Cancelled`]. This is how `asicgap-serve`
+    /// enforces per-request deadlines without threading timeouts into
+    /// every engine.
+    fn poll_cancel(&self) -> bool {
+        false
+    }
+}
+
+/// The do-nothing observer [`run_scenario_verified`] uses.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoObserver;
+
+impl FlowObserver for NoObserver {}
+
+fn abort_if_cancelled(obs: &dyn FlowObserver, after: FlowStage) -> Result<(), GapError> {
+    if obs.poll_cancel() {
+        Err(GapError::Cancelled { after })
+    } else {
+        Ok(())
+    }
+}
+
+/// A workload nameable by content — the serving layer's counterpart of
+/// the closure [`run_scenario`] takes. Every variant maps onto one
+/// combinational generator in [`asicgap_netlist::generators`], so a
+/// `(DesignScenario, WorkloadSpec, VerifyLevel)` triple fully determines
+/// a flow run and can be content-hashed (see [`canonical_key`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadSpec {
+    /// `generators::alu` at the given bit width.
+    Alu {
+        /// Datapath width in bits.
+        width: usize,
+    },
+    /// `generators::ripple_carry_adder`.
+    RippleCarryAdder {
+        /// Adder width in bits.
+        width: usize,
+    },
+    /// `generators::carry_lookahead_adder`.
+    CarryLookaheadAdder {
+        /// Adder width in bits.
+        width: usize,
+    },
+    /// `generators::kogge_stone_adder`.
+    KoggeStoneAdder {
+        /// Adder width in bits.
+        width: usize,
+    },
+    /// `generators::array_multiplier`.
+    ArrayMultiplier {
+        /// Operand width in bits.
+        width: usize,
+    },
+    /// `generators::barrel_shifter`.
+    BarrelShifter {
+        /// Data width in bits.
+        width: usize,
+    },
+    /// `generators::mux_tree`.
+    MuxTree {
+        /// Number of data inputs.
+        inputs: usize,
+    },
+    /// `generators::parity_tree`.
+    ParityTree {
+        /// Number of inputs.
+        width: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// The canonical `name/width` spelling used on the wire and inside
+    /// [`canonical_key`] (e.g. `alu/16`, `ks/8`).
+    pub fn canonical(&self) -> String {
+        let (name, w) = match *self {
+            WorkloadSpec::Alu { width } => ("alu", width),
+            WorkloadSpec::RippleCarryAdder { width } => ("rca", width),
+            WorkloadSpec::CarryLookaheadAdder { width } => ("cla", width),
+            WorkloadSpec::KoggeStoneAdder { width } => ("ks", width),
+            WorkloadSpec::ArrayMultiplier { width } => ("mult", width),
+            WorkloadSpec::BarrelShifter { width } => ("barrel", width),
+            WorkloadSpec::MuxTree { inputs } => ("mux", inputs),
+            WorkloadSpec::ParityTree { width } => ("parity", width),
+        };
+        format!("{name}/{w}")
+    }
+
+    /// Parses the [`WorkloadSpec::canonical`] spelling back.
+    ///
+    /// # Errors
+    ///
+    /// [`GapError::Parse`] on an unknown name or malformed width.
+    pub fn parse(s: &str) -> Result<WorkloadSpec, GapError> {
+        let bad = || GapError::Parse {
+            what: format!("workload spec {s:?}"),
+        };
+        let (name, w) = s.split_once('/').ok_or_else(bad)?;
+        let width: usize = w.parse().map_err(|_| bad())?;
+        if width == 0 || width > 64 {
+            return Err(bad());
+        }
+        Ok(match name {
+            "alu" => WorkloadSpec::Alu { width },
+            "rca" => WorkloadSpec::RippleCarryAdder { width },
+            "cla" => WorkloadSpec::CarryLookaheadAdder { width },
+            "ks" => WorkloadSpec::KoggeStoneAdder { width },
+            "mult" => WorkloadSpec::ArrayMultiplier { width },
+            "barrel" => WorkloadSpec::BarrelShifter { width },
+            "mux" => WorkloadSpec::MuxTree { inputs: width },
+            "parity" => WorkloadSpec::ParityTree { width },
+            _ => return Err(bad()),
+        })
+    }
+
+    /// Builds the workload netlist against `lib`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the generator's [`asicgap_netlist::NetlistError`].
+    pub fn build(&self, lib: &Library) -> Result<Netlist, asicgap_netlist::NetlistError> {
+        use asicgap_netlist::generators as g;
+        match *self {
+            WorkloadSpec::Alu { width } => g::alu(lib, width),
+            WorkloadSpec::RippleCarryAdder { width } => g::ripple_carry_adder(lib, width),
+            WorkloadSpec::CarryLookaheadAdder { width } => g::carry_lookahead_adder(lib, width),
+            WorkloadSpec::KoggeStoneAdder { width } => g::kogge_stone_adder(lib, width),
+            WorkloadSpec::ArrayMultiplier { width } => g::array_multiplier(lib, width),
+            WorkloadSpec::BarrelShifter { width } => g::barrel_shifter(lib, width),
+            WorkloadSpec::MuxTree { inputs } => g::mux_tree(lib, inputs),
+            WorkloadSpec::ParityTree { width } => g::parity_tree(lib, width),
+        }
+    }
+}
+
+/// The canonical identity of one flow run: every semantic knob of the
+/// scenario (the display `name` is deliberately excluded — it is a
+/// label, not an input), the workload, and the verification level,
+/// serialized one field per line. Two runs with equal canonical keys
+/// produce bit-identical [`ScenarioOutcome`]s (the PR 2 determinism
+/// contract), which is what makes content-addressed result caching
+/// sound.
+pub fn canonical_key(
+    scenario: &DesignScenario,
+    workload: &WorkloadSpec,
+    verify: VerifyLevel,
+) -> String {
+    use std::fmt::Write;
+    let mut k = String::with_capacity(512);
+    let verify = match verify {
+        VerifyLevel::Off => "off",
+        VerifyLevel::Sim => "sim",
+        VerifyLevel::Full => "full",
+    };
+    writeln!(k, "asicgap-flow/v1").expect("write to String");
+    writeln!(k, "workload {}", workload.canonical()).expect("write to String");
+    writeln!(k, "verify {verify}").expect("write to String");
+    writeln!(k, "technology {:?}", scenario.technology).expect("write to String");
+    writeln!(k, "library {:?}", scenario.library).expect("write to String");
+    writeln!(k, "pipeline_stages {}", scenario.pipeline_stages).expect("write to String");
+    writeln!(k, "skew_fraction {:?}", scenario.skew_fraction).expect("write to String");
+    writeln!(k, "sizing {:?}", scenario.sizing).expect("write to String");
+    writeln!(k, "logic_style {:?}", scenario.logic_style).expect("write to String");
+    writeln!(k, "floorplan {:?}", scenario.floorplan).expect("write to String");
+    writeln!(k, "wire_model {:?}", scenario.wire_model).expect("write to String");
+    writeln!(k, "access {:?}", scenario.access).expect("write to String");
+    writeln!(k, "seed {}", scenario.seed).expect("write to String");
+    k
+}
+
+/// 64-bit FNV-1a over `data` — the content hash pairing
+/// [`canonical_key`] (the serving layer stores the full key alongside
+/// the hash, so a collision degrades to a miss, never a wrong answer).
+pub fn content_hash(data: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// How the flow sizes gates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -312,22 +572,48 @@ pub fn run_scenario_verified(
     workload: impl FnOnce(&Library) -> Result<Netlist, asicgap_netlist::NetlistError>,
     verify: VerifyLevel,
 ) -> Result<ScenarioOutcome, GapError> {
+    run_scenario_observed(scenario, workload, verify, &NoObserver)
+}
+
+/// [`run_scenario_verified`] with observation and cancellation hooks:
+/// `obs` receives per-stage wall times and is polled for cancellation
+/// between stages (see [`FlowObserver`]). The observer cannot change
+/// any computed number — with a never-cancelling observer this returns
+/// exactly what [`run_scenario_verified`] returns.
+///
+/// # Errors
+///
+/// As [`run_scenario_verified`], plus [`GapError::Cancelled`] when
+/// `obs.poll_cancel()` reports true at a stage boundary.
+pub fn run_scenario_observed(
+    scenario: &DesignScenario,
+    workload: impl FnOnce(&Library) -> Result<Netlist, asicgap_netlist::NetlistError>,
+    verify: VerifyLevel,
+    obs: &dyn FlowObserver,
+) -> Result<ScenarioOutcome, GapError> {
     if scenario.pipeline_stages == 0 {
         return Err(GapError::Scenario {
             what: "pipeline_stages must be >= 1".to_string(),
         });
     }
+    let stage_clock = Instant::now();
     let lib = scenario.library.build(&scenario.technology);
     let mut netlist = workload(&lib)?;
+    obs.stage_done(FlowStage::Synth, stage_clock.elapsed());
+    abort_if_cancelled(obs, FlowStage::Synth)?;
     let mut verify_effort = (verify == VerifyLevel::Full).then(EquivEffort::default);
 
     // §4: pipelining. The flat netlist's timing drives the cut placement;
     // the pipelined result then seeds the flow's one shared timer.
     let mut registers = 0;
     if scenario.pipeline_stages >= 2 {
+        let stage_clock = Instant::now();
         let report =
             TimingGraph::new(netlist.clone(), &lib, ClockSpec::unconstrained(), None).report();
         let piped = pipeline_netlist_with(&netlist, &lib, scenario.pipeline_stages, &report)?;
+        obs.stage_done(FlowStage::Pipeline, stage_clock.elapsed());
+        abort_if_cancelled(obs, FlowStage::Pipeline)?;
+        let stage_clock = Instant::now();
         match verify {
             VerifyLevel::Off => {}
             VerifyLevel::Sim => {
@@ -350,6 +636,10 @@ pub fn run_scenario_verified(
                 }
             }
         }
+        if verify != VerifyLevel::Off {
+            obs.stage_done(FlowStage::Equiv, stage_clock.elapsed());
+            abort_if_cancelled(obs, FlowStage::Equiv)?;
+        }
         registers = piped.registers_inserted;
         netlist = piped.netlist;
     }
@@ -359,9 +649,12 @@ pub fn run_scenario_verified(
 
     // One timer for the rest of the flow: every optimization below
     // mutates this graph and pays only for the cones it touches.
+    let stage_clock = Instant::now();
     let mut graph = TimingGraph::new(netlist, &lib, ClockSpec::unconstrained(), None);
+    obs.stage_done(FlowStage::Sta, stage_clock.elapsed());
 
     // §6: sizing.
+    let stage_clock = Instant::now();
     match scenario.sizing {
         SizingQuality::AsMapped => {}
         SizingQuality::DriveSelected => select_drives_on(&mut graph, &DriveOptions::default()),
@@ -375,6 +668,8 @@ pub fn run_scenario_verified(
             }
         }
     }
+    obs.stage_done(FlowStage::Sizing, stage_clock.elapsed());
+    abort_if_cancelled(obs, FlowStage::Sizing)?;
 
     // §5: floorplanning and wires.
     let strategy = match scenario.floorplan {
@@ -384,15 +679,19 @@ pub fn run_scenario_verified(
             die_side_um: 10_000.0,
         },
     };
+    let stage_clock = Instant::now();
     let fp = Floorplan::build(
         graph.netlist(),
         &lib,
         strategy,
         &AnnealOptions::quick(scenario.seed),
     );
+    obs.stage_done(FlowStage::Place, stage_clock.elapsed());
+    abort_if_cancelled(obs, FlowStage::Place)?;
     // The routed model routes once, after placement; resizing below only
     // swaps drive strengths (positions and connectivity are untouched),
     // so the routes stay valid and both extractions read the same trees.
+    let stage_clock = Instant::now();
     let routing = match scenario.wire_model {
         WireModel::Hpwl => None,
         WireModel::Routed => Some(route(
@@ -406,9 +705,19 @@ pub fn run_scenario_verified(
         Some(r) => annotate_routed(graph.netlist(), &lib, r, true),
     };
     graph.set_parasitics(par);
+    // Extraction rides with the wire model that produced it: the HPWL
+    // annotate is placement work, the routed one is routing work.
+    let extract_stage = if routing.is_some() {
+        FlowStage::Route
+    } else {
+        FlowStage::Place
+    };
+    obs.stage_done(extract_stage, stage_clock.elapsed());
+    abort_if_cancelled(obs, extract_stage)?;
 
     // Post-layout resize (§6.2): re-select drives against the annotated
     // wire loads, then re-extract (sink caps changed).
+    let stage_clock = Instant::now();
     if scenario.sizing != SizingQuality::AsMapped {
         select_drives_on(
             &mut graph,
@@ -427,14 +736,20 @@ pub fn run_scenario_verified(
     let route_summary = routing
         .as_ref()
         .map(|r| r.summary(graph.netlist(), &fp.placement));
+    obs.stage_done(FlowStage::Sizing, stage_clock.elapsed());
+    abort_if_cancelled(obs, FlowStage::Sizing)?;
 
     // Timing without skew, then fold the fractional skew in.
+    let stage_clock = Instant::now();
     let report = graph.report();
+    obs.stage_done(FlowStage::Sta, stage_clock.elapsed());
     let timing_effort = report.stats;
     let (netlist, _) = graph.into_parts();
 
     // The sizing/buffering loop must not have changed any logic function.
     if let Some(golden) = pre_sizing {
+        abort_if_cancelled(obs, FlowStage::Sta)?;
+        let stage_clock = Instant::now();
         match verify {
             VerifyLevel::Off => unreachable!("golden kept only when verifying"),
             VerifyLevel::Sim => {
@@ -462,6 +777,7 @@ pub fn run_scenario_verified(
                 }
             }
         }
+        obs.stage_done(FlowStage::Equiv, stage_clock.elapsed());
     }
     let mut period_no_skew = report.min_period;
 
@@ -791,6 +1107,137 @@ mod tests {
         let out = run_scenario_verified(&scenario, |lib| generators::alu(lib, 8), VerifyLevel::Sim)
             .expect("sim-verified");
         assert_eq!(out.verify_effort, None);
+    }
+
+    #[test]
+    fn canonical_key_identifies_scenarios_by_content() {
+        let w = WorkloadSpec::Alu { width: 16 };
+        let a = DesignScenario::typical_asic();
+        // The display name is a label, not an input: renaming must not
+        // change identity.
+        let mut renamed = a.clone();
+        renamed.name = "same knobs, new label".to_string();
+        assert_eq!(
+            canonical_key(&a, &w, VerifyLevel::Off),
+            canonical_key(&renamed, &w, VerifyLevel::Off)
+        );
+        // Every semantic knob must change identity.
+        assert_ne!(
+            canonical_key(&a, &w, VerifyLevel::Off),
+            canonical_key(&a, &w, VerifyLevel::Full)
+        );
+        assert_ne!(
+            canonical_key(&a, &w, VerifyLevel::Off),
+            canonical_key(&a, &WorkloadSpec::Alu { width: 8 }, VerifyLevel::Off)
+        );
+        let mut seeded = a.clone();
+        seeded.seed = 2;
+        assert_ne!(
+            canonical_key(&a, &w, VerifyLevel::Off),
+            canonical_key(&seeded, &w, VerifyLevel::Off)
+        );
+        assert_ne!(
+            canonical_key(&a, &w, VerifyLevel::Off),
+            canonical_key(
+                &a.clone().with_wire_model(WireModel::Routed),
+                &w,
+                VerifyLevel::Off
+            )
+        );
+        // Hash is a pure function of the key.
+        let k = canonical_key(&a, &w, VerifyLevel::Off);
+        assert_eq!(content_hash(&k), content_hash(&k));
+        assert_ne!(content_hash(&k), content_hash(&format!("{k} ")));
+    }
+
+    #[test]
+    fn workload_spec_round_trips_and_builds() {
+        let specs = [
+            WorkloadSpec::Alu { width: 16 },
+            WorkloadSpec::RippleCarryAdder { width: 8 },
+            WorkloadSpec::CarryLookaheadAdder { width: 8 },
+            WorkloadSpec::KoggeStoneAdder { width: 8 },
+            WorkloadSpec::ArrayMultiplier { width: 6 },
+            WorkloadSpec::BarrelShifter { width: 8 },
+            WorkloadSpec::MuxTree { inputs: 8 },
+            WorkloadSpec::ParityTree { width: 9 },
+        ];
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        for spec in specs {
+            let round = WorkloadSpec::parse(&spec.canonical()).expect("parses back");
+            assert_eq!(round, spec);
+            let n = spec.build(&lib).expect("generator builds");
+            assert!(n.instance_count() > 0);
+        }
+        assert!(WorkloadSpec::parse("alu").is_err());
+        assert!(WorkloadSpec::parse("alu/0").is_err());
+        assert!(WorkloadSpec::parse("alu/999").is_err());
+        assert!(WorkloadSpec::parse("frobnicator/8").is_err());
+    }
+
+    #[test]
+    fn observer_sees_stages_and_never_perturbs() {
+        use std::sync::Mutex;
+        use std::time::Duration;
+        struct Recorder(Mutex<Vec<FlowStage>>);
+        impl FlowObserver for Recorder {
+            fn stage_done(&self, stage: FlowStage, _elapsed: Duration) {
+                self.0.lock().expect("recorder lock").push(stage);
+            }
+        }
+        let scenario = DesignScenario::best_practice_asic();
+        let plain = run_scenario(&scenario, |lib| generators::alu(lib, 8)).expect("plain");
+        let rec = Recorder(Mutex::new(Vec::new()));
+        let observed = run_scenario_observed(
+            &scenario,
+            |lib| generators::alu(lib, 8),
+            VerifyLevel::Off,
+            &rec,
+        )
+        .expect("observed");
+        assert_eq!(plain, observed, "observer must not perturb results");
+        let stages = rec.0.into_inner().expect("recorder lock");
+        for want in [
+            FlowStage::Synth,
+            FlowStage::Pipeline,
+            FlowStage::Sizing,
+            FlowStage::Place,
+            FlowStage::Sta,
+        ] {
+            assert!(stages.contains(&want), "stage {want:?} unreported");
+        }
+        assert!(
+            !stages.contains(&FlowStage::Route),
+            "HPWL flow must not report a route stage"
+        );
+        assert!(
+            !stages.contains(&FlowStage::Equiv),
+            "unverified flow must not report an equiv stage"
+        );
+    }
+
+    #[test]
+    fn cancelled_flow_stops_at_a_stage_boundary() {
+        struct CancelImmediately;
+        impl FlowObserver for CancelImmediately {
+            fn poll_cancel(&self) -> bool {
+                true
+            }
+        }
+        let err = run_scenario_observed(
+            &DesignScenario::typical_asic(),
+            |lib| generators::alu(lib, 8),
+            VerifyLevel::Off,
+            &CancelImmediately,
+        )
+        .expect_err("cancelled");
+        assert!(matches!(
+            err,
+            GapError::Cancelled {
+                after: FlowStage::Synth
+            }
+        ));
     }
 
     #[test]

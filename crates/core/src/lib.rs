@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod canon;
 pub mod chips;
 mod error;
 mod factors;
@@ -62,9 +63,10 @@ pub use asicgap_equiv::{EquivEffort, EquivReport, EquivResult, VerifyLevel};
 pub use error::GapError;
 pub use factors::GapFactor;
 pub use flow::{
-    domino_speed_ratio, run_scenario, run_scenario_verified, run_scenarios, run_scenarios_verified,
-    DesignScenario, FloorplanQuality, LogicStyle, ProcessAccess, ScenarioOutcome, SizingQuality,
-    WireModel,
+    canonical_key, content_hash, domino_speed_ratio, run_scenario, run_scenario_observed,
+    run_scenario_verified, run_scenarios, run_scenarios_verified, DesignScenario, FloorplanQuality,
+    FlowObserver, FlowStage, LogicStyle, NoObserver, ProcessAccess, ScenarioOutcome, SizingQuality,
+    WireModel, WorkloadSpec,
 };
 pub use gap::FactorTable;
 

@@ -110,6 +110,28 @@ pub struct RouteSummary {
     pub vias: usize,
 }
 
+impl RouteSummary {
+    /// Routed length over HPWL — ≥ 1 by construction (the router never
+    /// beats the half-perimeter lower bound).
+    pub fn wire_ratio(&self) -> f64 {
+        self.routed_um / self.hpwl_um
+    }
+}
+
+/// The one spelling of router effort every report uses:
+/// `wire x<ratio>, ovfl <overflow>, <n> iter`.
+impl std::fmt::Display for RouteSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wire x{:.2}, ovfl {}, {} iter",
+            self.wire_ratio(),
+            self.overflow,
+            self.iterations
+        )
+    }
+}
+
 /// The output of [`route`]: per-net routes plus the congestion map.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoutingResult {

@@ -1,0 +1,82 @@
+//! `served` — the asicgap flow-serving daemon.
+//!
+//! ```text
+//! served [--addr HOST:PORT] [--workers N] [--queue N] [--cache-mb N]
+//! ```
+//!
+//! Binds (default `127.0.0.1:7171`; port 0 picks an ephemeral port),
+//! prints one `served listening on <addr>` line to stdout so scripts
+//! can scrape the address, then serves until a `SHUTDOWN` verb drains
+//! the queue and exits. Worker default follows `ASICGAP_THREADS`.
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+
+use asicgap_serve::server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: served [--addr HOST:PORT] [--workers N] [--queue N] [--cache-mb N]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> ServerConfig {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7171".parse().expect("literal addr"),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |what: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("served: {what} needs a value");
+                usage();
+            })
+        };
+        match flag.as_str() {
+            "--addr" => {
+                let v = value("--addr");
+                config.addr = v.parse::<SocketAddr>().unwrap_or_else(|_| {
+                    eprintln!("served: bad address {v:?}");
+                    usage();
+                });
+            }
+            "--workers" => {
+                config.workers = value("--workers").parse().unwrap_or_else(|_| usage());
+            }
+            "--queue" => {
+                config.queue_cap = value("--queue").parse().unwrap_or_else(|_| usage());
+            }
+            "--cache-mb" => {
+                let mb: usize = value("--cache-mb").parse().unwrap_or_else(|_| usage());
+                config.cache_budget = mb << 20;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("served: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    config
+}
+
+fn main() -> ExitCode {
+    let config = parse_args();
+    let server = match Server::bind(&config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("served: cannot bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("served listening on {}", server.local_addr());
+    eprintln!(
+        "served: {} workers, queue {}, cache {} MiB",
+        config.workers,
+        config.queue_cap,
+        config.cache_budget >> 20
+    );
+    server.run();
+    eprintln!("served: drained, bye");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,185 @@
+//! Content-addressed result cache.
+//!
+//! Results are keyed by the FNV-1a 64 [`asicgap::content_hash`] of the
+//! request's [`asicgap::canonical_key`]. The full key is stored
+//! alongside each entry and compared on lookup, so a 64-bit collision
+//! degrades to a cache miss — it can never return the wrong outcome.
+//!
+//! The cache is bounded by a byte budget over key + value lengths and
+//! evicts least-recently-used entries when an insert would exceed it.
+//! Because the flow is deterministic (PR 2), a cached canonical outcome
+//! text is bit-identical to what a fresh run would produce — the
+//! property `tests/serve.rs` asserts end-to-end.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// One cached outcome.
+struct Entry {
+    /// Full canonical key (collision guard).
+    key: String,
+    /// Canonical outcome text.
+    text: String,
+    /// Logical clock of last access, for LRU eviction.
+    last_used: u64,
+}
+
+impl Entry {
+    fn bytes(&self) -> usize {
+        self.key.len() + self.text.len()
+    }
+}
+
+struct Inner {
+    map: HashMap<u64, Entry>,
+    used: usize,
+    tick: u64,
+}
+
+/// Thread-safe LRU result cache bounded by a byte budget.
+pub struct ResultCache {
+    budget: usize,
+    inner: Mutex<Inner>,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `budget_bytes` of key + value
+    /// payload.
+    pub fn new(budget_bytes: usize) -> ResultCache {
+        ResultCache {
+            budget: budget_bytes,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                used: 0,
+                tick: 0,
+            }),
+        }
+    }
+
+    /// Looks up `hash`, verifying the stored canonical key equals `key`.
+    /// A hit refreshes the entry's LRU position.
+    pub fn get(&self, hash: u64, key: &str) -> Option<String> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(&hash)?;
+        if entry.key != key {
+            return None;
+        }
+        entry.last_used = tick;
+        Some(entry.text.clone())
+    }
+
+    /// Stores an outcome, evicting least-recently-used entries until the
+    /// byte budget holds. An entry larger than the whole budget is
+    /// silently not cached (serving it fresh is correct, just slower).
+    pub fn insert(&self, hash: u64, key: &str, text: &str) {
+        let entry = Entry {
+            key: key.to_string(),
+            text: text.to_string(),
+            last_used: 0,
+        };
+        if entry.bytes() > self.budget {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&hash) {
+            inner.used -= old.bytes();
+        }
+        while inner.used + entry.bytes() > self.budget {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&h, _)| h)
+                .expect("used > 0 implies non-empty map");
+            let evicted = inner.map.remove(&victim).expect("victim present");
+            inner.used -= evicted.bytes();
+        }
+        inner.used += entry.bytes();
+        inner.map.insert(
+            hash,
+            Entry {
+                last_used: tick,
+                ..entry
+            },
+        );
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently charged against the budget.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().expect("cache lock").used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_miss_before() {
+        let c = ResultCache::new(1024);
+        assert_eq!(c.get(7, "key-a"), None);
+        c.insert(7, "key-a", "outcome-a");
+        assert_eq!(c.get(7, "key-a").as_deref(), Some("outcome-a"));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), "key-a".len() + "outcome-a".len());
+    }
+
+    #[test]
+    fn hash_collision_with_different_key_is_a_miss() {
+        let c = ResultCache::new(1024);
+        c.insert(7, "key-a", "outcome-a");
+        assert_eq!(c.get(7, "key-b"), None, "collision must not serve key-a");
+        assert_eq!(c.get(7, "key-a").as_deref(), Some("outcome-a"));
+    }
+
+    #[test]
+    fn reinsert_replaces_and_recharges() {
+        let c = ResultCache::new(1024);
+        c.insert(7, "key-a", "short");
+        c.insert(7, "key-a", "a-much-longer-outcome");
+        assert_eq!(c.len(), 1);
+        assert_eq!(
+            c.used_bytes(),
+            "key-a".len() + "a-much-longer-outcome".len()
+        );
+        assert_eq!(c.get(7, "key-a").as_deref(), Some("a-much-longer-outcome"));
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        // Each entry is 10 bytes; budget fits exactly two.
+        let c = ResultCache::new(20);
+        c.insert(1, "k1", "12345678");
+        c.insert(2, "k2", "12345678");
+        assert!(c.get(1, "k1").is_some()); // refresh k1: k2 is now LRU
+        c.insert(3, "k3", "12345678");
+        assert_eq!(c.get(2, "k2"), None, "k2 was least recently used");
+        assert!(c.get(1, "k1").is_some());
+        assert!(c.get(3, "k3").is_some());
+        assert_eq!(c.len(), 2);
+        assert!(c.used_bytes() <= 20);
+    }
+
+    #[test]
+    fn entries_larger_than_budget_are_not_cached() {
+        let c = ResultCache::new(8);
+        c.insert(1, "key", "way-too-long-to-fit");
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+        assert_eq!(c.get(1, "key"), None);
+    }
+}

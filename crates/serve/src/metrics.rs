@@ -1,0 +1,474 @@
+//! Serving metrics: atomic counters plus streaming log2-bucket
+//! histograms.
+//!
+//! Everything here is lock-free (`Relaxed` atomics) so recording from
+//! flow workers and connection threads never contends with the request
+//! path. A [`MetricsSnapshot`] is taken with plain loads and serialized
+//! to a canonical `stats/v1` text block — the payload of the `STATS`
+//! verb — which parses back losslessly so clients and tests can check
+//! server-side counters against their own accounting.
+//!
+//! Histograms bucket by position of the value's highest set bit (bucket
+//! `i` holds values in `[2^(i-1), 2^i)`, bucket 0 holds zero), so
+//! quantiles are upper bounds accurate to 2x — plenty for latency
+//! reporting without per-sample storage.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use asicgap::FlowStage;
+
+use crate::proto::ProtoError;
+
+/// Number of log2 buckets: bucket 0 is zero, bucket 64 is values with
+/// the top bit set.
+const BUCKETS: usize = 65;
+
+/// A streaming histogram over `u64` samples (typically microseconds).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[Histogram::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Freezes the histogram into a snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, b) in buckets.iter_mut().zip(&self.buckets) {
+            *slot = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Frozen view of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen.
+    pub max: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Upper bound of the bucket containing quantile `q` (0.0–1.0);
+    /// zero when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Bucket i holds [2^(i-1), 2^i); upper bound capped at max.
+                let upper = if i == 0 {
+                    0
+                } else {
+                    (1u64 << i).saturating_sub(1)
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median upper bound.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile upper bound.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    fn canonical_line(&self) -> String {
+        let mut sparse = String::new();
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                if !sparse.is_empty() {
+                    sparse.push(',');
+                }
+                sparse.push_str(&format!("{i}:{n}"));
+            }
+        }
+        if sparse.is_empty() {
+            sparse.push('-');
+        }
+        format!(
+            "count {} sum {} max {} p50 {} p99 {} buckets {}",
+            self.count,
+            self.sum,
+            self.max,
+            self.p50(),
+            self.p99(),
+            sparse
+        )
+    }
+
+    fn parse_line(rest: &str) -> Option<HistogramSnapshot> {
+        let mut fields = rest.split(' ');
+        let mut named = |name: &str| -> Option<u64> {
+            if fields.next() != Some(name) {
+                return None;
+            }
+            fields.next()?.parse().ok()
+        };
+        let count = named("count")?;
+        let sum = named("sum")?;
+        let max = named("max")?;
+        let p50 = named("p50")?;
+        let p99 = named("p99")?;
+        if fields.next() != Some("buckets") {
+            return None;
+        }
+        let sparse = fields.next()?;
+        if fields.next().is_some() {
+            return None;
+        }
+        let mut buckets = [0u64; BUCKETS];
+        let mut total = 0;
+        if sparse != "-" {
+            for pair in sparse.split(',') {
+                let (i, n) = pair.split_once(':')?;
+                let i: usize = i.parse().ok()?;
+                let n: u64 = n.parse().ok()?;
+                if i >= BUCKETS || n == 0 {
+                    return None;
+                }
+                buckets[i] = n;
+                total += n;
+            }
+        }
+        let snap = HistogramSnapshot {
+            count,
+            sum,
+            max,
+            buckets,
+        };
+        // The summary must be consistent with the buckets it claims.
+        if total != count || snap.p50() != p50 || snap.p99() != p99 {
+            return None;
+        }
+        Some(snap)
+    }
+}
+
+/// All serving counters and histograms, shared across worker and
+/// connection threads.
+#[derive(Default)]
+pub struct Metrics {
+    /// Total `RUN` requests admitted for consideration.
+    pub requests: AtomicU64,
+    /// Served straight from the result cache.
+    pub cache_hits: AtomicU64,
+    /// Not found in cache (includes dedup joins and fresh computes).
+    pub cache_misses: AtomicU64,
+    /// Requests that joined an identical in-flight job.
+    pub dedup_joins: AtomicU64,
+    /// Requests rejected by admission control.
+    pub busy_rejections: AtomicU64,
+    /// Jobs that completed a flow run successfully.
+    pub completed: AtomicU64,
+    /// Jobs that failed with a flow error.
+    pub errors: AtomicU64,
+    /// Jobs abandoned at a stage boundary by their deadline.
+    pub cancelled: AtomicU64,
+    /// Current queue depth (maintained by the scheduler).
+    pub queue_depth: AtomicU64,
+    /// Queue depth sampled at every enqueue.
+    pub queue_depth_hist: Histogram,
+    /// End-to-end job latency, microseconds (submit to completion).
+    pub latency_us: Histogram,
+    /// Per-flow-stage wall time, microseconds, indexed by
+    /// [`FlowStage::index`].
+    pub stage_us: [Histogram; FlowStage::ALL.len()],
+}
+
+impl Metrics {
+    /// Records one stage wall time from a flow observer.
+    pub fn record_stage(&self, stage: FlowStage, elapsed: Duration) {
+        self.stage_us[stage.index()].record(elapsed.as_micros() as u64);
+    }
+
+    /// Takes a consistent-enough snapshot (individual loads are atomic;
+    /// cross-counter skew is bounded by in-flight requests).
+    pub fn snapshot(&self, cache_entries: usize, cache_bytes: usize) -> MetricsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            requests: load(&self.requests),
+            cache_hits: load(&self.cache_hits),
+            cache_misses: load(&self.cache_misses),
+            dedup_joins: load(&self.dedup_joins),
+            busy_rejections: load(&self.busy_rejections),
+            completed: load(&self.completed),
+            errors: load(&self.errors),
+            cancelled: load(&self.cancelled),
+            queue_depth: load(&self.queue_depth),
+            cache_entries: cache_entries as u64,
+            cache_bytes: cache_bytes as u64,
+            queue_depth_hist: self.queue_depth_hist.snapshot(),
+            latency_us: self.latency_us.snapshot(),
+            stage_us: std::array::from_fn(|i| self.stage_us[i].snapshot()),
+        }
+    }
+}
+
+/// Frozen, serializable view of [`Metrics`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// See [`Metrics::requests`].
+    pub requests: u64,
+    /// See [`Metrics::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`Metrics::cache_misses`].
+    pub cache_misses: u64,
+    /// See [`Metrics::dedup_joins`].
+    pub dedup_joins: u64,
+    /// See [`Metrics::busy_rejections`].
+    pub busy_rejections: u64,
+    /// See [`Metrics::completed`].
+    pub completed: u64,
+    /// See [`Metrics::errors`].
+    pub errors: u64,
+    /// See [`Metrics::cancelled`].
+    pub cancelled: u64,
+    /// See [`Metrics::queue_depth`].
+    pub queue_depth: u64,
+    /// Entries resident in the result cache.
+    pub cache_entries: u64,
+    /// Bytes charged against the cache budget.
+    pub cache_bytes: u64,
+    /// Queue depth distribution.
+    pub queue_depth_hist: HistogramSnapshot,
+    /// End-to-end latency distribution (µs).
+    pub latency_us: HistogramSnapshot,
+    /// Per-stage wall-time distributions (µs), [`FlowStage::ALL`] order.
+    pub stage_us: [HistogramSnapshot; FlowStage::ALL.len()],
+}
+
+impl MetricsSnapshot {
+    /// Cache hit rate over all lookups; 0.0 when none.
+    pub fn hit_rate(&self) -> f64 {
+        let looked = self.cache_hits + self.cache_misses;
+        if looked == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / looked as f64
+        }
+    }
+
+    /// Parses the canonical `stats/v1` text produced by `Display`.
+    /// Histogram lines carry their sparse buckets, so a parsed snapshot
+    /// re-serializes byte-identically and its quantiles are exact.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] on any structural deviation, including
+    /// a histogram summary inconsistent with its own buckets.
+    pub fn parse(text: &str) -> Result<MetricsSnapshot, ProtoError> {
+        let bad = |what: &str| ProtoError::Malformed {
+            what: format!("stats: {what}"),
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some("stats/v1") {
+            return Err(bad("missing stats/v1 header"));
+        }
+        let mut field = |name: &str| -> Result<u64, ProtoError> {
+            let line = lines.next().ok_or_else(|| bad("truncated"))?;
+            line.strip_prefix(name)
+                .and_then(|r| r.strip_prefix(' '))
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| bad(&format!("expected {name}, got {line:?}")))
+        };
+        let requests = field("requests")?;
+        let cache_hits = field("cache_hits")?;
+        let cache_misses = field("cache_misses")?;
+        let dedup_joins = field("dedup_joins")?;
+        let busy_rejections = field("busy_rejections")?;
+        let completed = field("completed")?;
+        let errors = field("errors")?;
+        let cancelled = field("cancelled")?;
+        let queue_depth = field("queue_depth")?;
+        let cache_entries = field("cache_entries")?;
+        let cache_bytes = field("cache_bytes")?;
+        let mut hist = |name: &str| -> Result<HistogramSnapshot, ProtoError> {
+            let line = lines.next().ok_or_else(|| bad("truncated"))?;
+            line.strip_prefix(name)
+                .and_then(|r| r.strip_prefix(' '))
+                .and_then(HistogramSnapshot::parse_line)
+                .ok_or_else(|| bad(&format!("histogram {name} in {line:?}")))
+        };
+        let queue_depth_hist = hist("queue_depth_hist")?;
+        let latency_us = hist("latency_us")?;
+        let mut stage_us = [HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }; FlowStage::ALL.len()];
+        for (i, stage) in FlowStage::ALL.iter().enumerate() {
+            stage_us[i] = hist(&format!("stage_{}", stage.label()))?;
+        }
+        if lines.next() != Some("end") {
+            return Err(bad("missing end"));
+        }
+        if lines.next().is_some() {
+            return Err(bad("trailing data"));
+        }
+        Ok(MetricsSnapshot {
+            requests,
+            cache_hits,
+            cache_misses,
+            dedup_joins,
+            busy_rejections,
+            completed,
+            errors,
+            cancelled,
+            queue_depth,
+            cache_entries,
+            cache_bytes,
+            queue_depth_hist,
+            latency_us,
+            stage_us,
+        })
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stats/v1")?;
+        writeln!(f, "requests {}", self.requests)?;
+        writeln!(f, "cache_hits {}", self.cache_hits)?;
+        writeln!(f, "cache_misses {}", self.cache_misses)?;
+        writeln!(f, "dedup_joins {}", self.dedup_joins)?;
+        writeln!(f, "busy_rejections {}", self.busy_rejections)?;
+        writeln!(f, "completed {}", self.completed)?;
+        writeln!(f, "errors {}", self.errors)?;
+        writeln!(f, "cancelled {}", self.cancelled)?;
+        writeln!(f, "queue_depth {}", self.queue_depth)?;
+        writeln!(f, "cache_entries {}", self.cache_entries)?;
+        writeln!(f, "cache_bytes {}", self.cache_bytes)?;
+        writeln!(
+            f,
+            "queue_depth_hist {}",
+            self.queue_depth_hist.canonical_line()
+        )?;
+        writeln!(f, "latency_us {}", self.latency_us.canonical_line())?;
+        for (stage, h) in FlowStage::ALL.iter().zip(&self.stage_us) {
+            writeln!(f, "stage_{} {}", stage.label(), h.canonical_line())?;
+        }
+        writeln!(f, "end")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_samples() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 3, 7, 100, 1000, 100_000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 101_111);
+        assert_eq!(s.max, 100_000);
+        assert!(s.p50() >= 7, "p50 {} must bound the median sample", s.p50());
+        assert!(s.p50() <= 1000, "p50 {} overshoots", s.p50());
+        assert_eq!(s.p99(), 100_000, "p99 lands in the max bucket");
+        assert_eq!(s.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let s = Histogram::default().snapshot();
+        assert_eq!((s.count, s.sum, s.max, s.p50(), s.p99()), (0, 0, 0, 0, 0));
+    }
+
+    #[test]
+    fn snapshot_text_round_trips() {
+        let m = Metrics::default();
+        m.requests.store(100, Ordering::Relaxed);
+        m.cache_hits.store(40, Ordering::Relaxed);
+        m.cache_misses.store(60, Ordering::Relaxed);
+        m.dedup_joins.store(10, Ordering::Relaxed);
+        m.busy_rejections.store(5, Ordering::Relaxed);
+        m.completed.store(50, Ordering::Relaxed);
+        m.errors.store(2, Ordering::Relaxed);
+        m.latency_us.record(12_345);
+        m.latency_us.record(500);
+        m.queue_depth_hist.record(3);
+        m.record_stage(FlowStage::Synth, Duration::from_micros(111));
+        m.record_stage(FlowStage::Sta, Duration::from_micros(2_222));
+        let snap = m.snapshot(7, 4096);
+        let text = snap.to_string();
+        let back = MetricsSnapshot::parse(&text).expect("parses");
+        // Scalars survive exactly; the re-serialized text is identical.
+        assert_eq!(back.requests, 100);
+        assert_eq!(back.cache_hits, 40);
+        assert_eq!(back.cache_entries, 7);
+        assert_eq!(back.cache_bytes, 4096);
+        assert_eq!(back.latency_us.count, 2);
+        assert_eq!(back.stage_us[FlowStage::Sta.index()].count, 1);
+        assert_eq!(back.to_string(), text);
+        assert!((snap.hit_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn malformed_stats_rejected() {
+        let good = Metrics::default().snapshot(0, 0).to_string();
+        assert!(MetricsSnapshot::parse(&good).is_ok());
+        for broken in [
+            "",
+            "stats/v2\nend\n",
+            &good.replace("cache_hits", "cash_hits"),
+            &good.replace("end\n", ""),
+            &format!("{good}junk\n"),
+            &good[..good.len() / 2],
+        ] {
+            assert!(
+                MetricsSnapshot::parse(broken).is_err(),
+                "accepted {broken:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,645 @@
+//! The wire protocol: length-prefixed frames carrying one-line verbs
+//! and canonical-text payloads.
+//!
+//! A frame is a 4-byte big-endian length followed by that many bytes of
+//! UTF-8. Frames are bounded by [`MAX_FRAME`]; a header announcing more
+//! is an [`ProtoError::Oversized`] error before any payload is read, and
+//! a connection that dies mid-payload is [`ProtoError::Truncated`] — the
+//! two failure paths the protocol property tests pin.
+//!
+//! Request bodies are single lines (`PING`, `STATS`, `SHUTDOWN`, or a
+//! `RUN` line of `key=value` fields). Response bodies are a verb line
+//! optionally followed by a canonical-text payload (the
+//! [`ScenarioOutcome`] canonical form for `OUTCOME`, the metrics
+//! snapshot for `STATS`) — the same bytes the batch tooling prints, so
+//! cached, deduplicated, and freshly computed responses can be compared
+//! byte-for-byte.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use asicgap::{canonical_key, content_hash, DesignScenario, VerifyLevel, WireModel, WorkloadSpec};
+
+/// Hard ceiling on frame payloads (1 MiB). Far above any legitimate
+/// outcome or stats dump; a header above this is treated as a protocol
+/// violation, not an allocation request.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Protocol-layer errors.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The peer closed the connection mid-frame.
+    Truncated {
+        /// Bytes the header promised.
+        wanted: usize,
+    },
+    /// A frame header announced more than [`MAX_FRAME`] bytes.
+    Oversized {
+        /// Bytes the header promised.
+        len: usize,
+    },
+    /// The frame arrived intact but its contents did not parse.
+    Malformed {
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "protocol i/o error: {e}"),
+            ProtoError::Truncated { wanted } => {
+                write!(f, "truncated frame (header promised {wanted} bytes)")
+            }
+            ProtoError::Oversized { len } => {
+                write!(f, "oversized frame ({len} bytes > {MAX_FRAME} max)")
+            }
+            ProtoError::Malformed { what } => write!(f, "malformed frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> ProtoError {
+        ProtoError::Io(e)
+    }
+}
+
+fn malformed(what: impl Into<String>) -> ProtoError {
+    ProtoError::Malformed { what: what.into() }
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// [`ProtoError::Oversized`] if `body` exceeds [`MAX_FRAME`];
+/// [`ProtoError::Io`] on socket failure.
+pub fn write_frame(w: &mut impl Write, body: &str) -> Result<(), ProtoError> {
+    let bytes = body.as_bytes();
+    if bytes.len() > MAX_FRAME {
+        return Err(ProtoError::Oversized { len: bytes.len() });
+    }
+    let len = u32::try_from(bytes.len()).expect("MAX_FRAME fits in u32");
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame; `Ok(None)` on a clean end-of-stream before any
+/// header byte (the peer hung up between requests, which is normal).
+///
+/// # Errors
+///
+/// [`ProtoError::Truncated`] when the stream ends mid-header or
+/// mid-payload, [`ProtoError::Oversized`] on an over-limit header,
+/// [`ProtoError::Malformed`] on non-UTF-8 payload, [`ProtoError::Io`]
+/// on other socket failures.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, ProtoError> {
+    let mut header = [0u8; 4];
+    let mut got = 0;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(ProtoError::Truncated { wanted: 4 }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(ProtoError::Oversized { len });
+    }
+    let mut body = vec![0u8; len];
+    let mut filled = 0;
+    while filled < len {
+        match r.read(&mut body[filled..]) {
+            Ok(0) => return Err(ProtoError::Truncated { wanted: len }),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e)),
+        }
+    }
+    String::from_utf8(body)
+        .map(Some)
+        .map_err(|_| malformed("non-UTF-8 payload"))
+}
+
+/// The named scenario presets a client can request. The preset resolves
+/// server-side to a full [`DesignScenario`]; the cache key is computed
+/// from the *resolved* scenario, so a preset redefinition can never
+/// serve stale results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioPreset {
+    /// [`DesignScenario::typical_asic`].
+    TypicalAsic,
+    /// [`DesignScenario::best_practice_asic`].
+    BestPracticeAsic,
+    /// [`DesignScenario::custom`].
+    Custom,
+    /// Point `i` (0–31) of [`DesignScenario::factor_grid`].
+    Grid(u8),
+}
+
+impl ScenarioPreset {
+    /// The canonical spelling used on the wire.
+    pub fn canonical(&self) -> String {
+        match self {
+            ScenarioPreset::TypicalAsic => "typical_asic".to_string(),
+            ScenarioPreset::BestPracticeAsic => "best_practice_asic".to_string(),
+            ScenarioPreset::Custom => "custom".to_string(),
+            ScenarioPreset::Grid(i) => format!("grid:{i}"),
+        }
+    }
+
+    /// Parses [`ScenarioPreset::canonical`] back.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] on unknown names or out-of-range grid
+    /// indices.
+    pub fn parse(s: &str) -> Result<ScenarioPreset, ProtoError> {
+        match s {
+            "typical_asic" => Ok(ScenarioPreset::TypicalAsic),
+            "best_practice_asic" => Ok(ScenarioPreset::BestPracticeAsic),
+            "custom" => Ok(ScenarioPreset::Custom),
+            _ => {
+                let i: u8 = s
+                    .strip_prefix("grid:")
+                    .and_then(|n| n.parse().ok())
+                    .ok_or_else(|| malformed(format!("scenario preset {s:?}")))?;
+                if i >= 32 {
+                    return Err(malformed(format!("grid index {i} out of 0..32")));
+                }
+                Ok(ScenarioPreset::Grid(i))
+            }
+        }
+    }
+
+    /// Resolves the preset to its scenario.
+    pub fn scenario(&self) -> DesignScenario {
+        match self {
+            ScenarioPreset::TypicalAsic => DesignScenario::typical_asic(),
+            ScenarioPreset::BestPracticeAsic => DesignScenario::best_practice_asic(),
+            ScenarioPreset::Custom => DesignScenario::custom(),
+            ScenarioPreset::Grid(i) => DesignScenario::factor_grid().swap_remove(usize::from(*i)),
+        }
+    }
+}
+
+/// One flow-run request: preset plus the per-request knobs. Identity
+/// for caching/dedup is [`RunRequest::canonical_key`], not `Eq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunRequest {
+    /// Which scenario preset to run.
+    pub preset: ScenarioPreset,
+    /// Wire pricing override.
+    pub wire_model: WireModel,
+    /// Equivalence-checking level.
+    pub verify: VerifyLevel,
+    /// Seed override for the scenario's stochastic steps.
+    pub seed: u64,
+    /// The workload netlist to push through the flow.
+    pub workload: WorkloadSpec,
+    /// Per-request deadline in milliseconds; 0 means none. Checked
+    /// between flow stages — an expired request is abandoned with a
+    /// `cancelled` error instead of holding a worker.
+    pub deadline_ms: u32,
+}
+
+impl RunRequest {
+    /// A small default request (used by tooling): the typical ASIC on an
+    /// 8-bit ALU, unverified, no deadline.
+    pub fn small() -> RunRequest {
+        RunRequest {
+            preset: ScenarioPreset::TypicalAsic,
+            wire_model: WireModel::Hpwl,
+            verify: VerifyLevel::Off,
+            seed: 1,
+            workload: WorkloadSpec::Alu { width: 8 },
+            deadline_ms: 0,
+        }
+    }
+
+    /// The fully resolved scenario this request runs.
+    pub fn scenario(&self) -> DesignScenario {
+        let mut s = self.preset.scenario();
+        s.wire_model = self.wire_model;
+        s.seed = self.seed;
+        s
+    }
+
+    /// The content-addressed identity of this request: the canonical
+    /// key of the *resolved* scenario (deadline excluded — it bounds
+    /// when a result arrives, not what it is).
+    pub fn canonical_key(&self) -> String {
+        canonical_key(&self.scenario(), &self.workload, self.verify)
+    }
+
+    /// [`content_hash`] of [`RunRequest::canonical_key`].
+    pub fn content_hash(&self) -> u64 {
+        content_hash(&self.canonical_key())
+    }
+}
+
+fn wire_name(w: WireModel) -> &'static str {
+    match w {
+        WireModel::Hpwl => "hpwl",
+        WireModel::Routed => "routed",
+    }
+}
+
+fn parse_wire(s: &str) -> Result<WireModel, ProtoError> {
+    match s {
+        "hpwl" => Ok(WireModel::Hpwl),
+        "routed" => Ok(WireModel::Routed),
+        _ => Err(malformed(format!("wire model {s:?}"))),
+    }
+}
+
+fn verify_name(v: VerifyLevel) -> &'static str {
+    match v {
+        VerifyLevel::Off => "off",
+        VerifyLevel::Sim => "sim",
+        VerifyLevel::Full => "full",
+    }
+}
+
+fn parse_verify(s: &str) -> Result<VerifyLevel, ProtoError> {
+    match s {
+        "off" => Ok(VerifyLevel::Off),
+        "sim" => Ok(VerifyLevel::Sim),
+        "full" => Ok(VerifyLevel::Full),
+        _ => Err(malformed(format!("verify level {s:?}"))),
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Run (or fetch) one scenario flow.
+    Run(RunRequest),
+    /// Fetch the metrics snapshot.
+    Stats,
+    /// Drain the queue, stop the workers, and close the listener.
+    Shutdown,
+}
+
+impl Request {
+    /// Serializes to a frame body.
+    pub fn encode(&self) -> String {
+        match self {
+            Request::Ping => "PING".to_string(),
+            Request::Stats => "STATS".to_string(),
+            Request::Shutdown => "SHUTDOWN".to_string(),
+            Request::Run(r) => format!(
+                "RUN preset={} wire={} verify={} seed={} workload={} deadline_ms={}",
+                r.preset.canonical(),
+                wire_name(r.wire_model),
+                verify_name(r.verify),
+                r.seed,
+                r.workload.canonical(),
+                r.deadline_ms
+            ),
+        }
+    }
+
+    /// Parses a frame body.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] on unknown verbs or bad `RUN` fields.
+    pub fn decode(body: &str) -> Result<Request, ProtoError> {
+        match body {
+            "PING" => return Ok(Request::Ping),
+            "STATS" => return Ok(Request::Stats),
+            "SHUTDOWN" => return Ok(Request::Shutdown),
+            _ => {}
+        }
+        let fields = body
+            .strip_prefix("RUN ")
+            .ok_or_else(|| malformed(format!("unknown verb in {body:?}")))?;
+        let mut preset = None;
+        let mut wire = None;
+        let mut verify = None;
+        let mut seed = None;
+        let mut workload = None;
+        let mut deadline = None;
+        for field in fields.split(' ') {
+            let (k, v) = field
+                .split_once('=')
+                .ok_or_else(|| malformed(format!("RUN field {field:?}")))?;
+            match k {
+                "preset" => preset = Some(ScenarioPreset::parse(v)?),
+                "wire" => wire = Some(parse_wire(v)?),
+                "verify" => verify = Some(parse_verify(v)?),
+                "seed" => {
+                    seed = Some(v.parse().map_err(|_| malformed(format!("seed {v:?}")))?);
+                }
+                "workload" => {
+                    workload = Some(WorkloadSpec::parse(v).map_err(|e| malformed(format!("{e}")))?);
+                }
+                "deadline_ms" => {
+                    deadline = Some(
+                        v.parse()
+                            .map_err(|_| malformed(format!("deadline {v:?}")))?,
+                    );
+                }
+                _ => return Err(malformed(format!("unknown RUN field {k:?}"))),
+            }
+        }
+        let missing = |what: &str| malformed(format!("RUN missing field {what}"));
+        Ok(Request::Run(RunRequest {
+            preset: preset.ok_or_else(|| missing("preset"))?,
+            wire_model: wire.ok_or_else(|| missing("wire"))?,
+            verify: verify.ok_or_else(|| missing("verify"))?,
+            seed: seed.ok_or_else(|| missing("seed"))?,
+            workload: workload.ok_or_else(|| missing("workload"))?,
+            deadline_ms: deadline.ok_or_else(|| missing("deadline_ms"))?,
+        }))
+    }
+}
+
+/// Where an `OUTCOME` response came from. All three sources return the
+/// same bytes for the same request — that is the serving layer's
+/// correctness contract, asserted end-to-end in `tests/serve.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// Served from the content-addressed result cache.
+    Cache,
+    /// Computed fresh by this request.
+    Computed,
+    /// Joined an identical request already in flight.
+    Deduped,
+}
+
+impl Source {
+    /// Wire spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Source::Cache => "cache",
+            Source::Computed => "computed",
+            Source::Deduped => "deduped",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Source, ProtoError> {
+        match s {
+            "cache" => Ok(Source::Cache),
+            "computed" => Ok(Source::Computed),
+            "deduped" => Ok(Source::Deduped),
+            _ => Err(malformed(format!("outcome source {s:?}"))),
+        }
+    }
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `PING` acknowledgement.
+    Pong,
+    /// A completed flow run: provenance plus the canonical outcome text.
+    Outcome {
+        /// Where the bytes came from.
+        source: Source,
+        /// [`asicgap::ScenarioOutcome`] canonical text.
+        text: String,
+    },
+    /// Admission control rejected the request: the queue is full.
+    Busy {
+        /// Suggested client back-off.
+        retry_after_ms: u32,
+    },
+    /// Metrics snapshot canonical text.
+    Stats {
+        /// [`crate::metrics::MetricsSnapshot`] canonical text.
+        text: String,
+    },
+    /// `SHUTDOWN` acknowledgement; the server is draining.
+    Bye,
+    /// The request failed (parse error, flow error, cancelled deadline).
+    Error {
+        /// One-line description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Serializes to a frame body.
+    pub fn encode(&self) -> String {
+        match self {
+            Response::Pong => "PONG".to_string(),
+            Response::Bye => "BYE".to_string(),
+            Response::Busy { retry_after_ms } => format!("BUSY {retry_after_ms}"),
+            Response::Error { message } => {
+                format!("ERROR {}", message.replace('\n', " "))
+            }
+            Response::Outcome { source, text } => {
+                format!("OUTCOME {}\n{text}", source.name())
+            }
+            Response::Stats { text } => format!("STATS\n{text}"),
+        }
+    }
+
+    /// Parses a frame body.
+    ///
+    /// # Errors
+    ///
+    /// [`ProtoError::Malformed`] on unknown verbs or bad fields.
+    pub fn decode(body: &str) -> Result<Response, ProtoError> {
+        match body {
+            "PONG" => return Ok(Response::Pong),
+            "BYE" => return Ok(Response::Bye),
+            _ => {}
+        }
+        if let Some(ms) = body.strip_prefix("BUSY ") {
+            let retry_after_ms = ms
+                .parse()
+                .map_err(|_| malformed(format!("BUSY delay {ms:?}")))?;
+            return Ok(Response::Busy { retry_after_ms });
+        }
+        if let Some(message) = body.strip_prefix("ERROR ") {
+            return Ok(Response::Error {
+                message: message.to_string(),
+            });
+        }
+        if let Some(rest) = body.strip_prefix("OUTCOME ") {
+            let (source, text) = rest
+                .split_once('\n')
+                .ok_or_else(|| malformed("OUTCOME without payload"))?;
+            return Ok(Response::Outcome {
+                source: Source::parse(source)?,
+                text: text.to_string(),
+            });
+        }
+        if let Some(text) = body.strip_prefix("STATS\n") {
+            return Ok(Response::Stats {
+                text: text.to_string(),
+            });
+        }
+        Err(malformed(format!(
+            "unknown response verb in {:?}",
+            body.lines().next().unwrap_or("")
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_tech::Rng64;
+
+    fn random_run(rng: &mut Rng64) -> RunRequest {
+        let presets = [
+            ScenarioPreset::TypicalAsic,
+            ScenarioPreset::BestPracticeAsic,
+            ScenarioPreset::Custom,
+            ScenarioPreset::Grid((rng.next_u64() % 32) as u8),
+        ];
+        let workloads = [
+            WorkloadSpec::Alu { width: 8 },
+            WorkloadSpec::RippleCarryAdder { width: 16 },
+            WorkloadSpec::KoggeStoneAdder { width: 8 },
+            WorkloadSpec::ArrayMultiplier { width: 6 },
+            WorkloadSpec::MuxTree { inputs: 8 },
+            WorkloadSpec::ParityTree { width: 9 },
+        ];
+        RunRequest {
+            preset: presets[(rng.next_u64() % 4) as usize],
+            wire_model: if rng.next_u64().is_multiple_of(2) {
+                WireModel::Hpwl
+            } else {
+                WireModel::Routed
+            },
+            verify: match rng.next_u64() % 3 {
+                0 => VerifyLevel::Off,
+                1 => VerifyLevel::Sim,
+                _ => VerifyLevel::Full,
+            },
+            seed: rng.next_u64(),
+            workload: workloads[(rng.next_u64() % 6) as usize],
+            deadline_ms: (rng.next_u64() % 100_000) as u32,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let mut rng = Rng64::new(0x5E_4E);
+        for _ in 0..256 {
+            let req = Request::Run(random_run(&mut rng));
+            assert_eq!(Request::decode(&req.encode()).expect("decodes"), req);
+        }
+        for req in [Request::Ping, Request::Stats, Request::Shutdown] {
+            assert_eq!(Request::decode(&req.encode()).expect("decodes"), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let mut rng = Rng64::new(0xCAFE);
+        for i in 0..256u64 {
+            let resp = match rng.next_u64() % 6 {
+                0 => Response::Pong,
+                1 => Response::Bye,
+                2 => Response::Busy {
+                    retry_after_ms: (rng.next_u64() % 10_000) as u32,
+                },
+                3 => Response::Error {
+                    message: format!("flow failed on cone {i}"),
+                },
+                4 => Response::Outcome {
+                    source: [Source::Cache, Source::Computed, Source::Deduped]
+                        [(rng.next_u64() % 3) as usize],
+                    text: format!("outcome/v1\nscenario x{i}\nend\n"),
+                },
+                _ => Response::Stats {
+                    text: format!("stats/v1\nrequests {i}\nend\n"),
+                },
+            };
+            assert_eq!(Response::decode(&resp.encode()).expect("decodes"), resp);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut rng = Rng64::new(0xF00D);
+        for _ in 0..64 {
+            let body = Request::Run(random_run(&mut rng)).encode();
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &body).expect("writes");
+            let back = read_frame(&mut buf.as_slice()).expect("reads");
+            assert_eq!(back.as_deref(), Some(body.as_str()));
+        }
+        // Clean EOF between frames is None, not an error.
+        assert!(read_frame(&mut [].as_slice()).expect("clean eof").is_none());
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "PING").expect("writes");
+        // Cut mid-payload and mid-header.
+        for cut in [buf.len() - 2, 2] {
+            let r = read_frame(&mut buf[..cut].as_ref());
+            assert!(
+                matches!(r, Err(ProtoError::Truncated { .. })),
+                "cut at {cut}: {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_frames_error_both_directions() {
+        // A header promising 2 MiB errors before any payload is read.
+        let len = (MAX_FRAME as u32 + 1).to_be_bytes();
+        let r = read_frame(&mut len.as_slice());
+        assert!(matches!(r, Err(ProtoError::Oversized { .. })), "{r:?}");
+        // And writing one is refused up front.
+        let huge = "x".repeat(MAX_FRAME + 1);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame(&mut buf, &huge),
+            Err(ProtoError::Oversized { .. })
+        ));
+        assert!(buf.is_empty(), "nothing written for refused frame");
+    }
+
+    #[test]
+    fn non_utf8_payload_is_malformed() {
+        let buf = vec![0, 0, 0, 2, 0xFF, 0xFE];
+        let r = read_frame(&mut buf.as_slice());
+        assert!(matches!(r, Err(ProtoError::Malformed { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn run_request_identity_excludes_deadline() {
+        let a = RunRequest::small();
+        let mut b = a;
+        b.deadline_ms = 5000;
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        assert_eq!(a.content_hash(), b.content_hash());
+        let mut c = a;
+        c.seed = 99;
+        assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn grid_presets_resolve_to_grid_points() {
+        let grid = asicgap::DesignScenario::factor_grid();
+        for i in [0u8, 7, 31] {
+            let s = ScenarioPreset::Grid(i).scenario();
+            assert_eq!(s.name, grid[usize::from(i)].name);
+        }
+        assert!(ScenarioPreset::parse("grid:32").is_err());
+        assert!(ScenarioPreset::parse("grid:-1").is_err());
+    }
+}

@@ -1,0 +1,432 @@
+//! Job scheduler: bounded queue, admission control, in-flight
+//! deduplication, and per-request deadlines.
+//!
+//! A `RUN` request is admitted in one of four ways:
+//!
+//! 1. **Cached** — the content-addressed cache already holds the
+//!    outcome; it is returned immediately, no job is created.
+//! 2. **Joined** — an identical request (same canonical key) is already
+//!    queued or running; the caller waits on that job's result instead
+//!    of duplicating the work.
+//! 3. **Submitted** — a fresh job enters the bounded queue.
+//! 4. **Busy** — the queue is full; the caller is told to retry later
+//!    rather than buffering unboundedly.
+//!
+//! Workers run jobs through [`asicgap::run_scenario_observed`] with an
+//! observer that feeds per-stage wall times into [`Metrics`] and polls
+//! the request deadline between stages, so an expired request abandons
+//! its flow at the next stage boundary instead of holding a worker.
+//!
+//! Lock discipline: the cache mutex and the scheduler state mutex are
+//! never held at the same time, and job completion slots are only
+//! locked after scheduler state is released.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use asicgap::{run_scenario_observed, FlowObserver, FlowStage, GapError};
+
+use crate::cache::ResultCache;
+use crate::metrics::Metrics;
+use crate::proto::RunRequest;
+
+/// One submitted flow run, shared between the submitting connection,
+/// any deduplicated joiners, and the worker that executes it.
+pub struct Job {
+    hash: u64,
+    key: String,
+    req: RunRequest,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    slot: Mutex<Option<Result<String, String>>>,
+    done: Condvar,
+}
+
+impl Job {
+    fn new(hash: u64, key: String, req: RunRequest) -> Job {
+        let deadline = (req.deadline_ms > 0)
+            .then(|| Instant::now() + Duration::from_millis(u64::from(req.deadline_ms)));
+        Job {
+            hash,
+            key,
+            req,
+            submitted: Instant::now(),
+            deadline,
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the job completes; returns the canonical outcome
+    /// text or a one-line error message.
+    pub fn wait(&self) -> Result<String, String> {
+        let mut slot = self.slot.lock().expect("job slot lock");
+        while slot.is_none() {
+            slot = self.done.wait(slot).expect("job slot lock");
+        }
+        slot.clone().expect("loop exits only when filled")
+    }
+
+    fn complete(&self, result: Result<String, String>) {
+        *self.slot.lock().expect("job slot lock") = Some(result);
+        self.done.notify_all();
+    }
+}
+
+/// How [`Scheduler::submit`] disposed of a request.
+pub enum Admission {
+    /// Served from cache; the canonical outcome text.
+    Cached(String),
+    /// A fresh job was queued; wait on it.
+    Submitted(Arc<Job>),
+    /// An identical job was already in flight; wait on it.
+    Joined(Arc<Job>),
+    /// Queue full (or shutting down); retry later.
+    Busy,
+}
+
+struct State {
+    queue: VecDeque<Arc<Job>>,
+    inflight: HashMap<u64, Arc<Job>>,
+    shutdown: bool,
+}
+
+/// Flow observer wired to the metrics layer and a request deadline.
+struct StageObserver<'a> {
+    metrics: &'a Metrics,
+    deadline: Option<Instant>,
+}
+
+impl FlowObserver for StageObserver<'_> {
+    fn stage_done(&self, stage: FlowStage, elapsed: Duration) {
+        self.metrics.record_stage(stage, elapsed);
+    }
+
+    fn poll_cancel(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// The admission-controlled job scheduler.
+pub struct Scheduler {
+    queue_cap: usize,
+    state: Mutex<State>,
+    work_cv: Condvar,
+    cache: ResultCache,
+    metrics: Arc<Metrics>,
+    workers: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Starts `workers` flow workers with a queue bounded at
+    /// `queue_cap` and a result cache of `cache_budget` bytes.
+    pub fn start(workers: usize, queue_cap: usize, cache_budget: usize) -> Arc<Scheduler> {
+        let sched = Arc::new(Scheduler {
+            queue_cap,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                inflight: HashMap::new(),
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            cache: ResultCache::new(cache_budget),
+            metrics: Arc::new(Metrics::default()),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(workers.max(1));
+        for i in 0..workers.max(1) {
+            let me = Arc::clone(&sched);
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || me.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        *sched.workers.lock().expect("workers lock") = handles;
+        sched
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Snapshot of metrics plus current cache occupancy.
+    pub fn stats(&self) -> crate::metrics::MetricsSnapshot {
+        self.metrics
+            .snapshot(self.cache.len(), self.cache.used_bytes())
+    }
+
+    /// Jobs currently queued (excludes jobs being executed).
+    pub fn queue_depth(&self) -> usize {
+        self.state.lock().expect("sched lock").queue.len()
+    }
+
+    /// Jobs queued or executing.
+    pub fn inflight_count(&self) -> usize {
+        self.state.lock().expect("sched lock").inflight.len()
+    }
+
+    /// Admits one request; see the module docs for the four outcomes.
+    pub fn submit(&self, req: RunRequest) -> Admission {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let key = req.canonical_key();
+        let hash = asicgap::content_hash(&key);
+        if let Some(text) = self.cache.get(hash, &key) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Admission::Cached(text);
+        }
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.state.lock().expect("sched lock");
+        if state.shutdown {
+            self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return Admission::Busy;
+        }
+        if let Some(job) = state.inflight.get(&hash) {
+            // A colliding-but-different key must not join: it would get
+            // the wrong outcome. It can't take the map slot either, so
+            // reject it as Busy (vanishingly rare with 64-bit FNV).
+            if job.key == key {
+                self.metrics.dedup_joins.fetch_add(1, Ordering::Relaxed);
+                return Admission::Joined(Arc::clone(job));
+            }
+            self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return Admission::Busy;
+        }
+        if state.queue.len() >= self.queue_cap {
+            self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
+            return Admission::Busy;
+        }
+        let job = Arc::new(Job::new(hash, key, req));
+        state.queue.push_back(Arc::clone(&job));
+        state.inflight.insert(hash, Arc::clone(&job));
+        let depth = state.queue.len();
+        drop(state);
+        self.metrics
+            .queue_depth
+            .store(depth as u64, Ordering::Relaxed);
+        self.metrics.queue_depth_hist.record(depth as u64);
+        self.work_cv.notify_one();
+        Admission::Submitted(job)
+    }
+
+    /// Begins a graceful drain: no new jobs are admitted, queued jobs
+    /// finish, workers then exit. Call [`Scheduler::join`] to wait.
+    pub fn shutdown(&self) {
+        self.state.lock().expect("sched lock").shutdown = true;
+        self.work_cv.notify_all();
+    }
+
+    /// Waits for all workers to exit (after [`Scheduler::shutdown`]).
+    pub fn join(&self) {
+        let handles = std::mem::take(&mut *self.workers.lock().expect("workers lock"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut state = self.state.lock().expect("sched lock");
+                loop {
+                    if let Some(job) = state.queue.pop_front() {
+                        let depth = state.queue.len();
+                        self.metrics
+                            .queue_depth
+                            .store(depth as u64, Ordering::Relaxed);
+                        break Some(job);
+                    }
+                    if state.shutdown {
+                        break None;
+                    }
+                    state = self.work_cv.wait(state).expect("sched lock");
+                }
+            };
+            let Some(job) = job else { return };
+            let result = self.execute(&job);
+            // Retire from in-flight before publishing the result so a
+            // later identical request re-runs (or hits cache) instead of
+            // joining a finished job.
+            self.state
+                .lock()
+                .expect("sched lock")
+                .inflight
+                .remove(&job.hash);
+            job.complete(result);
+        }
+    }
+
+    fn execute(&self, job: &Job) -> Result<String, String> {
+        let obs = StageObserver {
+            metrics: &self.metrics,
+            deadline: job.deadline,
+        };
+        if obs.poll_cancel() {
+            self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            return Err("cancelled before start (deadline expired in queue)".to_string());
+        }
+        let scenario = job.req.scenario();
+        let run = run_scenario_observed(
+            &scenario,
+            |lib| job.req.workload.build(lib),
+            job.req.verify,
+            &obs,
+        );
+        match run {
+            Ok(outcome) => {
+                let text = outcome.to_string();
+                self.cache.insert(job.hash, &job.key, &text);
+                self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .latency_us
+                    .record(job.submitted.elapsed().as_micros() as u64);
+                Ok(text)
+            }
+            Err(GapError::Cancelled { after }) => {
+                self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                Err(format!("cancelled after stage {}", after.label()))
+            }
+            Err(e) => {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Err(format!("flow failed: {e}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{RunRequest, ScenarioPreset, Source};
+    use asicgap::{VerifyLevel, WireModel, WorkloadSpec};
+
+    fn small(seed: u64) -> RunRequest {
+        RunRequest {
+            seed,
+            ..RunRequest::small()
+        }
+    }
+
+    fn resolve(sched: &Scheduler, req: RunRequest) -> (Source, String) {
+        match sched.submit(req) {
+            Admission::Cached(text) => (Source::Cache, text),
+            Admission::Submitted(job) => (Source::Computed, job.wait().expect("job ok")),
+            Admission::Joined(job) => (Source::Deduped, job.wait().expect("job ok")),
+            Admission::Busy => panic!("unexpected Busy"),
+        }
+    }
+
+    #[test]
+    fn cache_hit_returns_identical_bytes() {
+        let sched = Scheduler::start(2, 8, 1 << 20);
+        let (s1, t1) = resolve(&sched, small(1));
+        let (s2, t2) = resolve(&sched, small(1));
+        assert_eq!(s1, Source::Computed);
+        assert_eq!(s2, Source::Cache);
+        assert_eq!(t1, t2, "cached bytes differ from computed");
+        let stats = sched.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.completed, 1);
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
+    fn different_name_same_knobs_share_cache_line() {
+        // Deadline is not part of identity either.
+        let sched = Scheduler::start(1, 8, 1 << 20);
+        let (_, t1) = resolve(&sched, small(1));
+        let mut again = small(1);
+        again.deadline_ms = 60_000;
+        let (s2, t2) = resolve(&sched, again);
+        assert_eq!(s2, Source::Cache);
+        assert_eq!(t1, t2);
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
+    fn queue_overflow_rejects_with_busy() {
+        // One worker, queue of 1: jam it with distinct seeds.
+        let sched = Scheduler::start(1, 1, 1 << 20);
+        let mut submitted = Vec::new();
+        let mut busy = 0;
+        for seed in 0..32u64 {
+            match sched.submit(small(seed)) {
+                Admission::Submitted(j) => submitted.push(j),
+                Admission::Busy => busy += 1,
+                _ => {}
+            }
+        }
+        assert!(busy > 0, "a 32-burst into a 1-deep queue must reject");
+        for j in &submitted {
+            j.wait().expect("admitted jobs complete");
+        }
+        assert_eq!(sched.queue_depth(), 0, "queue drains after burst");
+        assert_eq!(sched.inflight_count(), 0);
+        assert_eq!(sched.stats().busy_rejections, busy);
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
+    fn expired_deadline_cancels_without_running() {
+        let sched = Scheduler::start(1, 8, 1 << 20);
+        // Occupy the worker so the doomed job sits in queue past its
+        // 1 ms deadline.
+        let blocker = match sched.submit(small(77)) {
+            Admission::Submitted(j) => j,
+            _ => panic!("expected submit"),
+        };
+        let mut doomed_req = small(78);
+        doomed_req.deadline_ms = 1;
+        let doomed = match sched.submit(doomed_req) {
+            Admission::Submitted(j) => j,
+            _ => panic!("expected submit"),
+        };
+        std::thread::sleep(Duration::from_millis(5));
+        blocker.wait().expect("blocker ok");
+        let err = doomed.wait().expect_err("deadline must cancel");
+        assert!(err.contains("cancelled"), "got {err:?}");
+        assert_eq!(sched.stats().cancelled, 1);
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
+    fn shutdown_rejects_new_work_and_drains() {
+        let sched = Scheduler::start(2, 8, 1 << 20);
+        let job = match sched.submit(small(5)) {
+            Admission::Submitted(j) => j,
+            _ => panic!("expected submit"),
+        };
+        sched.shutdown();
+        assert!(matches!(sched.submit(small(6)), Admission::Busy));
+        job.wait().expect("queued job still completes");
+        sched.join();
+        assert_eq!(sched.queue_depth(), 0);
+    }
+
+    #[test]
+    fn verified_run_caches_too() {
+        let mut req = small(9);
+        req.verify = VerifyLevel::Full;
+        req.preset = ScenarioPreset::BestPracticeAsic;
+        req.wire_model = WireModel::Routed;
+        req.workload = WorkloadSpec::KoggeStoneAdder { width: 8 };
+        let sched = Scheduler::start(2, 8, 1 << 20);
+        let (_, t1) = resolve(&sched, req);
+        let (s2, t2) = resolve(&sched, req);
+        assert_eq!(s2, Source::Cache);
+        assert_eq!(t1, t2);
+        assert!(t1.contains("verify "), "verified outcome carries effort");
+        sched.shutdown();
+        sched.join();
+    }
+}

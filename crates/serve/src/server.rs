@@ -1,0 +1,171 @@
+//! The TCP server: accept loop, per-connection framing, verb dispatch,
+//! and graceful shutdown.
+//!
+//! Each accepted connection gets its own thread speaking the
+//! [`crate::proto`] frame protocol; `RUN` requests go through the
+//! shared [`Scheduler`] and block that connection (not the server)
+//! until their job resolves. `SHUTDOWN` flips a stop flag, drains the
+//! scheduler, and unblocks the accept loop with a loopback self-connect
+//! so the listener closes without platform-specific socket teardown.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::proto::{read_frame, write_frame, ProtoError, Request, Response, Source};
+use crate::sched::{Admission, Scheduler};
+
+/// Server construction knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind (use port 0 for an ephemeral port).
+    pub addr: SocketAddr,
+    /// Flow worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity; beyond this, `RUN` gets `BUSY`.
+    pub queue_cap: usize,
+    /// Result cache byte budget.
+    pub cache_budget: usize,
+    /// Back-off hint sent with `BUSY` responses.
+    pub retry_after_ms: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".parse().expect("literal addr"),
+            workers: asicgap_exec::thread_count(),
+            queue_cap: 64,
+            cache_budget: 16 << 20,
+            retry_after_ms: 50,
+        }
+    }
+}
+
+/// A bound, not-yet-serving daemon.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    sched: Arc<Scheduler>,
+    retry_after_ms: u32,
+    stopping: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener and starts the scheduler's workers.
+    ///
+    /// # Errors
+    ///
+    /// [`io::Error`] if the address cannot be bound.
+    pub fn bind(config: &ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(config.addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            local_addr,
+            sched: Scheduler::start(config.workers, config.queue_cap, config.cache_budget),
+            retry_after_ms: config.retry_after_ms,
+            stopping: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until a `SHUTDOWN` verb arrives, then drains the
+    /// scheduler and returns. Connection threads are detached; queued
+    /// jobs complete before workers exit.
+    pub fn run(self) {
+        for conn in self.listener.incoming() {
+            if self.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let sched = Arc::clone(&self.sched);
+            let stopping = Arc::clone(&self.stopping);
+            let retry = self.retry_after_ms;
+            let addr = self.local_addr;
+            let _ = thread::Builder::new()
+                .name("serve-conn".to_string())
+                .spawn(move || {
+                    handle_connection(stream, &sched, &stopping, retry, addr);
+                });
+        }
+        self.sched.shutdown();
+        self.sched.join();
+    }
+}
+
+/// Runs one connection's request loop; returns when the peer hangs up,
+/// the protocol is violated, or `SHUTDOWN` is received.
+fn handle_connection(
+    mut stream: TcpStream,
+    sched: &Scheduler,
+    stopping: &AtomicBool,
+    retry_after_ms: u32,
+    server_addr: SocketAddr,
+) {
+    loop {
+        let body = match read_frame(&mut stream) {
+            Ok(Some(body)) => body,
+            Ok(None) => return,
+            Err(ProtoError::Malformed { what }) => {
+                // Framing survived; report and keep the connection.
+                let resp = Response::Error {
+                    message: format!("malformed frame: {what}"),
+                };
+                if write_frame(&mut stream, &resp.encode()).is_err() {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        let response = match Request::decode(&body) {
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+            Ok(Request::Ping) => Response::Pong,
+            Ok(Request::Stats) => Response::Stats {
+                text: sched.stats().to_string(),
+            },
+            Ok(Request::Shutdown) => {
+                stopping.store(true, Ordering::SeqCst);
+                let _ = write_frame(&mut stream, &Response::Bye.encode());
+                // Unblock the accept loop; it re-checks `stopping` on
+                // wake and exits, then drains the scheduler.
+                let _ = TcpStream::connect_timeout(&server_addr, Duration::from_secs(1));
+                return;
+            }
+            Ok(Request::Run(req)) => match sched.submit(req) {
+                Admission::Cached(text) => Response::Outcome {
+                    source: Source::Cache,
+                    text,
+                },
+                Admission::Busy => Response::Busy { retry_after_ms },
+                Admission::Submitted(job) => match job.wait() {
+                    Ok(text) => Response::Outcome {
+                        source: Source::Computed,
+                        text,
+                    },
+                    Err(message) => Response::Error { message },
+                },
+                Admission::Joined(job) => match job.wait() {
+                    Ok(text) => Response::Outcome {
+                        source: Source::Deduped,
+                        text,
+                    },
+                    Err(message) => Response::Error { message },
+                },
+            },
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}

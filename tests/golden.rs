@@ -101,10 +101,7 @@ fn golden_e13_routed_wires() {
         (
             format!("{:.0} ps", row.hpwl_period.value()),
             format!("{:.0} ps", row.routed_period.value()),
-            format!(
-                "{:+.1}% (wire x{:.2}, ovfl {}, {} iter)",
-                row.delta_pct, row.wire_ratio, row.overflow, row.iterations
-            ),
+            row.delta_cell(),
         )
     };
     // The unoptimized corner pays the most: no floorplanning, so nets
@@ -144,4 +141,66 @@ fn golden_measured_factor_table() {
     assert_eq!(fmt(GapFactor::ProcessVariation), "x1.77");
     assert_eq!(format!("x{:.1}", measured.combined()), "x19.8");
     assert_eq!(format!("x{gap:.1}"), "x8.0");
+}
+
+/// Scenario *identity*, pinned through the canonical-key/content-hash
+/// helper the serving layer caches by. This replaces ad-hoc
+/// field-by-field scenario comparisons: if any semantic knob of a
+/// preset moves (technology, library recipe, pipeline depth, skew,
+/// seed, ...), its canonical key — and therefore this hash — moves with
+/// it, and stale service caches can never be mistaken for current
+/// results. The display name is deliberately *not* part of identity.
+#[test]
+fn golden_scenario_identity_hashes() {
+    use asicgap::{canonical_key, content_hash, DesignScenario, VerifyLevel, WorkloadSpec};
+    let w = WorkloadSpec::Alu { width: 16 };
+    let hash = |s: &DesignScenario, v: VerifyLevel| {
+        format!("{:#018x}", content_hash(&canonical_key(s, &w, v)))
+    };
+    assert_eq!(
+        hash(&DesignScenario::typical_asic(), VerifyLevel::Off),
+        "0x720571dd751aae7f"
+    );
+    assert_eq!(
+        hash(&DesignScenario::best_practice_asic(), VerifyLevel::Off),
+        "0x98f89e7c102e65eb"
+    );
+    assert_eq!(
+        hash(&DesignScenario::custom(), VerifyLevel::Off),
+        "0xc0f47c0ae186a5b3"
+    );
+    // Verification level is part of identity: a verified run is not the
+    // same cache line as an unverified one.
+    assert_eq!(
+        hash(&DesignScenario::typical_asic(), VerifyLevel::Full),
+        "0xc9ae0443ef0863bf"
+    );
+
+    // The 32-point factor grid: every point has a distinct identity, and
+    // the digest over all 32 keys pins the whole grid at once.
+    let grid = DesignScenario::factor_grid();
+    let keys: Vec<String> = grid
+        .iter()
+        .map(|s| canonical_key(s, &w, VerifyLevel::Full))
+        .collect();
+    let distinct: std::collections::HashSet<&String> = keys.iter().collect();
+    assert_eq!(distinct.len(), 32, "grid points must not share identity");
+    assert_eq!(
+        format!("{:#018x}", content_hash(&keys.concat())),
+        "0xc0040f421e5cbea5"
+    );
+
+    // Identity invariants: the name is a label, the seed is semantics.
+    let mut renamed = DesignScenario::typical_asic();
+    renamed.name = "renamed".to_string();
+    assert_eq!(
+        hash(&renamed, VerifyLevel::Off),
+        hash(&DesignScenario::typical_asic(), VerifyLevel::Off)
+    );
+    let mut reseeded = DesignScenario::typical_asic();
+    reseeded.seed ^= 1;
+    assert_ne!(
+        hash(&reseeded, VerifyLevel::Off),
+        hash(&DesignScenario::typical_asic(), VerifyLevel::Off)
+    );
 }
