@@ -152,7 +152,10 @@ fn bench_incremental_sizing() {
     group("incremental_sizing");
     for (bits, iters, reps) in [(16usize, 30usize, 5usize), (32, 30, 2)] {
         let n = generators::array_multiplier(&lib, bits).expect("multiplier");
-        let comb = n.instances().iter().filter(|i| !i.is_sequential()).count();
+        let comb = n
+            .iter_instances()
+            .filter(|(_, i)| !i.is_sequential())
+            .count();
         let opts = TilosOptions {
             max_iterations: iters,
             ..TilosOptions::default()

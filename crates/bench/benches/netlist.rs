@@ -1,0 +1,318 @@
+//! Arena-IR bench: build, levelize, and ECO-ripple throughput of the
+//! compact arena netlist against a faithful replica of the seed's
+//! pointer-heavy IR, on the ~100k-gate `xlarge` workload — plus the
+//! bytes/gate comparison the acceptance gate pins (≥2× traversal
+//! throughput, ≥3× lower bytes/gate).
+//!
+//! The legacy replica copies the seed representation field for field
+//! (per-object `String` names, per-instance `Vec<NetId>` fan-in,
+//! per-net `Vec<Sink>` with a `usize` pin) and is populated in the same
+//! mutation order, so its allocation pattern matches what the seed
+//! would really have done.
+
+use std::mem::size_of;
+
+use asicgap_bench::harness::{bench, fmt_ns, group};
+
+use asicgap::cells::{CellFunction, CellId, LibrarySpec};
+use asicgap::netlist::{generators, InstId, MemoryFootprint, NetDriver, NetId, Netlist};
+use asicgap::tech::Technology;
+
+// ---------------------------------------------------------------- legacy IR
+
+/// Seed-shape sink: 16 bytes (the arena's is 8).
+struct LegacySink {
+    inst: InstId,
+    #[allow(dead_code)]
+    pin: usize,
+}
+
+/// Seed-shape net: owning name, boxed driver option, sink vector.
+struct LegacyNet {
+    #[allow(dead_code)]
+    name: String,
+    driver: Option<NetDriver>,
+    sinks: Vec<LegacySink>,
+    #[allow(dead_code)]
+    is_output: bool,
+}
+
+/// Seed-shape instance: owning name and heap fan-in list.
+struct LegacyInstance {
+    #[allow(dead_code)]
+    name: String,
+    #[allow(dead_code)]
+    cell: CellId,
+    function: CellFunction,
+    fanin: Vec<NetId>,
+    out: NetId,
+}
+
+struct LegacyNetlist {
+    nets: Vec<LegacyNet>,
+    instances: Vec<LegacyInstance>,
+}
+
+/// Rebuilds `n` in the seed representation, pushing element by element
+/// the way the seed's mutation API did (so Vec growth and allocation
+/// order are faithful).
+fn legacy_of(n: &Netlist) -> LegacyNetlist {
+    let mut nets: Vec<LegacyNet> = Vec::new();
+    for (_, net) in n.iter_nets() {
+        nets.push(LegacyNet {
+            name: net.name().to_string(),
+            driver: net.driver(),
+            sinks: Vec::new(),
+            is_output: net.is_output(),
+        });
+    }
+    let mut instances: Vec<LegacyInstance> = Vec::new();
+    for (id, inst) in n.iter_instances() {
+        for (pin, &f) in inst.fanin().iter().enumerate() {
+            nets[f.index()].sinks.push(LegacySink { inst: id, pin });
+        }
+        instances.push(LegacyInstance {
+            name: inst.name().to_string(),
+            cell: inst.cell(),
+            function: inst.function(),
+            fanin: inst.fanin().to_vec(),
+            out: inst.out(),
+        });
+    }
+    LegacyNetlist { nets, instances }
+}
+
+/// Heap bytes held by the legacy representation, including a 16-byte
+/// allocator-chunk overhead per heap allocation (what the seed's
+/// per-object strings and vectors really cost in resident memory; the
+/// arena makes a handful of large allocations and pays it ~0 times per
+/// gate).
+fn legacy_bytes(l: &LegacyNetlist) -> usize {
+    const CHUNK: usize = 16;
+    let mut total = l.nets.capacity() * size_of::<LegacyNet>()
+        + l.instances.capacity() * size_of::<LegacyInstance>();
+    for net in &l.nets {
+        total += net.name.capacity() + CHUNK;
+        if net.sinks.capacity() > 0 {
+            total += net.sinks.capacity() * size_of::<LegacySink>() + CHUNK;
+        }
+    }
+    for inst in &l.instances {
+        total += inst.name.capacity() + CHUNK;
+        if inst.fanin.capacity() > 0 {
+            total += inst.fanin.capacity() * size_of::<NetId>() + CHUNK;
+        }
+    }
+    total
+}
+
+// ------------------------------------------------------------- traversals
+
+/// Seed-algorithm Kahn levelize over the legacy IR: combinational
+/// in-degrees, LIFO worklist, unit-delay level per net. Returns the sum
+/// of levels (a checksum the arena variant must reproduce).
+fn legacy_levelize(l: &LegacyNetlist) -> u64 {
+    let mut indeg = vec![0u32; l.instances.len()];
+    for (i, inst) in l.instances.iter().enumerate() {
+        if inst.function.is_sequential() {
+            continue;
+        }
+        for &f in &inst.fanin {
+            if let Some(NetDriver::Instance(src)) = l.nets[f.index()].driver {
+                if !l.instances[src.index()].function.is_sequential() {
+                    indeg[i] += 1;
+                }
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..l.instances.len())
+        .filter(|&i| !l.instances[i].function.is_sequential() && indeg[i] == 0)
+        .collect();
+    let mut level = vec![0u32; l.nets.len()];
+    let mut sum = 0u64;
+    while let Some(i) = queue.pop() {
+        let inst = &l.instances[i];
+        let lvl = inst
+            .fanin
+            .iter()
+            .map(|f| level[f.index()])
+            .max()
+            .unwrap_or(0)
+            + 1;
+        level[inst.out.index()] = lvl;
+        sum += u64::from(lvl);
+        for s in &l.nets[inst.out.index()].sinks {
+            let j = s.inst.index();
+            if !l.instances[j].function.is_sequential() {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+    }
+    sum
+}
+
+/// The same levelize walking the arena (inline fan-in, CSR sinks).
+fn arena_levelize(n: &Netlist) -> u64 {
+    let mut indeg = vec![0u32; n.instance_count()];
+    for (id, inst) in n.iter_instances() {
+        if n.is_sequential(id) {
+            continue;
+        }
+        for &f in inst.fanin() {
+            if let Some(NetDriver::Instance(src)) = n.driver(f) {
+                if !n.is_sequential(src) {
+                    indeg[id.index()] += 1;
+                }
+            }
+        }
+    }
+    let mut queue: Vec<InstId> = n
+        .iter_instances()
+        .filter(|(id, _)| !n.is_sequential(*id) && indeg[id.index()] == 0)
+        .map(|(id, _)| id)
+        .collect();
+    let mut level = vec![0u32; n.net_count()];
+    let mut sum = 0u64;
+    while let Some(id) = queue.pop() {
+        let out = n.out(id);
+        let lvl = n
+            .fanin(id)
+            .iter()
+            .map(|f| level[f.index()])
+            .max()
+            .unwrap_or(0)
+            + 1;
+        level[out.index()] = lvl;
+        sum += u64::from(lvl);
+        for s in n.sinks(out) {
+            let j = s.inst;
+            if !n.is_sequential(j) {
+                indeg[j.index()] -= 1;
+                if indeg[j.index()] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+    }
+    sum
+}
+
+/// Dirty-cone ECO ripple over the legacy IR: forward BFS from every
+/// 1000th instance through sink lists, the traversal an incremental
+/// timer does after a resize. Returns visited-count checksum.
+fn legacy_eco(l: &LegacyNetlist) -> u64 {
+    let mut seen = vec![false; l.instances.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sum = 0u64;
+    for seed in (0..l.instances.len()).step_by(1000) {
+        seen.iter_mut().for_each(|b| *b = false);
+        stack.push(seed);
+        while let Some(i) = stack.pop() {
+            if std::mem::replace(&mut seen[i], true) {
+                continue;
+            }
+            sum += 1;
+            let inst = &l.instances[i];
+            if inst.function.is_sequential() {
+                continue;
+            }
+            for s in &l.nets[inst.out.index()].sinks {
+                stack.push(s.inst.index());
+            }
+        }
+    }
+    sum
+}
+
+/// The same ECO ripple over the arena's CSR sinks.
+fn arena_eco(n: &Netlist) -> u64 {
+    let mut seen = vec![false; n.instance_count()];
+    let mut stack: Vec<InstId> = Vec::new();
+    let mut sum = 0u64;
+    for seed in (0..n.instance_count()).step_by(1000) {
+        seen.iter_mut().for_each(|b| *b = false);
+        stack.push(InstId::from_index(seed));
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id.index()], true) {
+                continue;
+            }
+            sum += 1;
+            if n.is_sequential(id) {
+                continue;
+            }
+            for s in n.sinks(n.out(id)) {
+                stack.push(s.inst);
+            }
+        }
+    }
+    sum
+}
+
+// ------------------------------------------------------------------- main
+
+fn main() {
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let spec = generators::XlargeSpec::soc(2026);
+
+    group("netlist_build");
+    let n = generators::xlarge(&lib, &spec).expect("xlarge builds");
+    println!(
+        "xlarge: {} instances, {} nets",
+        n.instance_count(),
+        n.net_count()
+    );
+    bench("build_xlarge", 3, || {
+        generators::xlarge(&lib, &spec).expect("xlarge builds")
+    });
+    let legacy = legacy_of(&n);
+
+    group("netlist_levelize");
+    assert_eq!(
+        legacy_levelize(&legacy),
+        arena_levelize(&n),
+        "both IRs levelize to the same checksum"
+    );
+    let lev_legacy = bench("levelize_legacy", 10, || legacy_levelize(&legacy));
+    let lev_arena = bench("levelize_arena", 10, || arena_levelize(&n));
+
+    group("netlist_eco_ripple");
+    assert_eq!(legacy_eco(&legacy), arena_eco(&n), "same cones visited");
+    let eco_legacy = bench("eco_ripple_legacy", 10, || legacy_eco(&legacy));
+    let eco_arena = bench("eco_ripple_arena", 10, || arena_eco(&n));
+
+    group("netlist_footprint");
+    let fp = MemoryFootprint::of(&n);
+    let arena_b = fp.total_bytes();
+    let legacy_b = legacy_bytes(&legacy);
+    let gates = n.instance_count() as f64;
+    println!("arena : {fp}");
+    println!(
+        "legacy: {legacy_b} B total ({:.1} B/gate)",
+        legacy_b as f64 / gates
+    );
+
+    let speedup = (lev_legacy + eco_legacy) / (lev_arena + eco_arena);
+    let shrink = legacy_b as f64 / arena_b as f64;
+    println!(
+        "\ntraversal speedup {speedup:.2}x (levelize {:.2}x [{} -> {}], eco {:.2}x [{} -> {}]), bytes/gate shrink {shrink:.2}x",
+        lev_legacy / lev_arena,
+        fmt_ns(lev_legacy),
+        fmt_ns(lev_arena),
+        eco_legacy / eco_arena,
+        fmt_ns(eco_legacy),
+        fmt_ns(eco_arena),
+    );
+    assert!(
+        speedup >= 2.0,
+        "acceptance: >=2x traversal throughput, got {speedup:.2}x"
+    );
+    assert!(
+        shrink >= 3.0,
+        "acceptance: >=3x lower bytes/gate, got {shrink:.2}x"
+    );
+    println!("acceptance: PASS (>=2x traversal, >=3x bytes/gate)");
+}

@@ -448,6 +448,43 @@ fn main() {
             ]);
         }
         println!("{t}");
+
+        // Arena memory accounting for a small and an xlarge workload:
+        // the per-component bytes the compact IR holds, plus the peak
+        // sink-pool high-water mark (see DESIGN.md on the arena layout).
+        let lib =
+            asicgap::cells::LibrarySpec::rich().build(&asicgap::tech::Technology::cmos025_asic());
+        let mut t = Table::new(&[
+            "netlist arena",
+            "gates",
+            "B/gate",
+            "insts B",
+            "nets B",
+            "sinks B",
+            "names B",
+            "peak sinks",
+        ]);
+        let workloads: [(&str, asicgap::netlist::Netlist); 2] = [
+            ("alu16", generators::alu(&lib, 16).expect("alu16")),
+            (
+                "xlarge",
+                generators::xlarge(&lib, &generators::XlargeSpec::soc(2026)).expect("xlarge"),
+            ),
+        ];
+        for (name, n) in &workloads {
+            let fp = asicgap::netlist::MemoryFootprint::of(n);
+            t.row_owned(vec![
+                (*name).into(),
+                format!("{}", fp.instances),
+                format!("{:.1}", fp.bytes_per_gate()),
+                format!("{}", fp.instance_bytes),
+                format!("{}", fp.net_bytes),
+                format!("{}", fp.sink_pool_bytes),
+                format!("{}", fp.name_table_bytes),
+                format!("{}", fp.peak_sink_pool_entries),
+            ]);
+        }
+        println!("{t}");
         println!("canonical outcome text (as served over the wire):\n");
         print!("{canonical}");
     }

@@ -1,0 +1,89 @@
+//! `scale_smoke`: CI gate for the arena netlist IR at SoC scale.
+//!
+//! Runs the ~100k-gate [`asicgap::netlist::generators::xlarge`] workload through the full
+//! verified flow (`VerifyLevel::Full`: the sizing boundary is formally
+//! proven function-preserving with registers cut) and enforces three
+//! invariants that only show up at scale:
+//!
+//! 1. **Overflow arena empty** — every stock-library cell has ≤4 pins,
+//!    so all fan-in must stay inline; a nonzero overflow arena means a
+//!    generator or mutation regression started spilling.
+//! 2. **Clean validation** — the CSR sink slots agree with a
+//!    from-scratch rebuild after ~122k instances of mutation history.
+//! 3. **Pinned scenario identity** — the canonical key / content hash
+//!    of the (scenario, workload, verify) triple; a drift here silently
+//!    invalidates every `served` cache entry, so it fails loudly.
+//!
+//! Run with: `cargo run --release -p asicgap-bench --bin scale_smoke -- [--threads N]`
+
+use asicgap::netlist::{validate, MemoryFootprint};
+use asicgap::{
+    canonical_key, content_hash, run_scenario_verified, DesignScenario, VerifyLevel, WireModel,
+    WorkloadSpec,
+};
+
+/// FNV-1a of the canonical key below. Recompute only for a deliberate
+/// identity change (new flow knob, new workload field): the printed
+/// `actual` value is the new golden.
+const GOLDEN_IDENTITY: u64 = 0xf7f2_50b7_203e_022d;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--threads" => {
+                let n: usize = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("usage: scale_smoke [--threads N]");
+                        std::process::exit(2);
+                    });
+                std::env::set_var("ASICGAP_THREADS", n.to_string());
+            }
+            other => {
+                eprintln!("scale_smoke: unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let seed = 2026;
+    let workload = WorkloadSpec::Xlarge { seed };
+    let scenario = DesignScenario::typical_asic().with_wire_model(WireModel::Routed);
+
+    // Gate 3 first: identity is pure arithmetic, so a drift fails fast.
+    let key = canonical_key(&scenario, &workload, VerifyLevel::Full);
+    let identity = content_hash(&key);
+    println!("scenario identity: {identity:#018x} over key:\n{key}");
+    assert_eq!(
+        identity, GOLDEN_IDENTITY,
+        "scenario identity drifted (expected {GOLDEN_IDENTITY:#018x}, got {identity:#018x}); \
+         if the change is deliberate, update GOLDEN_IDENTITY"
+    );
+
+    // Gates 1 and 2 on the raw workload, before the flow mutates it.
+    let lib = scenario.library.build(&scenario.technology);
+    let n = workload.build(&lib).expect("xlarge builds");
+    println!(
+        "xlarge/{seed}: {} instances, {} nets",
+        n.instance_count(),
+        n.net_count()
+    );
+    println!("footprint: {}", MemoryFootprint::of(&n));
+    assert_eq!(
+        n.fanin_overflow_len(),
+        0,
+        "fan-in overflow arena must stay empty at SoC scale"
+    );
+    let issues = validate(&n);
+    assert!(issues.is_empty(), "xlarge fails validation: {issues:?}");
+
+    // The full verified flow: synth → STA → drive selection → placement
+    // → routed extraction → variation, sizing boundary formally checked.
+    let outcome = run_scenario_verified(&scenario, |lib| workload.build(lib), VerifyLevel::Full)
+        .expect("verified flow succeeds at scale");
+    println!("\n{}", outcome.canonical_text());
+    println!("\nscale smoke: PASS");
+}

@@ -122,7 +122,7 @@ fn eco_run(seed: u64, ecos: usize) -> EcoFuzzOutcome {
                     continue;
                 }
                 let size = 0.5 + (rnd() % 1000) as f64 / 1000.0 * 7.5;
-                let cell = lib.closest_drive(graph.netlist().instance(inst).cell, size);
+                let cell = lib.closest_drive(graph.netlist().instance(inst).cell(), size);
                 if kind == 0 {
                     graph.resize_cell(inst, cell);
                 } else {
@@ -134,7 +134,7 @@ fn eco_run(seed: u64, ecos: usize) -> EcoFuzzOutcome {
                 // Split a random subset of a random net's sinks behind a
                 // buffer.
                 let net = NetId::from_index(rnd() as usize % graph.netlist().net_count());
-                let sinks: Vec<Sink> = graph.netlist().net(net).sinks.clone();
+                let sinks: Vec<Sink> = graph.netlist().net(net).sinks().to_vec();
                 if sinks.is_empty() {
                     continue;
                 }

@@ -121,7 +121,7 @@ fn abort_if_cancelled(obs: &dyn FlowObserver, after: FlowStage) -> Result<(), Ga
 
 /// A workload nameable by content — the serving layer's counterpart of
 /// the closure [`run_scenario`] takes. Every variant maps onto one
-/// combinational generator in [`asicgap_netlist::generators`], so a
+/// generator in [`asicgap_netlist::generators`], so a
 /// `(DesignScenario, WorkloadSpec, VerifyLevel)` triple fully determines
 /// a flow run and can be content-hashed (see [`canonical_key`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -166,12 +166,23 @@ pub enum WorkloadSpec {
         /// Number of inputs.
         width: usize,
     },
+    /// `generators::xlarge` at [`XlargeSpec::soc`] scale (~100k gates,
+    /// register-banked) — the scale-smoke workload.
+    ///
+    /// [`XlargeSpec::soc`]: asicgap_netlist::generators::XlargeSpec::soc
+    Xlarge {
+        /// Generator seed.
+        seed: u64,
+    },
 }
 
 impl WorkloadSpec {
     /// The canonical `name/width` spelling used on the wire and inside
     /// [`canonical_key`] (e.g. `alu/16`, `ks/8`).
     pub fn canonical(&self) -> String {
+        if let WorkloadSpec::Xlarge { seed } = *self {
+            return format!("xlarge/{seed}");
+        }
         let (name, w) = match *self {
             WorkloadSpec::Alu { width } => ("alu", width),
             WorkloadSpec::RippleCarryAdder { width } => ("rca", width),
@@ -181,6 +192,7 @@ impl WorkloadSpec {
             WorkloadSpec::BarrelShifter { width } => ("barrel", width),
             WorkloadSpec::MuxTree { inputs } => ("mux", inputs),
             WorkloadSpec::ParityTree { width } => ("parity", width),
+            WorkloadSpec::Xlarge { .. } => unreachable!("returned above"),
         };
         format!("{name}/{w}")
     }
@@ -195,6 +207,11 @@ impl WorkloadSpec {
             what: format!("workload spec {s:?}"),
         };
         let (name, w) = s.split_once('/').ok_or_else(bad)?;
+        if name == "xlarge" {
+            // A generator seed, not a datapath width: any u64 is valid.
+            let seed: u64 = w.parse().map_err(|_| bad())?;
+            return Ok(WorkloadSpec::Xlarge { seed });
+        }
         let width: usize = w.parse().map_err(|_| bad())?;
         if width == 0 || width > 64 {
             return Err(bad());
@@ -228,6 +245,7 @@ impl WorkloadSpec {
             WorkloadSpec::BarrelShifter { width } => g::barrel_shifter(lib, width),
             WorkloadSpec::MuxTree { inputs } => g::mux_tree(lib, inputs),
             WorkloadSpec::ParityTree { width } => g::parity_tree(lib, width),
+            WorkloadSpec::Xlarge { seed } => g::xlarge(lib, &g::XlargeSpec::soc(seed)),
         }
     }
 }
@@ -663,7 +681,7 @@ pub fn run_scenario_observed(
             let snap = snap_to_library(graph.netlist(), &lib, &sized.sizes);
             let ids: Vec<_> = graph.netlist().iter_instances().map(|(id, _)| id).collect();
             for (id, &s) in ids.iter().zip(&snap.sizes) {
-                let cell = lib.closest_drive(graph.netlist().instance(*id).cell, s);
+                let cell = lib.closest_drive(graph.netlist().instance(*id).cell(), s);
                 graph.resize_cell(*id, cell);
             }
         }
@@ -813,9 +831,8 @@ pub fn run_scenario_observed(
     // the fraction of logic the style converts (the critical cone, ~25%).
     let area_um2 = netlist.total_area_um2(&lib);
     let mut switched: f64 = netlist
-        .instances()
-        .iter()
-        .map(|i| lib.cell(i.cell).power_proxy())
+        .iter_instances()
+        .map(|(_, i)| lib.cell(i.cell()).power_proxy())
         .sum();
     if scenario.logic_style == LogicStyle::DominoCriticalPath {
         use asicgap_cells::LogicFamily;
@@ -1161,6 +1178,7 @@ mod tests {
             WorkloadSpec::BarrelShifter { width: 8 },
             WorkloadSpec::MuxTree { inputs: 8 },
             WorkloadSpec::ParityTree { width: 9 },
+            WorkloadSpec::Xlarge { seed: 2026 },
         ];
         let tech = Technology::cmos025_asic();
         let lib = LibrarySpec::rich().build(&tech);

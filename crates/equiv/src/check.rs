@@ -369,7 +369,10 @@ fn replay_side(
             // settles to the transparent (combinational) value after at
             // most one clock per register.
             sim.eval_comb();
-            let seq_count = n.instances().iter().filter(|i| i.is_sequential()).count();
+            let seq_count = n
+                .iter_instances()
+                .filter(|(_, i)| i.is_sequential())
+                .count();
             for _ in 0..seq_count {
                 sim.step_clock();
             }
@@ -377,7 +380,7 @@ fn replay_side(
     }
     if let Some(key) = output.strip_prefix("__d_") {
         let (_, inst) = imported.registers.iter().find(|(k, _)| k == key)?;
-        return Some(sim.value(n.instance(*inst).fanin[0]));
+        return Some(sim.value(n.instance(*inst).fanin()[0]));
     }
     let (_, net) = n.outputs().iter().find(|(name, _)| name == output)?;
     Some(sim.value(*net))

@@ -52,10 +52,10 @@ pub struct ImportedNetlist {
 /// remapping), the instance name otherwise.
 pub fn register_key(netlist: &Netlist, inst: InstId) -> String {
     let i = netlist.instance(inst);
-    let qname = &netlist.net(i.out).name;
+    let qname = netlist.net(i.out()).name();
     match qname.strip_prefix("__q_") {
         Some(key) => key.to_string(),
-        None => i.name.clone(),
+        None => i.name().to_string(),
     }
 }
 
@@ -90,7 +90,7 @@ pub fn import_netlist(
                 if seen.insert(key.clone(), ()).is_some() {
                     return Err(EquivError::DuplicateRegisterKey { key });
                 }
-                lit_of[inst.out.index()] = Some(g.input(&format!("__q_{key}")));
+                lit_of[inst.out().index()] = Some(g.input(&format!("__q_{key}")));
                 registers.push((key, id));
             }
             for &id in &netlist.topo_order()? {
@@ -113,7 +113,7 @@ pub fn import_netlist(
         })
         .collect();
     for (key, id) in &registers {
-        let d = netlist.instance(*id).fanin[0];
+        let d = netlist.instance(*id).fanin()[0];
         outputs.push((
             format!("__d_{key}"),
             lit_of[d.index()].expect("D nets are driven"),
@@ -130,9 +130,9 @@ fn transparent_walk(
     lit_of: &mut [Option<Lit>],
 ) -> Result<(), EquivError> {
     let mut indeg = vec![0usize; netlist.instance_count()];
-    for (i, inst) in netlist.instances().iter().enumerate() {
-        for &f in &inst.fanin {
-            if matches!(netlist.net(f).driver, Some(NetDriver::Instance(_))) {
+    for (i, (_, inst)) in netlist.iter_instances().enumerate() {
+        for &f in inst.fanin() {
+            if matches!(netlist.net(f).driver(), Some(NetDriver::Instance(_))) {
                 indeg[i] += 1;
             }
         }
@@ -147,12 +147,12 @@ fn transparent_walk(
         done += 1;
         let inst = netlist.instance(id);
         if inst.is_sequential() {
-            let d = lit_of[inst.fanin[0].index()].expect("walk visits fanin first");
-            lit_of[inst.out.index()] = Some(d);
+            let d = lit_of[inst.fanin()[0].index()].expect("walk visits fanin first");
+            lit_of[inst.out().index()] = Some(d);
         } else {
             import_instance(g, netlist, lib, id, lit_of);
         }
-        for s in &netlist.net(inst.out).sinks {
+        for s in netlist.net(inst.out()).sinks() {
             indeg[s.inst.index()] -= 1;
             if indeg[s.inst.index()] == 0 {
                 queue.push(s.inst);
@@ -163,7 +163,7 @@ fn transparent_walk(
         let net = netlist
             .iter_instances()
             .find(|(id, _)| indeg[id.index()] > 0)
-            .map(|(_, inst)| netlist.net(inst.out).name.clone())
+            .map(|(_, inst)| netlist.net(inst.out()).name().to_string())
             .unwrap_or_default();
         return Err(EquivError::SequentialLoop { net });
     }
@@ -179,12 +179,12 @@ fn import_instance(
 ) {
     let inst = netlist.instance(id);
     let ins: Vec<Lit> = inst
-        .fanin
+        .fanin()
         .iter()
         .map(|n| lit_of[n.index()].expect("topological order visits fanin first"))
         .collect();
-    let f = lib.cell(inst.cell).function;
-    lit_of[inst.out.index()] = Some(build_function(g, f, &ins));
+    let f = lib.cell(inst.cell()).function;
+    lit_of[inst.out().index()] = Some(build_function(g, f, &ins));
 }
 
 /// Expands one cell function over miter-graph literals.

@@ -384,14 +384,18 @@ impl<'a> NetlistBuilder<'a> {
         self.gate(CellFunction::Latch, &[d])
     }
 
-    /// Finishes the netlist, running full validation.
+    /// Finishes the netlist, running full validation. The CSR sink pool
+    /// is compacted to an exact fit, so a freshly built netlist carries
+    /// none of the construction-time slack.
     ///
     /// # Errors
     ///
     /// Returns [`NetlistError::Invalid`] summarising the first issues, or
     /// [`NetlistError::CombinationalCycle`].
     pub fn finish(self) -> Result<Netlist, NetlistError> {
-        let issues = crate::validate::validate(&self.netlist);
+        let mut netlist = self.netlist;
+        netlist.pack();
+        let issues = crate::validate::validate(&netlist);
         if !issues.is_empty() {
             let summary = issues
                 .iter()
@@ -401,8 +405,8 @@ impl<'a> NetlistBuilder<'a> {
                 .join("; ");
             return Err(NetlistError::Invalid { summary });
         }
-        self.netlist.topo_order()?;
-        Ok(self.netlist)
+        netlist.topo_order()?;
+        Ok(netlist)
     }
 }
 

@@ -116,7 +116,10 @@ mod tests {
         let lib = lib();
         let n = counter(&lib, 8).expect("counter8");
         // Every q feeds logic that feeds some d: register feedback exists.
-        let seq = n.instances().iter().filter(|i| i.is_sequential()).count();
+        let seq = n
+            .iter_instances()
+            .filter(|(_, i)| i.is_sequential())
+            .count();
         assert_eq!(seq, 8);
         // And the combinational part alone is still a DAG.
         assert!(n.topo_order().is_ok());

@@ -21,6 +21,7 @@ mod misc;
 mod mult;
 mod random;
 mod shifter;
+mod xlarge;
 
 pub use adders::{
     carry_lookahead_adder, carry_select_adder, carry_skip_adder, kogge_stone_adder,
@@ -34,6 +35,7 @@ pub use misc::{equality_comparator, mux_tree, parity_tree};
 pub use mult::array_multiplier;
 pub use random::{random_logic, RandomLogicSpec};
 pub use shifter::barrel_shifter;
+pub use xlarge::{xlarge, XlargeSpec};
 
 /// Helpers for driving adder netlists in tests and benches.
 pub mod adder_io {

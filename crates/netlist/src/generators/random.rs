@@ -94,7 +94,7 @@ pub fn random_logic(lib: &Library, spec: &RandomLogicSpec) -> Result<Netlist, Ne
     let dangling: Vec<NetId> = b
         .netlist()
         .iter_nets()
-        .filter(|(_, n)| n.sinks.is_empty())
+        .filter(|(_, n)| n.sinks().is_empty())
         .map(|(id, _)| id)
         .collect();
     for (k, id) in dangling.into_iter().enumerate() {
@@ -118,9 +118,9 @@ mod tests {
         let b = random_logic(&lib, &spec).expect("gen b");
         assert_eq!(a.instance_count(), b.instance_count());
         assert_eq!(a.net_count(), b.net_count());
-        for (x, y) in a.instances().iter().zip(b.instances()) {
-            assert_eq!(x.function, y.function);
-            assert_eq!(x.fanin, y.fanin);
+        for ((_, x), (_, y)) in a.iter_instances().zip(b.iter_instances()) {
+            assert_eq!(x.function(), y.function());
+            assert_eq!(x.fanin(), y.fanin());
         }
     }
 
@@ -131,10 +131,9 @@ mod tests {
         let a = random_logic(&lib, &RandomLogicSpec::control_block(1)).expect("gen");
         let b = random_logic(&lib, &RandomLogicSpec::control_block(2)).expect("gen");
         let same = a
-            .instances()
-            .iter()
-            .zip(b.instances())
-            .all(|(x, y)| x.function == y.function && x.fanin == y.fanin);
+            .iter_instances()
+            .zip(b.iter_instances())
+            .all(|((_, x), (_, y))| x.function() == y.function() && x.fanin() == y.fanin());
         assert!(!same, "seeds 1 and 2 produced identical netlists");
     }
 

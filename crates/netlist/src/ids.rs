@@ -15,8 +15,19 @@ impl NetId {
     /// Rebuilds an id from an index previously obtained via
     /// [`NetId::index`] on the **same** netlist. Using an index from a
     /// different netlist yields nonsense (or a panic on lookup).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic past the 2³² id boundary; release builds
+    /// saturate to the (unaddressable) maximum id rather than silently
+    /// wrapping onto a valid low id.
+    #[inline]
     pub fn from_index(index: usize) -> NetId {
-        NetId(index as u32)
+        debug_assert!(
+            u32::try_from(index).is_ok(),
+            "net index {index} exceeds the u32 id space"
+        );
+        NetId(u32::try_from(index).unwrap_or(u32::MAX))
     }
 }
 
@@ -39,8 +50,19 @@ impl InstId {
     /// Rebuilds an id from an index previously obtained via
     /// [`InstId::index`] on the **same** netlist. Using an index from a
     /// different netlist yields nonsense (or a panic on lookup).
+    ///
+    /// # Panics
+    ///
+    /// Debug builds panic past the 2³² id boundary; release builds
+    /// saturate to the (unaddressable) maximum id rather than silently
+    /// wrapping onto a valid low id.
+    #[inline]
     pub fn from_index(index: usize) -> InstId {
-        InstId(index as u32)
+        debug_assert!(
+            u32::try_from(index).is_ok(),
+            "instance index {index} exceeds the u32 id space"
+        );
+        InstId(u32::try_from(index).unwrap_or(u32::MAX))
     }
 }
 

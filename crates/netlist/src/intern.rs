@@ -1,0 +1,103 @@
+//! Append-only string interner backing net and instance names.
+//!
+//! Names are write-once identifiers: the mutation API never renames a
+//! net or an instance, so the interner is a bump arena — one shared
+//! `Vec<u8>` of UTF-8 bytes plus an end-offset table — and a name is a
+//! 4-byte [`Symbol`] instead of a 24-byte `String` header plus its own
+//! heap allocation. Hot traversals carry symbols; the bytes are only
+//! touched when a report or an error message needs the spelling.
+
+use std::fmt;
+
+/// An interned name: an index into the owning netlist's name table.
+///
+/// Symbols are only meaningful against the [`Netlist`](crate::Netlist)
+/// that minted them; resolve one through that netlist's accessors
+/// (e.g. [`InstRef::name`](crate::InstRef::name)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub(crate) u32);
+
+impl Symbol {
+    /// The raw table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// The arena itself: `bytes` holds every name back to back, `ends[i]`
+/// is the exclusive end of symbol `i` (its start is `ends[i-1]`, or 0).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct NameTable {
+    bytes: Vec<u8>,
+    ends: Vec<u32>,
+}
+
+impl NameTable {
+    /// Appends `name` and returns its symbol. No deduplication: netlist
+    /// names are unique by construction, so a lookup table would cost
+    /// memory to save nothing.
+    pub(crate) fn intern(&mut self, name: &str) -> Symbol {
+        let sym = u32::try_from(self.ends.len()).expect("name table holds < 2^32 names");
+        self.bytes.extend_from_slice(name.as_bytes());
+        let end = u32::try_from(self.bytes.len()).expect("name table holds < 4 GiB of names");
+        self.ends.push(end);
+        Symbol(sym)
+    }
+
+    /// The spelling of `sym`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` came from a different table.
+    pub(crate) fn resolve(&self, sym: Symbol) -> &str {
+        let i = sym.index();
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        let end = self.ends[i] as usize;
+        std::str::from_utf8(&self.bytes[start..end]).expect("interned names are valid UTF-8")
+    }
+
+    /// Releases spare capacity after the build phase settles.
+    pub(crate) fn shrink_to_fit(&mut self) {
+        self.bytes.shrink_to_fit();
+        self.ends.shrink_to_fit();
+    }
+
+    /// Heap bytes held by the table (string bytes + offset table).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.bytes.capacity() + self.ends.capacity() * std::mem::size_of::<u32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_and_resolve_round_trip() {
+        let mut t = NameTable::default();
+        let a = t.intern("alpha");
+        let empty = t.intern("");
+        let b = t.intern("b");
+        assert_eq!(t.resolve(a), "alpha");
+        assert_eq!(t.resolve(empty), "");
+        assert_eq!(t.resolve(b), "b");
+        assert_eq!(t.ends.len(), 3);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.to_string(), "sym#2");
+    }
+
+    #[test]
+    fn no_dedup_means_distinct_symbols() {
+        let mut t = NameTable::default();
+        let x1 = t.intern("x");
+        let x2 = t.intern("x");
+        assert_ne!(x1, x2);
+        assert_eq!(t.resolve(x1), t.resolve(x2));
+    }
+}

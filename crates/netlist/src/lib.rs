@@ -8,8 +8,11 @@
 //!
 //! This crate provides:
 //!
-//! - [`Netlist`], [`Instance`], [`Net`] — the mapped-design representation
-//!   used by the STA, placement, sizing, and pipelining crates;
+//! - [`Netlist`] with its [`NetRef`]/[`InstRef`] views — the mapped-design
+//!   representation used by the STA, placement, sizing, and pipelining
+//!   crates, stored as a compact arena (32-byte instance records with
+//!   inline fan-in, interned names, CSR-style sink lists) so hot
+//!   traversals walk contiguous memory;
 //! - [`NetlistBuilder`] — safe construction with **library-aware fallbacks**
 //!   (an XOR becomes one `xor2` cell in a rich library and four NAND2s in a
 //!   poor one, so library richness changes logic depth exactly as §6 argues);
@@ -44,6 +47,7 @@ mod builder;
 mod error;
 pub mod generators;
 mod ids;
+mod intern;
 mod netlist;
 mod power;
 mod scan;
@@ -56,11 +60,12 @@ pub mod verilog;
 pub use builder::NetlistBuilder;
 pub use error::NetlistError;
 pub use ids::{InstId, NetId};
-pub use netlist::{Instance, Net, NetDriver, Netlist, Sink};
+pub use intern::Symbol;
+pub use netlist::{InstRef, NetDriver, NetRef, Netlist, Sink, INLINE_FANIN};
 pub use power::{estimate_power, PowerEstimate};
 pub use scan::{insert_scan_chain, ScanChain};
 pub use sim::Simulator;
 pub use sim::{from_bits, to_bits};
-pub use stats::{net_levels, NetlistStats};
+pub use stats::{net_levels, MemoryFootprint, NetlistStats};
 pub use sweep::{sweep_dead_logic, SweepStats};
 pub use validate::{validate, Issue};

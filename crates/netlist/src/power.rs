@@ -94,9 +94,9 @@ pub fn estimate_power(
     for (id, net) in netlist.iter_nets() {
         let cap = netlist.net_load(lib, id, Ff::ZERO).value();
         let is_domino = matches!(
-            net.driver,
+            net.driver(),
             Some(NetDriver::Instance(inst))
-                if lib.cell(netlist.instance(inst).cell).family == LogicFamily::Domino
+                if lib.cell(netlist.instance(inst).cell()).family == LogicFamily::Domino
         );
         let activity = if is_domino {
             1.0

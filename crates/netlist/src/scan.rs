@@ -58,7 +58,7 @@ pub fn insert_scan_chain(netlist: &mut Netlist, lib: &Library) -> Result<ScanCha
 
     let mut prev_q = scan_in;
     for (k, &reg) in regs.iter().enumerate() {
-        let d = netlist.instance(reg).fanin[0];
+        let d = netlist.instance(reg).fanin()[0];
         let muxed = netlist.add_net(format!("scan_d{k}"));
         netlist.add_instance(
             format!("scanmux{k}"),
@@ -68,7 +68,7 @@ pub fn insert_scan_chain(netlist: &mut Netlist, lib: &Library) -> Result<ScanCha
             muxed,
         )?;
         netlist.redirect_sink(reg, 0, muxed);
-        prev_q = netlist.instance(reg).out;
+        prev_q = netlist.instance(reg).out();
     }
     netlist.add_output("scan_out", prev_q);
     netlist.topo_order()?;

@@ -44,6 +44,9 @@ pub struct Simulator<'a> {
     state: Vec<bool>,
     /// Cached combinational evaluation order.
     order: Vec<InstId>,
+    /// Reusable fan-in value buffer — `eval_comb` allocates nothing per
+    /// gate.
+    scratch: Vec<bool>,
 }
 
 impl<'a> Simulator<'a> {
@@ -63,6 +66,7 @@ impl<'a> Simulator<'a> {
             values: vec![false; netlist.net_count()],
             state: vec![false; netlist.instance_count()],
             order,
+            scratch: Vec::with_capacity(crate::netlist::INLINE_FANIN),
         }
     }
 
@@ -106,14 +110,17 @@ impl<'a> Simulator<'a> {
         // Sequential outputs first: they are sources for this cycle.
         for (id, inst) in self.netlist.iter_instances() {
             if inst.is_sequential() {
-                self.values[inst.out.index()] = self.state[id.index()];
+                self.values[inst.out().index()] = self.state[id.index()];
             }
         }
         for &id in &self.order {
+            self.scratch.clear();
+            for n in self.netlist.fanin(id) {
+                self.scratch.push(self.values[n.index()]);
+            }
             let inst = self.netlist.instance(id);
-            let ins: Vec<bool> = inst.fanin.iter().map(|n| self.values[n.index()]).collect();
-            let f = self.lib.cell(inst.cell).function;
-            self.values[inst.out.index()] = f.eval(&ins);
+            let f = self.lib.cell(inst.cell()).function;
+            self.values[inst.out().index()] = f.eval(&self.scratch);
         }
     }
 
@@ -124,7 +131,7 @@ impl<'a> Simulator<'a> {
             .netlist
             .iter_instances()
             .filter(|(_, inst)| inst.is_sequential())
-            .map(|(id, inst)| (id.index(), self.values[inst.fanin[0].index()]))
+            .map(|(id, inst)| (id.index(), self.values[inst.fanin()[0].index()]))
             .collect();
         for (idx, v) in captured {
             self.state[idx] = v;

@@ -1,10 +1,11 @@
-//! Netlist summary statistics.
+//! Netlist summary statistics and arena memory accounting.
 
 use std::fmt;
+use std::mem::size_of;
 
 use asicgap_cells::Library;
 
-use crate::netlist::{NetDriver, Netlist};
+use crate::netlist::{NetDriver, Netlist, Sink, SinkSlot};
 
 /// Structural statistics of a netlist.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,26 +43,24 @@ impl NetlistStats {
         for &id in &order {
             let inst = netlist.instance(id);
             let in_level = inst
-                .fanin
+                .fanin()
                 .iter()
                 .map(|n| level[n.index()])
                 .max()
                 .unwrap_or(0);
-            level[inst.out.index()] = in_level + 1;
+            level[inst.out().index()] = in_level + 1;
         }
         let logic_depth = level.iter().copied().max().unwrap_or(0);
         let max_fanout = netlist
-            .nets()
-            .iter()
-            .map(|n| n.sinks.len())
+            .iter_nets()
+            .map(|(_, n)| n.sinks().len())
             .max()
             .unwrap_or(0);
         NetlistStats {
             instances: netlist.instance_count(),
             sequential: netlist
-                .instances()
-                .iter()
-                .filter(|i| i.is_sequential())
+                .iter_instances()
+                .filter(|(_, i)| i.is_sequential())
                 .count(),
             nets: netlist.net_count(),
             inputs: netlist.inputs().len(),
@@ -90,6 +89,96 @@ impl fmt::Display for NetlistStats {
     }
 }
 
+/// Heap memory held by one netlist's arena, by component. Built by
+/// [`MemoryFootprint::of`] and printed by `repro --stages`; the bench
+/// suite uses [`MemoryFootprint::bytes_per_gate`] as the acceptance
+/// metric for the compact IR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// Instance records (capacity × 32-byte record) plus the wide-cell
+    /// fan-in overflow arena.
+    pub instance_bytes: usize,
+    /// Per-net columns: name symbol, packed driver, flags, sink slot.
+    pub net_bytes: usize,
+    /// The shared CSR sink pool (8-byte entries, at current capacity).
+    pub sink_pool_bytes: usize,
+    /// Interned name bytes plus the offset table.
+    pub name_table_bytes: usize,
+    /// Port lists (inputs/outputs keep `String` names — they are the
+    /// external interface, not hot-path data).
+    pub port_bytes: usize,
+    /// High-water sink-pool length, in entries, before any compaction —
+    /// the peak transient arena cost of the mutation history.
+    pub peak_sink_pool_entries: usize,
+    /// Instances in the netlist (denominator for per-gate views).
+    pub instances: usize,
+}
+
+impl MemoryFootprint {
+    /// Measures `netlist`'s current arena footprint.
+    pub fn of(netlist: &Netlist) -> MemoryFootprint {
+        let instance_bytes = netlist.insts.capacity() * size_of::<crate::netlist::InstRecord>()
+            + netlist.inst_seq.capacity()
+            + netlist.fanin_overflow.capacity() * size_of::<crate::NetId>();
+        let net_bytes = netlist.net_name.capacity() * size_of::<crate::Symbol>()
+            + netlist.net_driver.capacity() * size_of::<u32>()
+            + netlist.net_flags.capacity()
+            + netlist.slots.capacity() * size_of::<SinkSlot>();
+        let sink_pool_bytes = netlist.pool.capacity() * size_of::<Sink>();
+        let name_table_bytes = netlist.names.heap_bytes();
+        let port_bytes = netlist
+            .inputs()
+            .iter()
+            .chain(netlist.outputs())
+            .map(|(name, _)| size_of::<(String, crate::NetId)>() + name.capacity())
+            .sum();
+        MemoryFootprint {
+            instance_bytes,
+            net_bytes,
+            sink_pool_bytes,
+            name_table_bytes,
+            port_bytes,
+            peak_sink_pool_entries: netlist.peak_pool,
+            instances: netlist.instance_count(),
+        }
+    }
+
+    /// Total heap bytes across every component.
+    pub fn total_bytes(&self) -> usize {
+        self.instance_bytes
+            + self.net_bytes
+            + self.sink_pool_bytes
+            + self.name_table_bytes
+            + self.port_bytes
+    }
+
+    /// Total bytes divided by instance count (0 gates → 0).
+    pub fn bytes_per_gate(&self) -> f64 {
+        if self.instances == 0 {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.instances as f64
+        }
+    }
+}
+
+impl fmt::Display for MemoryFootprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} B total ({:.1} B/gate): insts {} B, nets {} B, sinks {} B (peak {} entries), names {} B, ports {} B",
+            self.total_bytes(),
+            self.bytes_per_gate(),
+            self.instance_bytes,
+            self.net_bytes,
+            self.sink_pool_bytes,
+            self.peak_sink_pool_entries,
+            self.name_table_bytes,
+            self.port_bytes
+        )
+    }
+}
+
 /// Unit-delay arrival level of every net (0 for primary inputs and
 /// register outputs' sources). Exposed for the pipeliner's stage cutting.
 pub fn net_levels(netlist: &Netlist) -> Vec<usize> {
@@ -100,17 +189,17 @@ pub fn net_levels(netlist: &Netlist) -> Vec<usize> {
     for &id in &order {
         let inst = netlist.instance(id);
         let in_level = inst
-            .fanin
+            .fanin()
             .iter()
             .map(|n| level[n.index()])
             .max()
             .unwrap_or(0);
-        level[inst.out.index()] = in_level + 1;
+        level[inst.out().index()] = in_level + 1;
     }
     // Register outputs restart at level 0 by construction (they are not in
     // the combinational order, so their level stays 0); verify the
     // invariant for driven nets only.
-    debug_assert!(netlist.iter_nets().all(|(id, n)| match n.driver {
+    debug_assert!(netlist.iter_nets().all(|(id, n)| match n.driver() {
         Some(NetDriver::Instance(inst)) if netlist.instance(inst).is_sequential() =>
             level[id.index()] == 0,
         _ => true,
@@ -171,5 +260,29 @@ mod tests {
         assert_eq!(s.sequential, 0);
         assert!(s.area_um2 > 0.0);
         assert!(s.max_fanout >= 2);
+    }
+
+    #[test]
+    fn footprint_accounts_every_arena() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::xlarge(&lib, &generators::XlargeSpec::small(3)).expect("xl small");
+        let fp = MemoryFootprint::of(&n);
+        assert!(fp.instance_bytes >= n.instance_count() * 32);
+        assert!(fp.net_bytes > 0);
+        assert!(fp.sink_pool_bytes > 0);
+        assert!(fp.name_table_bytes > 0);
+        assert_eq!(fp.instances, n.instance_count());
+        assert!(fp.total_bytes() >= fp.instance_bytes + fp.net_bytes);
+        // The whole point of the arena IR: a small, bounded per-gate
+        // cost. The old pointer-heavy IR sat near ~300 B/gate.
+        assert!(
+            fp.bytes_per_gate() < 150.0,
+            "bytes/gate regressed: {}",
+            fp.bytes_per_gate()
+        );
+        assert!(fp.peak_sink_pool_entries > 0);
+        let line = fp.to_string();
+        assert!(line.contains("B/gate"));
     }
 }

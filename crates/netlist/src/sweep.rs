@@ -40,16 +40,16 @@ pub fn sweep_dead_logic(
     // itself transitively; trimming state changes behaviour).
     for (_, inst) in netlist.iter_instances() {
         if inst.is_sequential() {
-            stack.push(inst.fanin[0]);
-            stack.push(inst.out);
+            stack.push(inst.fanin()[0]);
+            stack.push(inst.out());
         }
     }
     while let Some(net) = stack.pop() {
         if std::mem::replace(&mut live_nets[net.index()], true) {
             continue;
         }
-        if let Some(NetDriver::Instance(drv)) = netlist.net(net).driver {
-            for &f in &netlist.instance(drv).fanin {
+        if let Some(NetDriver::Instance(drv)) = netlist.net(net).driver() {
+            for &f in netlist.instance(drv).fanin() {
                 stack.push(f);
             }
         }
@@ -57,16 +57,17 @@ pub fn sweep_dead_logic(
 
     let live_inst = |id: InstId| -> bool {
         let inst = netlist.instance(id);
-        inst.is_sequential() || live_nets[inst.out.index()]
+        inst.is_sequential() || live_nets[inst.out().index()]
     };
 
     // Rebuild.
     let mut out = Netlist::new(netlist.name.clone());
     let mut net_map: Vec<Option<NetId>> = vec![None; netlist.net_count()];
     for (id, net) in netlist.iter_nets() {
-        let keep = live_nets[id.index()] || matches!(net.driver, Some(NetDriver::PrimaryInput(_)));
+        let keep =
+            live_nets[id.index()] || matches!(net.driver(), Some(NetDriver::PrimaryInput(_)));
         if keep {
-            net_map[id.index()] = Some(out.add_net(net.name.clone()));
+            net_map[id.index()] = Some(out.add_net(net.name()));
         }
     }
     for (name, id) in netlist.inputs() {
@@ -85,12 +86,12 @@ pub fn sweep_dead_logic(
         }
         let inst = netlist.instance(id);
         let fanin: Vec<NetId> = inst
-            .fanin
+            .fanin()
             .iter()
             .map(|f| net_map[f.index()].expect("live instance fanin is live"))
             .collect();
-        let new_out = net_map[inst.out.index()].expect("live instance output is live");
-        out.add_instance(inst.name.clone(), lib, inst.cell, &fanin, new_out)?;
+        let new_out = net_map[inst.out().index()].expect("live instance output is live");
+        out.add_instance(inst.name(), lib, inst.cell(), &fanin, new_out)?;
         kept += 1;
     }
     for (name, id) in netlist.outputs() {
@@ -98,6 +99,7 @@ pub fn sweep_dead_logic(
         out.add_output(name.clone(), new);
     }
     let removed = netlist.instance_count() - kept;
+    out.pack();
     Ok((out, SweepStats { kept, removed }))
 }
 
@@ -159,9 +161,8 @@ mod tests {
         let (swept, _) = sweep_dead_logic(&n, &lib).expect("sweeps");
         assert_eq!(
             swept
-                .instances()
-                .iter()
-                .filter(|i| i.is_sequential())
+                .iter_instances()
+                .filter(|(_, i)| i.is_sequential())
                 .count(),
             1
         );

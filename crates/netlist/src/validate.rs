@@ -1,4 +1,10 @@
 //! Netlist consistency checks (a lint pass, DRC-style).
+//!
+//! Beyond the structural lints, this pass is the ground truth for the
+//! arena's CSR sink bookkeeping: it re-derives every net's sink count
+//! from scratch out of the fan-in lists and compares against the
+//! incrementally-maintained slots, so any drift introduced by a
+//! mutation-API bug is caught here rather than downstream.
 
 use std::collections::HashSet;
 use std::fmt;
@@ -30,6 +36,17 @@ pub enum Issue {
         /// Pin index.
         pin: usize,
     },
+    /// A net's CSR sink slot disagrees with a from-scratch rebuild
+    /// (count mismatch catches duplicate entries that the pairwise
+    /// membership checks cannot see), or the slot itself is malformed.
+    CorruptSinkSlot {
+        /// Net name.
+        net: String,
+        /// Sinks listed in the slot.
+        listed: usize,
+        /// Sinks a from-scratch rebuild produces.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for Issue {
@@ -41,6 +58,16 @@ impl fmt::Display for Issue {
             Issue::InconsistentSink { inst, pin } => {
                 write!(f, "sink bookkeeping wrong at {inst} pin {pin}")
             }
+            Issue::CorruptSinkSlot {
+                net,
+                listed,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "net {net} sink slot lists {listed} sinks, rebuild expects {expected}"
+                )
+            }
         }
     }
 }
@@ -51,39 +78,39 @@ pub fn validate(netlist: &Netlist) -> Vec<Issue> {
 
     let mut names = HashSet::new();
     for (_, net) in netlist.iter_nets() {
-        if !names.insert(net.name.clone()) {
+        if !names.insert(net.name()) {
             issues.push(Issue::DuplicateName {
-                name: net.name.clone(),
+                name: net.name().to_string(),
             });
         }
     }
     let mut inst_names = HashSet::new();
     for (_, inst) in netlist.iter_instances() {
-        if !inst_names.insert(inst.name.clone()) {
+        if !inst_names.insert(inst.name()) {
             issues.push(Issue::DuplicateName {
-                name: inst.name.clone(),
+                name: inst.name().to_string(),
             });
         }
     }
 
     for (id, net) in netlist.iter_nets() {
-        if net.driver.is_none() {
+        if net.driver().is_none() {
             issues.push(Issue::UndrivenNet {
-                net: net.name.clone(),
+                net: net.name().to_string(),
             });
         }
-        if net.sinks.is_empty() && !net.is_output {
+        if net.sinks().is_empty() && !net.is_output() {
             issues.push(Issue::DanglingNet {
-                net: net.name.clone(),
+                net: net.name().to_string(),
             });
         }
         // Sinks must agree with the instance fan-in lists.
-        for s in &net.sinks {
+        for s in net.sinks() {
             let inst = netlist.instance(s.inst);
-            if inst.fanin.get(s.pin) != Some(&id) {
+            if inst.fanin().get(s.pin as usize) != Some(&id) {
                 issues.push(Issue::InconsistentSink {
-                    inst: inst.name.clone(),
-                    pin: s.pin,
+                    inst: inst.name().to_string(),
+                    pin: s.pin as usize,
                 });
             }
         }
@@ -91,15 +118,15 @@ pub fn validate(netlist: &Netlist) -> Vec<Issue> {
 
     // Every fan-in connection must be present in the net's sink list.
     for (iid, inst) in netlist.iter_instances() {
-        for (pin, &net) in inst.fanin.iter().enumerate() {
+        for (pin, &net) in inst.fanin().iter().enumerate() {
             let listed = netlist
                 .net(net)
-                .sinks
+                .sinks()
                 .iter()
-                .any(|s| s.inst == iid && s.pin == pin);
+                .any(|s| s.inst == iid && s.pin as usize == pin);
             if !listed {
                 issues.push(Issue::InconsistentSink {
-                    inst: inst.name.clone(),
+                    inst: inst.name().to_string(),
                     pin,
                 });
             }
@@ -108,13 +135,37 @@ pub fn validate(netlist: &Netlist) -> Vec<Issue> {
 
     // Drivers must point back at the right instance/output.
     for (id, net) in netlist.iter_nets() {
-        if let Some(NetDriver::Instance(inst)) = net.driver {
-            if netlist.instance(inst).out != id {
+        if let Some(NetDriver::Instance(inst)) = net.driver() {
+            if netlist.instance(inst).out() != id {
                 issues.push(Issue::InconsistentSink {
-                    inst: netlist.instance(inst).name.clone(),
+                    inst: netlist.instance(inst).name().to_string(),
                     pin: usize::MAX,
                 });
             }
+        }
+    }
+
+    // CSR slots against a from-scratch rebuild: per-net sink counts
+    // re-derived purely from fan-in lists. The membership checks above
+    // prove every listed sink is real and every fan-in pin is listed;
+    // equal counts then rule out duplicates — together that is exact
+    // multiset equality with the rebuild.
+    let mut expected = vec![0usize; netlist.net_count()];
+    for (_, inst) in netlist.iter_instances() {
+        for &net in inst.fanin() {
+            expected[net.index()] += 1;
+        }
+    }
+    for (id, net) in netlist.iter_nets() {
+        let slot = netlist.slots[id.index()];
+        let malformed =
+            slot.len > slot.cap || (slot.start as usize + slot.cap as usize) > netlist.pool.len();
+        if malformed || net.sinks().len() != expected[id.index()] {
+            issues.push(Issue::CorruptSinkSlot {
+                net: net.name().to_string(),
+                listed: net.sinks().len(),
+                expected: expected[id.index()],
+            });
         }
     }
 
@@ -172,5 +223,39 @@ mod tests {
         assert!(issues
             .iter()
             .any(|i| matches!(i, Issue::DuplicateName { name } if name == "x")));
+    }
+
+    #[test]
+    fn heavy_eco_churn_keeps_slots_consistent() {
+        // Redirect sinks back and forth (slot relocations, swap-removes,
+        // pool growth) and re-validate after every mutation: the CSR
+        // rebuild check must stay clean throughout.
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let mut n = Netlist::new("churn");
+        let a = n.add_net("a");
+        let b = n.add_net("b");
+        n.add_input("a", a).expect("fresh");
+        n.add_input("b", b).expect("fresh");
+        let inv = lib.smallest(CellFunction::Inv).expect("inv");
+        let mut gates = Vec::new();
+        for i in 0..40 {
+            let out = n.add_net(format!("o{i}"));
+            n.add_output(format!("o{i}"), out);
+            gates.push(
+                n.add_instance(format!("g{i}"), &lib, inv, &[a], out)
+                    .expect("inv ok"),
+            );
+        }
+        for round in 0..6 {
+            for (k, &g) in gates.iter().enumerate() {
+                let tgt = if (k + round) % 2 == 0 { b } else { a };
+                n.redirect_sink(g, 0, tgt);
+                assert!(
+                    validate(&n).is_empty(),
+                    "round {round} gate {k} corrupted slots"
+                );
+            }
+        }
     }
 }

@@ -86,28 +86,28 @@ pub fn to_verilog(netlist: &Netlist, lib: &Library) -> String {
         .collect();
     for (id, net) in netlist.iter_nets() {
         if !port_nets.contains(&id) {
-            let _ = writeln!(out, "  wire {};", ident(&net.name));
+            let _ = writeln!(out, "  wire {};", ident(net.name()));
         }
     }
     // Output ports are aliases of their driving nets when the names
     // differ (generators attach output names to internal nets).
     for (name, id) in netlist.outputs() {
-        let net_name = &netlist.net(*id).name;
-        if name != net_name {
+        let net_name = netlist.net(*id).name();
+        if name.as_str() != net_name {
             let _ = writeln!(out, "  assign {} = {};", ident(name), ident(net_name));
         }
     }
     for (_, inst) in netlist.iter_instances() {
-        let cell = lib.cell(inst.cell);
-        let mut conns = vec![format!(".o({})", ident(&netlist.net(inst.out).name))];
-        for (k, &f) in inst.fanin.iter().enumerate() {
-            conns.push(format!(".i{k}({})", ident(&netlist.net(f).name)));
+        let cell = lib.cell(inst.cell());
+        let mut conns = vec![format!(".o({})", ident(netlist.net(inst.out()).name()))];
+        for (k, &f) in inst.fanin().iter().enumerate() {
+            conns.push(format!(".i{k}({})", ident(netlist.net(f).name())));
         }
         let _ = writeln!(
             out,
             "  {} {} ({});",
             ident(&cell.name),
-            ident(&inst.name),
+            ident(inst.name()),
             conns.join(", ")
         );
     }
@@ -160,7 +160,7 @@ pub fn from_verilog(source: &str, lib: &Library) -> Result<Netlist, NetlistError
         if let Some(&id) = nets.get(name) {
             return id;
         }
-        let id = netlist.add_net(name.to_string());
+        let id = netlist.add_net(name);
         nets.insert(name.to_string(), id);
         id
     };
@@ -382,9 +382,8 @@ mod tests {
         let parsed = from_verilog(&text, &lib).expect("parses");
         assert_eq!(
             parsed
-                .instances()
-                .iter()
-                .filter(|i| i.is_sequential())
+                .iter_instances()
+                .filter(|(_, i)| i.is_sequential())
                 .count(),
             1
         );

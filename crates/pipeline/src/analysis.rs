@@ -29,33 +29,32 @@ pub fn stage_profile(netlist: &Netlist, lib: &Library) -> Vec<Ps> {
     // its D; PI contributes stage 0.
     let n_nets = netlist.net_count();
     let mut reg_stage: Vec<usize> = netlist
-        .instances()
-        .iter()
-        .map(|i| if i.is_sequential() { 1 } else { 0 })
+        .iter_instances()
+        .map(|(_, i)| usize::from(i.is_sequential()))
         .collect();
-    for round in 0..=netlist.instances().len().max(1) {
+    for round in 0..=netlist.instance_count().max(1) {
         let mut net_stage = vec![0usize; n_nets];
         for (id, inst) in netlist.iter_instances() {
             if inst.is_sequential() {
-                net_stage[inst.out.index()] = reg_stage[id.index()];
+                net_stage[inst.out().index()] = reg_stage[id.index()];
             }
         }
         for &id in &order {
             let inst = netlist.instance(id);
             let s = inst
-                .fanin
+                .fanin()
                 .iter()
                 .map(|&f| net_stage[f.index()])
                 .max()
                 .unwrap_or(0);
-            net_stage[inst.out.index()] = s;
+            net_stage[inst.out().index()] = s;
         }
         let mut changed = false;
         for (id, inst) in netlist.iter_instances() {
             if !inst.is_sequential() {
                 continue;
             }
-            let want = 1 + net_stage[inst.fanin[0].index()];
+            let want = 1 + net_stage[inst.fanin()[0].index()];
             if reg_stage[id.index()] != want {
                 reg_stage[id.index()] = want;
                 changed = true;
@@ -65,7 +64,7 @@ pub fn stage_profile(netlist: &Netlist, lib: &Library) -> Vec<Ps> {
             break;
         }
         assert!(
-            round < netlist.instances().len(),
+            round < netlist.instance_count(),
             "register graph has a cycle; stage_profile needs a feed-forward pipeline"
         );
     }
@@ -84,7 +83,7 @@ pub fn stage_profile(netlist: &Netlist, lib: &Library) -> Vec<Ps> {
             continue;
         }
         let s = reg_stage[id.index()];
-        let a = report.arrival(inst.fanin[0]);
+        let a = report.arrival(inst.fanin()[0]);
         profile[s - 1] = profile[s - 1].max(a);
     }
     // Register→output tail stage.
@@ -143,7 +142,7 @@ pub fn direct_transfer_registers(netlist: &Netlist) -> usize {
         .filter(|(_, inst)| {
             inst.is_sequential()
                 && matches!(
-                    netlist.net(inst.fanin[0]).driver,
+                    netlist.net(inst.fanin()[0]).driver(),
                     Some(NetDriver::Instance(src))
                         if netlist.instance(src).is_sequential()
                 )

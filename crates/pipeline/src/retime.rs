@@ -134,7 +134,7 @@ pub fn pipeline_netlist_with(
 ) -> Result<PipelinedNetlist, asicgap_netlist::NetlistError> {
     assert!(stages >= 2, "pipelining needs at least 2 stages");
     assert!(
-        netlist.instances().iter().all(|i| !i.is_sequential()),
+        netlist.iter_instances().all(|(_, i)| !i.is_sequential()),
         "pipeline_netlist expects a combinational netlist"
     );
     let dff = lib
@@ -162,7 +162,7 @@ pub fn pipeline_netlist_with(
         .collect();
 
     for (id, _) in netlist.iter_nets() {
-        let src_stage = match netlist.net(id).driver {
+        let src_stage = match netlist.net(id).driver() {
             Some(NetDriver::PrimaryInput(_)) => 0,
             Some(NetDriver::Instance(_)) => stage[id.index()],
             None => continue,
@@ -171,10 +171,10 @@ pub fn pipeline_netlist_with(
         // output net.
         let sinks: Vec<(Sink, usize)> = netlist
             .net(id)
-            .sinks
+            .sinks()
             .iter()
             .map(|s| {
-                let sink_stage = stage[netlist.instance(s.inst).out.index()];
+                let sink_stage = stage[netlist.instance(s.inst).out().index()];
                 (*s, sink_stage)
             })
             .collect();
@@ -190,7 +190,7 @@ pub fn pipeline_netlist_with(
         let mut chain = Vec::with_capacity(max_cross);
         let mut prev = id;
         for k in 1..=max_cross {
-            let name = format!("{}_s{}", netlist.net(id).name, k);
+            let name = format!("{}_s{}", netlist.net(id).name(), k);
             let q = out.add_net(name.clone());
             out.add_instance(format!("pipe_{name}"), lib, dff, &[prev], q)?;
             inserted += 1;
@@ -200,7 +200,7 @@ pub fn pipeline_netlist_with(
         for (s, sink_stage) in sinks {
             let cross = sink_stage.saturating_sub(src_stage);
             if cross > 0 {
-                out.redirect_sink(s.inst, s.pin, chain[cross - 1]);
+                out.redirect_sink(s.inst, s.pin as usize, chain[cross - 1]);
             }
         }
     }
@@ -332,13 +332,12 @@ mod tests {
         // changing the transparent function.
         let mut broken = piped.netlist.clone();
         let victim = broken
-            .instances()
-            .iter()
-            .position(|i| i.is_sequential())
+            .iter_instances()
+            .find(|(_, i)| i.is_sequential())
+            .map(|(id, _)| id)
             .expect("has registers");
         let wrong_net = broken.inputs()[0].1;
-        let victim = asicgap_netlist::InstId::from_index(victim);
-        if broken.instance(victim).fanin[0] != wrong_net {
+        if broken.instance(victim).fanin()[0] != wrong_net {
             broken.redirect_sink(victim, 0, wrong_net);
             let report = verify_pipeline(&adder, &broken, &lib).expect("checks");
             match report.result {

@@ -97,8 +97,8 @@ pub fn anneal_placement(
     // Incremental cost: swapping two cells only changes nets touching them.
     let nets_of = |i: usize| -> Vec<asicgap_netlist::NetId> {
         let inst = netlist.instance(asicgap_netlist::InstId::from_index(i));
-        let mut v: Vec<_> = inst.fanin.clone();
-        v.push(inst.out);
+        let mut v: Vec<_> = inst.fanin().to_vec();
+        v.push(inst.out());
         v.sort();
         v.dedup();
         v

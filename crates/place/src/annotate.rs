@@ -45,9 +45,9 @@ pub fn wire_parasitics(
         // gain-4 buffer horn from the gate up to the repeater size.
         // The gate sees a gain-4 load; the horn's stages (one FO4
         // each) plus the full repeatered flight are net delay.
-        let drive = match netlist.net(id).driver {
+        let drive = match netlist.net(id).driver() {
             Some(asicgap_netlist::NetDriver::Instance(inst)) => {
-                lib.cell(netlist.instance(inst).cell).drive
+                lib.cell(netlist.instance(inst).cell()).drive
             }
             _ => 1.0,
         };

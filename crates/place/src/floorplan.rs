@@ -131,13 +131,13 @@ impl Floorplan {
                 let levels = asicgap_netlist::net_levels(netlist);
                 let max_level = netlist
                     .iter_instances()
-                    .map(|(_, inst)| levels[inst.out.index()])
+                    .map(|(_, inst)| levels[inst.out().index()])
                     .max()
                     .unwrap_or(1)
                     .max(1);
                 let mut assignment = vec![0usize; netlist.instance_count()];
                 for (id, inst) in netlist.iter_instances() {
-                    let lvl = levels[inst.out.index()];
+                    let lvl = levels[inst.out().index()];
                     assignment[id.index()] =
                         ((lvl.saturating_sub(1)) * modules / max_level).min(modules - 1);
                 }

@@ -41,10 +41,9 @@ pub fn legalize(netlist: &Netlist, lib: &Library, placement: &mut Placement) -> 
 
     // Cell widths in sites.
     let widths: Vec<usize> = netlist
-        .instances()
-        .iter()
-        .map(|inst| {
-            let w = lib.cell(inst.cell).area_um2 / row_h;
+        .iter_instances()
+        .map(|(_, inst)| {
+            let w = lib.cell(inst.cell()).area_um2 / row_h;
             (w / site).ceil().max(1.0) as usize
         })
         .collect();
@@ -137,7 +136,15 @@ pub fn check_legal(netlist: &Netlist, lib: &Library, placement: &Placement) -> u
         if (y - (row + 0.5) * row_h).abs() > 1e-6 {
             violations += 1;
         }
-        let w = (lib.cell(netlist.instances()[i].cell).area_um2 / row_h / site)
+        let w = (lib
+            .cell(
+                netlist
+                    .instance(asicgap_netlist::InstId::from_index(i))
+                    .cell(),
+            )
+            .area_um2
+            / row_h
+            / site)
             .ceil()
             .max(1.0)
             * site;

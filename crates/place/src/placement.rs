@@ -66,7 +66,7 @@ impl Placement {
 
     /// Coordinates of whatever drives `net` (instance or input port).
     pub fn driver_pos(&self, netlist: &Netlist, net: NetId) -> (f64, f64) {
-        match netlist.net(net).driver {
+        match netlist.net(net).driver() {
             Some(NetDriver::Instance(inst)) => self.cells[inst.index()],
             Some(NetDriver::PrimaryInput(k)) => self.inputs[k],
             None => (0.0, 0.0),
@@ -85,11 +85,11 @@ impl Placement {
             min_y = min_y.min(y);
             max_y = max_y.max(y);
         };
-        for s in &n.sinks {
+        for s in n.sinks() {
             let (x, y) = self.cells[s.inst.index()];
             grow(x, y);
         }
-        if n.is_output {
+        if n.is_output() {
             if let Some(k) = netlist.outputs().iter().position(|(_, id)| *id == net) {
                 let (x, y) = self.outputs[k];
                 grow(x, y);
@@ -105,12 +105,12 @@ impl Placement {
     /// relies on.
     pub fn net_pins(&self, netlist: &Netlist, net: NetId) -> Vec<(f64, f64)> {
         let n = netlist.net(net);
-        let mut pins = Vec::with_capacity(n.sinks.len() + 2);
+        let mut pins = Vec::with_capacity(n.sinks().len() + 2);
         pins.push(self.driver_pos(netlist, net));
-        for s in &n.sinks {
+        for s in n.sinks() {
             pins.push(self.cells[s.inst.index()]);
         }
-        if n.is_output {
+        if n.is_output() {
             if let Some(k) = netlist.outputs().iter().position(|(_, id)| *id == net) {
                 pins.push(self.outputs[k]);
             }

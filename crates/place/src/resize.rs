@@ -38,16 +38,16 @@ fn sweep_order(netlist: &Netlist) -> Vec<InstId> {
 fn best_drive(netlist: &Netlist, lib: &Library, par: &NetParasitics, id: InstId) -> Option<CellId> {
     let tech = &lib.tech;
     let inst = netlist.instance(id);
-    let mut load = netlist.net_load(lib, inst.out, par.cap(inst.out));
-    if netlist.net(inst.out).is_output {
+    let mut load = netlist.net_load(lib, inst.out(), par.cap(inst.out()));
+    if netlist.net(inst.out()).is_output() {
         load += tech.unit_inverter_cin * OUTPUT_LOAD_UNITS;
     }
     if load <= Ff::ZERO {
         return None;
     }
-    let cell = lib.cell(inst.cell);
+    let cell = lib.cell(inst.cell());
     match lib.drive_for_gain(cell.function, cell.family, load, TARGET_GAIN) {
-        Ok(best) if best != inst.cell => Some(best),
+        Ok(best) if best != inst.cell() => Some(best),
         _ => None,
     }
 }
@@ -142,8 +142,15 @@ mod tests {
         assert_eq!(g.min_period(), fresh.min_period);
         // The wrapper must agree cell-for-cell with the graph loop.
         let (via_wrapper, _) = post_layout_resize(&n, &lib, &fp.placement);
-        let a: Vec<_> = g.netlist().instances().iter().map(|i| i.cell).collect();
-        let b: Vec<_> = via_wrapper.instances().iter().map(|i| i.cell).collect();
+        let a: Vec<_> = g
+            .netlist()
+            .iter_instances()
+            .map(|(_, i)| i.cell())
+            .collect();
+        let b: Vec<_> = via_wrapper
+            .iter_instances()
+            .map(|(_, i)| i.cell())
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -522,11 +522,11 @@ mod tests {
         let (id, net) = n
             .iter_nets()
             .find(|(_, net)| {
-                matches!(net.driver, Some(asicgap_netlist::NetDriver::Instance(_)))
-                    && !net.sinks.is_empty()
+                matches!(net.driver(), Some(asicgap_netlist::NetDriver::Instance(_)))
+                    && !net.sinks().is_empty()
             })
             .expect("instance-driven net");
-        let inst = match net.driver {
+        let inst = match net.driver() {
             Some(asicgap_netlist::NetDriver::Instance(i)) => i,
             _ => unreachable!(),
         };

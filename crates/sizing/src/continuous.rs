@@ -55,31 +55,31 @@ impl SizedTiming {
         for (id, inst) in netlist.iter_instances() {
             if inst.is_sequential() {
                 let t = lib
-                    .cell(inst.cell)
+                    .cell(inst.cell())
                     .kind
                     .seq_timing()
                     .expect("sequential timing");
-                arrival[inst.out.index()] = t.clk_to_q;
-                worst_driver[inst.out.index()] = Some(id);
+                arrival[inst.out().index()] = t.clk_to_q;
+                worst_driver[inst.out().index()] = Some(id);
             }
         }
 
         let order = netlist.topo_order().expect("acyclic netlist");
         for &id in &order {
             let inst = netlist.instance(id);
-            let load = Self::net_load_units(netlist, lib, inst.out, sizes);
+            let load = Self::net_load_units(netlist, lib, inst.out(), sizes);
             let s = sizes[id.index()];
-            let p = inst.function.parasitic();
+            let p = inst.function().parasitic();
             let delay = tau * (p + load / s);
             let (worst_in, in_arr) = inst
-                .fanin
+                .fanin()
                 .iter()
                 .map(|&n| (n, arrival[n.index()]))
                 .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
                 .expect("combinational gates have inputs");
-            arrival[inst.out.index()] = in_arr + delay;
-            worst_driver[inst.out.index()] = Some(id);
-            worst_pred[inst.out.index()] = Some(worst_in);
+            arrival[inst.out().index()] = in_arr + delay;
+            worst_driver[inst.out().index()] = Some(id);
+            worst_pred[inst.out().index()] = Some(worst_in);
         }
 
         // Endpoints: register D pins and primary outputs.
@@ -93,7 +93,7 @@ impl SizedTiming {
         };
         for (_, inst) in netlist.iter_instances() {
             if inst.is_sequential() {
-                consider(inst.fanin[0], arrival[inst.fanin[0].index()]);
+                consider(inst.fanin()[0], arrival[inst.fanin()[0].index()]);
             }
         }
         for (_, net) in netlist.outputs() {
@@ -118,12 +118,12 @@ impl SizedTiming {
         sizes: &[f64],
     ) -> f64 {
         let mut load = 0.0;
-        for s in &netlist.net(net).sinks {
+        for s in netlist.net(net).sinks() {
             let sink = netlist.instance(s.inst);
-            let g = effective_effort(sink.function);
+            let g = effective_effort(sink.function());
             load += g * sizes[s.inst.index()];
         }
-        if netlist.net(net).is_output {
+        if netlist.net(net).is_output() {
             load += OUTPUT_LOAD_UNITS;
         }
         load
@@ -156,9 +156,8 @@ pub(crate) fn effective_effort(f: CellFunction) -> f64 {
 /// Sizes implied by the mapped cells of `netlist` (its current drives).
 pub fn sizes_from_cells(netlist: &Netlist, lib: &Library) -> Vec<f64> {
     netlist
-        .instances()
-        .iter()
-        .map(|i| lib.cell(i.cell).drive)
+        .iter_instances()
+        .map(|(_, i)| lib.cell(i.cell()).drive)
         .collect()
 }
 
@@ -245,7 +244,7 @@ mod tests {
             let a = n.instance(w[0]);
             let b = n.instance(w[1]);
             assert!(
-                b.fanin.contains(&a.out),
+                b.fanin().contains(&a.out()),
                 "consecutive path gates must be connected"
             );
         }

@@ -45,7 +45,7 @@ pub fn snap_to_library(netlist: &Netlist, lib: &Library, sizes: &[f64]) -> SnapR
     let mut timing = IncrementalSizedTiming::new(netlist, lib, sizes.to_vec());
     let continuous_delay = timing.critical_delay();
     for (id, inst) in netlist.iter_instances() {
-        let cell = lib.closest_drive(inst.cell, sizes[id.index()]);
+        let cell = lib.closest_drive(inst.cell(), sizes[id.index()]);
         timing.set_size(id, lib.cell(cell).drive);
     }
     let snapped_delay = timing.critical_delay();

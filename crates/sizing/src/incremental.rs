@@ -39,7 +39,7 @@ impl DelayModel for SizeModel<'_> {
 
     fn launch(&self, netlist: &Netlist, id: InstId) -> Ps {
         self.lib
-            .cell(netlist.instance(id).cell)
+            .cell(netlist.instance(id).cell())
             .kind
             .seq_timing()
             .expect("sequential timing")
@@ -89,7 +89,7 @@ impl<'a> IncrementalSizedTiming<'a> {
         let mut endpoints = Vec::new();
         for (_, inst) in netlist.iter_instances() {
             if inst.is_sequential() {
-                endpoints.push(inst.fanin[0]);
+                endpoints.push(inst.fanin()[0]);
             }
         }
         for (_, net) in netlist.outputs() {
@@ -101,8 +101,8 @@ impl<'a> IncrementalSizedTiming<'a> {
         let mut out_index = Vec::with_capacity(netlist.instance_count());
         let mut parasitic = Vec::with_capacity(netlist.instance_count());
         for (_, inst) in netlist.iter_instances() {
-            out_index.push(inst.out.index() as u32);
-            parasitic.push(inst.function.parasitic());
+            out_index.push(inst.out().index() as u32);
+            parasitic.push(inst.function().parasitic());
         }
         let mut t = IncrementalSizedTiming {
             netlist,
@@ -170,9 +170,9 @@ impl<'a> IncrementalSizedTiming<'a> {
         }
         self.sizes[inst.index()] = size;
         self.refresh_caches(inst);
-        for pin in 0..self.netlist.instance(inst).fanin.len() {
-            let net = self.netlist.instance(inst).fanin[pin];
-            if let Some(NetDriver::Instance(src)) = self.netlist.net(net).driver {
+        for pin in 0..self.netlist.instance(inst).fanin().len() {
+            let net = self.netlist.instance(inst).fanin()[pin];
+            if let Some(NetDriver::Instance(src)) = self.netlist.net(net).driver() {
                 self.engine.invalidate(src);
             }
         }
@@ -184,11 +184,11 @@ impl<'a> IncrementalSizedTiming<'a> {
     /// drivers (through their loads), and `inst`'s own delay (through its
     /// drive) — with the exact arithmetic a fresh evaluation would use.
     fn refresh_caches(&mut self, inst: InstId) {
-        for pin in 0..self.netlist.instance(inst).fanin.len() {
-            let net = self.netlist.instance(inst).fanin[pin];
+        for pin in 0..self.netlist.instance(inst).fanin().len() {
+            let net = self.netlist.instance(inst).fanin()[pin];
             self.loads[net.index()] =
                 SizedTiming::net_load_units(self.netlist, self.lib, net, &self.sizes);
-            if let Some(NetDriver::Instance(src)) = self.netlist.net(net).driver {
+            if let Some(NetDriver::Instance(src)) = self.netlist.net(net).driver() {
                 self.delays[src.index()] = self.delay_of(src);
             }
         }
@@ -367,7 +367,10 @@ mod tests {
         let n = generators::array_multiplier(&lib, 8).expect("mult8");
         let sizes = sizes_from_cells(&n, &lib);
         let mut inc = IncrementalSizedTiming::new(&n, &lib, sizes);
-        let comb = n.instances().iter().filter(|i| !i.is_sequential()).count();
+        let comb = n
+            .iter_instances()
+            .filter(|(_, i)| !i.is_sequential())
+            .count();
         let base = inc.stats().pins_touched;
         let path = inc.critical_path();
         let gate = path[path.len() / 2];

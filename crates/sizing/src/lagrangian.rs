@@ -91,15 +91,15 @@ pub fn lagrangian_size(
             for &id in &order {
                 let i = id.index();
                 let inst = netlist.instance(id);
-                let load = SizedTiming::net_load_units(netlist, lib, inst.out, &sizes);
+                let load = SizedTiming::net_load_units(netlist, lib, inst.out(), &sizes);
                 if load <= 0.0 {
                     continue;
                 }
                 // Upstream pressure: λᵤ/sᵤ over this gate's fanin drivers.
-                let g_i = inst.function.logical_effort();
+                let g_i = inst.function().logical_effort();
                 let mut upstream = 0.0;
-                for &f in &inst.fanin {
-                    if let Some(NetDriver::Instance(drv)) = netlist.net(f).driver {
+                for &f in inst.fanin() {
+                    if let Some(NetDriver::Instance(drv)) = netlist.net(f).driver() {
                         if !netlist.instance(drv).is_sequential() {
                             upstream += lambda[drv.index()] / sizes[drv.index()];
                         }
@@ -120,10 +120,10 @@ pub fn lagrangian_size(
         let mut downstream = vec![0.0f64; netlist.net_count()];
         for &id in order.iter().rev() {
             let inst = netlist.instance(id);
-            let load = SizedTiming::net_load_units(netlist, lib, inst.out, &sizes);
-            let own = tau * (inst.function.parasitic() + load / sizes[id.index()]);
-            let q = own + downstream[inst.out.index()];
-            for &f in &inst.fanin {
+            let load = SizedTiming::net_load_units(netlist, lib, inst.out(), &sizes);
+            let own = tau * (inst.function().parasitic() + load / sizes[id.index()]);
+            let q = own + downstream[inst.out().index()];
+            for &f in inst.fanin() {
                 if q > downstream[f.index()] {
                     downstream[f.index()] = q;
                 }
@@ -133,7 +133,8 @@ pub fn lagrangian_size(
         for &id in &order {
             let i = id.index();
             let inst = netlist.instance(id);
-            let through = timing.arrival[inst.out.index()].value() + downstream[inst.out.index()];
+            let through =
+                timing.arrival[inst.out().index()].value() + downstream[inst.out().index()];
             // Criticality of the worst path through this gate, measured
             // against the target.
             let crit = (through / total) * scale;

@@ -66,7 +66,10 @@ pub fn downsize_for_power(
         changed = false;
         rounds += 1;
         for i in 0..sizes.len() {
-            if netlist.instances()[i].is_sequential() {
+            if netlist
+                .instance(asicgap_netlist::InstId::from_index(i))
+                .is_sequential()
+            {
                 continue;
             }
             let candidate = (sizes[i] * step).max(min_size);

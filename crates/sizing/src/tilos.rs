@@ -202,7 +202,10 @@ mod tests {
         let lib = LibrarySpec::rich().build(&tech);
         let n = generators::array_multiplier(&lib, 8).expect("mult8");
         let r = tilos_size(&n, &lib, &TilosOptions::default());
-        let comb = n.instances().iter().filter(|i| !i.is_sequential()).count();
+        let comb = n
+            .iter_instances()
+            .filter(|(_, i)| !i.is_sequential())
+            .count();
         // What the old loop paid: a whole-netlist pass per evaluation.
         let full_pins = r.evaluations * comb;
         // On an array multiplier a trial cone (the fanout closure of the

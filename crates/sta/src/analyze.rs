@@ -257,10 +257,10 @@ pub(crate) fn sweep_endpoints(
         if !inst.is_sequential() {
             continue;
         }
-        let d_net = inst.fanin[0];
+        let d_net = inst.fanin()[0];
         let a = arrival[d_net.index()];
         let setup = lib
-            .cell(inst.cell)
+            .cell(inst.cell())
             .kind
             .seq_timing()
             .expect("sequential cell has timing")
@@ -377,9 +377,9 @@ fn trace_path(
         let pred = worst_pred[net.index()];
         let prev_arrival = pred.map_or(Ps::ZERO, |p| arrival[p.index()]);
         steps.push(PathStep {
-            instance: inst.name.clone(),
-            cell: lib.cell(inst.cell).name.clone(),
-            through_net: netlist.net(net).name.clone(),
+            instance: inst.name().to_string(),
+            cell: lib.cell(inst.cell()).name.clone(),
+            through_net: netlist.net(net).name().to_string(),
             incr: arrival[net.index()] - prev_arrival,
             total: arrival[net.index()],
         });
@@ -395,7 +395,7 @@ fn trace_path(
     TimingPath {
         steps,
         delay: end_arrival,
-        endpoint_net: netlist.net(end_net).name.clone(),
+        endpoint_net: netlist.net(end_net).name().to_string(),
     }
 }
 

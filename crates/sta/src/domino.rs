@@ -28,18 +28,18 @@ pub struct DominoViolation {
 pub fn check_domino_phases(netlist: &Netlist, lib: &Library) -> Vec<DominoViolation> {
     let mut violations = Vec::new();
     for (id, inst) in netlist.iter_instances() {
-        if lib.cell(inst.cell).family != LogicFamily::Domino {
+        if lib.cell(inst.cell()).family != LogicFamily::Domino {
             continue;
         }
-        for &fanin in &inst.fanin {
-            let Some(NetDriver::Instance(drv)) = netlist.net(fanin).driver else {
+        for &fanin in inst.fanin() {
+            let Some(NetDriver::Instance(drv)) = netlist.net(fanin).driver() else {
                 continue; // primary inputs are assumed phase-aligned
             };
             let drv_inst = netlist.instance(drv);
             if drv_inst.is_sequential() {
                 continue; // register outputs are stable in evaluate phase
             }
-            let drv_cell = lib.cell(drv_inst.cell);
+            let drv_cell = lib.cell(drv_inst.cell());
             if drv_cell.family == LogicFamily::Domino {
                 continue;
             }
@@ -49,7 +49,9 @@ pub fn check_domino_phases(netlist: &Netlist, lib: &Library) -> Vec<DominoViolat
                     static_driver: drv,
                     reason: format!(
                         "domino {} fed by glitch-capable static {} ({})",
-                        inst.name, drv_inst.name, drv_cell.name
+                        inst.name(),
+                        drv_inst.name(),
+                        drv_cell.name
                     ),
                 });
             }

@@ -38,17 +38,17 @@ impl DelayModel for StaModel<'_> {
     fn gate_delay(&self, netlist: &Netlist, id: InstId) -> Ps {
         let tech = &self.lib.tech;
         let inst = netlist.instance(id);
-        let cell = self.lib.cell(inst.cell);
-        let mut load = netlist.net_load(self.lib, inst.out, self.par.cap(inst.out));
-        if netlist.net(inst.out).is_output {
+        let cell = self.lib.cell(inst.cell());
+        let mut load = netlist.net_load(self.lib, inst.out(), self.par.cap(inst.out()));
+        if netlist.net(inst.out()).is_output() {
             load += tech.unit_inverter_cin * OUTPUT_LOAD_UNITS;
         }
-        cell.delay(tech, load) + self.par.delay(inst.out)
+        cell.delay(tech, load) + self.par.delay(inst.out())
     }
 
     fn launch(&self, netlist: &Netlist, id: InstId) -> Ps {
         self.lib
-            .cell(netlist.instance(id).cell)
+            .cell(netlist.instance(id).cell())
             .kind
             .seq_timing()
             .expect("sequential cell has timing")
@@ -78,7 +78,7 @@ impl DelayModel for StaModel<'_> {
 /// // Resize one gate: only its fanout cone is repropagated, yet the
 /// // answer matches a from-scratch analyze of the mutated netlist.
 /// let (id, inst) = graph.netlist().iter_instances().next().expect("gates");
-/// let bigger = lib.closest_drive(inst.cell, 8.0);
+/// let bigger = lib.closest_drive(inst.cell(), 8.0);
 /// graph.resize_cell(id, bigger);
 /// let fresh = analyze(graph.netlist(), &lib, &ClockSpec::unconstrained(), None);
 /// assert_eq!(graph.min_period(), fresh.min_period);
@@ -178,12 +178,12 @@ impl<'a> TimingGraph<'a> {
     /// Panics if `cell` implements a different function (see
     /// [`Netlist::set_instance_cell`]).
     pub fn resize_cell(&mut self, inst: InstId, cell: CellId) {
-        if self.netlist.instance(inst).cell == cell {
+        if self.netlist.instance(inst).cell() == cell {
             return;
         }
         self.netlist.set_instance_cell(self.lib, inst, cell);
-        for pin in 0..self.netlist.instance(inst).fanin.len() {
-            let net = self.netlist.instance(inst).fanin[pin];
+        for pin in 0..self.netlist.instance(inst).fanin().len() {
+            let net = self.netlist.instance(inst).fanin()[pin];
             self.engine.invalidate_driver(&self.netlist, net);
         }
         self.engine.invalidate(inst);
@@ -222,7 +222,7 @@ impl<'a> TimingGraph<'a> {
         sinks: &[Sink],
     ) -> Result<(InstId, NetId), NetlistError> {
         self.buffers += 1;
-        let name = format!("{}__tg{}", self.netlist.net(net).name, self.buffers);
+        let name = format!("{}__tg{}", self.netlist.net(net).name(), self.buffers);
         let new_net = self.netlist.add_net(name.clone());
         let result =
             self.netlist
@@ -239,11 +239,11 @@ impl<'a> TimingGraph<'a> {
         };
         for s in sinks {
             assert_eq!(
-                self.netlist.instance(s.inst).fanin[s.pin],
+                self.netlist.instance(s.inst).fanin()[s.pin as usize],
                 net,
                 "insert_buffer sinks must currently be on the split net"
             );
-            self.netlist.redirect_sink(s.inst, s.pin, new_net);
+            self.netlist.redirect_sink(s.inst, s.pin as usize, new_net);
         }
         // Grow after the redirects so the engine's topology mirror sees
         // the final sink lists.
@@ -264,7 +264,7 @@ impl<'a> TimingGraph<'a> {
     ///
     /// Panics on netlist inconsistency (see [`Netlist::redirect_sink`]).
     pub fn retarget_net(&mut self, inst: InstId, pin: usize, new_net: NetId) {
-        let old_net = self.netlist.instance(inst).fanin[pin];
+        let old_net = self.netlist.instance(inst).fanin()[pin];
         if old_net == new_net {
             return;
         }
@@ -405,7 +405,7 @@ mod tests {
         // Upsize every 5th combinational gate, checking after each.
         let ids: Vec<InstId> = g.netlist().iter_instances().map(|(id, _)| id).collect();
         for id in ids.iter().step_by(5) {
-            let cell = g.netlist().instance(*id).cell;
+            let cell = g.netlist().instance(*id).cell();
             let bigger = lib.closest_drive(cell, lib.cell(cell).drive * 4.0);
             g.resize_cell(*id, bigger);
             let fresh = analyze(g.netlist(), &lib, &ClockSpec::unconstrained(), None);
@@ -425,14 +425,14 @@ mod tests {
         let (net, sinks) = g
             .netlist()
             .iter_nets()
-            .max_by_key(|(_, n)| n.sinks.len())
-            .map(|(id, n)| (id, n.sinks.clone()))
+            .max_by_key(|(_, n)| n.sinks().len())
+            .map(|(id, n)| (id, n.sinks().to_vec()))
             .expect("has nets");
         let buf = lib.smallest(CellFunction::Buf).expect("buf cell");
         let moved = &sinks[..sinks.len() / 2];
         let (inst, new_net) = g.insert_buffer(net, buf, moved).expect("inserts");
-        assert_eq!(g.netlist().net(new_net).sinks.len(), moved.len());
-        assert_eq!(g.netlist().instance(inst).fanin[0], net);
+        assert_eq!(g.netlist().net(new_net).sinks().len(), moved.len());
+        assert_eq!(g.netlist().instance(inst).fanin()[0], net);
         let fresh = analyze(g.netlist(), &lib, &ClockSpec::unconstrained(), None);
         assert_eq!(g.min_period(), fresh.min_period);
         assert_eq!(g.report().min_period, fresh.min_period);
@@ -447,13 +447,13 @@ mod tests {
         let (net, sink) = g
             .netlist()
             .iter_nets()
-            .filter(|(_, n)| n.sinks.len() > 2)
-            .map(|(id, n)| (id, n.sinks[0]))
+            .filter(|(_, n)| n.sinks().len() > 2)
+            .map(|(id, n)| (id, n.sinks()[0]))
             .next()
             .expect("fanout net");
         let buf = lib.smallest(CellFunction::Buf).expect("buf cell");
         let (_, new_net) = g.insert_buffer(net, buf, &[]).expect("inserts");
-        g.retarget_net(sink.inst, sink.pin, new_net);
+        g.retarget_net(sink.inst, sink.pin as usize, new_net);
         let fresh = analyze(g.netlist(), &lib, &ClockSpec::unconstrained(), None);
         assert_eq!(g.min_period(), fresh.min_period);
     }
@@ -525,7 +525,7 @@ mod tests {
         let mut g = TimingGraph::new(n, &lib, ClockSpec::unconstrained(), None);
         let ids: Vec<InstId> = g.netlist().iter_instances().map(|(id, _)| id).collect();
         for id in ids.iter().take(20) {
-            let cell = g.netlist().instance(*id).cell;
+            let cell = g.netlist().instance(*id).cell();
             g.resize_cell(*id, lib.closest_drive(cell, 8.0));
         }
         let before = g.stats().incremental_updates;

@@ -42,26 +42,26 @@ fn min_arrivals(netlist: &Netlist, lib: &Library, par: &NetParasitics) -> Vec<Ps
     for (_, inst) in netlist.iter_instances() {
         if inst.is_sequential() {
             let t = lib
-                .cell(inst.cell)
+                .cell(inst.cell())
                 .kind
                 .seq_timing()
                 .expect("sequential timing");
-            arrival[inst.out.index()] = t.clk_to_q * MIN_DELAY_DERATE;
+            arrival[inst.out().index()] = t.clk_to_q * MIN_DELAY_DERATE;
         }
     }
     let order = netlist.topo_order().expect("acyclic netlist");
     for &id in &order {
         let inst = netlist.instance(id);
-        let cell = lib.cell(inst.cell);
-        let load = netlist.net_load(lib, inst.out, par.cap(inst.out));
-        let delay = (cell.delay(tech, load) + par.delay(inst.out)) * MIN_DELAY_DERATE;
+        let cell = lib.cell(inst.cell());
+        let load = netlist.net_load(lib, inst.out(), par.cap(inst.out()));
+        let delay = (cell.delay(tech, load) + par.delay(inst.out())) * MIN_DELAY_DERATE;
         let min_in = inst
-            .fanin
+            .fanin()
             .iter()
             .map(|&n| arrival[n.index()])
             .min_by(|a, b| a.partial_cmp(b).expect("finite"))
             .expect("combinational gates have inputs");
-        arrival[inst.out.index()] = min_in + delay;
+        arrival[inst.out().index()] = min_in + delay;
     }
     arrival
 }
@@ -91,14 +91,14 @@ pub fn check_hold(
     let mut reg_reachable = vec![false; netlist.net_count()];
     for (_, inst) in netlist.iter_instances() {
         if inst.is_sequential() {
-            reg_reachable[inst.out.index()] = true;
+            reg_reachable[inst.out().index()] = true;
         }
     }
     for &id in &netlist.topo_order().expect("acyclic netlist") {
         let inst = netlist.instance(id);
-        let any = inst.fanin.iter().any(|&n| reg_reachable[n.index()]);
+        let any = inst.fanin().iter().any(|&n| reg_reachable[n.index()]);
         if any {
-            reg_reachable[inst.out.index()] = true;
+            reg_reachable[inst.out().index()] = true;
         }
     }
 
@@ -108,12 +108,12 @@ pub fn check_hold(
         if !inst.is_sequential() {
             continue;
         }
-        let d = inst.fanin[0];
+        let d = inst.fanin()[0];
         if !reg_reachable[d.index()] {
             continue;
         }
         let hold = lib
-            .cell(inst.cell)
+            .cell(inst.cell())
             .kind
             .seq_timing()
             .expect("sequential timing")
@@ -168,7 +168,7 @@ pub fn fix_hold_violations(
         for (reg, _) in report.violations {
             // Insert one pad stage before the D pin (buffer, or an
             // inverter pair to preserve polarity).
-            let d_net = netlist.instance(reg).fanin[0];
+            let d_net = netlist.instance(reg).fanin()[0];
             match lib.smallest(CellFunction::Buf) {
                 Some(bcell) => {
                     let padded = netlist.add_net(format!("hold_{added}"));

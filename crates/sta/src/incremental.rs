@@ -152,9 +152,9 @@ impl ArrivalEngine {
         self.fanin_nets.clear();
         for (_, inst) in netlist.iter_instances() {
             self.is_seq.push(inst.is_sequential());
-            self.out_net.push(inst.out.index() as u32);
+            self.out_net.push(inst.out().index() as u32);
             self.fanin_start.push(self.fanin_nets.len() as u32);
-            for &n in &inst.fanin {
+            for &n in inst.fanin() {
                 self.fanin_nets.push(n.index() as u32);
             }
         }
@@ -163,7 +163,7 @@ impl ArrivalEngine {
         self.sink_insts.clear();
         for (_, net) in netlist.iter_nets() {
             self.sink_start.push(self.sink_insts.len() as u32);
-            for s in &net.sinks {
+            for s in net.sinks() {
                 if !netlist.instance(s.inst).is_sequential() {
                     self.sink_insts.push(s.inst.index() as u32);
                 }
@@ -254,9 +254,9 @@ impl ArrivalEngine {
         // …and register outputs launch at clk->Q.
         for (id, inst) in netlist.iter_instances() {
             if inst.is_sequential() {
-                self.arrival[inst.out.index()] = model.launch(netlist, id);
-                self.worst_driver[inst.out.index()] = Some(id);
-                self.from_register[inst.out.index()] = true;
+                self.arrival[inst.out().index()] = model.launch(netlist, id);
+                self.worst_driver[inst.out().index()] = Some(id);
+                self.from_register[inst.out().index()] = true;
             }
         }
         let order = netlist
@@ -329,7 +329,7 @@ impl ArrivalEngine {
     /// Invalidates the instance driving `net`, if any. Used when a net's
     /// load changed (a sink was resized, added, or moved away).
     pub fn invalidate_driver(&mut self, netlist: &Netlist, net: NetId) {
-        if let Some(NetDriver::Instance(src)) = netlist.net(net).driver {
+        if let Some(NetDriver::Instance(src)) = netlist.net(net).driver() {
             self.invalidate(src);
         }
     }
@@ -362,8 +362,8 @@ impl ArrivalEngine {
             let new = self.level_of(netlist, id);
             if new != self.level[id.index()] {
                 self.level[id.index()] = new;
-                let out = netlist.instance(id).out;
-                for s in &netlist.net(out).sinks {
+                let out = netlist.instance(id).out();
+                for s in netlist.net(out).sinks() {
                     if !netlist.instance(s.inst).is_sequential() {
                         work.push(s.inst);
                     }
@@ -496,9 +496,9 @@ impl ArrivalEngine {
     fn level_of(&self, netlist: &Netlist, id: InstId) -> u32 {
         netlist
             .instance(id)
-            .fanin
+            .fanin()
             .iter()
-            .filter_map(|&n| match netlist.net(n).driver {
+            .filter_map(|&n| match netlist.net(n).driver() {
                 Some(NetDriver::Instance(src)) if !netlist.instance(src).is_sequential() => {
                     Some(self.level[src.index()] + 1)
                 }

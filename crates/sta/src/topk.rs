@@ -35,9 +35,9 @@ pub fn report_timing(
         if !inst.is_sequential() {
             continue;
         }
-        let d = inst.fanin[0];
+        let d = inst.fanin()[0];
         let setup = lib
-            .cell(inst.cell)
+            .cell(inst.cell())
             .kind
             .seq_timing()
             .expect("sequential timing")
@@ -76,11 +76,11 @@ pub fn report_timing(
             let mut prev = Ps::ZERO;
             for id in insts {
                 let inst = netlist.instance(id);
-                let total = report.arrival(inst.out);
+                let total = report.arrival(inst.out());
                 steps.push(PathStep {
-                    instance: inst.name.clone(),
-                    cell: lib.cell(inst.cell).name.clone(),
-                    through_net: netlist.net(inst.out).name.clone(),
+                    instance: inst.name().to_string(),
+                    cell: lib.cell(inst.cell()).name.clone(),
+                    through_net: netlist.net(inst.out()).name().to_string(),
                     incr: total - prev,
                     total,
                 });
@@ -91,7 +91,7 @@ pub fn report_timing(
                 required_period,
                 path: TimingPath {
                     delay: report.arrival(net),
-                    endpoint_net: netlist.net(net).name.clone(),
+                    endpoint_net: netlist.net(net).name().to_string(),
                     steps,
                 },
             }

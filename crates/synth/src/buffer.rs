@@ -45,14 +45,14 @@ pub fn buffer_high_fanout(
         }
         let heavy: Vec<NetId> = netlist
             .iter_nets()
-            .filter(|(_, n)| n.sinks.len() > max_fanout)
+            .filter(|(_, n)| n.sinks().len() > max_fanout)
             .map(|(id, _)| id)
             .collect();
         if heavy.is_empty() {
             break;
         }
         for net in heavy {
-            let sinks: Vec<Sink> = netlist.net(net).sinks.clone();
+            let sinks: Vec<Sink> = netlist.net(net).sinks().to_vec();
             if sinks.len() <= max_fanout {
                 continue;
             }
@@ -60,12 +60,8 @@ pub fn buffer_high_fanout(
             // ends up driving only ceil(s/max) buffers — strictly fewer
             // than `max_fanout` sinks once the tree converges.
             for (k, chunk) in sinks.chunks(max_fanout).enumerate() {
-                let sub = netlist.add_net(format!(
-                    "{}_buf{}_{}",
-                    netlist.net(net).name.clone(),
-                    inserted,
-                    k
-                ));
+                let sub =
+                    netlist.add_net(format!("{}_buf{}_{}", netlist.net(net).name(), inserted, k));
                 match buf {
                     Some(bcell) => {
                         netlist.add_instance(
@@ -98,7 +94,7 @@ pub fn buffer_high_fanout(
                     }
                 }
                 for s in chunk {
-                    netlist.redirect_sink(s.inst, s.pin, sub);
+                    netlist.redirect_sink(s.inst, s.pin as usize, sub);
                 }
             }
         }
@@ -143,14 +139,14 @@ pub fn buffer_high_fanout_on(
         let heavy: Vec<NetId> = graph
             .netlist()
             .iter_nets()
-            .filter(|(_, n)| n.sinks.len() > max_fanout)
+            .filter(|(_, n)| n.sinks().len() > max_fanout)
             .map(|(id, _)| id)
             .collect();
         if heavy.is_empty() {
             break;
         }
         for net in heavy {
-            let sinks: Vec<Sink> = graph.netlist().net(net).sinks.clone();
+            let sinks: Vec<Sink> = graph.netlist().net(net).sinks().to_vec();
             if sinks.len() <= max_fanout {
                 continue;
             }
@@ -168,7 +164,7 @@ pub fn buffer_high_fanout_on(
                         let (_, sub) = graph.insert_buffer(mid, icell, &[])?;
                         inserted += 2;
                         for s in chunk {
-                            graph.retarget_net(s.inst, s.pin, sub);
+                            graph.retarget_net(s.inst, s.pin as usize, sub);
                         }
                     }
                 }
@@ -205,10 +201,10 @@ mod tests {
         assert!(inserted > 0);
         for (_, net) in n.iter_nets() {
             assert!(
-                net.sinks.len() <= 6,
+                net.sinks().len() <= 6,
                 "net {} fanout {}",
-                net.name,
-                net.sinks.len()
+                net.name(),
+                net.sinks().len()
             );
         }
         let mut sim = Simulator::new(&n, &lib);
@@ -252,10 +248,10 @@ mod tests {
         assert!(inserted > 0);
         for (_, net) in g.netlist().iter_nets() {
             assert!(
-                net.sinks.len() <= 6,
+                net.sinks().len() <= 6,
                 "net {} fanout {}",
-                net.name,
-                net.sinks.len()
+                net.name(),
+                net.sinks().len()
             );
         }
         let fresh = analyze(g.netlist(), &lib, &ClockSpec::unconstrained(), None);
@@ -273,7 +269,7 @@ mod tests {
         let inserted = buffer_high_fanout_on(&mut g, 5).expect("buffers");
         assert!(inserted >= 2);
         for (_, net) in g.netlist().iter_nets() {
-            assert!(net.sinks.len() <= 5);
+            assert!(net.sinks().len() <= 5);
         }
         let fresh = analyze(g.netlist(), &lib, &ClockSpec::unconstrained(), None);
         assert_eq!(g.min_period(), fresh.min_period);

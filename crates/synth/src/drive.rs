@@ -48,16 +48,16 @@ fn best_drive(
 ) -> Option<CellId> {
     let tech = &lib.tech;
     let inst = netlist.instance(id);
-    let mut load = netlist.net_load(lib, inst.out, parasitics.cap(inst.out));
-    if netlist.net(inst.out).is_output {
+    let mut load = netlist.net_load(lib, inst.out(), parasitics.cap(inst.out()));
+    if netlist.net(inst.out()).is_output() {
         load += tech.unit_inverter_cin * OUTPUT_LOAD_UNITS;
     }
     if load <= Ff::ZERO {
         return None;
     }
-    let cell = lib.cell(inst.cell);
+    let cell = lib.cell(inst.cell());
     match lib.drive_for_gain(cell.function, cell.family, load, target_gain) {
-        Ok(best) if best != inst.cell => Some(best),
+        Ok(best) if best != inst.cell() => Some(best),
         _ => None,
     }
 }
@@ -172,8 +172,12 @@ mod tests {
         let mut graph = TimingGraph::new(n.clone(), &lib, ClockSpec::unconstrained(), None);
         select_drives_with(&mut n, &lib, &gain(4.0, 3));
         select_drives_on(&mut graph, &gain(4.0, 3));
-        let cells: Vec<_> = graph.netlist().instances().iter().map(|i| i.cell).collect();
-        let expect: Vec<_> = n.instances().iter().map(|i| i.cell).collect();
+        let cells: Vec<_> = graph
+            .netlist()
+            .iter_instances()
+            .map(|(_, i)| i.cell())
+            .collect();
+        let expect: Vec<_> = n.iter_instances().map(|(_, i)| i.cell()).collect();
         assert_eq!(cells, expect, "same swaps, cell for cell");
         let fresh = analyze(&n, &lib, &ClockSpec::unconstrained(), None);
         assert_eq!(graph.min_period(), fresh.min_period);
@@ -189,9 +193,9 @@ mod tests {
         let lib = LibrarySpec::rich().build(&tech);
         let mut a = generators::parity_tree(&lib, 16).expect("parity");
         select_drives_with(&mut a, &lib, &gain(4.0, 2));
-        let settled: Vec<_> = a.instances().iter().map(|i| i.cell).collect();
+        let settled: Vec<_> = a.iter_instances().map(|(_, i)| i.cell()).collect();
         select_drives_with(&mut a, &lib, &gain(4.0, 2));
-        let again: Vec<_> = a.instances().iter().map(|i| i.cell).collect();
+        let again: Vec<_> = a.iter_instances().map(|(_, i)| i.cell()).collect();
         assert_eq!(settled, again);
     }
 
@@ -203,8 +207,8 @@ mod tests {
         let mut b = a.clone();
         select_drives_with(&mut a, &lib, &DriveOptions::default());
         select_drives_with(&mut b, &lib, &gain(4.0, 3));
-        let cells_a: Vec<_> = a.instances().iter().map(|i| i.cell).collect();
-        let cells_b: Vec<_> = b.instances().iter().map(|i| i.cell).collect();
+        let cells_a: Vec<_> = a.iter_instances().map(|(_, i)| i.cell()).collect();
+        let cells_b: Vec<_> = b.iter_instances().map(|(_, i)| i.cell()).collect();
         assert_eq!(cells_a, cells_b);
     }
 
@@ -241,9 +245,9 @@ mod tests {
         let lib = LibrarySpec::rich().build(&tech);
         let mut n = generators::parity_tree(&lib, 32).expect("parity");
         select_drives_with(&mut n, &lib, &gain(4.0, 4));
-        let snapshot: Vec<_> = n.instances().iter().map(|i| i.cell).collect();
+        let snapshot: Vec<_> = n.iter_instances().map(|(_, i)| i.cell()).collect();
         select_drives_with(&mut n, &lib, &gain(4.0, 1));
-        let again: Vec<_> = n.instances().iter().map(|i| i.cell).collect();
+        let again: Vec<_> = n.iter_instances().map(|(_, i)| i.cell()).collect();
         assert_eq!(snapshot, again);
     }
 }

@@ -570,7 +570,10 @@ mod tests {
         let golden = generators::counter(&rich, 6).expect("counter6");
         let flow = SynthFlow::default().with_verify(VerifyLevel::Full);
         let (out, proofs) = flow.remap_verified(&golden, &rich, &rich).expect("remaps");
-        let seq = out.instances().iter().filter(|i| i.is_sequential()).count();
+        let seq = out
+            .iter_instances()
+            .filter(|(_, i)| i.is_sequential())
+            .count();
         assert_eq!(seq, 6, "registers survive verified remap");
         // Register D cones participate in the proof.
         assert!(proofs[0].effort.cones > golden.outputs().len());
@@ -591,7 +594,10 @@ mod tests {
         let out = SynthFlow::default()
             .remap_from(&n, &rich, &rich)
             .expect("remap");
-        let seq = out.instances().iter().filter(|i| i.is_sequential()).count();
+        let seq = out
+            .iter_instances()
+            .filter(|(_, i)| i.is_sequential())
+            .count();
         assert_eq!(seq, 1, "flip-flop survives remap");
         // Behaviour check across a clock cycle.
         let mut sim_a = Simulator::new(&n, &rich);

@@ -44,9 +44,9 @@ pub fn netlist_to_aig(netlist: &Netlist, lib: &Library) -> (Aig, Vec<SeqBinding>
     for (id, inst) in netlist.iter_instances() {
         if inst.is_sequential() {
             let q_input = aig.input_names().len();
-            let lit = aig.input(format!("__q_{}", inst.name));
-            lit_of[inst.out.index()] = Some(lit);
-            seq_insts.push((id, q_input, inst.function == CellFunction::Latch));
+            let lit = aig.input(format!("__q_{}", inst.name()));
+            lit_of[inst.out().index()] = Some(lit);
+            seq_insts.push((id, q_input, inst.function() == CellFunction::Latch));
         }
     }
 
@@ -56,13 +56,13 @@ pub fn netlist_to_aig(netlist: &Netlist, lib: &Library) -> (Aig, Vec<SeqBinding>
     for &id in &order {
         let inst = netlist.instance(id);
         let ins: Vec<Lit> = inst
-            .fanin
+            .fanin()
             .iter()
             .map(|n| lit_of[n.index()].expect("topological order visits fanin first"))
             .collect();
-        let f = lib.cell(inst.cell).function;
+        let f = lib.cell(inst.cell()).function;
         let out = build_function(&mut aig, f, &ins);
-        lit_of[inst.out.index()] = Some(out);
+        lit_of[inst.out().index()] = Some(out);
     }
 
     for (name, net) in netlist.outputs() {
@@ -71,9 +71,9 @@ pub fn netlist_to_aig(netlist: &Netlist, lib: &Library) -> (Aig, Vec<SeqBinding>
     }
     for (id, q_input, is_latch) in seq_insts {
         let inst = netlist.instance(id);
-        let d = lit_of[inst.fanin[0].index()].expect("D nets are driven");
+        let d = lit_of[inst.fanin()[0].index()].expect("D nets are driven");
         let d_output = aig.outputs().len();
-        aig.set_output(format!("__d_{}", inst.name), d);
+        aig.set_output(format!("__d_{}", inst.name()), d);
         seq.push(SeqBinding {
             q_input,
             d_output,

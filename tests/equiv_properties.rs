@@ -64,15 +64,15 @@ fn mutated_cell(lib: &Library, function: CellFunction) -> Option<CellId> {
 fn rebuild_with_cell(n: &Netlist, lib: &Library, victim: InstId, cell: CellId) -> Netlist {
     let mut out = Netlist::new(format!("{}_mut", n.name));
     for (id, net) in n.iter_nets() {
-        let nid = out.add_net(net.name.clone());
+        let nid = out.add_net(net.name());
         assert_eq!(nid, id, "net ids must survive the rebuild");
     }
     for (name, net) in n.inputs() {
         out.add_input(name.clone(), *net).expect("input copies");
     }
     for (id, inst) in n.iter_instances() {
-        let c = if id == victim { cell } else { inst.cell };
-        out.add_instance(inst.name.clone(), lib, c, &inst.fanin, inst.out)
+        let c = if id == victim { cell } else { inst.cell() };
+        out.add_instance(inst.name(), lib, c, inst.fanin(), inst.out())
             .expect("instance copies");
     }
     for (name, net) in n.outputs() {
@@ -111,10 +111,10 @@ fn single_gate_polarity_flip_is_caught_with_confirmed_counterexample() {
         // "some single flip is caught", per design).
         let mut caught = false;
         for (id, inst) in n.iter_instances() {
-            if inst.function.is_sequential() {
+            if inst.function().is_sequential() {
                 continue;
             }
-            let Some(cell) = mutated_cell(&lib, inst.function) else {
+            let Some(cell) = mutated_cell(&lib, inst.function()) else {
                 continue;
             };
             let mutant = rebuild_with_cell(n, &lib, id, cell);

@@ -172,7 +172,7 @@ fn sizing_changes_delay_not_function() {
     let mut work = golden.clone();
     let ids: Vec<_> = work.iter_instances().map(|(id, _)| id).collect();
     for (id, &s) in ids.iter().zip(&snap.sizes) {
-        let cell = rich.closest_drive(work.instance(*id).cell, s);
+        let cell = rich.closest_drive(work.instance(*id).cell(), s);
         work.set_instance_cell(&rich, *id, cell);
     }
     let effort = prove(&golden, &rich, &work, &rich);

@@ -70,7 +70,7 @@ fn mutate(graph: &mut TimingGraph, rng: &mut Rng) -> &'static str {
         // Drive swaps get double weight: they are the common ECO.
         0 | 1 => {
             let id = InstId::from_index(rng.below(graph.netlist().instance_count()));
-            let cell = lib.cell(graph.netlist().instance(id).cell);
+            let cell = lib.cell(graph.netlist().instance(id).cell());
             let drives = lib.drives_for(cell.function, cell.family);
             let pick = drives[rng.below(drives.len())];
             graph.resize_cell(id, pick);
@@ -82,14 +82,14 @@ fn mutate(graph: &mut TimingGraph, rng: &mut Rng) -> &'static str {
             let candidates: Vec<NetId> = graph
                 .netlist()
                 .iter_nets()
-                .filter(|(_, n)| n.driver.is_some() && n.sinks.len() >= 2)
+                .filter(|(_, n)| n.driver().is_some() && n.sinks().len() >= 2)
                 .map(|(id, _)| id)
                 .collect();
             if candidates.is_empty() {
                 return "skip";
             }
             let net = candidates[rng.below(candidates.len())];
-            let sinks = graph.netlist().net(net).sinks.clone();
+            let sinks = graph.netlist().net(net).sinks().to_vec();
             let take = 1 + rng.below(sinks.len() - 1);
             let moved: Vec<Sink> = sinks.into_iter().take(take).collect();
             let buf = lib.smallest(CellFunction::Buf).expect("rich lib has buf");
@@ -104,20 +104,20 @@ fn mutate(graph: &mut TimingGraph, rng: &mut Rng) -> &'static str {
             let pis: Vec<NetId> = graph
                 .netlist()
                 .iter_nets()
-                .filter(|(_, n)| matches!(n.driver, Some(NetDriver::PrimaryInput(_))))
+                .filter(|(_, n)| matches!(n.driver(), Some(NetDriver::PrimaryInput(_))))
                 .map(|(id, _)| id)
                 .collect();
             let sinks: Vec<Sink> = graph
                 .netlist()
                 .iter_nets()
-                .flat_map(|(_, n)| n.sinks.iter().copied())
+                .flat_map(|(_, n)| n.sinks().iter().copied())
                 .collect();
             if pis.is_empty() || sinks.is_empty() {
                 return "skip";
             }
             let s = sinks[rng.below(sinks.len())];
             let target = pis[rng.below(pis.len())];
-            graph.retarget_net(s.inst, s.pin, target);
+            graph.retarget_net(s.inst, s.pin as usize, target);
             "retarget_net"
         }
     }

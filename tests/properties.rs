@@ -361,3 +361,118 @@ fn population_quantiles_monotone() {
         assert!((y - 0.5).abs() < 0.05, "seed {seed} yield {y}");
     }
 }
+
+/// Order-independent fingerprint inputs are deliberately avoided: the
+/// hash folds in instance order, pin order, and per-net sink order, so
+/// any divergence in mutation bookkeeping — not just in final topology —
+/// shows up as a different value.
+fn netlist_fingerprint(n: &asicgap::netlist::Netlist) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for (id, inst) in n.iter_instances() {
+        mix(id.index() as u64);
+        mix(inst.cell().index() as u64);
+        mix(inst.out().index() as u64);
+        for &f in inst.fanin() {
+            mix(f.index() as u64);
+        }
+    }
+    for (_, net) in n.iter_nets() {
+        mix(net.sinks().len() as u64);
+        for s in net.sinks() {
+            mix(s.inst.index() as u64);
+            mix(u64::from(s.pin));
+        }
+    }
+    h
+}
+
+/// One seeded ECO storm: a random interleaving of drive swaps
+/// (`set_instance_cell`), sink retargets (`redirect_sink`), and buffer
+/// insertions (new net + new instance + a subset of sinks moved over),
+/// validating the CSR sink slots against the from-scratch rebuild after
+/// every mutation burst. Returns the final structural fingerprint.
+fn eco_storm(seed: u64, lib: &asicgap::cells::Library) -> u64 {
+    use asicgap::netlist::{validate, Issue};
+
+    let mut rng = Rng64::new(seed);
+    let mut n = generators::alu(lib, 8).expect("alu8 builds");
+    let buf = lib.smallest(CellFunction::Buf).expect("rich lib has buf");
+    let base_insts = n.instance_count();
+    for step in 0..120 {
+        match rng.index(3) {
+            0 => {
+                // Drive swap: any other cell implementing the same function.
+                let id = asicgap::netlist::InstId::from_index(rng.index(n.instance_count()));
+                let function = n.instance(id).function();
+                let drives = lib.drives_for(function, LogicFamily::StaticCmos);
+                if !drives.is_empty() {
+                    n.set_instance_cell(lib, id, drives[rng.index(drives.len())]);
+                }
+            }
+            1 => {
+                // Retarget one sink onto a random net (validate checks
+                // bookkeeping, not acyclicity, so any target is legal).
+                let id = asicgap::netlist::InstId::from_index(rng.index(n.instance_count()));
+                let arity = n.instance(id).fanin().len();
+                if arity > 0 {
+                    let pin = rng.index(arity);
+                    let tgt = asicgap::netlist::NetId::from_index(rng.index(n.net_count()));
+                    n.redirect_sink(id, pin, tgt);
+                }
+            }
+            _ => {
+                // Buffer insertion: split a loaded net, moving a random
+                // non-empty subset of its sinks behind the buffer.
+                let src = asicgap::netlist::NetId::from_index(rng.index(n.net_count()));
+                let sinks = n.net(src).sinks().to_vec();
+                if sinks.is_empty() {
+                    continue;
+                }
+                let out = n.add_net(format!("storm_n{step}"));
+                n.add_instance(format!("storm_b{step}"), lib, buf, &[src], out)
+                    .expect("buffer inserts");
+                let keep = 1 + rng.index(sinks.len());
+                for s in sinks.into_iter().take(keep) {
+                    n.redirect_sink(s.inst, s.pin as usize, out);
+                }
+            }
+        }
+        // The property under test: CSR sink lists stay exactly
+        // consistent with a from-scratch rebuild through arbitrary
+        // interleavings. Dangling/undriven lints may legitimately
+        // appear mid-storm; bookkeeping corruption must not.
+        let corrupt: Vec<_> = validate(&n)
+            .into_iter()
+            .filter(|i| {
+                matches!(
+                    i,
+                    Issue::InconsistentSink { .. } | Issue::CorruptSinkSlot { .. }
+                )
+            })
+            .collect();
+        assert!(
+            corrupt.is_empty(),
+            "seed {seed} step {step} corrupted sinks: {corrupt:?}"
+        );
+    }
+    assert!(n.instance_count() > base_insts, "storms insert buffers");
+    netlist_fingerprint(&n)
+}
+
+#[test]
+fn eco_interleavings_keep_csr_sinks_consistent_across_threads() {
+    use asicgap::exec::Pool;
+
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+    let seeds: Vec<u64> = (0..32u64).map(|i| 0x5107_0000 + i).collect();
+    let one = Pool::with_threads(1).map(&seeds, |_, &s| eco_storm(s, &lib));
+    let eight = Pool::with_threads(8).map(&seeds, |_, &s| eco_storm(s, &lib));
+    assert_eq!(one, eight, "ECO storms must be thread-count invariant");
+    // Distinct seeds explore distinct interleavings.
+    assert!(one.windows(2).any(|w| w[0] != w[1]));
+}

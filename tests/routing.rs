@@ -185,7 +185,7 @@ fn reroute_then_retarget_matches_full_analysis() {
     let (fat, sinks) = graph
         .netlist()
         .iter_nets()
-        .find_map(|(id, net)| (net.sinks.len() >= 3).then(|| (id, net.sinks.clone())))
+        .find_map(|(id, net)| (net.sinks().len() >= 3).then(|| (id, net.sinks().to_vec())))
         .expect("alu8 has a >=3-sink net");
     let buf_cell = lib
         .smallest(asicgap::cells::CellFunction::Buf)
@@ -195,7 +195,7 @@ fn reroute_then_retarget_matches_full_analysis() {
         .insert_buffer(fat, buf_cell, &moved)
         .expect("buffer inserts");
     let third = sinks[2];
-    graph.retarget_net(third.inst, third.pin, new_net);
+    graph.retarget_net(third.inst, third.pin as usize, new_net);
 
     // Place the buffer at the centroid of what it now drives, then
     // reroute the two nets whose pin sets changed.
