@@ -11,11 +11,15 @@
 //!
 //! `--threads N` overrides `ASICGAP_THREADS` for this run (results are
 //! bitwise identical at any thread count; only wall time changes).
-//! `--stages` appends a per-stage wall-time breakdown and the canonical
-//! outcome text of the headline scenarios — the same serialization the
-//! `served` wire protocol ships, via the shared flow-stage timing hooks.
-//! Both are flag-gated: the default output (`repro_output.txt`) is a
-//! committed deterministic artifact and timings are not deterministic.
+//! `--rewrite` additionally runs the headline scenarios with the
+//! canonical depth-recovery pass pipeline armed (E14 measures the
+//! passes per generator either way; the flag shows their end-to-end
+//! effect). `--stages` appends a per-stage wall-time breakdown, the
+//! arena memory accounting with logic-depth histograms, and the
+//! canonical outcome text of the headline scenarios — the same
+//! serialization the `served` wire protocol ships. All are flag-gated:
+//! the default output (`repro_output.txt`) is a committed deterministic
+//! artifact and timings are not deterministic.
 
 use std::time::Duration;
 
@@ -39,19 +43,21 @@ impl FlowObserver for StageTally {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--verify] [--wire-model=routed] [--stages] [--threads N]");
+    eprintln!("usage: repro [--verify] [--wire-model=routed] [--rewrite] [--stages] [--threads N]");
     std::process::exit(2);
 }
 
 fn main() {
     let mut verify = false;
     let mut routed_headline = false;
+    let mut rewrite_headline = false;
     let mut stages = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--verify" => verify = true,
             "--wire-model=routed" => routed_headline = true,
+            "--rewrite" => rewrite_headline = true,
             "--stages" => stages = true,
             "--threads" => {
                 let n: usize = args
@@ -325,6 +331,35 @@ fn main() {
     ]);
     println!("{t}");
 
+    // E14 ------------------------------------------------------------
+    let r14 = exp::e14_rewrite();
+    let mut t = Table::new(&[
+        "E14 rewrite & rebalance (proven)",
+        "logic depth",
+        "area",
+        "work",
+    ]);
+    for row in &r14.rows {
+        t.row_owned(vec![
+            row.name.clone(),
+            row.depth_cell(),
+            row.area_cell(),
+            format!("{} subs, {}/5 proven", row.substitutions, row.proofs),
+        ]);
+    }
+    t.row_owned(vec![
+        "microarch factor, 5-stage mult8 (sec. 4)".into(),
+        format!("x{:.2} plain", r14.microarch_plain),
+        format!("x{:.2} rewritten", r14.microarch_rewritten),
+        "paper max x4.00".into(),
+    ]);
+    println!("{t}");
+    let mut t = Table::new(&["E14 pass ordering (xlarge small)", "shipped"]);
+    for (key, mhz) in &r14.orderings {
+        t.row_owned(vec![key.clone(), format!("{mhz:.0} MHz")]);
+    }
+    println!("{t}");
+
     // Ablations --------------------------------------------------------
     let (ff, borrowed, gain) = exp::e4_borrowing_ablation();
     let mut t = Table::new(&["ablations", "value"]);
@@ -383,6 +418,34 @@ fn main() {
                 o.scenario.clone(),
                 format!("{:.0} MHz", o.shipped.value()),
                 format!("{r}"),
+            ]);
+        }
+        println!("{t}");
+    }
+
+    // --rewrite: headline scenarios with the depth-recovery pipeline
+    // armed. Flag-gated so the committed default output keeps the
+    // workloads exactly as generated (E14 above measures the passes on
+    // their own terms either way).
+    if rewrite_headline {
+        use asicgap::synth::PassPipeline;
+        let passes = PassPipeline::depth_recovery().passes;
+        let scenarios: Vec<DesignScenario> = [
+            DesignScenario::typical_asic(),
+            DesignScenario::best_practice_asic(),
+            DesignScenario::custom(),
+        ]
+        .into_iter()
+        .map(|s| s.with_rewrite(passes.clone()))
+        .collect();
+        let outs = run_scenarios(&scenarios, |lib| generators::alu(lib, 16))
+            .expect("rewritten headline scenarios run");
+        let mut t = Table::new(&["rewritten scenario (16b ALU)", "shipped", "gates"]);
+        for o in &outs {
+            t.row_owned(vec![
+                o.scenario.clone(),
+                format!("{:.0} MHz", o.shipped.value()),
+                format!("{}", o.gates),
             ]);
         }
         println!("{t}");
@@ -485,6 +548,16 @@ fn main() {
             ]);
         }
         println!("{t}");
+
+        // Where the levels live: the netlist-stats depth histogram for
+        // the same two workloads (nets per logic level, bucketed).
+        for (name, n) in &workloads {
+            let hist = asicgap::netlist::depth_histogram(n);
+            println!(
+                "logic-depth histogram ({name}):\n{}\n",
+                asicgap::netlist::format_depth_histogram(&hist, 16)
+            );
+        }
         println!("canonical outcome text (as served over the wire):\n");
         print!("{canonical}");
     }

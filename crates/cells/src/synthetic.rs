@@ -191,7 +191,12 @@ impl LibrarySpec {
 /// `n` geometrically spaced drives from `lo` to `hi` inclusive.
 fn geometric_drives(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(n >= 2 && lo > 0.0 && hi > lo);
-    let ratio = (hi / lo).powf(1.0 / (n as f64 - 1.0));
+    // black_box keeps LLVM from const-folding the powf chain: the
+    // compile-time apfloat result differs from libm's runtime result in
+    // the last ulp, which would make the drive menu — and every
+    // canonical scenario key that serializes it — differ between debug
+    // and release builds.
+    let ratio = std::hint::black_box(hi / lo).powf(1.0 / (n as f64 - 1.0));
     (0..n).map(|i| lo * ratio.powi(i as i32)).collect()
 }
 

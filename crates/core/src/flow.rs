@@ -14,7 +14,7 @@ use asicgap_process::{BinningPolicy, ChipPopulation, VariationComponents};
 use asicgap_route::{annotate_routed, route, RouteSummary, RouterOptions};
 use asicgap_sizing::{snap_to_library, tilos_size, TilosOptions};
 use asicgap_sta::{ClockSpec, IncrementalStats, TimingGraph};
-use asicgap_synth::{select_drives_on, DriveOptions};
+use asicgap_synth::{select_drives_on, DriveOptions, PassKind, PassPipeline, SynthError};
 use asicgap_tech::{Ff, Mhz, Ps, Technology};
 
 use std::time::{Duration, Instant};
@@ -282,6 +282,12 @@ pub fn canonical_key(
     writeln!(k, "wire_model {:?}", scenario.wire_model).expect("write to String");
     writeln!(k, "access {:?}", scenario.access).expect("write to String");
     writeln!(k, "seed {}", scenario.seed).expect("write to String");
+    writeln!(
+        k,
+        "rewrite {}",
+        PassPipeline::new(scenario.rewrite.clone()).key()
+    )
+    .expect("write to String");
     k
 }
 
@@ -381,6 +387,13 @@ pub struct DesignScenario {
     pub access: ProcessAccess,
     /// RNG seed for the stochastic steps (placement, Monte Carlo).
     pub seed: u64,
+    /// Depth-recovery passes run on the mapped workload before
+    /// pipelining (cut rewriting and chain rebalancing, in order).
+    /// Empty means the workload enters the flow as generated. Under
+    /// [`VerifyLevel::Full`] every pass boundary is discharged through
+    /// the miter checker and its effort merged into
+    /// [`ScenarioOutcome::verify_effort`].
+    pub rewrite: Vec<PassKind>,
 }
 
 impl DesignScenario {
@@ -399,6 +412,7 @@ impl DesignScenario {
             wire_model: WireModel::Hpwl,
             access: ProcessAccess::AsicWorstCase,
             seed: 1,
+            rewrite: Vec::new(),
         }
     }
 
@@ -406,6 +420,13 @@ impl DesignScenario {
     /// runs each grid point under both models and reports the delta.
     pub fn with_wire_model(mut self, model: WireModel) -> DesignScenario {
         self.wire_model = model;
+        self
+    }
+
+    /// This scenario with the given depth-recovery passes armed (an E14
+    /// knob — [`DesignScenario::pass_order_grid`] sweeps the orderings).
+    pub fn with_rewrite(mut self, passes: Vec<PassKind>) -> DesignScenario {
+        self.rewrite = passes;
         self
     }
 
@@ -503,7 +524,44 @@ impl DesignScenario {
             wire_model: WireModel::Hpwl,
             access: ProcessAccess::CustomBinned,
             seed: 1,
+            rewrite: Vec::new(),
         }
+    }
+
+    /// The pass-ordering sweep: the typical ASIC under every interesting
+    /// rewrite-pipeline ordering, from `off` through the canonical
+    /// [`PassPipeline::depth_recovery`] recipe. Ordering is a genuine
+    /// search dimension — rebalance-then-rewrite and the reverse land on
+    /// different netlists — so the grid names each point by its pipeline
+    /// key and [`canonical_key`] keeps them distinct in the result
+    /// cache.
+    pub fn pass_order_grid() -> Vec<DesignScenario> {
+        let orderings: Vec<Vec<PassKind>> = vec![
+            Vec::new(),
+            vec![PassKind::Rewrite],
+            vec![
+                PassKind::RebalanceAnd,
+                PassKind::RebalanceOr,
+                PassKind::RebalanceXor,
+            ],
+            PassPipeline::depth_recovery().passes,
+            vec![
+                PassKind::Rewrite,
+                PassKind::RebalanceAnd,
+                PassKind::RebalanceOr,
+                PassKind::RebalanceXor,
+                PassKind::Rewrite,
+            ],
+        ];
+        orderings
+            .into_iter()
+            .map(|passes| {
+                let mut s = DesignScenario::typical_asic();
+                s.name = format!("typical ASIC / {}", PassPipeline::new(passes.clone()).key());
+                s.rewrite = passes;
+                s
+            })
+            .collect()
     }
 }
 
@@ -617,9 +675,25 @@ pub fn run_scenario_observed(
     let stage_clock = Instant::now();
     let lib = scenario.library.build(&scenario.technology);
     let mut netlist = workload(&lib)?;
+    let mut verify_effort = (verify == VerifyLevel::Full).then(EquivEffort::default);
+
+    // §4 (microarchitecture/logic depth): depth-recovery passes on the
+    // mapped workload, each boundary proven at the scenario's verify
+    // level before the result is allowed downstream.
+    if !scenario.rewrite.is_empty() {
+        let pipeline = PassPipeline::new(scenario.rewrite.clone()).with_verify(verify);
+        let deltas = pipeline.run(&mut netlist, &lib).map_err(|e| match e {
+            SynthError::Inequivalent { stage, output } => GapError::Inequivalent { stage, output },
+            other => GapError::from(other),
+        })?;
+        if let Some(e) = verify_effort.as_mut() {
+            for proof in deltas.iter().filter_map(|d| d.proof.as_ref()) {
+                e.merge(&proof.effort);
+            }
+        }
+    }
     obs.stage_done(FlowStage::Synth, stage_clock.elapsed());
     abort_if_cancelled(obs, FlowStage::Synth)?;
-    let mut verify_effort = (verify == VerifyLevel::Full).then(EquivEffort::default);
 
     // §4: pipelining. The flat netlist's timing drives the cut placement;
     // the pipelined result then seeds the flow's one shared timer.
@@ -1165,6 +1239,85 @@ mod tests {
         let k = canonical_key(&a, &w, VerifyLevel::Off);
         assert_eq!(content_hash(&k), content_hash(&k));
         assert_ne!(content_hash(&k), content_hash(&format!("{k} ")));
+        // The rewrite pipeline is a semantic knob: arming it, and the
+        // pass *ordering*, both change identity.
+        let recovered = a
+            .clone()
+            .with_rewrite(PassPipeline::depth_recovery().passes);
+        assert_ne!(
+            canonical_key(&a, &w, VerifyLevel::Off),
+            canonical_key(&recovered, &w, VerifyLevel::Off)
+        );
+        let reversed = a.clone().with_rewrite(vec![
+            PassKind::Rewrite,
+            PassKind::RebalanceAnd,
+            PassKind::RebalanceOr,
+            PassKind::RebalanceXor,
+            PassKind::Rewrite,
+        ]);
+        assert_ne!(
+            canonical_key(&recovered, &w, VerifyLevel::Off),
+            canonical_key(&reversed, &w, VerifyLevel::Off)
+        );
+        assert!(canonical_key(&a, &w, VerifyLevel::Off).contains("rewrite off"));
+    }
+
+    #[test]
+    fn pass_order_grid_sweeps_distinct_orderings() {
+        let grid = DesignScenario::pass_order_grid();
+        assert_eq!(grid.len(), 5);
+        assert!(grid[0].rewrite.is_empty());
+        assert_eq!(grid[3].rewrite, PassPipeline::depth_recovery().passes);
+        // Every point has a distinct canonical identity.
+        let w = WorkloadSpec::Alu { width: 8 };
+        let keys: std::collections::HashSet<String> = grid
+            .iter()
+            .map(|s| canonical_key(s, &w, VerifyLevel::Off))
+            .collect();
+        assert_eq!(keys.len(), grid.len());
+    }
+
+    #[test]
+    fn rewrite_scenario_cuts_the_cycle_on_deep_random_logic() {
+        // The small xlarge block is where the depth-recovery pipeline
+        // has real headroom (random glue logic, long unbalanced cones):
+        // the rewritten scenario must ship a markedly shorter cycle.
+        // (On shallow, already-optimal workloads the pipeline is a
+        // near-no-op and wire effects can dominate — that is exactly the
+        // ordering question the pass_order_grid sweep measures.)
+        use asicgap_netlist::generators::XlargeSpec;
+        let plain = DesignScenario::typical_asic();
+        let rewritten = plain
+            .clone()
+            .with_rewrite(PassPipeline::depth_recovery().passes);
+        let xl = |lib: &Library| generators::xlarge(lib, &XlargeSpec::small(7));
+        let base = run_scenario(&plain, xl).expect("base");
+        let fast = run_scenario(&rewritten, xl).expect("rewritten");
+        assert!(
+            fast.min_period.value() < 0.8 * base.min_period.value(),
+            "rewriting must shorten the cycle >= 20%: {:?} -> {:?}",
+            base.min_period,
+            fast.min_period
+        );
+    }
+
+    #[test]
+    fn rewrite_scenario_verifies_without_perturbing_numbers() {
+        // eq32 has 4-cut headroom; with Full verify armed every pass
+        // boundary is discharged through the miter and the measured
+        // numbers are bit-identical to the unverified run.
+        let rewritten =
+            DesignScenario::typical_asic().with_rewrite(PassPipeline::depth_recovery().passes);
+        let eq = |lib: &Library| generators::equality_comparator(lib, 32);
+        let fast = run_scenario(&rewritten, eq).expect("rewritten");
+        let checked = run_scenario_verified(&rewritten, eq, VerifyLevel::Full).expect("verified");
+        assert_eq!(checked.min_period, fast.min_period);
+        assert_eq!(checked.gates, fast.gates);
+        assert_eq!(checked.timing_effort, fast.timing_effort);
+        let effort = checked.verify_effort.expect("full check records effort");
+        // Rewriting restructures logic, so unlike pipelining/sizing the
+        // pass proofs genuinely exercise the miter.
+        assert!(effort.cones > 0);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 mod builder;
+pub mod cuts;
 mod error;
 pub mod generators;
 mod ids;
@@ -66,6 +67,8 @@ pub use power::{estimate_power, PowerEstimate};
 pub use scan::{insert_scan_chain, ScanChain};
 pub use sim::Simulator;
 pub use sim::{from_bits, to_bits};
-pub use stats::{net_levels, MemoryFootprint, NetlistStats};
+pub use stats::{
+    depth_histogram, format_depth_histogram, net_levels, MemoryFootprint, NetlistStats,
+};
 pub use sweep::{sweep_dead_logic, SweepStats};
 pub use validate::{validate, Issue};

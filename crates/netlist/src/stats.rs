@@ -207,6 +207,44 @@ pub fn net_levels(netlist: &Netlist) -> Vec<usize> {
     level
 }
 
+/// Logic-depth histogram: `hist[l]` counts the nets whose unit-delay
+/// combinational level is `l` (level 0 holds primary inputs, register
+/// outputs, and undriven nets). The rewrite passes report their depth
+/// deltas against this distribution and `repro --stages` prints it —
+/// a long tail here is exactly the §4 microarchitecture factor made
+/// visible per net instead of as one max.
+pub fn depth_histogram(netlist: &Netlist) -> Vec<usize> {
+    let levels = net_levels(netlist);
+    let max = levels.iter().copied().max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for &l in &levels {
+        hist[l] += 1;
+    }
+    hist
+}
+
+/// Renders a depth histogram as a compact one-line summary:
+/// `depth N: c0/c1/.../cN nets per level` with long histograms bucketed
+/// into at most `buckets` groups.
+pub fn format_depth_histogram(hist: &[usize], buckets: usize) -> String {
+    use std::fmt::Write;
+    let depth = hist.len().saturating_sub(1);
+    let mut s = format!("depth {depth}: ");
+    let buckets = buckets.max(1);
+    let per = hist.len().div_ceil(buckets);
+    let mut first = true;
+    for chunk in hist.chunks(per) {
+        if !first {
+            s.push('/');
+        }
+        first = false;
+        let sum: usize = chunk.iter().sum();
+        write!(s, "{sum}").expect("write to String");
+    }
+    write!(s, " nets per {per}-level bucket").expect("write to String");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +298,21 @@ mod tests {
         assert_eq!(s.sequential, 0);
         assert!(s.area_um2 > 0.0);
         assert!(s.max_fanout >= 2);
+    }
+
+    #[test]
+    fn depth_histogram_sums_to_net_count_and_matches_stats() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::ripple_carry_adder(&lib, 8).expect("rca8");
+        let hist = depth_histogram(&n);
+        assert_eq!(hist.iter().sum::<usize>(), n.net_count());
+        let stats = NetlistStats::of(&n, &lib);
+        assert_eq!(hist.len() - 1, stats.logic_depth);
+        // Level 0 holds at least the primary inputs.
+        assert!(hist[0] >= n.inputs().len());
+        let line = format_depth_histogram(&hist, 8);
+        assert!(line.starts_with(&format!("depth {}", stats.logic_depth)));
     }
 
     #[test]

@@ -12,7 +12,9 @@ use crate::buffer::buffer_high_fanout;
 use crate::drive::{select_drives_with, DriveOptions};
 use crate::error::SynthError;
 use crate::map::{map_with_seq, MapOptions};
+use crate::pass::{PassKind, PassPipeline};
 use crate::reentry::netlist_to_aig;
+use crate::rewrite::RewriteOptions;
 
 /// One verified transform boundary: which stage, and what the proof
 /// cost. Returned by [`SynthFlow::synth_verified`] and
@@ -41,6 +43,10 @@ pub struct SynthFlow {
     pub balance: bool,
     /// Mapper options.
     pub map: MapOptions,
+    /// Post-mapping rewrite passes, run in order before buffering and
+    /// drive selection (empty = mapping only). Each pass is verified at
+    /// [`SynthFlow::verify`] like every other stage.
+    pub passes: Vec<PassKind>,
     /// Logical-effort stage gain targeted by drive selection.
     pub target_gain: f64,
     /// Drive-selection sweeps.
@@ -56,6 +62,7 @@ impl Default for SynthFlow {
         SynthFlow {
             balance: true,
             map: MapOptions::default(),
+            passes: Vec::new(),
             target_gain: 4.0,
             drive_passes: 3,
             buffer_max_fanout: 8,
@@ -74,6 +81,7 @@ impl SynthFlow {
                 use_complex: false,
                 max_fanin: 2,
             },
+            passes: Vec::new(),
             target_gain: 4.0,
             drive_passes: 0,
             buffer_max_fanout: usize::MAX / 2,
@@ -85,6 +93,13 @@ impl SynthFlow {
     #[must_use]
     pub fn with_verify(mut self, level: VerifyLevel) -> SynthFlow {
         self.verify = level;
+        self
+    }
+
+    /// This flow with the given post-mapping rewrite passes.
+    #[must_use]
+    pub fn with_passes(mut self, passes: Vec<PassKind>) -> SynthFlow {
+        self.passes = passes;
         self
     }
 
@@ -199,6 +214,15 @@ impl SynthFlow {
         proofs: &mut Vec<StageProof>,
     ) -> Result<(), SynthError> {
         let keep_golden = self.verify != VerifyLevel::Off;
+        if !self.passes.is_empty() {
+            let pipeline = PassPipeline {
+                passes: self.passes.clone(),
+                verify: self.verify,
+                options: RewriteOptions::default(),
+            };
+            let deltas = pipeline.run(netlist, lib)?;
+            proofs.extend(deltas.into_iter().filter_map(|d| d.proof));
+        }
         if self.buffer_max_fanout < usize::MAX / 2 {
             let before = keep_golden.then(|| netlist.clone());
             buffer_high_fanout(netlist, lib, self.buffer_max_fanout)?;
@@ -235,48 +259,15 @@ impl SynthFlow {
         lib_candidate: &Library,
         proofs: &mut Vec<StageProof>,
     ) -> Result<(), SynthError> {
-        match self.verify {
-            VerifyLevel::Off => Ok(()),
-            VerifyLevel::Sim => {
-                if random_sim_equiv(
-                    golden,
-                    lib_golden,
-                    candidate,
-                    lib_candidate,
-                    64,
-                    0xA51C_6A70,
-                ) {
-                    Ok(())
-                } else {
-                    Err(SynthError::Inequivalent {
-                        stage: stage.to_string(),
-                        output: "<random simulation>".to_string(),
-                    })
-                }
-            }
-            VerifyLevel::Full => {
-                let report =
-                    check_equiv(golden, lib_golden, candidate, lib_candidate).map_err(|e| {
-                        SynthError::Verify {
-                            stage: stage.to_string(),
-                            what: e.to_string(),
-                        }
-                    })?;
-                match report.result {
-                    EquivResult::Equivalent => {
-                        proofs.push(StageProof {
-                            stage,
-                            effort: report.effort,
-                        });
-                        Ok(())
-                    }
-                    EquivResult::Inequivalent(cex) => Err(SynthError::Inequivalent {
-                        stage: stage.to_string(),
-                        output: cex.output,
-                    }),
-                }
-            }
-        }
+        verify_stage(
+            self.verify,
+            stage,
+            golden,
+            lib_golden,
+            candidate,
+            lib_candidate,
+            proofs,
+        )
     }
 
     /// Checks the mapped netlist against its source AIG (the `map` stage
@@ -384,6 +375,63 @@ impl SynthFlow {
                         what: format!("unconfirmed counterexample on output {}", raw.output),
                     }),
                 }
+            }
+        }
+    }
+}
+
+/// Checks one netlist-to-netlist transform boundary at `verify` level:
+/// `Off` is a no-op, `Sim` smoke-tests 64 random vectors, `Full` runs
+/// the miter/CDCL checker and appends a [`StageProof`] on success.
+/// Shared by [`SynthFlow`] stages and [`crate::PassPipeline`] passes.
+pub(crate) fn verify_stage(
+    verify: VerifyLevel,
+    stage: &'static str,
+    golden: &Netlist,
+    lib_golden: &Library,
+    candidate: &Netlist,
+    lib_candidate: &Library,
+    proofs: &mut Vec<StageProof>,
+) -> Result<(), SynthError> {
+    match verify {
+        VerifyLevel::Off => Ok(()),
+        VerifyLevel::Sim => {
+            if random_sim_equiv(
+                golden,
+                lib_golden,
+                candidate,
+                lib_candidate,
+                64,
+                0xA51C_6A70,
+            ) {
+                Ok(())
+            } else {
+                Err(SynthError::Inequivalent {
+                    stage: stage.to_string(),
+                    output: "<random simulation>".to_string(),
+                })
+            }
+        }
+        VerifyLevel::Full => {
+            let report =
+                check_equiv(golden, lib_golden, candidate, lib_candidate).map_err(|e| {
+                    SynthError::Verify {
+                        stage: stage.to_string(),
+                        what: e.to_string(),
+                    }
+                })?;
+            match report.result {
+                EquivResult::Equivalent => {
+                    proofs.push(StageProof {
+                        stage,
+                        effort: report.effort,
+                    });
+                    Ok(())
+                }
+                EquivResult::Inequivalent(cex) => Err(SynthError::Inequivalent {
+                    stage: stage.to_string(),
+                    output: cex.output,
+                }),
             }
         }
     }

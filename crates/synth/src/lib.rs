@@ -18,6 +18,10 @@
 //!   over a live incremental [`TimingGraph`](asicgap_sta::TimingGraph));
 //! - [`buffer_high_fanout`] / [`buffer_high_fanout_on`] — buffer-tree
 //!   insertion on heavily loaded nets;
+//! - [`rewrite_pass`] / [`rebalance_pass`] — cut-based rewriting against
+//!   an NPN-canonical [`ReplacementLibrary`] and associative-chain
+//!   rebalancing, composed through [`PassPipeline`] with per-pass
+//!   equivalence proofs (the §4 microarchitecture/logic-depth attack);
 //! - [`SynthFlow`] — the end-to-end recipe with ablation switches.
 //!
 //! # Example
@@ -50,7 +54,9 @@ mod drive;
 mod error;
 mod flow;
 mod map;
+mod pass;
 mod reentry;
+mod rewrite;
 
 pub use aig::{Aig, Lit};
 pub use buffer::{buffer_high_fanout, buffer_high_fanout_on};
@@ -59,4 +65,8 @@ pub use drive::{select_drives_on, select_drives_with, DriveOptions};
 pub use error::SynthError;
 pub use flow::{StageProof, SynthFlow};
 pub use map::{map_aig, MapOptions};
+pub use pass::{PassDelta, PassKind, PassPipeline};
 pub use reentry::{netlist_to_aig, SeqBinding};
+pub use rewrite::{
+    rebalance_pass, rewrite_pass, ChainFamily, ReplacementLibrary, RewriteOptions, RewriteStats,
+};

@@ -127,6 +127,111 @@ fn golden_e13_routed_wires() {
     assert!(study.floorplan_factor_routed > study.floorplan_factor_hpwl);
 }
 
+/// The E14 rewrite & rebalance study, pinned to the exact strings of
+/// `repro_output.txt`. The pass framework is deterministic (frozen topo
+/// orders, NetId tie-breaks, no hash-map iteration in decision paths),
+/// so post-rewrite depth and area are part of the golden contract for
+/// every benchmark generator including the xlarge block — and so is the
+/// issue's acceptance bar: >= 15% depth cut on at least three
+/// generators, xlarge among them, with every pass proven.
+#[test]
+fn golden_e14_rewrite() {
+    let study = exp::e14_rewrite();
+    let cells = |name: &str| {
+        let row = study
+            .rows
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("E14 row {name} missing"));
+        (
+            row.depth_cell(),
+            row.area_cell(),
+            format!("{} subs, {}/5 proven", row.substitutions, row.proofs),
+        )
+    };
+    assert_eq!(
+        cells("eqcmp32"),
+        (
+            "6 -> 5 (-16.7%)".to_string(),
+            "2851 -> 2670 um^2".to_string(),
+            "6 subs, 5/5 proven".to_string()
+        )
+    );
+    assert_eq!(
+        cells("random control block"),
+        (
+            "43 -> 31 (-27.9%)".to_string(),
+            "13227 -> 31063 um^2".to_string(),
+            "851 subs, 5/5 proven".to_string()
+        )
+    );
+    // Well-mapped arithmetic is already 4-cut optimal: the pipeline must
+    // prove five no-op boundaries and change nothing.
+    assert_eq!(
+        cells("alu8 (rich map)"),
+        (
+            "10 -> 10 (-0.0%)".to_string(),
+            "3515 -> 3515 um^2".to_string(),
+            "0 subs, 5/5 proven".to_string()
+        )
+    );
+    assert_eq!(
+        cells("alu8 (naive map)"),
+        (
+            "27 -> 11 (-59.3%)".to_string(),
+            "7233 -> 7695 um^2".to_string(),
+            "161 subs, 5/5 proven".to_string()
+        )
+    );
+    assert_eq!(
+        cells("xlarge small"),
+        (
+            "429 -> 169 (-60.6%)".to_string(),
+            "85358 -> 223062 um^2".to_string(),
+            "5717 subs, 5/5 proven".to_string()
+        )
+    );
+
+    // The acceptance bar, asserted from the measurements rather than the
+    // strings so a future regeneration cannot quietly drop below it.
+    let strong = study
+        .rows
+        .iter()
+        .filter(|r| r.depth_cut_pct() >= 15.0)
+        .count();
+    assert!(strong >= 3, "need >= 15% depth cut on >= 3 generators");
+    let xl = study
+        .rows
+        .iter()
+        .find(|r| r.name == "xlarge small")
+        .expect("xlarge row");
+    assert!(xl.depth_cut_pct() >= 15.0, "xlarge must clear the bar");
+    assert!(study.rows.iter().all(|r| r.proofs == 5), "no unproven pass");
+
+    // Pass ordering is a real search dimension: the orderings land on
+    // different shipped frequencies, pinned as repro prints them.
+    let shipped: Vec<String> = study
+        .orderings
+        .iter()
+        .map(|(k, mhz)| format!("{k} {mhz:.0} MHz"))
+        .collect();
+    assert_eq!(
+        shipped,
+        vec![
+            "off 9 MHz",
+            "rewrite 14 MHz",
+            "rebalance-and+rebalance-or+rebalance-xor 9 MHz",
+            "rebalance-and+rebalance-or+rebalance-xor+rewrite+rewrite 16 MHz",
+            "rewrite+rebalance-and+rebalance-or+rebalance-xor+rewrite 17 MHz",
+        ]
+    );
+
+    // §4 re-measured: with synthesis recovering depth itself, the
+    // pipelining factor falls back to the paper's x4.00 maximum.
+    assert_eq!(format!("x{:.2}", study.microarch_plain), "x4.20");
+    assert_eq!(format!("x{:.2}", study.microarch_rewritten), "x4.00");
+}
+
 /// The measured factor table and end-to-end gap, pinned to the exact
 /// strings of `repro_output.txt`'s E2 table. Any engine change that
 /// moves these must regenerate the golden file on purpose.
@@ -159,21 +264,21 @@ fn golden_scenario_identity_hashes() {
     };
     assert_eq!(
         hash(&DesignScenario::typical_asic(), VerifyLevel::Off),
-        "0x720571dd751aae7f"
+        "0x177f8cfc2cefff3e"
     );
     assert_eq!(
         hash(&DesignScenario::best_practice_asic(), VerifyLevel::Off),
-        "0x98f89e7c102e65eb"
+        "0x87763280aa751bd2"
     );
     assert_eq!(
         hash(&DesignScenario::custom(), VerifyLevel::Off),
-        "0xc0f47c0ae186a5b3"
+        "0x4ee28e089308908a"
     );
     // Verification level is part of identity: a verified run is not the
     // same cache line as an unverified one.
     assert_eq!(
         hash(&DesignScenario::typical_asic(), VerifyLevel::Full),
-        "0xc9ae0443ef0863bf"
+        "0x25048ba733e7967e"
     );
 
     // The 32-point factor grid: every point has a distinct identity, and
@@ -187,7 +292,7 @@ fn golden_scenario_identity_hashes() {
     assert_eq!(distinct.len(), 32, "grid points must not share identity");
     assert_eq!(
         format!("{:#018x}", content_hash(&keys.concat())),
-        "0xc0040f421e5cbea5"
+        "0xea7a7f16b77c5095"
     );
 
     // Identity invariants: the name is a label, the seed is semantics.

@@ -67,6 +67,18 @@ fn scenario_grid_is_bitwise_identical_across_thread_counts() {
 }
 
 #[test]
+fn rewrite_pipeline_is_bitwise_identical_across_thread_counts() {
+    // The pass-ordering grid arms every rewrite/rebalance combination
+    // the exec pool searches over; substitution order inside a pass must
+    // not depend on the thread count either.
+    let grid = DesignScenario::pass_order_grid();
+    let outcomes = identical_across_threads(|| {
+        run_scenarios(&grid, |lib| generators::equality_comparator(lib, 32)).expect("grid runs")
+    });
+    assert_eq!(outcomes.len(), grid.len());
+}
+
+#[test]
 fn multi_chain_annealing_is_bitwise_identical_across_thread_counts() {
     let tech = Technology::cmos025_asic();
     let lib = LibrarySpec::rich().build(&tech);
