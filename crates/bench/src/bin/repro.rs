@@ -43,7 +43,9 @@ impl FlowObserver for StageTally {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--verify] [--wire-model=routed] [--rewrite] [--stages] [--threads N]");
+    eprintln!(
+        "usage: repro [--verify] [--wire-model=routed] [--rewrite] [--stages] [--close] [--threads N]"
+    );
     std::process::exit(2);
 }
 
@@ -52,6 +54,7 @@ fn main() {
     let mut routed_headline = false;
     let mut rewrite_headline = false;
     let mut stages = false;
+    let mut close = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -59,6 +62,7 @@ fn main() {
             "--wire-model=routed" => routed_headline = true,
             "--rewrite" => rewrite_headline = true,
             "--stages" => stages = true,
+            "--close" => close = true,
             "--threads" => {
                 let n: usize = args
                     .next()
@@ -418,6 +422,47 @@ fn main() {
                 o.scenario.clone(),
                 format!("{:.0} MHz", o.shipped.value()),
                 format!("{r}"),
+            ]);
+        }
+        println!("{t}");
+    }
+
+    // --close: E15, the timing-closure autopilot. Flag-gated because
+    // each row runs its prep flow twice (open-loop probe + closed loop)
+    // with every committed move formally proven.
+    if close {
+        let r15 = exp::e15_closure();
+        let mut t = Table::new(&[
+            "E15 closure autopilot (proven)",
+            "workload",
+            "frequency",
+            "work",
+        ]);
+        for row in &r15.rows {
+            t.row_owned(vec![
+                row.scenario.clone(),
+                row.workload.clone(),
+                row.freq_cell(),
+                row.work_cell(),
+            ]);
+        }
+        t.row_owned(vec![
+            "closure rate at +5% stretch".into(),
+            String::new(),
+            format!("{:.0}%", r15.closure_rate * 100.0),
+            String::new(),
+        ]);
+        println!("{t}");
+        let mut t = Table::new(&[
+            "E15 target sweep (typical ASIC, 16b ALU)",
+            "closed",
+            "moves",
+        ]);
+        for (mhz, closed, moves) in &r15.sweep {
+            t.row_owned(vec![
+                format!("{mhz:.0} MHz"),
+                if *closed { "yes".into() } else { "no".into() },
+                format!("{moves}"),
             ]);
         }
         println!("{t}");

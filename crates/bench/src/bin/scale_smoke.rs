@@ -16,16 +16,21 @@
 //!
 //! Run with: `cargo run --release -p asicgap-bench --bin scale_smoke -- [--threads N]`
 
-use asicgap::netlist::{validate, MemoryFootprint};
+use asicgap::netlist::{generators, validate, MemoryFootprint};
 use asicgap::{
-    canonical_key, content_hash, run_scenario_verified, DesignScenario, VerifyLevel, WireModel,
-    WorkloadSpec,
+    canonical_key, close_canonical_key, content_hash, run_scenario_verified, ClosureTarget,
+    DesignScenario, VerifyLevel, WireModel, WorkloadSpec,
 };
 
 /// FNV-1a of the canonical key below. Recompute only for a deliberate
 /// identity change (new flow knob, new workload field): the printed
 /// `actual` value is the new golden.
 const GOLDEN_IDENTITY: u64 = 0xfafa_82f9_8c6f_8980;
+
+/// FNV-1a of the `CLOSE` identity for the same triple at 250 MHz. Pinned
+/// separately: the closure key embeds the flow key, so this drifts
+/// whenever the flow key does *or* a closure knob is added.
+const GOLDEN_CLOSE_IDENTITY: u64 = 0x4aad_e78e_44fb_5090;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -85,5 +90,57 @@ fn main() {
     let outcome = run_scenario_verified(&scenario, |lib| workload.build(lib), VerifyLevel::Full)
         .expect("verified flow succeeds at scale");
     println!("\n{}", outcome.canonical_text());
+
+    // Closure leg. Identity first (pure arithmetic, pinned like the RUN
+    // key), then the autopilot drives a +3% stretch on the small xlarge
+    // block — large enough to exercise the loop at block scale, small
+    // enough for a smoke gate.
+    let close_key = close_canonical_key(
+        &scenario,
+        &workload,
+        VerifyLevel::Full,
+        &ClosureTarget::at(250.0),
+    );
+    let close_identity = content_hash(&close_key);
+    println!("\nclose identity: {close_identity:#018x}");
+    assert_eq!(
+        close_identity, GOLDEN_CLOSE_IDENTITY,
+        "CLOSE identity drifted (expected {GOLDEN_CLOSE_IDENTITY:#018x}, got \
+         {close_identity:#018x}); if the change is deliberate, update GOLDEN_CLOSE_IDENTITY"
+    );
+    let block = DesignScenario::typical_asic();
+    let probe = block
+        .close_timing(
+            |lib| generators::xlarge(lib, &generators::XlargeSpec::small(7)),
+            VerifyLevel::Off,
+            &ClosureTarget::at(1.0),
+        )
+        .expect("closure probe runs");
+    let target = probe.open_mhz().value() * 1.03;
+    let closed = block
+        .close_timing(
+            |lib| generators::xlarge(lib, &generators::XlargeSpec::small(7)),
+            VerifyLevel::Full,
+            &ClosureTarget::at(target),
+        )
+        .expect("closure run completes");
+    println!(
+        "closure (xlarge small): {:.0} -> {:.0} MHz @ {target:.0}, {} moves ({} proven), {}",
+        closed.open_mhz().value(),
+        closed.closed_mhz().value(),
+        closed.moves(),
+        closed.proofs(),
+        closed.trace.verdict.canonical()
+    );
+    assert!(
+        closed.closed(),
+        "a 3% stretch on the small xlarge block must close"
+    );
+    assert_eq!(
+        closed.proofs(),
+        closed.moves(),
+        "every committed move carries a proof under Full"
+    );
+
     println!("\nscale smoke: PASS");
 }

@@ -20,8 +20,8 @@ use asicgap::sta::{analyze, ClockSpec};
 use asicgap::synth::SynthFlow;
 use asicgap::tech::{Fo4, Mhz, Ps, Technology};
 use asicgap::{
-    domino_speed_ratio, run_scenario, run_scenarios, DesignScenario, EquivEffort, GapFactor,
-    ScenarioOutcome, VerifyLevel, WireModel,
+    close_timing_grid, domino_speed_ratio, run_scenario, run_scenarios, ClosureTarget,
+    DesignScenario, EquivEffort, GapFactor, ScenarioOutcome, VerifyLevel, WireModel,
 };
 
 /// E1: the observed silicon gap.
@@ -638,6 +638,153 @@ pub fn e14_rewrite() -> RewriteStudy {
         orderings,
         microarch_plain: microarch(&mult),
         microarch_rewritten: microarch(&mult_rw),
+    }
+}
+
+/// One E15 row: a scenario preset asked to close a target its open-loop
+/// flow misses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosureRow {
+    /// Scenario preset name.
+    pub scenario: String,
+    /// Workload spelling.
+    pub workload: String,
+    /// Open-loop nominal frequency, MHz.
+    pub open_mhz: f64,
+    /// The target the fix loop was asked to reach, MHz.
+    pub target_mhz: f64,
+    /// Closed-loop nominal frequency, MHz.
+    pub closed_mhz: f64,
+    /// Closure verdict, canonical spelling.
+    pub verdict: String,
+    /// Committed ECO moves.
+    pub moves: usize,
+    /// Committed moves carrying an equivalence proof.
+    pub proofs: usize,
+}
+
+impl ClosureRow {
+    /// Did the loop make the target?
+    pub fn closed(&self) -> bool {
+        self.verdict == "closed"
+    }
+
+    /// Speedup the loop bought over the open-loop flow.
+    pub fn factor_delta(&self) -> f64 {
+        self.closed_mhz / self.open_mhz
+    }
+
+    /// The E15 frequency cell exactly as `repro` prints it and the
+    /// golden test pins it.
+    pub fn freq_cell(&self) -> String {
+        format!(
+            "{:.0} -> {:.0} MHz @ {:.0} (x{:.3})",
+            self.open_mhz,
+            self.closed_mhz,
+            self.target_mhz,
+            self.factor_delta()
+        )
+    }
+
+    /// The E15 work cell: move count, proof count, verdict.
+    pub fn work_cell(&self) -> String {
+        format!(
+            "{} moves, {} proven, {}",
+            self.moves, self.proofs, self.verdict
+        )
+    }
+}
+
+/// E15: the timing-closure autopilot study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosureStudy {
+    /// One row per (preset, workload) pair.
+    pub rows: Vec<ClosureRow>,
+    /// Fraction of rows that closed their stretch target.
+    pub closure_rate: f64,
+    /// The target-frequency sweep on the typical ASIC + 16-bit ALU:
+    /// `(target MHz, closed?, moves)` per point, run concurrently on the
+    /// workspace pool via [`close_timing_grid`] — bit-identical at any
+    /// `ASICGAP_THREADS`.
+    pub sweep: Vec<(f64, bool, usize)>,
+}
+
+/// E15: every headline preset (plus an xlarge block) asked to close a
+/// target 5% above what its open-loop flow reaches, under
+/// [`VerifyLevel::Full`] so each committed move carries an equivalence
+/// proof. The open-loop frequency comes from a trivial-target probe of
+/// the same prep (1 MHz always closes with zero moves), so the stretch
+/// target is measured, not assumed.
+pub fn e15_closure() -> ClosureStudy {
+    use asicgap::netlist::generators::XlargeSpec;
+    type Gen = fn(&asicgap::cells::Library) -> Result<Netlist, asicgap::netlist::NetlistError>;
+    let cases: Vec<(DesignScenario, &str, Gen)> = vec![
+        (DesignScenario::typical_asic(), "alu/16", |lib| {
+            generators::alu(lib, 16)
+        }),
+        (DesignScenario::best_practice_asic(), "mult/8", |lib| {
+            generators::array_multiplier(lib, 8)
+        }),
+        (DesignScenario::network_asic(), "cla/16", |lib| {
+            generators::carry_lookahead_adder(lib, 16)
+        }),
+        (DesignScenario::custom(), "alu/16", |lib| {
+            generators::alu(lib, 16)
+        }),
+        (DesignScenario::typical_asic(), "xlarge small", |lib| {
+            generators::xlarge(lib, &XlargeSpec::small(7))
+        }),
+    ];
+    let rows: Vec<ClosureRow> = cases
+        .into_iter()
+        .map(|(scenario, workload, gen)| {
+            let probe = scenario
+                .close_timing(gen, VerifyLevel::Off, &ClosureTarget::at(1.0))
+                .expect("probe closes trivially");
+            assert_eq!(probe.moves(), 0, "1 MHz must close without work");
+            let open_mhz = probe.open_mhz().value();
+            let target_mhz = open_mhz * 1.05;
+            let out = scenario
+                .close_timing(
+                    gen,
+                    VerifyLevel::Full,
+                    &ClosureTarget::at(target_mhz).with_moves(48),
+                )
+                .expect("closure run completes");
+            ClosureRow {
+                scenario: scenario.name.clone(),
+                workload: workload.to_string(),
+                open_mhz,
+                target_mhz,
+                closed_mhz: out.closed_mhz().value(),
+                verdict: out.trace.verdict.canonical(),
+                moves: out.moves(),
+                proofs: out.proofs(),
+            }
+        })
+        .collect();
+    let closure_rate = rows.iter().filter(|r| r.closed()).count() as f64 / rows.len() as f64;
+
+    // The sweep leg: one preset across a ladder of targets, in parallel.
+    let base = rows[0].open_mhz;
+    let targets: Vec<f64> = [0.90, 1.00, 1.03, 1.05, 1.08]
+        .iter()
+        .map(|s| base * s)
+        .collect();
+    let sweep = close_timing_grid(
+        &DesignScenario::typical_asic(),
+        |lib| generators::alu(lib, 16),
+        VerifyLevel::Off,
+        &targets,
+    )
+    .expect("sweep runs")
+    .into_iter()
+    .map(|o| (o.target.value(), o.closed(), o.moves()))
+    .collect();
+    ClosureStudy {
+        rows,
+        closure_rate,
+        sweep,
     }
 }
 

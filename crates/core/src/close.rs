@@ -1,0 +1,340 @@
+//! Closed-loop timing closure over the open-loop scenario flow.
+//!
+//! [`run_scenario`](crate::run_scenario) answers "how fast does this
+//! methodology go?" — one pass, one number. [`DesignScenario::close_timing`]
+//! asks the converse question the paper's practitioners actually face:
+//! "*will* this methodology make a given clock, and what sequence of
+//! fixes gets it there?" It reuses the scenario flow's exact prep
+//! (rewrite → pipeline → sizing → floorplan → optional routing →
+//! post-layout resize, same seeds, same arithmetic) to warm up the
+//! shared incremental timer, then hands the graph to the
+//! `asicgap-autopilot` fix loop and folds the result back through the
+//! scenario's skew/domino arithmetic.
+
+use asicgap_autopilot::{close_on, AutopilotError, ClosureTarget, ConvergenceTrace, RouteContext};
+use asicgap_cells::Library;
+use asicgap_equiv::VerifyLevel;
+use asicgap_exec::Pool;
+use asicgap_netlist::Netlist;
+use asicgap_pipeline::pipeline_netlist_with;
+use asicgap_place::{annotate, AnnealOptions, Floorplan, FloorplanStrategy};
+use asicgap_route::{annotate_routed, route, RouterOptions};
+use asicgap_sizing::{snap_to_library, tilos_size, TilosOptions};
+use asicgap_sta::{ClockSpec, TimingGraph};
+use asicgap_synth::{select_drives_on, DriveOptions, PassPipeline};
+use asicgap_tech::{Mhz, Ps};
+
+use crate::error::GapError;
+use crate::flow::{
+    canonical_key, domino_speed_ratio, sequencing_overhead, DesignScenario, FloorplanQuality,
+    LogicStyle, SizingQuality, WireModel, WorkloadSpec,
+};
+
+/// Fraction of the critical path the domino style converts (matches
+/// `run_scenario`'s §7 model).
+const DOMINO_COVERAGE: f64 = 0.7;
+
+/// What a closure run produces: the open-loop baseline, the closed-loop
+/// result, and the full move-by-move trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosureOutcome {
+    /// Scenario name.
+    pub scenario: String,
+    /// The frequency the caller asked for (scenario-level, nominal
+    /// silicon — §8 binning is about shipping, not closing).
+    pub target: Mhz,
+    /// Minimum period the open-loop flow reached, before any ECO
+    /// (scenario arithmetic applied: skew folded, domino credited).
+    pub open_min_period: Ps,
+    /// Minimum period after the fix loop, same arithmetic.
+    pub closed_min_period: Ps,
+    /// The convergence trace. Its period/WNS numbers are in *graph*
+    /// terms (pre-skew, pre-domino); the two `*_min_period` fields above
+    /// are the scenario-level view.
+    pub trace: ConvergenceTrace,
+}
+
+impl ClosureOutcome {
+    /// Open-loop nominal frequency.
+    pub fn open_mhz(&self) -> Mhz {
+        self.open_min_period.frequency()
+    }
+
+    /// The canonical text form: a short scenario-level header followed
+    /// by the trace's own canonical text. This is what `asicgap-serve`
+    /// caches and what the golden pins hash — byte-identical for
+    /// byte-identical runs.
+    pub fn canonical_text(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::with_capacity(256 + self.trace.iterations.len() * 96);
+        writeln!(s, "close-outcome/v1").expect("write to String");
+        writeln!(s, "scenario {}", self.scenario).expect("write to String");
+        writeln!(s, "target {:?}", self.target.value()).expect("write to String");
+        writeln!(s, "open {:?}", self.open_min_period.value()).expect("write to String");
+        writeln!(s, "closed {:?}", self.closed_min_period.value()).expect("write to String");
+        s.push_str(&self.trace.canonical_text());
+        s
+    }
+
+    /// Closed-loop nominal frequency.
+    pub fn closed_mhz(&self) -> Mhz {
+        self.closed_min_period.frequency()
+    }
+
+    /// `true` when the loop met the target.
+    pub fn closed(&self) -> bool {
+        self.trace.verdict.closed()
+    }
+
+    /// Committed ECO moves.
+    pub fn moves(&self) -> usize {
+        self.trace.moves()
+    }
+
+    /// Committed moves carrying an equivalence proof.
+    pub fn proofs(&self) -> usize {
+        self.trace.proofs()
+    }
+}
+
+impl std::fmt::Display for ClosureOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.canonical_text())
+    }
+}
+
+/// Scenario-level period from a graph-level (pre-skew) period: §7 domino
+/// credit on the combinational portion, then the §4.1 skew fold —
+/// exactly `run_scenario`'s arithmetic.
+fn fold_period(scenario: &DesignScenario, lib: &Library, graph_period: Ps) -> Ps {
+    let mut p = graph_period;
+    if scenario.logic_style == LogicStyle::DominoCriticalPath {
+        let ratio = 1.0 + DOMINO_COVERAGE * (domino_speed_ratio(lib) - 1.0);
+        let seq = sequencing_overhead(lib);
+        let comb = (p - seq).max(Ps::ZERO);
+        p = comb / ratio + seq;
+    }
+    p / (1.0 - scenario.skew_fraction)
+}
+
+/// Inverse of [`fold_period`]: the graph-level period the timer must
+/// reach for the scenario-level period to hit `target`.
+fn unfold_period(scenario: &DesignScenario, lib: &Library, target: Ps) -> Ps {
+    let mut p = target * (1.0 - scenario.skew_fraction);
+    if scenario.logic_style == LogicStyle::DominoCriticalPath {
+        let ratio = 1.0 + DOMINO_COVERAGE * (domino_speed_ratio(lib) - 1.0);
+        let seq = sequencing_overhead(lib);
+        let comb = (p - seq).max(Ps::ZERO);
+        p = comb * ratio + seq;
+    }
+    p
+}
+
+fn map_autopilot_err(e: AutopilotError) -> GapError {
+    match e {
+        AutopilotError::Inequivalent { kind, output } => GapError::Inequivalent {
+            stage: format!("autopilot-{}", kind.name()),
+            output,
+        },
+        AutopilotError::Synth(e) => GapError::Synth(e),
+        AutopilotError::Netlist(e) => GapError::Netlist(e),
+        AutopilotError::Equiv(e) => GapError::Equiv(e),
+        AutopilotError::Replay(what) => GapError::Parse { what },
+    }
+}
+
+impl DesignScenario {
+    /// Runs this scenario's flow to its warm post-layout timing state,
+    /// then drives the `asicgap-autopilot` fix loop at `target`. The
+    /// loop's verdict, every committed move, and its proof (under
+    /// [`VerifyLevel::Full`]) land in [`ClosureOutcome::trace`].
+    ///
+    /// Deterministic: the prep is `run_scenario`'s exact sequence (same
+    /// seeds), the loop is sequential, so the outcome — trace bytes
+    /// included — is identical at any `ASICGAP_THREADS`.
+    ///
+    /// # Errors
+    ///
+    /// Prep failures as [`run_scenario`](crate::run_scenario); a
+    /// committed move failing its equivalence proof surfaces as
+    /// [`GapError::Inequivalent`] with an `autopilot-*` stage name.
+    pub fn close_timing(
+        &self,
+        workload: impl FnOnce(&Library) -> Result<Netlist, asicgap_netlist::NetlistError>,
+        verify: VerifyLevel,
+        target: &ClosureTarget,
+    ) -> Result<ClosureOutcome, GapError> {
+        self.close_timing_cancellable(workload, verify, target, &|| false)
+    }
+
+    /// [`DesignScenario::close_timing`] with a cancellation hook, polled
+    /// by the loop once per iteration boundary. A cancelled run is not
+    /// an error: it returns the trace built so far with
+    /// [`Verdict::Cancelled`](asicgap_autopilot::Verdict::Cancelled).
+    ///
+    /// # Errors
+    ///
+    /// As [`DesignScenario::close_timing`].
+    pub fn close_timing_cancellable(
+        &self,
+        workload: impl FnOnce(&Library) -> Result<Netlist, asicgap_netlist::NetlistError>,
+        verify: VerifyLevel,
+        target: &ClosureTarget,
+        cancel: &dyn Fn() -> bool,
+    ) -> Result<ClosureOutcome, GapError> {
+        if self.pipeline_stages == 0 {
+            return Err(GapError::Scenario {
+                what: "pipeline_stages must be >= 1".to_string(),
+            });
+        }
+        let lib = self.library.build(&self.technology);
+        let mut netlist = workload(&lib)?;
+
+        // Prep mirrors run_scenario step for step; its transform proofs
+        // are the open-loop flow's concern (see run_scenario_verified),
+        // the loop below proves its own moves.
+        if !self.rewrite.is_empty() {
+            PassPipeline::new(self.rewrite.clone()).run(&mut netlist, &lib)?;
+        }
+        if self.pipeline_stages >= 2 {
+            let report =
+                TimingGraph::new(netlist.clone(), &lib, ClockSpec::unconstrained(), None).report();
+            let piped = pipeline_netlist_with(&netlist, &lib, self.pipeline_stages, &report)?;
+            netlist = piped.netlist;
+        }
+
+        let mut graph = TimingGraph::new(netlist, &lib, ClockSpec::unconstrained(), None);
+        match self.sizing {
+            SizingQuality::AsMapped => {}
+            SizingQuality::DriveSelected => select_drives_on(&mut graph, &DriveOptions::default()),
+            SizingQuality::Continuous => {
+                let sized = tilos_size(graph.netlist(), &lib, &TilosOptions::default());
+                let snap = snap_to_library(graph.netlist(), &lib, &sized.sizes);
+                let ids: Vec<_> = graph.netlist().iter_instances().map(|(id, _)| id).collect();
+                for (id, &s) in ids.iter().zip(&snap.sizes) {
+                    let cell = lib.closest_drive(graph.netlist().instance(*id).cell(), s);
+                    graph.resize_cell(*id, cell);
+                }
+            }
+        }
+
+        let strategy = match self.floorplan {
+            FloorplanQuality::Careful => FloorplanStrategy::Localized,
+            FloorplanQuality::Spread { modules } => FloorplanStrategy::Spread {
+                modules,
+                die_side_um: 10_000.0,
+            },
+        };
+        let fp = Floorplan::build(
+            graph.netlist(),
+            &lib,
+            strategy,
+            &AnnealOptions::quick(self.seed),
+        );
+        let routing = match self.wire_model {
+            WireModel::Hpwl => None,
+            WireModel::Routed => Some(route(
+                graph.netlist(),
+                &fp.placement,
+                &RouterOptions::seeded(self.seed),
+            )),
+        };
+        let par = match &routing {
+            None => annotate(graph.netlist(), &lib, &fp.placement, true),
+            Some(r) => annotate_routed(graph.netlist(), &lib, r, true),
+        };
+        graph.set_parasitics(par);
+        if self.sizing != SizingQuality::AsMapped {
+            select_drives_on(
+                &mut graph,
+                &DriveOptions {
+                    parasitics: None,
+                    target_gain: 4.0,
+                    passes: 2,
+                },
+            );
+        }
+        let par = match &routing {
+            None => annotate(graph.netlist(), &lib, &fp.placement, true),
+            Some(r) => annotate_routed(graph.netlist(), &lib, r, true),
+        };
+        graph.set_parasitics(par);
+
+        let open_min_period = fold_period(self, &lib, graph.min_period());
+
+        // The loop works in graph terms: unfold the scenario target
+        // through the skew/domino arithmetic.
+        let graph_target = unfold_period(self, &lib, target.period());
+        let loop_target = ClosureTarget {
+            frequency: graph_target.frequency(),
+            ..target.clone()
+        };
+        let mut route_ctx = routing.map(|routing| RouteContext {
+            placement: fp.placement.clone(),
+            routing,
+            options: RouterOptions::seeded(self.seed),
+            repeaters: true,
+        });
+        let trace = close_on(&mut graph, route_ctx.as_mut(), &loop_target, verify, cancel)
+            .map_err(map_autopilot_err)?;
+
+        let closed_min_period = fold_period(self, &lib, graph.min_period());
+        Ok(ClosureOutcome {
+            scenario: self.name.clone(),
+            target: target.frequency,
+            open_min_period,
+            closed_min_period,
+            trace,
+        })
+    }
+}
+
+/// Canonical identity of a closure request: the closure-specific knobs,
+/// then the *unchanged* flow key (so the two cache namespaces can never
+/// collide — a `CLOSE` result is never served for a `RUN` and vice
+/// versa).
+pub fn close_canonical_key(
+    scenario: &DesignScenario,
+    workload: &WorkloadSpec,
+    verify: VerifyLevel,
+    target: &ClosureTarget,
+) -> String {
+    use std::fmt::Write;
+    let mut k = String::with_capacity(640);
+    writeln!(k, "asicgap-close/v1").expect("write to String");
+    writeln!(k, "target_mhz {:?}", target.frequency.value()).expect("write to String");
+    writeln!(k, "max_area_um2 {:?}", target.max_area_um2).expect("write to String");
+    writeln!(k, "max_power {:?}", target.max_power).expect("write to String");
+    writeln!(k, "max_moves {}", target.max_moves).expect("write to String");
+    writeln!(k, "topk {}", target.topk).expect("write to String");
+    writeln!(k, "rewrite_escalation {}", target.allow_rewrite).expect("write to String");
+    writeln!(k, "retime_escalation {}", target.allow_retime).expect("write to String");
+    k.push_str(&canonical_key(scenario, workload, verify));
+    k
+}
+
+/// A target-frequency sweep: one closure run per entry of `targets_mhz`,
+/// concurrently on the workspace pool, outcomes in target order. Each
+/// run is an independent task with its own library/netlist/timer, so the
+/// sweep is bit-for-bit identical to a sequential loop at any
+/// `ASICGAP_THREADS` — traces included.
+///
+/// # Errors
+///
+/// The first failing run's [`GapError`] (all runs are still executed).
+pub fn close_timing_grid<W>(
+    scenario: &DesignScenario,
+    workload: W,
+    verify: VerifyLevel,
+    targets_mhz: &[f64],
+) -> Result<Vec<ClosureOutcome>, GapError>
+where
+    W: Fn(&Library) -> Result<Netlist, asicgap_netlist::NetlistError> + Sync,
+{
+    Pool::from_env()
+        .map(targets_mhz, |_, &mhz| {
+            scenario.close_timing(&workload, verify, &ClosureTarget::at(mhz))
+        })
+        .into_iter()
+        .collect()
+}

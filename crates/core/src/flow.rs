@@ -1040,7 +1040,7 @@ pub fn domino_speed_ratio(lib: &Library) -> f64 {
 }
 
 /// The per-stage sequencing overhead of this library's flip-flop.
-fn sequencing_overhead(lib: &Library) -> Ps {
+pub(crate) fn sequencing_overhead(lib: &Library) -> Ps {
     lib.smallest(CellFunction::Dff)
         .and_then(|id| lib.cell(id).kind.seq_timing().map(|t| t.cycle_overhead()))
         .unwrap_or(Ps::ZERO)

@@ -52,6 +52,7 @@
 
 mod canon;
 pub mod chips;
+mod close;
 mod error;
 mod factors;
 mod flow;
@@ -59,7 +60,9 @@ pub mod gap;
 pub mod migrate;
 pub mod report;
 
+pub use asicgap_autopilot::{ClosureTarget, ConvergenceTrace, Verdict};
 pub use asicgap_equiv::{EquivEffort, EquivReport, EquivResult, VerifyLevel};
+pub use close::{close_canonical_key, close_timing_grid, ClosureOutcome};
 pub use error::GapError;
 pub use factors::GapFactor;
 pub use flow::{
@@ -110,3 +113,7 @@ pub use asicgap_pipeline as pipeline;
 
 /// Process variation and binning (re-export of `asicgap-process`).
 pub use asicgap_process as process;
+
+/// Closed-loop timing-closure ECO engine (re-export of
+/// `asicgap-autopilot`).
+pub use asicgap_autopilot as autopilot;

@@ -239,6 +239,50 @@ impl RoutingResult {
         Some(length)
     }
 
+    /// Removes `net`'s route from the table *and* the congestion map,
+    /// returning it so a speculative [`RoutingResult::reroute_net`] can be
+    /// undone with [`RoutingResult::restore_net`]. The pair is the trial
+    /// idiom for routing ECOs: take, reroute, measure, and either keep the
+    /// new route or put the old one back — usage and overflow stay
+    /// consistent on every path.
+    pub fn take_net(&mut self, net: NetId) -> Option<RoutedNet> {
+        let i = net.index();
+        if self.nets.len() <= i {
+            return None;
+        }
+        let taken = self.nets[i].take();
+        if let Some(r) = &taken {
+            for &e in &r.edges {
+                self.usage[e as usize] -= 1;
+            }
+            self.recount_overflow();
+        }
+        taken
+    }
+
+    /// Reinstates a route previously removed by
+    /// [`RoutingResult::take_net`] (displacing and unbooking whatever
+    /// route the net carries now), or clears the net's route when `saved`
+    /// is `None`.
+    pub fn restore_net(&mut self, net: NetId, saved: Option<RoutedNet>) {
+        let i = net.index();
+        if self.nets.len() <= i {
+            self.nets.resize(i + 1, None);
+        }
+        if let Some(current) = self.nets[i].take() {
+            for &e in &current.edges {
+                self.usage[e as usize] -= 1;
+            }
+        }
+        if let Some(r) = saved {
+            for &e in &r.edges {
+                self.usage[e as usize] += 1;
+            }
+            self.nets[i] = Some(r);
+        }
+        self.recount_overflow();
+    }
+
     fn recount_overflow(&mut self) {
         self.overflow = (0..self.grid.edge_count())
             .map(|e| self.usage[e].saturating_sub(self.grid.edge_capacity(e)) as u64)

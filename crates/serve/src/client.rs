@@ -12,7 +12,9 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::metrics::MetricsSnapshot;
-use crate::proto::{read_frame, write_frame, ProtoError, Request, Response, RunRequest, Source};
+use crate::proto::{
+    read_frame, write_frame, CloseRequest, ProtoError, Request, Response, RunRequest, Source,
+};
 
 /// Client-side errors.
 #[derive(Debug)]
@@ -143,6 +145,53 @@ impl Client {
         loop {
             attempts += 1;
             match self.run(req)? {
+                Ok(done) => return Ok(done),
+                Err(retry_after_ms) if attempts < max_attempts => {
+                    thread::sleep(Duration::from_millis(u64::from(retry_after_ms.max(1))));
+                }
+                Err(_) => return Err(ClientError::StillBusy { attempts }),
+            }
+        }
+    }
+
+    /// Submits one timing-closure run and waits for its outcome.
+    /// `Ok(None)`-style semantics match [`Client::run`]: the `Err` side
+    /// of the inner result is the server's `BUSY` retry hint.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for flow errors and deadline
+    /// cancellations (`cancelled at iteration boundary N`),
+    /// [`ClientError::Proto`] on transport failure.
+    #[allow(clippy::type_complexity)]
+    pub fn close(
+        &mut self,
+        req: CloseRequest,
+    ) -> Result<Result<(Source, String), u32>, ClientError> {
+        match self.call(&Request::Close(req))? {
+            Response::Outcome { source, text } => Ok(Ok((source, text))),
+            Response::Busy { retry_after_ms } => Ok(Err(retry_after_ms)),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(other.encode())),
+        }
+    }
+
+    /// [`Client::close`], sleeping out `BUSY` hints up to `max_attempts`
+    /// times.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::close`], plus [`ClientError::StillBusy`] when every
+    /// attempt was rejected.
+    pub fn close_retry(
+        &mut self,
+        req: CloseRequest,
+        max_attempts: u32,
+    ) -> Result<(Source, String), ClientError> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            match self.close(req)? {
                 Ok(done) => return Ok(done),
                 Err(retry_after_ms) if attempts < max_attempts => {
                     thread::sleep(Duration::from_millis(u64::from(retry_after_ms.max(1))));

@@ -65,8 +65,8 @@ pub use cache::ResultCache;
 pub use client::{Client, ClientError};
 pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use proto::{
-    read_frame, write_frame, ProtoError, Request, Response, RunRequest, ScenarioPreset, Source,
-    MAX_FRAME,
+    read_frame, write_frame, CloseRequest, ProtoError, Request, Response, RunRequest,
+    ScenarioPreset, Source, MAX_FRAME,
 };
-pub use sched::{Admission, Job, Scheduler};
+pub use sched::{Admission, Job, Scheduler, Work};
 pub use server::{Server, ServerConfig};

@@ -18,7 +18,10 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
-use asicgap::{canonical_key, content_hash, DesignScenario, VerifyLevel, WireModel, WorkloadSpec};
+use asicgap::{
+    canonical_key, close_canonical_key, content_hash, ClosureTarget, DesignScenario, VerifyLevel,
+    WireModel, WorkloadSpec,
+};
 
 /// Hard ceiling on frame payloads (1 MiB). Far above any legitimate
 /// outcome or stats dump; a header above this is treated as a protocol
@@ -249,6 +252,56 @@ impl RunRequest {
     }
 }
 
+/// One timing-closure request: the flow knobs of a [`RunRequest`] plus
+/// the closure target. Identity for caching/dedup is
+/// [`CloseRequest::canonical_key`], which embeds the *unchanged* flow
+/// key under a `CLOSE`-specific header — a `CLOSE` result can never be
+/// served for a `RUN` or vice versa.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CloseRequest {
+    /// The flow knobs: preset, wire model, verify level, seed, workload,
+    /// deadline. The deadline cancels the fix loop at iteration
+    /// boundaries (prep always completes).
+    pub run: RunRequest,
+    /// Target frequency in MHz.
+    pub target_mhz: f64,
+    /// ECO move budget for the fix loop.
+    pub max_moves: u32,
+}
+
+impl CloseRequest {
+    /// A small default request: the typical ASIC on an 8-bit ALU asked
+    /// to close at `target_mhz`, 64-move budget, no deadline.
+    pub fn small(target_mhz: f64) -> CloseRequest {
+        CloseRequest {
+            run: RunRequest::small(),
+            target_mhz,
+            max_moves: 64,
+        }
+    }
+
+    /// The closure target this request asks for.
+    pub fn target(&self) -> ClosureTarget {
+        ClosureTarget::at(self.target_mhz).with_moves(self.max_moves as usize)
+    }
+
+    /// The content-addressed identity: [`close_canonical_key`] over the
+    /// resolved scenario (deadline excluded, as for `RUN`).
+    pub fn canonical_key(&self) -> String {
+        close_canonical_key(
+            &self.run.scenario(),
+            &self.run.workload,
+            self.run.verify,
+            &self.target(),
+        )
+    }
+
+    /// [`content_hash`] of [`CloseRequest::canonical_key`].
+    pub fn content_hash(&self) -> u64 {
+        content_hash(&self.canonical_key())
+    }
+}
+
 fn wire_name(w: WireModel) -> &'static str {
     match w {
         WireModel::Hpwl => "hpwl",
@@ -281,13 +334,27 @@ fn parse_verify(s: &str) -> Result<VerifyLevel, ProtoError> {
     }
 }
 
+fn run_fields(r: &RunRequest) -> String {
+    format!(
+        "preset={} wire={} verify={} seed={} workload={} deadline_ms={}",
+        r.preset.canonical(),
+        wire_name(r.wire_model),
+        verify_name(r.verify),
+        r.seed,
+        r.workload.canonical(),
+        r.deadline_ms
+    )
+}
+
 /// A client request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Liveness check.
     Ping,
     /// Run (or fetch) one scenario flow.
     Run(RunRequest),
+    /// Run (or fetch) one closed-loop timing-closure flow.
+    Close(CloseRequest),
     /// Fetch the metrics snapshot.
     Stats,
     /// Drain the queue, stop the workers, and close the listener.
@@ -301,14 +368,12 @@ impl Request {
             Request::Ping => "PING".to_string(),
             Request::Stats => "STATS".to_string(),
             Request::Shutdown => "SHUTDOWN".to_string(),
-            Request::Run(r) => format!(
-                "RUN preset={} wire={} verify={} seed={} workload={} deadline_ms={}",
-                r.preset.canonical(),
-                wire_name(r.wire_model),
-                verify_name(r.verify),
-                r.seed,
-                r.workload.canonical(),
-                r.deadline_ms
+            Request::Run(r) => format!("RUN {}", run_fields(r)),
+            Request::Close(c) => format!(
+                "CLOSE {} target_mhz={:?} max_moves={}",
+                run_fields(&c.run),
+                c.target_mhz,
+                c.max_moves
             ),
         }
     }
@@ -325,19 +390,25 @@ impl Request {
             "SHUTDOWN" => return Ok(Request::Shutdown),
             _ => {}
         }
-        let fields = body
-            .strip_prefix("RUN ")
-            .ok_or_else(|| malformed(format!("unknown verb in {body:?}")))?;
+        let (verb, fields) = if let Some(fields) = body.strip_prefix("RUN ") {
+            ("RUN", fields)
+        } else if let Some(fields) = body.strip_prefix("CLOSE ") {
+            ("CLOSE", fields)
+        } else {
+            return Err(malformed(format!("unknown verb in {body:?}")));
+        };
         let mut preset = None;
         let mut wire = None;
         let mut verify = None;
         let mut seed = None;
         let mut workload = None;
         let mut deadline = None;
+        let mut target_mhz = None;
+        let mut max_moves = None;
         for field in fields.split(' ') {
             let (k, v) = field
                 .split_once('=')
-                .ok_or_else(|| malformed(format!("RUN field {field:?}")))?;
+                .ok_or_else(|| malformed(format!("{verb} field {field:?}")))?;
             match k {
                 "preset" => preset = Some(ScenarioPreset::parse(v)?),
                 "wire" => wire = Some(parse_wire(v)?),
@@ -354,17 +425,40 @@ impl Request {
                             .map_err(|_| malformed(format!("deadline {v:?}")))?,
                     );
                 }
-                _ => return Err(malformed(format!("unknown RUN field {k:?}"))),
+                "target_mhz" if verb == "CLOSE" => {
+                    let mhz: f64 = v
+                        .parse()
+                        .map_err(|_| malformed(format!("target_mhz {v:?}")))?;
+                    if !(mhz.is_finite() && mhz > 0.0) {
+                        return Err(malformed(format!("target_mhz {v:?}")));
+                    }
+                    target_mhz = Some(mhz);
+                }
+                "max_moves" if verb == "CLOSE" => {
+                    max_moves = Some(
+                        v.parse()
+                            .map_err(|_| malformed(format!("max_moves {v:?}")))?,
+                    );
+                }
+                _ => return Err(malformed(format!("unknown {verb} field {k:?}"))),
             }
         }
-        let missing = |what: &str| malformed(format!("RUN missing field {what}"));
-        Ok(Request::Run(RunRequest {
+        let missing = |what: &str| malformed(format!("{verb} missing field {what}"));
+        let run = RunRequest {
             preset: preset.ok_or_else(|| missing("preset"))?,
             wire_model: wire.ok_or_else(|| missing("wire"))?,
             verify: verify.ok_or_else(|| missing("verify"))?,
             seed: seed.ok_or_else(|| missing("seed"))?,
             workload: workload.ok_or_else(|| missing("workload"))?,
             deadline_ms: deadline.ok_or_else(|| missing("deadline_ms"))?,
+        };
+        if verb == "RUN" {
+            return Ok(Request::Run(run));
+        }
+        Ok(Request::Close(CloseRequest {
+            run,
+            target_mhz: target_mhz.ok_or_else(|| missing("target_mhz"))?,
+            max_moves: max_moves.ok_or_else(|| missing("max_moves"))?,
         }))
     }
 }
@@ -618,6 +712,47 @@ mod tests {
         let buf = vec![0, 0, 0, 2, 0xFF, 0xFE];
         let r = read_frame(&mut buf.as_slice());
         assert!(matches!(r, Err(ProtoError::Malformed { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn close_requests_round_trip() {
+        let mut rng = Rng64::new(0xC105E);
+        for _ in 0..256 {
+            let req = Request::Close(CloseRequest {
+                run: random_run(&mut rng),
+                target_mhz: (rng.next_u64() % 2_000) as f64 / 2.0 + 1.0,
+                max_moves: (rng.next_u64() % 256) as u32,
+            });
+            assert_eq!(Request::decode(&req.encode()).expect("decodes"), req);
+        }
+        // CLOSE-only fields are rejected on RUN, and CLOSE requires them.
+        assert!(Request::decode("RUN preset=custom wire=hpwl verify=off seed=1 workload=alu/8 deadline_ms=0 target_mhz=250.0 max_moves=4").is_err());
+        assert!(Request::decode(
+            "CLOSE preset=custom wire=hpwl verify=off seed=1 workload=alu/8 deadline_ms=0"
+        )
+        .is_err());
+        assert!(Request::decode(
+            "CLOSE preset=custom wire=hpwl verify=off seed=1 workload=alu/8 deadline_ms=0 target_mhz=-5 max_moves=4"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn close_request_identity_excludes_deadline_but_not_target() {
+        let a = CloseRequest::small(250.0);
+        let mut b = a;
+        b.run.deadline_ms = 5000;
+        assert_eq!(a.canonical_key(), b.canonical_key());
+        let mut c = a;
+        c.target_mhz = 300.0;
+        assert_ne!(a.content_hash(), c.content_hash());
+        let mut d = a;
+        d.max_moves = 3;
+        assert_ne!(a.content_hash(), d.content_hash());
+        // And a CLOSE key never collides with the RUN key of the same
+        // flow knobs.
+        assert_ne!(a.canonical_key(), a.run.canonical_key());
+        assert!(a.canonical_key().contains(&a.run.canonical_key()));
     }
 
     #[test]

@@ -27,18 +27,47 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use asicgap::{run_scenario_observed, FlowObserver, FlowStage, GapError};
+use asicgap::{run_scenario_observed, FlowObserver, FlowStage, GapError, Verdict};
 
 use crate::cache::ResultCache;
 use crate::metrics::Metrics;
-use crate::proto::RunRequest;
+use crate::proto::{CloseRequest, RunRequest};
+
+/// The two kinds of flow work a job can carry: an open-loop scenario
+/// run, or a closed-loop timing-closure run. Both are cached and
+/// deduplicated under their own canonical keys, which can never collide
+/// (the `CLOSE` key embeds the flow key under a distinct header).
+#[derive(Debug, Clone, Copy)]
+pub enum Work {
+    /// `RUN`: one scenario flow.
+    Run(RunRequest),
+    /// `CLOSE`: one timing-closure flow.
+    Close(CloseRequest),
+}
+
+impl Work {
+    /// The content-addressed identity of the work.
+    pub fn canonical_key(&self) -> String {
+        match self {
+            Work::Run(r) => r.canonical_key(),
+            Work::Close(c) => c.canonical_key(),
+        }
+    }
+
+    fn deadline_ms(&self) -> u32 {
+        match self {
+            Work::Run(r) => r.deadline_ms,
+            Work::Close(c) => c.run.deadline_ms,
+        }
+    }
+}
 
 /// One submitted flow run, shared between the submitting connection,
 /// any deduplicated joiners, and the worker that executes it.
 pub struct Job {
     hash: u64,
     key: String,
-    req: RunRequest,
+    work: Work,
     submitted: Instant,
     deadline: Option<Instant>,
     slot: Mutex<Option<Result<String, String>>>,
@@ -46,13 +75,13 @@ pub struct Job {
 }
 
 impl Job {
-    fn new(hash: u64, key: String, req: RunRequest) -> Job {
-        let deadline = (req.deadline_ms > 0)
-            .then(|| Instant::now() + Duration::from_millis(u64::from(req.deadline_ms)));
+    fn new(hash: u64, key: String, work: Work) -> Job {
+        let deadline = (work.deadline_ms() > 0)
+            .then(|| Instant::now() + Duration::from_millis(u64::from(work.deadline_ms())));
         Job {
             hash,
             key,
-            req,
+            work,
             submitted: Instant::now(),
             deadline,
             slot: Mutex::new(None),
@@ -171,10 +200,22 @@ impl Scheduler {
         self.state.lock().expect("sched lock").inflight.len()
     }
 
-    /// Admits one request; see the module docs for the four outcomes.
+    /// Admits one `RUN` request; see the module docs for the four
+    /// outcomes.
     pub fn submit(&self, req: RunRequest) -> Admission {
+        self.submit_work(Work::Run(req))
+    }
+
+    /// Admits one `CLOSE` request, same admission paths as `RUN`.
+    pub fn submit_close(&self, req: CloseRequest) -> Admission {
+        self.submit_work(Work::Close(req))
+    }
+
+    /// Admits one unit of work; see the module docs for the four
+    /// outcomes.
+    pub fn submit_work(&self, work: Work) -> Admission {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
-        let key = req.canonical_key();
+        let key = work.canonical_key();
         let hash = asicgap::content_hash(&key);
         if let Some(text) = self.cache.get(hash, &key) {
             self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -201,7 +242,7 @@ impl Scheduler {
             self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
             return Admission::Busy;
         }
-        let job = Arc::new(Job::new(hash, key, req));
+        let job = Arc::new(Job::new(hash, key, work));
         state.queue.push_back(Arc::clone(&job));
         state.inflight.insert(hash, Arc::clone(&job));
         let depth = state.queue.len();
@@ -270,23 +311,31 @@ impl Scheduler {
             self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
             return Err("cancelled before start (deadline expired in queue)".to_string());
         }
-        let scenario = job.req.scenario();
-        let run = run_scenario_observed(
-            &scenario,
-            |lib| job.req.workload.build(lib),
-            job.req.verify,
-            &obs,
-        );
+        match job.work {
+            Work::Run(req) => self.execute_run(job, &req, &obs),
+            Work::Close(req) => self.execute_close(job, &req),
+        }
+    }
+
+    fn finish(&self, job: &Job, text: String) -> Result<String, String> {
+        self.cache.insert(job.hash, &job.key, &text);
+        self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .latency_us
+            .record(job.submitted.elapsed().as_micros() as u64);
+        Ok(text)
+    }
+
+    fn execute_run(
+        &self,
+        job: &Job,
+        req: &RunRequest,
+        obs: &StageObserver<'_>,
+    ) -> Result<String, String> {
+        let scenario = req.scenario();
+        let run = run_scenario_observed(&scenario, |lib| req.workload.build(lib), req.verify, obs);
         match run {
-            Ok(outcome) => {
-                let text = outcome.to_string();
-                self.cache.insert(job.hash, &job.key, &text);
-                self.metrics.completed.fetch_add(1, Ordering::Relaxed);
-                self.metrics
-                    .latency_us
-                    .record(job.submitted.elapsed().as_micros() as u64);
-                Ok(text)
-            }
+            Ok(outcome) => self.finish(job, outcome.to_string()),
             Err(GapError::Cancelled { after }) => {
                 self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
                 Err(format!("cancelled after stage {}", after.label()))
@@ -294,6 +343,36 @@ impl Scheduler {
             Err(e) => {
                 self.metrics.errors.fetch_add(1, Ordering::Relaxed);
                 Err(format!("flow failed: {e}"))
+            }
+        }
+    }
+
+    fn execute_close(&self, job: &Job, req: &CloseRequest) -> Result<String, String> {
+        // The prep flow always completes (it is bounded work); only the
+        // fix loop polls the deadline, so cancellation always lands on
+        // an iteration boundary and never leaves a half-applied move.
+        let scenario = req.run.scenario();
+        let deadline = job.deadline;
+        let cancel = move || deadline.is_some_and(|d| Instant::now() >= d);
+        let run = scenario.close_timing_cancellable(
+            |lib| req.run.workload.build(lib),
+            req.run.verify,
+            &req.target(),
+            &cancel,
+        );
+        match run {
+            Ok(outcome) => {
+                if let Verdict::Cancelled { iteration } = outcome.trace.verdict {
+                    // A cancelled trace is a partial answer: never cache
+                    // it, so a retry recomputes (or joins) the real one.
+                    self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                    return Err(format!("cancelled at iteration boundary {iteration}"));
+                }
+                self.finish(job, outcome.canonical_text())
+            }
+            Err(e) => {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                Err(format!("close failed: {e}"))
             }
         }
     }

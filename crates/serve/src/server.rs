@@ -101,6 +101,27 @@ impl Server {
     }
 }
 
+/// Turns an admission outcome into the wire response, blocking on the
+/// job when one was queued or joined. `RUN` and `CLOSE` share this path
+/// — they differ only in what the worker computes.
+fn admit(admission: Admission, retry_after_ms: u32) -> Response {
+    let (source, job) = match admission {
+        Admission::Cached(text) => {
+            return Response::Outcome {
+                source: Source::Cache,
+                text,
+            }
+        }
+        Admission::Busy => return Response::Busy { retry_after_ms },
+        Admission::Submitted(job) => (Source::Computed, job),
+        Admission::Joined(job) => (Source::Deduped, job),
+    };
+    match job.wait() {
+        Ok(text) => Response::Outcome { source, text },
+        Err(message) => Response::Error { message },
+    }
+}
+
 /// Runs one connection's request loop; returns when the peer hangs up,
 /// the protocol is violated, or `SHUTDOWN` is received.
 fn handle_connection(
@@ -142,27 +163,8 @@ fn handle_connection(
                 let _ = TcpStream::connect_timeout(&server_addr, Duration::from_secs(1));
                 return;
             }
-            Ok(Request::Run(req)) => match sched.submit(req) {
-                Admission::Cached(text) => Response::Outcome {
-                    source: Source::Cache,
-                    text,
-                },
-                Admission::Busy => Response::Busy { retry_after_ms },
-                Admission::Submitted(job) => match job.wait() {
-                    Ok(text) => Response::Outcome {
-                        source: Source::Computed,
-                        text,
-                    },
-                    Err(message) => Response::Error { message },
-                },
-                Admission::Joined(job) => match job.wait() {
-                    Ok(text) => Response::Outcome {
-                        source: Source::Deduped,
-                        text,
-                    },
-                    Err(message) => Response::Error { message },
-                },
-            },
+            Ok(Request::Run(req)) => admit(sched.submit(req), retry_after_ms),
+            Ok(Request::Close(req)) => admit(sched.submit_close(req), retry_after_ms),
         };
         if write_frame(&mut stream, &response.encode()).is_err() {
             return;

@@ -84,7 +84,7 @@ impl DelayModel for StaModel<'_> {
 /// assert_eq!(graph.min_period(), fresh.min_period);
 /// # Ok::<(), asicgap_netlist::NetlistError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TimingGraph<'a> {
     lib: &'a Library,
     netlist: Netlist,
@@ -123,7 +123,10 @@ impl<'a> TimingGraph<'a> {
         parasitics: Option<NetParasitics>,
         io: IoConstraints,
     ) -> TimingGraph<'a> {
-        let par = parasitics.unwrap_or_else(|| NetParasitics::ideal(&netlist));
+        let mut par = parasitics.unwrap_or_else(|| NetParasitics::ideal(&netlist));
+        // A back-annotation carried over from before a structural edit may
+        // be short a few nets; new nets start with ideal wires.
+        par.grow(netlist.net_count());
         let engine = ArrivalEngine::new(&netlist);
         let mut graph = TimingGraph {
             lib,
@@ -307,6 +310,61 @@ impl<'a> TimingGraph<'a> {
     /// costs nothing.
     pub fn set_clock(&mut self, clock: ClockSpec) {
         self.clock = clock;
+    }
+
+    /// Dry-evaluates a resize: the [`TimingGraph::min_period`] this graph
+    /// *would* have with `inst` swapped to `cell`, computed through the
+    /// undo-log trial machinery and then rolled back. On return the
+    /// netlist, parasitics, and every cached arrival are bit-identical to
+    /// the pre-call state; only the effort counters remember the trial
+    /// (the propagation genuinely happened — that cost is real).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` implements a different function (see
+    /// [`Netlist::set_instance_cell`]).
+    pub fn trial_resize(&mut self, inst: InstId, cell: CellId) -> Ps {
+        let old = self.netlist.instance(inst).cell();
+        if old == cell {
+            return self.min_period();
+        }
+        self.flush();
+        self.engine.begin_trial();
+        self.netlist.set_instance_cell(self.lib, inst, cell);
+        for pin in 0..self.netlist.instance(inst).fanin().len() {
+            let net = self.netlist.instance(inst).fanin()[pin];
+            self.engine.invalidate_driver(&self.netlist, net);
+        }
+        self.engine.invalidate(inst);
+        let period = self.min_period();
+        self.engine.rollback_trial();
+        self.netlist.set_instance_cell(self.lib, inst, old);
+        period
+    }
+
+    /// Dry-evaluates a single-net reroute: the min period this graph
+    /// *would* have with `net` carrying the given extracted parasitics.
+    ///
+    /// This trial is **self-undoing**: the engine's undo log restores the
+    /// cached arrivals *and* the net's parasitics are put back before the
+    /// call returns, so an abandoned trial leaves the graph bit-identical
+    /// to its pre-call state with `full_propagations` untouched. (Earlier
+    /// revisions left the trial parasitics annotated and relied on the
+    /// caller restoring them — forgetting that silently poisoned every
+    /// later query.)
+    pub fn trial_reroute(&mut self, net: NetId, cap: Ff, delay: Ps) -> Ps {
+        let (old_cap, old_delay) = (self.par.cap(net), self.par.delay(net));
+        if old_cap == cap && old_delay == delay {
+            return self.min_period();
+        }
+        self.flush();
+        self.engine.begin_trial();
+        self.par.set(net, cap, delay);
+        self.engine.invalidate_driver(&self.netlist, net);
+        let period = self.min_period();
+        self.engine.rollback_trial();
+        self.par.set(net, old_cap, old_delay);
+        period
     }
 
     /// Arrival time of a net (flushes pending updates first).
@@ -516,6 +574,86 @@ mod tests {
         assert_eq!(g.min_period(), fresh.min_period);
         assert!((g.min_period() - base - Ps::new(100.0)).abs().value() < 1e-9);
         assert_eq!(g.stats().full_propagations, 1, "no repropagation needed");
+    }
+
+    #[test]
+    fn abandoned_trial_resize_leaves_graph_bit_identical() {
+        let (_, lib) = setup();
+        let n = generators::alu(&lib, 8).expect("alu8");
+        let mut g = TimingGraph::new(n, &lib, ClockSpec::unconstrained(), None);
+        let committed = g.min_period();
+        // Downsize the gate driving the worst endpoint: a guaranteed hit.
+        let report = g.report();
+        let worst = crate::topk::report_timing(g.netlist(), &lib, &report, 1);
+        let end = match worst[0].endpoint {
+            crate::analyze::EndpointKind::RegisterD(id) => g.netlist().instance(id).fanin()[0],
+            crate::analyze::EndpointKind::PrimaryOutput(n) => g.netlist().outputs()[n].1,
+        };
+        let id = *report
+            .instances_on_worst_path(end)
+            .last()
+            .expect("path has gates");
+        let cell = g.netlist().instance(id).cell();
+        let bigger = lib.closest_drive(cell, lib.cell(cell).drive * 8.0);
+        assert_ne!(bigger, cell, "library must offer a larger drive");
+        let trial = g.trial_resize(id, bigger);
+        assert_ne!(
+            trial.value().to_bits(),
+            committed.value().to_bits(),
+            "trial must see the resized timing"
+        );
+        // Abandoned: committed state is untouched, bit for bit.
+        assert_eq!(g.netlist().instance(id).cell(), cell);
+        assert_eq!(
+            g.min_period().value().to_bits(),
+            committed.value().to_bits()
+        );
+        let fresh = analyze(g.netlist(), &lib, &ClockSpec::unconstrained(), None);
+        assert_eq!(g.min_period(), fresh.min_period);
+        assert_eq!(g.stats().full_propagations, 1);
+        // And the trial's answer was honest: committing the same move
+        // lands exactly where the trial said it would.
+        g.resize_cell(id, bigger);
+        assert_eq!(g.min_period().value().to_bits(), trial.value().to_bits());
+    }
+
+    #[test]
+    fn abandoned_trial_reroute_is_self_undoing() {
+        let (_, lib) = setup();
+        let n = generators::ripple_carry_adder(&lib, 16).expect("rca16");
+        let mut g = TimingGraph::new(n, &lib, ClockSpec::unconstrained(), None);
+        let committed = g.min_period();
+        // Detour the worst endpoint's net: directly on the critical path.
+        let report = g.report();
+        let worst = crate::topk::report_timing(g.netlist(), &lib, &report, 1);
+        let net = match worst[0].endpoint {
+            crate::analyze::EndpointKind::RegisterD(id) => g.netlist().instance(id).fanin()[0],
+            crate::analyze::EndpointKind::PrimaryOutput(n) => g.netlist().outputs()[n].1,
+        };
+        let trial = g.trial_reroute(net, Ff::new(250.0), Ps::new(180.0));
+        assert!(trial > committed, "a long detour must cost time");
+        // The trial restored its own parasitics: no caller cleanup.
+        assert_eq!(g.parasitics().cap(net), Ff::ZERO);
+        assert_eq!(g.parasitics().delay(net), Ps::ZERO);
+        assert_eq!(
+            g.min_period().value().to_bits(),
+            committed.value().to_bits()
+        );
+        let fresh = analyze(
+            g.netlist(),
+            &lib,
+            &ClockSpec::unconstrained(),
+            Some(g.parasitics()),
+        );
+        assert_eq!(g.min_period(), fresh.min_period);
+        assert_eq!(
+            g.stats().full_propagations,
+            1,
+            "an abandoned reroute trial must never repropagate the world"
+        );
+        // Committing the same annotation reproduces the trial's answer.
+        g.set_net_parasitics(net, Ff::new(250.0), Ps::new(180.0));
+        assert_eq!(g.min_period().value().to_bits(), trial.value().to_bits());
     }
 
     #[test]

@@ -309,3 +309,166 @@ fn golden_scenario_identity_hashes() {
         hash(&DesignScenario::typical_asic(), VerifyLevel::Off)
     );
 }
+
+/// The E15 closure-autopilot study, pinned to the exact strings of
+/// `repro_output.txt`, plus the issue's acceptance bar: at least three
+/// presets close a stretch target their open-loop flow missed, with an
+/// equivalence proof riding on every committed move.
+#[test]
+fn golden_e15_closure() {
+    let study = exp::e15_closure();
+    let cells: Vec<(String, String, String, String)> = study
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                r.scenario.clone(),
+                r.workload.clone(),
+                r.freq_cell(),
+                r.work_cell(),
+            )
+        })
+        .collect();
+    let pin = |s: &str, w: &str, f: &str, k: &str| {
+        (s.to_string(), w.to_string(), f.to_string(), k.to_string())
+    };
+    assert_eq!(
+        cells,
+        vec![
+            pin(
+                "typical ASIC",
+                "alu/16",
+                "231 -> 243 MHz @ 243 (x1.053)",
+                "3 moves, 3 proven, closed"
+            ),
+            pin(
+                "best-practice ASIC",
+                "mult/8",
+                "141 -> 152 MHz @ 148 (x1.082)",
+                "3 moves, 3 proven, closed"
+            ),
+            pin(
+                "network ASIC",
+                "cla/16",
+                "395 -> 418 MHz @ 415 (x1.057)",
+                "4 moves, 4 proven, closed"
+            ),
+            pin(
+                "custom",
+                "alu/16",
+                "1075 -> 1187 MHz @ 1129 (x1.104)",
+                "1 moves, 1 proven, closed"
+            ),
+            pin(
+                "typical ASIC",
+                "xlarge small",
+                "15 -> 16 MHz @ 16 (x1.050)",
+                "16 moves, 16 proven, closed"
+            ),
+        ]
+    );
+    assert_eq!(format!("{:.0}%", study.closure_rate * 100.0), "100%");
+
+    // The acceptance bar, asserted from the measurements rather than the
+    // strings: >= 3 presets must close a target the open-loop flow
+    // missed (moves >= 1 means the flow alone was short), every
+    // committed move proven under VerifyLevel::Full.
+    let closed_with_work = study
+        .rows
+        .iter()
+        .filter(|r| r.closed() && r.moves >= 1)
+        .count();
+    assert!(
+        closed_with_work >= 3,
+        "need >= 3 presets closing beyond their open-loop flow, got {closed_with_work}"
+    );
+    assert!(
+        study.rows.iter().all(|r| r.proofs == r.moves),
+        "every committed move must carry an equivalence proof"
+    );
+
+    // The target sweep: the ECO budget grows smoothly with ambition,
+    // pinned as repro prints it.
+    let sweep: Vec<String> = study
+        .sweep
+        .iter()
+        .map(|(mhz, closed, moves)| {
+            format!(
+                "{mhz:.0} MHz {} {moves}",
+                if *closed { "yes" } else { "no" }
+            )
+        })
+        .collect();
+    assert_eq!(
+        sweep,
+        vec![
+            "208 MHz yes 0",
+            "231 MHz yes 0",
+            "238 MHz yes 2",
+            "243 MHz yes 3",
+            "250 MHz yes 6",
+        ]
+    );
+}
+
+/// CLOSE identity, pinned the same way as the RUN identity above: the
+/// closure key embeds the flow key verbatim and extends it with the
+/// closure knobs, so this hash drifts whenever the flow key does *or*
+/// a closure knob is added — and stale daemon CLOSE cache lines can
+/// never be mistaken for current results. The xlarge pin is the same
+/// value `scale_smoke` guards as `GOLDEN_CLOSE_IDENTITY`.
+#[test]
+fn golden_close_identity_hashes() {
+    use asicgap::{
+        close_canonical_key, content_hash, ClosureTarget, DesignScenario, VerifyLevel, WireModel,
+        WorkloadSpec,
+    };
+    let hash = |s: &DesignScenario, w: &WorkloadSpec, v: VerifyLevel, t: &ClosureTarget| {
+        format!("{:#018x}", content_hash(&close_canonical_key(s, w, v, t)))
+    };
+    let alu = WorkloadSpec::Alu { width: 16 };
+    let typical = DesignScenario::typical_asic();
+    assert_eq!(
+        hash(&typical, &alu, VerifyLevel::Off, &ClosureTarget::at(250.0)),
+        "0x95227a70c7c087ae"
+    );
+    // Verification level and every closure knob are part of identity.
+    assert_eq!(
+        hash(&typical, &alu, VerifyLevel::Full, &ClosureTarget::at(250.0)),
+        "0xd55ede12db2e56ae"
+    );
+    assert_ne!(
+        hash(&typical, &alu, VerifyLevel::Off, &ClosureTarget::at(250.0)),
+        hash(&typical, &alu, VerifyLevel::Off, &ClosureTarget::at(251.0))
+    );
+    assert_ne!(
+        hash(&typical, &alu, VerifyLevel::Off, &ClosureTarget::at(250.0)),
+        hash(
+            &typical,
+            &alu,
+            VerifyLevel::Off,
+            &ClosureTarget::at(250.0).with_moves(8)
+        )
+    );
+    assert_ne!(
+        hash(&typical, &alu, VerifyLevel::Off, &ClosureTarget::at(250.0)),
+        hash(
+            &typical,
+            &alu,
+            VerifyLevel::Off,
+            &ClosureTarget::at(250.0).with_retime()
+        )
+    );
+    // The scale_smoke cross-check: same triple, same target, same hash.
+    let routed = DesignScenario::typical_asic().with_wire_model(WireModel::Routed);
+    let xlarge = WorkloadSpec::Xlarge { seed: 2026 };
+    assert_eq!(
+        hash(
+            &routed,
+            &xlarge,
+            VerifyLevel::Full,
+            &ClosureTarget::at(250.0)
+        ),
+        "0x4aade78e44fb5090"
+    );
+}

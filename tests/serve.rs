@@ -16,7 +16,7 @@ use std::time::{Duration, Instant};
 use asicgap::{VerifyLevel, WireModel, WorkloadSpec};
 use asicgap_serve::client::{Client, ClientError};
 use asicgap_serve::proto::{
-    read_frame, write_frame, Request, Response, RunRequest, ScenarioPreset, Source,
+    read_frame, write_frame, CloseRequest, Request, Response, RunRequest, ScenarioPreset, Source,
 };
 use asicgap_serve::server::{Server, ServerConfig};
 
@@ -210,6 +210,107 @@ fn deadlines_cancel_queued_work() {
     let stats = client.stats().expect("stats");
     assert_eq!(stats.cancelled, 1);
     assert_eq!(stats.completed, 1);
+    client.shutdown().expect("shutdown");
+    server.join().expect("server drains");
+}
+
+/// What the server *must* return for a `CLOSE`, computed in-process.
+fn local_close_text(req: &CloseRequest) -> String {
+    let scenario = req.run.scenario();
+    scenario
+        .close_timing(
+            |lib| req.run.workload.build(lib),
+            req.run.verify,
+            &req.target(),
+        )
+        .expect("local closure")
+        .canonical_text()
+}
+
+#[test]
+fn close_verb_serves_cacheable_trace_bytes() {
+    let (addr, server) = start_server(2, 8);
+    let req = CloseRequest {
+        run: small(7),
+        target_mhz: 1.0, // trivially closable: the loop proves it in 0 moves
+        max_moves: 16,
+    };
+    let expected = local_close_text(&req);
+    let mut client = connect(addr);
+    let (s1, t1) = client.close_retry(req, 10).expect("close");
+    assert_eq!(s1, Source::Computed);
+    assert_eq!(t1, expected, "CLOSE bytes must match local compute");
+    assert!(t1.starts_with("close-outcome/v1\n"));
+    let (s2, t2) = client.close_retry(req, 10).expect("close again");
+    assert_eq!(s2, Source::Cache);
+    assert_eq!(t2, expected);
+    // A RUN with the same knobs lives in its own cache line.
+    let (s3, _) = client.run_retry(small(7), 10).expect("run");
+    assert_eq!(s3, Source::Computed, "RUN never hits the CLOSE cache line");
+    client.shutdown().expect("shutdown");
+    server.join().expect("server drains");
+}
+
+#[test]
+fn close_deadline_cancels_at_iteration_boundary_without_leaking_slots() {
+    let (addr, server) = start_server(1, 8);
+    // Routed prep on a stretch target: the deadline expires while the
+    // request is already on the worker, so cancellation must land on a
+    // fix-loop iteration boundary (never mid-move, never in prep). The
+    // target is far beyond reach but *below* the depth lower bound's
+    // infeasibility threshold, so the loop grinds its move budget
+    // instead of exiting with a one-iteration proof.
+    let doomed = CloseRequest {
+        run: RunRequest {
+            wire_model: WireModel::Routed,
+            verify: VerifyLevel::Full,
+            workload: WorkloadSpec::ArrayMultiplier { width: 8 },
+            deadline_ms: 10,
+            ..small(2002)
+        },
+        target_mhz: 200.0,
+        max_moves: 64,
+    };
+    let mut client = connect(addr);
+    let err = client.close(doomed).expect_err("deadline must cancel");
+    match err {
+        ClientError::Server(message) => assert!(
+            message.contains("cancelled at iteration boundary")
+                || message.contains("cancelled before start"),
+            "got {message:?}"
+        ),
+        other => panic!("expected server-side cancel, got {other}"),
+    }
+
+    // Counters reconcile: one cancellation, nothing completed, nothing
+    // left queued or in flight — the slot came back.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let stats = loop {
+        let stats = client.stats().expect("stats");
+        if stats.queue_depth == 0 && stats.cancelled == 1 {
+            break stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "cancel failed to settle: {stats}"
+        );
+        thread::sleep(Duration::from_millis(10));
+    };
+    assert_eq!(stats.completed, 0);
+    assert_eq!(stats.errors, 0, "a deadline cancel is not a flow error");
+
+    // The cancelled partial result was never cached: a retry without a
+    // deadline computes the full answer, and it is cache-consistent with
+    // a local run and with a second retry.
+    let mut retry = doomed;
+    retry.run.deadline_ms = 0;
+    retry.max_moves = 4; // keep the unreachable-target grind short
+    let (s1, t1) = client.close_retry(retry, 10).expect("retry completes");
+    assert_eq!(s1, Source::Computed, "cancelled run must not have cached");
+    assert_eq!(t1, local_close_text(&retry));
+    let (s2, t2) = client.close_retry(retry, 10).expect("retry again");
+    assert_eq!(s2, Source::Cache);
+    assert_eq!(t2, t1);
     client.shutdown().expect("shutdown");
     server.join().expect("server drains");
 }
