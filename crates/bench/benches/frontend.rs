@@ -1,0 +1,85 @@
+//! Frontend ingestion bench: parse throughput (cells/s) of the
+//! Yosys-JSON reader on the exported ~100k-gate `xlarge` netlist, the
+//! EDIF reader on the RISC-V datapath fixture, and the interner-bytes
+//! pin for the dedup name table on the flattened fixture designs.
+//!
+//! Flattened hierarchical names repeat prefixes heavily, so the
+//! frontend lowers with [`NameTable`] dedup enabled; this bench pins
+//! the resulting interner size for a checked-in fixture so a
+//! regression in hash-consing shows up as a number, not a hunch.
+
+use std::path::Path;
+
+use asicgap_bench::harness::{bench, group};
+
+use asicgap::cells::LibrarySpec;
+use asicgap::frontend::{self, DesignFormat};
+use asicgap::netlist::generators;
+use asicgap::netlist::yosys_json::to_yosys_json;
+use asicgap::tech::Technology;
+
+fn fixture(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../fixtures")
+        .join(name)
+}
+
+fn main() {
+    let tech = Technology::cmos025_asic();
+    let lib = LibrarySpec::rich().build(&tech);
+
+    group("frontend_parse_throughput");
+    let xl = generators::xlarge(&lib, &generators::XlargeSpec::soc(2026)).expect("xlarge builds");
+    let json = to_yosys_json(&xl, &lib);
+    let cells = xl.instance_count();
+    println!(
+        "xlarge export: {} instances, {:.1} MB of JSON",
+        cells,
+        json.len() as f64 / 1e6
+    );
+    let ns = bench("parse_yosys_json_xlarge", 5, || {
+        frontend::load_design(DesignFormat::YosysJson, &json, &lib).expect("reparses")
+    });
+    println!(
+        "yosys-json throughput: {:.0} cells/s ({:.1} MB/s)",
+        cells as f64 / (ns / 1e9),
+        json.len() as f64 / 1e6 / (ns / 1e9),
+    );
+
+    let edif = std::fs::read_to_string(fixture("riscv_datapath.edif")).expect("fixture readable");
+    bench("parse_edif_riscv_datapath", 20, || {
+        frontend::load_design(DesignFormat::Edif, &edif, &lib).expect("parses")
+    });
+
+    group("frontend_interner_bytes");
+    // The frontend lowers with name dedup on; the generator path interns
+    // append-only. The reparse must never hold more name bytes than the
+    // original, and the fixture pin below catches hash-consing drift.
+    let reparsed = frontend::load_design(DesignFormat::YosysJson, &json, &lib).expect("reparses");
+    println!(
+        "xlarge name table: generator {} B, frontend reparse {} B",
+        xl.name_table_bytes(),
+        reparsed.name_table_bytes()
+    );
+    assert!(
+        reparsed.name_table_bytes() <= xl.name_table_bytes(),
+        "dedup interner must not exceed the append-only table: {} > {}",
+        reparsed.name_table_bytes(),
+        xl.name_table_bytes()
+    );
+
+    let alu = frontend::load_file(&fixture("riscv_alu.json"), &lib).expect("fixture parses");
+    let pinned = alu.name_table_bytes();
+    println!("riscv_alu.json interner: {pinned} B");
+    assert_eq!(
+        pinned, RISCV_ALU_INTERNER_BYTES,
+        "interner bytes for the checked-in fixture drifted; if the \
+         fixture or naming scheme changed on purpose, update the pin"
+    );
+    println!("acceptance: PASS (dedup <= append-only, fixture pin holds)");
+}
+
+/// Interner bytes for `fixtures/riscv_alu.json` lowered through the
+/// dedup name table. Computed once; tracks the fixture and the
+/// flattened naming scheme, nothing else.
+const RISCV_ALU_INTERNER_BYTES: usize = 1297;

@@ -36,9 +36,10 @@ fn pass(name: &str, addr: SocketAddr) {
                         seed: ((id * REQUESTS + j) as u64) % DISTINCT,
                         ..RunRequest::small()
                     };
+                    let seed = req.seed;
                     let start = Instant::now();
                     let (source, text) = client.run_retry(req, 1000).expect("run");
-                    out.push((req.seed, source, start.elapsed(), text));
+                    out.push((seed, source, start.elapsed(), text));
                 }
                 out
             })

@@ -128,6 +128,7 @@ fn drive_client(opt: &Options, id: usize) -> Result<ClientReport, String> {
     for j in 0..opt.requests {
         let seed = (id * opt.requests + j) as u64;
         let req = request_for(opt, seed);
+        let req_seed = req.seed;
         let start = Instant::now();
         let (source, text) = client
             .run_retry(req, 1000)
@@ -138,7 +139,7 @@ fn drive_client(opt: &Options, id: usize) -> Result<ClientReport, String> {
             Source::Computed => report.computed += 1,
             Source::Deduped => report.deduped += 1,
         }
-        report.texts.push((req.seed, text));
+        report.texts.push((req_seed, text));
     }
     Ok(report)
 }

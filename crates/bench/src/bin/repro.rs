@@ -44,7 +44,7 @@ impl FlowObserver for StageTally {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--verify] [--wire-model=routed] [--rewrite] [--stages] [--close] [--threads N]"
+        "usage: repro [--verify] [--wire-model=routed] [--rewrite] [--stages] [--close] [--design PATH] [--threads N]"
     );
     std::process::exit(2);
 }
@@ -55,6 +55,7 @@ fn main() {
     let mut rewrite_headline = false;
     let mut stages = false;
     let mut close = false;
+    let mut design: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -63,6 +64,9 @@ fn main() {
             "--rewrite" => rewrite_headline = true,
             "--stages" => stages = true,
             "--close" => close = true,
+            "--design" => {
+                design = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
             "--threads" => {
                 let n: usize = args
                     .next()
@@ -364,6 +368,26 @@ fn main() {
     }
     println!("{t}");
 
+    // E16 ------------------------------------------------------------
+    let r16 = exp::e16_frontend();
+    let mut t = Table::new(&[
+        "E16 ingested designs (proven)",
+        "gates",
+        "ASIC",
+        "custom",
+        "gap",
+    ]);
+    for row in &r16 {
+        t.row_owned(vec![
+            row.design.clone(),
+            format!("{}", row.gates),
+            format!("{:.0} MHz", row.asic_mhz),
+            format!("{:.0} MHz", row.custom_mhz),
+            format!("x{:.1}", row.gap()),
+        ]);
+    }
+    println!("{t}");
+
     // Ablations --------------------------------------------------------
     let (ff, borrowed, gain) = exp::e4_borrowing_ablation();
     let mut t = Table::new(&["ablations", "value"]);
@@ -422,6 +446,49 @@ fn main() {
                 o.scenario.clone(),
                 format!("{:.0} MHz", o.shipped.value()),
                 format!("{r}"),
+            ]);
+        }
+        println!("{t}");
+    }
+
+    // --design: a user-supplied design file (Yosys JSON or EDIF)
+    // ingested by the frontend and run under the headline scenarios,
+    // content-addressed like any other workload.
+    if let Some(path) = &design {
+        let spec = asicgap::WorkloadSpec::from_file(path).unwrap_or_else(|e| {
+            eprintln!("repro: {e}");
+            std::process::exit(2);
+        });
+        let mut scenarios = [
+            DesignScenario::typical_asic(),
+            DesignScenario::best_practice_asic(),
+            DesignScenario::custom(),
+        ];
+        // The retimer only pipelines combinational workloads: designs
+        // ingested with registers keep their native structure.
+        let probe_lib =
+            asicgap::cells::LibrarySpec::rich().build(&asicgap::tech::Technology::cmos025_asic());
+        let sequential = spec
+            .build(&probe_lib)
+            .map(|n| n.iter_instances().any(|(_, i)| i.is_sequential()))
+            .unwrap_or(false);
+        if sequential {
+            for s in &mut scenarios {
+                s.pipeline_stages = 1;
+            }
+        }
+        let outs = run_scenarios(&scenarios, |lib| spec.build(lib)).unwrap_or_else(|e| {
+            eprintln!("repro: design flow failed: {e}");
+            std::process::exit(1);
+        });
+        let header = format!("design {}", spec.canonical());
+        let mut t = Table::new(&[header.as_str(), "shipped", "gates", "min period"]);
+        for o in &outs {
+            t.row_owned(vec![
+                o.scenario.clone(),
+                format!("{:.0} MHz", o.shipped.value()),
+                format!("{}", o.gates),
+                format!("{:.0} ps", o.min_period.value()),
             ]);
         }
         println!("{t}");

@@ -20,8 +20,9 @@ use asicgap::sta::{analyze, ClockSpec};
 use asicgap::synth::SynthFlow;
 use asicgap::tech::{Fo4, Mhz, Ps, Technology};
 use asicgap::{
-    close_timing_grid, domino_speed_ratio, run_scenario, run_scenarios, ClosureTarget,
-    DesignScenario, EquivEffort, GapFactor, ScenarioOutcome, VerifyLevel, WireModel,
+    close_timing_grid, domino_speed_ratio, run_scenario, run_scenario_verified, run_scenarios,
+    ClosureTarget, DesignScenario, EquivEffort, GapFactor, ScenarioOutcome, VerifyLevel, WireModel,
+    WorkloadSpec,
 };
 
 /// E1: the observed silicon gap.
@@ -786,6 +787,87 @@ pub fn e15_closure() -> ClosureStudy {
         closure_rate,
         sweep,
     }
+}
+
+/// One E16 row: a real design file ingested by the frontend and pushed
+/// through the fully verified flow under two scenarios.
+#[derive(Debug, Clone)]
+pub struct FrontendRow {
+    /// Design file name.
+    pub design: String,
+    /// Canonical `file/<format>/<hash>` workload key — the design's
+    /// content-addressed identity.
+    pub spec: String,
+    /// Gate count after the ASIC flow.
+    pub gates: usize,
+    /// Shipped frequency under the typical ASIC scenario, MHz.
+    pub asic_mhz: f64,
+    /// Shipped frequency under the full-custom scenario, MHz.
+    pub custom_mhz: f64,
+}
+
+impl FrontendRow {
+    /// The measured custom/ASIC gap on this design.
+    pub fn gap(&self) -> f64 {
+        self.custom_mhz / self.asic_mhz
+    }
+}
+
+/// The fixture directory, relative to this crate.
+pub fn fixture_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures")
+}
+
+/// E16: real circuits through the ingestion frontend — the checked-in
+/// Yosys-JSON and EDIF fixtures, each proven through the fully verified
+/// flow under the typical-ASIC and custom scenarios, with the gap
+/// factor measured on ingested rather than generated netlists.
+pub fn e16_frontend() -> Vec<FrontendRow> {
+    let dir = fixture_dir();
+    [
+        "riscv_alu.json",
+        "riscv_datapath.edif",
+        "alu8_exported.json",
+    ]
+    .iter()
+    .map(|file| {
+        let path = dir.join(file);
+        let spec = WorkloadSpec::from_file(&path).expect("fixture spec");
+        // Ingested designs may already carry registers; the retimer only
+        // pipelines combinational workloads, so those run every scenario
+        // at their native register structure.
+        let probe_lib = LibrarySpec::rich().build(&Technology::cmos025_asic());
+        let sequential = spec
+            .build(&probe_lib)
+            .expect("fixture builds")
+            .iter_instances()
+            .any(|(_, i)| i.is_sequential());
+        let mut custom_scenario = DesignScenario::custom();
+        if sequential {
+            custom_scenario.pipeline_stages = 1;
+        }
+        let asic = run_scenario_verified(
+            &DesignScenario::typical_asic(),
+            |lib| spec.build(lib),
+            VerifyLevel::Full,
+        )
+        .expect("verified ASIC flow on fixture");
+        let custom =
+            run_scenario_verified(&custom_scenario, |lib| spec.build(lib), VerifyLevel::Full)
+                .expect("verified custom flow on fixture");
+        assert!(
+            asic.verify_effort.is_some() && custom.verify_effort.is_some(),
+            "E16 rows must carry stage proofs"
+        );
+        FrontendRow {
+            design: (*file).to_string(),
+            spec: spec.canonical(),
+            gates: asic.gates,
+            asic_mhz: asic.shipped.value(),
+            custom_mhz: custom.shipped.value(),
+        }
+    })
+    .collect()
 }
 
 /// E10: §9 residuals (two-factor, three-factor) at the 18× idealised gap.

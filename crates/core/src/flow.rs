@@ -124,7 +124,7 @@ fn abort_if_cancelled(obs: &dyn FlowObserver, after: FlowStage) -> Result<(), Ga
 /// generator in [`asicgap_netlist::generators`], so a
 /// `(DesignScenario, WorkloadSpec, VerifyLevel)` triple fully determines
 /// a flow run and can be content-hashed (see [`canonical_key`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum WorkloadSpec {
     /// `generators::alu` at the given bit width.
     Alu {
@@ -174,6 +174,22 @@ pub enum WorkloadSpec {
         /// Generator seed.
         seed: u64,
     },
+    /// A real design read from disk through `asicgap-frontend`
+    /// (Yosys JSON or EDIF), identified by **content**: the canonical
+    /// key carries the format and the FNV-1a hash of the file text, so
+    /// two paths to identical bytes share one cache entry and the key
+    /// is invariant under thread count and host.
+    File {
+        /// Where to read the design from. Deliberately excluded from
+        /// the canonical identity; empty when the spec was parsed from
+        /// a wire key (a server resolves the hash from its design
+        /// store before building).
+        path: String,
+        /// The interchange format.
+        format: asicgap_frontend::DesignFormat,
+        /// FNV-1a hash of the file text ([`content_hash`]).
+        hash: u64,
+    },
 }
 
 impl WorkloadSpec {
@@ -182,6 +198,10 @@ impl WorkloadSpec {
     pub fn canonical(&self) -> String {
         if let WorkloadSpec::Xlarge { seed } = *self {
             return format!("xlarge/{seed}");
+        }
+        if let WorkloadSpec::File { format, hash, .. } = self {
+            // Content identity: format + text hash, never the path.
+            return format!("file/{}/{hash:016x}", format.canonical());
         }
         let (name, w) = match *self {
             WorkloadSpec::Alu { width } => ("alu", width),
@@ -192,7 +212,9 @@ impl WorkloadSpec {
             WorkloadSpec::BarrelShifter { width } => ("barrel", width),
             WorkloadSpec::MuxTree { inputs } => ("mux", inputs),
             WorkloadSpec::ParityTree { width } => ("parity", width),
-            WorkloadSpec::Xlarge { .. } => unreachable!("returned above"),
+            WorkloadSpec::Xlarge { .. } | WorkloadSpec::File { .. } => {
+                unreachable!("returned above")
+            }
         };
         format!("{name}/{w}")
     }
@@ -211,6 +233,21 @@ impl WorkloadSpec {
             // A generator seed, not a datapath width: any u64 is valid.
             let seed: u64 = w.parse().map_err(|_| bad())?;
             return Ok(WorkloadSpec::Xlarge { seed });
+        }
+        if name == "file" {
+            // file/<format>/<hash:016x>; the path is not on the wire —
+            // whoever parses this must resolve the content by hash.
+            let (fmt, hex) = w.split_once('/').ok_or_else(bad)?;
+            let format = asicgap_frontend::DesignFormat::parse(fmt).ok_or_else(bad)?;
+            if hex.len() != 16 {
+                return Err(bad());
+            }
+            let hash = u64::from_str_radix(hex, 16).map_err(|_| bad())?;
+            return Ok(WorkloadSpec::File {
+                path: String::new(),
+                format,
+                hash,
+            });
         }
         let width: usize = w.parse().map_err(|_| bad())?;
         if width == 0 || width > 64 {
@@ -236,17 +273,58 @@ impl WorkloadSpec {
     /// Propagates the generator's [`asicgap_netlist::NetlistError`].
     pub fn build(&self, lib: &Library) -> Result<Netlist, asicgap_netlist::NetlistError> {
         use asicgap_netlist::generators as g;
-        match *self {
-            WorkloadSpec::Alu { width } => g::alu(lib, width),
-            WorkloadSpec::RippleCarryAdder { width } => g::ripple_carry_adder(lib, width),
-            WorkloadSpec::CarryLookaheadAdder { width } => g::carry_lookahead_adder(lib, width),
-            WorkloadSpec::KoggeStoneAdder { width } => g::kogge_stone_adder(lib, width),
-            WorkloadSpec::ArrayMultiplier { width } => g::array_multiplier(lib, width),
-            WorkloadSpec::BarrelShifter { width } => g::barrel_shifter(lib, width),
-            WorkloadSpec::MuxTree { inputs } => g::mux_tree(lib, inputs),
-            WorkloadSpec::ParityTree { width } => g::parity_tree(lib, width),
-            WorkloadSpec::Xlarge { seed } => g::xlarge(lib, &g::XlargeSpec::soc(seed)),
+        match self {
+            WorkloadSpec::Alu { width } => g::alu(lib, *width),
+            WorkloadSpec::RippleCarryAdder { width } => g::ripple_carry_adder(lib, *width),
+            WorkloadSpec::CarryLookaheadAdder { width } => g::carry_lookahead_adder(lib, *width),
+            WorkloadSpec::KoggeStoneAdder { width } => g::kogge_stone_adder(lib, *width),
+            WorkloadSpec::ArrayMultiplier { width } => g::array_multiplier(lib, *width),
+            WorkloadSpec::BarrelShifter { width } => g::barrel_shifter(lib, *width),
+            WorkloadSpec::MuxTree { inputs } => g::mux_tree(lib, *inputs),
+            WorkloadSpec::ParityTree { width } => g::parity_tree(lib, *width),
+            WorkloadSpec::Xlarge { seed } => g::xlarge(lib, &g::XlargeSpec::soc(*seed)),
+            WorkloadSpec::File { path, format, hash } => {
+                let invalid = |summary: String| asicgap_netlist::NetlistError::Invalid { summary };
+                if path.is_empty() {
+                    return Err(invalid(format!(
+                        "file workload {} has no resolved path (payload not loaded)",
+                        self.canonical()
+                    )));
+                }
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| invalid(format!("cannot read design {path:?}: {e}")))?;
+                if content_hash(&text) != *hash {
+                    return Err(invalid(format!(
+                        "design {path:?} does not match content hash {hash:016x}"
+                    )));
+                }
+                asicgap_frontend::load_design(*format, &text, lib)
+                    .map_err(|e| invalid(format!("frontend: {e}")))
+            }
         }
+    }
+
+    /// Builds a [`WorkloadSpec::File`] from a design file on disk:
+    /// infers the format from the extension and content-hashes the
+    /// text.
+    ///
+    /// # Errors
+    ///
+    /// [`GapError::Parse`] for an unrecognised extension or an
+    /// unreadable file.
+    pub fn from_file(path: &std::path::Path) -> Result<WorkloadSpec, GapError> {
+        let format =
+            asicgap_frontend::DesignFormat::from_path(path).ok_or_else(|| GapError::Parse {
+                what: format!("design format of {path:?} (expected .json, .edif, or .edf)"),
+            })?;
+        let text = std::fs::read_to_string(path).map_err(|e| GapError::Parse {
+            what: format!("design file {path:?}: {e}"),
+        })?;
+        Ok(WorkloadSpec::File {
+            path: path.display().to_string(),
+            format,
+            hash: content_hash(&text),
+        })
     }
 }
 

@@ -105,6 +105,10 @@ pub use asicgap_route as route;
 /// Logic synthesis and technology mapping (re-export of `asicgap-synth`).
 pub use asicgap_synth as synth;
 
+/// Yosys-JSON / EDIF ingestion into the arena IR (re-export of
+/// `asicgap-frontend`).
+pub use asicgap_frontend as frontend;
+
 /// Transistor sizing (re-export of `asicgap-sizing`).
 pub use asicgap_sizing as sizing;
 

@@ -1,0 +1,726 @@
+//! EDIF 2.0.0 → [`Design`].
+//!
+//! A small s-expression reader (parens, quoted strings, atoms; EDIF
+//! keywords matched case-insensitively) feeding a net-centric netlist
+//! builder: cells with a `(contents ...)` view become modules, cells
+//! without one are leaves bound later against the library, `(net ...
+//! (joined (portRef ...)))` stitches instance pins and module ports
+//! together. `(rename id "original")` resolves to the original string —
+//! the human name — so hierarchical paths and register identities stay
+//! readable after flattening.
+//!
+//! Array ports use `(member p k)` with `k` as the bit index (LSB
+//! convention, matching the Yosys reader). The top cell is whatever
+//! `(design ... (cellRef c))` names, else the last cell with contents.
+
+use crate::error::{dangling, syntax, FrontendError};
+use crate::lower::{Design, Inst, LocalBit, Module, Port, PortDir};
+
+// ---------------------------------------------------------------------
+// S-expressions.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Sexp {
+    /// An unquoted atom: identifier or keyword.
+    Sym(String),
+    /// A quoted string.
+    Str(String),
+    /// An integer atom.
+    Num(i64),
+    /// A parenthesised list.
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    /// `true` when this is a list whose head symbol equals `kw`
+    /// (case-insensitive, as EDIF keywords are).
+    fn is_form(&self, kw: &str) -> bool {
+        matches!(self, Sexp::List(items)
+            if matches!(items.first(), Some(Sexp::Sym(s)) if s.eq_ignore_ascii_case(kw)))
+    }
+
+    fn list(&self) -> &[Sexp] {
+        match self {
+            Sexp::List(items) => items,
+            _ => &[],
+        }
+    }
+
+    /// The first sub-form with head `kw`, if any.
+    fn find(&self, kw: &str) -> Option<&Sexp> {
+        self.list().iter().find(|s| s.is_form(kw))
+    }
+
+    /// All sub-forms with head `kw`.
+    fn find_all<'a>(&'a self, kw: &'a str) -> impl Iterator<Item = &'a Sexp> + 'a {
+        self.list().iter().filter(move |s| s.is_form(kw))
+    }
+}
+
+fn lex_and_parse(text: &str) -> Result<Sexp, FrontendError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let sexp = parse_sexp(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(syntax(format!("trailing bytes at offset {pos}")));
+    }
+    Ok(sexp)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_sexp(bytes: &[u8], pos: &mut usize) -> Result<Sexp, FrontendError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err(syntax("unexpected end of EDIF input")),
+        Some(b'(') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            loop {
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    None => return Err(syntax("unbalanced '(' — EDIF input is truncated")),
+                    Some(b')') => {
+                        *pos += 1;
+                        return Ok(Sexp::List(items));
+                    }
+                    Some(_) => items.push(parse_sexp(bytes, pos)?),
+                }
+            }
+        }
+        Some(b')') => Err(syntax(format!("unmatched ')' at offset {pos}", pos = *pos))),
+        Some(b'"') => {
+            *pos += 1;
+            let start = *pos;
+            while *pos < bytes.len() && bytes[*pos] != b'"' {
+                *pos += 1;
+            }
+            if *pos == bytes.len() {
+                return Err(syntax("unterminated string — EDIF input is truncated"));
+            }
+            let s = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|_| syntax("non-UTF-8 bytes in string"))?;
+            *pos += 1;
+            Ok(Sexp::Str(s.to_string()))
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < bytes.len()
+                && !bytes[*pos].is_ascii_whitespace()
+                && !matches!(bytes[*pos], b'(' | b')' | b'"')
+            {
+                *pos += 1;
+            }
+            let atom = std::str::from_utf8(&bytes[start..*pos])
+                .map_err(|_| syntax("non-UTF-8 bytes in atom"))?;
+            match atom.parse::<i64>() {
+                Ok(n) => Ok(Sexp::Num(n)),
+                Err(_) => Ok(Sexp::Sym(atom.to_string())),
+            }
+        }
+    }
+}
+
+/// A declaration-position name: a bare identifier or
+/// `(rename id "original")`. Returns `(identifier, display name)` —
+/// references (`portRef`, `instanceRef`, `cellRef`) use the identifier,
+/// while the original string is the readable name worth keeping.
+fn names_of(sexp: &Sexp) -> Result<(String, String), FrontendError> {
+    match sexp {
+        Sexp::Sym(s) => Ok((s.clone(), s.clone())),
+        Sexp::Num(n) => Ok((n.to_string(), n.to_string())),
+        Sexp::List(_) if sexp.is_form("rename") => {
+            let Some(Sexp::Sym(id)) = sexp.list().get(1) else {
+                return Err(syntax("malformed (rename ...)"));
+            };
+            match sexp.list().get(2) {
+                Some(Sexp::Str(s)) => Ok((id.clone(), s.clone())),
+                _ => Ok((id.clone(), id.clone())),
+            }
+        }
+        _ => Err(syntax(format!("expected a name, found {sexp:?}"))),
+    }
+}
+
+/// A reference-position name: a bare identifier (renames never appear
+/// in references).
+fn name_of(sexp: &Sexp) -> Result<String, FrontendError> {
+    Ok(names_of(sexp)?.0)
+}
+
+// ---------------------------------------------------------------------
+// Netlist building.
+// ---------------------------------------------------------------------
+
+/// Parses EDIF text into a [`Design`].
+///
+/// # Errors
+///
+/// [`FrontendError::Syntax`] for lexical/structural problems,
+/// [`FrontendError::DanglingRef`] for portRefs naming unknown instances
+/// or ports, [`FrontendError::Unsupported`] for constructs outside the
+/// netlist-view subset.
+pub fn parse(text: &str) -> Result<Design, FrontendError> {
+    let root = lex_and_parse(text)?;
+    if !root.is_form("edif") {
+        return Err(syntax("top-level form is not (edif ...)"));
+    }
+
+    // Pass 1: find every cell across all libraries (external ones too)
+    // and classify module vs leaf by the presence of contents.
+    struct ECell<'a> {
+        ident: String,
+        name: String,
+        ports: Vec<PortDecl>,
+        contents: Option<&'a Sexp>,
+    }
+    let mut cells: Vec<ECell<'_>> = Vec::new();
+    for lib_form in root.find_all("library").chain(root.find_all("external")) {
+        for cell_form in lib_form.find_all("cell") {
+            let (cident, cname) = names_of(
+                cell_form
+                    .list()
+                    .get(1)
+                    .ok_or_else(|| syntax("(cell ...) without a name"))?,
+            )?;
+            let mut ports = Vec::new();
+            let mut contents = None;
+            for view in cell_form.find_all("view") {
+                if let Some(iface) = view.find("interface") {
+                    for port_form in iface.find_all("port") {
+                        ports.push(parse_port_decl(port_form, &cname)?);
+                    }
+                }
+                if let Some(c) = view.find("contents") {
+                    contents = Some(c);
+                }
+            }
+            cells.push(ECell {
+                ident: cident,
+                name: cname,
+                ports,
+                contents,
+            });
+        }
+    }
+
+    // Pass 2: lower every cell-with-contents into a Module. A cellRef
+    // resolves by identifier (or display name) to the cell's display
+    // name, which is also the Module name.
+    let kinds: Vec<CellKind<'_>> = cells
+        .iter()
+        .map(|c| CellKind {
+            ident: &c.ident,
+            name: &c.name,
+            is_module: c.contents.is_some(),
+            ports: &c.ports,
+        })
+        .collect();
+    let mut modules = Vec::new();
+    for cell in cells.iter().filter(|c| c.contents.is_some()) {
+        modules.push(build_module(
+            &cell.name,
+            &cell.ports,
+            cell.contents.expect("filtered on contents"),
+            &kinds,
+        )?);
+    }
+    if modules.is_empty() {
+        return Err(syntax("EDIF input has no cell with contents"));
+    }
+
+    // Top: the (design ... (cellRef c)) pointer, else the last module.
+    let top = match root.find("design").and_then(|d| d.find("cellref")) {
+        Some(cr) => {
+            let tref = name_of(
+                cr.list()
+                    .get(1)
+                    .ok_or_else(|| syntax("(cellRef ...) without a name"))?,
+            )?;
+            let tname = kinds
+                .iter()
+                .find(|k| k.ident == tref || k.name == tref)
+                .map(|k| k.name.to_string())
+                .unwrap_or(tref);
+            modules
+                .iter()
+                .position(|m| m.name == tname)
+                .ok_or_else(|| dangling(format!("(design ...) points at unknown cell {tname}")))?
+        }
+        None => modules.len() - 1,
+    };
+    Ok(Design { modules, top })
+}
+
+/// How a cell name resolves for instance kinds.
+struct CellKind<'a> {
+    ident: &'a str,
+    name: &'a str,
+    is_module: bool,
+    /// The cell's declared ports, for resolving renamed pin references.
+    ports: &'a [PortDecl],
+}
+
+/// A declared port: reference identifier, display name, direction,
+/// width.
+struct PortDecl {
+    ident: String,
+    name: String,
+    dir: PortDir,
+    width: usize,
+}
+
+/// `(port name (direction INPUT))` or
+/// `(port (array name width) (direction OUTPUT))`.
+fn parse_port_decl(port_form: &Sexp, cell: &str) -> Result<PortDecl, FrontendError> {
+    let head = port_form
+        .list()
+        .get(1)
+        .ok_or_else(|| syntax(format!("(port ...) without a name in cell {cell}")))?;
+    let ((ident, name), width) = if head.is_form("array") {
+        let n = names_of(
+            head.list()
+                .get(1)
+                .ok_or_else(|| syntax("(array ...) without a name"))?,
+        )?;
+        let w = match head.list().get(2) {
+            Some(Sexp::Num(w)) if *w > 0 => *w as usize,
+            _ => {
+                return Err(syntax(format!(
+                    "port {} of cell {cell} has a bad width",
+                    n.1
+                )))
+            }
+        };
+        (n, w)
+    } else {
+        (names_of(head)?, 1)
+    };
+    let dir = match port_form.find("direction").and_then(|d| d.list().get(1)) {
+        Some(Sexp::Sym(s)) if s.eq_ignore_ascii_case("input") => PortDir::Input,
+        Some(Sexp::Sym(s)) if s.eq_ignore_ascii_case("output") => PortDir::Output,
+        Some(Sexp::Sym(s)) if s.eq_ignore_ascii_case("inout") => {
+            return Err(FrontendError::Unsupported {
+                what: format!("inout port {name} in cell {cell}"),
+            })
+        }
+        _ => {
+            return Err(syntax(format!(
+                "port {name} of cell {cell} has no direction"
+            )))
+        }
+    };
+    Ok(PortDecl {
+        ident,
+        name,
+        dir,
+        width,
+    })
+}
+
+/// `(portRef p)`, `(portRef (member p k))`, optionally with
+/// `(instanceRef i)`: → (port name, bit index, instance name or None).
+fn parse_port_ref(pr: &Sexp) -> Result<(String, Option<usize>, Option<String>), FrontendError> {
+    let target = pr
+        .list()
+        .get(1)
+        .ok_or_else(|| syntax("(portRef ...) without a target"))?;
+    let (port, bit) = if target.is_form("member") {
+        let p = name_of(
+            target
+                .list()
+                .get(1)
+                .ok_or_else(|| syntax("(member ...) without a name"))?,
+        )?;
+        let k = match target.list().get(2) {
+            Some(Sexp::Num(k)) if *k >= 0 => *k as usize,
+            _ => return Err(syntax(format!("(member {p} ...) has a bad index"))),
+        };
+        (p, Some(k))
+    } else {
+        (name_of(target)?, None)
+    };
+    let inst = match pr.find("instanceref") {
+        Some(ir) => {
+            Some(name_of(ir.list().get(1).ok_or_else(|| {
+                syntax("(instanceRef ...) without a name")
+            })?)?)
+        }
+        None => None,
+    };
+    Ok((port, bit, inst))
+}
+
+fn build_module(
+    name: &str,
+    ports: &[PortDecl],
+    contents: &Sexp,
+    cell_kinds: &[CellKind<'_>],
+) -> Result<Module, FrontendError> {
+    let mut net_names: Vec<String> = Vec::new();
+    let fresh = |net_names: &mut Vec<String>, spelling: String| -> u32 {
+        let id = u32::try_from(net_names.len()).expect("net count fits in u32");
+        net_names.push(spelling);
+        id
+    };
+
+    // Instances first, so portRefs can be checked against them.
+    struct EInst {
+        ident: String,
+        name: String,
+        kind: String,
+        kind_idx: Option<usize>,
+        is_module_kind: bool,
+        /// pin → per-bit net assignment (grown by member index).
+        conns: Vec<(String, Vec<Option<u32>>)>,
+    }
+    let mut insts: Vec<EInst> = Vec::new();
+    for inst_form in contents.find_all("instance") {
+        let (iident, iname) = names_of(
+            inst_form
+                .list()
+                .get(1)
+                .ok_or_else(|| syntax(format!("(instance ...) without a name in {name}")))?,
+        )?;
+        let cellref = inst_form
+            .find("viewref")
+            .and_then(|vr| vr.find("cellref"))
+            .or_else(|| inst_form.find("cellref"))
+            .ok_or_else(|| syntax(format!("instance {iname} of {name} has no (cellRef ...)")))?;
+        let kref = name_of(
+            cellref
+                .list()
+                .get(1)
+                .ok_or_else(|| syntax("(cellRef ...) without a name"))?,
+        )?;
+        // Resolve the reference to the cell's display name; unknown
+        // cells stay as written and bind as leaves against the library.
+        let kind_idx = cell_kinds
+            .iter()
+            .position(|k| k.ident == kref || k.name == kref);
+        let (kind, is_module_kind) = match kind_idx {
+            Some(ki) => (cell_kinds[ki].name.to_string(), cell_kinds[ki].is_module),
+            None => (kref, false),
+        };
+        insts.push(EInst {
+            ident: iident,
+            name: iname,
+            kind,
+            kind_idx,
+            is_module_kind,
+            conns: Vec::new(),
+        });
+    }
+
+    // Module port bits, assigned as nets join them.
+    let mut port_bits: Vec<Vec<Option<u32>>> = ports.iter().map(|p| vec![None; p.width]).collect();
+
+    for net_form in contents.find_all("net") {
+        let (_, nname) = names_of(
+            net_form
+                .list()
+                .get(1)
+                .ok_or_else(|| syntax(format!("(net ...) without a name in {name}")))?,
+        )?;
+        let net = fresh(&mut net_names, nname.clone());
+        let Some(joined) = net_form.find("joined") else {
+            continue; // A net with no connections is legal and inert.
+        };
+        for pr in joined.find_all("portref") {
+            let (port, bit, inst) = parse_port_ref(pr)?;
+            match inst {
+                None => {
+                    // Module port of this cell.
+                    let Some(pidx) = ports.iter().position(|p| p.ident == port || p.name == port)
+                    else {
+                        return Err(dangling(format!(
+                            "net {nname} of {name} joins unknown port {port}"
+                        )));
+                    };
+                    let width = ports[pidx].width;
+                    let k = bit.unwrap_or(0);
+                    if k >= width {
+                        return Err(dangling(format!(
+                            "net {nname} of {name} joins bit {k} of {width}-bit port {port}"
+                        )));
+                    }
+                    if bit.is_none() && width != 1 {
+                        return Err(FrontendError::WidthMismatch {
+                            cell: name.to_string(),
+                            pin: port.clone(),
+                            expected: width,
+                            got: 1,
+                        });
+                    }
+                    if port_bits[pidx][k].replace(net).is_some() {
+                        return Err(FrontendError::Unsupported {
+                            what: format!("port {port} bit {k} of {name} joined twice"),
+                        });
+                    }
+                }
+                Some(iname) => {
+                    let Some(einst) = insts
+                        .iter_mut()
+                        .find(|i| i.ident == iname || i.name == iname)
+                    else {
+                        return Err(dangling(format!(
+                            "net {nname} of {name} references unknown instance {iname}"
+                        )));
+                    };
+                    if bit.is_some() && !einst.is_module_kind {
+                        return Err(FrontendError::Unsupported {
+                            what: format!(
+                                "(member ...) on pin {port} of leaf instance {iname} in {name}"
+                            ),
+                        });
+                    }
+                    let k = bit.unwrap_or(0);
+                    // Renamed child ports: the portRef carries the
+                    // identifier; store the display name the child's
+                    // Module declares.
+                    let pin = match einst.kind_idx.and_then(|ki| {
+                        cell_kinds[ki]
+                            .ports
+                            .iter()
+                            .find(|p| p.ident == port || p.name == port)
+                    }) {
+                        Some(p) => p.name.clone(),
+                        None => port.clone(),
+                    };
+                    let conn = match einst.conns.iter_mut().find(|(p, _)| *p == pin) {
+                        Some((_, v)) => v,
+                        None => {
+                            einst.conns.push((pin.clone(), Vec::new()));
+                            &mut einst.conns.last_mut().expect("just pushed").1
+                        }
+                    };
+                    if conn.len() <= k {
+                        conn.resize(k + 1, None);
+                    }
+                    if conn[k].replace(net).is_some() {
+                        return Err(FrontendError::Unsupported {
+                            what: format!(
+                                "pin {port} bit {k} of instance {iname} in {name} joined twice"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Finalise: unjoined port bits and connection holes get fresh
+    // implicit nets (dangling but well-defined; the lowering's undriven
+    // check catches any that actually matter).
+    let mut module_ports = Vec::with_capacity(ports.len());
+    for (pidx, decl) in ports.iter().enumerate() {
+        let bits = (0..decl.width)
+            .map(|k| {
+                let id = match port_bits[pidx][k] {
+                    Some(n) => n,
+                    None => {
+                        let spelling = if decl.width == 1 {
+                            decl.name.clone()
+                        } else {
+                            format!("{}[{k}]", decl.name)
+                        };
+                        fresh(&mut net_names, spelling)
+                    }
+                };
+                LocalBit::Net(id)
+            })
+            .collect();
+        module_ports.push(Port {
+            name: decl.name.clone(),
+            dir: decl.dir,
+            bits,
+        });
+    }
+    let insts = insts
+        .into_iter()
+        .map(|i| {
+            let conns = i
+                .conns
+                .into_iter()
+                .map(|(pin, v)| {
+                    let bits = v
+                        .into_iter()
+                        .enumerate()
+                        .map(|(k, slot)| {
+                            LocalBit::Net(slot.unwrap_or_else(|| {
+                                fresh(&mut net_names, format!("{}.{pin}[{k}]", i.name))
+                            }))
+                        })
+                        .collect();
+                    (pin, bits)
+                })
+                .collect();
+            Inst {
+                name: i.name,
+                kind: i.kind,
+                conns,
+            }
+        })
+        .collect();
+
+    Ok(Module {
+        name: name.to_string(),
+        ports: module_ports,
+        insts,
+        net_names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, LowerOptions};
+    use asicgap_cells::{CellFunction, LibrarySpec};
+    use asicgap_netlist::Simulator;
+    use asicgap_tech::Technology;
+
+    fn tiny_edif(nand: &str) -> String {
+        // half = one NAND; top chains two halves into AND(a,b).
+        format!(
+            r#"(edif demo
+  (edifVersion 2 0 0)
+  (library work
+    (cell {nand}
+      (view netlist (viewType NETLIST)
+        (interface
+          (port a (direction INPUT))
+          (port b (direction INPUT))
+          (port y (direction OUTPUT)))))
+    (cell half
+      (view netlist (viewType NETLIST)
+        (interface
+          (port p (direction INPUT))
+          (port q (direction INPUT))
+          (port r (direction OUTPUT)))
+        (contents
+          (instance g (viewRef netlist (cellRef {nand})))
+          (net np (joined (portRef p) (portRef a (instanceRef g))))
+          (net nq (joined (portRef q) (portRef b (instanceRef g))))
+          (net nr (joined (portRef r) (portRef y (instanceRef g)))))))
+    (cell top
+      (view netlist (viewType NETLIST)
+        (interface
+          (port a (direction INPUT))
+          (port b (direction INPUT))
+          (port y (direction OUTPUT)))
+        (contents
+          (instance u0 (viewRef netlist (cellRef half)))
+          (instance u1 (viewRef netlist (cellRef half)))
+          (net na (joined (portRef a) (portRef p (instanceRef u0))))
+          (net nb (joined (portRef b) (portRef q (instanceRef u0))))
+          (net nt (joined (portRef r (instanceRef u0))
+                          (portRef p (instanceRef u1))
+                          (portRef q (instanceRef u1))))
+          (net ny (joined (portRef y) (portRef r (instanceRef u1))))))))
+  (design demo (cellRef top) (libraryRef work)))
+"#
+        )
+    }
+
+    fn lib() -> asicgap_cells::Library {
+        LibrarySpec::rich().build(&Technology::cmos025_asic())
+    }
+
+    fn nand_name(lib: &asicgap_cells::Library) -> String {
+        lib.cell(lib.smallest(CellFunction::Nand(2)).expect("nand2"))
+            .name
+            .clone()
+    }
+
+    #[test]
+    fn hierarchical_edif_parses_and_lowers() {
+        let lib = lib();
+        let text = tiny_edif(&nand_name(&lib));
+        let design = parse(&text).expect("parses");
+        assert_eq!(design.top_module().name, "top");
+        assert_eq!(design.modules.len(), 2, "leaf cell is not a module");
+        let n = lower(&design, &lib, &LowerOptions::default()).expect("lowers");
+        assert_eq!(n.instance_count(), 2);
+        let mut sim = Simulator::new(&n, &lib);
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(sim.run_comb(&[a, b]), vec![a && b], "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn rename_resolves_to_the_original_string() {
+        let lib = lib();
+        let nand = nand_name(&lib);
+        let text = tiny_edif(&nand).replace("(instance g ", "(instance (rename g \"g.mangled\") ");
+        let design = parse(&text).expect("parses");
+        let half = design
+            .modules
+            .iter()
+            .find(|m| m.name == "half")
+            .expect("half module");
+        assert_eq!(half.insts[0].name, "g.mangled");
+    }
+
+    #[test]
+    fn truncated_input_is_a_syntax_error() {
+        let lib = lib();
+        let text = tiny_edif(&nand_name(&lib));
+        for cut in [text.len() / 3, text.len() / 2, text.len() - 2] {
+            let got = parse(&text[..cut]);
+            assert!(
+                matches!(got, Err(FrontendError::Syntax { .. })),
+                "cut at {cut}: {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dangling_portref_is_a_typed_error() {
+        let lib = lib();
+        let text = tiny_edif(&nand_name(&lib)).replace("(instanceRef u1)))", "(instanceRef ux)))");
+        assert!(matches!(
+            parse(&text),
+            Err(FrontendError::DanglingRef { .. })
+        ));
+    }
+
+    #[test]
+    fn array_ports_use_member_bits() {
+        let lib = lib();
+        let nand = nand_name(&lib);
+        let text = format!(
+            r#"(edif demo
+  (library work
+    (cell {nand}
+      (view netlist (viewType NETLIST)
+        (interface
+          (port a (direction INPUT))
+          (port b (direction INPUT))
+          (port y (direction OUTPUT)))))
+    (cell top
+      (view netlist (viewType NETLIST)
+        (interface
+          (port (array d 2) (direction INPUT))
+          (port y (direction OUTPUT)))
+        (contents
+          (instance g (viewRef netlist (cellRef {nand})))
+          (net n0 (joined (portRef (member d 0)) (portRef a (instanceRef g))))
+          (net n1 (joined (portRef (member d 1)) (portRef b (instanceRef g))))
+          (net ny (joined (portRef y) (portRef y (instanceRef g))))))))
+  (design demo (cellRef top)))
+"#
+        );
+        let design = parse(&text).expect("parses");
+        let n = lower(&design, &lib, &LowerOptions::default()).expect("lowers");
+        assert_eq!(n.inputs().len(), 2);
+        let mut sim = Simulator::new(&n, &lib);
+        assert_eq!(sim.run_comb(&[true, true]), vec![false]);
+        assert_eq!(sim.run_comb(&[true, false]), vec![true]);
+    }
+}

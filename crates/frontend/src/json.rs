@@ -1,0 +1,323 @@
+//! A hand-rolled, dependency-free JSON reader.
+//!
+//! Covers exactly what Yosys `write_json` emits: objects, arrays,
+//! strings, integers (bit indices), booleans, and null. Object member
+//! order is preserved (a `Vec` of pairs, not a map) so everything
+//! downstream — module discovery, cell iteration, net numbering — is
+//! deterministic in file order, which the determinism contract needs.
+//!
+//! Numbers are kept as `i64`: the format's only numerics are bit
+//! indices and attribute flags, and an `f64` detour would invite
+//! rounding into net identities.
+
+use crate::error::{syntax, FrontendError};
+
+/// One parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (Yosys emits no fractions).
+    Num(i64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, member order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object's members, empty elsewhere.
+    pub fn members(&self) -> &[(String, Json)] {
+        match self {
+            Json::Obj(m) => m,
+            _ => &[],
+        }
+    }
+
+    /// The array's items, empty elsewhere.
+    pub fn items(&self) -> &[Json] {
+        match self {
+            Json::Arr(v) => v,
+            _ => &[],
+        }
+    }
+
+    /// String payload, if a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Integer payload, if a number.
+    pub fn as_num(&self) -> Option<i64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document.
+///
+/// # Errors
+///
+/// [`FrontendError::Syntax`] on anything that is not a single
+/// well-formed value — including trailing garbage and truncation.
+pub fn parse(text: &str) -> Result<Json, FrontendError> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(syntax(format!("trailing bytes at offset {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn peek(bytes: &[u8], pos: usize) -> Result<u8, FrontendError> {
+    bytes
+        .get(pos)
+        .copied()
+        .ok_or_else(|| syntax("unexpected end of input"))
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, want: u8) -> Result<(), FrontendError> {
+    if peek(bytes, *pos)? == want {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(syntax(format!(
+            "expected {:?} at offset {}",
+            want as char, *pos
+        )))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, FrontendError> {
+    skip_ws(bytes, pos);
+    match peek(bytes, *pos)? {
+        b'{' => parse_object(bytes, pos),
+        b'[' => parse_array(bytes, pos),
+        b'"' => Ok(Json::Str(parse_string(bytes, pos)?)),
+        b't' => parse_literal(bytes, pos, "true", Json::Bool(true)),
+        b'f' => parse_literal(bytes, pos, "false", Json::Bool(false)),
+        b'n' => parse_literal(bytes, pos, "null", Json::Null),
+        b'-' | b'0'..=b'9' => parse_number(bytes, pos),
+        other => Err(syntax(format!(
+            "unexpected byte {:?} at offset {}",
+            other as char, *pos
+        ))),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    word: &str,
+    value: Json,
+) -> Result<Json, FrontendError> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(syntax(format!("bad literal at offset {}", *pos)))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, FrontendError> {
+    let start = *pos;
+    if peek(bytes, *pos)? == b'-' {
+        *pos += 1;
+    }
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    if *pos < bytes.len() && matches!(bytes[*pos], b'.' | b'e' | b'E') {
+        return Err(syntax(format!(
+            "non-integer number at offset {start} (bit indices are integers)"
+        )));
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ASCII");
+    text.parse()
+        .map(Json::Num)
+        .map_err(|_| syntax(format!("bad number {text:?} at offset {start}")))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, FrontendError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match peek(bytes, *pos)? {
+            b'"' => {
+                *pos += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *pos += 1;
+                match peek(bytes, *pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| syntax("truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| syntax("non-ASCII in \\u escape"))?;
+                        let cp = u32::from_str_radix(hex, 16)
+                            .map_err(|_| syntax(format!("bad \\u escape {hex:?}")))?;
+                        // Surrogates (Yosys never emits them) are refused
+                        // rather than paired.
+                        let c = char::from_u32(cp)
+                            .ok_or_else(|| syntax(format!("\\u{hex} is not a scalar value")))?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    other => {
+                        return Err(syntax(format!("bad escape \\{:?}", other as char)));
+                    }
+                }
+                *pos += 1;
+            }
+            b if b < 0x20 => return Err(syntax("control byte inside string")),
+            _ => {
+                // Consume one UTF-8 scalar (input is &str, so this is safe
+                // to do bytewise up to the next ASCII delimiter).
+                let start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xC0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&bytes[start..*pos]).expect("input was a valid &str"),
+                );
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, FrontendError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if peek(bytes, *pos)? == b']' {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match peek(bytes, *pos)? {
+            b',' => {
+                *pos += 1;
+            }
+            b']' => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => {
+                return Err(syntax(format!(
+                    "expected ',' or ']' at offset {}, found {:?}",
+                    *pos, other as char
+                )))
+            }
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, FrontendError> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if peek(bytes, *pos)? == b'}' {
+        *pos += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match peek(bytes, *pos)? {
+            b',' => {
+                *pos += 1;
+            }
+            b'}' => {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            other => {
+                return Err(syntax(format!(
+                    "expected ',' or '}}' at offset {}, found {:?}",
+                    *pos, other as char
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip() {
+        let v = parse(r#"{"a": [1, 2, "x"], "b": {"c": true, "d": null}, "e": -7}"#)
+            .expect("valid JSON");
+        assert_eq!(v.get("e").and_then(Json::as_num), Some(-7));
+        assert_eq!(v.get("a").map(|a| a.items().len()), Some(3));
+        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&Json::Bool(true)));
+        // Member order is file order.
+        let keys: Vec<&str> = v.members().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["a", "b", "e"]);
+    }
+
+    #[test]
+    fn escapes_decode() {
+        let v = parse(r#""a\"b\\c\ndA""#).expect("valid");
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn truncation_is_a_syntax_error_not_a_panic() {
+        for cut in [r#"{"a": [1, 2"#, r#"{"a""#, r#"["#, r#""unterminated"#, ""] {
+            assert!(matches!(parse(cut), Err(FrontendError::Syntax { .. })));
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(matches!(
+            parse(r#"{} extra"#),
+            Err(FrontendError::Syntax { .. })
+        ));
+    }
+}

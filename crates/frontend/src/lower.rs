@@ -1,0 +1,1243 @@
+//! Lowering: from a parsed hierarchical [`Design`] to the arena
+//! [`Netlist`].
+//!
+//! Both frontends (Yosys JSON, EDIF) parse into the same [`Design`]
+//! shape — modules holding bit-level ports, instances, and local nets —
+//! so flattening, cell binding, and netlist construction live here once.
+//!
+//! The pipeline is: **flatten** (hierarchy → one flat instance list,
+//! instance-path names like `core.alu.u3`), then one of two backends:
+//!
+//! - the **direct** backend, when every instance binds to a library
+//!   cell and no constant bits appear: instances become arena
+//!   instances one-for-one, names preserved (register identities
+//!   survive for equivalence checking);
+//! - the **AIG** backend, when Yosys generic gates (`$and`, `$mux`,
+//!   `$dff`, ...) or constant bits are present: everything is expanded
+//!   into an And-Inverter Graph (flip-flops as `__q_`/`__d_` pseudo-pin
+//!   boundaries) and handed to the synthesis mapper, so generic logic
+//!   arrives technology-mapped like any generator output.
+
+use asicgap_cells::{CellFunction, CellId, Library};
+use asicgap_netlist::{Netlist, NetlistError};
+use asicgap_synth::{expand_cell, map_aig_seq, Aig, Lit, MapOptions, SeqBinding};
+
+use crate::error::{dangling, FrontendError};
+
+// ---------------------------------------------------------------------
+// The parsed-design IR both frontends target.
+// ---------------------------------------------------------------------
+
+/// One bit of a connection inside a module: a local net or a constant.
+/// (Yosys `"x"` bits are treated as zero — any defined value is a legal
+/// refinement of don't-care.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalBit {
+    /// Index into the module's local net table.
+    Net(u32),
+    /// Constant zero.
+    Zero,
+    /// Constant one.
+    One,
+}
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDir {
+    /// Driven from outside the module.
+    Input,
+    /// Driven by the module.
+    Output,
+}
+
+/// A module port, already bit-blasted: `bits[k]` is the local net
+/// carrying bit `k`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// One local bit per port bit, LSB first.
+    pub bits: Vec<LocalBit>,
+}
+
+/// An instance inside a module: a library cell, a Yosys generic gate,
+/// or (when `kind` names another module) a hierarchical instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inst {
+    /// Instance name, unique within its module.
+    pub name: String,
+    /// Cell type or module name.
+    pub kind: String,
+    /// Connections as (pin/port name, bits LSB first), file order.
+    pub conns: Vec<(String, Vec<LocalBit>)>,
+}
+
+/// One module of a parsed design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Ports in declaration order.
+    pub ports: Vec<Port>,
+    /// Instances in file order.
+    pub insts: Vec<Inst>,
+    /// Names of the local nets; `LocalBit::Net(i)` indexes this.
+    pub net_names: Vec<String>,
+}
+
+/// A parsed hierarchical design with a designated top module.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Design {
+    /// All modules, file order.
+    pub modules: Vec<Module>,
+    /// Index of the top module in `modules`.
+    pub top: usize,
+}
+
+impl Design {
+    /// The top module.
+    pub fn top_module(&self) -> &Module {
+        &self.modules[self.top]
+    }
+
+    fn module_index(&self, name: &str) -> Option<usize> {
+        self.modules.iter().position(|m| m.name == name)
+    }
+}
+
+/// Options steering cell binding during lowering.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LowerOptions {
+    /// Cell-name aliases tried when a kind is not in the library
+    /// verbatim: `(foreign name, library cell name)`. Checked in order,
+    /// first match wins.
+    pub aliases: Vec<(String, String)>,
+}
+
+// ---------------------------------------------------------------------
+// Flattening.
+// ---------------------------------------------------------------------
+
+/// A bit after flattening: a flat net or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlatBit {
+    Net(u32),
+    Zero,
+    One,
+}
+
+struct FlatInst {
+    name: String,
+    kind: String,
+    conns: Vec<(String, Vec<FlatBit>)>,
+}
+
+struct Flat {
+    name: String,
+    nets: Vec<String>,
+    inputs: Vec<(String, u32)>,
+    outputs: Vec<(String, u32)>,
+    insts: Vec<FlatInst>,
+}
+
+impl Flat {
+    fn add_net(&mut self, name: String) -> u32 {
+        let id = u32::try_from(self.nets.len()).expect("flat net count fits in u32");
+        self.nets.push(name);
+        id
+    }
+}
+
+/// Name of bit `k` of a `width`-bit port/bus.
+fn bit_name(base: &str, k: usize, width: usize) -> String {
+    if width == 1 {
+        base.to_string()
+    } else {
+        format!("{base}[{k}]")
+    }
+}
+
+fn flatten(design: &Design) -> Result<Flat, FrontendError> {
+    let top = design.top_module();
+    let mut flat = Flat {
+        name: top.name.clone(),
+        nets: Vec::new(),
+        inputs: Vec::new(),
+        outputs: Vec::new(),
+        insts: Vec::new(),
+    };
+
+    // Top ports become flat nets named after the port (with `[k]` for
+    // buses) and pre-bind the local nets they touch.
+    let mut bind: Vec<Option<FlatBit>> = vec![None; top.net_names.len()];
+    for port in &top.ports {
+        for (k, bit) in port.bits.iter().enumerate() {
+            let LocalBit::Net(n) = *bit else {
+                return Err(FrontendError::Unsupported {
+                    what: format!(
+                        "constant bit in top-level port {} of module {}",
+                        port.name, top.name
+                    ),
+                });
+            };
+            let id = match bind[n as usize] {
+                // A net can appear in one port only; sharing (an input
+                // fed straight through to an output) needs a buffer we
+                // do not insert.
+                Some(_) => {
+                    return Err(FrontendError::Unsupported {
+                        what: format!(
+                            "top-level port {} aliases another port bit in module {}",
+                            port.name, top.name
+                        ),
+                    })
+                }
+                None => {
+                    let id = flat.add_net(bit_name(&port.name, k, port.bits.len()));
+                    bind[n as usize] = Some(FlatBit::Net(id));
+                    id
+                }
+            };
+            match port.dir {
+                PortDir::Input => flat
+                    .inputs
+                    .push((bit_name(&port.name, k, port.bits.len()), id)),
+                PortDir::Output => flat
+                    .outputs
+                    .push((bit_name(&port.name, k, port.bits.len()), id)),
+            }
+        }
+    }
+
+    let mut stack = vec![design.top];
+    instantiate(design, design.top, "", bind, &mut flat, &mut stack)?;
+    Ok(flat)
+}
+
+/// Expands one module instance into `flat`. `bind` maps the module's
+/// local nets to already-allocated flat bits (port connections); local
+/// nets first touched inside get fresh flat nets named
+/// `{prefix}{local name}`.
+fn instantiate(
+    design: &Design,
+    midx: usize,
+    prefix: &str,
+    mut bind: Vec<Option<FlatBit>>,
+    flat: &mut Flat,
+    stack: &mut Vec<usize>,
+) -> Result<(), FrontendError> {
+    let module = &design.modules[midx];
+
+    // Borrow-friendly local-bit resolver.
+    fn resolve(
+        bit: LocalBit,
+        bind: &mut [Option<FlatBit>],
+        net_names: &[String],
+        prefix: &str,
+        flat: &mut Flat,
+    ) -> FlatBit {
+        match bit {
+            LocalBit::Zero => FlatBit::Zero,
+            LocalBit::One => FlatBit::One,
+            LocalBit::Net(n) => {
+                if let Some(b) = bind[n as usize] {
+                    b
+                } else {
+                    let id = flat.add_net(format!("{prefix}{}", net_names[n as usize]));
+                    bind[n as usize] = Some(FlatBit::Net(id));
+                    FlatBit::Net(id)
+                }
+            }
+        }
+    }
+
+    for inst in &module.insts {
+        if let Some(child_idx) = design.module_index(&inst.kind) {
+            if stack.contains(&child_idx) {
+                return Err(FrontendError::Unsupported {
+                    what: format!("recursive instantiation of module {}", inst.kind),
+                });
+            }
+            let child = &design.modules[child_idx];
+            let mut child_bind: Vec<Option<FlatBit>> = vec![None; child.net_names.len()];
+            for (pname, bits) in &inst.conns {
+                let Some(port) = child.ports.iter().find(|p| &p.name == pname) else {
+                    return Err(dangling(format!(
+                        "instance {prefix}{} connects port {pname} absent from module {}",
+                        inst.name, child.name
+                    )));
+                };
+                if bits.len() != port.bits.len() {
+                    return Err(FrontendError::WidthMismatch {
+                        cell: child.name.clone(),
+                        pin: pname.clone(),
+                        expected: port.bits.len(),
+                        got: bits.len(),
+                    });
+                }
+                for (k, &outer) in bits.iter().enumerate() {
+                    let outer = resolve(outer, &mut bind, &module.net_names, prefix, flat);
+                    let LocalBit::Net(n) = port.bits[k] else {
+                        return Err(FrontendError::Unsupported {
+                            what: format!(
+                                "constant bit in port {} of module {}",
+                                port.name, child.name
+                            ),
+                        });
+                    };
+                    match child_bind[n as usize] {
+                        Some(existing) if existing != outer => {
+                            return Err(FrontendError::Unsupported {
+                                what: format!(
+                                    "port bit aliasing through module {} (net {})",
+                                    child.name, child.net_names[n as usize]
+                                ),
+                            })
+                        }
+                        _ => child_bind[n as usize] = Some(outer),
+                    }
+                }
+            }
+            let child_prefix = format!("{prefix}{}.", inst.name);
+            stack.push(child_idx);
+            instantiate(design, child_idx, &child_prefix, child_bind, flat, stack)?;
+            stack.pop();
+        } else {
+            let mut conns = Vec::with_capacity(inst.conns.len());
+            for (pname, bits) in &inst.conns {
+                let resolved: Vec<FlatBit> = bits
+                    .iter()
+                    .map(|&b| resolve(b, &mut bind, &module.net_names, prefix, flat))
+                    .collect();
+                conns.push((pname.clone(), resolved));
+            }
+            flat.insts.push(FlatInst {
+                name: format!("{prefix}{}", inst.name),
+                kind: inst.kind.clone(),
+                conns,
+            });
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Cell binding.
+// ---------------------------------------------------------------------
+
+/// The Yosys generic gates the AIG backend expands directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Generic {
+    Not,
+    Buf,
+    And,
+    Nand,
+    Or,
+    Nor,
+    Xor,
+    Xnor,
+    Mux,
+    Dff,
+}
+
+enum Binding {
+    Cell(CellId),
+    Generic(Generic),
+}
+
+fn resolve_kind(kind: &str, lib: &Library, opts: &LowerOptions) -> Result<Binding, FrontendError> {
+    if let Some((id, _)) = lib.cell_by_name(kind) {
+        return Ok(Binding::Cell(id));
+    }
+    if let Some((_, target)) = opts.aliases.iter().find(|(from, _)| from == kind) {
+        return match lib.cell_by_name(target) {
+            Some((id, _)) => Ok(Binding::Cell(id)),
+            None => Err(FrontendError::UnknownCell {
+                what: format!("{kind} (alias target {target} not in library)"),
+            }),
+        };
+    }
+    if let Some(id) = resolve_by_function(kind, lib) {
+        return Ok(Binding::Cell(id));
+    }
+    // Yosys coarse cells and their gate-level spellings.
+    let generic = match kind {
+        "$not" | "$_NOT_" => Some(Generic::Not),
+        "$buf" | "$_BUF_" => Some(Generic::Buf),
+        "$and" | "$_AND_" => Some(Generic::And),
+        "$nand" | "$_NAND_" => Some(Generic::Nand),
+        "$or" | "$_OR_" => Some(Generic::Or),
+        "$nor" | "$_NOR_" => Some(Generic::Nor),
+        "$xor" | "$_XOR_" => Some(Generic::Xor),
+        "$xnor" | "$_XNOR_" => Some(Generic::Xnor),
+        "$mux" | "$_MUX_" => Some(Generic::Mux),
+        "$dff" | "$_DFF_P_" => Some(Generic::Dff),
+        _ => None,
+    };
+    match generic {
+        Some(g) => Ok(Binding::Generic(g)),
+        None => Err(FrontendError::UnknownCell {
+            what: kind.to_string(),
+        }),
+    }
+}
+
+/// The library-portability fallback: a design exported against one
+/// drive menu may name cells absent from the target library
+/// (`mux2_x1` against a library whose nearest drive is x0.93). Cell
+/// names follow the `{base}_x{drive}` convention, so when the exact
+/// name misses we bind by base function to the static cell with the
+/// nearest drive strength.
+fn resolve_by_function(kind: &str, lib: &Library) -> Option<CellId> {
+    let (base, drive) = kind.rsplit_once("_x")?;
+    let drive: f64 = drive.parse().ok()?;
+    let mut best: Option<(CellId, f64)> = None;
+    for (id, cell) in lib.iter() {
+        if cell.family != asicgap_cells::LogicFamily::StaticCmos
+            || cell.function.base_name() != base
+        {
+            continue;
+        }
+        let dist = (cell.drive - drive).abs();
+        if best.is_none_or(|(_, d)| dist < d) {
+            best = Some((id, dist));
+        }
+    }
+    best.map(|(id, _)| id)
+}
+
+/// Split a bound-cell instance's connections into positional fan-in
+/// bits and the output bit. Accepted pin spellings (case-insensitive):
+/// `a`..`d` / `i0`..`i3` for fan-ins (`d` meaning the data input on
+/// sequential cells), `y` / `o` / `q` for the output; `clk`, `clock`,
+/// `ck`, `en`, and `g` are ignored (the flow models one global clock).
+fn split_cell_conns(
+    inst: &FlatInst,
+    f: CellFunction,
+) -> Result<(Vec<FlatBit>, FlatBit), FrontendError> {
+    let arity = f.num_inputs();
+    let mut fanin: Vec<Option<FlatBit>> = vec![None; arity];
+    let mut out: Option<FlatBit> = None;
+    for (pname, bits) in &inst.conns {
+        let p = pname.to_ascii_lowercase();
+        if matches!(p.as_str(), "clk" | "clock" | "ck" | "en" | "g") {
+            continue;
+        }
+        if bits.len() != 1 {
+            return Err(FrontendError::WidthMismatch {
+                cell: inst.kind.clone(),
+                pin: pname.clone(),
+                expected: 1,
+                got: bits.len(),
+            });
+        }
+        let bit = bits[0];
+        let slot: Option<usize> = match p.as_str() {
+            "a" | "i0" => Some(0),
+            "b" | "i1" => Some(1),
+            "c" | "i2" => Some(2),
+            "d" if f.is_sequential() => Some(0),
+            "d" | "i3" => Some(3),
+            "y" | "o" | "q" => None,
+            _ => {
+                return Err(dangling(format!(
+                    "cell {} has no pin {pname} (instance {})",
+                    inst.kind, inst.name
+                )))
+            }
+        };
+        match slot {
+            Some(i) => {
+                if i >= arity {
+                    return Err(dangling(format!(
+                        "pin {pname} exceeds the {arity} input(s) of cell {} (instance {})",
+                        inst.kind, inst.name
+                    )));
+                }
+                if fanin[i].replace(bit).is_some() {
+                    return Err(FrontendError::Unsupported {
+                        what: format!("pin {pname} of instance {} connected twice", inst.name),
+                    });
+                }
+            }
+            None => {
+                if out.replace(bit).is_some() {
+                    return Err(FrontendError::Unsupported {
+                        what: format!("output of instance {} connected twice", inst.name),
+                    });
+                }
+            }
+        }
+    }
+    let fanin: Vec<FlatBit> = fanin
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| {
+            b.ok_or_else(|| {
+                dangling(format!(
+                    "instance {} ({}) leaves input pin {} unconnected",
+                    inst.name,
+                    inst.kind,
+                    ["a", "b", "c", "d"][i]
+                ))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let out = out.ok_or_else(|| {
+        dangling(format!(
+            "instance {} ({}) leaves its output unconnected",
+            inst.name, inst.kind
+        ))
+    })?;
+    Ok((fanin, out))
+}
+
+/// A generic gate's connections, bit-blasted: all data pins share one
+/// width; `$mux` adds a scalar select.
+struct GenericConns {
+    ins: Vec<Vec<FlatBit>>,
+    sel: Option<FlatBit>,
+    outs: Vec<FlatBit>,
+}
+
+fn split_generic_conns(inst: &FlatInst, g: Generic) -> Result<GenericConns, FrontendError> {
+    let in_pins: &[&str] = match g {
+        Generic::Not | Generic::Buf => &["a"],
+        Generic::Dff => &["d"],
+        _ => &["a", "b"],
+    };
+    let out_pin = if g == Generic::Dff { "q" } else { "y" };
+    let mut ins: Vec<Option<Vec<FlatBit>>> = vec![None; in_pins.len()];
+    let mut sel: Option<FlatBit> = None;
+    let mut outs: Option<Vec<FlatBit>> = None;
+    for (pname, bits) in &inst.conns {
+        let p = pname.to_ascii_lowercase();
+        if matches!(p.as_str(), "clk" | "clock" | "en") {
+            continue;
+        }
+        if p == "s" && g == Generic::Mux {
+            if bits.len() != 1 {
+                return Err(FrontendError::WidthMismatch {
+                    cell: inst.kind.clone(),
+                    pin: pname.clone(),
+                    expected: 1,
+                    got: bits.len(),
+                });
+            }
+            sel = Some(bits[0]);
+            continue;
+        }
+        if p == out_pin {
+            outs = Some(bits.clone());
+            continue;
+        }
+        match in_pins.iter().position(|&ip| ip == p) {
+            Some(i) => ins[i] = Some(bits.clone()),
+            None => {
+                return Err(dangling(format!(
+                    "generic {} has no pin {pname} (instance {})",
+                    inst.kind, inst.name
+                )))
+            }
+        }
+    }
+    let outs = outs.ok_or_else(|| {
+        dangling(format!(
+            "instance {} ({}) leaves pin {out_pin} unconnected",
+            inst.name, inst.kind
+        ))
+    })?;
+    let width = outs.len();
+    let mut resolved = Vec::with_capacity(ins.len());
+    for (i, v) in ins.into_iter().enumerate() {
+        let v = v.ok_or_else(|| {
+            dangling(format!(
+                "instance {} ({}) leaves pin {} unconnected",
+                inst.name, inst.kind, in_pins[i]
+            ))
+        })?;
+        if v.len() != width {
+            return Err(FrontendError::WidthMismatch {
+                cell: inst.kind.clone(),
+                pin: in_pins[i].to_string(),
+                expected: width,
+                got: v.len(),
+            });
+        }
+        resolved.push(v);
+    }
+    if g == Generic::Mux && sel.is_none() {
+        return Err(dangling(format!(
+            "instance {} ($mux) leaves pin s unconnected",
+            inst.name
+        )));
+    }
+    Ok(GenericConns {
+        ins: resolved,
+        sel,
+        outs,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Backends.
+// ---------------------------------------------------------------------
+
+/// Lowers a parsed design into a validated, packed [`Netlist`].
+///
+/// # Errors
+///
+/// Any [`FrontendError`]: unresolvable cells, width mismatches,
+/// dangling references, undriven nets, netlist invariant violations, or
+/// mapping failures on the generic-gate path.
+pub fn lower(
+    design: &Design,
+    lib: &Library,
+    opts: &LowerOptions,
+) -> Result<Netlist, FrontendError> {
+    let flat = flatten(design)?;
+
+    // Bind every instance kind up front: binding errors surface on both
+    // paths, and the bindings decide which path runs.
+    let bindings: Vec<Binding> = flat
+        .insts
+        .iter()
+        .map(|i| resolve_kind(&i.kind, lib, opts))
+        .collect::<Result<_, _>>()?;
+
+    let has_generic = bindings.iter().any(|b| matches!(b, Binding::Generic(_)));
+    let has_const = flat.insts.iter().any(|i| {
+        i.conns
+            .iter()
+            .any(|(_, bits)| bits.iter().any(|b| !matches!(b, FlatBit::Net(_))))
+    });
+
+    let mut netlist = if has_generic || has_const {
+        lower_via_aig(&flat, &bindings, lib)?
+    } else {
+        lower_direct(&flat, &bindings, lib)?
+    };
+    netlist.pack();
+    Ok(netlist)
+}
+
+/// Structural path: every instance is a bound library cell and every
+/// bit is a net. Instance names (and therefore register identities)
+/// are preserved one-for-one.
+fn lower_direct(
+    flat: &Flat,
+    bindings: &[Binding],
+    lib: &Library,
+) -> Result<Netlist, FrontendError> {
+    let mut netlist = Netlist::new(&flat.name);
+    // Hierarchical names repeat prefixes heavily; hash-consing the
+    // symbol table is the point of the interner's dedup mode.
+    netlist.enable_name_dedup();
+
+    let nets: Vec<_> = flat.nets.iter().map(|name| netlist.add_net(name)).collect();
+    for (name, n) in &flat.inputs {
+        netlist.add_input(name.clone(), nets[*n as usize])?;
+    }
+
+    let as_net = |bit: FlatBit| match bit {
+        FlatBit::Net(n) => nets[n as usize],
+        _ => unreachable!("direct path rejected constants"),
+    };
+    for (inst, binding) in flat.insts.iter().zip(bindings) {
+        let Binding::Cell(cell) = binding else {
+            unreachable!("direct path rejected generics");
+        };
+        let f = lib.cell(*cell).function;
+        let (fanin, out) = split_cell_conns(inst, f)?;
+        let fanin: Vec<_> = fanin.into_iter().map(as_net).collect();
+        netlist.add_instance(&inst.name, lib, *cell, &fanin, as_net(out))?;
+    }
+    for (name, n) in &flat.outputs {
+        netlist.add_output(name.clone(), nets[*n as usize]);
+    }
+
+    // Everything consumed must be driven (PIs count as drivers).
+    let undriven = |netlist: &Netlist, id| netlist.driver(id).is_none();
+    for (_, inst) in netlist.iter_instances() {
+        for &f in inst.fanin() {
+            if undriven(&netlist, f) {
+                return Err(FrontendError::UndrivenNet {
+                    net: netlist.net(f).name().to_string(),
+                });
+            }
+        }
+    }
+    for (name, n) in &flat.outputs {
+        if undriven(&netlist, nets[*n as usize]) {
+            return Err(FrontendError::UndrivenNet { net: name.clone() });
+        }
+    }
+    netlist.topo_order().map_err(FrontendError::Netlist)?;
+    Ok(netlist)
+}
+
+/// AIG path: expand generics and bound cells alike into an AIG
+/// (flip-flops as pseudo-pin boundaries) and technology-map it.
+fn lower_via_aig(
+    flat: &Flat,
+    bindings: &[Binding],
+    lib: &Library,
+) -> Result<Netlist, FrontendError> {
+    let mut aig = Aig::new();
+    let mut lit_of: Vec<Option<Lit>> = vec![None; flat.nets.len()];
+
+    for (name, n) in &flat.inputs {
+        lit_of[*n as usize] = Some(aig.input(name.clone()));
+    }
+
+    // Split instances into sequential bits (boundaries) and
+    // combinational work items, pre-resolving pin layouts.
+    enum Comb {
+        Cell(CellFunction, Vec<FlatBit>, FlatBit),
+        Generic(Generic, GenericConns),
+    }
+    // (pseudo-input position, D bit, is_latch, key) per register bit.
+    struct SeqBit {
+        q_input: usize,
+        d: FlatBit,
+        is_latch: bool,
+    }
+    let mut seq_bits: Vec<SeqBit> = Vec::new();
+    let mut comb: Vec<Comb> = Vec::new();
+    for (inst, binding) in flat.insts.iter().zip(bindings) {
+        match binding {
+            Binding::Cell(cell) => {
+                let f = lib.cell(*cell).function;
+                let (fanin, out) = split_cell_conns(inst, f)?;
+                if f.is_sequential() {
+                    let FlatBit::Net(qn) = out else {
+                        return Err(FrontendError::Unsupported {
+                            what: format!("instance {} drives a constant", inst.name),
+                        });
+                    };
+                    let q_input = aig.input_names().len();
+                    lit_of[qn as usize] = Some(aig.input(format!("__q_{}", inst.name)));
+                    seq_bits.push(SeqBit {
+                        q_input,
+                        d: fanin[0],
+                        is_latch: f == CellFunction::Latch,
+                    });
+                } else {
+                    comb.push(Comb::Cell(f, fanin, out));
+                }
+            }
+            Binding::Generic(g) => {
+                let conns = split_generic_conns(inst, *g)?;
+                if *g == Generic::Dff {
+                    let width = conns.outs.len();
+                    for (k, &q) in conns.outs.iter().enumerate() {
+                        let FlatBit::Net(qn) = q else {
+                            return Err(FrontendError::Unsupported {
+                                what: format!("instance {} drives a constant", inst.name),
+                            });
+                        };
+                        let key = bit_name(&inst.name, k, width);
+                        let q_input = aig.input_names().len();
+                        lit_of[qn as usize] = Some(aig.input(format!("__q_{key}")));
+                        seq_bits.push(SeqBit {
+                            q_input,
+                            d: conns.ins[0][k],
+                            is_latch: false,
+                        });
+                    }
+                } else {
+                    comb.push(Comb::Generic(*g, conns));
+                }
+            }
+        }
+    }
+
+    // Every consumed net must have some driver (PI, register Q, or a
+    // combinational output) before the topological pass starts.
+    let mut driven: Vec<bool> = lit_of.iter().map(Option::is_some).collect();
+    for c in &comb {
+        let outs: &[FlatBit] = match c {
+            Comb::Cell(_, _, out) => std::slice::from_ref(out),
+            Comb::Generic(_, conns) => &conns.outs,
+        };
+        for &o in outs {
+            if let FlatBit::Net(n) = o {
+                driven[n as usize] = true;
+            }
+        }
+    }
+    let require_driven = |bit: FlatBit, driven: &[bool]| -> Result<(), FrontendError> {
+        if let FlatBit::Net(n) = bit {
+            if !driven[n as usize] {
+                return Err(FrontendError::UndrivenNet {
+                    net: flat.nets[n as usize].clone(),
+                });
+            }
+        }
+        Ok(())
+    };
+    for c in &comb {
+        match c {
+            Comb::Cell(_, fanin, _) => {
+                for &b in fanin {
+                    require_driven(b, &driven)?;
+                }
+            }
+            Comb::Generic(_, conns) => {
+                for v in &conns.ins {
+                    for &b in v {
+                        require_driven(b, &driven)?;
+                    }
+                }
+                if let Some(s) = conns.sel {
+                    require_driven(s, &driven)?;
+                }
+            }
+        }
+    }
+    for (_, n) in &flat.outputs {
+        require_driven(FlatBit::Net(*n), &driven)?;
+    }
+    for s in &seq_bits {
+        require_driven(s.d, &driven)?;
+    }
+
+    // Topological expansion by fixpoint scan: cheap at frontend scale
+    // (big designs with no generics take the direct path).
+    let lit = |bit: FlatBit, lit_of: &[Option<Lit>]| -> Option<Lit> {
+        match bit {
+            FlatBit::Zero => Some(Lit::FALSE),
+            FlatBit::One => Some(Lit::TRUE),
+            FlatBit::Net(n) => lit_of[n as usize],
+        }
+    };
+    let mut remaining: Vec<Comb> = comb;
+    while !remaining.is_empty() {
+        let mut next = Vec::with_capacity(remaining.len());
+        let mut progressed = false;
+        for c in remaining {
+            let ready = match &c {
+                Comb::Cell(_, fanin, _) => fanin.iter().all(|&b| lit(b, &lit_of).is_some()),
+                Comb::Generic(_, conns) => {
+                    conns
+                        .ins
+                        .iter()
+                        .all(|v| v.iter().all(|&b| lit(b, &lit_of).is_some()))
+                        && conns.sel.is_none_or(|s| lit(s, &lit_of).is_some())
+                }
+            };
+            if !ready {
+                next.push(c);
+                continue;
+            }
+            progressed = true;
+            match c {
+                Comb::Cell(f, fanin, out) => {
+                    let ins: Vec<Lit> = fanin
+                        .iter()
+                        .map(|&b| lit(b, &lit_of).expect("readiness checked"))
+                        .collect();
+                    let y = expand_cell(&mut aig, f, &ins);
+                    if let FlatBit::Net(n) = out {
+                        lit_of[n as usize] = Some(y);
+                    }
+                }
+                Comb::Generic(g, conns) => {
+                    for (k, &o) in conns.outs.iter().enumerate() {
+                        let a = lit(conns.ins[0][k], &lit_of).expect("readiness checked");
+                        let b = conns
+                            .ins
+                            .get(1)
+                            .map(|v| lit(v[k], &lit_of).expect("readiness checked"));
+                        let y = match g {
+                            Generic::Not => a.not(),
+                            Generic::Buf => a,
+                            Generic::And => aig.and(a, b.expect("binary gate")),
+                            Generic::Nand => aig.and(a, b.expect("binary gate")).not(),
+                            Generic::Or => aig.or(a, b.expect("binary gate")),
+                            Generic::Nor => aig.or(a, b.expect("binary gate")).not(),
+                            Generic::Xor => aig.xor(a, b.expect("binary gate")),
+                            Generic::Xnor => aig.xor(a, b.expect("binary gate")).not(),
+                            Generic::Mux => {
+                                let s = lit(conns.sel.expect("checked"), &lit_of)
+                                    .expect("readiness checked");
+                                aig.mux(a, b.expect("mux has b"), s)
+                            }
+                            Generic::Dff => unreachable!("registers split off above"),
+                        };
+                        if let FlatBit::Net(n) = o {
+                            lit_of[n as usize] = Some(y);
+                        }
+                    }
+                }
+            }
+        }
+        if !progressed {
+            // All inputs driven but never producible: a combinational
+            // cycle. Name one net on it.
+            let net = next
+                .iter()
+                .find_map(|c| match c {
+                    Comb::Cell(_, fanin, _) => {
+                        fanin.iter().find(|&&b| lit(b, &lit_of).is_none()).copied()
+                    }
+                    Comb::Generic(_, conns) => conns
+                        .ins
+                        .iter()
+                        .flatten()
+                        .find(|&&b| lit(b, &lit_of).is_none())
+                        .copied(),
+                })
+                .and_then(|b| match b {
+                    FlatBit::Net(n) => Some(flat.nets[n as usize].clone()),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            return Err(FrontendError::Netlist(NetlistError::CombinationalCycle {
+                net,
+            }));
+        }
+        remaining = next;
+    }
+
+    for (name, n) in &flat.outputs {
+        let l = lit_of[*n as usize].expect("outputs checked driven");
+        aig.set_output(name.clone(), l);
+    }
+    let mut seq = Vec::with_capacity(seq_bits.len());
+    for s in &seq_bits {
+        let d = lit(s.d, &lit_of).expect("D bits checked driven");
+        let key = aig.input_names()[s.q_input]
+            .strip_prefix("__q_")
+            .expect("pseudo inputs carry the prefix")
+            .to_string();
+        let d_output = aig.outputs().len();
+        aig.set_output(format!("__d_{key}"), d);
+        seq.push(SeqBinding {
+            q_input: s.q_input,
+            d_output,
+            is_latch: s.is_latch,
+        });
+    }
+
+    map_aig_seq(&aig, lib, &MapOptions::default(), &seq, &flat.name).map_err(FrontendError::Synth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_cells::LibrarySpec;
+    use asicgap_netlist::Simulator;
+    use asicgap_tech::Technology;
+
+    fn lib() -> Library {
+        LibrarySpec::rich().build(&Technology::cmos025_asic())
+    }
+
+    fn nand2_name(lib: &Library) -> String {
+        let id = lib.smallest(CellFunction::Nand(2)).expect("nand2");
+        lib.cell(id).name.clone()
+    }
+
+    /// `top` instantiates `half` twice; `half` is one NAND.
+    fn hierarchical_design(lib: &Library) -> Design {
+        let nand = nand2_name(lib);
+        let half = Module {
+            name: "half".into(),
+            ports: vec![
+                Port {
+                    name: "p".into(),
+                    dir: PortDir::Input,
+                    bits: vec![LocalBit::Net(0)],
+                },
+                Port {
+                    name: "q".into(),
+                    dir: PortDir::Input,
+                    bits: vec![LocalBit::Net(1)],
+                },
+                Port {
+                    name: "r".into(),
+                    dir: PortDir::Output,
+                    bits: vec![LocalBit::Net(2)],
+                },
+            ],
+            insts: vec![Inst {
+                name: "g".into(),
+                kind: nand.clone(),
+                conns: vec![
+                    ("a".into(), vec![LocalBit::Net(0)]),
+                    ("b".into(), vec![LocalBit::Net(1)]),
+                    ("y".into(), vec![LocalBit::Net(2)]),
+                ],
+            }],
+            net_names: vec!["p".into(), "q".into(), "r".into()],
+        };
+        let top = Module {
+            name: "top".into(),
+            ports: vec![
+                Port {
+                    name: "a".into(),
+                    dir: PortDir::Input,
+                    bits: vec![LocalBit::Net(0)],
+                },
+                Port {
+                    name: "b".into(),
+                    dir: PortDir::Input,
+                    bits: vec![LocalBit::Net(1)],
+                },
+                Port {
+                    name: "y".into(),
+                    dir: PortDir::Output,
+                    bits: vec![LocalBit::Net(2)],
+                },
+            ],
+            insts: vec![
+                Inst {
+                    name: "u0".into(),
+                    kind: "half".into(),
+                    conns: vec![
+                        ("p".into(), vec![LocalBit::Net(0)]),
+                        ("q".into(), vec![LocalBit::Net(1)]),
+                        ("r".into(), vec![LocalBit::Net(3)]),
+                    ],
+                },
+                Inst {
+                    name: "u1".into(),
+                    kind: "half".into(),
+                    conns: vec![
+                        ("p".into(), vec![LocalBit::Net(3)]),
+                        ("q".into(), vec![LocalBit::Net(3)]),
+                        ("r".into(), vec![LocalBit::Net(2)]),
+                    ],
+                },
+            ],
+            net_names: vec!["a".into(), "b".into(), "y".into(), "t".into()],
+        };
+        Design {
+            modules: vec![half, top],
+            top: 1,
+        }
+    }
+
+    #[test]
+    fn hierarchy_flattens_with_instance_path_names() {
+        let lib = lib();
+        let design = hierarchical_design(&lib);
+        let n = lower(&design, &lib, &LowerOptions::default()).expect("lowers");
+        assert_eq!(n.instance_count(), 2);
+        let names: Vec<String> = n
+            .iter_instances()
+            .map(|(_, i)| i.name().to_string())
+            .collect();
+        assert_eq!(names, ["u0.g", "u1.g"]);
+        // top = NAND(a,b) then NAND(t,t) = NOT(NAND(a,b)) = AND(a,b).
+        let mut sim = Simulator::new(&n, &lib);
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            assert_eq!(sim.run_comb(&[a, b]), vec![a && b], "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn generic_gates_take_the_mapped_path() {
+        let lib = lib();
+        // y = (a & b) ^ c with one $and + one $xor, 1-bit.
+        let top = Module {
+            name: "gen".into(),
+            ports: vec![
+                Port {
+                    name: "a".into(),
+                    dir: PortDir::Input,
+                    bits: vec![LocalBit::Net(0)],
+                },
+                Port {
+                    name: "b".into(),
+                    dir: PortDir::Input,
+                    bits: vec![LocalBit::Net(1)],
+                },
+                Port {
+                    name: "c".into(),
+                    dir: PortDir::Input,
+                    bits: vec![LocalBit::Net(2)],
+                },
+                Port {
+                    name: "y".into(),
+                    dir: PortDir::Output,
+                    bits: vec![LocalBit::Net(3)],
+                },
+            ],
+            insts: vec![
+                Inst {
+                    name: "u_and".into(),
+                    kind: "$and".into(),
+                    conns: vec![
+                        ("A".into(), vec![LocalBit::Net(0)]),
+                        ("B".into(), vec![LocalBit::Net(1)]),
+                        ("Y".into(), vec![LocalBit::Net(4)]),
+                    ],
+                },
+                Inst {
+                    name: "u_xor".into(),
+                    kind: "$xor".into(),
+                    conns: vec![
+                        ("A".into(), vec![LocalBit::Net(4)]),
+                        ("B".into(), vec![LocalBit::Net(2)]),
+                        ("Y".into(), vec![LocalBit::Net(3)]),
+                    ],
+                },
+            ],
+            net_names: vec!["a".into(), "b".into(), "c".into(), "y".into(), "t".into()],
+        };
+        let design = Design {
+            modules: vec![top],
+            top: 0,
+        };
+        let n = lower(&design, &lib, &LowerOptions::default()).expect("maps");
+        let mut sim = Simulator::new(&n, &lib);
+        for v in 0..8u32 {
+            let (a, b, c) = (v & 1 != 0, v & 2 != 0, v & 4 != 0);
+            assert_eq!(sim.run_comb(&[a, b, c]), vec![(a && b) ^ c]);
+        }
+    }
+
+    #[test]
+    fn multibit_generic_dff_bit_blasts() {
+        let lib = lib();
+        // q[1:0] <= ~q[1:0] (two toggle registers via $not + $dff).
+        let top = Module {
+            name: "tog".into(),
+            ports: vec![Port {
+                name: "q".into(),
+                dir: PortDir::Output,
+                bits: vec![LocalBit::Net(0), LocalBit::Net(1)],
+            }],
+            insts: vec![
+                Inst {
+                    name: "inv".into(),
+                    kind: "$not".into(),
+                    conns: vec![
+                        ("A".into(), vec![LocalBit::Net(0), LocalBit::Net(1)]),
+                        ("Y".into(), vec![LocalBit::Net(2), LocalBit::Net(3)]),
+                    ],
+                },
+                Inst {
+                    name: "ff".into(),
+                    kind: "$dff".into(),
+                    conns: vec![
+                        ("D".into(), vec![LocalBit::Net(2), LocalBit::Net(3)]),
+                        ("CLK".into(), vec![LocalBit::Net(4)]),
+                        ("Q".into(), vec![LocalBit::Net(0), LocalBit::Net(1)]),
+                    ],
+                },
+            ],
+            net_names: vec![
+                "q0".into(),
+                "q1".into(),
+                "d0".into(),
+                "d1".into(),
+                "clk".into(),
+            ],
+        };
+        let design = Design {
+            modules: vec![top],
+            top: 0,
+        };
+        let n = lower(&design, &lib, &LowerOptions::default()).expect("maps");
+        let regs = n
+            .iter_instances()
+            .filter(|(_, i)| i.is_sequential())
+            .count();
+        assert_eq!(regs, 2, "one register per bit");
+    }
+
+    #[test]
+    fn constants_route_through_the_aig() {
+        let lib = lib();
+        let nand = nand2_name(&lib);
+        // y = NAND(a, 1) = NOT a, with a library cell but a constant pin.
+        let top = Module {
+            name: "konst".into(),
+            ports: vec![
+                Port {
+                    name: "a".into(),
+                    dir: PortDir::Input,
+                    bits: vec![LocalBit::Net(0)],
+                },
+                Port {
+                    name: "y".into(),
+                    dir: PortDir::Output,
+                    bits: vec![LocalBit::Net(1)],
+                },
+            ],
+            insts: vec![Inst {
+                name: "g".into(),
+                kind: nand,
+                conns: vec![
+                    ("a".into(), vec![LocalBit::Net(0)]),
+                    ("b".into(), vec![LocalBit::One]),
+                    ("y".into(), vec![LocalBit::Net(1)]),
+                ],
+            }],
+            net_names: vec!["a".into(), "y".into()],
+        };
+        let design = Design {
+            modules: vec![top],
+            top: 0,
+        };
+        let n = lower(&design, &lib, &LowerOptions::default()).expect("maps");
+        let mut sim = Simulator::new(&n, &lib);
+        assert_eq!(sim.run_comb(&[false]), vec![true]);
+        assert_eq!(sim.run_comb(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn unknown_cell_and_undriven_net_are_typed_errors() {
+        let lib = lib();
+        let mut design = hierarchical_design(&lib);
+        design.modules[0].insts[0].kind = "mystery_gate".into();
+        assert!(matches!(
+            lower(&design, &lib, &LowerOptions::default()),
+            Err(FrontendError::UnknownCell { .. })
+        ));
+
+        let mut design = hierarchical_design(&lib);
+        // Disconnect u0.r: u1 then consumes an undriven net.
+        design.modules[1].insts[0].conns[2].1 = vec![LocalBit::Net(0)];
+        let got = lower(&design, &lib, &LowerOptions::default());
+        assert!(
+            matches!(
+                got,
+                Err(FrontendError::UndrivenNet { .. } | FrontendError::Netlist(_))
+            ),
+            "got {got:?}"
+        );
+    }
+
+    #[test]
+    fn alias_binding_resolves_foreign_names() {
+        let lib = lib();
+        let mut design = hierarchical_design(&lib);
+        design.modules[0].insts[0].kind = "ND2".into();
+        let opts = LowerOptions {
+            aliases: vec![("ND2".into(), nand2_name(&lib))],
+        };
+        let n = lower(&design, &lib, &opts).expect("alias binds");
+        assert_eq!(n.instance_count(), 2);
+    }
+
+    #[test]
+    fn width_mismatch_on_submodule_port_is_reported() {
+        let lib = lib();
+        let mut design = hierarchical_design(&lib);
+        design.modules[1].insts[0].conns[0].1 = vec![LocalBit::Net(0), LocalBit::Net(1)];
+        assert!(matches!(
+            lower(&design, &lib, &LowerOptions::default()),
+            Err(FrontendError::WidthMismatch {
+                expected: 1,
+                got: 2,
+                ..
+            })
+        ));
+    }
+}

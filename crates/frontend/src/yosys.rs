@@ -1,0 +1,304 @@
+//! Yosys JSON (`write_json`) → [`Design`].
+//!
+//! The reader walks `modules → ports/cells/netnames → connections`,
+//! mapping each distinct bit number to a dense local net (first
+//! appearance order: ports, then cells, then netnames — file order, so
+//! parsing is deterministic). Constant bits `"0"`, `"1"`, `"x"` become
+//! [`LocalBit::Zero`]/[`LocalBit::One`] (`x` reads as zero: any defined
+//! value refines don't-care). Net names come from `netnames`
+//! (first-wins, `name[k]` for bus bits), with `_<bit>` as the fallback
+//! spelling for nets the file leaves anonymous.
+//!
+//! Top selection: the module whose `attributes.top` is truthy, else the
+//! only module, else the first module never instantiated by another.
+
+use std::collections::HashMap;
+
+use crate::error::{syntax, FrontendError};
+use crate::json::{parse as parse_json, Json};
+use crate::lower::{Design, Inst, LocalBit, Module, Port, PortDir};
+
+/// Parses Yosys JSON text into a [`Design`].
+///
+/// # Errors
+///
+/// [`FrontendError::Syntax`] for malformed JSON or a shape that is not
+/// a Yosys netlist; [`FrontendError::Unsupported`] for `inout` ports.
+pub fn parse(text: &str) -> Result<Design, FrontendError> {
+    let root = parse_json(text)?;
+    let modules_json = root
+        .get("modules")
+        .ok_or_else(|| syntax("missing \"modules\" object"))?;
+    if !matches!(modules_json, Json::Obj(_)) {
+        return Err(syntax("\"modules\" is not an object"));
+    }
+    let mut modules = Vec::new();
+    let mut marked_top = None;
+    for (idx, (name, mj)) in modules_json.members().iter().enumerate() {
+        let is_top = mj
+            .get("attributes")
+            .and_then(|a| a.get("top"))
+            .is_some_and(truthy);
+        if is_top && marked_top.is_none() {
+            marked_top = Some(idx);
+        }
+        modules.push(parse_module(name, mj)?);
+    }
+    if modules.is_empty() {
+        return Err(syntax("design has no modules"));
+    }
+
+    let top = match marked_top {
+        Some(idx) => idx,
+        None => pick_top(&modules)?,
+    };
+    Ok(Design { modules, top })
+}
+
+/// Yosys writes attribute values as numbers or binary-digit strings.
+fn truthy(v: &Json) -> bool {
+    match v {
+        Json::Bool(b) => *b,
+        Json::Num(n) => *n != 0,
+        Json::Str(s) => s.contains('1'),
+        _ => false,
+    }
+}
+
+/// Structural fallback when no module carries the `top` attribute.
+fn pick_top(modules: &[Module]) -> Result<usize, FrontendError> {
+    if modules.len() == 1 {
+        return Ok(0);
+    }
+    let instantiated: Vec<&str> = modules
+        .iter()
+        .flat_map(|m| m.insts.iter().map(|i| i.kind.as_str()))
+        .collect();
+    modules
+        .iter()
+        .position(|m| !instantiated.contains(&m.name.as_str()))
+        .ok_or_else(|| syntax("cannot determine top module (all modules are instantiated)"))
+}
+
+struct NetTable {
+    names: Vec<String>,
+    named: Vec<bool>,
+    by_bit: HashMap<i64, u32>,
+}
+
+impl NetTable {
+    fn local(&mut self, bit: &Json) -> Result<LocalBit, FrontendError> {
+        match bit {
+            Json::Num(i) => Ok(LocalBit::Net(self.net_of(*i))),
+            Json::Str(s) => match s.as_str() {
+                "0" | "x" => Ok(LocalBit::Zero),
+                "1" => Ok(LocalBit::One),
+                other => Err(syntax(format!("unknown constant bit {other:?}"))),
+            },
+            _ => Err(syntax("bit is neither a number nor a constant string")),
+        }
+    }
+
+    fn net_of(&mut self, bit: i64) -> u32 {
+        *self.by_bit.entry(bit).or_insert_with(|| {
+            let id = u32::try_from(self.names.len()).expect("net count fits in u32");
+            self.names.push(format!("_{bit}"));
+            self.named.push(false);
+            id
+        })
+    }
+}
+
+fn parse_module(name: &str, mj: &Json) -> Result<Module, FrontendError> {
+    if !matches!(mj, Json::Obj(_)) {
+        return Err(syntax(format!("module {name:?} is not an object")));
+    }
+    let mut table = NetTable {
+        names: Vec::new(),
+        named: Vec::new(),
+        by_bit: HashMap::new(),
+    };
+
+    let mut ports = Vec::new();
+    for (pname, pj) in mj.get("ports").map(Json::members).unwrap_or(&[]) {
+        let dir = match pj.get("direction").and_then(Json::as_str) {
+            Some("input") => PortDir::Input,
+            Some("output") => PortDir::Output,
+            Some("inout") => {
+                return Err(FrontendError::Unsupported {
+                    what: format!("inout port {pname} in module {name}"),
+                })
+            }
+            _ => {
+                return Err(syntax(format!(
+                    "port {pname} of module {name} has no direction"
+                )))
+            }
+        };
+        let bits_json = pj
+            .get("bits")
+            .ok_or_else(|| syntax(format!("port {pname} of module {name} has no bits")))?;
+        let bits = bits_json
+            .items()
+            .iter()
+            .map(|b| table.local(b))
+            .collect::<Result<Vec<_>, _>>()?;
+        ports.push(Port {
+            name: pname.clone(),
+            dir,
+            bits,
+        });
+    }
+
+    let mut insts = Vec::new();
+    for (cname, cj) in mj.get("cells").map(Json::members).unwrap_or(&[]) {
+        let kind = cj
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| syntax(format!("cell {cname} of module {name} has no type")))?;
+        let mut conns = Vec::new();
+        for (pin, arr) in cj.get("connections").map(Json::members).unwrap_or(&[]) {
+            let bits = arr
+                .items()
+                .iter()
+                .map(|b| table.local(b))
+                .collect::<Result<Vec<_>, _>>()?;
+            conns.push((pin.clone(), bits));
+        }
+        insts.push(Inst {
+            name: cname.clone(),
+            kind: kind.to_string(),
+            conns,
+        });
+    }
+
+    for (nname, nj) in mj.get("netnames").map(Json::members).unwrap_or(&[]) {
+        let bits = nj.get("bits").map(Json::items).unwrap_or(&[]);
+        for (k, bit) in bits.iter().enumerate() {
+            if let Json::Num(i) = bit {
+                let id = table.net_of(*i) as usize;
+                if !table.named[id] {
+                    table.names[id] = if bits.len() == 1 {
+                        nname.clone()
+                    } else {
+                        format!("{nname}[{k}]")
+                    };
+                    table.named[id] = true;
+                }
+            }
+        }
+    }
+
+    Ok(Module {
+        name: name.to_string(),
+        ports,
+        insts,
+        net_names: table.names,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{lower, LowerOptions};
+    use asicgap_cells::LibrarySpec;
+    use asicgap_netlist::{generators, yosys_json::to_yosys_json, Simulator};
+    use asicgap_tech::Technology;
+
+    #[test]
+    fn reparses_an_exported_generator_equivalently() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let golden = generators::alu(&lib, 4).expect("alu4");
+        let text = to_yosys_json(&golden, &lib);
+        let design = parse(&text).expect("parses");
+        assert_eq!(design.top_module().name, "alu4");
+        let back = lower(&design, &lib, &LowerOptions::default()).expect("lowers");
+        assert_eq!(back.inputs().len(), golden.inputs().len());
+        assert_eq!(back.outputs().len(), golden.outputs().len());
+        assert_eq!(back.instance_count(), golden.instance_count());
+        let mut sim_a = Simulator::new(&golden, &lib);
+        let mut sim_b = Simulator::new(&back, &lib);
+        for seed in 0..32u64 {
+            let bits: Vec<bool> = (0..golden.inputs().len())
+                .map(|i| (seed.wrapping_mul(0x9E3779B97F4A7C15) >> (i % 60)) & 1 == 1)
+                .collect();
+            assert_eq!(sim_a.run_comb(&bits), sim_b.run_comb(&bits), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generic_cells_and_hierarchy_parse() {
+        let text = r#"{
+          "modules": {
+            "leaf": {
+              "ports": {
+                "a": { "direction": "input", "bits": [2] },
+                "y": { "direction": "output", "bits": [3] }
+              },
+              "cells": {
+                "n": { "type": "$not",
+                       "connections": { "A": [2], "Y": [3] } }
+              },
+              "netnames": { "a": { "bits": [2] }, "y": { "bits": [3] } }
+            },
+            "top": {
+              "attributes": { "top": 1 },
+              "ports": {
+                "x": { "direction": "input", "bits": [2] },
+                "z": { "direction": "output", "bits": [3] }
+              },
+              "cells": {
+                "u": { "type": "leaf",
+                       "connections": { "a": [2], "y": [3] } }
+              },
+              "netnames": {}
+            }
+          }
+        }"#;
+        let design = parse(text).expect("parses");
+        assert_eq!(design.top_module().name, "top");
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = lower(&design, &lib, &LowerOptions::default()).expect("lowers via AIG");
+        let mut sim = Simulator::new(&n, &lib);
+        assert_eq!(sim.run_comb(&[false]), vec![true]);
+    }
+
+    #[test]
+    fn constant_bits_parse_as_constants() {
+        let text = r#"{
+          "modules": {
+            "m": {
+              "ports": { "y": { "direction": "output", "bits": [2] } },
+              "cells": {
+                "g": { "type": "$or",
+                       "connections": { "A": ["1"], "B": ["x"], "Y": [2] } }
+              },
+              "netnames": { "y": { "bits": [2] } }
+            }
+          }
+        }"#;
+        let design = parse(text).expect("parses");
+        assert_eq!(design.top_module().insts[0].conns[0].1, vec![LocalBit::One]);
+        assert_eq!(
+            design.top_module().insts[0].conns[1].1,
+            vec![LocalBit::Zero]
+        );
+    }
+
+    #[test]
+    fn malformed_shapes_are_syntax_errors() {
+        for bad in [
+            r#"{}"#,
+            r#"{"modules": {}}"#,
+            r#"{"modules": {"m": {"ports": {"p": {"bits": [2]}}}}}"#,
+            r#"{"modules": {"m": {"cells": {"c": {"connections": {}}}}}}"#,
+        ] {
+            assert!(
+                matches!(parse(bad), Err(FrontendError::Syntax { .. })),
+                "accepted {bad}"
+            );
+        }
+    }
+}

@@ -6,7 +6,15 @@
 //! 4-byte [`Symbol`] instead of a 24-byte `String` header plus its own
 //! heap allocation. Hot traversals carry symbols; the bytes are only
 //! touched when a report or an error message needs the spelling.
+//!
+//! Generator-built netlists mint every name exactly once, so the default
+//! mode stores blindly. Imported designs are different: the frontend
+//! names cell output nets after their driving instances (the EDA
+//! convention), so whole strings repeat and [`NameTable::enable_dedup`]
+//! turns on hash-consing — an identical spelling returns the existing
+//! [`Symbol`] instead of growing the arena.
 
+use std::collections::HashMap;
 use std::fmt;
 
 /// An interned name: an index into the owning netlist's name table.
@@ -30,24 +38,75 @@ impl fmt::Display for Symbol {
     }
 }
 
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// The arena itself: `bytes` holds every name back to back, `ends[i]`
 /// is the exclusive end of symbol `i` (its start is `ends[i-1]`, or 0).
+///
+/// With dedup enabled, `seen` maps a spelling's FNV-1a hash to the
+/// symbols carrying it (a `Vec` because 64-bit collisions, while
+/// vanishingly rare, must not alias two different names); new strings
+/// still append at the end, so the offset encoding is unchanged.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct NameTable {
     bytes: Vec<u8>,
     ends: Vec<u32>,
+    seen: Option<HashMap<u64, Vec<Symbol>>>,
 }
 
 impl NameTable {
-    /// Appends `name` and returns its symbol. No deduplication: netlist
-    /// names are unique by construction, so a lookup table would cost
-    /// memory to save nothing.
+    /// Interns `name` and returns its symbol. Without dedup this is a
+    /// blind append: generator netlists mint unique names by
+    /// construction, so a lookup table would cost memory to save
+    /// nothing. With [`NameTable::enable_dedup`] on, a repeated spelling
+    /// returns the symbol that already carries it.
     pub(crate) fn intern(&mut self, name: &str) -> Symbol {
+        let hash = match &self.seen {
+            Some(seen) => {
+                let hash = fnv1a(name.as_bytes());
+                if let Some(syms) = seen.get(&hash) {
+                    if let Some(&sym) = syms.iter().find(|&&s| self.resolve(s) == name) {
+                        return sym;
+                    }
+                }
+                Some(hash)
+            }
+            None => None,
+        };
         let sym = u32::try_from(self.ends.len()).expect("name table holds < 2^32 names");
         self.bytes.extend_from_slice(name.as_bytes());
         let end = u32::try_from(self.bytes.len()).expect("name table holds < 4 GiB of names");
         self.ends.push(end);
-        Symbol(sym)
+        let sym = Symbol(sym);
+        if let (Some(hash), Some(seen)) = (hash, self.seen.as_mut()) {
+            seen.entry(hash).or_default().push(sym);
+        }
+        sym
+    }
+
+    /// Switches to hash-consing mode: from now on, interning a spelling
+    /// already in the table returns its existing [`Symbol`]. Existing
+    /// entries are indexed too, so enabling late still dedups against
+    /// everything stored so far. The index is dropped again by
+    /// [`NameTable::shrink_to_fit`] (the end of the build phase).
+    pub(crate) fn enable_dedup(&mut self) {
+        if self.seen.is_some() {
+            return;
+        }
+        let mut seen: HashMap<u64, Vec<Symbol>> = HashMap::new();
+        for i in 0..self.ends.len() {
+            let sym = Symbol(u32::try_from(i).expect("indexed while building"));
+            let hash = fnv1a(self.resolve(sym).as_bytes());
+            seen.entry(hash).or_default().push(sym);
+        }
+        self.seen = Some(seen);
     }
 
     /// The spelling of `sym`.
@@ -62,13 +121,18 @@ impl NameTable {
         std::str::from_utf8(&self.bytes[start..end]).expect("interned names are valid UTF-8")
     }
 
-    /// Releases spare capacity after the build phase settles.
+    /// Releases spare capacity after the build phase settles. Also drops
+    /// the dedup index, if any: lookups stop at pack time, so the index
+    /// is pure overhead from here on.
     pub(crate) fn shrink_to_fit(&mut self) {
         self.bytes.shrink_to_fit();
         self.ends.shrink_to_fit();
+        self.seen = None;
     }
 
-    /// Heap bytes held by the table (string bytes + offset table).
+    /// Heap bytes held by the table (string bytes + offset table; the
+    /// transient dedup index is excluded — it does not survive
+    /// [`NameTable::shrink_to_fit`]).
     pub(crate) fn heap_bytes(&self) -> usize {
         self.bytes.capacity() + self.ends.capacity() * std::mem::size_of::<u32>()
     }
@@ -99,5 +163,36 @@ mod tests {
         let x2 = t.intern("x");
         assert_ne!(x1, x2);
         assert_eq!(t.resolve(x1), t.resolve(x2));
+    }
+
+    #[test]
+    fn dedup_returns_existing_symbols_and_saves_bytes() {
+        let mut t = NameTable::default();
+        let a = t.intern("core.alu.u17"); // before enabling: indexed late
+        t.enable_dedup();
+        let a2 = t.intern("core.alu.u17");
+        assert_eq!(a, a2, "late enable still dedups prior entries");
+        let b = t.intern("core.alu.u18");
+        let b2 = t.intern("core.alu.u18");
+        assert_eq!(b, b2);
+        assert_ne!(a, b);
+        assert_eq!(t.resolve(b), "core.alu.u18");
+        assert_eq!(t.ends.len(), 2, "two spellings, two entries");
+        // Fresh strings still append normally after hits.
+        let c = t.intern("core.alu.u19");
+        assert_eq!(t.resolve(c), "core.alu.u19");
+        assert_eq!(t.ends.len(), 3);
+    }
+
+    #[test]
+    fn shrink_drops_the_dedup_index() {
+        let mut t = NameTable::default();
+        t.enable_dedup();
+        let x1 = t.intern("x");
+        t.shrink_to_fit();
+        assert!(t.seen.is_none());
+        // Back to append-only semantics after the build phase.
+        let x2 = t.intern("x");
+        assert_ne!(x1, x2);
     }
 }

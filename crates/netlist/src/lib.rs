@@ -57,6 +57,7 @@ mod stats;
 mod sweep;
 mod validate;
 pub mod verilog;
+pub mod yosys_json;
 
 pub use builder::NetlistBuilder;
 pub use error::NetlistError;

@@ -247,6 +247,22 @@ impl Netlist {
         }
     }
 
+    /// Switches the name interner to hash-consing mode: repeated
+    /// spellings share one [`Symbol`] from here on. Generator netlists
+    /// never repeat a name, so this stays off by default; the frontend
+    /// turns it on for imported designs, where output nets are named
+    /// after their driving instances and every spelling occurs twice.
+    /// The lookup index is transient — [`Netlist::pack`] drops it.
+    pub fn enable_name_dedup(&mut self) {
+        self.names.enable_dedup();
+    }
+
+    /// Heap bytes held by the name interner (string arena + offsets) —
+    /// what the frontend bench pins to show hash-consing paying off.
+    pub fn name_table_bytes(&self) -> usize {
+        self.names.heap_bytes()
+    }
+
     /// Primary inputs as (name, net) pairs, in declaration order.
     pub fn inputs(&self) -> &[(String, NetId)] {
         &self.inputs

@@ -24,14 +24,20 @@ use crate::error::NetlistError;
 use crate::ids::NetId;
 use crate::netlist::Netlist;
 
+/// The keywords this subset dispatches on. A name spelled like one must
+/// be emitted escaped, or the parser would read it as a statement.
+const KEYWORDS: [&str; 6] = ["module", "endmodule", "input", "output", "wire", "assign"];
+
 /// Escapes a name for Verilog if it contains characters outside
-/// `[A-Za-z0-9_]` (we emit the `\name ` escaped-identifier form).
+/// `[A-Za-z0-9_]`, starts with a digit, or is spelled like a keyword
+/// (we emit the `\name ` escaped-identifier form).
 fn ident(name: &str) -> String {
     let plain = name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && name
             .chars()
             .next()
-            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && !KEYWORDS.contains(&name);
     if plain {
         name.to_string()
     } else {
@@ -115,6 +121,41 @@ pub fn to_verilog(netlist: &Netlist, lib: &Library) -> String {
     out
 }
 
+/// One lexed token. The escaped/plain distinction is load-bearing: an
+/// escaped identifier whose spelling matches a keyword (`\wire `) or a
+/// delimiter must still parse as a *name*, so it gets its own variant
+/// instead of being flattened into a bare word at lex time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    /// A bare word — a keyword, a cell name, or a plain identifier.
+    Word(String),
+    /// An escaped identifier (`\name `), spelling only.
+    Esc(String),
+    /// One of the punctuation characters `( ) ; , . =`.
+    Sym(char),
+}
+
+impl Tok {
+    /// `true` when this token is the literal keyword or punctuation
+    /// `want`. Escaped identifiers never match: `\wire ` is a name.
+    fn is(&self, want: &str) -> bool {
+        match self {
+            Tok::Word(w) => w == want,
+            Tok::Sym(c) => want.len() == 1 && want.starts_with(*c),
+            Tok::Esc(_) => false,
+        }
+    }
+
+    /// The spelling for error messages.
+    fn describe(&self) -> String {
+        match self {
+            Tok::Word(w) => w.clone(),
+            Tok::Esc(w) => format!("\\{w}"),
+            Tok::Sym(c) => c.to_string(),
+        }
+    }
+}
+
 /// Parses the structural subset emitted by [`to_verilog`] back into a
 /// [`Netlist`] over `lib`.
 ///
@@ -125,15 +166,15 @@ pub fn to_verilog(netlist: &Netlist, lib: &Library) -> String {
 pub fn from_verilog(source: &str, lib: &Library) -> Result<Netlist, NetlistError> {
     let tokens = tokenize(source);
     let mut pos = 0usize;
-    let expect = |tok: &mut usize, want: &str, toks: &[String]| -> Result<(), NetlistError> {
-        if toks.get(*tok).map(String::as_str) == Some(want) {
+    let expect = |tok: &mut usize, want: &str, toks: &[Tok]| -> Result<(), NetlistError> {
+        if toks.get(*tok).is_some_and(|t| t.is(want)) {
             *tok += 1;
             Ok(())
         } else {
             Err(NetlistError::Invalid {
                 summary: format!(
                     "expected '{want}' near token {:?}",
-                    toks.get(*tok).cloned().unwrap_or_default()
+                    toks.get(*tok).map(Tok::describe).unwrap_or_default()
                 ),
             })
         }
@@ -145,10 +186,10 @@ pub fn from_verilog(source: &str, lib: &Library) -> Result<Netlist, NetlistError
     expect(&mut pos, "(", &tokens)?;
     // Port list: names only; direction comes later.
     let mut port_order = Vec::new();
-    while tokens.get(pos).map(String::as_str) != Some(")") {
+    while !tokens.get(pos).is_some_and(|t| t.is(")")) {
         let p = next_ident(&tokens, &mut pos)?;
         port_order.push(p);
-        if tokens.get(pos).map(String::as_str) == Some(",") {
+        if tokens.get(pos).is_some_and(|t| t.is(",")) {
             pos += 1;
         }
     }
@@ -168,9 +209,9 @@ pub fn from_verilog(source: &str, lib: &Library) -> Result<Netlist, NetlistError
     let mut aliases: HashMap<String, String> = HashMap::new();
 
     while let Some(tok) = tokens.get(pos) {
-        match tok.as_str() {
-            "endmodule" => break,
-            "assign" => {
+        match tok {
+            Tok::Word(w) if w == "endmodule" => break,
+            Tok::Word(w) if w == "assign" => {
                 pos += 1;
                 let lhs = next_ident(&tokens, &mut pos)?;
                 expect(&mut pos, "=", &tokens)?;
@@ -178,20 +219,20 @@ pub fn from_verilog(source: &str, lib: &Library) -> Result<Netlist, NetlistError
                 expect(&mut pos, ";", &tokens)?;
                 aliases.insert(lhs, rhs);
             }
-            "input" => {
+            Tok::Word(w) if w == "input" => {
                 pos += 1;
                 let n = next_ident(&tokens, &mut pos)?;
                 let id = net_of(&mut netlist, &n);
                 netlist.add_input(n, id)?;
                 expect(&mut pos, ";", &tokens)?;
             }
-            "output" => {
+            Tok::Word(w) if w == "output" => {
                 pos += 1;
                 let n = next_ident(&tokens, &mut pos)?;
                 outputs.push(n);
                 expect(&mut pos, ";", &tokens)?;
             }
-            "wire" => {
+            Tok::Word(w) if w == "wire" => {
                 pos += 1;
                 let n = next_ident(&tokens, &mut pos)?;
                 net_of(&mut netlist, &n);
@@ -209,7 +250,7 @@ pub fn from_verilog(source: &str, lib: &Library) -> Result<Netlist, NetlistError
                 expect(&mut pos, "(", &tokens)?;
                 let mut out_net = None;
                 let mut fanin: Vec<Option<NetId>> = vec![None; cell.function.num_inputs()];
-                while tokens.get(pos).map(String::as_str) != Some(")") {
+                while !tokens.get(pos).is_some_and(|t| t.is(")")) {
                     expect(&mut pos, ".", &tokens)?;
                     let pin = next_ident(&tokens, &mut pos)?;
                     expect(&mut pos, "(", &tokens)?;
@@ -232,7 +273,7 @@ pub fn from_verilog(source: &str, lib: &Library) -> Result<Netlist, NetlistError
                             summary: format!("unknown pin {pin}"),
                         });
                     }
-                    if tokens.get(pos).map(String::as_str) == Some(",") {
+                    if tokens.get(pos).is_some_and(|t| t.is(",")) {
                         pos += 1;
                     }
                 }
@@ -266,20 +307,24 @@ pub fn from_verilog(source: &str, lib: &Library) -> Result<Netlist, NetlistError
     Ok(netlist)
 }
 
-fn next_ident(tokens: &[String], pos: &mut usize) -> Result<String, NetlistError> {
+fn next_ident(tokens: &[Tok], pos: &mut usize) -> Result<String, NetlistError> {
     let t = tokens.get(*pos).ok_or_else(|| NetlistError::Invalid {
         summary: "unexpected end of file".to_string(),
     })?;
-    if matches!(t.as_str(), "(" | ")" | ";" | "," | "." | "=") {
-        return Err(NetlistError::Invalid {
-            summary: format!("expected identifier, found '{t}'"),
-        });
-    }
+    let name = match t {
+        Tok::Word(w) => w.clone(),
+        Tok::Esc(w) => w.clone(),
+        Tok::Sym(c) => {
+            return Err(NetlistError::Invalid {
+                summary: format!("expected identifier, found '{c}'"),
+            })
+        }
+    };
     *pos += 1;
-    Ok(t.clone())
+    Ok(name)
 }
 
-fn tokenize(source: &str) -> Vec<String> {
+fn tokenize(source: &str) -> Vec<Tok> {
     let mut tokens = Vec::new();
     let mut chars = source.chars().peekable();
     while let Some(&c) = chars.peek() {
@@ -296,7 +341,8 @@ fn tokenize(source: &str) -> Vec<String> {
                 }
             }
             '\\' => {
-                // Escaped identifier: up to whitespace.
+                // Escaped identifier: up to whitespace, kept distinct
+                // from bare words so `\wire ` stays a name.
                 chars.next();
                 let mut s = String::new();
                 while let Some(&c) = chars.peek() {
@@ -307,10 +353,10 @@ fn tokenize(source: &str) -> Vec<String> {
                     s.push(c);
                     chars.next();
                 }
-                tokens.push(s);
+                tokens.push(Tok::Esc(s));
             }
             '(' | ')' | ';' | ',' | '.' | '=' => {
-                tokens.push(c.to_string());
+                tokens.push(Tok::Sym(c));
                 chars.next();
             }
             c if c.is_whitespace() => {
@@ -329,7 +375,7 @@ fn tokenize(source: &str) -> Vec<String> {
                 if s.is_empty() {
                     chars.next(); // skip unknown char
                 } else {
-                    tokens.push(s);
+                    tokens.push(Tok::Word(s));
                 }
             }
         }
@@ -400,6 +446,40 @@ mod tests {
         assert!(text.contains('\\'), "x0.5 cell names need escaping");
         let parsed = from_verilog(&text, &lib).expect("parses");
         assert_eq!(parsed.instance_count(), original.instance_count());
+    }
+
+    #[test]
+    fn keyword_spelled_names_round_trip_escaped() {
+        // Frontend-imported designs can legally name a net `wire` or an
+        // instance `assign`; the exporter must escape them and the
+        // parser must read the escaped form back as the identical
+        // symbol instead of dispatching on it as a keyword.
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let inv = lib
+            .smallest(asicgap_cells::CellFunction::Inv)
+            .expect("inverter");
+        let mut n = Netlist::new("kwrt");
+        let a = n.add_net("wire"); // net spelled like a keyword
+        n.add_input("wire", a).expect("input");
+        let y = n.add_net("output"); // and another
+        n.add_instance("assign", &lib, inv, &[a], y).expect("inst");
+        n.add_output("endmodule", y);
+
+        let text = to_verilog(&n, &lib);
+        for kw in ["\\wire ", "\\output ", "\\assign ", "\\endmodule "] {
+            assert!(text.contains(kw), "missing escaped {kw:?} in:\n{text}");
+        }
+        let parsed = from_verilog(&text, &lib).expect("parses back");
+        assert_eq!(parsed.instance_count(), 1);
+        assert_eq!(parsed.inputs()[0].0, "wire", "identical input symbol");
+        assert_eq!(parsed.outputs()[0].0, "endmodule");
+        let (_, inst) = parsed.iter_instances().next().expect("one instance");
+        assert_eq!(inst.name(), "assign");
+        assert_eq!(parsed.net(parsed.outputs()[0].1).name(), "output");
+        // And a second export of the reparsed netlist is byte-identical:
+        // the escape decision is a pure function of the spelling.
+        assert_eq!(to_verilog(&parsed, &lib), text);
     }
 
     #[test]

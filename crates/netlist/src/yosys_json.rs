@@ -1,0 +1,181 @@
+//! Yosys-JSON export: the `write_json` netlist shape of the open-EDA
+//! world (`modules → ports/cells/netnames → connections`).
+//!
+//! This is the outbound half of the interchange loop — the inbound
+//! parser lives in `asicgap-frontend`, which also proves the round trip
+//! (export → reparse → miter/CDCL equivalence) over the generator
+//! suite. The emitted subset is exactly what mapped netlists need: one
+//! module, scalar ports, and cell instances connected by per-module bit
+//! indices.
+//!
+//! Conventions (mirrored by the frontend importer):
+//! - bit numbers are `net.index() + 2`, reserving the Yosys constant
+//!   spellings `"0"`, `"1"`, and `"x"` below them;
+//! - fan-in pins are named `a`, `b`, `c`, `d` in pin order and the
+//!   output pin is `y`, for every cell including flip-flops (the
+//!   library cell name, not the pin name, carries the function);
+//! - emission order is deterministic: ports in declaration order, cells
+//!   in instance order, netnames in net order.
+
+use std::fmt::Write as _;
+
+use asicgap_cells::Library;
+
+use crate::netlist::Netlist;
+
+/// Names of fan-in pins in order, matching the frontend importer.
+pub const FANIN_PINS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Escapes a string for a JSON literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn bit_of(net: crate::ids::NetId) -> usize {
+    net.index() + 2
+}
+
+/// Serialises `netlist` as Yosys JSON.
+///
+/// # Example
+///
+/// ```
+/// use asicgap_tech::Technology;
+/// use asicgap_cells::LibrarySpec;
+/// use asicgap_netlist::generators;
+/// use asicgap_netlist::yosys_json::to_yosys_json;
+///
+/// let tech = Technology::cmos025_asic();
+/// let lib = LibrarySpec::rich().build(&tech);
+/// let design = generators::parity_tree(&lib, 4)?;
+/// let text = to_yosys_json(&design, &lib);
+/// assert!(text.contains("\"modules\""));
+/// # Ok::<(), asicgap_netlist::NetlistError>(())
+/// ```
+pub fn to_yosys_json(netlist: &Netlist, lib: &Library) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"creator\": \"asicgap\",\n  \"modules\": {\n");
+    let _ = writeln!(out, "    {}: {{", json_str(&netlist.name));
+    out.push_str("      \"attributes\": { \"top\": 1 },\n");
+
+    // Ports: scalar, declaration order, inputs then outputs.
+    out.push_str("      \"ports\": {\n");
+    let mut port_lines = Vec::new();
+    for (name, net) in netlist.inputs() {
+        port_lines.push(format!(
+            "        {}: {{ \"direction\": \"input\", \"bits\": [{}] }}",
+            json_str(name),
+            bit_of(*net)
+        ));
+    }
+    for (name, net) in netlist.outputs() {
+        port_lines.push(format!(
+            "        {}: {{ \"direction\": \"output\", \"bits\": [{}] }}",
+            json_str(name),
+            bit_of(*net)
+        ));
+    }
+    out.push_str(&port_lines.join(",\n"));
+    out.push_str("\n      },\n");
+
+    // Cells: instance order; fan-ins on pins a..d, output on y.
+    out.push_str("      \"cells\": {\n");
+    let mut cell_lines = Vec::new();
+    for (_, inst) in netlist.iter_instances() {
+        let cell = lib.cell(inst.cell());
+        let mut conns = Vec::new();
+        let mut dirs = Vec::new();
+        for (k, &f) in inst.fanin().iter().enumerate() {
+            let pin = FANIN_PINS[k];
+            dirs.push(format!("\"{pin}\": \"input\""));
+            conns.push(format!("\"{pin}\": [{}]", bit_of(f)));
+        }
+        dirs.push("\"y\": \"output\"".to_string());
+        conns.push(format!("\"y\": [{}]", bit_of(inst.out())));
+        cell_lines.push(format!(
+            "        {}: {{ \"type\": {}, \"port_directions\": {{ {} }}, \"connections\": {{ {} }} }}",
+            json_str(inst.name()),
+            json_str(&cell.name),
+            dirs.join(", "),
+            conns.join(", ")
+        ));
+    }
+    out.push_str(&cell_lines.join(",\n"));
+    out.push_str("\n      },\n");
+
+    // Netnames: net order. A spelling can repeat when the source
+    // netlist was built with name dedup on; only the first occurrence
+    // is emitted (JSON object keys must be unique), later nets fall
+    // back to importer-assigned names.
+    out.push_str("      \"netnames\": {\n");
+    let mut seen = std::collections::HashSet::new();
+    let mut net_lines = Vec::new();
+    for (id, net) in netlist.iter_nets() {
+        if seen.insert(net.name().to_string()) {
+            net_lines.push(format!(
+                "        {}: {{ \"bits\": [{}] }}",
+                json_str(net.name()),
+                bit_of(id)
+            ));
+        }
+    }
+    out.push_str(&net_lines.join(",\n"));
+    out.push_str("\n      }\n");
+
+    out.push_str("    }\n  }\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use asicgap_cells::LibrarySpec;
+    use asicgap_tech::Technology;
+
+    #[test]
+    fn export_shape_is_well_formed() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::ripple_carry_adder(&lib, 4).expect("rca4");
+        let text = to_yosys_json(&n, &lib);
+        assert!(text.contains("\"modules\""));
+        assert!(text.contains("\"rca4\""));
+        assert!(text.contains("\"direction\": \"input\""));
+        assert!(text.contains("\"direction\": \"output\""));
+        assert!(text.contains("\"connections\""));
+        // Deterministic: two exports are byte-identical.
+        assert_eq!(text, to_yosys_json(&n, &lib));
+        // Balanced braces — a cheap structural sanity check; the real
+        // round trip is proven in tests/frontend.rs via the reparser.
+        let open = text.matches('{').count();
+        let close = text.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn cell_names_with_dots_are_plain_json_strings() {
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let n = generators::parity_tree(&lib, 4).expect("parity4");
+        let text = to_yosys_json(&n, &lib);
+        // Drive suffixes like x0.5 need no escaping in JSON.
+        assert!(!text.contains('\\'), "no escapes expected: {text}");
+    }
+}

@@ -144,7 +144,7 @@ impl Client {
         let mut attempts = 0;
         loop {
             attempts += 1;
-            match self.run(req)? {
+            match self.run(req.clone())? {
                 Ok(done) => return Ok(done),
                 Err(retry_after_ms) if attempts < max_attempts => {
                     thread::sleep(Duration::from_millis(u64::from(retry_after_ms.max(1))));
@@ -191,13 +191,33 @@ impl Client {
         let mut attempts = 0;
         loop {
             attempts += 1;
-            match self.close(req)? {
+            match self.close(req.clone())? {
                 Ok(done) => return Ok(done),
                 Err(retry_after_ms) if attempts < max_attempts => {
                     thread::sleep(Duration::from_millis(u64::from(retry_after_ms.max(1))));
                 }
                 Err(_) => return Err(ClientError::StillBusy { attempts }),
             }
+        }
+    }
+
+    /// Uploads a design payload; returns the canonical
+    /// `file/<format>/<hash>` workload key for later `RUN`/`CLOSE`
+    /// requests (parse it with `asicgap::WorkloadSpec::parse`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when the payload does not parse,
+    /// [`ClientError::Proto`] on transport failure.
+    pub fn load(
+        &mut self,
+        format: asicgap::frontend::DesignFormat,
+        payload: String,
+    ) -> Result<String, ClientError> {
+        match self.call(&Request::Load { format, payload })? {
+            Response::Loaded { spec } => Ok(spec),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(other.encode())),
         }
     }
 

@@ -39,7 +39,7 @@
 //!
 //! let sched = Scheduler::start(2, 8, 1 << 20);
 //! let req = RunRequest::small();
-//! let fresh = match sched.submit(req) {
+//! let fresh = match sched.submit(req.clone()) {
 //!     Admission::Submitted(job) => job.wait().unwrap(),
 //!     _ => unreachable!("empty scheduler admits"),
 //! };

@@ -10,7 +10,7 @@
 //! Request bodies are single lines (`PING`, `STATS`, `SHUTDOWN`, or a
 //! `RUN` line of `key=value` fields). Response bodies are a verb line
 //! optionally followed by a canonical-text payload (the
-//! [`ScenarioOutcome`] canonical form for `OUTCOME`, the metrics
+//! [`asicgap::ScenarioOutcome`] canonical form for `OUTCOME`, the metrics
 //! snapshot for `STATS`) — the same bytes the batch tooling prints, so
 //! cached, deduplicated, and freshly computed responses can be compared
 //! byte-for-byte.
@@ -18,6 +18,7 @@
 use std::fmt;
 use std::io::{self, Read, Write};
 
+use asicgap::frontend::DesignFormat;
 use asicgap::{
     canonical_key, close_canonical_key, content_hash, ClosureTarget, DesignScenario, VerifyLevel,
     WireModel, WorkloadSpec,
@@ -199,7 +200,7 @@ impl ScenarioPreset {
 
 /// One flow-run request: preset plus the per-request knobs. Identity
 /// for caching/dedup is [`RunRequest::canonical_key`], not `Eq`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunRequest {
     /// Which scenario preset to run.
     pub preset: ScenarioPreset,
@@ -257,7 +258,7 @@ impl RunRequest {
 /// [`CloseRequest::canonical_key`], which embeds the *unchanged* flow
 /// key under a `CLOSE`-specific header — a `CLOSE` result can never be
 /// served for a `RUN` or vice versa.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CloseRequest {
     /// The flow knobs: preset, wire model, verify level, seed, workload,
     /// deadline. The deadline cancels the fix loop at iteration
@@ -355,6 +356,16 @@ pub enum Request {
     Run(RunRequest),
     /// Run (or fetch) one closed-loop timing-closure flow.
     Close(CloseRequest),
+    /// Upload a design payload (Yosys JSON or EDIF text). The server
+    /// content-hashes it into its design store and answers `LOADED`
+    /// with the canonical `file/<format>/<hash>` workload key, which
+    /// later `RUN`/`CLOSE` requests can name as their workload.
+    Load {
+        /// The payload's format.
+        format: DesignFormat,
+        /// The design text itself.
+        payload: String,
+    },
     /// Fetch the metrics snapshot.
     Stats,
     /// Drain the queue, stop the workers, and close the listener.
@@ -375,6 +386,9 @@ impl Request {
                 c.target_mhz,
                 c.max_moves
             ),
+            Request::Load { format, payload } => {
+                format!("LOAD {}\n{payload}", format.canonical())
+            }
         }
     }
 
@@ -389,6 +403,17 @@ impl Request {
             "STATS" => return Ok(Request::Stats),
             "SHUTDOWN" => return Ok(Request::Shutdown),
             _ => {}
+        }
+        if let Some(rest) = body.strip_prefix("LOAD ") {
+            let (fmt, payload) = rest
+                .split_once('\n')
+                .ok_or_else(|| malformed("LOAD without payload"))?;
+            let format = DesignFormat::parse(fmt)
+                .ok_or_else(|| malformed(format!("design format {fmt:?}")))?;
+            return Ok(Request::Load {
+                format,
+                payload: payload.to_string(),
+            });
         }
         let (verb, fields) = if let Some(fields) = body.strip_prefix("RUN ") {
             ("RUN", fields)
@@ -518,6 +543,12 @@ pub enum Response {
         /// [`crate::metrics::MetricsSnapshot`] canonical text.
         text: String,
     },
+    /// `LOAD` acknowledgement: the design is in the server's store.
+    Loaded {
+        /// The canonical `file/<format>/<hash>` workload key to use in
+        /// later `RUN`/`CLOSE` requests.
+        spec: String,
+    },
     /// `SHUTDOWN` acknowledgement; the server is draining.
     Bye,
     /// The request failed (parse error, flow error, cancelled deadline).
@@ -541,6 +572,7 @@ impl Response {
                 format!("OUTCOME {}\n{text}", source.name())
             }
             Response::Stats { text } => format!("STATS\n{text}"),
+            Response::Loaded { spec } => format!("LOADED {spec}"),
         }
     }
 
@@ -578,6 +610,11 @@ impl Response {
         if let Some(text) = body.strip_prefix("STATS\n") {
             return Ok(Response::Stats {
                 text: text.to_string(),
+            });
+        }
+        if let Some(spec) = body.strip_prefix("LOADED ") {
+            return Ok(Response::Loaded {
+                spec: spec.to_string(),
             });
         }
         Err(malformed(format!(
@@ -620,7 +657,7 @@ mod tests {
                 _ => VerifyLevel::Full,
             },
             seed: rng.next_u64(),
-            workload: workloads[(rng.next_u64() % 6) as usize],
+            workload: workloads[(rng.next_u64() % 6) as usize].clone(),
             deadline_ms: (rng.next_u64() % 100_000) as u32,
         }
     }
@@ -740,13 +777,13 @@ mod tests {
     #[test]
     fn close_request_identity_excludes_deadline_but_not_target() {
         let a = CloseRequest::small(250.0);
-        let mut b = a;
+        let mut b = a.clone();
         b.run.deadline_ms = 5000;
         assert_eq!(a.canonical_key(), b.canonical_key());
-        let mut c = a;
+        let mut c = a.clone();
         c.target_mhz = 300.0;
         assert_ne!(a.content_hash(), c.content_hash());
-        let mut d = a;
+        let mut d = a.clone();
         d.max_moves = 3;
         assert_ne!(a.content_hash(), d.content_hash());
         // And a CLOSE key never collides with the RUN key of the same
@@ -758,13 +795,31 @@ mod tests {
     #[test]
     fn run_request_identity_excludes_deadline() {
         let a = RunRequest::small();
-        let mut b = a;
+        let mut b = a.clone();
         b.deadline_ms = 5000;
         assert_eq!(a.canonical_key(), b.canonical_key());
         assert_eq!(a.content_hash(), b.content_hash());
-        let mut c = a;
+        let mut c = a.clone();
         c.seed = 99;
         assert_ne!(a.content_hash(), c.content_hash());
+    }
+
+    #[test]
+    fn load_round_trips_and_rejects_bad_forms() {
+        for format in [DesignFormat::YosysJson, DesignFormat::Edif] {
+            let req = Request::Load {
+                format,
+                payload: "{\n  \"modules\": {}\n}\n".to_string(),
+            };
+            assert_eq!(Request::decode(&req.encode()).expect("decodes"), req);
+        }
+        let resp = Response::Loaded {
+            spec: "file/yosys-json/00000000deadbeef".to_string(),
+        };
+        assert_eq!(Response::decode(&resp.encode()).expect("decodes"), resp);
+        // No payload separator, and an unknown format, are malformed.
+        assert!(Request::decode("LOAD yosys-json").is_err());
+        assert!(Request::decode("LOAD vhdl\nentity e;").is_err());
     }
 
     #[test]

@@ -27,7 +27,9 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use asicgap::{run_scenario_observed, FlowObserver, FlowStage, GapError, Verdict};
+use asicgap::frontend::DesignFormat;
+use asicgap::netlist::{Netlist, NetlistError};
+use asicgap::{run_scenario_observed, FlowObserver, FlowStage, GapError, Verdict, WorkloadSpec};
 
 use crate::cache::ResultCache;
 use crate::metrics::Metrics;
@@ -37,7 +39,7 @@ use crate::proto::{CloseRequest, RunRequest};
 /// run, or a closed-loop timing-closure run. Both are cached and
 /// deduplicated under their own canonical keys, which can never collide
 /// (the `CLOSE` key embeds the flow key under a distinct header).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub enum Work {
     /// `RUN`: one scenario flow.
     Run(RunRequest),
@@ -147,6 +149,10 @@ pub struct Scheduler {
     cache: ResultCache,
     metrics: Arc<Metrics>,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Uploaded design payloads, keyed by [`asicgap::content_hash`] of
+    /// the text. `LOAD` fills it; `RUN`/`CLOSE` on a `file/...` workload
+    /// reads it.
+    designs: Mutex<HashMap<u64, (DesignFormat, Arc<String>)>>,
 }
 
 impl Scheduler {
@@ -164,6 +170,7 @@ impl Scheduler {
             cache: ResultCache::new(cache_budget),
             metrics: Arc::new(Metrics::default()),
             workers: Mutex::new(Vec::new()),
+            designs: Mutex::new(HashMap::new()),
         });
         let mut handles = Vec::with_capacity(workers.max(1));
         for i in 0..workers.max(1) {
@@ -209,6 +216,62 @@ impl Scheduler {
     /// Admits one `CLOSE` request, same admission paths as `RUN`.
     pub fn submit_close(&self, req: CloseRequest) -> Admission {
         self.submit_work(Work::Close(req))
+    }
+
+    /// Stores an uploaded design payload and returns its canonical
+    /// `file/<format>/<hash>` workload key. The payload is parsed up
+    /// front so a malformed design is rejected at `LOAD` time, not
+    /// deep inside a flow run.
+    ///
+    /// # Errors
+    ///
+    /// A one-line message when the payload does not parse as `format`.
+    pub fn load_design(&self, format: DesignFormat, payload: String) -> Result<String, String> {
+        asicgap::frontend::parse_design(format, &payload)
+            .map_err(|e| format!("load failed: {e}"))?;
+        let hash = asicgap::content_hash(&payload);
+        self.designs
+            .lock()
+            .expect("designs lock")
+            .entry(hash)
+            .or_insert((format, Arc::new(payload)));
+        Ok(format!("file/{}/{hash:016x}", format.canonical()))
+    }
+
+    /// Builds a workload netlist, resolving `file/...` specs through
+    /// the design store (wire-parsed `File` specs carry no path; their
+    /// payload must have been `LOAD`ed first).
+    fn build_workload(
+        &self,
+        spec: &WorkloadSpec,
+        lib: &asicgap::cells::Library,
+    ) -> Result<Netlist, NetlistError> {
+        if let WorkloadSpec::File { path, format, hash } = spec {
+            if path.is_empty() {
+                let stored = self
+                    .designs
+                    .lock()
+                    .expect("designs lock")
+                    .get(hash)
+                    .cloned();
+                let Some((fmt, text)) = stored else {
+                    return Err(NetlistError::Invalid {
+                        summary: format!("design {} not loaded on this server", spec.canonical()),
+                    });
+                };
+                if fmt != *format {
+                    return Err(NetlistError::Invalid {
+                        summary: format!("design {hash:016x} was loaded as {fmt}, not {format}"),
+                    });
+                }
+                return asicgap::frontend::load_design(*format, &text, lib).map_err(|e| {
+                    NetlistError::Invalid {
+                        summary: format!("frontend: {e}"),
+                    }
+                });
+            }
+        }
+        spec.build(lib)
     }
 
     /// Admits one unit of work; see the module docs for the four
@@ -311,9 +374,9 @@ impl Scheduler {
             self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
             return Err("cancelled before start (deadline expired in queue)".to_string());
         }
-        match job.work {
-            Work::Run(req) => self.execute_run(job, &req, &obs),
-            Work::Close(req) => self.execute_close(job, &req),
+        match &job.work {
+            Work::Run(req) => self.execute_run(job, req, &obs),
+            Work::Close(req) => self.execute_close(job, req),
         }
     }
 
@@ -333,7 +396,12 @@ impl Scheduler {
         obs: &StageObserver<'_>,
     ) -> Result<String, String> {
         let scenario = req.scenario();
-        let run = run_scenario_observed(&scenario, |lib| req.workload.build(lib), req.verify, obs);
+        let run = run_scenario_observed(
+            &scenario,
+            |lib| self.build_workload(&req.workload, lib),
+            req.verify,
+            obs,
+        );
         match run {
             Ok(outcome) => self.finish(job, outcome.to_string()),
             Err(GapError::Cancelled { after }) => {
@@ -355,7 +423,7 @@ impl Scheduler {
         let deadline = job.deadline;
         let cancel = move || deadline.is_some_and(|d| Instant::now() >= d);
         let run = scenario.close_timing_cancellable(
-            |lib| req.run.workload.build(lib),
+            |lib| self.build_workload(&req.run.workload, lib),
             req.run.verify,
             &req.target(),
             &cancel,
@@ -493,6 +561,54 @@ mod tests {
     }
 
     #[test]
+    fn loaded_design_runs_through_the_flow() {
+        use asicgap::cells::LibrarySpec;
+        use asicgap::netlist::{generators, yosys_json};
+        use asicgap::tech::Technology;
+
+        let tech = Technology::cmos025_asic();
+        let lib = LibrarySpec::rich().build(&tech);
+        let design = generators::alu(&lib, 4).expect("alu4");
+        let text = yosys_json::to_yosys_json(&design, &lib);
+
+        let sched = Scheduler::start(1, 8, 1 << 20);
+        let spec = sched
+            .load_design(DesignFormat::YosysJson, text.clone())
+            .expect("loads");
+        // Re-loading the same bytes is idempotent and hits the same key.
+        assert_eq!(
+            sched
+                .load_design(DesignFormat::YosysJson, text)
+                .expect("reloads"),
+            spec
+        );
+        let mut req = small(1);
+        req.workload = WorkloadSpec::parse(&spec).expect("spec parses");
+        let (s1, t1) = resolve(&sched, req.clone());
+        assert_eq!(s1, Source::Computed);
+        let (s2, t2) = resolve(&sched, req);
+        assert_eq!(s2, Source::Cache);
+        assert_eq!(t1, t2);
+
+        // A file workload that was never loaded fails with a clear
+        // message instead of a panic.
+        let mut ghost = small(2);
+        ghost.workload = WorkloadSpec::parse("file/yosys-json/00000000deadbeef").expect("parses");
+        let err = match sched.submit(ghost) {
+            Admission::Submitted(j) => j.wait().expect_err("must fail"),
+            _ => panic!("expected submit"),
+        };
+        assert!(err.contains("not loaded"), "got {err:?}");
+
+        // Malformed payloads are rejected at LOAD time.
+        assert!(sched
+            .load_design(DesignFormat::YosysJson, "{ not json".to_string())
+            .is_err());
+        sched.shutdown();
+        sched.join();
+    }
+
+    #[test]
     fn verified_run_caches_too() {
         let mut req = small(9);
         req.verify = VerifyLevel::Full;
@@ -500,7 +616,7 @@ mod tests {
         req.wire_model = WireModel::Routed;
         req.workload = WorkloadSpec::KoggeStoneAdder { width: 8 };
         let sched = Scheduler::start(2, 8, 1 << 20);
-        let (_, t1) = resolve(&sched, req);
+        let (_, t1) = resolve(&sched, req.clone());
         let (s2, t2) = resolve(&sched, req);
         assert_eq!(s2, Source::Cache);
         assert_eq!(t1, t2);

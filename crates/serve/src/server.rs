@@ -165,6 +165,10 @@ fn handle_connection(
             }
             Ok(Request::Run(req)) => admit(sched.submit(req), retry_after_ms),
             Ok(Request::Close(req)) => admit(sched.submit_close(req), retry_after_ms),
+            Ok(Request::Load { format, payload }) => match sched.load_design(format, payload) {
+                Ok(spec) => Response::Loaded { spec },
+                Err(message) => Response::Error { message },
+            },
         };
         if write_frame(&mut stream, &response.encode()).is_err() {
             return;

@@ -64,9 +64,9 @@ pub use domino_map::map_dual_rail_domino;
 pub use drive::{select_drives_on, select_drives_with, DriveOptions};
 pub use error::SynthError;
 pub use flow::{StageProof, SynthFlow};
-pub use map::{map_aig, MapOptions};
+pub use map::{map_aig, map_aig_seq, MapOptions};
 pub use pass::{PassDelta, PassKind, PassPipeline};
-pub use reentry::{netlist_to_aig, SeqBinding};
+pub use reentry::{expand_cell, netlist_to_aig, SeqBinding};
 pub use rewrite::{
     rebalance_pass, rewrite_pass, ChainFamily, ReplacementLibrary, RewriteOptions, RewriteStats,
 };

@@ -261,6 +261,28 @@ impl<'a> Mapper<'a> {
     }
 }
 
+/// Maps an AIG that may carry sequential boundaries — the public form
+/// of [`map_with_seq`] for external AIG producers. The frontend lowers
+/// imported designs with Yosys generic gates into an AIG (flip-flops as
+/// `__q_`/`__d_` pseudo-pin boundaries, exactly as
+/// [`crate::netlist_to_aig`] produces them) and hands it here for
+/// technology mapping.
+///
+/// # Errors
+///
+/// As [`map_with_seq`]: [`SynthError::LibraryTooPoor`] without an
+/// inverter plus a nand2 or nor2, [`SynthError::ConstantOutput`] when
+/// an output literal is constant.
+pub fn map_aig_seq(
+    aig: &Aig,
+    lib: &Library,
+    options: &MapOptions,
+    seq: &[SeqBinding],
+    name: &str,
+) -> Result<Netlist, SynthError> {
+    map_with_seq(aig, lib, options, seq, name)
+}
+
 /// Maps an AIG that may carry sequential boundaries (from
 /// [`crate::netlist_to_aig`]); flip-flops/latches are re-instantiated and
 /// their pseudo pins reconnected.

@@ -83,6 +83,19 @@ pub fn netlist_to_aig(netlist: &Netlist, lib: &Library) -> (Aig, Vec<SeqBinding>
     (aig, seq)
 }
 
+/// Expands one combinational cell function over AIG literals — the
+/// public form of [`build_function`]. The frontend uses it to lower
+/// bound library cells into the same AIG as Yosys generic gates before
+/// technology mapping.
+///
+/// # Panics
+///
+/// Panics on arity mismatch or a sequential function (flip-flops are
+/// register boundaries, not gates).
+pub fn expand_cell(aig: &mut Aig, f: CellFunction, ins: &[Lit]) -> Lit {
+    build_function(aig, f, ins)
+}
+
 /// Expands one cell function over AIG literals.
 ///
 /// # Panics

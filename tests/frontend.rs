@@ -1,0 +1,257 @@
+//! The frontend subsystem end-to-end: the exporter→parser round trip
+//! proven equivalent by the miter/CDCL checker over the generator
+//! suite, the checked-in real-design fixtures through the fully
+//! verified routed flow, the malformed-input corpus (typed errors,
+//! never panics), and the content-hashed identity contract of
+//! `file/...` workloads.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use asicgap::cells::{Library, LibrarySpec};
+use asicgap::equiv::{check_equiv, EquivResult};
+use asicgap::frontend::{self, DesignFormat, FrontendError};
+use asicgap::netlist::yosys_json::to_yosys_json;
+use asicgap::netlist::{generators, Netlist, NetlistError};
+use asicgap::tech::Technology;
+use asicgap::{
+    canonical_key, content_hash, run_scenario_verified, DesignScenario, VerifyLevel, WireModel,
+    WorkloadSpec,
+};
+
+/// `ASICGAP_THREADS` is process-global; thread-sweeping tests serialize.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../fixtures")
+        .join(name)
+}
+
+fn rich_library() -> Library {
+    LibrarySpec::rich().build(&Technology::cmos025_asic())
+}
+
+/// The round-trip suite: every generator family, combinational and
+/// sequential. Adding a generator here extends the proof, not just the
+/// parse.
+fn round_trip_cases(lib: &Library) -> Vec<(&'static str, Netlist)> {
+    type Gen = fn(&Library) -> Result<Netlist, NetlistError>;
+    let gens: Vec<(&'static str, Gen)> = vec![
+        ("alu8", |l| generators::alu(l, 8)),
+        ("rca8", |l| generators::ripple_carry_adder(l, 8)),
+        ("cla8", |l| generators::carry_lookahead_adder(l, 8)),
+        ("csel8", |l| generators::carry_select_adder(l, 8, 2)),
+        ("cskip8", |l| generators::carry_skip_adder(l, 8, 2)),
+        ("ks8", |l| generators::kogge_stone_adder(l, 8)),
+        ("counter6", |l| generators::counter(l, 6)),
+        ("crc8", |l| generators::crc_checker(l, 8, 0x07, 8)),
+        ("datapath4", |l| generators::datapath(l, 4)),
+        ("mux8", |l| generators::mux_tree(l, 8)),
+        ("parity9", |l| generators::parity_tree(l, 9)),
+        ("eq8", |l| generators::equality_comparator(l, 8)),
+        ("mult4", |l| generators::array_multiplier(l, 4)),
+        ("bshift8", |l| generators::barrel_shifter(l, 8)),
+    ];
+    gens.into_iter()
+        .map(|(name, g)| (name, g(lib).expect(name)))
+        .collect()
+}
+
+#[test]
+fn exporter_round_trip_is_proven_equivalent_for_every_generator() {
+    let lib = rich_library();
+    let cases = round_trip_cases(&lib);
+    assert!(cases.len() >= 10, "the suite must cover >= 10 generators");
+    for (name, golden) in &cases {
+        let text = to_yosys_json(golden, &lib);
+        let parsed = frontend::load_design(DesignFormat::YosysJson, &text, &lib).expect("reparses");
+        assert_eq!(
+            parsed.instance_count(),
+            golden.instance_count(),
+            "{name}: reparse must preserve the instance list exactly"
+        );
+        let report = check_equiv(golden, &lib, &parsed, &lib).expect("checker runs");
+        assert_eq!(
+            report.result,
+            EquivResult::Equivalent,
+            "{name}: round trip must be proven equivalent, got {:?}",
+            report.result
+        );
+    }
+}
+
+#[test]
+fn riscv_fixtures_parse_into_bound_netlists() {
+    let lib = rich_library();
+
+    // The Yosys-JSON ALU: hierarchical, generic cells, a multi-bit
+    // $dff, a constant carry-in — the AIG lowering path end to end.
+    let alu = frontend::load_file(&fixture("riscv_alu.json"), &lib).expect("riscv_alu parses");
+    assert_eq!(alu.name, "riscv_alu");
+    assert!(
+        alu.instance_count() >= 8,
+        "4 slices and 4 registers lower to >= 8 instances, got {}",
+        alu.instance_count()
+    );
+    assert_eq!(alu.inputs().len(), 1 + 4 + 4 + 2, "clk + a + b + op bits");
+    assert_eq!(alu.outputs().len(), 4);
+
+    // The EDIF datapath: external leaf library, array ports, renamed
+    // hierarchy — the direct lowering path with preserved names.
+    let dp =
+        frontend::load_file(&fixture("riscv_datapath.edif"), &lib).expect("riscv_datapath parses");
+    assert_eq!(dp.name, "riscv_datapath");
+    // 2 stages x (mux + dff) + the parity xor, names hierarchical.
+    assert_eq!(dp.instance_count(), 5);
+    let names: Vec<&str> = dp.iter_instances().map(|(_, i)| i.name()).collect();
+    for expected in ["s0.m", "s0.f", "s1.m", "s1.f", "px"] {
+        assert!(names.contains(&expected), "missing {expected} in {names:?}");
+    }
+}
+
+#[test]
+fn fixtures_complete_the_fully_verified_routed_flow() {
+    let scenario = DesignScenario::typical_asic().with_wire_model(WireModel::Routed);
+    for file in ["riscv_alu.json", "riscv_datapath.edif"] {
+        let spec = WorkloadSpec::from_file(&fixture(file)).expect("spec from file");
+        let out = run_scenario_verified(&scenario, |lib| spec.build(lib), VerifyLevel::Full)
+            .unwrap_or_else(|e| panic!("{file}: verified flow failed: {e}"));
+        let route = out.route.as_ref().expect("routed flow carries a summary");
+        assert_eq!(route.overflow, 0, "{file}: routing must converge");
+        assert!(
+            out.verify_effort.is_some(),
+            "{file}: full verification must record checker effort"
+        );
+        assert!(out.gates > 0 && out.shipped.value() > 0.0);
+    }
+}
+
+#[test]
+fn malformed_designs_produce_typed_errors_never_panics() {
+    let lib = rich_library();
+
+    // Truncated JSON at several byte cuts (the export is ASCII).
+    let alu = generators::alu(&lib, 4).expect("alu4");
+    let text = to_yosys_json(&alu, &lib);
+    for cut in [1, text.len() / 3, text.len() / 2, text.len() - 2] {
+        let err = frontend::load_design(DesignFormat::YosysJson, &text[..cut], &lib)
+            .expect_err("truncation must fail");
+        assert!(
+            matches!(err, FrontendError::Syntax { .. }),
+            "cut at {cut}: {err}"
+        );
+    }
+
+    // Unknown cell type.
+    let unknown = r#"{ "modules": { "m": {
+        "ports": { "a": { "direction": "input", "bits": [2] },
+                   "y": { "direction": "output", "bits": [3] } },
+        "cells": { "g": { "type": "mystery9000",
+                          "connections": { "A": [2], "Y": [3] } } },
+        "netnames": {} } } }"#;
+    let err = frontend::load_design(DesignFormat::YosysJson, unknown, &lib)
+        .expect_err("unknown cell must fail");
+    assert!(matches!(err, FrontendError::UnknownCell { .. }), "{err}");
+
+    // Width mismatch: a scalar submodule port handed two bits.
+    let wide = r#"{ "modules": {
+        "leaf": { "ports": { "a": { "direction": "input", "bits": [2] },
+                             "y": { "direction": "output", "bits": [3] } },
+                  "cells": { "n": { "type": "$not",
+                                    "connections": { "A": [2], "Y": [3] } } },
+                  "netnames": {} },
+        "top": { "attributes": { "top": 1 },
+                 "ports": { "p": { "direction": "input", "bits": [2, 3] },
+                            "q": { "direction": "output", "bits": [4] } },
+                 "cells": { "u": { "type": "leaf",
+                                   "connections": { "a": [2, 3], "y": [4] } } },
+                 "netnames": {} } } }"#;
+    let err = frontend::load_design(DesignFormat::YosysJson, wide, &lib)
+        .expect_err("width mismatch must fail");
+    assert!(matches!(err, FrontendError::WidthMismatch { .. }), "{err}");
+
+    // Dangling reference: an EDIF portRef naming an unknown instance.
+    let dangling = r#"(edif d (edifVersion 2 0 0)
+      (library work
+        (cell top (cellType GENERIC)
+          (view netlist (viewType NETLIST)
+            (interface (port a (direction INPUT)) (port y (direction OUTPUT)))
+            (contents
+              (instance g (viewRef netlist (cellRef inv_x1)))
+              (net n (joined (portRef a) (portRef a (instanceRef ghost))))))))
+      (design d (cellRef top)))"#;
+    let err = frontend::load_design(DesignFormat::Edif, dangling, &lib)
+        .expect_err("dangling ref must fail");
+    assert!(matches!(err, FrontendError::DanglingRef { .. }), "{err}");
+
+    // Truncated EDIF.
+    let err = frontend::load_design(DesignFormat::Edif, &dangling[..dangling.len() / 2], &lib)
+        .expect_err("truncated EDIF must fail");
+    assert!(matches!(err, FrontendError::Syntax { .. }), "{err}");
+}
+
+#[test]
+fn file_workload_identity_is_content_hashed_and_thread_invariant() {
+    let path = fixture("riscv_alu.json");
+    let text = std::fs::read_to_string(&path).expect("fixture readable");
+    let spec = WorkloadSpec::from_file(&path).expect("spec from file");
+
+    // The canonical key is the content hash, not the path.
+    assert_eq!(
+        spec.canonical(),
+        format!("file/yosys-json/{:016x}", content_hash(&text))
+    );
+    let reparsed = WorkloadSpec::parse(&spec.canonical()).expect("wire form parses");
+    assert_eq!(reparsed.canonical(), spec.canonical());
+
+    // A wire-parsed spec carries no payload and must refuse to build
+    // rather than guess.
+    let lib = rich_library();
+    assert!(matches!(
+        reparsed.build(&lib),
+        Err(NetlistError::Invalid { .. })
+    ));
+
+    // E16 golden pin: the full scenario-identity hash of the checked-in
+    // fixture under the verified routed flow. Editing the fixture (or
+    // the canonical-key format) changes this on purpose; update the pin
+    // alongside EXPERIMENTS.md.
+    let scenario = DesignScenario::typical_asic().with_wire_model(WireModel::Routed);
+    let key = canonical_key(&scenario, &spec, VerifyLevel::Full);
+    let pinned = format!("{:#018x}", content_hash(&key));
+    assert_eq!(pinned, "0x8a587ff9b17f56c5");
+
+    // Identity is byte-identical across thread counts.
+    let _guard = ENV_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let at = |threads: &str| {
+        std::env::set_var("ASICGAP_THREADS", threads);
+        let spec = WorkloadSpec::from_file(&path).expect("spec from file");
+        let key = canonical_key(&scenario, &spec, VerifyLevel::Full);
+        std::env::remove_var("ASICGAP_THREADS");
+        (spec.canonical(), key)
+    };
+    assert_eq!(at("1"), at("8"), "file keys must not depend on threads");
+}
+
+#[test]
+fn exported_generator_fixture_matches_the_exporter() {
+    // fixtures/alu8_exported.json is the committed output of
+    // `to_yosys_json` on the 8-bit ALU: a regression pin on the
+    // exporter's byte-level determinism, and a ready-made import
+    // example that needs no generator to reproduce.
+    let lib = rich_library();
+    let alu = generators::alu(&lib, 8).expect("alu8");
+    let exported = to_yosys_json(&alu, &lib);
+    let committed =
+        std::fs::read_to_string(fixture("alu8_exported.json")).expect("fixture readable");
+    assert_eq!(
+        exported, committed,
+        "exporter output drifted from the committed fixture"
+    );
+    let parsed = frontend::load_file(&fixture("alu8_exported.json"), &lib).expect("parses");
+    let report = check_equiv(&alu, &lib, &parsed, &lib).expect("checker runs");
+    assert_eq!(report.result, EquivResult::Equivalent);
+}

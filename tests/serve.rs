@@ -64,6 +64,7 @@ fn eight_concurrent_clients_get_identical_bytes_and_consistent_stats() {
     let mut handles = Vec::new();
     for _ in 0..8 {
         let barrier = Arc::clone(&barrier);
+        let req = req.clone();
         handles.push(thread::spawn(move || {
             let mut client = connect(addr);
             barrier.wait();
@@ -237,7 +238,7 @@ fn close_verb_serves_cacheable_trace_bytes() {
     };
     let expected = local_close_text(&req);
     let mut client = connect(addr);
-    let (s1, t1) = client.close_retry(req, 10).expect("close");
+    let (s1, t1) = client.close_retry(req.clone(), 10).expect("close");
     assert_eq!(s1, Source::Computed);
     assert_eq!(t1, expected, "CLOSE bytes must match local compute");
     assert!(t1.starts_with("close-outcome/v1\n"));
@@ -272,7 +273,9 @@ fn close_deadline_cancels_at_iteration_boundary_without_leaking_slots() {
         max_moves: 64,
     };
     let mut client = connect(addr);
-    let err = client.close(doomed).expect_err("deadline must cancel");
+    let err = client
+        .close(doomed.clone())
+        .expect_err("deadline must cancel");
     match err {
         ClientError::Server(message) => assert!(
             message.contains("cancelled at iteration boundary")
@@ -305,7 +308,9 @@ fn close_deadline_cancels_at_iteration_boundary_without_leaking_slots() {
     let mut retry = doomed;
     retry.run.deadline_ms = 0;
     retry.max_moves = 4; // keep the unreachable-target grind short
-    let (s1, t1) = client.close_retry(retry, 10).expect("retry completes");
+    let (s1, t1) = client
+        .close_retry(retry.clone(), 10)
+        .expect("retry completes");
     assert_eq!(s1, Source::Computed, "cancelled run must not have cached");
     assert_eq!(t1, local_close_text(&retry));
     let (s2, t2) = client.close_retry(retry, 10).expect("retry again");
