@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--distinct N]
-//!         [--verify off|sim|full] [--wire hpwl|routed]
-//!         [--min-hit-rate F] [--shutdown]
+//!         [--verify off|sim|full] [--wire hpwl|routed] [--burst]
+//!         [--min-hit-rate F] [--min-stage-hit-rate F] [--shutdown]
 //! ```
 //!
 //! Starts `--clients` threads, each running a closed loop of
@@ -13,12 +13,22 @@
 //! values, so the ratio of distinct to total requests sets the best
 //! achievable cache hit-rate.
 //!
-//! Every response is checked against the others for its seed: whatever
-//! mix of cache/dedup/fresh served them, the bytes must be identical —
-//! the loadgen exits nonzero on any mismatch, server error, or (with
-//! `--min-hit-rate`) a server-side cache hit-rate at or below the
-//! floor. The summary reports client-side throughput, p50/p99 latency,
-//! and the server's own `STATS` accounting.
+//! `--burst` switches to a mixed cold/warm profile that exercises the
+//! stage-granular cache: every client first runs its request loop with
+//! the `hpwl` wire model (cold), then repeats the same seeds with
+//! `routed` (warm). The warm requests have different canonical keys —
+//! outcome-cache misses — but share every flow stage upstream of
+//! routing with their cold twins, so the server's stage-cache counters
+//! must light up. Latency is reported per phase (`--wire` is ignored
+//! in burst mode).
+//!
+//! Every response is checked against the others for its (phase, seed):
+//! whatever mix of cache/dedup/fresh served them, the bytes must be
+//! identical — the loadgen exits nonzero on any mismatch, server
+//! error, or a gated rate at or below its floor (`--min-hit-rate` for
+//! the outcome cache, `--min-stage-hit-rate` for checkpoint reuse).
+//! The summary reports client-side throughput, p50/p99 latency, and
+//! the server's own `STATS` accounting.
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -30,6 +40,7 @@ use asicgap::WireModel;
 use asicgap_serve::client::Client;
 use asicgap_serve::metrics::Histogram;
 use asicgap_serve::proto::{RunRequest, Source};
+use asicgap_serve::STAGE_CACHE_NAMES;
 
 struct Options {
     addr: SocketAddr,
@@ -38,15 +49,17 @@ struct Options {
     distinct: u64,
     verify: VerifyLevel,
     wire: WireModel,
+    burst: bool,
     min_hit_rate: Option<f64>,
+    min_stage_hit_rate: Option<f64>,
     shutdown: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--clients N] [--requests N] [--distinct N]\n\
-         \x20              [--verify off|sim|full] [--wire hpwl|routed]\n\
-         \x20              [--min-hit-rate F] [--shutdown]"
+         \x20              [--verify off|sim|full] [--wire hpwl|routed] [--burst]\n\
+         \x20              [--min-hit-rate F] [--min-stage-hit-rate F] [--shutdown]"
     );
     std::process::exit(2);
 }
@@ -59,7 +72,9 @@ fn parse_args() -> Options {
         distinct: 4,
         verify: VerifyLevel::Off,
         wire: WireModel::Hpwl,
+        burst: false,
         min_hit_rate: None,
+        min_stage_hit_rate: None,
         shutdown: false,
     };
     let mut args = std::env::args().skip(1);
@@ -85,8 +100,12 @@ fn parse_args() -> Options {
                     _ => usage(),
                 }
             }
+            "--burst" => opt.burst = true,
             "--min-hit-rate" => {
                 opt.min_hit_rate = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--min-stage-hit-rate" => {
+                opt.min_stage_hit_rate = Some(value().parse().unwrap_or_else(|_| usage()))
             }
             "--shutdown" => opt.shutdown = true,
             _ => usage(),
@@ -98,54 +117,66 @@ fn parse_args() -> Options {
     opt
 }
 
-fn request_for(opt: &Options, seed: u64) -> RunRequest {
-    RunRequest {
-        wire_model: opt.wire,
-        verify: opt.verify,
-        seed: seed % opt.distinct,
-        ..RunRequest::small()
+/// The wire model of each phase: one phase normally, cold `hpwl` then
+/// warm `routed` under `--burst`.
+fn phases(opt: &Options) -> Vec<(&'static str, WireModel)> {
+    if opt.burst {
+        vec![("cold", WireModel::Hpwl), ("warm", WireModel::Routed)]
+    } else {
+        vec![("all", opt.wire)]
     }
 }
 
 struct ClientReport {
-    latencies_us: Vec<u64>,
+    /// Latencies per phase, phase-indexed like [`phases`].
+    latencies_us: Vec<Vec<u64>>,
     cache: u64,
     computed: u64,
     deduped: u64,
-    texts: Vec<(u64, String)>,
+    /// `(phase, seed, bytes)` for cross-client divergence checking.
+    texts: Vec<(usize, u64, String)>,
 }
 
 fn drive_client(opt: &Options, id: usize) -> Result<ClientReport, String> {
     let mut client = Client::connect_retry(opt.addr, Duration::from_secs(10))
         .map_err(|e| format!("client {id}: connect: {e}"))?;
+    let plan = phases(opt);
     let mut report = ClientReport {
-        latencies_us: Vec::with_capacity(opt.requests),
+        latencies_us: vec![Vec::with_capacity(opt.requests); plan.len()],
         cache: 0,
         computed: 0,
         deduped: 0,
         texts: Vec::new(),
     };
-    for j in 0..opt.requests {
-        let seed = (id * opt.requests + j) as u64;
-        let req = request_for(opt, seed);
-        let req_seed = req.seed;
-        let start = Instant::now();
-        let (source, text) = client
-            .run_retry(req, 1000)
-            .map_err(|e| format!("client {id} request {j}: {e}"))?;
-        report.latencies_us.push(start.elapsed().as_micros() as u64);
-        match source {
-            Source::Cache => report.cache += 1,
-            Source::Computed => report.computed += 1,
-            Source::Deduped => report.deduped += 1,
+    for (phase, &(name, wire)) in plan.iter().enumerate() {
+        for j in 0..opt.requests {
+            let seed = (id * opt.requests + j) as u64;
+            let req = RunRequest {
+                wire_model: wire,
+                verify: opt.verify,
+                seed: seed % opt.distinct,
+                ..RunRequest::small()
+            };
+            let req_seed = req.seed;
+            let start = Instant::now();
+            let (source, text) = client
+                .run_retry(req, 1000)
+                .map_err(|e| format!("client {id} {name} request {j}: {e}"))?;
+            report.latencies_us[phase].push(start.elapsed().as_micros() as u64);
+            match source {
+                Source::Cache => report.cache += 1,
+                Source::Computed => report.computed += 1,
+                Source::Deduped => report.deduped += 1,
+            }
+            report.texts.push((phase, req_seed, text));
         }
-        report.texts.push((req_seed, text));
     }
     Ok(report)
 }
 
 fn main() -> ExitCode {
     let opt = Arc::new(parse_args());
+    let plan = phases(&opt);
     let wall = Instant::now();
     let handles: Vec<_> = (0..opt.clients)
         .map(|id| {
@@ -154,9 +185,10 @@ fn main() -> ExitCode {
         })
         .collect();
 
-    let latency = Histogram::default();
+    let latency: Vec<Histogram> = plan.iter().map(|_| Histogram::default()).collect();
     let (mut cache, mut computed, mut deduped) = (0u64, 0u64, 0u64);
-    let mut by_seed: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
+    let mut by_key: std::collections::HashMap<(usize, u64), String> =
+        std::collections::HashMap::new();
     let mut failed = false;
     for h in handles {
         match h.join().expect("client thread") {
@@ -168,19 +200,22 @@ fn main() -> ExitCode {
                 cache += report.cache;
                 computed += report.computed;
                 deduped += report.deduped;
-                for us in report.latencies_us {
-                    latency.record(us);
+                for (phase, samples) in report.latencies_us.into_iter().enumerate() {
+                    for us in samples {
+                        latency[phase].record(us);
+                    }
                 }
-                for (seed, text) in report.texts {
-                    match by_seed.get(&seed) {
+                for (phase, seed, text) in report.texts {
+                    match by_key.get(&(phase, seed)) {
                         None => {
-                            by_seed.insert(seed, text);
+                            by_key.insert((phase, seed), text);
                         }
                         Some(prev) if *prev == text => {}
                         Some(_) => {
                             eprintln!(
-                                "loadgen: DIVERGENT response bytes for seed {seed} — \
-                                 cache/dedup/fresh disagree"
+                                "loadgen: DIVERGENT response bytes for {} seed {seed} — \
+                                 cache/dedup/fresh disagree",
+                                plan[phase].0
                             );
                             failed = true;
                         }
@@ -191,20 +226,24 @@ fn main() -> ExitCode {
     }
     let elapsed = wall.elapsed().as_secs_f64();
     let total = cache + computed + deduped;
-    let lat = latency.snapshot();
     println!(
-        "loadgen: {} clients x {} requests: {total} ok, {} distinct outcomes",
+        "loadgen: {} clients x {} requests x {} phases: {total} ok, {} distinct outcomes",
         opt.clients,
         opt.requests,
-        by_seed.len()
+        plan.len(),
+        by_key.len()
     );
     println!("loadgen: sources cache={cache} computed={computed} deduped={deduped}");
-    println!(
-        "loadgen: throughput {:.1} req/s, client latency p50 {} us p99 {} us",
-        total as f64 / elapsed,
-        lat.p50(),
-        lat.p99()
-    );
+    println!("loadgen: throughput {:.1} req/s", total as f64 / elapsed);
+    for ((name, _), hist) in plan.iter().zip(&latency) {
+        let lat = hist.snapshot();
+        println!(
+            "loadgen: {name} latency p50 {} us p99 {} us ({} samples)",
+            lat.p50(),
+            lat.p99(),
+            lat.count
+        );
+    }
 
     // Server-side accounting.
     match Client::connect(opt.addr).and_then(|mut c| {
@@ -220,15 +259,28 @@ fn main() -> ExitCode {
         }
         Ok(stats) => {
             println!(
-                "loadgen: server hit-rate {:.3} (hits {} misses {}), \
+                "loadgen: server hit-rate {:.3} (hits {} misses {}), l2 {:.3} ({}/{}), \
                  completed {} errors {} cancelled {} busy {}",
                 stats.hit_rate(),
                 stats.cache_hits,
                 stats.cache_misses,
+                stats.l2_hit_rate(),
+                stats.l2_hits,
+                stats.l2_misses,
                 stats.completed,
                 stats.errors,
                 stats.cancelled,
                 stats.busy_rejections
+            );
+            let stage_summary: Vec<String> = STAGE_CACHE_NAMES
+                .iter()
+                .zip(&stats.stage_cache)
+                .map(|(name, (h, m))| format!("{name} {h}/{}", h + m))
+                .collect();
+            println!(
+                "loadgen: stage-cache rate {:.3} ({})",
+                stats.stage_hit_rate(),
+                stage_summary.join(", ")
             );
             if stats.errors > 0 {
                 eprintln!("loadgen: server reported {} flow errors", stats.errors);
@@ -239,6 +291,15 @@ fn main() -> ExitCode {
                     eprintln!(
                         "loadgen: hit-rate {:.3} not above required {floor:.3}",
                         stats.hit_rate()
+                    );
+                    failed = true;
+                }
+            }
+            if let Some(floor) = opt.min_stage_hit_rate {
+                if stats.stage_hit_rate() <= floor {
+                    eprintln!(
+                        "loadgen: stage-cache hit-rate {:.3} not above required {floor:.3}",
+                        stats.stage_hit_rate()
                     );
                     failed = true;
                 }

@@ -1,0 +1,25 @@
+//! # asicgap-cluster
+//!
+//! The cluster tier under the serving daemon: deterministic request
+//! placement across shards and a crash-safe persistent artifact store.
+//!
+//! - [`Ring`] — a consistent-hash ring with virtual nodes. Every router
+//!   and every shard built from the same member list computes the same
+//!   placement for every key, with no coordination and no shared state.
+//!   Because flow replies are deterministic byte-for-byte, *any* shard
+//!   can serve *any* request correctly; the ring only concentrates each
+//!   key's cache working set on one shard.
+//! - [`SegmentStore`] — an append-only, CRC-checked segment file
+//!   implementing [`asicgap::ArtifactStore`]. It is the L2 behind the
+//!   daemon's in-memory LRU: artifacts survive restarts, and a crash
+//!   mid-append loses at most the torn tail record, never a committed
+//!   one.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod ring;
+mod store;
+
+pub use ring::Ring;
+pub use store::{SegmentStore, StoreStats};

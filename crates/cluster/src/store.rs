@@ -1,0 +1,522 @@
+//! Crash-safe persistent artifact store.
+//!
+//! One append-only segment file holds CRC-framed records; a sidecar
+//! index maps key hashes to segment offsets so a clean reopen is one
+//! small read. The index is advisory: it records the segment length it
+//! covered, and opening scans (and CRC-verifies) anything appended past
+//! that point, truncating the first torn record it meets. A corrupt or
+//! missing index just means a full scan — committed records are never
+//! lost and torn ones are never served.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use asicgap::{content_hash, ArtifactStore};
+
+/// Per-record frame header magic: `b"AGSE"` (asicgap segment entry).
+const REC_MAGIC: u32 = 0x4147_5345;
+/// Index file magic: `b"AGSI"`.
+const IDX_MAGIC: u32 = 0x4147_5349;
+/// magic + key hash + key len + val len + crc.
+const REC_HEADER: usize = 4 + 8 + 4 + 4 + 4;
+/// Sanity bound on a single key or value; anything larger is treated
+/// as a torn length field rather than a real record.
+const MAX_PART: u32 = 1 << 28;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `bytes` — the same
+/// polynomial gzip and PNG use, table built at compile time.
+fn crc32(parts: &[&[u8]]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut c = !0u32;
+    for part in parts {
+        for &b in *part {
+            c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+        }
+    }
+    !c
+}
+
+/// What [`SegmentStore::open`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Live artifacts (latest record per key).
+    pub artifacts: usize,
+    /// Segment bytes after recovery.
+    pub segment_bytes: u64,
+    /// Records recovered by scanning past the index's coverage (or the
+    /// whole segment when the index was missing or corrupt).
+    pub scanned_records: usize,
+    /// Torn-tail bytes truncated during recovery.
+    pub truncated_bytes: u64,
+}
+
+struct Inner {
+    segment: File,
+    /// Committed segment length (everything before it CRC-verified or
+    /// written by us this session).
+    len: u64,
+    /// key hash → offset of that key's latest record.
+    index: HashMap<u64, u64>,
+    stats: StoreStats,
+}
+
+/// A persistent [`ArtifactStore`]: append-only segment file + sidecar
+/// index, safe against `kill -9` at any byte boundary.
+///
+/// Records are framed as
+/// `magic, key_hash, key_len, val_len, crc32(key ‖ value), key, value`
+/// (integers big-endian); every append is flushed to the OS before the
+/// in-memory index admits it, so a record is either fully committed or
+/// invisible after recovery. Rewrites of a key append a fresh record —
+/// old bytes are never touched, so readers can never observe a
+/// half-updated artifact.
+pub struct SegmentStore {
+    dir: PathBuf,
+    inner: Mutex<Inner>,
+}
+
+impl std::fmt::Debug for SegmentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SegmentStore")
+            .field("dir", &self.dir)
+            .finish()
+    }
+}
+
+impl SegmentStore {
+    /// Opens (creating if absent) the store in `dir`, running recovery:
+    /// load the index if it verifies, scan and CRC-check any segment
+    /// tail past its coverage, truncate the first torn record.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating the directory or segment file. A corrupt
+    /// index or segment is *not* an error — that is the recovery path.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<SegmentStore> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let mut segment = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(dir.join("artifacts.seg"))?;
+        let file_len = segment.seek(SeekFrom::End(0))?;
+
+        let mut index = HashMap::new();
+        let mut scan_from = 0u64;
+        if let Some((entries, covered)) = read_index(&dir.join("artifacts.idx"), file_len) {
+            index = entries;
+            scan_from = covered;
+        }
+
+        let mut stats = StoreStats::default();
+        let mut offset = scan_from;
+        segment.seek(SeekFrom::Start(offset))?;
+        let mut tail = Vec::new();
+        segment.read_to_end(&mut tail)?;
+        let mut pos = 0usize;
+        while let Some((hash, total)) = parse_record(&tail[pos..]) {
+            index.insert(hash, offset + pos as u64);
+            stats.scanned_records += 1;
+            pos += total;
+        }
+        offset += pos as u64;
+        if offset < file_len {
+            stats.truncated_bytes = file_len - offset;
+            segment.set_len(offset)?;
+            segment.sync_all()?;
+        }
+        stats.artifacts = index.len();
+        stats.segment_bytes = offset;
+
+        let store = SegmentStore {
+            dir,
+            inner: Mutex::new(Inner {
+                segment,
+                len: offset,
+                index,
+                stats,
+            }),
+        };
+        store.write_index();
+        Ok(store)
+    }
+
+    /// What recovery found when this store was opened.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().expect("store lock").stats
+    }
+
+    /// Live artifact count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("store lock").index.len()
+    }
+
+    /// `true` when no artifact is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Persists the index sidecar (atomically: temp file + rename) so
+    /// the next open can skip the scan. Called automatically after
+    /// recovery and on drop; a crash between appends merely leaves the
+    /// index stale, which recovery handles by scanning the tail.
+    pub fn write_index(&self) {
+        let inner = self.inner.lock().expect("store lock");
+        let mut body = Vec::with_capacity(12 + inner.index.len() * 16);
+        body.extend_from_slice(&inner.len.to_be_bytes());
+        body.extend_from_slice(&(inner.index.len() as u32).to_be_bytes());
+        let mut entries: Vec<_> = inner.index.iter().collect();
+        entries.sort();
+        for (&hash, &off) in entries {
+            body.extend_from_slice(&hash.to_be_bytes());
+            body.extend_from_slice(&off.to_be_bytes());
+        }
+        let crc = crc32(&[&body]);
+        let tmp = self.dir.join("artifacts.idx.tmp");
+        let write = || -> std::io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&IDX_MAGIC.to_be_bytes())?;
+            f.write_all(&body)?;
+            f.write_all(&crc.to_be_bytes())?;
+            f.sync_all()?;
+            std::fs::rename(&tmp, self.dir.join("artifacts.idx"))
+        };
+        // The index is a pure accelerator: failing to write it costs a
+        // scan on the next open, nothing more.
+        let _ = write();
+    }
+}
+
+impl Drop for SegmentStore {
+    fn drop(&mut self) {
+        self.write_index();
+    }
+}
+
+/// Parses one record at the head of `buf`; `Some((key_hash, total_len))`
+/// when complete and CRC-clean.
+fn parse_record(buf: &[u8]) -> Option<(u64, usize)> {
+    if buf.len() < REC_HEADER {
+        return None;
+    }
+    let magic = u32::from_be_bytes(buf[0..4].try_into().expect("slice len"));
+    if magic != REC_MAGIC {
+        return None;
+    }
+    let hash = u64::from_be_bytes(buf[4..12].try_into().expect("slice len"));
+    let key_len = u32::from_be_bytes(buf[12..16].try_into().expect("slice len"));
+    let val_len = u32::from_be_bytes(buf[16..20].try_into().expect("slice len"));
+    let crc = u32::from_be_bytes(buf[20..24].try_into().expect("slice len"));
+    if key_len > MAX_PART || val_len > MAX_PART {
+        return None;
+    }
+    let total = REC_HEADER + key_len as usize + val_len as usize;
+    if buf.len() < total {
+        return None;
+    }
+    let key = &buf[REC_HEADER..REC_HEADER + key_len as usize];
+    let val = &buf[REC_HEADER + key_len as usize..total];
+    if crc32(&[key, val]) != crc || content_hash(std::str::from_utf8(key).ok()?) != hash {
+        return None;
+    }
+    Some((hash, total))
+}
+
+/// Reads the index sidecar; `Some((entries, covered_len))` only when it
+/// verifies and covers no more than `file_len` bytes.
+fn read_index(path: &Path, file_len: u64) -> Option<(HashMap<u64, u64>, u64)> {
+    let bytes = std::fs::read(path).ok()?;
+    if bytes.len() < 4 + 12 + 4 {
+        return None;
+    }
+    let magic = u32::from_be_bytes(bytes[0..4].try_into().expect("slice len"));
+    if magic != IDX_MAGIC {
+        return None;
+    }
+    let body = &bytes[4..bytes.len() - 4];
+    let crc = u32::from_be_bytes(bytes[bytes.len() - 4..].try_into().expect("slice len"));
+    if crc32(&[body]) != crc {
+        return None;
+    }
+    let covered = u64::from_be_bytes(body[0..8].try_into().expect("slice len"));
+    let count = u32::from_be_bytes(body[8..12].try_into().expect("slice len")) as usize;
+    if covered > file_len || body.len() != 12 + count * 16 {
+        return None;
+    }
+    let mut entries = HashMap::with_capacity(count);
+    for i in 0..count {
+        let at = 12 + i * 16;
+        let hash = u64::from_be_bytes(body[at..at + 8].try_into().expect("slice len"));
+        let off = u64::from_be_bytes(body[at + 8..at + 16].try_into().expect("slice len"));
+        if off >= covered {
+            return None;
+        }
+        entries.insert(hash, off);
+    }
+    Some((entries, covered))
+}
+
+impl ArtifactStore for SegmentStore {
+    fn get(&self, key: &str) -> Option<String> {
+        let mut inner = self.inner.lock().expect("store lock");
+        let off = *inner.index.get(&content_hash(key))?;
+        let read = |inner: &mut Inner| -> std::io::Result<Vec<u8>> {
+            let mut header = [0u8; REC_HEADER];
+            inner.segment.seek(SeekFrom::Start(off))?;
+            inner.segment.read_exact(&mut header)?;
+            let key_len = u32::from_be_bytes(header[12..16].try_into().expect("slice len"));
+            let val_len = u32::from_be_bytes(header[16..20].try_into().expect("slice len"));
+            let mut body = vec![0u8; key_len as usize + val_len as usize];
+            inner.segment.read_exact(&mut body)?;
+            let mut rec = header.to_vec();
+            rec.extend_from_slice(&body);
+            Ok(rec)
+        };
+        let rec = read(&mut inner).ok()?;
+        let (_, total) = parse_record(&rec)?;
+        debug_assert_eq!(total, rec.len());
+        let key_len = u32::from_be_bytes(rec[12..16].try_into().expect("slice len")) as usize;
+        let stored_key = &rec[REC_HEADER..REC_HEADER + key_len];
+        if stored_key != key.as_bytes() {
+            return None; // hash collision: degrade to a miss
+        }
+        String::from_utf8(rec[REC_HEADER + key_len..].to_vec()).ok()
+    }
+
+    fn put(&self, key: &str, value: &str) {
+        let mut inner = self.inner.lock().expect("store lock");
+        let hash = content_hash(key);
+        if let Some(&off) = inner.index.get(&hash) {
+            // Same hash already stored: only re-append when the value
+            // (or, on a collision, the key) actually differs.
+            let was = off;
+            drop(inner);
+            if self.get(key).as_deref() == Some(value) {
+                return;
+            }
+            inner = self.inner.lock().expect("store lock");
+            if inner.index.get(&hash) != Some(&was) {
+                return; // lost a race to a concurrent writer; keep theirs
+            }
+        }
+        let mut rec = Vec::with_capacity(REC_HEADER + key.len() + value.len());
+        rec.extend_from_slice(&REC_MAGIC.to_be_bytes());
+        rec.extend_from_slice(&hash.to_be_bytes());
+        rec.extend_from_slice(&(key.len() as u32).to_be_bytes());
+        rec.extend_from_slice(&(value.len() as u32).to_be_bytes());
+        rec.extend_from_slice(&crc32(&[key.as_bytes(), value.as_bytes()]).to_be_bytes());
+        rec.extend_from_slice(key.as_bytes());
+        rec.extend_from_slice(value.as_bytes());
+        let at = inner.len;
+        let append = |inner: &mut Inner| -> std::io::Result<()> {
+            inner.segment.seek(SeekFrom::Start(at))?;
+            inner.segment.write_all(&rec)?;
+            inner.segment.sync_data()
+        };
+        match append(&mut inner) {
+            Ok(()) => {
+                inner.len = at + rec.len() as u64;
+                inner.index.insert(hash, at);
+            }
+            Err(_) => {
+                // A failed append may have left torn bytes at the tail;
+                // restore the committed length so later appends start
+                // clean. If even that fails, drop the write: the store
+                // is a cache, and recovery truncates the tear on reopen.
+                let _ = inner.segment.set_len(at);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("asicgap-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fill(store: &SegmentStore, n: usize) {
+        for i in 0..n {
+            store.put(
+                &format!("key-{i}"),
+                &format!("value-{i} {}", "x".repeat(i * 7)),
+            );
+        }
+    }
+
+    fn check(store: &SegmentStore, n: usize) {
+        for i in 0..n {
+            assert_eq!(
+                store.get(&format!("key-{i}")).as_deref(),
+                Some(format!("value-{i} {}", "x".repeat(i * 7)).as_str()),
+                "key-{i} lost"
+            );
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(&[b"123456789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b"1234", b"56789"]), 0xCBF4_3926);
+        assert_eq!(crc32(&[b""]), 0);
+    }
+
+    #[test]
+    fn round_trips_and_survives_clean_reopen() {
+        let dir = tmpdir("clean");
+        {
+            let store = SegmentStore::open(&dir).unwrap();
+            fill(&store, 20);
+            store.put("key-3", "rewritten");
+            check(&store, 3);
+            assert_eq!(store.get("key-3").as_deref(), Some("rewritten"));
+            assert_eq!(store.get("absent"), None);
+        }
+        let store = SegmentStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 20);
+        assert_eq!(store.get("key-3").as_deref(), Some("rewritten"));
+        // Clean reopen is served by the index: nothing to scan.
+        assert_eq!(store.stats().scanned_records, 0);
+        assert_eq!(store.stats().truncated_bytes, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_cut_and_committed_records_survive() {
+        let dir = tmpdir("torn");
+        let full_len;
+        {
+            let store = SegmentStore::open(&dir).unwrap();
+            fill(&store, 10);
+            full_len = store.stats();
+        }
+        let seg = dir.join("artifacts.seg");
+        let committed = std::fs::metadata(&seg).unwrap().len();
+        let _ = full_len;
+        // Simulate kill -9 mid-append: half a record at the tail, and a
+        // stale index that does not cover it.
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mut torn = Vec::new();
+        torn.extend_from_slice(&REC_MAGIC.to_be_bytes());
+        torn.extend_from_slice(&content_hash("key-99").to_be_bytes());
+        torn.extend_from_slice(&100u32.to_be_bytes());
+        torn.extend_from_slice(&100u32.to_be_bytes());
+        torn.extend_from_slice(&0u32.to_be_bytes());
+        torn.extend_from_slice(b"key-99 but the value never landed");
+        bytes.extend_from_slice(&torn);
+        std::fs::write(&seg, &bytes).unwrap();
+
+        let store = SegmentStore::open(&dir).unwrap();
+        check(&store, 10);
+        assert_eq!(store.get("key-99"), None, "torn record served");
+        assert_eq!(store.stats().truncated_bytes, torn.len() as u64);
+        assert_eq!(std::fs::metadata(&seg).unwrap().len(), committed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_crc_cuts_from_the_bad_record() {
+        let dir = tmpdir("crc");
+        {
+            let store = SegmentStore::open(&dir).unwrap();
+            fill(&store, 8);
+        }
+        let seg = dir.join("artifacts.seg");
+        let mut bytes = std::fs::read(&seg).unwrap();
+        // Flip one payload byte near the tail, then remove the index so
+        // recovery must rely on the CRC scan alone.
+        let at = bytes.len() - 5;
+        bytes[at] ^= 0x40;
+        std::fs::write(&seg, &bytes).unwrap();
+        std::fs::remove_file(dir.join("artifacts.idx")).unwrap();
+
+        let store = SegmentStore::open(&dir).unwrap();
+        check(&store, 7);
+        assert_eq!(store.get("key-7"), None, "corrupt record served");
+        assert!(store.stats().truncated_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn half_written_index_falls_back_to_full_scan() {
+        let dir = tmpdir("idx");
+        {
+            let store = SegmentStore::open(&dir).unwrap();
+            fill(&store, 12);
+        }
+        let idx = dir.join("artifacts.idx");
+        let bytes = std::fs::read(&idx).unwrap();
+        std::fs::write(&idx, &bytes[..bytes.len() / 2]).unwrap();
+
+        let store = SegmentStore::open(&dir).unwrap();
+        check(&store, 12);
+        assert_eq!(store.stats().scanned_records, 12, "index half accepted");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_lying_about_coverage_is_rejected() {
+        let dir = tmpdir("lying");
+        {
+            let store = SegmentStore::open(&dir).unwrap();
+            fill(&store, 4);
+        }
+        // An index claiming more coverage than the segment has (e.g.
+        // the segment was truncated by a separate crash) must not be
+        // trusted.
+        let seg = dir.join("artifacts.seg");
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 10]).unwrap();
+        let store = SegmentStore::open(&dir).unwrap();
+        check(&store, 3);
+        assert_eq!(store.get("key-3"), None);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn idempotent_puts_do_not_grow_the_segment() {
+        let dir = tmpdir("idem");
+        let store = SegmentStore::open(&dir).unwrap();
+        store.put("k", "v");
+        let len = std::fs::metadata(dir.join("artifacts.seg")).unwrap().len();
+        store.put("k", "v");
+        store.put("k", "v");
+        assert_eq!(
+            std::fs::metadata(dir.join("artifacts.seg")).unwrap().len(),
+            len,
+            "idempotent put re-appended"
+        );
+        store.put("k", "v2");
+        assert!(std::fs::metadata(dir.join("artifacts.seg")).unwrap().len() > len);
+        assert_eq!(store.get("k").as_deref(), Some("v2"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

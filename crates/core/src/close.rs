@@ -106,7 +106,7 @@ impl std::fmt::Display for ClosureOutcome {
 /// Scenario-level period from a graph-level (pre-skew) period: §7 domino
 /// credit on the combinational portion, then the §4.1 skew fold —
 /// exactly `run_scenario`'s arithmetic.
-fn fold_period(scenario: &DesignScenario, lib: &Library, graph_period: Ps) -> Ps {
+pub(crate) fn fold_period(scenario: &DesignScenario, lib: &Library, graph_period: Ps) -> Ps {
     let mut p = graph_period;
     if scenario.logic_style == LogicStyle::DominoCriticalPath {
         let ratio = 1.0 + DOMINO_COVERAGE * (domino_speed_ratio(lib) - 1.0);
@@ -119,7 +119,7 @@ fn fold_period(scenario: &DesignScenario, lib: &Library, graph_period: Ps) -> Ps
 
 /// Inverse of [`fold_period`]: the graph-level period the timer must
 /// reach for the scenario-level period to hit `target`.
-fn unfold_period(scenario: &DesignScenario, lib: &Library, target: Ps) -> Ps {
+pub(crate) fn unfold_period(scenario: &DesignScenario, lib: &Library, target: Ps) -> Ps {
     let mut p = target * (1.0 - scenario.skew_fraction);
     if scenario.logic_style == LogicStyle::DominoCriticalPath {
         let ratio = 1.0 + DOMINO_COVERAGE * (domino_speed_ratio(lib) - 1.0);
@@ -130,7 +130,7 @@ fn unfold_period(scenario: &DesignScenario, lib: &Library, target: Ps) -> Ps {
     p
 }
 
-fn map_autopilot_err(e: AutopilotError) -> GapError {
+pub(crate) fn map_autopilot_err(e: AutopilotError) -> GapError {
     match e {
         AutopilotError::Inequivalent { kind, output } => GapError::Inequivalent {
             stage: format!("autopilot-{}", kind.name()),

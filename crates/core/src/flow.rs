@@ -111,7 +111,7 @@ pub struct NoObserver;
 
 impl FlowObserver for NoObserver {}
 
-fn abort_if_cancelled(obs: &dyn FlowObserver, after: FlowStage) -> Result<(), GapError> {
+pub(crate) fn abort_if_cancelled(obs: &dyn FlowObserver, after: FlowStage) -> Result<(), GapError> {
     if obs.poll_cancel() {
         Err(GapError::Cancelled { after })
     } else {
@@ -1011,7 +1011,7 @@ pub fn run_scenario_observed(
 /// netlist's outputs lag by the fill latency, so plain lock-step
 /// simulation cannot compare them — instead each vector runs flat
 /// combinationally and through a full pipeline flush.
-fn verify_pipeline_by_sim(
+pub(crate) fn verify_pipeline_by_sim(
     flat: &Netlist,
     piped: &Netlist,
     stages: usize,

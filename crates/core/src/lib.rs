@@ -59,6 +59,7 @@ mod flow;
 pub mod gap;
 pub mod migrate;
 pub mod report;
+mod stage;
 
 pub use asicgap_autopilot::{ClosureTarget, ConvergenceTrace, Verdict};
 pub use asicgap_equiv::{EquivEffort, EquivReport, EquivResult, VerifyLevel};
@@ -72,6 +73,11 @@ pub use flow::{
     WireModel, WorkloadSpec,
 };
 pub use gap::FactorTable;
+pub use stage::{
+    close_timing_staged, close_timing_staged_cancellable, run_scenario_staged,
+    run_scenario_staged_observed, ArtifactStore, MemStore, PipelineArtifact, PlaceArtifact,
+    RouteArtifact, StageReuse, SynthArtifact,
+};
 
 /// Technology models, units, FO4 rule (re-export of `asicgap-tech`).
 pub use asicgap_tech as tech;

@@ -1,0 +1,1389 @@
+//! Stage-granular checkpointing of the scenario flow.
+//!
+//! [`run_scenario`](crate::run_scenario) is a monolith: one call, one
+//! outcome. The serving tier wants something finer — a request that
+//! differs from a cached one only in its wire model should reuse the
+//! synthesized, pipelined, sized, and placed design and recompute only
+//! the routing tail. This module splits the flow at four checkpoint
+//! boundaries and gives each a canonical, versioned artifact text:
+//!
+//! | checkpoint | artifact | key inputs (beyond upstream) |
+//! |---|---|---|
+//! | `synth`    | rewritten netlist + proof effort | workload, verify, technology, library, rewrite |
+//! | `pipeline` | registered netlist (the final-check golden) | `pipeline_stages`, verify |
+//! | `place`    | sized netlist + placement + timer checkpoint | sizing, floorplan, seed |
+//! | `route`    | final netlist + report numbers + timer delta | wire model, sizing, seed |
+//!
+//! Keys chain by **artifact content**: a stage's key hashes its
+//! upstream artifact's text hash plus its own knobs, so a staged run
+//! naturally resumes from the deepest cached prefix, and two different
+//! upstream paths that converge on byte-identical artifacts share all
+//! downstream work. The remaining knobs (skew, logic style, process
+//! access, the display name) act only on the final arithmetic and are
+//! deliberately *not* in any stage key.
+//!
+//! Byte-identity is part of the contract, timer counters included. The
+//! one subtlety is [`ScenarioOutcome::timing_effort`]: the monolith's
+//! shared timer accrues across the place/route boundary, so the place
+//! artifact records the counter checkpoint and the route artifact
+//! records the *delta* its stage added. The delta is state-independent
+//! because the route stage's first graph operation
+//! ([`TimingGraph::set_parasitics`]) runs a full propagation that
+//! discards any pending invalidations without flushing them — a fresh
+//! graph over the same sized netlist does byte-identical work from
+//! there on. A resumed run reports `checkpoint + delta`, exactly what
+//! the monolith reports.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use asicgap_autopilot::{close_on, ClosureTarget, RouteContext};
+use asicgap_cells::{Library, LogicFamily};
+use asicgap_equiv::{check_equiv, random_sim_equiv, EquivEffort, EquivResult, VerifyLevel};
+use asicgap_netlist::{canon, Netlist};
+use asicgap_pipeline::{pipeline_netlist_with, verify_pipeline};
+use asicgap_place::{annotate, AnnealOptions, Floorplan, FloorplanStrategy, Placement};
+use asicgap_process::{BinningPolicy, ChipPopulation, VariationComponents};
+use asicgap_route::{annotate_routed, route, RouteSummary, RouterOptions};
+use asicgap_sizing::{snap_to_library, tilos_size, TilosOptions};
+use asicgap_sta::{ClockSpec, IncrementalStats, TimingGraph};
+use asicgap_synth::{select_drives_on, DriveOptions, PassPipeline, SynthError};
+use asicgap_tech::{Mhz, Ps};
+
+use crate::close::{fold_period, map_autopilot_err, unfold_period, ClosureOutcome};
+use crate::error::GapError;
+use crate::flow::{
+    abort_if_cancelled, content_hash, verify_pipeline_by_sim, DesignScenario, FloorplanQuality,
+    FlowObserver, FlowStage, LogicStyle, NoObserver, ProcessAccess, ScenarioOutcome, SizingQuality,
+    WireModel, WorkloadSpec,
+};
+
+/// A content-addressed store of stage artifacts: the staged executors'
+/// only dependency on the outside world. `asicgap-serve` backs it with
+/// a persistent segment store; tests use [`MemStore`].
+///
+/// Keys are full canonical key texts; implementations index by
+/// [`content_hash`] but must keep the full key as a collision guard, so
+/// a hash collision degrades to a miss, never a wrong artifact.
+pub trait ArtifactStore: Send + Sync {
+    /// The value stored under `key`, if present and its stored full key
+    /// matches byte-for-byte.
+    fn get(&self, key: &str) -> Option<String>;
+
+    /// Stores `value` under `key`. A store is a cache, not a database:
+    /// implementations may drop writes (budget, I/O failure) —
+    /// correctness never depends on a put landing.
+    fn put(&self, key: &str, value: &str);
+}
+
+/// An in-memory [`ArtifactStore`]: a hash map with the collision guard,
+/// no eviction. The unit-test / single-process tier; the serving tier
+/// layers its LRU and persistent segment store behind the same trait.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    map: Mutex<HashMap<u64, (String, String)>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    /// Number of artifacts held.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("store lock").len()
+    }
+
+    /// `true` when no artifact is held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl ArtifactStore for MemStore {
+    fn get(&self, key: &str) -> Option<String> {
+        let map = self.map.lock().expect("store lock");
+        map.get(&content_hash(key))
+            .and_then(|(k, v)| (k == key).then(|| v.clone()))
+    }
+
+    fn put(&self, key: &str, value: &str) {
+        self.map
+            .lock()
+            .expect("store lock")
+            .insert(content_hash(key), (key.to_string(), value.to_string()));
+    }
+}
+
+/// Which checkpoints of a staged run were served from the store.
+/// `None` means the checkpoint was never consulted (e.g. `pipeline`
+/// for an unpipelined scenario, `route` for a closure run, which stops
+/// reusing at the place checkpoint).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageReuse {
+    /// The `synth` checkpoint (workload + rewrite passes).
+    pub synth: Option<bool>,
+    /// The `pipeline` checkpoint (register insertion).
+    pub pipeline: Option<bool>,
+    /// The `place` checkpoint (sizing + floorplan).
+    pub place: Option<bool>,
+    /// The `route` checkpoint (wires + post-layout resize + report).
+    pub route: Option<bool>,
+}
+
+impl StageReuse {
+    /// Checkpoint labels paired with their consult/hit state, in flow
+    /// order — what the serving tier's per-stage cache counters iterate.
+    pub fn entries(&self) -> [(&'static str, Option<bool>); 4] {
+        [
+            ("synth", self.synth),
+            ("pipeline", self.pipeline),
+            ("place", self.place),
+            ("route", self.route),
+        ]
+    }
+
+    /// Checkpoints served from the store.
+    pub fn hits(&self) -> usize {
+        self.entries()
+            .iter()
+            .filter(|(_, s)| *s == Some(true))
+            .count()
+    }
+
+    /// Checkpoints consulted (hit or miss).
+    pub fn lookups(&self) -> usize {
+        self.entries().iter().filter(|(_, s)| s.is_some()).count()
+    }
+}
+
+/// Shorthand for the parse-error constructor.
+fn bad(what: impl Into<String>) -> GapError {
+    GapError::Parse { what: what.into() }
+}
+
+fn parse_num<T: std::str::FromStr>(field: &str, s: &str) -> Result<T, GapError> {
+    s.parse()
+        .map_err(|_| bad(format!("stage artifact field {field}: {s:?}")))
+}
+
+fn verify_label(verify: VerifyLevel) -> &'static str {
+    match verify {
+        VerifyLevel::Off => "off",
+        VerifyLevel::Sim => "sim",
+        VerifyLevel::Full => "full",
+    }
+}
+
+fn write_effort(w: &mut String, e: &Option<EquivEffort>) {
+    use std::fmt::Write;
+    match e {
+        None => writeln!(w, "verify -"),
+        Some(e) => writeln!(
+            w,
+            "verify {} {} {} {} {} {} {} {}",
+            e.cones,
+            e.structural,
+            e.sat_cones,
+            e.vars,
+            e.clauses,
+            e.conflicts,
+            e.decisions,
+            e.propagations
+        ),
+    }
+    .expect("write to String");
+}
+
+fn parse_effort(s: &str) -> Result<Option<EquivEffort>, GapError> {
+    if s == "-" {
+        return Ok(None);
+    }
+    let v: Vec<&str> = s.split(' ').collect();
+    if v.len() != 8 {
+        return Err(bad(format!("stage artifact verify record {s:?}")));
+    }
+    Ok(Some(EquivEffort {
+        cones: parse_num("verify.cones", v[0])?,
+        structural: parse_num("verify.structural", v[1])?,
+        sat_cones: parse_num("verify.sat_cones", v[2])?,
+        vars: parse_num("verify.vars", v[3])?,
+        clauses: parse_num("verify.clauses", v[4])?,
+        conflicts: parse_num("verify.conflicts", v[5])?,
+        decisions: parse_num("verify.decisions", v[6])?,
+        propagations: parse_num("verify.propagations", v[7])?,
+    }))
+}
+
+fn write_stats(w: &mut String, field: &str, s: IncrementalStats) {
+    use std::fmt::Write;
+    writeln!(
+        w,
+        "{field} {} {} {}",
+        s.full_propagations, s.incremental_updates, s.pins_touched
+    )
+    .expect("write to String");
+}
+
+fn parse_stats(field: &str, s: &str) -> Result<IncrementalStats, GapError> {
+    let t: Vec<&str> = s.split(' ').collect();
+    if t.len() != 3 {
+        return Err(bad(format!("stage artifact {field} record {s:?}")));
+    }
+    Ok(IncrementalStats {
+        full_propagations: parse_num("stats.full", t[0])?,
+        incremental_updates: parse_num("stats.incremental", t[1])?,
+        pins_touched: parse_num("stats.pins", t[2])?,
+    })
+}
+
+fn write_route(w: &mut String, r: &Option<RouteSummary>) {
+    use std::fmt::Write;
+    match r {
+        None => writeln!(w, "route -"),
+        Some(r) => writeln!(
+            w,
+            "route {} {} {:?} {:?} {}",
+            r.iterations, r.overflow, r.routed_um, r.hpwl_um, r.vias
+        ),
+    }
+    .expect("write to String");
+}
+
+fn parse_route(s: &str) -> Result<Option<RouteSummary>, GapError> {
+    if s == "-" {
+        return Ok(None);
+    }
+    let r: Vec<&str> = s.split(' ').collect();
+    if r.len() != 5 {
+        return Err(bad(format!("stage artifact route record {s:?}")));
+    }
+    Ok(Some(RouteSummary {
+        iterations: parse_num("route.iterations", r[0])?,
+        overflow: parse_num("route.overflow", r[1])?,
+        routed_um: parse_num("route.routed_um", r[2])?,
+        hpwl_um: parse_num("route.hpwl_um", r[3])?,
+        vias: parse_num("route.vias", r[4])?,
+    }))
+}
+
+/// Reads the next line and returns the value after `field ` — the same
+/// strict fixed-order discipline as the outcome canon parser.
+fn field_value<'a>(
+    lines: &mut std::str::Lines<'a>,
+    field: &'static str,
+) -> Result<&'a str, GapError> {
+    let line = lines
+        .next()
+        .ok_or_else(|| bad(format!("stage artifact: missing field {field}")))?;
+    line.strip_prefix(field)
+        .and_then(|rest| rest.strip_prefix(' '))
+        .ok_or_else(|| {
+            bad(format!(
+                "stage artifact: expected field {field:?}, got {line:?}"
+            ))
+        })
+}
+
+fn expect_header(lines: &mut std::str::Lines<'_>, header: &'static str) -> Result<(), GapError> {
+    match lines.next() {
+        Some(line) if line == header => Ok(()),
+        other => Err(bad(format!(
+            "stage artifact: expected header {header:?}, got {other:?}"
+        ))),
+    }
+}
+
+fn no_trailing(mut lines: std::str::Lines<'_>, what: &'static str) -> Result<(), GapError> {
+    if lines.next().is_some() {
+        return Err(bad(format!("{what}: trailing data in head")));
+    }
+    Ok(())
+}
+
+/// Splits an artifact text at its `netlist` marker: the head fields
+/// before it, and the embedded `netlist/v1` text (which self-terminates)
+/// after it, with the artifact's own trailing `end` line stripped.
+fn split_netlist_tail<'t>(
+    text: &'t str,
+    what: &'static str,
+) -> Result<(&'t str, &'t str), GapError> {
+    let (head, rest) = text
+        .split_once("\nnetlist\n")
+        .ok_or_else(|| bad(format!("{what}: missing netlist section")))?;
+    let net = rest
+        .strip_suffix("end\n")
+        .ok_or_else(|| bad(format!("{what}: missing end")))?;
+    Ok((head, net))
+}
+
+fn decode_netlist(net: &str, lib: &Library, what: &'static str) -> Result<Netlist, GapError> {
+    canon::decode(net, lib).map_err(|e| bad(format!("{what} netlist: {e}")))
+}
+
+fn write_placement(w: &mut String, p: &Placement) {
+    use std::fmt::Write;
+    writeln!(w, "placement {:?} {:?}", p.width_um, p.height_um).expect("write to String");
+    for (label, pts) in [
+        ("cells", &p.cells),
+        ("inputs", &p.inputs),
+        ("outputs", &p.outputs),
+    ] {
+        writeln!(w, "{label} {}", pts.len()).expect("write to String");
+        for &(x, y) in pts.iter() {
+            writeln!(w, "{x:?} {y:?}").expect("write to String");
+        }
+    }
+}
+
+fn parse_points(
+    lines: &mut std::str::Lines<'_>,
+    label: &'static str,
+) -> Result<Vec<(f64, f64)>, GapError> {
+    let n: usize = parse_num(label, field_value(lines, label)?)?;
+    let mut pts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let line = lines
+            .next()
+            .ok_or_else(|| bad(format!("stage-place: truncated {label} list")))?;
+        let (x, y) = line
+            .split_once(' ')
+            .ok_or_else(|| bad(format!("stage-place {label} point {line:?}")))?;
+        pts.push((parse_num("point.x", x)?, parse_num("point.y", y)?));
+    }
+    Ok(pts)
+}
+
+fn parse_placement(lines: &mut std::str::Lines<'_>) -> Result<Placement, GapError> {
+    let dims = field_value(lines, "placement")?;
+    let (w, h) = dims
+        .split_once(' ')
+        .ok_or_else(|| bad(format!("stage-place placement record {dims:?}")))?;
+    Ok(Placement {
+        width_um: parse_num("placement.width", w)?,
+        height_um: parse_num("placement.height", h)?,
+        cells: parse_points(lines, "cells")?,
+        inputs: parse_points(lines, "inputs")?,
+        outputs: parse_points(lines, "outputs")?,
+    })
+}
+
+/// The `synth` checkpoint: the workload netlist after the scenario's
+/// depth-recovery passes, with the merged pass-proof effort (under
+/// [`VerifyLevel::Full`]).
+#[derive(Debug, Clone)]
+pub struct SynthArtifact {
+    /// The rewritten (or as-generated) mapped netlist.
+    pub netlist: Netlist,
+    /// Pass-boundary proof effort so far; `None` unless `Full`.
+    pub verify_effort: Option<EquivEffort>,
+}
+
+impl SynthArtifact {
+    /// Canonical text: `stage-synth/v1`, the effort line, then the
+    /// embedded netlist. Byte-stable; [`SynthArtifact::parse`] inverts
+    /// it exactly.
+    pub fn encode(&self, lib: &Library) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("stage-synth/v1\n");
+        write_effort(&mut s, &self.verify_effort);
+        s.push_str("netlist\n");
+        s.push_str(&canon::encode(&self.netlist, lib));
+        s.push_str("end\n");
+        s
+    }
+
+    /// Parses the canonical text back, strictly.
+    ///
+    /// # Errors
+    ///
+    /// [`GapError::Parse`] on any structural damage (the staged
+    /// executors treat that as a cache miss and recompute).
+    pub fn parse(text: &str, lib: &Library) -> Result<SynthArtifact, GapError> {
+        let (head, net) = split_netlist_tail(text, "stage-synth")?;
+        let mut lines = head.lines();
+        expect_header(&mut lines, "stage-synth/v1")?;
+        let verify_effort = parse_effort(field_value(&mut lines, "verify")?)?;
+        no_trailing(lines, "stage-synth")?;
+        Ok(SynthArtifact {
+            netlist: decode_netlist(net, lib, "stage-synth")?,
+            verify_effort,
+        })
+    }
+}
+
+/// The `pipeline` checkpoint: the registered netlist — which doubles as
+/// the golden side of the flow's final equivalence check — plus the
+/// register count and the proof effort merged through the pipeline
+/// boundary. For an unpipelined scenario this is the synth netlist
+/// passed through unchanged (`registers == 0`).
+#[derive(Debug, Clone)]
+pub struct PipelineArtifact {
+    /// The netlist as it enters sizing/placement (the final-check golden).
+    pub netlist: Netlist,
+    /// Registers inserted by pipelining.
+    pub registers: usize,
+    /// Proof effort through the pipeline boundary; `None` unless `Full`.
+    pub verify_effort: Option<EquivEffort>,
+}
+
+impl PipelineArtifact {
+    /// Canonical text (`stage-pipeline/v1`), byte-stable.
+    pub fn encode(&self, lib: &Library) -> String {
+        use std::fmt::Write;
+        let mut s = String::with_capacity(4096);
+        s.push_str("stage-pipeline/v1\n");
+        writeln!(s, "registers {}", self.registers).expect("write to String");
+        write_effort(&mut s, &self.verify_effort);
+        s.push_str("netlist\n");
+        s.push_str(&canon::encode(&self.netlist, lib));
+        s.push_str("end\n");
+        s
+    }
+
+    /// Strict inverse of [`PipelineArtifact::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`GapError::Parse`] on any structural damage.
+    pub fn parse(text: &str, lib: &Library) -> Result<PipelineArtifact, GapError> {
+        let (head, net) = split_netlist_tail(text, "stage-pipeline")?;
+        let mut lines = head.lines();
+        expect_header(&mut lines, "stage-pipeline/v1")?;
+        let registers = parse_num("registers", field_value(&mut lines, "registers")?)?;
+        let verify_effort = parse_effort(field_value(&mut lines, "verify")?)?;
+        no_trailing(lines, "stage-pipeline")?;
+        Ok(PipelineArtifact {
+            netlist: decode_netlist(net, lib, "stage-pipeline")?,
+            registers,
+            verify_effort,
+        })
+    }
+}
+
+/// The `place` checkpoint: the sized netlist, the annealed placement,
+/// and the shared timer's counter checkpoint at the boundary — the base
+/// the route stage's delta is added onto.
+#[derive(Debug, Clone)]
+pub struct PlaceArtifact {
+    /// The drive-selected / TILOS-snapped netlist.
+    pub netlist: Netlist,
+    /// The floorplan's placement (drives both extraction and routing).
+    pub placement: Placement,
+    /// Timer counters at the checkpoint (graph build + sizing).
+    pub stats: IncrementalStats,
+}
+
+impl PlaceArtifact {
+    /// Canonical text (`stage-place/v1`), byte-stable — placement
+    /// coordinates use shortest-round-trip `f64` formatting.
+    pub fn encode(&self, lib: &Library) -> String {
+        let mut s = String::with_capacity(8192);
+        s.push_str("stage-place/v1\n");
+        write_stats(&mut s, "stats", self.stats);
+        write_placement(&mut s, &self.placement);
+        s.push_str("netlist\n");
+        s.push_str(&canon::encode(&self.netlist, lib));
+        s.push_str("end\n");
+        s
+    }
+
+    /// Strict inverse of [`PlaceArtifact::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`GapError::Parse`] on any structural damage.
+    pub fn parse(text: &str, lib: &Library) -> Result<PlaceArtifact, GapError> {
+        let (head, net) = split_netlist_tail(text, "stage-place")?;
+        let mut lines = head.lines();
+        expect_header(&mut lines, "stage-place/v1")?;
+        let stats = parse_stats("stats", field_value(&mut lines, "stats")?)?;
+        let placement = parse_placement(&mut lines)?;
+        no_trailing(lines, "stage-place")?;
+        Ok(PlaceArtifact {
+            netlist: decode_netlist(net, lib, "stage-place")?,
+            placement,
+            stats,
+        })
+    }
+}
+
+/// The `route` checkpoint: the final netlist (post-layout resize
+/// applied) and everything the closing arithmetic needs from the timer —
+/// the report's minimum period, the stage's counter *delta*, and the
+/// router summary. A hit here means no timing graph is built at all.
+#[derive(Debug, Clone)]
+pub struct RouteArtifact {
+    /// The final netlist (area/power/gates are measured on this).
+    pub netlist: Netlist,
+    /// The report's minimum period, pre-skew and pre-domino.
+    pub min_period: Ps,
+    /// Timer counters this stage added on top of the place checkpoint.
+    pub delta: IncrementalStats,
+    /// Router numbers under [`WireModel::Routed`]; `None` under HPWL.
+    pub route: Option<RouteSummary>,
+}
+
+impl RouteArtifact {
+    /// Canonical text (`stage-route/v1`), byte-stable.
+    pub fn encode(&self, lib: &Library) -> String {
+        use std::fmt::Write;
+        let mut s = String::with_capacity(4096);
+        s.push_str("stage-route/v1\n");
+        writeln!(s, "min_period_ps {:?}", self.min_period.value()).expect("write to String");
+        write_stats(&mut s, "delta", self.delta);
+        write_route(&mut s, &self.route);
+        s.push_str("netlist\n");
+        s.push_str(&canon::encode(&self.netlist, lib));
+        s.push_str("end\n");
+        s
+    }
+
+    /// Strict inverse of [`RouteArtifact::encode`].
+    ///
+    /// # Errors
+    ///
+    /// [`GapError::Parse`] on any structural damage.
+    pub fn parse(text: &str, lib: &Library) -> Result<RouteArtifact, GapError> {
+        let (head, net) = split_netlist_tail(text, "stage-route")?;
+        let mut lines = head.lines();
+        expect_header(&mut lines, "stage-route/v1")?;
+        let min_period = Ps::new(parse_num(
+            "min_period_ps",
+            field_value(&mut lines, "min_period_ps")?,
+        )?);
+        let delta = parse_stats("delta", field_value(&mut lines, "delta")?)?;
+        let route = parse_route(field_value(&mut lines, "route")?)?;
+        no_trailing(lines, "stage-route")?;
+        Ok(RouteArtifact {
+            netlist: decode_netlist(net, lib, "stage-route")?,
+            min_period,
+            delta,
+            route,
+        })
+    }
+}
+
+fn stats_delta(after: IncrementalStats, before: IncrementalStats) -> IncrementalStats {
+    IncrementalStats {
+        full_propagations: after.full_propagations - before.full_propagations,
+        incremental_updates: after.incremental_updates - before.incremental_updates,
+        pins_touched: after.pins_touched - before.pins_touched,
+    }
+}
+
+fn stats_sum(a: IncrementalStats, b: IncrementalStats) -> IncrementalStats {
+    IncrementalStats {
+        full_propagations: a.full_propagations + b.full_propagations,
+        incremental_updates: a.incremental_updates + b.incremental_updates,
+        pins_touched: a.pins_touched + b.pins_touched,
+    }
+}
+
+fn synth_key(scenario: &DesignScenario, workload_canonical: &str, verify: VerifyLevel) -> String {
+    use std::fmt::Write;
+    let mut k = String::with_capacity(256);
+    writeln!(k, "asicgap-stage/v1 synth").expect("write to String");
+    writeln!(k, "workload {workload_canonical}").expect("write to String");
+    writeln!(k, "verify {}", verify_label(verify)).expect("write to String");
+    writeln!(k, "technology {:?}", scenario.technology).expect("write to String");
+    writeln!(k, "library {:?}", scenario.library).expect("write to String");
+    writeln!(
+        k,
+        "rewrite {}",
+        PassPipeline::new(scenario.rewrite.clone()).key()
+    )
+    .expect("write to String");
+    k
+}
+
+fn pipeline_key(upstream: u64, scenario: &DesignScenario, verify: VerifyLevel) -> String {
+    use std::fmt::Write;
+    let mut k = String::with_capacity(128);
+    writeln!(k, "asicgap-stage/v1 pipeline").expect("write to String");
+    writeln!(k, "upstream {upstream:016x}").expect("write to String");
+    writeln!(k, "pipeline_stages {}", scenario.pipeline_stages).expect("write to String");
+    writeln!(k, "verify {}", verify_label(verify)).expect("write to String");
+    k
+}
+
+fn place_key(upstream: u64, scenario: &DesignScenario) -> String {
+    use std::fmt::Write;
+    let mut k = String::with_capacity(128);
+    writeln!(k, "asicgap-stage/v1 place").expect("write to String");
+    writeln!(k, "upstream {upstream:016x}").expect("write to String");
+    writeln!(k, "sizing {:?}", scenario.sizing).expect("write to String");
+    writeln!(k, "floorplan {:?}", scenario.floorplan).expect("write to String");
+    writeln!(k, "seed {}", scenario.seed).expect("write to String");
+    k
+}
+
+fn route_key(upstream: u64, scenario: &DesignScenario) -> String {
+    use std::fmt::Write;
+    let mut k = String::with_capacity(128);
+    writeln!(k, "asicgap-stage/v1 route").expect("write to String");
+    writeln!(k, "upstream {upstream:016x}").expect("write to String");
+    writeln!(k, "wire_model {:?}", scenario.wire_model).expect("write to String");
+    writeln!(k, "sizing {:?}", scenario.sizing).expect("write to String");
+    writeln!(k, "seed {}", scenario.seed).expect("write to String");
+    k
+}
+
+/// Everything the staged run shares between its `RUN` and `CLOSE`
+/// tails: the pipeline artifact (golden + registers), the place
+/// artifact (and its content hash, the route key's upstream), the live
+/// timer when the place stage was computed in-process, and the reuse
+/// record so far. Borrows the caller's library build.
+struct Prefix<'l> {
+    pipeline: PipelineArtifact,
+    place: PlaceArtifact,
+    place_hash: u64,
+    live: Option<TimingGraph<'l>>,
+    reuse: StageReuse,
+}
+
+/// Runs (or resumes) the synth → pipeline → place prefix.
+fn run_prefix<'l, W>(
+    scenario: &DesignScenario,
+    lib: &'l Library,
+    workload_canonical: &str,
+    workload: W,
+    verify: VerifyLevel,
+    store: &dyn ArtifactStore,
+    obs: &dyn FlowObserver,
+) -> Result<Prefix<'l>, GapError>
+where
+    W: FnOnce(&Library) -> Result<Netlist, asicgap_netlist::NetlistError>,
+{
+    if scenario.pipeline_stages == 0 {
+        return Err(GapError::Scenario {
+            what: "pipeline_stages must be >= 1".to_string(),
+        });
+    }
+    let mut reuse = StageReuse::default();
+
+    // --- synth: workload generation + depth-recovery passes. ---
+    let skey = synth_key(scenario, workload_canonical, verify);
+    let stage_clock = Instant::now();
+    let cached = store
+        .get(&skey)
+        .and_then(|t| SynthArtifact::parse(&t, lib).ok().map(|a| (t, a)));
+    let (synth_text, synth) = match cached {
+        Some((text, art)) => {
+            reuse.synth = Some(true);
+            (text, art)
+        }
+        None => {
+            reuse.synth = Some(false);
+            let mut netlist = workload(lib)?;
+            let mut verify_effort = (verify == VerifyLevel::Full).then(EquivEffort::default);
+            if !scenario.rewrite.is_empty() {
+                let pipeline = PassPipeline::new(scenario.rewrite.clone()).with_verify(verify);
+                let deltas = pipeline.run(&mut netlist, lib).map_err(|e| match e {
+                    SynthError::Inequivalent { stage, output } => {
+                        GapError::Inequivalent { stage, output }
+                    }
+                    other => GapError::from(other),
+                })?;
+                if let Some(e) = verify_effort.as_mut() {
+                    for proof in deltas.iter().filter_map(|d| d.proof.as_ref()) {
+                        e.merge(&proof.effort);
+                    }
+                }
+            }
+            let art = SynthArtifact {
+                netlist,
+                verify_effort,
+            };
+            let text = art.encode(lib);
+            store.put(&skey, &text);
+            (text, art)
+        }
+    };
+    obs.stage_done(FlowStage::Synth, stage_clock.elapsed());
+    abort_if_cancelled(obs, FlowStage::Synth)?;
+    let synth_hash = content_hash(&synth_text);
+
+    // --- pipeline: register insertion + boundary proof. Unpipelined
+    // scenarios pass the synth artifact through (not stored: there is
+    // no compute to save), so the chain hash still advances. ---
+    let (pipeline_text, pipeline) = if scenario.pipeline_stages < 2 {
+        let art = PipelineArtifact {
+            netlist: synth.netlist,
+            registers: 0,
+            verify_effort: synth.verify_effort,
+        };
+        let text = art.encode(lib);
+        (text, art)
+    } else {
+        let pkey = pipeline_key(synth_hash, scenario, verify);
+        let stage_clock = Instant::now();
+        let cached = store
+            .get(&pkey)
+            .and_then(|t| PipelineArtifact::parse(&t, lib).ok().map(|a| (t, a)));
+        match cached {
+            Some((text, art)) => {
+                reuse.pipeline = Some(true);
+                obs.stage_done(FlowStage::Pipeline, stage_clock.elapsed());
+                abort_if_cancelled(obs, FlowStage::Pipeline)?;
+                (text, art)
+            }
+            None => {
+                reuse.pipeline = Some(false);
+                let SynthArtifact {
+                    netlist,
+                    mut verify_effort,
+                } = synth;
+                let report =
+                    TimingGraph::new(netlist.clone(), lib, ClockSpec::unconstrained(), None)
+                        .report();
+                let piped =
+                    pipeline_netlist_with(&netlist, lib, scenario.pipeline_stages, &report)?;
+                obs.stage_done(FlowStage::Pipeline, stage_clock.elapsed());
+                abort_if_cancelled(obs, FlowStage::Pipeline)?;
+                let stage_clock = Instant::now();
+                match verify {
+                    VerifyLevel::Off => {}
+                    VerifyLevel::Sim => {
+                        verify_pipeline_by_sim(&netlist, &piped.netlist, piped.stages, lib)?;
+                    }
+                    VerifyLevel::Full => {
+                        let report = verify_pipeline(&netlist, &piped.netlist, lib)?;
+                        match report.result {
+                            EquivResult::Equivalent => {
+                                if let Some(e) = verify_effort.as_mut() {
+                                    e.merge(&report.effort);
+                                }
+                            }
+                            EquivResult::Inequivalent(cex) => {
+                                return Err(GapError::Inequivalent {
+                                    stage: "pipeline".to_string(),
+                                    output: cex.output,
+                                });
+                            }
+                        }
+                    }
+                }
+                let art = PipelineArtifact {
+                    netlist: piped.netlist,
+                    registers: piped.registers_inserted,
+                    verify_effort,
+                };
+                let text = art.encode(lib);
+                store.put(&pkey, &text);
+                if verify != VerifyLevel::Off {
+                    obs.stage_done(FlowStage::Equiv, stage_clock.elapsed());
+                    abort_if_cancelled(obs, FlowStage::Equiv)?;
+                }
+                (text, art)
+            }
+        }
+    };
+    let pipeline_hash = content_hash(&pipeline_text);
+
+    // --- place: shared timer build + sizing + floorplan. ---
+    let plkey = place_key(pipeline_hash, scenario);
+    let stage_clock = Instant::now();
+    let cached = store
+        .get(&plkey)
+        .and_then(|t| PlaceArtifact::parse(&t, lib).ok().map(|a| (t, a)));
+    let (place_text, place, live) = match cached {
+        Some((text, art)) => {
+            reuse.place = Some(true);
+            obs.stage_done(FlowStage::Place, stage_clock.elapsed());
+            abort_if_cancelled(obs, FlowStage::Place)?;
+            (text, art, None)
+        }
+        None => {
+            reuse.place = Some(false);
+            let mut graph = TimingGraph::new(
+                pipeline.netlist.clone(),
+                lib,
+                ClockSpec::unconstrained(),
+                None,
+            );
+            obs.stage_done(FlowStage::Sta, stage_clock.elapsed());
+
+            let stage_clock = Instant::now();
+            match scenario.sizing {
+                SizingQuality::AsMapped => {}
+                SizingQuality::DriveSelected => {
+                    select_drives_on(&mut graph, &DriveOptions::default())
+                }
+                SizingQuality::Continuous => {
+                    let sized = tilos_size(graph.netlist(), lib, &TilosOptions::default());
+                    let snap = snap_to_library(graph.netlist(), lib, &sized.sizes);
+                    let ids: Vec<_> = graph.netlist().iter_instances().map(|(id, _)| id).collect();
+                    for (id, &s) in ids.iter().zip(&snap.sizes) {
+                        let cell = lib.closest_drive(graph.netlist().instance(*id).cell(), s);
+                        graph.resize_cell(*id, cell);
+                    }
+                }
+            }
+            obs.stage_done(FlowStage::Sizing, stage_clock.elapsed());
+            abort_if_cancelled(obs, FlowStage::Sizing)?;
+
+            let strategy = match scenario.floorplan {
+                FloorplanQuality::Careful => FloorplanStrategy::Localized,
+                FloorplanQuality::Spread { modules } => FloorplanStrategy::Spread {
+                    modules,
+                    die_side_um: 10_000.0,
+                },
+            };
+            let stage_clock = Instant::now();
+            let fp = Floorplan::build(
+                graph.netlist(),
+                lib,
+                strategy,
+                &AnnealOptions::quick(scenario.seed),
+            );
+            obs.stage_done(FlowStage::Place, stage_clock.elapsed());
+            // Floorplanning never touches the timer, so the counters
+            // here equal the post-sizing checkpoint.
+            let art = PlaceArtifact {
+                netlist: graph.netlist().clone(),
+                placement: fp.placement,
+                stats: graph.stats(),
+            };
+            let text = art.encode(lib);
+            store.put(&plkey, &text);
+            abort_if_cancelled(obs, FlowStage::Place)?;
+            (text, art, Some(graph))
+        }
+    };
+    let place_hash = content_hash(&place_text);
+    Ok(Prefix {
+        pipeline,
+        place,
+        place_hash,
+        live,
+        reuse,
+    })
+}
+
+/// [`run_scenario_staged_observed`] for a nameable workload, with no
+/// observer — the plain entry point.
+///
+/// # Errors
+///
+/// As [`crate::run_scenario_verified`].
+pub fn run_scenario_staged(
+    scenario: &DesignScenario,
+    workload: &WorkloadSpec,
+    verify: VerifyLevel,
+    store: &dyn ArtifactStore,
+) -> Result<(ScenarioOutcome, StageReuse), GapError> {
+    run_scenario_staged_observed(
+        scenario,
+        &workload.canonical(),
+        |lib| workload.build(lib),
+        verify,
+        store,
+        &NoObserver,
+    )
+}
+
+/// The staged counterpart of
+/// [`run_scenario_observed`](crate::run_scenario_observed): identical
+/// outcome bytes (the determinism contract extends through the store),
+/// but each checkpoint is first looked up in `store` and recomputed
+/// stages are written back, so a warm store resumes from the deepest
+/// cached prefix. `workload_canonical` must be the workload's
+/// [`WorkloadSpec::canonical`] spelling (it anchors the synth key);
+/// `workload` is only invoked on a synth miss.
+///
+/// # Errors
+///
+/// As [`crate::run_scenario_observed`], including
+/// [`GapError::Cancelled`] at stage boundaries.
+pub fn run_scenario_staged_observed<W>(
+    scenario: &DesignScenario,
+    workload_canonical: &str,
+    workload: W,
+    verify: VerifyLevel,
+    store: &dyn ArtifactStore,
+    obs: &dyn FlowObserver,
+) -> Result<(ScenarioOutcome, StageReuse), GapError>
+where
+    W: FnOnce(&Library) -> Result<Netlist, asicgap_netlist::NetlistError>,
+{
+    let lib = scenario.library.build(&scenario.technology);
+    let mut prefix = run_prefix(
+        scenario,
+        &lib,
+        workload_canonical,
+        workload,
+        verify,
+        store,
+        obs,
+    )?;
+    let extract_stage = if scenario.wire_model == WireModel::Routed {
+        FlowStage::Route
+    } else {
+        FlowStage::Place
+    };
+
+    // --- route: wires, post-layout resize, final report. ---
+    let rkey = route_key(prefix.place_hash, scenario);
+    let stage_clock = Instant::now();
+    let cached = store
+        .get(&rkey)
+        .and_then(|t| RouteArtifact::parse(&t, &lib).ok());
+    let route_art = match cached {
+        Some(art) => {
+            prefix.reuse.route = Some(true);
+            obs.stage_done(extract_stage, stage_clock.elapsed());
+            abort_if_cancelled(obs, extract_stage)?;
+            art
+        }
+        None => {
+            prefix.reuse.route = Some(false);
+            // Resume point: a fresh timer over the sized netlist does
+            // byte-identical downstream work to the live one, because
+            // set_parasitics (the first operation either way) discards
+            // pending invalidations unflushed.
+            let (mut graph, stats_before) = match prefix.live.take() {
+                Some(graph) => {
+                    let s = graph.stats();
+                    (graph, s)
+                }
+                None => {
+                    let graph = TimingGraph::new(
+                        prefix.place.netlist.clone(),
+                        &lib,
+                        ClockSpec::unconstrained(),
+                        None,
+                    );
+                    let s = graph.stats();
+                    (graph, s)
+                }
+            };
+            let routing = match scenario.wire_model {
+                WireModel::Hpwl => None,
+                WireModel::Routed => Some(route(
+                    graph.netlist(),
+                    &prefix.place.placement,
+                    &RouterOptions::seeded(scenario.seed),
+                )),
+            };
+            let par = match &routing {
+                None => annotate(graph.netlist(), &lib, &prefix.place.placement, true),
+                Some(r) => annotate_routed(graph.netlist(), &lib, r, true),
+            };
+            graph.set_parasitics(par);
+            obs.stage_done(extract_stage, stage_clock.elapsed());
+            abort_if_cancelled(obs, extract_stage)?;
+
+            let stage_clock = Instant::now();
+            if scenario.sizing != SizingQuality::AsMapped {
+                select_drives_on(
+                    &mut graph,
+                    &DriveOptions {
+                        parasitics: None,
+                        target_gain: 4.0,
+                        passes: 2,
+                    },
+                );
+            }
+            let par = match &routing {
+                None => annotate(graph.netlist(), &lib, &prefix.place.placement, true),
+                Some(r) => annotate_routed(graph.netlist(), &lib, r, true),
+            };
+            graph.set_parasitics(par);
+            let route_summary = routing
+                .as_ref()
+                .map(|r| r.summary(graph.netlist(), &prefix.place.placement));
+            obs.stage_done(FlowStage::Sizing, stage_clock.elapsed());
+            abort_if_cancelled(obs, FlowStage::Sizing)?;
+
+            let stage_clock = Instant::now();
+            let report = graph.report();
+            obs.stage_done(FlowStage::Sta, stage_clock.elapsed());
+            let (netlist, _) = graph.into_parts();
+            let art = RouteArtifact {
+                netlist,
+                min_period: report.min_period,
+                delta: stats_delta(report.stats, stats_before),
+                route: route_summary,
+            };
+            store.put(&rkey, &art.encode(&lib));
+            art
+        }
+    };
+
+    // --- final: equivalence check + closing arithmetic (never cached
+    // here — the serving tier caches whole outcomes by canonical key).
+    let timing_effort = stats_sum(prefix.place.stats, route_art.delta);
+    let mut verify_effort = prefix.pipeline.verify_effort;
+    if verify != VerifyLevel::Off {
+        abort_if_cancelled(obs, FlowStage::Sta)?;
+        let stage_clock = Instant::now();
+        match verify {
+            VerifyLevel::Off => unreachable!("guarded above"),
+            VerifyLevel::Sim => {
+                if !random_sim_equiv(
+                    &prefix.pipeline.netlist,
+                    &lib,
+                    &route_art.netlist,
+                    &lib,
+                    64,
+                    scenario.seed,
+                ) {
+                    return Err(GapError::Inequivalent {
+                        stage: "sizing".to_string(),
+                        output: "<random simulation>".to_string(),
+                    });
+                }
+            }
+            VerifyLevel::Full => {
+                let report = check_equiv(&prefix.pipeline.netlist, &lib, &route_art.netlist, &lib)?;
+                match report.result {
+                    EquivResult::Equivalent => {
+                        if let Some(e) = verify_effort.as_mut() {
+                            e.merge(&report.effort);
+                        }
+                    }
+                    EquivResult::Inequivalent(cex) => {
+                        return Err(GapError::Inequivalent {
+                            stage: "sizing".to_string(),
+                            output: cex.output,
+                        });
+                    }
+                }
+            }
+        }
+        obs.stage_done(FlowStage::Equiv, stage_clock.elapsed());
+    }
+
+    let min_period = fold_period(scenario, &lib, route_art.min_period);
+    let nominal = min_period.frequency();
+    let access_factor = match scenario.access {
+        ProcessAccess::AsicWorstCase => BinningPolicy::corner_quote(),
+        ProcessAccess::CustomBinned => {
+            ChipPopulation::sample(&VariationComponents::new_process(), 20_000, scenario.seed)
+                .quantile(0.75)
+        }
+    };
+    let shipped = Mhz::new(nominal.value() * access_factor);
+    let area_um2 = route_art.netlist.total_area_um2(&lib);
+    let mut switched: f64 = route_art
+        .netlist
+        .iter_instances()
+        .map(|(_, i)| lib.cell(i.cell()).power_proxy())
+        .sum();
+    if scenario.logic_style == LogicStyle::DominoCriticalPath {
+        switched *= 0.75 + 0.25 * LogicFamily::Domino.power_factor();
+    }
+    let power_proxy = switched * shipped.value() / 1000.0;
+
+    Ok((
+        ScenarioOutcome {
+            scenario: scenario.name.clone(),
+            fo4_per_cycle: scenario.technology.delay_in_fo4(min_period),
+            min_period,
+            shipped,
+            gates: route_art.netlist.instance_count(),
+            registers: prefix.pipeline.registers,
+            area_um2,
+            power_proxy,
+            timing_effort,
+            verify_effort,
+            route: route_art.route,
+        },
+        prefix.reuse,
+    ))
+}
+
+/// [`close_timing_staged_cancellable`] for a nameable workload with no
+/// cancellation — the plain entry point.
+///
+/// # Errors
+///
+/// As [`DesignScenario::close_timing`].
+pub fn close_timing_staged(
+    scenario: &DesignScenario,
+    workload: &WorkloadSpec,
+    verify: VerifyLevel,
+    target: &ClosureTarget,
+    store: &dyn ArtifactStore,
+) -> Result<(ClosureOutcome, StageReuse), GapError> {
+    close_timing_staged_cancellable(
+        scenario,
+        &workload.canonical(),
+        |lib| workload.build(lib),
+        verify,
+        target,
+        store,
+        &|| false,
+    )
+}
+
+/// The staged counterpart of
+/// [`DesignScenario::close_timing_cancellable`]: the closure prep
+/// resumes from the store's synth/pipeline/place artifacts (keyed at
+/// [`VerifyLevel::Off`] — closure prep never verifies, so it shares
+/// artifacts with unverified `RUN`s), then reroutes and drives the fix
+/// loop live. Trace bytes are identical to the monolith's at any cache
+/// state. `verify` arms the *loop's* move proofs, exactly as in
+/// `close_timing`.
+///
+/// # Errors
+///
+/// As [`DesignScenario::close_timing_cancellable`].
+pub fn close_timing_staged_cancellable<W>(
+    scenario: &DesignScenario,
+    workload_canonical: &str,
+    workload: W,
+    verify: VerifyLevel,
+    target: &ClosureTarget,
+    store: &dyn ArtifactStore,
+    cancel: &dyn Fn() -> bool,
+) -> Result<(ClosureOutcome, StageReuse), GapError>
+where
+    W: FnOnce(&Library) -> Result<Netlist, asicgap_netlist::NetlistError>,
+{
+    let lib = scenario.library.build(&scenario.technology);
+    let mut prefix = run_prefix(
+        scenario,
+        &lib,
+        workload_canonical,
+        workload,
+        VerifyLevel::Off,
+        store,
+        &NoObserver,
+    )?;
+    let mut graph = match prefix.live.take() {
+        Some(graph) => graph,
+        None => TimingGraph::new(
+            prefix.place.netlist.clone(),
+            &lib,
+            ClockSpec::unconstrained(),
+            None,
+        ),
+    };
+    let routing = match scenario.wire_model {
+        WireModel::Hpwl => None,
+        WireModel::Routed => Some(route(
+            graph.netlist(),
+            &prefix.place.placement,
+            &RouterOptions::seeded(scenario.seed),
+        )),
+    };
+    let par = match &routing {
+        None => annotate(graph.netlist(), &lib, &prefix.place.placement, true),
+        Some(r) => annotate_routed(graph.netlist(), &lib, r, true),
+    };
+    graph.set_parasitics(par);
+    if scenario.sizing != SizingQuality::AsMapped {
+        select_drives_on(
+            &mut graph,
+            &DriveOptions {
+                parasitics: None,
+                target_gain: 4.0,
+                passes: 2,
+            },
+        );
+    }
+    let par = match &routing {
+        None => annotate(graph.netlist(), &lib, &prefix.place.placement, true),
+        Some(r) => annotate_routed(graph.netlist(), &lib, r, true),
+    };
+    graph.set_parasitics(par);
+
+    let open_min_period = fold_period(scenario, &lib, graph.min_period());
+    let graph_target = unfold_period(scenario, &lib, target.period());
+    let loop_target = ClosureTarget {
+        frequency: graph_target.frequency(),
+        ..target.clone()
+    };
+    let mut route_ctx = routing.map(|routing| RouteContext {
+        placement: prefix.place.placement.clone(),
+        routing,
+        options: RouterOptions::seeded(scenario.seed),
+        repeaters: true,
+    });
+    let trace = close_on(&mut graph, route_ctx.as_mut(), &loop_target, verify, cancel)
+        .map_err(map_autopilot_err)?;
+    let closed_min_period = fold_period(scenario, &lib, graph.min_period());
+    Ok((
+        ClosureOutcome {
+            scenario: scenario.name.clone(),
+            target: target.frequency,
+            open_min_period,
+            closed_min_period,
+            trace,
+        },
+        prefix.reuse,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asicgap_cells::LibrarySpec;
+    use asicgap_netlist::generators;
+    use asicgap_tech::Technology;
+
+    fn lib() -> Library {
+        LibrarySpec::rich().build(&Technology::cmos025_asic())
+    }
+
+    fn sample_effort() -> EquivEffort {
+        EquivEffort {
+            cones: 27,
+            structural: 19,
+            sat_cones: 8,
+            vars: 100,
+            clauses: 941,
+            conflicts: 92,
+            decisions: 12,
+            propagations: 3456,
+        }
+    }
+
+    #[test]
+    fn mem_store_round_trips_with_collision_guard() {
+        let store = MemStore::new();
+        assert!(store.is_empty());
+        assert_eq!(store.get("k1"), None);
+        store.put("k1", "v1");
+        store.put("k2", "v2");
+        assert_eq!(store.get("k1").as_deref(), Some("v1"));
+        assert_eq!(store.get("k2").as_deref(), Some("v2"));
+        store.put("k1", "v1b");
+        assert_eq!(store.get("k1").as_deref(), Some("v1b"));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn stage_keys_chain_and_separate_knobs() {
+        let w = "alu/8";
+        let a = DesignScenario::typical_asic();
+        let routed = a.clone().with_wire_model(WireModel::Routed);
+        let mut reseeded = a.clone();
+        reseeded.seed = 99;
+
+        // Synth key: workload, verify, and rewrite all separate identities.
+        let base = synth_key(&a, w, VerifyLevel::Off);
+        assert_ne!(base, synth_key(&a, "alu/16", VerifyLevel::Off));
+        assert_ne!(base, synth_key(&a, w, VerifyLevel::Full));
+        assert_eq!(base, synth_key(&routed, w, VerifyLevel::Off));
+
+        // Downstream keys fold the upstream hash: changing it changes
+        // every derived key.
+        assert_ne!(
+            pipeline_key(1, &a, VerifyLevel::Off),
+            pipeline_key(2, &a, VerifyLevel::Off)
+        );
+        assert_ne!(place_key(1, &a), place_key(2, &a));
+        assert_ne!(place_key(1, &a), place_key(1, &reseeded));
+        // The wire model only enters at the route key: place keys agree,
+        // route keys do not.
+        assert_eq!(place_key(7, &a), place_key(7, &routed));
+        assert_ne!(route_key(7, &a), route_key(7, &routed));
+    }
+
+    #[test]
+    fn synth_and_pipeline_artifacts_round_trip() {
+        let lib = lib();
+        let netlist = generators::alu(&lib, 8).expect("generator");
+        for effort in [None, Some(sample_effort())] {
+            let art = SynthArtifact {
+                netlist: netlist.clone(),
+                verify_effort: effort,
+            };
+            let text = art.encode(&lib);
+            let back = SynthArtifact::parse(&text, &lib).expect("parses");
+            assert_eq!(back.verify_effort, effort);
+            assert_eq!(back.encode(&lib), text, "re-encode is the identity");
+
+            let art = PipelineArtifact {
+                netlist: netlist.clone(),
+                registers: 64,
+                verify_effort: effort,
+            };
+            let text = art.encode(&lib);
+            let back = PipelineArtifact::parse(&text, &lib).expect("parses");
+            assert_eq!(back.registers, 64);
+            assert_eq!(back.verify_effort, effort);
+            assert_eq!(back.encode(&lib), text);
+        }
+    }
+
+    #[test]
+    fn place_and_route_artifacts_round_trip() {
+        let lib = lib();
+        let netlist = generators::ripple_carry_adder(&lib, 4).expect("generator");
+        let placement = Placement {
+            width_um: 123.456789,
+            height_um: 1.0 / 3.0,
+            cells: vec![(0.5, 1.5), (2.25, f64::MIN_POSITIVE)],
+            inputs: vec![(0.0, 9.75)],
+            outputs: vec![(7.125, 8.0), (1e-300, 2.0), (3.0, 4.0)],
+        };
+        let stats = IncrementalStats {
+            full_propagations: 1,
+            incremental_updates: 17,
+            pins_touched: 3300,
+        };
+        let art = PlaceArtifact {
+            netlist: netlist.clone(),
+            placement: placement.clone(),
+            stats,
+        };
+        let text = art.encode(&lib);
+        let back = PlaceArtifact::parse(&text, &lib).expect("parses");
+        assert_eq!(back.placement, placement);
+        assert_eq!(back.stats, stats);
+        assert_eq!(back.encode(&lib), text);
+
+        for route in [
+            None,
+            Some(RouteSummary {
+                iterations: 2,
+                overflow: 0,
+                routed_um: 123456.789,
+                hpwl_um: 100000.5,
+                vias: 456,
+            }),
+        ] {
+            let art = RouteArtifact {
+                netlist: netlist.clone(),
+                min_period: Ps::new(7370.123456789),
+                delta: stats,
+                route,
+            };
+            let text = art.encode(&lib);
+            let back = RouteArtifact::parse(&text, &lib).expect("parses");
+            assert_eq!(back.min_period, Ps::new(7370.123456789));
+            assert_eq!(back.delta, stats);
+            assert_eq!(back.route, route);
+            assert_eq!(back.encode(&lib), text);
+        }
+    }
+
+    #[test]
+    fn torn_and_tampered_artifacts_rejected() {
+        let lib = lib();
+        let netlist = generators::ripple_carry_adder(&lib, 4).expect("generator");
+        let art = SynthArtifact {
+            netlist,
+            verify_effort: Some(sample_effort()),
+        };
+        let good = art.encode(&lib);
+        assert!(SynthArtifact::parse("", &lib).is_err());
+        assert!(SynthArtifact::parse(&good[..good.len() / 2], &lib).is_err());
+        // The artifact's own trailing end torn off: the netlist's inner
+        // end is then consumed as ours and the decode fails.
+        assert!(SynthArtifact::parse(good.strip_suffix("end\n").unwrap(), &lib).is_err());
+        assert!(SynthArtifact::parse(&good.replacen("stage-synth/v1", "x", 1), &lib).is_err());
+        assert!(SynthArtifact::parse(&good.replacen("verify", "vrfy", 1), &lib).is_err());
+        let mut trailing = good.clone();
+        trailing.push_str("junk\n");
+        assert!(SynthArtifact::parse(&trailing, &lib).is_err());
+        // Wrong artifact kind under the right structure.
+        assert!(PipelineArtifact::parse(&good, &lib).is_err());
+    }
+}

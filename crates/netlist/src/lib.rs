@@ -44,6 +44,7 @@
 #![warn(missing_debug_implementations)]
 
 mod builder;
+pub mod canon;
 pub mod cuts;
 mod error;
 pub mod generators;

@@ -47,11 +47,11 @@ pub enum NetDriver {
 // Packed driver encoding (one u32 per net): MSB set = primary input,
 // all-ones = undriven, otherwise an instance id. Instance ids are
 // guarded below 2^31 and input ordinals below 2^31 - 1 at minting time.
-const DRIVER_NONE: u32 = u32::MAX;
-const DRIVER_PI_BIT: u32 = 1 << 31;
+pub(crate) const DRIVER_NONE: u32 = u32::MAX;
+pub(crate) const DRIVER_PI_BIT: u32 = 1 << 31;
 
 #[inline]
-fn pack_driver(d: NetDriver) -> u32 {
+pub(crate) fn pack_driver(d: NetDriver) -> u32 {
     match d {
         NetDriver::PrimaryInput(n) => DRIVER_PI_BIT | n as u32,
         NetDriver::Instance(i) => i.0,
@@ -94,7 +94,7 @@ pub(crate) struct SinkSlot {
 }
 
 /// Net flag bits (one byte per net).
-const FLAG_OUTPUT: u8 = 1;
+pub(crate) const FLAG_OUTPUT: u8 = 1;
 
 /// One cell instance: 32 bytes, fan-in inline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,8 +140,8 @@ pub struct Netlist {
     pub(crate) insts: Vec<InstRecord>,
     pub(crate) inst_seq: Vec<u8>,
     pub(crate) fanin_overflow: Vec<NetId>,
-    inputs: Vec<(String, NetId)>,
-    outputs: Vec<(String, NetId)>,
+    pub(crate) inputs: Vec<(String, NetId)>,
+    pub(crate) outputs: Vec<(String, NetId)>,
 }
 
 /// Read-only view of one net: a copyable `(netlist, id)` handle whose

@@ -2,27 +2,50 @@
 //!
 //! ```text
 //! served [--addr HOST:PORT] [--workers N] [--queue N] [--cache-mb N]
+//!        [--cache-dir DIR] [--shard NAME]
 //! ```
 //!
 //! Binds (default `127.0.0.1:7171`; port 0 picks an ephemeral port),
 //! prints one `served listening on <addr>` line to stdout so scripts
 //! can scrape the address, then serves until a `SHUTDOWN` verb drains
 //! the queue and exits. Worker default follows `ASICGAP_THREADS`.
+//!
+//! `--cache-dir DIR` backs the in-memory result cache with a
+//! crash-safe persistent segment store in `DIR`: stage checkpoints and
+//! finished outcomes survive restarts, so a rebooted daemon resumes
+//! flows from its deepest cached prefix. `--shard NAME` is the name
+//! this daemon serves under in a consistent-hash ring (informational;
+//! placement lives in the router).
 
 use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::sync::Arc;
 
+use asicgap_cluster::SegmentStore;
 use asicgap_serve::server::{Server, ServerConfig};
 
 fn usage() -> ! {
-    eprintln!("usage: served [--addr HOST:PORT] [--workers N] [--queue N] [--cache-mb N]");
+    eprintln!(
+        "usage: served [--addr HOST:PORT] [--workers N] [--queue N] [--cache-mb N] \
+         [--cache-dir DIR] [--shard NAME]"
+    );
     std::process::exit(2);
 }
 
-fn parse_args() -> ServerConfig {
-    let mut config = ServerConfig {
-        addr: "127.0.0.1:7171".parse().expect("literal addr"),
-        ..ServerConfig::default()
+struct Options {
+    config: ServerConfig,
+    cache_dir: Option<String>,
+    shard: Option<String>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        config: ServerConfig {
+            addr: "127.0.0.1:7171".parse().expect("literal addr"),
+            ..ServerConfig::default()
+        },
+        cache_dir: None,
+        shard: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -35,20 +58,26 @@ fn parse_args() -> ServerConfig {
         match flag.as_str() {
             "--addr" => {
                 let v = value("--addr");
-                config.addr = v.parse::<SocketAddr>().unwrap_or_else(|_| {
+                opts.config.addr = v.parse::<SocketAddr>().unwrap_or_else(|_| {
                     eprintln!("served: bad address {v:?}");
                     usage();
                 });
             }
             "--workers" => {
-                config.workers = value("--workers").parse().unwrap_or_else(|_| usage());
+                opts.config.workers = value("--workers").parse().unwrap_or_else(|_| usage());
             }
             "--queue" => {
-                config.queue_cap = value("--queue").parse().unwrap_or_else(|_| usage());
+                opts.config.queue_cap = value("--queue").parse().unwrap_or_else(|_| usage());
             }
             "--cache-mb" => {
                 let mb: usize = value("--cache-mb").parse().unwrap_or_else(|_| usage());
-                config.cache_budget = mb << 20;
+                opts.config.cache_budget = mb << 20;
+            }
+            "--cache-dir" => {
+                opts.cache_dir = Some(value("--cache-dir"));
+            }
+            "--shard" => {
+                opts.shard = Some(value("--shard"));
             }
             "--help" | "-h" => usage(),
             other => {
@@ -57,12 +86,32 @@ fn parse_args() -> ServerConfig {
             }
         }
     }
-    config
+    opts
 }
 
 fn main() -> ExitCode {
-    let config = parse_args();
-    let server = match Server::bind(&config) {
+    let opts = parse_args();
+    let config = &opts.config;
+    let server = match &opts.cache_dir {
+        None => Server::bind(config),
+        Some(dir) => {
+            match SegmentStore::open(dir) {
+                Ok(store) => {
+                    let stats = store.stats();
+                    eprintln!(
+                    "served: cache dir {dir:?}: {} artifacts, {} bytes ({} scanned, {} truncated)",
+                    stats.artifacts, stats.segment_bytes, stats.scanned_records, stats.truncated_bytes
+                );
+                    Server::bind_with_store(config, Arc::new(store))
+                }
+                Err(e) => {
+                    eprintln!("served: cannot open cache dir {dir:?}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    let server = match server {
         Ok(s) => s,
         Err(e) => {
             eprintln!("served: cannot bind {}: {e}", config.addr);
@@ -71,7 +120,8 @@ fn main() -> ExitCode {
     };
     println!("served listening on {}", server.local_addr());
     eprintln!(
-        "served: {} workers, queue {}, cache {} MiB",
+        "served: shard {:?}, {} workers, queue {}, cache {} MiB",
+        opts.shard.as_deref().unwrap_or("-"),
         config.workers,
         config.queue_cap,
         config.cache_budget >> 20

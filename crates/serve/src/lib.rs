@@ -26,10 +26,22 @@
 //! (synth/place/route/sta/equiv/…) wall-time histograms — exposed
 //! through the `STATS` verb as a canonical, parseable text block.
 //!
-//! [`proto`] defines the length-prefixed wire protocol, [`server`] the
-//! accept loop and verb dispatch, [`client`] the blocking client used
-//! by the `loadgen` tool and the integration tests. The daemon binary
-//! is `served`.
+//! [`proto`] defines the length-prefixed wire protocol (per-verb frame
+//! caps: `LOAD` rides a 16 MiB ceiling, everything else 1 MiB),
+//! [`server`] a std-only non-blocking event loop — one thread sweeps
+//! every connection, pipelined requests are answered strictly in
+//! order, and flow execution stays on the scheduler's worker pool —
+//! and [`client`] the blocking client used by the `loadgen` tool and
+//! the integration tests. The daemon binary is `served`; `router`
+//! fronts several daemons with a consistent-hash ring
+//! ([`asicgap_cluster::Ring`]).
+//!
+//! The scheduler's in-memory cache is L1 of a two-level hierarchy: an
+//! [`asicgap::ArtifactStore`] L2 (persistent
+//! [`asicgap_cluster::SegmentStore`] under `served --cache-dir`) holds
+//! both finished outcomes and per-stage flow checkpoints, so restarts
+//! keep their history and a request sharing a flow prefix with any
+//! earlier one resumes from the deepest cached checkpoint.
 //!
 //! # Example (in-process, no socket)
 //!
@@ -63,10 +75,10 @@ pub mod server;
 
 pub use cache::ResultCache;
 pub use client::{Client, ClientError};
-pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use metrics::{Histogram, HistogramSnapshot, Metrics, MetricsSnapshot, STAGE_CACHE_NAMES};
 pub use proto::{
-    read_frame, write_frame, CloseRequest, ProtoError, Request, Response, RunRequest,
-    ScenarioPreset, Source, MAX_FRAME,
+    frame_cap, parse_frame, read_frame, write_frame, CloseRequest, ProtoError, Request, Response,
+    RunRequest, ScenarioPreset, Source, MAX_FRAME, MAX_LOAD_FRAME,
 };
 pub use sched::{Admission, Job, Scheduler, Work};
 pub use server::{Server, ServerConfig};

@@ -17,9 +17,12 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-use asicgap::FlowStage;
+use asicgap::{FlowStage, StageReuse};
 
 use crate::proto::ProtoError;
+
+/// Stage-cache checkpoint labels, [`StageReuse::entries`] order.
+pub const STAGE_CACHE_NAMES: [&str; 4] = ["synth", "pipeline", "place", "route"];
 
 /// Number of log2 buckets: bucket 0 is zero, bucket 64 is values with
 /// the top bit set.
@@ -118,6 +121,21 @@ impl HistogramSnapshot {
         self.quantile(0.99)
     }
 
+    /// Componentwise sum of two snapshots (bucket counts add, `max`
+    /// takes the larger) — how the router aggregates shard histograms.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = self.buckets;
+        for (slot, &n) in buckets.iter_mut().zip(&other.buckets) {
+            *slot += n;
+        }
+        HistogramSnapshot {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            max: self.max.max(other.max),
+            buckets,
+        }
+    }
+
     fn canonical_line(&self) -> String {
         let mut sparse = String::new();
         for (i, &n) in self.buckets.iter().enumerate() {
@@ -212,6 +230,15 @@ pub struct Metrics {
     pub cancelled: AtomicU64,
     /// Current queue depth (maintained by the scheduler).
     pub queue_depth: AtomicU64,
+    /// Whole outcomes served from the persistent L2 store after an L1
+    /// (in-memory LRU) miss.
+    pub l2_hits: AtomicU64,
+    /// Outcome lookups that missed both L1 and L2.
+    pub l2_misses: AtomicU64,
+    /// Stage-cache checkpoint hits, [`STAGE_CACHE_NAMES`] order.
+    pub stage_cache_hits: [AtomicU64; 4],
+    /// Stage-cache checkpoint misses, [`STAGE_CACHE_NAMES`] order.
+    pub stage_cache_misses: [AtomicU64; 4],
     /// Queue depth sampled at every enqueue.
     pub queue_depth_hist: Histogram,
     /// End-to-end job latency, microseconds (submit to completion).
@@ -225,6 +252,17 @@ impl Metrics {
     /// Records one stage wall time from a flow observer.
     pub fn record_stage(&self, stage: FlowStage, elapsed: Duration) {
         self.stage_us[stage.index()].record(elapsed.as_micros() as u64);
+    }
+
+    /// Records which checkpoints a staged run reused.
+    pub fn record_reuse(&self, reuse: &StageReuse) {
+        for (i, (_, state)) in reuse.entries().iter().enumerate() {
+            match state {
+                Some(true) => self.stage_cache_hits[i].fetch_add(1, Ordering::Relaxed),
+                Some(false) => self.stage_cache_misses[i].fetch_add(1, Ordering::Relaxed),
+                None => continue,
+            };
+        }
     }
 
     /// Takes a consistent-enough snapshot (individual loads are atomic;
@@ -243,6 +281,14 @@ impl Metrics {
             queue_depth: load(&self.queue_depth),
             cache_entries: cache_entries as u64,
             cache_bytes: cache_bytes as u64,
+            l2_hits: load(&self.l2_hits),
+            l2_misses: load(&self.l2_misses),
+            stage_cache: std::array::from_fn(|i| {
+                (
+                    load(&self.stage_cache_hits[i]),
+                    load(&self.stage_cache_misses[i]),
+                )
+            }),
             queue_depth_hist: self.queue_depth_hist.snapshot(),
             latency_us: self.latency_us.snapshot(),
             stage_us: std::array::from_fn(|i| self.stage_us[i].snapshot()),
@@ -275,6 +321,13 @@ pub struct MetricsSnapshot {
     pub cache_entries: u64,
     /// Bytes charged against the cache budget.
     pub cache_bytes: u64,
+    /// See [`Metrics::l2_hits`].
+    pub l2_hits: u64,
+    /// See [`Metrics::l2_misses`].
+    pub l2_misses: u64,
+    /// Per-checkpoint stage-cache `(hits, misses)`,
+    /// [`STAGE_CACHE_NAMES`] order.
+    pub stage_cache: [(u64, u64); 4],
     /// Queue depth distribution.
     pub queue_depth_hist: HistogramSnapshot,
     /// End-to-end latency distribution (µs).
@@ -284,13 +337,61 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
-    /// Cache hit rate over all lookups; 0.0 when none.
-    pub fn hit_rate(&self) -> f64 {
-        let looked = self.cache_hits + self.cache_misses;
+    fn rate(hits: u64, misses: u64) -> f64 {
+        let looked = hits + misses;
         if looked == 0 {
             0.0
         } else {
-            self.cache_hits as f64 / looked as f64
+            hits as f64 / looked as f64
+        }
+    }
+
+    /// L1 (in-memory LRU) cache hit rate over all lookups; 0.0 when
+    /// none.
+    pub fn hit_rate(&self) -> f64 {
+        MetricsSnapshot::rate(self.cache_hits, self.cache_misses)
+    }
+
+    /// L2 (persistent store) outcome hit rate over L1 misses; 0.0 when
+    /// none.
+    pub fn l2_hit_rate(&self) -> f64 {
+        MetricsSnapshot::rate(self.l2_hits, self.l2_misses)
+    }
+
+    /// Stage-cache hit rate across all consulted checkpoints; 0.0 when
+    /// none were consulted.
+    pub fn stage_hit_rate(&self) -> f64 {
+        let hits: u64 = self.stage_cache.iter().map(|&(h, _)| h).sum();
+        let misses: u64 = self.stage_cache.iter().map(|&(_, m)| m).sum();
+        MetricsSnapshot::rate(hits, misses)
+    }
+
+    /// Componentwise sum of two snapshots — how the router answers
+    /// `STATS` as the aggregate of every shard's counters.
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            requests: self.requests + other.requests,
+            cache_hits: self.cache_hits + other.cache_hits,
+            cache_misses: self.cache_misses + other.cache_misses,
+            dedup_joins: self.dedup_joins + other.dedup_joins,
+            busy_rejections: self.busy_rejections + other.busy_rejections,
+            completed: self.completed + other.completed,
+            errors: self.errors + other.errors,
+            cancelled: self.cancelled + other.cancelled,
+            queue_depth: self.queue_depth + other.queue_depth,
+            cache_entries: self.cache_entries + other.cache_entries,
+            cache_bytes: self.cache_bytes + other.cache_bytes,
+            l2_hits: self.l2_hits + other.l2_hits,
+            l2_misses: self.l2_misses + other.l2_misses,
+            stage_cache: std::array::from_fn(|i| {
+                (
+                    self.stage_cache[i].0 + other.stage_cache[i].0,
+                    self.stage_cache[i].1 + other.stage_cache[i].1,
+                )
+            }),
+            queue_depth_hist: self.queue_depth_hist.merge(&other.queue_depth_hist),
+            latency_us: self.latency_us.merge(&other.latency_us),
+            stage_us: std::array::from_fn(|i| self.stage_us[i].merge(&other.stage_us[i])),
         }
     }
 
@@ -328,6 +429,34 @@ impl MetricsSnapshot {
         let queue_depth = field("queue_depth")?;
         let cache_entries = field("cache_entries")?;
         let cache_bytes = field("cache_bytes")?;
+        let l2_hits = field("l2_hits")?;
+        let l2_misses = field("l2_misses")?;
+        // The hit-rate lines are derived from counters already parsed:
+        // accept them only when they match the recomputation exactly.
+        for (name, hits, misses) in [
+            ("l1_hit_rate", cache_hits, cache_misses),
+            ("l2_hit_rate", l2_hits, l2_misses),
+        ] {
+            let line = lines.next().ok_or_else(|| bad("truncated"))?;
+            let expected = format!("{name} {:?}", MetricsSnapshot::rate(hits, misses));
+            if line != expected {
+                return Err(bad(&format!("expected {expected:?}, got {line:?}")));
+            }
+        }
+        let mut stage_cache = [(0u64, 0u64); 4];
+        for (name, slot) in STAGE_CACHE_NAMES.iter().zip(&mut stage_cache) {
+            let line = lines.next().ok_or_else(|| bad("truncated"))?;
+            let rest = line
+                .strip_prefix("stage_cache_")
+                .and_then(|r| r.strip_prefix(name))
+                .and_then(|r| r.strip_prefix(' '))
+                .ok_or_else(|| bad(&format!("expected stage_cache_{name}, got {line:?}")))?;
+            let (h, m) = rest
+                .split_once(' ')
+                .and_then(|(h, m)| Some((h.parse().ok()?, m.parse().ok()?)))
+                .ok_or_else(|| bad(&format!("stage_cache_{name} counters in {line:?}")))?;
+            *slot = (h, m);
+        }
         let mut hist = |name: &str| -> Result<HistogramSnapshot, ProtoError> {
             let line = lines.next().ok_or_else(|| bad("truncated"))?;
             line.strip_prefix(name)
@@ -364,6 +493,9 @@ impl MetricsSnapshot {
             queue_depth,
             cache_entries,
             cache_bytes,
+            l2_hits,
+            l2_misses,
+            stage_cache,
             queue_depth_hist,
             latency_us,
             stage_us,
@@ -385,6 +517,13 @@ impl fmt::Display for MetricsSnapshot {
         writeln!(f, "queue_depth {}", self.queue_depth)?;
         writeln!(f, "cache_entries {}", self.cache_entries)?;
         writeln!(f, "cache_bytes {}", self.cache_bytes)?;
+        writeln!(f, "l2_hits {}", self.l2_hits)?;
+        writeln!(f, "l2_misses {}", self.l2_misses)?;
+        writeln!(f, "l1_hit_rate {:?}", self.hit_rate())?;
+        writeln!(f, "l2_hit_rate {:?}", self.l2_hit_rate())?;
+        for (name, &(h, m)) in STAGE_CACHE_NAMES.iter().zip(&self.stage_cache) {
+            writeln!(f, "stage_cache_{name} {h} {m}")?;
+        }
         writeln!(
             f,
             "queue_depth_hist {}",
@@ -434,11 +573,27 @@ mod tests {
         m.busy_rejections.store(5, Ordering::Relaxed);
         m.completed.store(50, Ordering::Relaxed);
         m.errors.store(2, Ordering::Relaxed);
+        m.l2_hits.store(9, Ordering::Relaxed);
+        m.l2_misses.store(51, Ordering::Relaxed);
         m.latency_us.record(12_345);
         m.latency_us.record(500);
         m.queue_depth_hist.record(3);
         m.record_stage(FlowStage::Synth, Duration::from_micros(111));
         m.record_stage(FlowStage::Sta, Duration::from_micros(2_222));
+        // A warm request that reused everything up to place: three stage
+        // hits, one miss, and one stage (pipeline here) not consulted.
+        m.record_reuse(&StageReuse {
+            synth: Some(true),
+            pipeline: None,
+            place: Some(true),
+            route: Some(false),
+        });
+        m.record_reuse(&StageReuse {
+            synth: Some(true),
+            pipeline: Some(false),
+            place: None,
+            route: None,
+        });
         let snap = m.snapshot(7, 4096);
         let text = snap.to_string();
         let back = MetricsSnapshot::parse(&text).expect("parses");
@@ -447,10 +602,55 @@ mod tests {
         assert_eq!(back.cache_hits, 40);
         assert_eq!(back.cache_entries, 7);
         assert_eq!(back.cache_bytes, 4096);
+        assert_eq!(back.l2_hits, 9);
+        assert_eq!(back.l2_misses, 51);
+        assert_eq!(back.stage_cache, [(2, 0), (0, 1), (1, 0), (0, 1)]);
         assert_eq!(back.latency_us.count, 2);
         assert_eq!(back.stage_us[FlowStage::Sta.index()].count, 1);
         assert_eq!(back.to_string(), text);
         assert!((snap.hit_rate() - 0.4).abs() < 1e-12);
+        assert!((snap.l2_hit_rate() - 0.15).abs() < 1e-12);
+        assert!((snap.stage_hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshots_merge_counter_by_counter() {
+        let a = Metrics::default();
+        a.requests.store(10, Ordering::Relaxed);
+        a.cache_hits.store(4, Ordering::Relaxed);
+        a.l2_hits.store(2, Ordering::Relaxed);
+        a.latency_us.record(100);
+        a.record_reuse(&StageReuse {
+            synth: Some(true),
+            pipeline: Some(true),
+            place: Some(false),
+            route: Some(false),
+        });
+        let b = Metrics::default();
+        b.requests.store(5, Ordering::Relaxed);
+        b.cache_misses.store(3, Ordering::Relaxed);
+        b.l2_misses.store(1, Ordering::Relaxed);
+        b.latency_us.record(90_000);
+        b.record_reuse(&StageReuse {
+            synth: Some(false),
+            pipeline: None,
+            place: None,
+            route: None,
+        });
+        let merged = a.snapshot(2, 64).merge(&b.snapshot(3, 128));
+        assert_eq!(merged.requests, 15);
+        assert_eq!(merged.cache_hits, 4);
+        assert_eq!(merged.cache_misses, 3);
+        assert_eq!(merged.l2_hits, 2);
+        assert_eq!(merged.l2_misses, 1);
+        assert_eq!(merged.stage_cache, [(1, 1), (1, 0), (0, 1), (0, 1)]);
+        assert_eq!(merged.cache_entries, 5);
+        assert_eq!(merged.cache_bytes, 192);
+        assert_eq!(merged.latency_us.count, 2);
+        assert_eq!(merged.latency_us.max, 90_000);
+        // A merged snapshot is still a valid stats/v1 document.
+        let text = merged.to_string();
+        assert_eq!(MetricsSnapshot::parse(&text).unwrap().to_string(), text);
     }
 
     #[test]

@@ -24,10 +24,32 @@ use asicgap::{
     WireModel, WorkloadSpec,
 };
 
-/// Hard ceiling on frame payloads (1 MiB). Far above any legitimate
+/// Default ceiling on frame payloads (1 MiB). Far above any legitimate
 /// outcome or stats dump; a header above this is treated as a protocol
-/// violation, not an allocation request.
+/// violation, not an allocation request — except for `LOAD`, whose
+/// design payloads get the larger [`MAX_LOAD_FRAME`] cap.
 pub const MAX_FRAME: usize = 1 << 20;
+
+/// Ceiling on `LOAD` request frames (16 MiB): real Yosys-JSON and EDIF
+/// dumps routinely pass 1 MiB. The cap is per-verb — a frame over
+/// [`MAX_FRAME`] is only accepted once its body proves to be a `LOAD`.
+pub const MAX_LOAD_FRAME: usize = 16 << 20;
+
+/// The per-verb frame cap table: everything rides the default
+/// [`MAX_FRAME`] except `LOAD` payloads.
+pub fn frame_cap(body: &str) -> usize {
+    if body.as_bytes().starts_with(LOAD_PREFIX) {
+        MAX_LOAD_FRAME
+    } else {
+        MAX_FRAME
+    }
+}
+
+/// The body prefix of the one verb allowed past [`MAX_FRAME`]; read
+/// paths judge over-cap frames on these first bytes so an oversized
+/// non-`LOAD` frame is rejected before its body is buffered (or even
+/// sent).
+const LOAD_PREFIX: &[u8] = b"LOAD ";
 
 /// Protocol-layer errors.
 #[derive(Debug)]
@@ -78,18 +100,18 @@ fn malformed(what: impl Into<String>) -> ProtoError {
     ProtoError::Malformed { what: what.into() }
 }
 
-/// Writes one frame.
+/// Writes one frame, enforcing the per-verb cap ([`frame_cap`]).
 ///
 /// # Errors
 ///
-/// [`ProtoError::Oversized`] if `body` exceeds [`MAX_FRAME`];
+/// [`ProtoError::Oversized`] if `body` exceeds its verb's cap;
 /// [`ProtoError::Io`] on socket failure.
 pub fn write_frame(w: &mut impl Write, body: &str) -> Result<(), ProtoError> {
     let bytes = body.as_bytes();
-    if bytes.len() > MAX_FRAME {
+    if bytes.len() > frame_cap(body) {
         return Err(ProtoError::Oversized { len: bytes.len() });
     }
-    let len = u32::try_from(bytes.len()).expect("MAX_FRAME fits in u32");
+    let len = u32::try_from(bytes.len()).expect("MAX_LOAD_FRAME fits in u32");
     w.write_all(&len.to_be_bytes())?;
     w.write_all(bytes)?;
     w.flush()?;
@@ -118,12 +140,19 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, ProtoError> {
         }
     }
     let len = u32::from_be_bytes(header) as usize;
-    if len > MAX_FRAME {
+    if len > MAX_LOAD_FRAME {
         return Err(ProtoError::Oversized { len });
     }
     let mut body = vec![0u8; len];
     let mut filled = 0;
     while filled < len {
+        // A frame over the default cap is only legitimate as a `LOAD`,
+        // and the verb shows in the first body bytes: judge it there
+        // instead of buffering megabytes (or waiting forever for a
+        // body the peer never sends).
+        if len > MAX_FRAME && filled >= LOAD_PREFIX.len() && !body.starts_with(LOAD_PREFIX) {
+            return Err(ProtoError::Oversized { len });
+        }
         match r.read(&mut body[filled..]) {
             Ok(0) => return Err(ProtoError::Truncated { wanted: len }),
             Ok(n) => filled += n,
@@ -131,9 +160,46 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<String>, ProtoError> {
             Err(e) => return Err(ProtoError::Io(e)),
         }
     }
-    String::from_utf8(body)
-        .map(Some)
-        .map_err(|_| malformed("non-UTF-8 payload"))
+    let body = String::from_utf8(body).map_err(|_| malformed("non-UTF-8 payload"))?;
+    if len > frame_cap(&body) {
+        // Over the 1 MiB default and not a LOAD: the per-verb cap
+        // applies once the verb is known.
+        return Err(ProtoError::Oversized { len });
+    }
+    Ok(Some(body))
+}
+
+/// Incrementally parses one frame from the head of `buf` (the
+/// non-blocking server's read path). `Ok(Some((body, consumed)))` when
+/// a complete frame is present, `Ok(None)` when more bytes are needed.
+///
+/// # Errors
+///
+/// [`ProtoError::Oversized`] when the header (or a decoded non-`LOAD`
+/// body over [`MAX_FRAME`]) exceeds its cap, [`ProtoError::Malformed`]
+/// on non-UTF-8 payload.
+pub fn parse_frame(buf: &[u8]) -> Result<Option<(String, usize)>, ProtoError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(buf[..4].try_into().expect("slice len")) as usize;
+    if len > MAX_LOAD_FRAME {
+        return Err(ProtoError::Oversized { len });
+    }
+    // Same early verdict as `read_frame`: past the default cap, the
+    // first body bytes must spell a `LOAD` or the frame is oversized —
+    // no need to wait for (or buffer) the rest.
+    if len > MAX_FRAME && buf.len() >= 4 + LOAD_PREFIX.len() && !buf[4..].starts_with(LOAD_PREFIX) {
+        return Err(ProtoError::Oversized { len });
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let body = std::str::from_utf8(&buf[4..4 + len]).map_err(|_| malformed("non-UTF-8 payload"))?;
+    if len > frame_cap(body) {
+        return Err(ProtoError::Oversized { len });
+    }
+    Ok(Some((body.to_string(), 4 + len)))
 }
 
 /// The named scenario presets a client can request. The preset resolves
@@ -730,18 +796,82 @@ mod tests {
 
     #[test]
     fn oversized_frames_error_both_directions() {
-        // A header promising 2 MiB errors before any payload is read.
-        let len = (MAX_FRAME as u32 + 1).to_be_bytes();
+        // A header promising more than the largest per-verb cap errors
+        // before any payload is read.
+        let len = (MAX_LOAD_FRAME as u32 + 1).to_be_bytes();
         let r = read_frame(&mut len.as_slice());
         assert!(matches!(r, Err(ProtoError::Oversized { .. })), "{r:?}");
-        // And writing one is refused up front.
-        let huge = "x".repeat(MAX_FRAME + 1);
+        // A non-LOAD body over the 1 MiB default cap is rejected once
+        // the verb is known, reading and writing.
+        let huge = format!("RUN {}", "x".repeat(MAX_FRAME));
         let mut buf = Vec::new();
         assert!(matches!(
             write_frame(&mut buf, &huge),
             Err(ProtoError::Oversized { .. })
         ));
         assert!(buf.is_empty(), "nothing written for refused frame");
+        let mut wire = (huge.len() as u32).to_be_bytes().to_vec();
+        wire.extend_from_slice(huge.as_bytes());
+        let r = read_frame(&mut wire.as_slice());
+        assert!(matches!(r, Err(ProtoError::Oversized { .. })), "{r:?}");
+        let r = parse_frame(&wire);
+        assert!(matches!(r, Err(ProtoError::Oversized { .. })), "{r:?}");
+        // The verdict is early: an over-cap non-LOAD header followed by
+        // a *partial* body already errors — neither read path waits for
+        // (or buffers) megabytes the peer may never send.
+        let mut partial = (MAX_FRAME as u32 + 1).to_be_bytes().to_vec();
+        partial.extend_from_slice(&[b'x'; 64]);
+        let r = parse_frame(&partial);
+        assert!(matches!(r, Err(ProtoError::Oversized { .. })), "{r:?}");
+        let r = read_frame(&mut partial.as_slice());
+        assert!(matches!(r, Err(ProtoError::Oversized { .. })), "{r:?}");
+        // While the same partial prefix spelling LOAD keeps waiting.
+        let mut partial = (MAX_FRAME as u32 + 1).to_be_bytes().to_vec();
+        partial.extend_from_slice(b"LOAD yosys-json\n{}");
+        assert!(matches!(parse_frame(&partial), Ok(None)));
+    }
+
+    #[test]
+    fn load_frames_ride_the_larger_per_verb_cap() {
+        // A LOAD payload between the default and LOAD caps round-trips…
+        let body = format!("LOAD yosys-json\n{}", "{}".repeat(MAX_FRAME));
+        assert!(body.len() > MAX_FRAME && body.len() <= MAX_LOAD_FRAME);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &body).expect("LOAD over 1 MiB writes");
+        let back = read_frame(&mut buf.as_slice()).expect("reads");
+        assert_eq!(back.as_deref(), Some(body.as_str()));
+        let (parsed, consumed) = parse_frame(&buf).expect("parses").expect("complete");
+        assert_eq!((parsed.as_str(), consumed), (body.as_str(), buf.len()));
+        // …while one over the LOAD cap is still refused.
+        let over = format!("LOAD yosys-json\n{}", "x".repeat(MAX_LOAD_FRAME));
+        assert!(matches!(
+            write_frame(&mut Vec::new(), &over),
+            Err(ProtoError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_frame_handles_partial_input() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "PING").expect("writes");
+        write_frame(&mut buf, "STATS").expect("writes");
+        for cut in 0..buf.len() {
+            match parse_frame(&buf[..cut]) {
+                Ok(Some((body, consumed))) => {
+                    assert_eq!(body, "PING");
+                    assert_eq!(consumed, 8);
+                }
+                Ok(None) => assert!(cut < 8, "complete frame not parsed at {cut}"),
+                Err(e) => panic!("cut {cut}: {e}"),
+            }
+        }
+        let (first, consumed) = parse_frame(&buf).expect("ok").expect("complete");
+        assert_eq!(first, "PING");
+        let (second, rest) = parse_frame(&buf[consumed..])
+            .expect("ok")
+            .expect("complete");
+        assert_eq!(second, "STATS");
+        assert_eq!(consumed + rest, buf.len());
     }
 
     #[test]

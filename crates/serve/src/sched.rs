@@ -4,7 +4,9 @@
 //! A `RUN` request is admitted in one of four ways:
 //!
 //! 1. **Cached** — the content-addressed cache already holds the
-//!    outcome; it is returned immediately, no job is created.
+//!    outcome (in-memory L1, or the persistent L2 store behind it —
+//!    an L2 hit is promoted to L1 first); it is returned immediately,
+//!    no job is created.
 //! 2. **Joined** — an identical request (same canonical key) is already
 //!    queued or running; the caller waits on that job's result instead
 //!    of duplicating the work.
@@ -12,10 +14,14 @@
 //! 4. **Busy** — the queue is full; the caller is told to retry later
 //!    rather than buffering unboundedly.
 //!
-//! Workers run jobs through [`asicgap::run_scenario_observed`] with an
-//! observer that feeds per-stage wall times into [`Metrics`] and polls
-//! the request deadline between stages, so an expired request abandons
-//! its flow at the next stage boundary instead of holding a worker.
+//! Workers run jobs through [`asicgap::run_scenario_staged_observed`]
+//! with an observer that feeds per-stage wall times into [`Metrics`]
+//! and polls the request deadline between stages, so an expired
+//! request abandons its flow at the next stage boundary instead of
+//! holding a worker. Staged execution checkpoints every stage artifact
+//! into the L2 store, so a request that shares a flow prefix with any
+//! earlier one (this process or a previous incarnation) resumes from
+//! the deepest cached checkpoint instead of recomputing from scratch.
 //!
 //! Lock discipline: the cache mutex and the scheduler state mutex are
 //! never held at the same time, and job completion slots are only
@@ -29,7 +35,10 @@ use std::time::{Duration, Instant};
 
 use asicgap::frontend::DesignFormat;
 use asicgap::netlist::{Netlist, NetlistError};
-use asicgap::{run_scenario_observed, FlowObserver, FlowStage, GapError, Verdict, WorkloadSpec};
+use asicgap::{
+    close_timing_staged_cancellable, run_scenario_staged_observed, ArtifactStore, FlowObserver,
+    FlowStage, GapError, MemStore, Verdict, WorkloadSpec,
+};
 
 use crate::cache::ResultCache;
 use crate::metrics::Metrics;
@@ -101,6 +110,13 @@ impl Job {
         slot.clone().expect("loop exits only when filled")
     }
 
+    /// The result if the job has completed, without blocking. The
+    /// event loop polls this between readiness sweeps instead of
+    /// parking a thread per pending reply.
+    pub fn try_result(&self) -> Option<Result<String, String>> {
+        self.slot.lock().expect("job slot lock").clone()
+    }
+
     fn complete(&self, result: Result<String, String>) {
         *self.slot.lock().expect("job slot lock") = Some(result);
         self.done.notify_all();
@@ -147,6 +163,10 @@ pub struct Scheduler {
     state: Mutex<State>,
     work_cv: Condvar,
     cache: ResultCache,
+    /// L2: persistent artifact + outcome store behind the in-memory
+    /// LRU. Flow checkpoints and finished outcome texts both land
+    /// here, so they survive restarts and are shared across requests.
+    store: Arc<dyn ArtifactStore>,
     metrics: Arc<Metrics>,
     workers: Mutex<Vec<thread::JoinHandle<()>>>,
     /// Uploaded design payloads, keyed by [`asicgap::content_hash`] of
@@ -157,8 +177,21 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Starts `workers` flow workers with a queue bounded at
-    /// `queue_cap` and a result cache of `cache_budget` bytes.
+    /// `queue_cap` and a result cache of `cache_budget` bytes, backed
+    /// by a process-local in-memory L2.
     pub fn start(workers: usize, queue_cap: usize, cache_budget: usize) -> Arc<Scheduler> {
+        Scheduler::start_with_store(workers, queue_cap, cache_budget, Arc::new(MemStore::new()))
+    }
+
+    /// [`Scheduler::start`] with an explicit L2 artifact store — the
+    /// daemon passes a persistent segment store here so stage
+    /// checkpoints and outcomes survive restarts.
+    pub fn start_with_store(
+        workers: usize,
+        queue_cap: usize,
+        cache_budget: usize,
+        store: Arc<dyn ArtifactStore>,
+    ) -> Arc<Scheduler> {
         let sched = Arc::new(Scheduler {
             queue_cap,
             state: Mutex::new(State {
@@ -168,6 +201,7 @@ impl Scheduler {
             }),
             work_cv: Condvar::new(),
             cache: ResultCache::new(cache_budget),
+            store,
             metrics: Arc::new(Metrics::default()),
             workers: Mutex::new(Vec::new()),
             designs: Mutex::new(HashMap::new()),
@@ -285,6 +319,14 @@ impl Scheduler {
             return Admission::Cached(text);
         }
         self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(text) = self.store.get(&key) {
+            // L2 hit: an earlier process computed (or an evicted L1 line
+            // held) this exact outcome. Promote and serve it.
+            self.metrics.l2_hits.fetch_add(1, Ordering::Relaxed);
+            self.cache.insert(hash, &key, &text);
+            return Admission::Cached(text);
+        }
+        self.metrics.l2_misses.fetch_add(1, Ordering::Relaxed);
         let mut state = self.state.lock().expect("sched lock");
         if state.shutdown {
             self.metrics.busy_rejections.fetch_add(1, Ordering::Relaxed);
@@ -382,6 +424,7 @@ impl Scheduler {
 
     fn finish(&self, job: &Job, text: String) -> Result<String, String> {
         self.cache.insert(job.hash, &job.key, &text);
+        self.store.put(&job.key, &text);
         self.metrics.completed.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .latency_us
@@ -396,14 +439,19 @@ impl Scheduler {
         obs: &StageObserver<'_>,
     ) -> Result<String, String> {
         let scenario = req.scenario();
-        let run = run_scenario_observed(
+        let run = run_scenario_staged_observed(
             &scenario,
+            &req.workload.canonical(),
             |lib| self.build_workload(&req.workload, lib),
             req.verify,
+            &*self.store,
             obs,
         );
         match run {
-            Ok(outcome) => self.finish(job, outcome.to_string()),
+            Ok((outcome, reuse)) => {
+                self.metrics.record_reuse(&reuse);
+                self.finish(job, outcome.to_string())
+            }
             Err(GapError::Cancelled { after }) => {
                 self.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
                 Err(format!("cancelled after stage {}", after.label()))
@@ -422,14 +470,18 @@ impl Scheduler {
         let scenario = req.run.scenario();
         let deadline = job.deadline;
         let cancel = move || deadline.is_some_and(|d| Instant::now() >= d);
-        let run = scenario.close_timing_cancellable(
+        let run = close_timing_staged_cancellable(
+            &scenario,
+            &req.run.workload.canonical(),
             |lib| self.build_workload(&req.run.workload, lib),
             req.run.verify,
             &req.target(),
+            &*self.store,
             &cancel,
         );
         match run {
-            Ok(outcome) => {
+            Ok((outcome, reuse)) => {
+                self.metrics.record_reuse(&reuse);
                 if let Verdict::Cancelled { iteration } = outcome.trace.verdict {
                     // A cancelled trace is a partial answer: never cache
                     // it, so a retry recomputes (or joins) the real one.

@@ -1,0 +1,182 @@
+//! Stage-granular cache correctness: staged-cold, staged-resumed, and
+//! monolithic runs must all produce byte-identical canonical outcome
+//! text — the determinism contract extends through the artifact store.
+
+use asicgap::{
+    close_timing_staged, run_scenario_staged, ArtifactStore, ClosureTarget, DesignScenario,
+    MemStore, StageReuse, VerifyLevel, WireModel, WorkloadSpec,
+};
+
+fn alu8() -> WorkloadSpec {
+    WorkloadSpec::Alu { width: 8 }
+}
+
+fn monolith(
+    scenario: &DesignScenario,
+    workload: &WorkloadSpec,
+    verify: VerifyLevel,
+) -> asicgap::ScenarioOutcome {
+    asicgap::run_scenario_verified(scenario, |lib| workload.build(lib), verify).expect("monolith")
+}
+
+#[test]
+fn staged_cold_and_resumed_match_monolith_byte_for_byte() {
+    // Spans the interesting axes: unpipelined/pipelined, HPWL/routed,
+    // drive-selected/continuous sizing, every verify tier, domino+binned.
+    let cases = [
+        (DesignScenario::typical_asic(), VerifyLevel::Off),
+        (DesignScenario::best_practice_asic(), VerifyLevel::Full),
+        (
+            DesignScenario::typical_asic().with_wire_model(WireModel::Routed),
+            VerifyLevel::Sim,
+        ),
+        (DesignScenario::custom(), VerifyLevel::Off),
+    ];
+    let w = alu8();
+    for (scenario, verify) in cases {
+        let want = monolith(&scenario, &w, verify);
+        let store = MemStore::new();
+
+        let (cold, reuse) = run_scenario_staged(&scenario, &w, verify, &store).expect("cold");
+        assert_eq!(cold, want, "cold staged != monolith for {}", scenario.name);
+        assert_eq!(cold.canonical_text(), want.canonical_text());
+        assert_eq!(reuse.hits(), 0, "cold run found hits in an empty store");
+        assert!(reuse.lookups() >= 3);
+
+        let (warm, reuse) = run_scenario_staged(&scenario, &w, verify, &store).expect("warm");
+        assert_eq!(warm.canonical_text(), want.canonical_text());
+        assert_eq!(
+            reuse.hits(),
+            reuse.lookups(),
+            "warm run missed a checkpoint for {}",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn wire_model_change_reuses_prefix_and_stays_byte_identical() {
+    // The acceptance golden: a request differing only in wire model
+    // recomputes only the route stage, and its reply is byte-identical
+    // to a cold full run.
+    let w = alu8();
+    let hpwl = DesignScenario::best_practice_asic();
+    let routed = hpwl.clone().with_wire_model(WireModel::Routed);
+
+    let store = MemStore::new();
+    run_scenario_staged(&hpwl, &w, VerifyLevel::Off, &store).expect("hpwl cold");
+
+    let (out, reuse) = run_scenario_staged(&routed, &w, VerifyLevel::Off, &store).expect("routed");
+    assert_eq!(
+        reuse,
+        StageReuse {
+            synth: Some(true),
+            pipeline: Some(true),
+            place: Some(true),
+            route: Some(false),
+        },
+        "wire-model change must reuse everything up to the place checkpoint"
+    );
+
+    let fresh = MemStore::new();
+    let (cold, _) = run_scenario_staged(&routed, &w, VerifyLevel::Off, &fresh).expect("cold");
+    assert_eq!(out.canonical_text(), cold.canonical_text());
+    assert_eq!(
+        out.canonical_text(),
+        monolith(&routed, &w, VerifyLevel::Off).canonical_text()
+    );
+}
+
+#[test]
+fn seed_change_reuses_synth_and_pipeline_only() {
+    let w = alu8();
+    let a = DesignScenario::best_practice_asic();
+    let mut b = a.clone();
+    b.seed = 7;
+
+    let store = MemStore::new();
+    run_scenario_staged(&a, &w, VerifyLevel::Off, &store).expect("seed 1");
+    let (_, reuse) = run_scenario_staged(&b, &w, VerifyLevel::Off, &store).expect("seed 7");
+    assert_eq!(reuse.synth, Some(true));
+    assert_eq!(reuse.pipeline, Some(true));
+    assert_eq!(reuse.place, Some(false), "seed feeds the anneal");
+    assert_eq!(reuse.route, Some(false));
+}
+
+#[test]
+fn final_only_knobs_hit_every_checkpoint() {
+    // Skew and process access act after the route checkpoint: changing
+    // them reuses every artifact yet still changes the outcome.
+    let w = alu8();
+    let a = DesignScenario::typical_asic();
+    let mut b = a.clone();
+    b.skew_fraction = 0.05;
+    b.access = asicgap::ProcessAccess::CustomBinned;
+
+    let store = MemStore::new();
+    let (out_a, _) = run_scenario_staged(&a, &w, VerifyLevel::Off, &store).expect("a");
+    let (out_b, reuse) = run_scenario_staged(&b, &w, VerifyLevel::Off, &store).expect("b");
+    assert_eq!(reuse.hits(), reuse.lookups(), "final-only knobs must hit");
+    assert_ne!(out_a.min_period, out_b.min_period);
+    assert_ne!(out_a.shipped, out_b.shipped);
+    assert_eq!(out_a.timing_effort, out_b.timing_effort);
+}
+
+#[test]
+fn close_staged_matches_monolith_and_reuses_run_artifacts() {
+    let w = alu8();
+    let scenario = DesignScenario::typical_asic();
+    let target = ClosureTarget::at(170.0);
+
+    let want = scenario
+        .close_timing(|lib| w.build(lib), VerifyLevel::Off, &target)
+        .expect("monolith close");
+
+    // Cold staged close == monolith close, byte for byte.
+    let store = MemStore::new();
+    let (cold, reuse) =
+        close_timing_staged(&scenario, &w, VerifyLevel::Off, &target, &store).expect("cold close");
+    assert_eq!(cold.canonical_text(), want.canonical_text());
+    assert_eq!(reuse.hits(), 0);
+    assert_eq!(
+        reuse.route, None,
+        "closure never consults the route checkpoint"
+    );
+
+    // A prior unverified RUN warms the store for CLOSE: the prep shares
+    // the same synth/pipeline/place artifacts.
+    let store = MemStore::new();
+    run_scenario_staged(&scenario, &w, VerifyLevel::Off, &store).expect("warming run");
+    let (warm, reuse) =
+        close_timing_staged(&scenario, &w, VerifyLevel::Off, &target, &store).expect("warm close");
+    assert_eq!(warm.canonical_text(), want.canonical_text());
+    assert_eq!(reuse.synth, Some(true));
+    assert_eq!(reuse.place, Some(true));
+}
+
+#[test]
+fn corrupt_artifacts_degrade_to_misses() {
+    // A store that answers every get with garbage: the staged run must
+    // recompute everything and still land on the monolith's bytes.
+    struct Garbage(MemStore);
+    impl ArtifactStore for Garbage {
+        fn get(&self, key: &str) -> Option<String> {
+            self.0
+                .get(key)
+                .map(|_| "stage-synth/v1\ngarbage\n".to_string())
+        }
+        fn put(&self, key: &str, value: &str) {
+            self.0.put(key, value);
+        }
+    }
+    let w = alu8();
+    let scenario = DesignScenario::typical_asic();
+    let store = Garbage(MemStore::new());
+    run_scenario_staged(&scenario, &w, VerifyLevel::Off, &store).expect("seed the store");
+    let (out, reuse) = run_scenario_staged(&scenario, &w, VerifyLevel::Off, &store).expect("rerun");
+    assert_eq!(reuse.hits(), 0, "garbage must never parse as a hit");
+    assert_eq!(
+        out.canonical_text(),
+        monolith(&scenario, &w, VerifyLevel::Off).canonical_text()
+    );
+}
